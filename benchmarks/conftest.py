@@ -1,0 +1,45 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (§5/§6) and prints paper-vs-measured rows.  Absolute values
+come from a simulator calibrated against the paper's testbed; the
+assertions check the *shape* of each result (orderings, ratios,
+crossovers), which is what a reproduction on different hardware can
+honestly claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mobile.manager import MobileSenSocialManager
+
+
+@pytest.fixture(autouse=True)
+def _reset_singletons():
+    MobileSenSocialManager.reset_instances()
+    yield
+    MobileSenSocialManager.reset_instances()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a titled paper-vs-measured table, bypassing capture."""
+
+    def _print(title: str, headers: list[str], rows: list[list]) -> None:
+        widths = [max(len(str(cell)) for cell in column)
+                  for column in zip(headers, *rows)]
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print("  ".join(str(header).ljust(width)
+                            for header, width in zip(headers, widths)))
+            for row in rows:
+                print("  ".join(str(cell).ljust(width)
+                                for cell, width in zip(row, widths)))
+
+    return _print
+
+
+def run_once(benchmark, fn):
+    """Run a whole-simulation benchmark exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Ablation — document-store indexing (§5.5 "Impact of Multiple Users").
+
+The paper: "due to its non-relational nature querying from MongoDB can
+be inefficient.  This limitation can be addressed by building indices
+for commonly used queries."  This is a real timing benchmark (multiple
+rounds) of the same equality query against an indexed and an unindexed
+collection, plus the geospatial nearby-users query the multicast layer
+relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server.storage import ServerDatabase
+from repro.docstore import DocumentStore
+from repro.simkit import World
+
+USERS = 2000
+
+
+def populate(collection, indexed: bool):
+    if indexed:
+        collection.create_index("user_id")
+    rng = World(seed=77).rng("db-bench")
+    collection.insert_many([
+        {"user_id": f"user-{index}",
+         "location": {"point": [rng.uniform(-1, 1), rng.uniform(44, 49)],
+                      "place": "Somewhere"}}
+        for index in range(USERS)
+    ])
+
+
+@pytest.fixture
+def unindexed():
+    collection = DocumentStore()["users"]
+    populate(collection, indexed=False)
+    return collection
+
+
+@pytest.fixture
+def indexed():
+    collection = DocumentStore()["users"]
+    populate(collection, indexed=True)
+    return collection
+
+
+def test_equality_query_unindexed(benchmark, unindexed):
+    result = benchmark(lambda: unindexed.find_one({"user_id": "user-1500"}))
+    assert result is not None
+    assert unindexed.index_lookups == 0
+
+
+def test_equality_query_indexed(benchmark, indexed):
+    result = benchmark(lambda: indexed.find_one({"user_id": "user-1500"}))
+    assert result is not None
+    assert indexed.index_lookups > 0
+    # The index must serve lookups without full scans (beyond the
+    # population-time ones).
+    scans_before = indexed.scans
+    indexed.find_one({"user_id": "user-7"})
+    assert indexed.scans == scans_before
+
+
+def test_geospatial_nearby_users(benchmark):
+    database = ServerDatabase()
+    rng = World(seed=78).rng("geo-bench")
+    for index in range(500):
+        user = f"u{index}"
+        database.register_device(user, f"d{index}", ["wifi"])
+        database.update_location(user, rng.uniform(-1, 5),
+                                 rng.uniform(44, 50), "City", 0.0)
+    nearby = benchmark(lambda: database.users_near([2.0, 47.0], 50.0))
+    assert len(nearby) > 0

@@ -1,0 +1,121 @@
+"""Figure 4 — average battery charge consumed per sensing cycle.
+
+Paper (§5.3): sensing every 60 s for one hour per modality, raw (R:
+sample + transmit) and classified (C: sample + classify + transmit),
+plus the Acc-GAR baseline.  The headline shapes: GPS is the most
+expensive sensor to sample; raw accelerometer cost is dominated by
+transmission; classifying the accelerometer stream roughly halves its
+total; GAR lands ~25 % below the classified accelerometer stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.gar import GoogleActivityRecognitionApp
+from repro.core.common import Granularity, ModalityType
+from repro.device.battery import EnergyCategory
+from repro.metrics import EnergyMeter
+from repro.scenarios.testbed import SenSocialTestbed
+
+HOUR_S = 3600.0
+CYCLES = 60  # one cycle per minute for an hour
+
+#: Paper values read off Figure 4, in mAh per cycle (approximate).
+PAPER_TOTALS = {
+    ("accelerometer", "raw"): 0.0125,
+    ("accelerometer", "classified"): 0.0060,
+    ("microphone", "raw"): 0.0065,
+    ("microphone", "classified"): 0.0055,
+    ("location", "raw"): 0.0140,
+    ("location", "classified"): 0.0135,
+    ("wifi", "raw"): 0.0035,
+    ("wifi", "classified"): 0.0030,
+    ("bluetooth", "raw"): 0.0045,
+    ("bluetooth", "classified"): 0.0040,
+    ("gar", "classified"): 0.0045,
+}
+
+
+def measure_stream(modality: ModalityType, granularity: Granularity):
+    """Per-cycle (sampling, classification, transmission, total) mAh."""
+    testbed = SenSocialTestbed(seed=3, location_update_period_s=None)
+    node = testbed.add_user("solo", "Paris")
+    meter = EnergyMeter(testbed.world, node.phone.battery).start()
+    node.manager.create_stream(modality, granularity, send_to_server=True,
+                               settings={"duty_cycle_s": 60.0})
+    testbed.run(HOUR_S)
+    meter.stop()
+    sampling = meter.category_mah(EnergyCategory.SAMPLING) / CYCLES
+    classification = meter.category_mah(EnergyCategory.CLASSIFICATION) / CYCLES
+    transmission = meter.category_mah(EnergyCategory.TRANSMISSION) / CYCLES
+    return sampling, classification, transmission
+
+
+def measure_gar():
+    testbed = SenSocialTestbed(seed=3, location_update_period_s=None)
+    node = testbed.add_user("gar-user", "Paris")
+    meter = EnergyMeter(testbed.world, node.phone.battery).start()
+    GoogleActivityRecognitionApp(testbed.world, testbed.network,
+                                 node.phone).start()
+    testbed.run(HOUR_S)
+    meter.stop()
+    bundled = meter.category_mah(EnergyCategory.SAMPLING) / CYCLES
+    transmission = meter.category_mah(EnergyCategory.TRANSMISSION) / CYCLES
+    return bundled, 0.0, transmission
+
+
+def run_figure4():
+    results = {}
+    for modality in [ModalityType.ACCELEROMETER, ModalityType.MICROPHONE,
+                     ModalityType.LOCATION, ModalityType.WIFI,
+                     ModalityType.BLUETOOTH]:
+        for granularity in [Granularity.RAW, Granularity.CLASSIFIED]:
+            results[(modality.value, granularity.value)] = measure_stream(
+                modality, granularity)
+    results[("gar", "classified")] = measure_gar()
+    return results
+
+
+def test_figure4_energy_per_cycle(benchmark, report):
+    results = run_once(benchmark, run_figure4)
+    rows = []
+    totals = {}
+    for key in PAPER_TOTALS:
+        sampling, classification, transmission = results[key]
+        total = sampling + classification + transmission
+        totals[key] = total
+        rows.append([
+            f"{key[0]} ({key[1][0].upper()})",
+            f"{PAPER_TOTALS[key]:.4f}",
+            f"{total:.4f}",
+            f"{sampling:.4f}", f"{classification:.4f}", f"{transmission:.4f}",
+        ])
+    report(
+        "Figure 4: battery charge per sensing cycle [mAh] (paper-vs-measured)",
+        ["stream", "paper total", "measured", "sampling", "classif.", "transm."],
+        rows,
+    )
+
+    # Shape 1: GPS sampling is the most expensive of the five sensors.
+    gps_sampling = results[("location", "raw")][0]
+    for modality in ["accelerometer", "microphone", "wifi", "bluetooth"]:
+        assert gps_sampling > results[(modality, "raw")][0]
+    # Shape 2: raw accelerometer cost is dominated by transmission.
+    acc_sampling, _, acc_transmission = results[("accelerometer", "raw")]
+    assert acc_transmission > 2 * acc_sampling
+    # Shape 3: classification roughly halves the accelerometer total.
+    ratio = totals[("accelerometer", "classified")] / \
+        totals[("accelerometer", "raw")]
+    assert 0.3 < ratio < 0.7, f"acc classified/raw ratio {ratio:.2f}"
+    # Shape 4: GAR sits below (~25 %) the classified accelerometer stream.
+    gar_ratio = totals[("gar", "classified")] / \
+        totals[("accelerometer", "classified")]
+    assert 0.55 < gar_ratio < 0.95, f"GAR ratio {gar_ratio:.2f}"
+    # Anchors: totals land within 35 % of Figure 4's values, with an
+    # absolute floor of 0.002 mAh — the read-off precision of the
+    # paper's printed bar chart.
+    for key, paper_total in PAPER_TOTALS.items():
+        assert totals[key] == pytest.approx(paper_total, rel=0.35,
+                                            abs=0.002), key

@@ -1,0 +1,73 @@
+"""Figure 5 — CPU load with an increasing number of sensor streams.
+
+Paper (§5.5): CPU load grows significantly only for streams transmitted
+to the server, reaching ~55 % at 50 streams, while locally consumed
+streams stay nearly flat; at the five streams SenSocial actually
+supports, the load is below 10 %.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.common import Granularity, ModalityType
+from repro.metrics import CpuProfiler
+from repro.scenarios.testbed import SenSocialTestbed
+
+STREAM_COUNTS = [0, 5, 10, 20, 30, 40, 50]
+
+#: Values read off Figure 5 (percent of one core).
+PAPER_SERVER = {0: 1, 5: 7, 10: 13, 20: 24, 30: 35, 40: 46, 50: 56}
+PAPER_LOCAL = {0: 1, 5: 2, 10: 2, 20: 3, 30: 4, 40: 4, 50: 5}
+
+
+def measure_cpu(stream_count: int, to_server: bool) -> tuple[float, float]:
+    """(mean CPU %, allocated heap MB) at the given stream count."""
+    testbed = SenSocialTestbed(seed=5, location_update_period_s=None)
+    node = testbed.add_user("alice", "Paris")
+    for _ in range(stream_count):
+        node.manager.create_stream(ModalityType.WIFI, Granularity.RAW,
+                                   send_to_server=to_server)
+    profiler = CpuProfiler(testbed.world, node.phone.cpu).start()
+    testbed.run(120.0)
+    return profiler.stop(), node.phone.heap.allocated_mb
+
+
+def run_figure5():
+    server_results = {count: measure_cpu(count, to_server=True)
+                      for count in STREAM_COUNTS}
+    local_results = {count: measure_cpu(count, to_server=False)
+                     for count in STREAM_COUNTS}
+    return server_results, local_results
+
+
+def test_figure5_cpu_vs_streams(benchmark, report):
+    server_results, local_results = run_once(benchmark, run_figure5)
+    server_loads = {count: cpu for count, (cpu, _) in server_results.items()}
+    local_loads = {count: cpu for count, (cpu, _) in local_results.items()}
+    heap_by_count = {count: heap for count, (_, heap) in server_results.items()}
+    report(
+        "Figure 5: CPU load vs number of streams [%]",
+        ["streams", "paper server", "measured server",
+         "paper local", "measured local"],
+        [[count, PAPER_SERVER[count], f"{server_loads[count]:.1f}",
+          PAPER_LOCAL[count], f"{local_loads[count]:.1f}"]
+         for count in STREAM_COUNTS],
+    )
+    # Shape 1: server streams grow steeply, local streams stay flat.
+    server_growth = server_loads[50] - server_loads[0]
+    local_growth = local_loads[50] - local_loads[0]
+    assert server_growth > 5 * local_growth
+    # Shape 2: both curves are monotonically non-decreasing.
+    for prev, curr in zip(STREAM_COUNTS, STREAM_COUNTS[1:]):
+        assert server_loads[curr] >= server_loads[prev]
+        assert local_loads[curr] >= local_loads[prev] - 0.5
+    # Shape 3: "the CPU load is less than 10% even with five streams".
+    assert server_loads[5] < 10.0
+    assert local_loads[50] < 12.0
+    # Anchor: 50 server streams land in the paper's ~55 % regime.
+    assert 40.0 < server_loads[50] < 75.0
+    # §5.5's companion finding: "the number of streams does not affect
+    # the memory consumption of the application" — under 5 % growth
+    # from 0 to 50 streams.
+    heap_growth = heap_by_count[50] / heap_by_count[0] - 1.0
+    assert heap_growth < 0.05, f"heap grew {heap_growth:.1%} over 50 streams"

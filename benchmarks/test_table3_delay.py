@@ -1,0 +1,65 @@
+"""Table 3 — time delay in receiving OSN notifications.
+
+Paper (§5.4): over 50 Facebook actions, OSN→server takes 46.466 s
+(σ 2.768) and OSN→mobile 55.388 s (σ 2.495); the ~9 s difference is
+the middleware's own processing + MQTT push, and the bulk is Facebook's
+notification latency.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.common import Granularity, ModalityType, StreamMode
+from repro.metrics import LatencyStats
+from repro.scenarios.testbed import SenSocialTestbed
+
+PAPER = {
+    "osn_to_server": (46.466, 2.768),
+    "osn_to_mobile": (55.388, 2.495),
+}
+
+ACTIONS = 50
+
+
+def run_table3():
+    testbed = SenSocialTestbed(seed=9, location_update_period_s=None)
+    node = testbed.add_user("alice", "Paris")
+    node.manager.create_stream(ModalityType.WIFI, Granularity.RAW,
+                               mode=StreamMode.SOCIAL_EVENT)
+    for _ in range(ACTIONS):
+        testbed.facebook.perform_action("alice", "post", content="ping")
+        testbed.run(400.0)  # let the full trigger pipeline drain
+    return (LatencyStats.of(testbed.server.action_latencies()),
+            LatencyStats.of(node.manager.trigger_latencies))
+
+
+def test_table3_notification_delay(benchmark, report):
+    server_stats, mobile_stats = run_once(benchmark, run_table3)
+    report(
+        "Table 3: OSN notification delay [s] (paper-vs-measured)",
+        ["notification type", "paper mean", "paper std",
+         "measured mean", "measured std", "n"],
+        [
+            ["OSN to Server", *PAPER["osn_to_server"],
+             f"{server_stats.mean:.3f}", f"{server_stats.std:.3f}",
+             server_stats.count],
+            ["OSN to Mobile", *PAPER["osn_to_mobile"],
+             f"{mobile_stats.mean:.3f}", f"{mobile_stats.std:.3f}",
+             mobile_stats.count],
+        ],
+    )
+    assert server_stats.count == ACTIONS
+    assert mobile_stats.count == ACTIONS
+    # Shape 1: the mobile hears strictly after the server, by a small
+    # middleware overhead (the paper's ~9 s), not by another OSN delay.
+    overhead = mobile_stats.mean - server_stats.mean
+    assert 4.0 < overhead < 15.0, f"middleware overhead {overhead:.1f}s"
+    # Shape 2: the OSN notification delay dominates both paths.
+    assert server_stats.mean > 3 * overhead
+    # Anchors: within 15 % of the paper's means.
+    assert abs(server_stats.mean - PAPER["osn_to_server"][0]) \
+        < 0.15 * PAPER["osn_to_server"][0]
+    assert abs(mobile_stats.mean - PAPER["osn_to_mobile"][0]) \
+        < 0.15 * PAPER["osn_to_mobile"][0]
+    # The spread is a few seconds, as measured.
+    assert 0.5 < server_stats.std < 6.0

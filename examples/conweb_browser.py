@@ -1,0 +1,54 @@
+"""ConWeb (§6.2): a Web page that adapts to context and OSN mood.
+
+The browser auto-refreshes every T seconds; the server regenerates the
+page from the user's momentary physical context (delivered by SenSocial
+streams) and their latest OSN post.
+
+Run with:  python examples/conweb_browser.py
+"""
+
+from repro import SenSocialTestbed
+from repro.apps.conweb import ConWebBrowser, ConWebServer, ConWebServerApp
+from repro.device import ActivityState, AudioState
+
+
+def show(page) -> None:
+    print(f"  [{page.generated_at:7.1f}s] layout={page.layout:8s} "
+          f"contrast={page.contrast:7s} suggestions={page.suggestions}")
+
+
+def main() -> None:
+    testbed = SenSocialTestbed(seed=8)
+    node = testbed.add_user("alice", home_city="Paris")
+
+    web = ConWebServer(testbed.world, testbed.network)
+    ConWebServerApp(testbed.server, web)
+    browser = ConWebBrowser(node.manager, refresh_period_s=60.0).start()
+    browser.on_page(show)
+
+    # Pin the ground truth so the adaptation stages are visible.
+    node.mobility.stop()
+
+    print("-- sitting quietly at home --")
+    node.phone.environment.activity = ActivityState.STILL
+    node.phone.environment.audio = AudioState.SILENT
+    browser.open("news.example/front-page")
+    testbed.run(150.0)
+
+    print("-- out for a run on a busy street --")
+    node.phone.environment.activity = ActivityState.RUNNING
+    node.phone.environment.audio = AudioState.NOISY
+    testbed.run(180.0)
+
+    print("-- posts about a disappointing dinner --")
+    testbed.facebook.perform_action(
+        "alice", "post", content="so disappointed by the food dinner")
+    testbed.run(180.0)
+
+    print(f"\nheadline: {browser.current_page.headline}")
+    print(f"pages served: {web.requests_served}")
+    browser.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Facebook Sensor Map (§6.1): OSN actions on a map with their context.
+
+Three users post, comment and like over a simulated hour while moving
+around their cities; every action is coupled with the physical context
+sampled as it happened and joined into map markers on the server.
+
+Run with:  python examples/facebook_sensor_map.py
+"""
+
+from repro import SenSocialTestbed
+from repro.apps.sensor_map import FacebookSensorMapServer, FacebookSensorMapService
+
+
+def main() -> None:
+    testbed = SenSocialTestbed(seed=6)
+    map_server = FacebookSensorMapServer(testbed.server)
+
+    users = {"alice": "Paris", "bob": "Bordeaux", "carol": "London"}
+    for user_id, city in users.items():
+        node = testbed.add_user(user_id, home_city=city)
+        FacebookSensorMapService(node.manager)
+    testbed.befriend("alice", "bob")
+    testbed.befriend("alice", "carol")
+
+    # A Poisson OSN workload: roughly 6 actions/hour per user.
+    testbed.workload.actions_per_hour = 6.0
+    testbed.workload.start_all()
+
+    print("-- simulating one hour of OSN activity + sensing --")
+    testbed.run(3600.0)
+
+    print(f"\ncaptured {len(map_server.markers())} markers "
+          f"({map_server.complete_marker_count()} with full context):\n")
+    for marker in map_server.markers():
+        position = (f"({marker.lon:7.3f}, {marker.lat:7.3f})"
+                    if marker.lon is not None else "(pending...)      ")
+        print(f"  {position} {marker.user_id:6s} {marker.action_type:8s} "
+              f"activity={marker.activity or '?':8s} "
+              f"audio={marker.audio or '?':11s} {marker.content[:34]!r}")
+
+    print("\n-- alice's map (her circle: herself + OSN friends) --")
+    for marker in map_server.markers_of_circle("alice"):
+        print(f"  {marker.user_id}: {marker.action_type} "
+              f"while {marker.activity or '?'}")
+
+
+if __name__ == "__main__":
+    main()

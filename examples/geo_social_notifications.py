@@ -1,0 +1,55 @@
+"""The Figure 2 scenario: geo-aware social notifications.
+
+Five users — A and B live in Paris; C, D and E in Bordeaux.  A is OSN
+friends with C and D.  When C travels to Paris, the server notices one
+of A's friends entering A's home town and notifies A.
+
+Run with:  python examples/geo_social_notifications.py
+"""
+
+from repro import Granularity, ModalityType, MulticastQuery
+from repro.scenarios import build_paris_scenario
+
+
+def main() -> None:
+    testbed = build_paris_scenario(seed=2)
+    print("deployed users:", ", ".join(sorted(testbed.nodes)))
+    print("A's OSN friends:", testbed.server.database.friends_of("A"))
+
+    # Let periodic location updates reach the server.
+    testbed.run(400.0)
+
+    # A multicast stream over A's friends' classified locations.
+    friends_locations = testbed.server.create_multicast_stream(
+        ModalityType.LOCATION, Granularity.CLASSIFIED,
+        MulticastQuery(friends_of="A"), name="friends-of-A")
+    print("multicast members:", friends_locations.members())
+
+    home_town = "Paris"
+    already_notified = set()
+
+    def on_location(record):
+        # Notify once per arrival: a friend continuously in town stays
+        # quiet until they leave and come back.
+        if record.value == home_town:
+            if record.user_id not in already_notified:
+                already_notified.add(record.user_id)
+                print(f"[{record.timestamp:8.1f}s] NOTIFY A: friend "
+                      f"{record.user_id} arrived in {home_town}!")
+        else:
+            already_notified.discard(record.user_id)
+
+    friends_locations.add_listener(on_location)
+
+    print("-- one quiet hour; everyone stays home --")
+    testbed.run(3600.0)
+
+    print("-- C travels from Bordeaux to Paris (2 h) --")
+    testbed.node("C").mobility.travel_to("Paris", duration_s=2 * 3600.0)
+    testbed.run(3 * 3600.0)
+    place = testbed.server.database.location_of("C")["place"]
+    print(f"C's server-known place is now: {place}")
+
+
+if __name__ == "__main__":
+    main()

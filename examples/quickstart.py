@@ -1,0 +1,58 @@
+"""Quickstart: one user, two streams, one OSN-coupled trigger.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+    SenSocialTestbed,
+)
+
+
+def main() -> None:
+    # A testbed wires the whole deployment: simulated network, MQTT
+    # broker, SenSocial server, Facebook/Twitter platforms + plug-ins.
+    testbed = SenSocialTestbed(seed=1)
+    alice = testbed.add_user("alice", home_city="Paris")
+
+    # --- the paper's client API (Figure 7) ----------------------------
+    manager = alice.manager
+    user = manager.get_user(manager.get_user_id())
+    device = user.get_device()
+
+    # A continuous classified activity stream: one label per minute.
+    activity = device.get_stream(ModalityType.ACCELEROMETER,
+                                 Granularity.CLASSIFIED)
+    activity.register_listener(lambda record: print(
+        f"[{record.timestamp:7.1f}s] activity = {record.value}"))
+
+    # A social-event-based stream: sampled only when alice acts on
+    # Facebook, and coupled with the action's content.
+    on_facebook = Filter([Condition(ModalityType.FACEBOOK_ACTIVITY,
+                                    Operator.EQUALS, ModalityValue.ACTIVE)])
+    social = device.get_stream(ModalityType.LOCATION, Granularity.RAW)
+    social.set_filter(on_facebook)
+    social.register_listener(lambda record: print(
+        f"[{record.timestamp:7.1f}s] GPS ({record.value['lon']:.4f}, "
+        f"{record.value['lat']:.4f}) coupled with post: "
+        f"{record.osn_action['content']!r}"))
+
+    print("-- five minutes of continuous sensing --")
+    testbed.run(5 * 60.0)
+
+    print("-- alice posts on Facebook (from any device) --")
+    testbed.facebook.perform_action("alice", "post",
+                                    content="loving the football derby")
+    testbed.run(3 * 60.0)
+
+    consumed = alice.phone.battery.consumed_mah
+    print(f"-- done; battery consumed: {consumed * 1000:.1f} µAh --")
+
+
+if __name__ == "__main__":
+    main()

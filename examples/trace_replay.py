@@ -1,0 +1,69 @@
+"""Workload traces: record one deployment's OSN activity, replay it
+against another — the workflow for comparing designs on identical
+inputs (exactly what the ablation benchmarks need).
+
+Run with:  python examples/trace_replay.py
+"""
+
+from repro import SenSocialTestbed
+from repro.analysis import CoverageReport
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+)
+from repro.osn.trace import ActionTrace, TraceRecorder, replay_trace
+
+USERS = ["alice", "bob", "carol"]
+
+
+def deploy(testbed: SenSocialTestbed) -> CoverageReport:
+    """Deploy the users with posts-coupled accelerometer streams."""
+    on_post = Filter([Condition(ModalityType.FACEBOOK_ACTIVITY,
+                                Operator.EQUALS, ModalityValue.ACTIVE)])
+    for user_id in USERS:
+        node = testbed.add_user(user_id, home_city="Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   stream_filter=on_post,
+                                   send_to_server=True)
+    return CoverageReport(testbed.server)
+
+
+def main() -> None:
+    # --- arm 1: record a live Poisson workload ------------------------
+    first = SenSocialTestbed(seed=14)
+    coverage_first = deploy(first)
+    recorder = TraceRecorder(first.facebook)
+    first.workload.actions_per_hour = 8.0
+    first.workload.start_all()
+    first.run(3600.0)
+    recorder.detach()
+    trace = recorder.trace
+    print(f"recorded {len(trace)} actions by {trace.user_ids()}")
+    print(f"arm 1 coupled records: {coverage_first.total_records()}")
+
+    # Traces serialise to JSON for storage alongside experiment data.
+    wire = trace.to_json()
+    restored = ActionTrace.from_json(wire)
+
+    # --- arm 2: a different deployment fed the identical workload -----
+    second = SenSocialTestbed(seed=999)  # different seed on purpose
+    coverage_second = deploy(second)
+    replay_trace(second.world, second.facebook, restored)
+    second.run(3600.0 + 300.0)
+    print(f"arm 2 coupled records: {coverage_second.total_records()}")
+
+    print("\nper-user coverage (arm 2):")
+    for user_id, records, span in coverage_second.summary_rows():
+        user = coverage_second.coverage_of(user_id)
+        still = user.label_fraction("accelerometer", "still")
+        print(f"  {user_id:6s} records={records:3d} span={span:7.1f}s "
+              f"still-fraction={still:.2f}")
+
+
+if __name__ == "__main__":
+    main()

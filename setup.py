@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The evaluation environment has no ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path, which works offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""SenSocial reproduction.
+
+A from-scratch Python reproduction of *SenSocial: A Middleware for
+Integrating Online Social Networks and Mobile Sensing Data Streams*
+(Mehrotra, Pejović, Musolesi — ACM Middleware 2014), including every
+substrate the paper depends on: a discrete-event simulated network and
+MQTT broker, a document store, an OSN platform with Facebook/Twitter
+plug-ins, smartphones with five sensors and calibrated energy / CPU /
+memory models, and the two-sided middleware itself.
+
+Quickstart::
+
+    from repro import SenSocialTestbed, ModalityType, Granularity
+
+    testbed = SenSocialTestbed(seed=1)
+    alice = testbed.add_user("alice", home_city="Paris")
+    stream = alice.manager.get_user("alice").get_device().get_stream(
+        ModalityType.ACCELEROMETER, Granularity.CLASSIFIED)
+    stream.register_listener(lambda record: print(record.value))
+    testbed.run(300)
+"""
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+    StreamConfig,
+    StreamMode,
+    StreamRecord,
+)
+from repro.core.mobile import (
+    MobileSenSocialManager,
+    MobileStream,
+    PrivacyPolicy,
+    PrivacyPolicyDescriptor,
+    StreamState,
+)
+from repro.core.server import (
+    Aggregator,
+    MulticastQuery,
+    MulticastStream,
+    ServerSenSocialManager,
+    ServerStream,
+)
+from repro.scenarios import MobileNode, SenSocialTestbed, build_paris_scenario
+from repro.simkit import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregator",
+    "Condition",
+    "Filter",
+    "Granularity",
+    "MobileNode",
+    "MobileSenSocialManager",
+    "MobileStream",
+    "ModalityType",
+    "ModalityValue",
+    "MulticastQuery",
+    "MulticastStream",
+    "Operator",
+    "PrivacyPolicy",
+    "PrivacyPolicyDescriptor",
+    "SenSocialTestbed",
+    "ServerSenSocialManager",
+    "ServerStream",
+    "StreamConfig",
+    "StreamMode",
+    "StreamRecord",
+    "StreamState",
+    "World",
+    "build_paris_scenario",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Offline analysis of SenSocial data.
+
+The introduction motivates SenSocial with a social-science application:
+capture emotions from OSN posts, the physical context as they are made,
+and map both onto the social network to study emotion propagation.
+This package provides that analysis layer on top of the middleware's
+collected records: time-binned series, mood/graph statistics, and
+GeoJSON export of sensor-map markers.
+"""
+
+from repro.analysis.timeseries import TimeBinnedSeries, moving_average
+from repro.analysis.emotion import EmotionStudy, MoodSummary, pearson
+from repro.analysis.geojson import markers_to_geojson
+from repro.analysis.coverage import CoverageReport, UserCoverage
+
+__all__ = [
+    "CoverageReport",
+    "EmotionStudy",
+    "MoodSummary",
+    "TimeBinnedSeries",
+    "UserCoverage",
+    "markers_to_geojson",
+    "moving_average",
+    "pearson",
+]

@@ -1,0 +1,81 @@
+"""Context coverage reports.
+
+Answers "how much of each user's day did we actually observe, and in
+which states?" — the sanity check any sensing study runs before trusting
+its data.  Consumes stream records (live via a server listener, or
+post-hoc from the server database).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.common.granularity import Granularity
+from repro.core.common.records import StreamRecord
+from repro.core.server.manager import ServerSenSocialManager
+
+
+@dataclass
+class UserCoverage:
+    """Observation counts for one user."""
+
+    user_id: str
+    records: int = 0
+    first_seen: float | None = None
+    last_seen: float | None = None
+    #: modality value -> label -> count (classified records only).
+    label_counts: dict[str, dict[str, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int)))
+
+    @property
+    def observed_span_s(self) -> float:
+        if self.first_seen is None or self.last_seen is None:
+            return 0.0
+        return self.last_seen - self.first_seen
+
+    def label_fraction(self, modality: str, label: str) -> float:
+        """Share of this modality's classified samples with ``label``."""
+        counts = self.label_counts.get(modality)
+        if not counts:
+            return 0.0
+        total = sum(counts.values())
+        return counts.get(label, 0) / total
+
+
+class CoverageReport:
+    """Accumulates records into per-user coverage summaries."""
+
+    def __init__(self, server: ServerSenSocialManager | None = None):
+        self._users: dict[str, UserCoverage] = {}
+        if server is not None:
+            server.register_listener(self.observe)
+
+    def observe(self, record: StreamRecord) -> None:
+        coverage = self._users.get(record.user_id)
+        if coverage is None:
+            coverage = UserCoverage(record.user_id)
+            self._users[record.user_id] = coverage
+        coverage.records += 1
+        if coverage.first_seen is None:
+            coverage.first_seen = record.timestamp
+        coverage.last_seen = record.timestamp
+        if record.granularity is Granularity.CLASSIFIED and \
+                isinstance(record.value, str):
+            coverage.label_counts[record.modality.value][record.value] += 1
+
+    def user_ids(self) -> list[str]:
+        return sorted(self._users)
+
+    def coverage_of(self, user_id: str) -> UserCoverage:
+        coverage = self._users.get(user_id)
+        return coverage if coverage is not None else UserCoverage(user_id)
+
+    def total_records(self) -> int:
+        return sum(coverage.records for coverage in self._users.values())
+
+    def summary_rows(self) -> list[tuple[str, int, float]]:
+        """(user, records, observed span seconds) per user."""
+        return [(user_id, self._users[user_id].records,
+                 self._users[user_id].observed_span_s)
+                for user_id in self.user_ids()]

@@ -1,0 +1,126 @@
+"""Emotion propagation analysis.
+
+Attaches to a running SenSocial server, scores every captured post with
+the sentiment analyser, pairs it with the coupled physical context, and
+answers the introduction's research questions: per-user mood, mood of a
+user's OSN neighbourhood, mood–neighbourhood correlation (a crude
+propagation signal), and mood by physical context.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.common.records import StreamRecord
+from repro.core.server.manager import ServerSenSocialManager
+from repro.osn.actions import OsnAction
+from repro.osn.sentiment import SentimentAnalyzer
+from repro.analysis.timeseries import TimeBinnedSeries
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation; 0.0 for degenerate inputs."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclass(frozen=True)
+class MoodSummary:
+    """One user's aggregate mood."""
+
+    user_id: str
+    posts: int
+    mean_score: float
+    neighbourhood_score: float
+
+
+class EmotionStudy:
+    """Collects sentiment + context observations from a server."""
+
+    def __init__(self, server: ServerSenSocialManager,
+                 analyzer: SentimentAnalyzer | None = None,
+                 bin_width_s: float = 600.0):
+        self._server = server
+        self._analyzer = analyzer if analyzer is not None else SentimentAnalyzer()
+        self._scores: dict[str, list[float]] = defaultdict(list)
+        self._mood_series = TimeBinnedSeries(bin_width_s)
+        #: sentiment scores grouped by the coupled activity label.
+        self._by_context: dict[str, list[float]] = defaultdict(list)
+        self._score_by_action: dict[int, float] = {}
+        server.add_action_listener(self._on_action)
+        server.register_listener(self._on_record)
+
+    # -- intake -----------------------------------------------------------
+
+    def _on_action(self, action: OsnAction) -> None:
+        if not action.content:
+            return
+        score = self._analyzer.score(action.content)
+        self._scores[action.user_id].append(score)
+        self._mood_series.add(action.created_at, score)
+        self._score_by_action[action.action_id] = score
+
+    def _on_record(self, record: StreamRecord) -> None:
+        if record.osn_action is None or not isinstance(record.value, str):
+            return
+        score = self._score_by_action.get(record.osn_action["action_id"])
+        if score is not None:
+            self._by_context[record.value].append(score)
+
+    # -- results -----------------------------------------------------------
+
+    def observed_users(self) -> list[str]:
+        return sorted(self._scores)
+
+    def mood_of(self, user_id: str) -> float:
+        scores = self._scores.get(user_id, [])
+        return sum(scores) / len(scores) if scores else 0.0
+
+    def neighbourhood_mood_of(self, user_id: str) -> float:
+        scores = [score for friend in self._server.database.friends_of(user_id)
+                  for score in self._scores.get(friend, [])]
+        return sum(scores) / len(scores) if scores else 0.0
+
+    def summaries(self) -> list[MoodSummary]:
+        return [MoodSummary(
+            user_id=user_id,
+            posts=len(self._scores[user_id]),
+            mean_score=self.mood_of(user_id),
+            neighbourhood_score=self.neighbourhood_mood_of(user_id),
+        ) for user_id in self.observed_users()]
+
+    def mood_assortativity(self) -> float:
+        """Correlation between each user's mood and their circle's.
+
+        The propagation signal the introduction asks about: positive
+        values mean moods cluster along OSN links.
+        """
+        own, neighbourhood = [], []
+        for summary in self.summaries():
+            if summary.posts == 0:
+                continue
+            own.append(summary.mean_score)
+            neighbourhood.append(summary.neighbourhood_score)
+        return pearson(own, neighbourhood)
+
+    def mood_by_context(self) -> dict[str, float]:
+        """Mean sentiment grouped by the coupled activity/context label."""
+        return {label: sum(scores) / len(scores)
+                for label, scores in sorted(self._by_context.items())}
+
+    def global_mood_series(self) -> list[tuple[float, float]]:
+        """Time-binned mean sentiment across the whole population."""
+        return self._mood_series.bin_means()

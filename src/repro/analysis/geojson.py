@@ -1,0 +1,41 @@
+"""GeoJSON export of Facebook Sensor Map markers.
+
+The §6.1 application presents its data "as a set of navigable maps";
+this helper turns joined markers into a standard GeoJSON
+FeatureCollection any map library can render.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.apps.sensor_map.server import MapMarker
+
+
+def markers_to_geojson(markers: Iterable[MapMarker],
+                       include_incomplete: bool = False) -> dict:
+    """Build a GeoJSON FeatureCollection from map markers."""
+    features = []
+    for marker in markers:
+        if marker.lon is None or marker.lat is None:
+            if not include_incomplete:
+                continue
+            geometry = None
+        else:
+            geometry = {"type": "Point",
+                        "coordinates": [marker.lon, marker.lat]}
+        features.append({
+            "type": "Feature",
+            "geometry": geometry,
+            "properties": {
+                "user_id": marker.user_id,
+                "action_id": marker.action_id,
+                "action_type": marker.action_type,
+                "content": marker.content,
+                "timestamp": marker.timestamp,
+                "activity": marker.activity,
+                "audio": marker.audio,
+                **marker.extra,
+            },
+        })
+    return {"type": "FeatureCollection", "features": features}

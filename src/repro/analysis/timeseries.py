@@ -1,0 +1,55 @@
+"""Time-binned series utilities."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class TimeBinnedSeries:
+    """Scalar observations bucketed into fixed-width time bins."""
+
+    def __init__(self, bin_width_s: float):
+        if bin_width_s <= 0:
+            raise ValueError(f"bin width must be > 0, got {bin_width_s}")
+        self.bin_width_s = bin_width_s
+        self._bins: dict[int, list[float]] = defaultdict(list)
+
+    def add(self, time: float, value: float) -> None:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        self._bins[int(time // self.bin_width_s)].append(value)
+
+    def __len__(self) -> int:
+        return sum(len(values) for values in self._bins.values())
+
+    def bin_means(self) -> list[tuple[float, float]]:
+        """(bin start time, mean value) for every non-empty bin."""
+        return [(index * self.bin_width_s,
+                 sum(values) / len(values))
+                for index, values in sorted(self._bins.items())]
+
+    def bin_counts(self) -> list[tuple[float, int]]:
+        return [(index * self.bin_width_s, len(values))
+                for index, values in sorted(self._bins.items())]
+
+    def mean(self) -> float:
+        total = count = 0.0
+        for values in self._bins.values():
+            total += sum(values)
+            count += len(values)
+        return total / count if count else 0.0
+
+
+def moving_average(values: list[float], window: int) -> list[float]:
+    """Trailing moving average; the first ``window-1`` points use the
+    shorter prefix they have."""
+    if window <= 0:
+        raise ValueError(f"window must be > 0, got {window}")
+    averaged = []
+    running = 0.0
+    for index, value in enumerate(values):
+        running += value
+        if index >= window:
+            running -= values[index - window]
+        averaged.append(running / min(index + 1, window))
+    return averaged

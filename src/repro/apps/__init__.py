@@ -1,0 +1,12 @@
+"""Prototype applications (§6) and evaluation baselines.
+
+* :mod:`repro.apps.gar` — the Google Activity Recognition comparison
+  app of Tables 2 / Figure 4;
+* :mod:`repro.apps.sensor_map` — Facebook Sensor Map built *with*
+  SenSocial;
+* :mod:`repro.apps.sensor_map_baseline` — the same application built
+  *without* the middleware (Table 5's programming-effort baseline);
+* :mod:`repro.apps.conweb` — the ConWeb contextual Web browser built
+  with SenSocial, plus its simulated Web server;
+* :mod:`repro.apps.conweb_baseline` — ConWeb without the middleware.
+"""

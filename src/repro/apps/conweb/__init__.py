@@ -1,0 +1,12 @@
+"""ConWeb — the contextual Web browser built with SenSocial (§6.2).
+
+Pages are generated on a (simulated) Web server and adapted to the
+requesting user's momentary physical context and OSN activity, both
+delivered by SenSocial streams.
+"""
+
+from repro.apps.conweb.webserver import ConWebServer, WebPage
+from repro.apps.conweb.server import ConWebServerApp
+from repro.apps.conweb.mobile import ConWebBrowser
+
+__all__ = ["ConWebBrowser", "ConWebServer", "ConWebServerApp", "WebPage"]

@@ -1,0 +1,115 @@
+"""ConWeb — mobile side: the browser plus its background service.
+
+The browser opens pages through the simulated Web server; a background
+service (``ConWebService`` in §6.2) keeps SenSocial streams of the
+user's context flowing to the server while the browser runs, and the
+page auto-refreshes every ``T`` seconds so the displayed version tracks
+the user's momentary context.  Killing the browser destroys the
+streams, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.conweb.webserver import WebPage
+from repro.core.common.modality import ModalityType
+from repro.core.mobile.manager import MobileSenSocialManager
+from repro.simkit.scheduler import PeriodicTask
+
+PageListener = Callable[[WebPage], None]
+
+#: Default auto-refresh period T (user-configurable, §6.2).
+DEFAULT_REFRESH_PERIOD_S = 60.0
+
+
+class ConWebBrowser:
+    """A context-aware browser backed by SenSocial streams."""
+
+    def __init__(self, manager: MobileSenSocialManager,
+                 web_server_address: str = "conweb-server",
+                 refresh_period_s: float = DEFAULT_REFRESH_PERIOD_S):
+        self._manager = manager
+        self._web_address = web_server_address
+        self.refresh_period_s = refresh_period_s
+        self.current_page: WebPage | None = None
+        self.current_url: str | None = None
+        self.pages_loaded = 0
+        self._page_listeners: list[PageListener] = []
+        self._refresh_task: PeriodicTask | None = None
+        self._streams = []
+        self._running = False
+        manager.phone.on_protocol("web-response", self._on_response)
+
+    # -- browser UI surface -------------------------------------------------
+
+    def start(self) -> "ConWebBrowser":
+        """Launch the browser: context streams begin flowing."""
+        if self._running:
+            return self
+        self._running = True
+        device = self._manager.get_user(self._manager.get_user_id()).get_device()
+        self._streams = [
+            device.get_stream(ModalityType.ACCELEROMETER, "classified",
+                              send_to_server=True),
+            device.get_stream(ModalityType.MICROPHONE, "classified",
+                              send_to_server=True),
+            device.get_stream(ModalityType.LOCATION, "classified",
+                              send_to_server=True),
+        ]
+        return self
+
+    def open(self, url: str) -> None:
+        """Request ``url``; the adapted page arrives asynchronously."""
+        if not self._running:
+            raise RuntimeError("browser is not running; call start() first")
+        self.current_url = url
+        self._request()
+        if self._refresh_task is None and self.refresh_period_s > 0:
+            self._refresh_task = self._manager.world.scheduler.every(
+                self.refresh_period_s, self._refresh,
+                delay=self.refresh_period_s)
+
+    def on_page(self, listener: PageListener) -> None:
+        self._page_listeners.append(listener)
+
+    def stop(self) -> None:
+        """Kill the browser: streams are torn down (§6.2)."""
+        self._running = False
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            self._refresh_task = None
+        for stream in self._streams:
+            stream.destroy()
+        self._streams = []
+
+    # -- internals ----------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        if self._running and self.current_url is not None:
+            self._request()
+
+    def _request(self) -> None:
+        # The URL carries the user identifier, as in §6.2 ("URL holds
+        # the user ID"), so the server can join it with stored context.
+        self._manager.phone.send(self._web_address, "web-request", {
+            "user_id": self._manager.get_user_id(),
+            "url": self.current_url,
+        })
+
+    def _on_response(self, payload: dict, message) -> None:
+        if not self._running:
+            return
+        self.pages_loaded += 1
+        self.current_page = WebPage(
+            url=payload["url"],
+            user_id=payload["user_id"],
+            generated_at=payload["generated_at"],
+            layout=payload["layout"],
+            contrast=payload["contrast"],
+            headline=payload["headline"],
+            suggestions=list(payload["suggestions"]),
+            context_used=dict(payload["context_used"]),
+        )
+        for listener in list(self._page_listeners):
+            listener(self.current_page)

@@ -1,0 +1,83 @@
+"""ConWeb — SenSocial server application.
+
+"The SenSocial server component directs the incoming data streams to
+the database where it overwrites the latest context information of the
+relevant user" (§6.2): this app consumes stream records and OSN actions
+and keeps the Web server's per-user context snapshot fresh.
+"""
+
+from __future__ import annotations
+
+from repro.apps.conweb.webserver import ConWebServer
+from repro.core.common.granularity import Granularity
+from repro.core.common.modality import CLASSIFIED_FOR, ModalityType
+from repro.core.common.records import StreamRecord
+from repro.core.server.manager import ServerSenSocialManager
+from repro.osn.actions import OsnAction
+
+_VIRTUAL_OF_SENSOR = {sensor: virtual for virtual, sensor in CLASSIFIED_FOR.items()}
+
+
+#: Context keys the browser can ask for, and the stream behind each.
+_MODALITY_FOR_KEY = {
+    "physical_activity": ModalityType.ACCELEROMETER,
+    "audio_environment": ModalityType.MICROPHONE,
+    "place": ModalityType.LOCATION,
+}
+
+
+class ConWebServerApp:
+    """Bridges SenSocial streams into the Web server's context store."""
+
+    def __init__(self, server: ServerSenSocialManager, web: ConWebServer):
+        self._server = server
+        self._web = web
+        self.records_processed = 0
+        self.actions_processed = 0
+        #: Server-managed context streams per user (remote management).
+        self._managed: dict[str, dict[str, object]] = {}
+        server.register_listener(self._on_record)
+        server.add_action_listener(self._on_action)
+
+    def configure_user_context(self, user_id: str,
+                               context_keys: list[str]) -> list[str]:
+        """Choose which context drives the user's pages (§6.2).
+
+        "ConWeb can be dynamically configured to present Web pages
+        based on the context chosen by the user.  In such a case,
+        ConWeb's server application leverages SenSocial's remote stream
+        management to dynamically destroy the current SenSocial streams
+        and then subscribe to the streams of relevant context data."
+        Returns the keys now active.
+        """
+        unknown = set(context_keys) - set(_MODALITY_FOR_KEY)
+        if unknown:
+            raise ValueError(f"unknown context keys: {sorted(unknown)}; "
+                             f"choose from {sorted(_MODALITY_FOR_KEY)}")
+        managed = self._managed.setdefault(user_id, {})
+        for key in list(managed):
+            if key not in context_keys:
+                managed.pop(key).destroy()
+        for key in context_keys:
+            if key not in managed:
+                managed[key] = self._server.create_stream(
+                    user_id, _MODALITY_FOR_KEY[key], Granularity.CLASSIFIED)
+        return sorted(managed)
+
+    def _on_record(self, record: StreamRecord) -> None:
+        self.records_processed += 1
+        if record.granularity is Granularity.CLASSIFIED:
+            virtual = _VIRTUAL_OF_SENSOR.get(record.modality)
+            key = virtual.value if virtual is not None else record.modality.value
+            self._web.update_context(record.user_id, key, record.value)
+        elif record.modality is ModalityType.LOCATION and \
+                isinstance(record.value, dict):
+            self._web.update_context(record.user_id, "position",
+                                     [record.value["lon"], record.value["lat"]])
+
+    def _on_action(self, action: OsnAction) -> None:
+        self.actions_processed += 1
+        if action.content:
+            self._web.update_context(action.user_id, "last_post", action.content)
+        self._web.update_context(action.user_id, "last_action_type",
+                                 action.type.value)

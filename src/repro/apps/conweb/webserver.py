@@ -1,0 +1,117 @@
+"""The ConWeb Web server: context-adapted page generation.
+
+A stand-in for the paper's "Web server to host Web pages": it renders
+pages whose layout, contrast and content react to the user's latest
+context ("displaying higher contrast colors when it is sunny and a user
+is outside ... showing gift suggestions to a user who is about to
+attend a birthday, as indicated by information automatically retrieved
+from OSNs", §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.osn.content import TOPICS
+from repro.osn.sentiment import SentimentAnalyzer
+from repro.simkit.world import World
+
+
+@dataclass
+class WebPage:
+    """One rendered, context-adapted page."""
+
+    url: str
+    user_id: str
+    generated_at: float
+    layout: str = "full"            # full | compact
+    contrast: str = "normal"        # normal | high
+    headline: str = ""
+    suggestions: list[str] = field(default_factory=list)
+    context_used: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "user_id": self.user_id,
+            "generated_at": self.generated_at,
+            "layout": self.layout,
+            "contrast": self.contrast,
+            "headline": self.headline,
+            "suggestions": list(self.suggestions),
+            "context_used": dict(self.context_used),
+        }
+
+
+class ConWebServer(Endpoint):
+    """Serves pages adapted to per-user context snapshots."""
+
+    def __init__(self, world: World, network: Network,
+                 address: str = "conweb-server"):
+        self._world = world
+        self._network = network
+        self.address = network.register(address, self)
+        #: user_id -> latest context snapshot, maintained by the
+        #: ConWeb SenSocial server application.
+        self._context: dict[str, dict[str, Any]] = {}
+        self._sentiment = SentimentAnalyzer()
+        self.requests_served = 0
+
+    # -- context intake (from the SenSocial server app) ----------------------
+
+    def update_context(self, user_id: str, key: str, value: Any) -> None:
+        self._context.setdefault(user_id, {})[key] = value
+
+    def context_of(self, user_id: str) -> dict[str, Any]:
+        return dict(self._context.get(user_id, {}))
+
+    # -- page generation ---------------------------------------------------------
+
+    def render(self, user_id: str, url: str) -> WebPage:
+        """Generate the context-aware version of ``url`` for the user."""
+        context = self._context.get(user_id, {})
+        self.requests_served += 1
+        page = WebPage(url=url, user_id=user_id,
+                       generated_at=self._world.now,
+                       context_used=dict(context))
+        activity = context.get("physical_activity")
+        if activity in ("walking", "running"):
+            # On the move: compact layout, big targets.
+            page.layout = "compact"
+        if context.get("audio_environment") == "not_silent" or \
+                activity in ("walking", "running"):
+            page.contrast = "high"
+        place = context.get("place")
+        page.headline = (f"{url} — near you in {place}" if place
+                         else f"{url} — your page")
+        last_post = context.get("last_post", "")
+        if last_post:
+            page.suggestions = self._suggest_from_post(last_post)
+        return page
+
+    def _suggest_from_post(self, post: str) -> list[str]:
+        """Mine the last OSN post for topic + mood-aware suggestions."""
+        post_lower = post.lower()
+        suggestions = []
+        for topic, nouns in sorted(TOPICS.items()):
+            if topic in post_lower or any(noun in post_lower for noun in nouns):
+                suggestions.append(f"more {topic} for you")
+        label = self._sentiment.label(post).value
+        if label == "negative":
+            suggestions.append("something to cheer you up")
+        elif label == "positive":
+            suggestions.append("share the good mood")
+        return suggestions
+
+    # -- HTTP-ish transport ---------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        if message.headers.get("protocol") != "web-request":
+            return
+        request = message.payload
+        page = self.render(request["user_id"], request["url"])
+        self._network.send(self.address, message.src, page.to_dict(),
+                           headers={"protocol": "web-response"})

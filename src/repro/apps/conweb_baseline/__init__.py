@@ -1,0 +1,14 @@
+"""ConWeb built *without* SenSocial (Table 5 baseline).
+
+Functionally equivalent to :mod:`repro.apps.conweb`, but the continuous
+context pipeline — duty-cycled sampling, classification, upload
+framing, lifecycle tied to the browser, server-side context intake —
+is re-implemented inside the application.
+"""
+
+from repro.apps.conweb_baseline.mobile.browser import BaselineConWebBrowser
+from repro.apps.conweb_baseline.server.context_receiver import (
+    BaselineContextReceiver,
+)
+
+__all__ = ["BaselineConWebBrowser", "BaselineContextReceiver"]

@@ -1,0 +1,1 @@
+"""Mobile half of the no-middleware ConWeb."""

@@ -1,0 +1,96 @@
+"""The baseline ConWeb browser.
+
+Same UI surface as :class:`repro.apps.conweb.mobile.ConWebBrowser`, but
+wired to the hand-rolled context service instead of SenSocial streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.conweb.webserver import WebPage
+from repro.apps.conweb_baseline.mobile.context_service import (
+    BaselineContextService,
+)
+from repro.device.mobility import CityRegistry
+from repro.device.phone import Smartphone
+from repro.simkit.scheduler import PeriodicTask
+from repro.simkit.world import World
+
+PageListener = Callable[[WebPage], None]
+
+
+class BaselineConWebBrowser:
+    """Context-aware browsing without the middleware."""
+
+    def __init__(self, world: World, phone: Smartphone,
+                 web_server_address: str = "conweb-server",
+                 context_server_address: str = "bcw-server",
+                 refresh_period_s: float = 60.0,
+                 cities: CityRegistry | None = None):
+        self._world = world
+        self._phone = phone
+        self._web_address = web_server_address
+        self.refresh_period_s = refresh_period_s
+        self.context_service = BaselineContextService(
+            world, phone, context_server_address, cities)
+        self.current_page: WebPage | None = None
+        self.current_url: str | None = None
+        self.pages_loaded = 0
+        self._listeners: list[PageListener] = []
+        self._refresh_task: PeriodicTask | None = None
+        self._running = False
+        phone.on_protocol("web-response", self._on_response)
+
+    def start(self) -> "BaselineConWebBrowser":
+        if not self._running:
+            self._running = True
+            self.context_service.start()
+        return self
+
+    def open(self, url: str) -> None:
+        if not self._running:
+            raise RuntimeError("browser is not running; call start() first")
+        self.current_url = url
+        self._request()
+        if self._refresh_task is None and self.refresh_period_s > 0:
+            self._refresh_task = self._world.scheduler.every(
+                self.refresh_period_s, self._refresh,
+                delay=self.refresh_period_s)
+
+    def on_page(self, listener: PageListener) -> None:
+        self._listeners.append(listener)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            self._refresh_task = None
+        self.context_service.stop()
+
+    def _refresh(self) -> None:
+        if self._running and self.current_url is not None:
+            self._request()
+
+    def _request(self) -> None:
+        self._phone.send(self._web_address, "web-request", {
+            "user_id": self._phone.user_id,
+            "url": self.current_url,
+        })
+
+    def _on_response(self, payload: dict, message) -> None:
+        if not self._running:
+            return
+        self.pages_loaded += 1
+        self.current_page = WebPage(
+            url=payload["url"],
+            user_id=payload["user_id"],
+            generated_at=payload["generated_at"],
+            layout=payload["layout"],
+            contrast=payload["contrast"],
+            headline=payload["headline"],
+            suggestions=list(payload["suggestions"]),
+            context_used=dict(payload["context_used"]),
+        )
+        for listener in list(self._listeners):
+            listener(self.current_page)

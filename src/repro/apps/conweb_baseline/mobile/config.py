@@ -1,0 +1,97 @@
+"""Application configuration handling for baseline ConWeb.
+
+SenSocial apps pass a settings object to the middleware and are done;
+a stand-alone app must define its own configuration schema, defaults,
+validation and (de)serialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+SUPPORTED_MODALITIES = ("accelerometer", "microphone", "location")
+
+DEFAULT_PERIODS_S = {
+    "accelerometer": 60.0,
+    "microphone": 60.0,
+    "location": 60.0,
+}
+
+
+class ConfigError(Exception):
+    """Raised for invalid application configuration."""
+
+
+@dataclass
+class UploadPolicy:
+    """Retry behaviour of the context uploader."""
+
+    ack_timeout_s: float = 8.0
+    max_retries: int = 4
+    backoff_factor: float = 2.0
+    max_pending: int = 200
+
+    def validate(self) -> None:
+        if self.ack_timeout_s <= 0:
+            raise ConfigError(f"ack_timeout_s must be > 0, got {self.ack_timeout_s}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_pending <= 0:
+            raise ConfigError(f"max_pending must be > 0, got {self.max_pending}")
+
+
+@dataclass
+class ConWebConfig:
+    """Everything the baseline ConWeb app can be configured with."""
+
+    modalities: tuple[str, ...] = SUPPORTED_MODALITIES
+    periods_s: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_PERIODS_S))
+    context_server_address: str = "bcw-server"
+    web_server_address: str = "conweb-server"
+    refresh_period_s: float = 60.0
+    upload: UploadPolicy = field(default_factory=UploadPolicy)
+
+    def validate(self) -> "ConWebConfig":
+        for modality in self.modalities:
+            if modality not in SUPPORTED_MODALITIES:
+                raise ConfigError(
+                    f"unsupported modality {modality!r}; supported: "
+                    f"{SUPPORTED_MODALITIES}")
+            period = self.periods_s.get(modality)
+            if period is None:
+                raise ConfigError(f"no sampling period for {modality!r}")
+            if period <= 0:
+                raise ConfigError(
+                    f"period for {modality!r} must be > 0, got {period}")
+        if self.refresh_period_s < 0:
+            raise ConfigError(
+                f"refresh_period_s must be >= 0, got {self.refresh_period_s}")
+        self.upload.validate()
+        return self
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "ConWebConfig":
+        """Parse a configuration dict, applying defaults."""
+        known = {"modalities", "periods_s", "context_server_address",
+                 "web_server_address", "refresh_period_s", "upload"}
+        unknown = set(document) - known
+        if unknown:
+            raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")
+        upload_document = document.get("upload", {})
+        config = cls(
+            modalities=tuple(document.get("modalities", SUPPORTED_MODALITIES)),
+            periods_s={**DEFAULT_PERIODS_S,
+                       **document.get("periods_s", {})},
+            context_server_address=document.get("context_server_address",
+                                                "bcw-server"),
+            web_server_address=document.get("web_server_address",
+                                            "conweb-server"),
+            refresh_period_s=float(document.get("refresh_period_s", 60.0)),
+            upload=UploadPolicy(**upload_document),
+        )
+        return config.validate()

@@ -1,0 +1,69 @@
+"""Connectivity tracking for baseline ConWeb.
+
+Decides whether the app believes the context server is reachable,
+based on recent ack traffic — so the UI can show an offline badge and
+the upload queue's behaviour can be reasoned about.  The middleware's
+MQTT session tracks this implicitly; a stand-alone app must not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simkit.scheduler import PeriodicTask
+from repro.simkit.world import World
+
+StateListener = Callable[[bool], None]
+
+
+class ConnectivityMonitor:
+    """Online/offline estimation from ack recency."""
+
+    CHECK_PERIOD_S = 10.0
+
+    def __init__(self, world: World, offline_after_s: float = 30.0):
+        self._world = world
+        self.offline_after_s = offline_after_s
+        self._last_ack: float | None = None
+        self._online = True  # optimistic until proven otherwise
+        self._listeners: list[StateListener] = []
+        self._task: PeriodicTask | None = None
+        self.transitions = 0
+
+    @property
+    def online(self) -> bool:
+        return self._online
+
+    def start(self) -> "ConnectivityMonitor":
+        if self._task is None:
+            self._task = self._world.scheduler.every(
+                self.CHECK_PERIOD_S, self._check,
+                delay=self.CHECK_PERIOD_S)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def on_change(self, listener: StateListener) -> None:
+        self._listeners.append(listener)
+
+    def note_ack(self) -> None:
+        """Call on every server ack; may flip the state to online."""
+        self._last_ack = self._world.now
+        self._set_online(True)
+
+    def _check(self) -> None:
+        if self._last_ack is None:
+            return  # nothing sent yet; stay optimistic
+        silent_for = self._world.now - self._last_ack
+        self._set_online(silent_for < self.offline_after_s)
+
+    def _set_online(self, online: bool) -> None:
+        if online == self._online:
+            return
+        self._online = online
+        self.transitions += 1
+        for listener in list(self._listeners):
+            listener(online)

@@ -1,0 +1,145 @@
+"""Hand-rolled continuous context pipeline for baseline ConWeb.
+
+Re-implements what three SenSocial ``get_stream`` calls provide: a
+configuration layer, per-modality duty-cycled sampling loops built on
+the sensing library's one-off primitive, classifier instantiation and
+dispatch, a reliable (ack + retry) upload queue, connectivity tracking,
+and diagnostics — all torn down cleanly when the browser dies.
+"""
+
+from __future__ import annotations
+
+from repro.apps.conweb_baseline.mobile.config import ConWebConfig
+from repro.apps.conweb_baseline.mobile.connectivity import ConnectivityMonitor
+from repro.apps.conweb_baseline.mobile.diagnostics import Diagnostics
+from repro.apps.conweb_baseline.mobile.duty_cycler import DutyCycler
+from repro.apps.conweb_baseline.mobile.upload_queue import (
+    ACK_PROTOCOL,
+    CONTEXT_PROTOCOL,
+    UploadQueue,
+)
+from repro.classify.activity import ActivityClassifier
+from repro.classify.audio import AudioClassifier
+from repro.classify.location import LocationClassifier
+from repro.device.mobility import CityRegistry
+from repro.device.phone import Smartphone
+from repro.device.sensors.base import SensorReading
+from repro.sensing.manager import ESSensorManager
+from repro.simkit.world import World
+
+__all__ = ["ACK_PROTOCOL", "CONTEXT_PROTOCOL", "BaselineContextService"]
+
+#: Wire sizes for classified context updates, bytes.
+_UPDATE_BYTES = {"accelerometer": 30, "microphone": 24, "location": 38}
+
+#: The context key each modality's classification feeds.
+_CONTEXT_KEYS = {
+    "accelerometer": "physical_activity",
+    "microphone": "audio_environment",
+    "location": "place",
+}
+
+
+class BaselineContextService:
+    """Samples, classifies and reliably uploads the browser's context."""
+
+    def __init__(self, world: World, phone: Smartphone,
+                 server_address: str, cities: CityRegistry | None = None,
+                 config: ConWebConfig | None = None):
+        self._world = world
+        self._phone = phone
+        self.config = (config if config is not None
+                       else ConWebConfig(context_server_address=server_address)
+                       ).validate()
+        self.server_address = server_address
+        self._sensing = ESSensorManager.get_for(world, phone)
+        cities = cities if cities is not None else CityRegistry.europe()
+        self._classifiers = {
+            "accelerometer": ActivityClassifier(phone.battery, phone.cpu),
+            "microphone": AudioClassifier(phone.battery, phone.cpu),
+            "location": LocationClassifier(cities, phone.battery, phone.cpu),
+        }
+        self.diagnostics = Diagnostics(world)
+        self.uploads = UploadQueue(world, phone, server_address,
+                                   self.config.upload)
+        self.connectivity = ConnectivityMonitor(world)
+        self._cycler = DutyCycler(world, self._sensing, self._on_reading)
+        self.running = False
+        # Acks feed both the queue (via phone protocol dispatch, wired
+        # inside UploadQueue) and the connectivity estimate.
+        self._acks_seen = 0
+        self._wrap_ack_handler()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.connectivity.start()
+        for modality in self.config.modalities:
+            self._cycler.add_modality(modality,
+                                      self.config.periods_s[modality])
+        self.diagnostics.log("info", "service-start",
+                             ",".join(self.config.modalities))
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self._cycler.stop()
+        self.connectivity.stop()
+        self.uploads.shutdown()
+        self.diagnostics.log("info", "service-stop")
+
+    # -- status used by the browser UI ----------------------------------------
+
+    @property
+    def updates_sent(self) -> int:
+        return self.uploads.updates_enqueued
+
+    @property
+    def updates_failed(self) -> int:
+        return self.uploads.updates_dropped + self.uploads.updates_abandoned
+
+    def status(self) -> dict:
+        return {
+            "running": self.running,
+            "online": self.connectivity.online,
+            "pending_uploads": self.uploads.pending_count(),
+            "diagnostics": self.diagnostics.snapshot(),
+        }
+
+    # -- pipeline ----------------------------------------------------------------
+
+    def _on_reading(self, reading: SensorReading) -> None:
+        if not self.running:
+            return
+        classifier = self._classifiers.get(reading.modality)
+        if classifier is None:
+            self.diagnostics.log("warn", "unknown-modality", reading.modality)
+            return
+        classified = classifier.classify(reading)
+        self.diagnostics.count(f"classified.{reading.modality}")
+        update = {
+            "user_id": self._phone.user_id,
+            "key": _CONTEXT_KEYS[reading.modality],
+            "value": classified.label,
+            "timestamp": reading.timestamp,
+        }
+        accepted = self.uploads.enqueue(update, _UPDATE_BYTES[reading.modality])
+        if not accepted:
+            self.diagnostics.count("uploads.dropped")
+            self.diagnostics.log("warn", "upload-buffer-full",
+                                 reading.modality)
+
+    def _wrap_ack_handler(self) -> None:
+        """Chain the connectivity monitor onto the queue's ack handler."""
+        queue_handler = self.uploads._on_ack
+
+        def handler(payload, message):
+            self._acks_seen += 1
+            self.connectivity.note_ack()
+            queue_handler(payload, message)
+
+        self._phone.on_protocol(ACK_PROTOCOL, handler)

@@ -1,0 +1,55 @@
+"""Diagnostics for baseline ConWeb: counters and a bounded event log.
+
+Operational visibility the middleware ships with for free (stream
+state, delivery counters) has to be rebuilt by a stand-alone app.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.simkit.world import World
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    time: float
+    level: str
+    event: str
+    detail: str
+
+
+class Diagnostics:
+    """Counter registry plus a ring-buffer event log."""
+
+    LEVELS = ("debug", "info", "warn", "error")
+
+    def __init__(self, world: World, log_capacity: int = 200):
+        self._world = world
+        self._counters: dict[str, int] = {}
+        self._log: deque[LogEntry] = deque(maxlen=log_capacity)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def log(self, level: str, event: str, detail: str = "") -> None:
+        if level not in self.LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self._log.append(LogEntry(self._world.now, level, event, detail))
+
+    def recent(self, level: str | None = None, limit: int = 20) -> list[LogEntry]:
+        entries = [entry for entry in self._log
+                   if level is None or entry.level == level]
+        return entries[-limit:]
+
+    def snapshot(self) -> dict:
+        """One dict for a support bundle / status page."""
+        return {
+            "time": self._world.now,
+            "counters": dict(sorted(self._counters.items())),
+            "errors": [entry.event for entry in self.recent("error")],
+        }

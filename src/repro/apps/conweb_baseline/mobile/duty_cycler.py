@@ -1,0 +1,86 @@
+"""Hand-rolled duty cycling for baseline ConWeb.
+
+SenSocial streams duty-cycle themselves; a stand-alone app that only
+has the sensing library's one-off primitive must schedule its own
+sampling loops — per-modality periods, staggered starts so sensors
+don't all fire in the same instant, pause/resume, and reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.device.sensors.base import SensorReading
+from repro.sensing.manager import ESSensorManager
+from repro.simkit.scheduler import PeriodicTask
+from repro.simkit.world import World
+
+ReadingCallback = Callable[[SensorReading], None]
+
+#: Stagger between the start of consecutive modality loops, so a
+#: three-modality app doesn't slam every sensor at once.
+_STAGGER_S = 2.0
+
+
+@dataclass
+class _Loop:
+    modality: str
+    period_s: float
+    task: PeriodicTask
+    cycles: int = 0
+
+
+class DutyCycler:
+    """Periodic one-off sensing loops, one per modality."""
+
+    def __init__(self, world: World, sensing: ESSensorManager,
+                 callback: ReadingCallback):
+        self._world = world
+        self._sensing = sensing
+        self._callback = callback
+        self._loops: dict[str, _Loop] = {}
+        self._paused = False
+
+    def add_modality(self, modality: str, period_s: float) -> None:
+        """Start (or re-period) the sampling loop for ``modality``."""
+        if period_s <= 0:
+            raise ValueError(f"period must be > 0, got {period_s}")
+        existing = self._loops.pop(modality, None)
+        if existing is not None:
+            existing.task.cancel()
+        stagger = len(self._loops) * _STAGGER_S
+        task = self._world.scheduler.every(
+            period_s, self._cycle, modality, delay=stagger + 1.0)
+        self._loops[modality] = _Loop(modality, period_s, task)
+
+    def remove_modality(self, modality: str) -> None:
+        loop = self._loops.pop(modality, None)
+        if loop is not None:
+            loop.task.cancel()
+
+    def pause(self) -> None:
+        """Loops keep ticking but skip sampling (cheap suspend)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    def stop(self) -> None:
+        for loop in self._loops.values():
+            loop.task.cancel()
+        self._loops.clear()
+
+    def modalities(self) -> list[str]:
+        return sorted(self._loops)
+
+    def cycles_of(self, modality: str) -> int:
+        loop = self._loops.get(modality)
+        return loop.cycles if loop is not None else 0
+
+    def _cycle(self, modality: str) -> None:
+        loop = self._loops.get(modality)
+        if loop is None or self._paused:
+            return
+        loop.cycles += 1
+        self._sensing.sense_once(modality, self._callback)

@@ -1,0 +1,118 @@
+"""Reliable context upload queue for baseline ConWeb.
+
+The middleware transmits stream records with MQTT QoS-1 semantics for
+free.  A stand-alone app has to build the equivalent itself: sequence
+numbers, an ack protocol with the server, retransmission timers with
+exponential backoff, a bounded pending buffer with drop policy, and
+give-up accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.apps.conweb_baseline.mobile.config import UploadPolicy
+from repro.device.phone import Smartphone
+from repro.net.errors import UnknownEndpointError
+from repro.simkit.scheduler import EventHandle
+from repro.simkit.world import World
+
+CONTEXT_PROTOCOL = "bcw-context"
+ACK_PROTOCOL = "bcw-ack"
+
+_ENVELOPE_BYTES = 90
+
+
+@dataclass
+class _PendingUpload:
+    sequence: int
+    update: dict[str, Any]
+    wire_bytes: int
+    attempts: int = 0
+    timer: EventHandle | None = None
+
+
+class UploadQueue:
+    """At-least-once delivery of context updates to the app server."""
+
+    def __init__(self, world: World, phone: Smartphone,
+                 server_address: str, policy: UploadPolicy):
+        self._world = world
+        self._phone = phone
+        self.server_address = server_address
+        self.policy = policy
+        self._next_sequence = 1
+        self._pending: dict[int, _PendingUpload] = {}
+        self.updates_enqueued = 0
+        self.updates_acked = 0
+        self.updates_dropped = 0
+        self.updates_abandoned = 0
+        self.retransmissions = 0
+        phone.on_protocol(ACK_PROTOCOL, self._on_ack)
+
+    # -- producer side ----------------------------------------------------
+
+    def enqueue(self, update: dict[str, Any], wire_bytes: int) -> bool:
+        """Queue one update; returns False when the buffer is full."""
+        if len(self._pending) >= self.policy.max_pending:
+            self.updates_dropped += 1
+            return False
+        pending = _PendingUpload(
+            sequence=self._next_sequence,
+            update=dict(update),
+            wire_bytes=wire_bytes,
+        )
+        self._next_sequence += 1
+        self._pending[pending.sequence] = pending
+        self.updates_enqueued += 1
+        self._transmit(pending)
+        return True
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def shutdown(self) -> None:
+        """Cancel every retransmission timer; pending data is dropped."""
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+
+    # -- wire protocol -------------------------------------------------------
+
+    def _transmit(self, pending: _PendingUpload) -> None:
+        pending.attempts += 1
+        envelope = {
+            "seq": pending.sequence,
+            "device_id": self._phone.device_id,
+            "update": pending.update,
+        }
+        try:
+            self._phone.send(self.server_address, CONTEXT_PROTOCOL, envelope,
+                             size=pending.wire_bytes + _ENVELOPE_BYTES)
+        except UnknownEndpointError:
+            pass  # server unreachable: the timer below drives the retry
+        timeout = (self.policy.ack_timeout_s
+                   * self.policy.backoff_factor ** (pending.attempts - 1))
+        pending.timer = self._world.scheduler.schedule(
+            timeout, self._on_timeout, pending.sequence)
+
+    def _on_timeout(self, sequence: int) -> None:
+        pending = self._pending.get(sequence)
+        if pending is None:
+            return
+        if pending.attempts > self.policy.max_retries:
+            del self._pending[sequence]
+            self.updates_abandoned += 1
+            return
+        self.retransmissions += 1
+        self._transmit(pending)
+
+    def _on_ack(self, payload: dict, message) -> None:
+        pending = self._pending.pop(payload.get("seq"), None)
+        if pending is None:
+            return  # duplicate or late ack
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.updates_acked += 1

@@ -1,0 +1,84 @@
+"""Hand-rolled context intake for baseline ConWeb.
+
+Receives the application's own context-update envelopes, de-duplicates
+retransmissions by sequence number, acknowledges each envelope back to
+the sending device, drops stale out-of-order updates, and forwards
+fresh ones to the Web server's per-user context store — the job
+:class:`repro.apps.conweb.server.ConWebServerApp` delegates to the
+middleware's record listener and MQTT QoS.
+"""
+
+from __future__ import annotations
+
+from repro.apps.conweb.webserver import ConWebServer
+from repro.apps.conweb_baseline.mobile.upload_queue import (
+    ACK_PROTOCOL,
+    CONTEXT_PROTOCOL,
+)
+from repro.net.errors import UnknownEndpointError
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.simkit.world import World
+
+#: Remember this many recent sequence numbers per device for dedup.
+_DEDUP_WINDOW = 512
+
+
+class BaselineContextReceiver(Endpoint):
+    """Endpoint collecting context updates for the Web server."""
+
+    def __init__(self, world: World, network: Network, web: ConWebServer,
+                 address: str = "bcw-server"):
+        self._world = world
+        self._network = network
+        self._web = web
+        self.address = network.register(address, self)
+        self.updates_received = 0
+        self.duplicates_ignored = 0
+        self.malformed_updates = 0
+        self.acks_sent = 0
+        #: Last applied timestamp per (user, key): stale updates that
+        #: arrive out of order must not overwrite fresher context.
+        self._latest: dict[tuple[str, str], float] = {}
+        #: Recently seen sequence numbers per device, for retransmit
+        #: de-duplication (the queue delivers at-least-once).
+        self._seen: dict[str, set[int]] = {}
+
+    def deliver(self, message: Message) -> None:
+        if message.headers.get("protocol") != CONTEXT_PROTOCOL:
+            return
+        envelope = message.payload
+        if not isinstance(envelope, dict) or not {
+                "seq", "device_id", "update"} <= set(envelope):
+            self.malformed_updates += 1
+            return
+        update = envelope["update"]
+        if not isinstance(update, dict) or not {
+                "user_id", "key", "value", "timestamp"} <= set(update):
+            self.malformed_updates += 1
+            return
+        # Always ack — even duplicates — so the sender stops retrying.
+        self._ack(message.src, envelope["seq"])
+        seen = self._seen.setdefault(envelope["device_id"], set())
+        if envelope["seq"] in seen:
+            self.duplicates_ignored += 1
+            return
+        seen.add(envelope["seq"])
+        if len(seen) > _DEDUP_WINDOW:
+            seen.discard(min(seen))
+        key = (update["user_id"], update["key"])
+        if update["timestamp"] < self._latest.get(key, -1.0):
+            return  # out-of-order stale update
+        self._latest[key] = update["timestamp"]
+        self.updates_received += 1
+        self._web.update_context(update["user_id"], update["key"],
+                                 update["value"])
+
+    def _ack(self, device_address: str, sequence: int) -> None:
+        try:
+            self._network.send(self.address, device_address,
+                               {"seq": sequence},
+                               headers={"protocol": ACK_PROTOCOL})
+        except UnknownEndpointError:
+            return  # device vanished; its retries will give up
+        self.acks_sent += 1

@@ -1,0 +1,11 @@
+"""Facebook Sensor Map, built *with* SenSocial (§6.1).
+
+Displays a user's (and their circle's) Facebook activity on a map,
+each marker coupling the OSN action with the physical context sampled
+as the action was made.
+"""
+
+from repro.apps.sensor_map.mobile import FacebookSensorMapService
+from repro.apps.sensor_map.server import FacebookSensorMapServer, MapMarker
+
+__all__ = ["FacebookSensorMapService", "FacebookSensorMapServer", "MapMarker"]

@@ -1,0 +1,63 @@
+"""Facebook Sensor Map — mobile side (the Figure 7 code, in Python).
+
+A long-running background service that subscribes to streams of
+classified accelerometer, classified microphone and raw location data,
+each filtered on the user's Facebook activity, and keeps the resulting
+(context, action) markers in a local store for the on-phone map view.
+"""
+
+from __future__ import annotations
+
+from repro.core.common.conditions import Condition, Operator
+from repro.core.common.filters import Filter
+from repro.core.common.modality import ModalityType, ModalityValue
+from repro.core.common.records import StreamRecord
+from repro.core.mobile.manager import MobileSenSocialManager
+from repro.docstore import DocumentStore
+
+
+class FacebookSensorMapService:
+    """The ``FacebookSensorMapService`` background service of §6.1."""
+
+    def __init__(self, manager: MobileSenSocialManager):
+        self._manager = manager
+        #: Local SQLite stand-in holding the markers shown on the map.
+        self.local_store = DocumentStore("sensor-map-local")
+        self.markers = self.local_store["markers"]
+
+        # --- the Figure 7 snippet, line for line -----------------------
+        uid = manager.get_user_id()
+        user = manager.get_user(uid)
+        device = user.get_device()
+        s1 = device.get_stream(ModalityType.ACCELEROMETER, "classified",
+                               send_to_server=True)
+        s2 = device.get_stream(ModalityType.MICROPHONE, "classified",
+                               send_to_server=True)
+        s3 = device.get_stream(ModalityType.LOCATION, "raw",
+                               send_to_server=True)
+        conditions = [Condition(ModalityType.FACEBOOK_ACTIVITY,
+                                Operator.EQUALS, ModalityValue.ACTIVE)]
+        stream_filter = Filter(conditions)
+        s1 = s1.set_filter(stream_filter)
+        s2 = s2.set_filter(stream_filter)
+        s3 = s3.set_filter(stream_filter)
+        # ----------------------------------------------------------------
+
+        self.streams = [s1, s2, s3]
+        for stream in self.streams:
+            stream.register_listener(self._on_record)
+
+    def _on_record(self, record: StreamRecord) -> None:
+        """Store the coupled (context, action) sample locally."""
+        self.markers.insert_one(record.to_dict())
+
+    def marker_count(self) -> int:
+        return len(self.markers)
+
+    def markers_for_action(self, action_id: int) -> list[dict]:
+        """Every modality sampled for one OSN action."""
+        return list(self.markers.find({"osn_action.action_id": action_id}))
+
+    def stop(self) -> None:
+        for stream in self.streams:
+            stream.destroy()

@@ -1,0 +1,93 @@
+"""Facebook Sensor Map — server side.
+
+Stores every incoming coupled record and joins the per-modality samples
+of one OSN action into a single map marker "allowing complex OSN and
+context-based multiuser querying" and real-time navigable maps (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.common.modality import ModalityType
+from repro.core.common.records import StreamRecord
+from repro.core.server.manager import ServerSenSocialManager
+
+
+@dataclass
+class MapMarker:
+    """One point on the map: an OSN action plus its physical context."""
+
+    user_id: str
+    action_id: int
+    action_type: str
+    content: str
+    timestamp: float
+    lon: float | None = None
+    lat: float | None = None
+    activity: str | None = None
+    audio: str | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def is_complete(self) -> bool:
+        """Has every Figure 7 modality arrived?"""
+        return (self.lon is not None and self.activity is not None
+                and self.audio is not None)
+
+
+class FacebookSensorMapServer:
+    """The server application behind the navigable maps."""
+
+    def __init__(self, server: ServerSenSocialManager):
+        self._server = server
+        self.markers_collection = server.database.store["map_markers"]
+        self._markers: dict[int, MapMarker] = {}
+        server.register_listener(self._on_record)
+
+    # -- queries the map UI runs ------------------------------------------
+
+    def markers(self, user_id: str | None = None) -> list[MapMarker]:
+        selected = [marker for marker in self._markers.values()
+                    if user_id is None or marker.user_id == user_id]
+        return sorted(selected, key=lambda marker: marker.timestamp)
+
+    def markers_of_circle(self, user_id: str) -> list[MapMarker]:
+        """Markers of the user and their OSN friends (the §6.1 map)."""
+        circle = set(self._server.database.friends_of(user_id)) | {user_id}
+        return [marker for marker in self.markers()
+                if marker.user_id in circle]
+
+    def complete_marker_count(self) -> int:
+        return sum(1 for marker in self._markers.values()
+                   if marker.is_complete())
+
+    # -- record intake ----------------------------------------------------------
+
+    def _on_record(self, record: StreamRecord) -> None:
+        if record.osn_action is None:
+            return
+        action = record.osn_action
+        marker = self._markers.get(action["action_id"])
+        if marker is None:
+            marker = MapMarker(
+                user_id=record.user_id,
+                action_id=action["action_id"],
+                action_type=action["type"],
+                content=action.get("content", ""),
+                timestamp=record.timestamp,
+            )
+            self._markers[action["action_id"]] = marker
+        if record.modality is ModalityType.LOCATION:
+            if isinstance(record.value, dict):
+                marker.lon = record.value.get("lon")
+                marker.lat = record.value.get("lat")
+            else:  # classified location: a place name
+                marker.extra["place"] = record.value
+        elif record.modality is ModalityType.ACCELEROMETER:
+            marker.activity = record.value
+        elif record.modality is ModalityType.MICROPHONE:
+            marker.audio = record.value
+        else:
+            marker.extra[record.modality.value] = record.value
+        self.markers_collection.insert_one(record.to_dict())

@@ -1,0 +1,17 @@
+"""Facebook Sensor Map built *without* SenSocial (Table 5 baseline).
+
+Functionally equivalent to :mod:`repro.apps.sensor_map`, but every
+piece of plumbing the middleware would provide — MQTT session
+management, device registration, trigger parsing, one-off sensor
+orchestration, classification wiring, upload framing, retry handling,
+server-side receiver, user registry, trigger compilation and marker
+joining — is re-implemented by hand inside the application, as the
+paper's authors did to quantify programming effort (§6.3).  Only the
+third-party sensing library (our ESSensorManager stand-in) is shared,
+"for a fair measure of programming efforts between the two versions".
+"""
+
+from repro.apps.sensor_map_baseline.mobile.service import BaselineSensorMapService
+from repro.apps.sensor_map_baseline.server.app import BaselineSensorMapServer
+
+__all__ = ["BaselineSensorMapService", "BaselineSensorMapServer"]

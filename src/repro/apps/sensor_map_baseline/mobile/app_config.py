@@ -1,0 +1,76 @@
+"""Configuration schema for the baseline Facebook Sensor Map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+DEFAULT_MODALITIES = ("accelerometer", "microphone", "location")
+
+
+class SensorMapConfigError(Exception):
+    """Raised for invalid sensor-map configuration."""
+
+
+@dataclass
+class RetryPolicy:
+    """Upload retry behaviour."""
+
+    ack_timeout_s: float = 10.0
+    max_retries: int = 3
+    backoff_factor: float = 2.0
+    max_pending: int = 100
+
+    def validate(self) -> None:
+        if self.ack_timeout_s <= 0:
+            raise SensorMapConfigError(
+                f"ack_timeout_s must be > 0, got {self.ack_timeout_s}")
+        if self.max_retries < 0:
+            raise SensorMapConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_factor < 1.0:
+            raise SensorMapConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_pending <= 0:
+            raise SensorMapConfigError(
+                f"max_pending must be > 0, got {self.max_pending}")
+
+
+@dataclass
+class SensorMapConfig:
+    """Everything the baseline sensor map can be configured with."""
+
+    modalities: tuple[str, ...] = DEFAULT_MODALITIES
+    server_address: str = "bsm-server"
+    broker_address: str = "mqtt-broker"
+    #: Triggers older than this are assumed replayed and dropped.
+    trigger_ttl_s: float = 600.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def validate(self) -> "SensorMapConfig":
+        if not self.modalities:
+            raise SensorMapConfigError("at least one modality is required")
+        if len(set(self.modalities)) != len(self.modalities):
+            raise SensorMapConfigError("modalities must be unique")
+        if self.trigger_ttl_s <= 0:
+            raise SensorMapConfigError(
+                f"trigger_ttl_s must be > 0, got {self.trigger_ttl_s}")
+        self.retry.validate()
+        return self
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "SensorMapConfig":
+        known = {"modalities", "server_address", "broker_address",
+                 "trigger_ttl_s", "retry"}
+        unknown = set(document) - known
+        if unknown:
+            raise SensorMapConfigError(
+                f"unknown configuration keys: {sorted(unknown)}")
+        config = cls(
+            modalities=tuple(document.get("modalities", DEFAULT_MODALITIES)),
+            server_address=document.get("server_address", "bsm-server"),
+            broker_address=document.get("broker_address", "mqtt-broker"),
+            trigger_ttl_s=float(document.get("trigger_ttl_s", 600.0)),
+            retry=RetryPolicy(**document.get("retry", {})),
+        )
+        return config.validate()

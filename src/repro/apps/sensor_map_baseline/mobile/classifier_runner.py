@@ -1,0 +1,37 @@
+"""Classifier wiring for the baseline app.
+
+SenSocial picks, instantiates and energy-accounts classifiers per
+stream; without it the application instantiates each classifier, maps
+modalities to them, and decides per modality whether the marker wants
+raw or classified data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.classify.activity import ActivityClassifier
+from repro.classify.audio import AudioClassifier
+from repro.device.phone import Smartphone
+from repro.device.sensors.base import SensorReading
+
+
+class BaselineClassifierRunner:
+    """Classifies accelerometer and microphone readings; location stays raw."""
+
+    def __init__(self, phone: Smartphone):
+        self._activity = ActivityClassifier(phone.battery, phone.cpu)
+        self._audio = AudioClassifier(phone.battery, phone.cpu)
+
+    def process(self, reading: SensorReading) -> tuple[str, Any, dict]:
+        """Return (granularity, value, details) for one reading."""
+        if reading.modality == "accelerometer":
+            classified = self._activity.classify(reading)
+            return "classified", classified.label, classified.details
+        if reading.modality == "microphone":
+            classified = self._audio.classify(reading)
+            return "classified", classified.label, classified.details
+        if reading.modality == "location":
+            return "raw", reading.raw, {}
+        raise ValueError(
+            f"sensor map does not handle modality {reading.modality!r}")

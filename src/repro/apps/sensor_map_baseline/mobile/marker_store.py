@@ -1,0 +1,28 @@
+"""Local marker persistence for the baseline app (SQLite stand-in)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.docstore import DocumentStore
+
+
+class BaselineMarkerStore:
+    """Stores and queries the on-phone copy of the map markers."""
+
+    def __init__(self):
+        self._store = DocumentStore("bsm-local")
+        self._markers = self._store["markers"]
+
+    def save_fragment(self, fragment: dict[str, Any]) -> None:
+        self._markers.insert_one(fragment)
+
+    def count(self) -> int:
+        return len(self._markers)
+
+    def fragments_for_action(self, action_id: int) -> list[dict]:
+        return list(self._markers.find({"action_id": action_id})
+                    .sort("modality"))
+
+    def recent(self, limit: int = 20) -> list[dict]:
+        return list(self._markers.find().sort("timestamp", -1).limit(limit))

@@ -1,0 +1,96 @@
+"""Hand-rolled MQTT session management for the baseline app.
+
+Everything the SenSocial MQTT service does for free has to be written
+here: connecting with a persistent session, registering the device with
+the server, subscribing to the device's trigger topic, tracking
+connection state, and re-announcing after reconnects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.device.phone import Smartphone
+from repro.mqtt.client import MqttClient
+from repro.net.network import Network
+from repro.simkit.world import World
+
+TriggerCallback = Callable[[str], None]
+
+#: Topic scheme this application invents for itself.  Registrations go
+#: to a per-device retained topic so a late-starting server still sees
+#: every device (the same lesson the middleware learned once).
+BASELINE_REGISTRATION_FILTER = "bsm/register/+"
+
+
+def baseline_registration_topic(device_id: str) -> str:
+    return f"bsm/register/{device_id}"
+
+
+def baseline_trigger_topic(device_id: str) -> str:
+    return f"bsm/device/{device_id}/trigger"
+
+
+class BaselineMqttHandler:
+    """Owns the app's MQTT connection and inbound trigger dispatch."""
+
+    def __init__(self, world: World, network: Network, phone: Smartphone,
+                 broker_address: str = "mqtt-broker"):
+        self._world = world
+        self._phone = phone
+        self._client = MqttClient(
+            world, network,
+            client_id=f"bsm-{phone.device_id}",
+            address=f"bsm-mqtt/{phone.device_id}",
+            broker_address=broker_address,
+            radio=phone.radio,
+        )
+        self._trigger_callbacks: list[TriggerCallback] = []
+        self._connected = False
+        self._registered = False
+        self.triggers_received = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    def connect(self) -> None:
+        """Connect and subscribe; idempotent."""
+        if self._connected:
+            return
+        self._client.connect(clean_session=False)
+        self._connected = True
+        self._client.subscribe(
+            baseline_trigger_topic(self._phone.device_id),
+            self._on_trigger_message)
+        self._announce_device()
+
+    def disconnect(self) -> None:
+        if not self._connected:
+            return
+        self._client.disconnect()
+        self._connected = False
+        self._registered = False
+
+    def on_trigger(self, callback: TriggerCallback) -> None:
+        self._trigger_callbacks.append(callback)
+
+    def _announce_device(self) -> None:
+        if self._registered:
+            return
+        payload = json.dumps({
+            "user_id": self._phone.user_id,
+            "device_id": self._phone.device_id,
+        })
+        self._client.publish(
+            baseline_registration_topic(self._phone.device_id), payload,
+            qos=1, retain=True, on_ack=self._on_registration_ack)
+
+    def _on_registration_ack(self) -> None:
+        self._registered = True
+
+    def _on_trigger_message(self, topic: str, payload: str) -> None:
+        self.triggers_received += 1
+        for callback in list(self._trigger_callbacks):
+            callback(payload)

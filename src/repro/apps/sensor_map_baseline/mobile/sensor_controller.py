@@ -1,0 +1,96 @@
+"""One-off sensor orchestration for the baseline app.
+
+SenSocial's social-event streams do this internally; without the
+middleware the application must drive the sensing library by hand:
+fan out one-off requests for each modality, collect the asynchronous
+completions for one trigger, time out stragglers, and hand the
+assembled context bundle back to the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.device.sensors.base import SensorReading
+from repro.sensing.manager import ESSensorManager
+from repro.simkit.scheduler import EventHandle
+from repro.simkit.world import World
+
+BundleCallback = Callable[["ContextBundle"], None]
+
+#: Give every sensor this long to complete before the bundle is closed.
+BUNDLE_TIMEOUT_S = 30.0
+
+
+@dataclass
+class ContextBundle:
+    """All readings collected for one trigger."""
+
+    trigger_action_id: int
+    readings: dict[str, SensorReading] = field(default_factory=dict)
+    complete: bool = False
+    timed_out_modalities: list[str] = field(default_factory=list)
+
+    def reading(self, modality: str) -> SensorReading | None:
+        return self.readings.get(modality)
+
+
+class BaselineSensorController:
+    """Collects one-off readings of several modalities per trigger."""
+
+    def __init__(self, world: World, sensing: ESSensorManager,
+                 modalities: list[str]):
+        self._world = world
+        self._sensing = sensing
+        self.modalities = list(modalities)
+        self._pending: dict[int, ContextBundle] = {}
+        self._callbacks: dict[int, BundleCallback] = {}
+        self._timeouts: dict[int, EventHandle] = {}
+        self.bundles_started = 0
+        self.bundles_completed = 0
+
+    def collect_for_trigger(self, action_id: int,
+                            callback: BundleCallback) -> None:
+        """Start one-off sensing of every modality for ``action_id``."""
+        if action_id in self._pending:
+            return  # duplicate trigger delivery; already collecting
+        bundle = ContextBundle(trigger_action_id=action_id)
+        self._pending[action_id] = bundle
+        self._callbacks[action_id] = callback
+        self.bundles_started += 1
+        for modality in self.modalities:
+            self._sensing.sense_once(
+                modality,
+                lambda reading, action_id=action_id: self._on_reading(
+                    action_id, reading))
+        self._timeouts[action_id] = self._world.scheduler.schedule(
+            BUNDLE_TIMEOUT_S, self._on_timeout, action_id)
+
+    def _on_reading(self, action_id: int, reading: SensorReading) -> None:
+        bundle = self._pending.get(action_id)
+        if bundle is None:
+            return  # bundle already closed by timeout
+        bundle.readings[reading.modality] = reading
+        if len(bundle.readings) == len(self.modalities):
+            self._close(action_id, complete=True)
+
+    def _on_timeout(self, action_id: int) -> None:
+        bundle = self._pending.get(action_id)
+        if bundle is None:
+            return
+        bundle.timed_out_modalities = [
+            modality for modality in self.modalities
+            if modality not in bundle.readings]
+        self._close(action_id, complete=False)
+
+    def _close(self, action_id: int, complete: bool) -> None:
+        bundle = self._pending.pop(action_id)
+        callback = self._callbacks.pop(action_id)
+        timeout = self._timeouts.pop(action_id, None)
+        if timeout is not None:
+            timeout.cancel()
+        bundle.complete = complete
+        if complete:
+            self.bundles_completed += 1
+        callback(bundle)

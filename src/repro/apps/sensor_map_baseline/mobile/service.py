@@ -1,0 +1,122 @@
+"""The baseline Facebook Sensor Map background service.
+
+Wires the hand-written pieces together: configuration → MQTT session →
+trigger parsing and de-duplication → one-off sensing fan-out →
+classification → local persistence → reliable upload.  Compare with
+:class:`repro.apps.sensor_map.mobile.FacebookSensorMapService`, which
+gets all of this from four SenSocial API calls.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sensor_map_baseline.mobile.app_config import SensorMapConfig
+from repro.apps.sensor_map_baseline.mobile.classifier_runner import (
+    BaselineClassifierRunner,
+)
+from repro.apps.sensor_map_baseline.mobile.marker_store import BaselineMarkerStore
+from repro.apps.sensor_map_baseline.mobile.mqtt_handler import BaselineMqttHandler
+from repro.apps.sensor_map_baseline.mobile.sensor_controller import (
+    BaselineSensorController,
+    ContextBundle,
+)
+from repro.apps.sensor_map_baseline.mobile.trigger_dedup import (
+    TriggerDeduplicator,
+)
+from repro.apps.sensor_map_baseline.mobile.trigger_parser import (
+    ParsedTrigger,
+    TriggerParseError,
+    parse_trigger,
+)
+from repro.apps.sensor_map_baseline.mobile.uploader import BaselineUploader
+from repro.device.phone import Smartphone
+from repro.net.network import Network
+from repro.sensing.manager import ESSensorManager
+from repro.simkit.world import World
+
+
+class BaselineSensorMapService:
+    """Everything the middleware would have done, by hand."""
+
+    def __init__(self, world: World, network: Network, phone: Smartphone,
+                 server_address: str = "bsm-server",
+                 broker_address: str = "mqtt-broker",
+                 config: SensorMapConfig | None = None):
+        self._world = world
+        self.phone = phone
+        self.config = (config if config is not None else SensorMapConfig(
+            server_address=server_address,
+            broker_address=broker_address)).validate()
+        self.mqtt = BaselineMqttHandler(world, network, phone,
+                                        self.config.broker_address)
+        self.sensors = BaselineSensorController(
+            world, ESSensorManager.get_for(world, phone),
+            list(self.config.modalities))
+        self.classifiers = BaselineClassifierRunner(phone)
+        self.store = BaselineMarkerStore()
+        self.uploader = BaselineUploader(world, phone,
+                                         self.config.server_address,
+                                         self.config.retry)
+        self.dedup = TriggerDeduplicator(world, self.config.trigger_ttl_s)
+        self._pending_actions: dict[int, ParsedTrigger] = {}
+        self.parse_errors = 0
+        self.started = False
+
+    def start(self) -> "BaselineSensorMapService":
+        if not self.started:
+            self.mqtt.on_trigger(self._on_trigger_payload)
+            self.mqtt.connect()
+            self.started = True
+        return self
+
+    def stop(self) -> None:
+        if self.started:
+            self.mqtt.disconnect()
+            self.uploader.shutdown()
+            self.started = False
+
+    # -- trigger path ----------------------------------------------------------
+
+    def _on_trigger_payload(self, payload: str) -> None:
+        try:
+            trigger = parse_trigger(payload)
+        except TriggerParseError:
+            self.parse_errors += 1
+            return
+        if trigger.user_id != self.phone.user_id:
+            return  # trigger addressed to someone else's account
+        if not self.dedup.should_process(trigger.action_id,
+                                         trigger.created_at):
+            return  # QoS-1 redelivery or an ancient replay
+        self._pending_actions[trigger.action_id] = trigger
+        self.sensors.collect_for_trigger(trigger.action_id, self._on_bundle)
+
+    def _on_bundle(self, bundle: ContextBundle) -> None:
+        trigger = self._pending_actions.pop(bundle.trigger_action_id, None)
+        if trigger is None:
+            return
+        for modality in self.config.modalities:
+            reading = bundle.reading(modality)
+            if reading is None:
+                continue  # timed out; the marker stays partial
+            granularity, value, details = self.classifiers.process(reading)
+            fragment = {
+                "action_id": trigger.action_id,
+                "user_id": trigger.user_id,
+                "action_type": trigger.action_type,
+                "content": trigger.content,
+                "modality": modality,
+                "granularity": granularity,
+                "value": value,
+                "details": details,
+                "timestamp": reading.timestamp,
+            }
+            self.store.save_fragment(fragment)
+            self.uploader.upload(fragment, reading.wire_bytes)
+
+    # -- map view helpers -------------------------------------------------------
+
+    def marker_count(self) -> int:
+        return self.store.count()
+
+    def markers_for_action(self, action_id: int) -> list[dict]:
+        return self.store.fragments_for_action(action_id)

@@ -1,0 +1,53 @@
+"""Trigger de-duplication for the baseline sensor map.
+
+MQTT QoS-1 delivers triggers at-least-once: a retransmitted trigger
+must not cause a second round of sensing (and a second marker).  The
+middleware de-duplicates inside its session layer; a stand-alone app
+keeps its own seen-set, with a TTL so replayed ancient triggers are
+rejected outright and memory stays bounded.
+"""
+
+from __future__ import annotations
+
+from repro.simkit.world import World
+
+
+class TriggerDeduplicator:
+    """Seen-trigger bookkeeping with TTL-based replay rejection."""
+
+    def __init__(self, world: World, ttl_s: float = 600.0,
+                 max_entries: int = 1000):
+        self._world = world
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self._seen: dict[int, float] = {}  # action_id -> first-seen time
+        self.duplicates = 0
+        self.replays = 0
+
+    def should_process(self, action_id: int, created_at: float) -> bool:
+        """True exactly once per fresh trigger."""
+        now = self._world.now
+        if now - created_at > self.ttl_s:
+            self.replays += 1
+            return False
+        if action_id in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen[action_id] = now
+        self._evict(now)
+        return True
+
+    def seen_count(self) -> int:
+        return len(self._seen)
+
+    def _evict(self, now: float) -> None:
+        if len(self._seen) <= self.max_entries:
+            return
+        expired = [action_id for action_id, seen_at in self._seen.items()
+                   if now - seen_at > self.ttl_s]
+        for action_id in expired:
+            del self._seen[action_id]
+        # Still over budget (a burst of fresh triggers): drop oldest.
+        while len(self._seen) > self.max_entries:
+            oldest = min(self._seen, key=self._seen.__getitem__)
+            del self._seen[oldest]

@@ -1,0 +1,70 @@
+"""Trigger payload parsing and validation for the baseline app.
+
+With SenSocial the JSON trigger format is internal to the middleware;
+without it the application defines, versions and validates its own
+wire format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+TRIGGER_SCHEMA_VERSION = 1
+
+
+class TriggerParseError(Exception):
+    """Raised for malformed or incompatible trigger payloads."""
+
+
+@dataclass(frozen=True)
+class ParsedTrigger:
+    """A validated sensing trigger."""
+
+    action_id: int
+    user_id: str
+    action_type: str
+    content: str
+    platform: str
+    created_at: float
+    raw: dict[str, Any]
+
+
+def compile_trigger(action_document: dict[str, Any]) -> str:
+    """Server side: wrap an action document into a trigger payload."""
+    return json.dumps({
+        "version": TRIGGER_SCHEMA_VERSION,
+        "action": action_document,
+    })
+
+
+def parse_trigger(payload: str) -> ParsedTrigger:
+    """Mobile side: decode and validate one trigger payload."""
+    try:
+        document = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise TriggerParseError(f"trigger is not valid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise TriggerParseError(
+            f"trigger must be an object, got {type(document).__name__}")
+    version = document.get("version")
+    if version != TRIGGER_SCHEMA_VERSION:
+        raise TriggerParseError(
+            f"unsupported trigger version {version!r}; "
+            f"this build speaks version {TRIGGER_SCHEMA_VERSION}")
+    action = document.get("action")
+    if not isinstance(action, dict):
+        raise TriggerParseError("trigger is missing its action object")
+    for required in ("action_id", "user_id", "type", "created_at"):
+        if required not in action:
+            raise TriggerParseError(f"trigger action missing field {required!r}")
+    return ParsedTrigger(
+        action_id=int(action["action_id"]),
+        user_id=str(action["user_id"]),
+        action_type=str(action["type"]),
+        content=str(action.get("content", "")),
+        platform=str(action.get("platform", "facebook")),
+        created_at=float(action["created_at"]),
+        raw=action,
+    )

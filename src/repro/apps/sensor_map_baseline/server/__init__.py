@@ -1,0 +1,1 @@
+"""Server half of the no-middleware Facebook Sensor Map."""

@@ -1,0 +1,105 @@
+"""The baseline Facebook Sensor Map server application.
+
+Owns its own MQTT client, registry, upload endpoint (with per-device
+sequence de-duplication and acks), receiver and joiner — the full
+server plumbing the middleware normally provides.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sensor_map_baseline.mobile.uploader import (
+    UPLOAD_ACK_PROTOCOL,
+    UPLOAD_PROTOCOL,
+)
+from repro.apps.sensor_map_baseline.server.facebook_receiver import (
+    BaselineFacebookReceiver,
+)
+from repro.apps.sensor_map_baseline.server.marker_joiner import (
+    BaselineMarkerJoiner,
+    JoinedMarker,
+)
+from repro.apps.sensor_map_baseline.server.registry import BaselineRegistry
+from repro.mqtt.client import MqttClient
+from repro.net.errors import UnknownEndpointError
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.plugins.base import OsnPlugin
+from repro.simkit.world import World
+
+#: Recently seen upload sequence numbers per device, for dedup.
+_DEDUP_WINDOW = 1024
+
+
+class BaselineSensorMapServer(Endpoint):
+    """Self-contained server for the no-middleware sensor map."""
+
+    def __init__(self, world: World, network: Network,
+                 address: str = "bsm-server",
+                 broker_address: str = "mqtt-broker"):
+        self._world = world
+        self._network = network
+        self.address = network.register(address, self)
+        self.mqtt = MqttClient(world, network, client_id="bsm-server",
+                               address=f"bsm-mqtt/{address}",
+                               broker_address=broker_address)
+        self.registry = BaselineRegistry(self.mqtt)
+        self.receiver = BaselineFacebookReceiver(self.mqtt, self.registry)
+        self.joiner = BaselineMarkerJoiner()
+        self.uploads_received = 0
+        self.duplicate_uploads = 0
+        self.malformed_uploads = 0
+        self.acks_sent = 0
+        self._seen: dict[str, set[int]] = {}
+        self._started = False
+
+    def start(self) -> "BaselineSensorMapServer":
+        if not self._started:
+            self.mqtt.connect(clean_session=False)
+            self.registry.start()
+            self._started = True
+        return self
+
+    def attach_plugin(self, plugin: OsnPlugin) -> None:
+        self.receiver.attach(plugin)
+
+    # -- upload intake ----------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        if message.headers.get("protocol") != UPLOAD_PROTOCOL:
+            return
+        envelope = message.payload
+        if not isinstance(envelope, dict) or not {
+                "seq", "device_id", "fragment"} <= set(envelope):
+            self.malformed_uploads += 1
+            return
+        fragment = envelope["fragment"]
+        if not isinstance(fragment, dict) or "action_id" not in fragment:
+            self.malformed_uploads += 1
+            return
+        # Ack first — duplicates too — so the sender stops retrying.
+        self._ack(message.src, envelope["seq"])
+        seen = self._seen.setdefault(envelope["device_id"], set())
+        if envelope["seq"] in seen:
+            self.duplicate_uploads += 1
+            return
+        seen.add(envelope["seq"])
+        if len(seen) > _DEDUP_WINDOW:
+            seen.discard(min(seen))
+        self.uploads_received += 1
+        self.joiner.add_fragment(fragment)
+
+    def _ack(self, device_address: str, sequence: int) -> None:
+        try:
+            self._network.send(self.address, device_address, {"seq": sequence},
+                               headers={"protocol": UPLOAD_ACK_PROTOCOL})
+        except UnknownEndpointError:
+            return
+        self.acks_sent += 1
+
+    # -- map queries ---------------------------------------------------------------
+
+    def markers(self, user_id: str | None = None) -> list[JoinedMarker]:
+        return self.joiner.markers(user_id)
+
+    def complete_marker_count(self) -> int:
+        return self.joiner.complete_count()

@@ -1,0 +1,41 @@
+"""The baseline ``FacebookReceiver``: plug-in intake + trigger fan-out.
+
+Receives captured Facebook actions, looks up the acting user's device,
+compiles the application's own trigger format and publishes it — the
+work SenSocial's Trigger Manager does internally.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sensor_map_baseline.mobile.mqtt_handler import (
+    baseline_trigger_topic,
+)
+from repro.apps.sensor_map_baseline.mobile.trigger_parser import compile_trigger
+from repro.apps.sensor_map_baseline.server.registry import BaselineRegistry
+from repro.mqtt.client import MqttClient
+from repro.osn.actions import OsnAction
+from repro.plugins.base import OsnPlugin
+
+
+class BaselineFacebookReceiver:
+    """OSN action → compiled trigger → MQTT publish."""
+
+    def __init__(self, client: MqttClient, registry: BaselineRegistry):
+        self._client = client
+        self._registry = registry
+        self.actions_received = 0
+        self.triggers_published = 0
+        self.unroutable_actions = 0
+
+    def attach(self, plugin: OsnPlugin) -> None:
+        plugin.add_listener(self._on_action)
+
+    def _on_action(self, action: OsnAction) -> None:
+        self.actions_received += 1
+        device_id = self._registry.device_of(action.user_id)
+        if device_id is None:
+            self.unroutable_actions += 1
+            return
+        payload = compile_trigger(action.to_document())
+        self._client.publish(baseline_trigger_topic(device_id), payload, qos=1)
+        self.triggers_published += 1

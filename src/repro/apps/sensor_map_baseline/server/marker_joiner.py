@@ -1,0 +1,81 @@
+"""Joining uploaded fragments into map markers, by hand.
+
+The with-middleware server gets coupled (context, action) records;
+the baseline receives independent per-modality fragments and must
+join them by action id, tolerate partial arrivals and keep the result
+queryable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class JoinedMarker:
+    """One action's joined context, possibly still partial."""
+
+    action_id: int
+    user_id: str
+    action_type: str
+    content: str
+    fragments: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def modality_value(self, modality: str) -> Any:
+        fragment = self.fragments.get(modality)
+        return fragment["value"] if fragment is not None else None
+
+    @property
+    def activity(self) -> str | None:
+        return self.modality_value("accelerometer")
+
+    @property
+    def audio(self) -> str | None:
+        return self.modality_value("microphone")
+
+    @property
+    def position(self) -> tuple[float, float] | None:
+        raw = self.modality_value("location")
+        if isinstance(raw, dict) and "lon" in raw and "lat" in raw:
+            return (raw["lon"], raw["lat"])
+        return None
+
+    def is_complete(self, expected_modalities: tuple[str, ...] = (
+            "accelerometer", "microphone", "location")) -> bool:
+        return all(modality in self.fragments
+                   for modality in expected_modalities)
+
+
+class BaselineMarkerJoiner:
+    """Accumulates fragments into joined markers."""
+
+    def __init__(self):
+        self._markers: dict[int, JoinedMarker] = {}
+        self.fragments_received = 0
+        self.duplicate_fragments = 0
+
+    def add_fragment(self, fragment: dict[str, Any]) -> JoinedMarker:
+        self.fragments_received += 1
+        action_id = fragment["action_id"]
+        marker = self._markers.get(action_id)
+        if marker is None:
+            marker = JoinedMarker(
+                action_id=action_id,
+                user_id=fragment["user_id"],
+                action_type=fragment["action_type"],
+                content=fragment.get("content", ""),
+            )
+            self._markers[action_id] = marker
+        if fragment["modality"] in marker.fragments:
+            self.duplicate_fragments += 1
+        marker.fragments[fragment["modality"]] = fragment
+        return marker
+
+    def markers(self, user_id: str | None = None) -> list[JoinedMarker]:
+        selected = [marker for marker in self._markers.values()
+                    if user_id is None or marker.user_id == user_id]
+        return sorted(selected, key=lambda marker: marker.action_id)
+
+    def complete_count(self) -> int:
+        return sum(1 for marker in self._markers.values() if marker.is_complete())

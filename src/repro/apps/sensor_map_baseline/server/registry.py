@@ -1,0 +1,51 @@
+"""Hand-rolled user/device registry for the baseline server.
+
+The SenSocial server maintains User and Device instances from MQTT
+registrations; the baseline keeps its own table and subscription.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.sensor_map_baseline.mobile.mqtt_handler import (
+    BASELINE_REGISTRATION_FILTER,
+)
+from repro.mqtt.client import MqttClient
+
+
+class BaselineRegistry:
+    """user_id ↔ device_id bookkeeping."""
+
+    def __init__(self, client: MqttClient):
+        self._client = client
+        self._device_of: dict[str, str] = {}
+        self._user_of: dict[str, str] = {}
+        self.registrations = 0
+
+    def start(self) -> None:
+        self._client.subscribe(BASELINE_REGISTRATION_FILTER,
+                               self._on_registration)
+
+    def device_of(self, user_id: str) -> str | None:
+        return self._device_of.get(user_id)
+
+    def user_of(self, device_id: str) -> str | None:
+        return self._user_of.get(device_id)
+
+    def user_ids(self) -> list[str]:
+        return sorted(self._device_of)
+
+    def _on_registration(self, topic: str, payload: str) -> None:
+        try:
+            document = json.loads(payload)
+            user_id = document["user_id"]
+            device_id = document["device_id"]
+        except (json.JSONDecodeError, KeyError):
+            return  # malformed announcement; nothing to register
+        previous = self._device_of.get(user_id)
+        if previous is not None and previous != device_id:
+            self._user_of.pop(previous, None)
+        self._device_of[user_id] = device_id
+        self._user_of[device_id] = user_id
+        self.registrations += 1

@@ -1,0 +1,25 @@
+"""On-device classifiers: raw sensor windows → high-level context.
+
+SenSocial ships proof-of-concept classifiers (activity from
+accelerometer, silence from microphone) and lets developers register
+their own (§4 "Sensor Data Classification"); the registry here
+reproduces both.  Classifying on the phone costs classification energy
+but avoids shipping raw windows — the trade-off Figure 4 quantifies.
+"""
+
+from repro.classify.base import ClassifiedValue, Classifier
+from repro.classify.activity import ActivityClassifier
+from repro.classify.audio import AudioClassifier
+from repro.classify.location import LocationClassifier
+from repro.classify.summary import ProximityCountClassifier
+from repro.classify.registry import ClassifierRegistry
+
+__all__ = [
+    "ActivityClassifier",
+    "AudioClassifier",
+    "ClassifiedValue",
+    "Classifier",
+    "ClassifierRegistry",
+    "LocationClassifier",
+    "ProximityCountClassifier",
+]

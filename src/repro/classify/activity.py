@@ -1,0 +1,40 @@
+"""Activity classifier: accelerometer windows → still / walking / running.
+
+A deliberately simple feature-threshold model, matching the paper's
+"we implemented these classifiers as proofs of concept, and did not
+focus on maximizing the classification accuracy" (§4).  Features: the
+standard deviation of the acceleration magnitude over the window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.classify.base import Classifier
+from repro.device.environment import ActivityState
+from repro.device.sensors.base import SensorReading
+
+#: Magnitude-deviation decision boundaries, in m/s^2.  Sit between the
+#: signal shapes the accelerometer model emits per activity.
+WALKING_THRESHOLD = 0.45
+RUNNING_THRESHOLD = 2.40
+
+
+class ActivityClassifier(Classifier):
+    """Accelerometer windows -> still / walking / running."""
+
+    modality = "accelerometer"
+
+    def _infer(self, reading: SensorReading) -> tuple[str, dict[str, Any]]:
+        magnitudes = [math.sqrt(x * x + y * y + z * z) for x, y, z in reading.raw]
+        mean = sum(magnitudes) / len(magnitudes)
+        variance = sum((m - mean) ** 2 for m in magnitudes) / len(magnitudes)
+        deviation = math.sqrt(variance)
+        if deviation < WALKING_THRESHOLD:
+            label = ActivityState.STILL.value
+        elif deviation < RUNNING_THRESHOLD:
+            label = ActivityState.WALKING.value
+        else:
+            label = ActivityState.RUNNING.value
+        return label, {"magnitude_std": deviation, "magnitude_mean": mean}

@@ -1,0 +1,26 @@
+"""Audio classifier: microphone envelopes → silent / not_silent (§4)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.classify.base import Classifier
+from repro.device.environment import AudioState
+from repro.device.sensors.base import SensorReading
+
+#: Mean-RMS decision boundary between the silent and noisy scene models.
+SILENCE_THRESHOLD = 0.10
+
+
+class AudioClassifier(Classifier):
+    """Microphone envelopes -> silent / not_silent."""
+
+    modality = "microphone"
+
+    def _infer(self, reading: SensorReading) -> tuple[str, dict[str, Any]]:
+        mean_rms = sum(reading.raw) / len(reading.raw)
+        if mean_rms < SILENCE_THRESHOLD:
+            label = AudioState.SILENT.value
+        else:
+            label = AudioState.NOISY.value
+        return label, {"mean_rms": mean_rms}

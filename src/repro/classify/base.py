@@ -1,0 +1,60 @@
+"""Classifier base types."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.device import calibration
+from repro.device.battery import Battery, EnergyCategory
+from repro.device.cpu import CpuModel
+from repro.device.sensors.base import SensorReading
+
+
+@dataclass
+class ClassifiedValue:
+    """A high-level description inferred from one raw reading."""
+
+    modality: str
+    label: str
+    timestamp: float
+    details: dict[str, Any] = field(default_factory=dict)
+    wire_bytes: int = 0
+
+
+class Classifier(ABC):
+    """Turns raw readings of one modality into labels, for energy."""
+
+    #: Subclasses set the modality they consume.
+    modality: str = ""
+
+    def __init__(self, battery: Battery | None = None, cpu: CpuModel | None = None):
+        self._battery = battery
+        self._cpu = cpu
+        self.invocations = 0
+
+    def classify(self, reading: SensorReading) -> ClassifiedValue:
+        """Classify one reading, charging classification energy/CPU."""
+        if reading.modality != self.modality:
+            raise ValueError(
+                f"{type(self).__name__} consumes {self.modality!r} readings, "
+                f"got {reading.modality!r}")
+        if self._battery is not None:
+            self._battery.drain(calibration.CLASSIFICATION_MAH[self.modality],
+                                self.modality, EnergyCategory.CLASSIFICATION)
+        if self._cpu is not None:
+            self._cpu.pulse(calibration.CPU_CLASSIFIER_PCT)
+        self.invocations += 1
+        label, details = self._infer(reading)
+        return ClassifiedValue(
+            modality=self.modality,
+            label=label,
+            timestamp=reading.timestamp,
+            details=details,
+            wire_bytes=calibration.CLASSIFIED_PAYLOAD_BYTES[self.modality],
+        )
+
+    @abstractmethod
+    def _infer(self, reading: SensorReading) -> tuple[str, dict[str, Any]]:
+        """Return (label, details) for the reading."""

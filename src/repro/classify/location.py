@@ -1,0 +1,34 @@
+"""Location classifier: GPS fixes → a descriptive address (city name).
+
+"raw GPS coordinates are classified to a descriptive address, i.e. the
+name of the city that the user is in" (§4, Figure 2 walk-through).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.classify.base import Classifier
+from repro.device.battery import Battery
+from repro.device.cpu import CpuModel
+from repro.device.mobility import CityRegistry
+from repro.device.sensors.base import SensorReading
+
+UNKNOWN_PLACE = "unknown"
+
+
+class LocationClassifier(Classifier):
+    """GPS fixes -> the containing city's name."""
+
+    modality = "location"
+
+    def __init__(self, cities: CityRegistry, battery: Battery | None = None,
+                 cpu: CpuModel | None = None):
+        super().__init__(battery, cpu)
+        self._cities = cities
+
+    def _infer(self, reading: SensorReading) -> tuple[str, dict[str, Any]]:
+        position = [reading.raw["lon"], reading.raw["lat"]]
+        city = self._cities.city_of(position)
+        label = city.name if city is not None else UNKNOWN_PLACE
+        return label, {"lon": position[0], "lat": position[1]}

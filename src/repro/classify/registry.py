@@ -1,0 +1,57 @@
+"""Classifier registry: built-ins plus developer-registered ones.
+
+"SenSocial offers the possibility for developers to integrate their
+own classifiers with the mobile middleware" (§4) — a registered factory
+replaces the built-in for its modality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.classify.activity import ActivityClassifier
+from repro.classify.audio import AudioClassifier
+from repro.classify.base import Classifier
+from repro.classify.location import LocationClassifier
+from repro.classify.summary import ProximityCountClassifier
+from repro.device.battery import Battery
+from repro.device.cpu import CpuModel
+from repro.device.errors import SensorError
+from repro.device.mobility import CityRegistry
+
+#: A factory builds a classifier wired to a device's battery and CPU.
+ClassifierFactory = Callable[[Battery, CpuModel], Classifier]
+
+
+class ClassifierRegistry:
+    """Modality → classifier factory."""
+
+    def __init__(self, cities: CityRegistry | None = None):
+        self._cities = cities if cities is not None else CityRegistry.europe()
+        self._factories: dict[str, ClassifierFactory] = {
+            "accelerometer": lambda battery, cpu: ActivityClassifier(battery, cpu),
+            "microphone": lambda battery, cpu: AudioClassifier(battery, cpu),
+            "location": lambda battery, cpu: LocationClassifier(
+                self._cities, battery, cpu),
+            "wifi": lambda battery, cpu: ProximityCountClassifier(
+                "wifi", battery, cpu),
+            "bluetooth": lambda battery, cpu: ProximityCountClassifier(
+                "bluetooth", battery, cpu),
+        }
+
+    def register(self, modality: str, factory: ClassifierFactory) -> None:
+        """Install a custom classifier for ``modality`` (replaces built-in)."""
+        self._factories[modality] = factory
+
+    def supports(self, modality: str) -> bool:
+        return modality in self._factories
+
+    def modalities(self) -> list[str]:
+        return sorted(self._factories)
+
+    def create(self, modality: str, battery: Battery | None = None,
+               cpu: CpuModel | None = None) -> Classifier:
+        factory = self._factories.get(modality)
+        if factory is None:
+            raise SensorError(f"no classifier registered for {modality!r}")
+        return factory(battery, cpu)

@@ -1,0 +1,33 @@
+"""Proximity summarisers for WiFi and Bluetooth scans.
+
+Classified WiFi/Bluetooth streams carry an environment summary (how
+many networks / devices are around) instead of the raw identifier
+lists — smaller on the wire and less privacy-sensitive, which is what
+the privacy policy's "classified granularity" means for these
+modalities.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.classify.base import Classifier
+from repro.device.sensors.base import SensorReading
+
+#: Scan-count boundary between a "quiet" and a "crowded" environment.
+CROWDED_THRESHOLD = 3
+
+
+class ProximityCountClassifier(Classifier):
+    """Shared implementation for the two scan modalities."""
+
+    def __init__(self, modality: str, battery=None, cpu=None):
+        if modality not in ("wifi", "bluetooth"):
+            raise ValueError(f"unsupported scan modality {modality!r}")
+        self.modality = modality
+        super().__init__(battery, cpu)
+
+    def _infer(self, reading: SensorReading) -> tuple[str, dict[str, Any]]:
+        count = len(reading.raw)
+        label = "crowded" if count >= CROWDED_THRESHOLD else "quiet"
+        return label, {"count": count}

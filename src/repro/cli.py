@@ -1,0 +1,135 @@
+"""Command-line interface: canned demos and the experiment index.
+
+Usage::
+
+    python -m repro demo paris --hours 3
+    python -m repro demo sensor-map --users 3 --minutes 60
+    python -m repro experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+EXPERIMENTS = [
+    ("table1", "benchmarks/test_table1_source_code.py",
+     "source code details (mobile vs server LOC)"),
+    ("table2", "benchmarks/test_table2_memory.py",
+     "memory footprint vs GAR"),
+    ("figure4", "benchmarks/test_figure4_energy.py",
+     "battery charge per sensing cycle"),
+    ("table3", "benchmarks/test_table3_delay.py",
+     "OSN notification delay"),
+    ("table4", "benchmarks/test_table4_osn_burst.py",
+     "battery vs burst of OSN actions"),
+    ("figure5", "benchmarks/test_figure5_cpu.py",
+     "CPU load vs number of streams"),
+    ("table5", "benchmarks/test_table5_programming_effort.py",
+     "programming effort with/without the middleware"),
+    ("ablation-push", "benchmarks/test_ablation_push_vs_poll.py",
+     "MQTT push vs HTTP polling"),
+    ("ablation-filter", "benchmarks/test_ablation_filter_energy.py",
+     "filter placement energy savings"),
+    ("ablation-db", "benchmarks/test_ablation_db_indexing.py",
+     "document-store indexing"),
+]
+
+
+def _demo_paris(args) -> int:
+    from repro import Granularity, ModalityType, MulticastQuery
+    from repro.scenarios import build_paris_scenario
+
+    testbed = build_paris_scenario(seed=args.seed)
+    testbed.run(400.0)
+    notified = []
+    multicast = testbed.server.create_multicast_stream(
+        ModalityType.LOCATION, Granularity.CLASSIFIED,
+        MulticastQuery(friends_of="A"), name="friends-of-A")
+    multicast.add_listener(lambda record: notified.append(record)
+                           if record.value == "Paris" else None)
+    print(f"users: {', '.join(sorted(testbed.nodes))}; "
+          f"A's friends: {testbed.server.database.friends_of('A')}")
+    print("C travels Bordeaux -> Paris...")
+    testbed.node("C").mobility.travel_to("Paris",
+                                         duration_s=args.hours * 1800.0)
+    testbed.run(args.hours * 3600.0)
+    arrivals = sorted({record.user_id for record in notified})
+    print(f"friends seen in Paris: {arrivals or 'none'}")
+    return 0 if arrivals == ["C"] else 1
+
+
+def _demo_sensor_map(args) -> int:
+    from repro import SenSocialTestbed
+    from repro.analysis import markers_to_geojson
+    from repro.apps.sensor_map import (
+        FacebookSensorMapServer,
+        FacebookSensorMapService,
+    )
+
+    testbed = SenSocialTestbed(seed=args.seed)
+    map_server = FacebookSensorMapServer(testbed.server)
+    cities = ["Paris", "Bordeaux", "London"]
+    for index in range(args.users):
+        node = testbed.add_user(f"user{index}",
+                                home_city=cities[index % len(cities)])
+        FacebookSensorMapService(node.manager)
+    testbed.workload.actions_per_hour = 6.0
+    testbed.workload.start_all()
+    testbed.run(args.minutes * 60.0)
+    geojson = markers_to_geojson(map_server.markers())
+    print(f"markers: {len(map_server.markers())} "
+          f"({map_server.complete_marker_count()} complete); "
+          f"geojson features: {len(geojson['features'])}")
+    for feature in geojson["features"][:5]:
+        properties = feature["properties"]
+        print(f"  {properties['user_id']}: {properties['action_type']} "
+              f"while {properties['activity']}")
+    return 0
+
+
+def _experiments(args) -> int:
+    print(f"{'id':16s} {'bench':48s} description")
+    for exp_id, path, description in EXPERIMENTS:
+        print(f"{exp_id:16s} {path:48s} {description}")
+    print("\nrun all with: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SenSocial reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run a canned scenario")
+    demo_sub = demo.add_subparsers(dest="scenario", required=True)
+
+    paris = demo_sub.add_parser("paris", help="Figure 2 geo notifications")
+    paris.add_argument("--seed", type=int, default=2)
+    paris.add_argument("--hours", type=float, default=3.0)
+    paris.set_defaults(handler=_demo_paris)
+
+    sensor_map = demo_sub.add_parser("sensor-map",
+                                     help="Facebook Sensor Map (§6.1)")
+    sensor_map.add_argument("--seed", type=int, default=6)
+    sensor_map.add_argument("--users", type=int, default=3)
+    sensor_map.add_argument("--minutes", type=float, default=60.0)
+    sensor_map.set_defaults(handler=_demo_sensor_map)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="list the paper experiments and their benches")
+    experiments.set_defaults(handler=_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

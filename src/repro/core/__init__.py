@@ -1,0 +1,7 @@
+"""SenSocial middleware core: the paper's contribution.
+
+``repro.core.common`` holds the shared abstractions (modalities,
+granularity, conditions, filters, stream records, the XML stream-config
+codec); ``repro.core.mobile`` is the Android-library side;
+``repro.core.server`` is the Java-server side.
+"""

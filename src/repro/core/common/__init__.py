@@ -1,0 +1,44 @@
+"""Abstractions shared by the mobile and server middleware halves."""
+
+from repro.core.common.errors import (
+    MiddlewareError,
+    PrivacyViolationError,
+    StreamStateError,
+    UnknownModalityError,
+)
+from repro.core.common.modality import (
+    CLASSIFIED_FOR,
+    OSN_MODALITIES,
+    SENSOR_MODALITIES,
+    VIRTUAL_MODALITIES,
+    ModalityType,
+    ModalityValue,
+    sensor_for_modality,
+)
+from repro.core.common.granularity import Granularity
+from repro.core.common.conditions import Condition, Operator
+from repro.core.common.filters import Filter
+from repro.core.common.records import StreamRecord
+from repro.core.common.stream_config import StreamConfig, StreamMode, merge_configs
+
+__all__ = [
+    "CLASSIFIED_FOR",
+    "Condition",
+    "Filter",
+    "Granularity",
+    "MiddlewareError",
+    "ModalityType",
+    "ModalityValue",
+    "OSN_MODALITIES",
+    "Operator",
+    "PrivacyViolationError",
+    "SENSOR_MODALITIES",
+    "StreamConfig",
+    "StreamMode",
+    "StreamRecord",
+    "StreamStateError",
+    "UnknownModalityError",
+    "VIRTUAL_MODALITIES",
+    "merge_configs",
+    "sensor_for_modality",
+]

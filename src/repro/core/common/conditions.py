@@ -1,0 +1,121 @@
+"""Filter conditions.
+
+"Each condition comprises of a modality, a comparison operator, and a
+value" (§3.1).  A condition may additionally be *qualified with a
+user*: server-side filters can condition one user's stream on another
+user's context ("send user's GPS data only when another user is
+walking").  User-qualified conditions are evaluated only on the server;
+the mobile half skips them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.core.common.errors import MiddlewareError
+from repro.core.common.modality import ModalityType
+
+
+class Operator(str, Enum):
+    """Comparison operators conditions can use."""
+
+    EQUALS = "equals"
+    NOT_EQUALS = "not_equals"
+    GREATER_THAN = "greater_than"
+    GREATER_EQUAL = "greater_equal"
+    LESS_THAN = "less_than"
+    LESS_EQUAL = "less_equal"
+    IN = "in"
+    CONTAINS = "contains"
+    BETWEEN = "between"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """modality ∘ operator ∘ value, optionally about another user."""
+
+    modality: ModalityType
+    operator: Operator
+    value: Any
+    #: None = the stream's own user; otherwise a server-side
+    #: cross-user condition.
+    user_id: str | None = None
+
+    def __post_init__(self):
+        if self.operator is Operator.BETWEEN:
+            if (not isinstance(self.value, (list, tuple))
+                    or len(self.value) != 2):
+                raise MiddlewareError(
+                    "BETWEEN takes a [low, high] pair, got "
+                    f"{self.value!r}")
+        if self.operator is Operator.IN and not isinstance(
+                self.value, (list, tuple, set, frozenset)):
+            raise MiddlewareError(f"IN takes a collection, got {self.value!r}")
+
+    @property
+    def is_cross_user(self) -> bool:
+        return self.user_id is not None
+
+    def evaluate(self, observed: Any) -> bool:
+        """Test the condition against the observed context value.
+
+        An unobserved context (``None``) never satisfies a condition —
+        filters fail closed, so data is not leaked before the
+        conditional modality has produced its first value.
+        """
+        if observed is None:
+            return False
+        operator = self.operator
+        if operator is Operator.EQUALS:
+            return observed == self.value
+        if operator is Operator.NOT_EQUALS:
+            return observed != self.value
+        if operator in (Operator.GREATER_THAN, Operator.GREATER_EQUAL,
+                        Operator.LESS_THAN, Operator.LESS_EQUAL):
+            try:
+                if operator is Operator.GREATER_THAN:
+                    return observed > self.value
+                if operator is Operator.GREATER_EQUAL:
+                    return observed >= self.value
+                if operator is Operator.LESS_THAN:
+                    return observed < self.value
+                return observed <= self.value
+            except TypeError:
+                return False
+        if operator is Operator.IN:
+            return observed in self.value
+        if operator is Operator.CONTAINS:
+            try:
+                return self.value in observed
+            except TypeError:
+                return False
+        if operator is Operator.BETWEEN:
+            low, high = self.value
+            try:
+                return low <= observed <= high
+            except TypeError:
+                return False
+        raise MiddlewareError(f"unknown operator {operator!r}")
+
+    # -- serialisation (for XML configs and JSON triggers) ---------------
+
+    def to_dict(self) -> dict[str, Any]:
+        document: dict[str, Any] = {
+            "modality": self.modality.value,
+            "operator": self.operator.value,
+            "value": list(self.value) if isinstance(self.value, tuple) else self.value,
+        }
+        if self.user_id is not None:
+            document["user_id"] = self.user_id
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "Condition":
+        return cls(
+            modality=ModalityType(document["modality"]),
+            operator=Operator(document["operator"]),
+            value=document["value"],
+            user_id=document.get("user_id"),
+        )

@@ -1,0 +1,22 @@
+"""Middleware errors."""
+
+
+class MiddlewareError(Exception):
+    """Base class for SenSocial middleware errors."""
+
+
+class UnknownModalityError(MiddlewareError):
+    """Raised when a stream or condition names an unsupported modality."""
+
+
+class PrivacyViolationError(MiddlewareError):
+    """Raised when a stream request violates the privacy descriptor.
+
+    Streams created before a policy change are not killed but *paused*
+    by the Privacy Policy Manager (§4); this error is for outright
+    rejected creation requests.
+    """
+
+
+class StreamStateError(MiddlewareError):
+    """Raised for operations invalid in the stream's current state."""

@@ -1,0 +1,97 @@
+"""Stream filters: conjunctions of conditions (§3.1).
+
+A filter refines a stream so only the information of interest is
+captured; on the phone it also gates *sampling*, which is where the
+energy savings of the filter-placement ablation come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.common.conditions import Condition
+from repro.core.common.modality import (
+    OSN_MODALITIES,
+    ModalityType,
+    sensor_for_modality,
+)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """An immutable conjunction of conditions."""
+
+    conditions: tuple[Condition, ...] = ()
+
+    def __init__(self, conditions: Iterable[Condition] = ()):
+        # A duplicate conjunct is redundant; keep first occurrences in
+        # order so merges and round-trips stay deterministic.
+        unique: list[Condition] = []
+        for condition in conditions:
+            if condition not in unique:
+                unique.append(condition)
+        object.__setattr__(self, "conditions", tuple(unique))
+
+    def __len__(self) -> int:
+        return len(self.conditions)
+
+    def with_condition(self, condition: Condition) -> "Filter":
+        """A new filter with one more condition."""
+        return Filter(self.conditions + (condition,))
+
+    def merged_with(self, other: "Filter") -> "Filter":
+        """A new filter holding both filters' conditions (deduplicated).
+
+        This is the mobile-side ``FilterMerge``: a downloaded config's
+        filter is merged into the existing filter set (§4).
+        """
+        seen = list(self.conditions)
+        for condition in other.conditions:
+            if condition not in seen:
+                seen.append(condition)
+        return Filter(seen)
+
+    # -- views used by the two middleware halves -------------------------
+
+    def local_conditions(self) -> list[Condition]:
+        """Conditions the mobile evaluates (not cross-user)."""
+        return [condition for condition in self.conditions
+                if not condition.is_cross_user]
+
+    def server_conditions(self) -> list[Condition]:
+        """Cross-user conditions; only the server can evaluate these."""
+        return [condition for condition in self.conditions
+                if condition.is_cross_user]
+
+    def osn_conditions(self) -> list[Condition]:
+        """Conditions on OSN activity — these make a stream event-based."""
+        return [condition for condition in self.conditions
+                if condition.modality in OSN_MODALITIES]
+
+    def is_social_event_based(self) -> bool:
+        """Does any local condition tie sampling to OSN actions?"""
+        return any(condition.modality in OSN_MODALITIES
+                   for condition in self.local_conditions())
+
+    def conditional_sensors(self) -> set[ModalityType]:
+        """Sensors that must be sampled continuously to evaluate the
+        local conditions (§3.1: "an unrelated stream has to be sensed
+        in order to infer the activity")."""
+        sensors: set[ModalityType] = set()
+        for condition in self.local_conditions():
+            sensor = sensor_for_modality(condition.modality)
+            if sensor is not None:
+                sensors.add(sensor)
+        return sensors
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"conditions": [condition.to_dict()
+                               for condition in self.conditions]}
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "Filter":
+        return cls(Condition.from_dict(item)
+                   for item in document.get("conditions", []))

@@ -1,0 +1,23 @@
+"""Data granularity: raw samples or high-level classified context (§3).
+
+Granularity is both a stream parameter (what the listener receives)
+and a privacy dimension (what the policy allows to leave the sensor).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Granularity(str, Enum):
+    """Raw samples vs classified high-level context."""
+
+    RAW = "raw"
+    CLASSIFIED = "classified"
+
+    @classmethod
+    def parse(cls, value: "Granularity | str") -> "Granularity":
+        """Accept the enum or the paper's lowercase strings."""
+        if isinstance(value, cls):
+            return value
+        return cls(value.lower())

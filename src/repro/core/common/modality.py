@@ -1,0 +1,94 @@
+"""Modalities: the context types streams and filter conditions name.
+
+Three families:
+
+* **sensor modalities** — the five physical sensors a stream can be
+  created on (the ``SensorUtils.Sensor_Type_*`` constants of Figure 7);
+* **virtual modalities** — classified views of sensor data that filter
+  conditions reference (``physical_activity`` in the §3.1 example is
+  inferred from the accelerometer), plus ``time_of_day``;
+* **OSN modalities** — action presence on a platform
+  (``facebook_activity`` in Figure 7's condition).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.common.errors import UnknownModalityError
+
+
+class ModalityType(str, Enum):
+    """Every context type a stream or condition can name."""
+
+    # Sensor modalities (streams are created on these).
+    ACCELEROMETER = "accelerometer"
+    MICROPHONE = "microphone"
+    LOCATION = "location"
+    WIFI = "wifi"
+    BLUETOOTH = "bluetooth"
+    # Virtual modalities (filter conditions reference these).
+    PHYSICAL_ACTIVITY = "physical_activity"
+    AUDIO_ENVIRONMENT = "audio_environment"
+    PLACE = "place"
+    TIME_OF_DAY = "time_of_day"
+    # OSN modalities.
+    FACEBOOK_ACTIVITY = "facebook_activity"
+    TWITTER_ACTIVITY = "twitter_activity"
+
+
+class ModalityValue:
+    """Well-known condition values (the paper's ``ModalityValue.active``)."""
+
+    ACTIVE = "active"
+    STILL = "still"
+    WALKING = "walking"
+    RUNNING = "running"
+    SILENT = "silent"
+    NOT_SILENT = "not_silent"
+
+
+SENSOR_MODALITIES = frozenset({
+    ModalityType.ACCELEROMETER,
+    ModalityType.MICROPHONE,
+    ModalityType.LOCATION,
+    ModalityType.WIFI,
+    ModalityType.BLUETOOTH,
+})
+
+VIRTUAL_MODALITIES = frozenset({
+    ModalityType.PHYSICAL_ACTIVITY,
+    ModalityType.AUDIO_ENVIRONMENT,
+    ModalityType.PLACE,
+    ModalityType.TIME_OF_DAY,
+})
+
+OSN_MODALITIES = frozenset({
+    ModalityType.FACEBOOK_ACTIVITY,
+    ModalityType.TWITTER_ACTIVITY,
+})
+
+#: Which sensor each virtual modality is inferred from: filtering a
+#: stream on ``physical_activity`` forces continuous sampling of the
+#: accelerometer ("an unrelated stream ... has to be sensed in order to
+#: infer the activity", §3.1).
+CLASSIFIED_FOR = {
+    ModalityType.PHYSICAL_ACTIVITY: ModalityType.ACCELEROMETER,
+    ModalityType.AUDIO_ENVIRONMENT: ModalityType.MICROPHONE,
+    ModalityType.PLACE: ModalityType.LOCATION,
+}
+
+
+def sensor_for_modality(modality: ModalityType) -> ModalityType | None:
+    """The sensor that must be sampled to evaluate ``modality``.
+
+    Sensor modalities map to themselves, virtual ones to their backing
+    sensor, and OSN/time modalities to ``None`` (no sensing needed).
+    """
+    if modality in SENSOR_MODALITIES:
+        return modality
+    if modality in CLASSIFIED_FOR:
+        return CLASSIFIED_FOR[modality]
+    if modality in OSN_MODALITIES or modality is ModalityType.TIME_OF_DAY:
+        return None
+    raise UnknownModalityError(f"unknown modality {modality!r}")

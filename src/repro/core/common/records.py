@@ -1,0 +1,59 @@
+"""Stream records: the data items delivered to listeners.
+
+A record couples one sensing result (raw window or classified label)
+with its provenance — and, for social-event-based streams, with the
+OSN action that triggered it, which is the paper's headline feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.common.granularity import Granularity
+from repro.core.common.modality import ModalityType
+
+
+@dataclass
+class StreamRecord:
+    """One delivered stream element."""
+
+    stream_id: str
+    user_id: str
+    device_id: str
+    modality: ModalityType
+    granularity: Granularity
+    timestamp: float
+    value: Any
+    details: dict[str, Any] = field(default_factory=dict)
+    #: The OSN action coupled with this sample, when the stream is
+    #: social-event-based (``None`` for plain continuous samples).
+    osn_action: dict[str, Any] | None = None
+    wire_bytes: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stream_id": self.stream_id,
+            "user_id": self.user_id,
+            "device_id": self.device_id,
+            "modality": self.modality.value,
+            "granularity": self.granularity.value,
+            "timestamp": self.timestamp,
+            "value": self.value,
+            "details": dict(self.details),
+            "osn_action": dict(self.osn_action) if self.osn_action else None,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "StreamRecord":
+        return cls(
+            stream_id=document["stream_id"],
+            user_id=document["user_id"],
+            device_id=document["device_id"],
+            modality=ModalityType(document["modality"]),
+            granularity=Granularity(document["granularity"]),
+            timestamp=document["timestamp"],
+            value=document["value"],
+            details=dict(document.get("details", {})),
+            osn_action=document.get("osn_action"),
+        )

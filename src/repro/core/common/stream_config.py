@@ -1,0 +1,164 @@
+"""Stream configurations and the XML codec.
+
+Remote stream management works by "encapsulating a stream configuration
+in an XML file, which is pushed from the server to mobile devices":
+modality, granularity, filtering conditions and the target device id
+(§4).  ``merge_configs`` is the mobile's ``FilterMerge``: a downloaded
+definition is merged into the existing configuration set.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+from repro.core.common.errors import MiddlewareError
+from repro.core.common.filters import Filter
+from repro.core.common.granularity import Granularity
+from repro.core.common.modality import SENSOR_MODALITIES, ModalityType
+
+
+class StreamMode(str, Enum):
+    """The two stream kinds of §3.1."""
+
+    CONTINUOUS = "continuous"
+    SOCIAL_EVENT = "social_event"
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Everything needed to (re)create one stream on one device."""
+
+    stream_id: str
+    device_id: str
+    modality: ModalityType
+    granularity: Granularity
+    mode: StreamMode = StreamMode.CONTINUOUS
+    filter: Filter = field(default_factory=Filter)
+    #: Key-value sensing settings (duty cycle, sample rate).
+    settings: dict[str, Any] = field(default_factory=dict)
+    #: Should samples be transmitted to the server?
+    send_to_server: bool = False
+    #: Who created the stream — informational, but the mobile refuses
+    #: to destroy server-owned streams locally.
+    created_by: str = "mobile"
+
+    def __post_init__(self):
+        if self.modality not in SENSOR_MODALITIES:
+            raise MiddlewareError(
+                f"streams are created on sensor modalities, not "
+                f"{self.modality.value!r}")
+
+    def with_filter(self, stream_filter: Filter) -> "StreamConfig":
+        return replace(self, filter=stream_filter)
+
+    def effective_mode(self) -> StreamMode:
+        """A continuous stream whose filter has OSN conditions is
+        effectively social-event-based: sampling happens on triggers
+        (the Figure 7 pattern)."""
+        if self.mode is StreamMode.SOCIAL_EVENT:
+            return StreamMode.SOCIAL_EVENT
+        if self.filter.is_social_event_based():
+            return StreamMode.SOCIAL_EVENT
+        return StreamMode.CONTINUOUS
+
+    # -- XML codec -----------------------------------------------------------
+
+    def to_xml(self) -> str:
+        """Serialise to the configuration XML the server pushes."""
+        root = ElementTree.Element("stream")
+        ElementTree.SubElement(root, "id").text = self.stream_id
+        ElementTree.SubElement(root, "device").text = self.device_id
+        ElementTree.SubElement(root, "modality").text = self.modality.value
+        ElementTree.SubElement(root, "granularity").text = self.granularity.value
+        ElementTree.SubElement(root, "mode").text = self.mode.value
+        ElementTree.SubElement(root, "sendToServer").text = (
+            "true" if self.send_to_server else "false")
+        ElementTree.SubElement(root, "createdBy").text = self.created_by
+        settings_element = ElementTree.SubElement(root, "settings")
+        for key in sorted(self.settings):
+            entry = ElementTree.SubElement(settings_element, "entry")
+            entry.set("key", key)
+            entry.text = json.dumps(self.settings[key])
+        filter_element = ElementTree.SubElement(root, "filter")
+        for condition in self.filter.conditions:
+            condition_element = ElementTree.SubElement(filter_element, "condition")
+            document = condition.to_dict()
+            condition_element.set("modality", document["modality"])
+            condition_element.set("operator", document["operator"])
+            if document.get("user_id") is not None:
+                condition_element.set("userId", document["user_id"])
+            condition_element.text = json.dumps(document["value"])
+        return ElementTree.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "StreamConfig":
+        """Parse a pushed configuration XML."""
+        try:
+            root = ElementTree.fromstring(text)
+        except ElementTree.ParseError as error:
+            raise MiddlewareError(f"malformed stream config XML: {error}") from error
+        if root.tag != "stream":
+            raise MiddlewareError(f"expected <stream> root, got <{root.tag}>")
+
+        def text_of(tag: str, default: str | None = None) -> str:
+            element = root.find(tag)
+            if element is None or element.text is None:
+                if default is None:
+                    raise MiddlewareError(f"stream config missing <{tag}>")
+                return default
+            return element.text
+
+        settings: dict[str, Any] = {}
+        settings_element = root.find("settings")
+        if settings_element is not None:
+            for entry in settings_element.findall("entry"):
+                settings[entry.get("key")] = json.loads(entry.text or "null")
+
+        conditions = []
+        filter_element = root.find("filter")
+        if filter_element is not None:
+            for condition_element in filter_element.findall("condition"):
+                conditions.append({
+                    "modality": condition_element.get("modality"),
+                    "operator": condition_element.get("operator"),
+                    "user_id": condition_element.get("userId"),
+                    "value": json.loads(condition_element.text or "null"),
+                })
+
+        return cls(
+            stream_id=text_of("id"),
+            device_id=text_of("device"),
+            modality=ModalityType(text_of("modality")),
+            granularity=Granularity(text_of("granularity")),
+            mode=StreamMode(text_of("mode", StreamMode.CONTINUOUS.value)),
+            filter=Filter.from_dict({"conditions": conditions}),
+            settings=settings,
+            send_to_server=text_of("sendToServer", "false") == "true",
+            created_by=text_of("createdBy", "server"),
+        )
+
+
+def merge_configs(existing: list[StreamConfig],
+                  downloaded: StreamConfig) -> list[StreamConfig]:
+    """Merge a downloaded config into the device's configuration set.
+
+    Same stream id → the downloaded definition replaces the old one but
+    their filters are merged (``FilterMerge``); otherwise it is
+    appended.
+    """
+    merged: list[StreamConfig] = []
+    replaced = False
+    for config in existing:
+        if config.stream_id == downloaded.stream_id:
+            merged.append(downloaded.with_filter(
+                config.filter.merged_with(downloaded.filter)))
+            replaced = True
+        else:
+            merged.append(config)
+    if not replaced:
+        merged.append(downloaded)
+    return merged

@@ -1,0 +1,32 @@
+"""SenSocial mobile middleware (the Android-library half).
+
+Components mirror Figure 3: the SenSocial Manager (entry point), the
+Sensor Manager (via :mod:`repro.sensing`), the Filter Manager (context
+monitors + condition gating), the Privacy Policy Manager, and the MQTT
+service that receives remote triggers and stream configurations.
+"""
+
+from repro.core.mobile.context import ContextCache
+from repro.core.mobile.privacy import (
+    PrivacyPolicy,
+    PrivacyPolicyDescriptor,
+    PrivacyPolicyManager,
+)
+from repro.core.mobile.stream import MobileStream, StreamState
+from repro.core.mobile.filter_manager import MobileFilterManager
+from repro.core.mobile.mqtt_service import MqttService
+from repro.core.mobile.manager import Device, MobileSenSocialManager, User
+
+__all__ = [
+    "ContextCache",
+    "Device",
+    "MobileFilterManager",
+    "MobileSenSocialManager",
+    "MobileStream",
+    "MqttService",
+    "PrivacyPolicy",
+    "PrivacyPolicyDescriptor",
+    "PrivacyPolicyManager",
+    "StreamState",
+    "User",
+]

@@ -1,0 +1,63 @@
+"""The mobile context cache: latest observed value per modality.
+
+Filter conditions are evaluated against this cache.  OSN-activity
+modalities are special: a trigger marks the platform *active* for a
+short window (the paper couples the context sampled "as the relevant
+posts are made"), after which it reads inactive again.  ``time_of_day``
+is derived from the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.common.modality import OSN_MODALITIES, ModalityType, ModalityValue
+from repro.simkit.world import World
+
+#: How long an OSN action keeps its platform modality "active".
+OSN_ACTIVE_WINDOW_S = 120.0
+
+#: Simulated seconds per day, for deriving the hour of day.
+_DAY_S = 24 * 3600.0
+
+
+class ContextCache:
+    """Latest context values, fed by the Filter Manager's monitors."""
+
+    def __init__(self, world: World):
+        self._world = world
+        self._values: dict[ModalityType, tuple[Any, float]] = {}
+        self._osn_active_until: dict[ModalityType, float] = {}
+
+    def update(self, modality: ModalityType, value: Any) -> None:
+        """Record a fresh observation of ``modality``."""
+        self._values[modality] = (value, self._world.now)
+
+    def mark_osn_active(self, modality: ModalityType,
+                        window_s: float = OSN_ACTIVE_WINDOW_S) -> None:
+        """An OSN action arrived: hold the platform active for a window."""
+        if modality not in OSN_MODALITIES:
+            raise ValueError(f"{modality!r} is not an OSN modality")
+        self._osn_active_until[modality] = self._world.now + window_s
+
+    def get(self, modality: ModalityType) -> Any:
+        """Current value of ``modality``; ``None`` when never observed."""
+        if modality in OSN_MODALITIES:
+            active_until = self._osn_active_until.get(modality, -1.0)
+            if self._world.now < active_until:
+                return ModalityValue.ACTIVE
+            return "inactive"
+        if modality is ModalityType.TIME_OF_DAY:
+            return (self._world.now % _DAY_S) / 3600.0
+        entry = self._values.get(modality)
+        return entry[0] if entry is not None else None
+
+    def age(self, modality: ModalityType) -> float | None:
+        """Seconds since ``modality`` was last observed."""
+        entry = self._values.get(modality)
+        if entry is None:
+            return None
+        return self._world.now - entry[1]
+
+    def observed_modalities(self) -> list[ModalityType]:
+        return sorted(self._values, key=lambda modality: modality.value)

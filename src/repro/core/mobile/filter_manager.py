@@ -1,0 +1,128 @@
+"""Mobile Filter Manager: context monitors and condition gating.
+
+Two responsibilities from §3.2:
+
+* maintain **context monitors** — continuous sensing subscriptions for
+  every sensor some stream's filter conditions depend on ("conditional
+  modalities are sampled continuously"), feeding the context cache;
+* **gate** each stream's sampling cycle on its local conditions, so
+  energy-costly sensors are sampled "only on satisfaction of the
+  conditions based on a less energy consuming sensor" (§5.5).
+"""
+
+from __future__ import annotations
+
+from repro.classify import ClassifierRegistry
+from repro.core.common.conditions import Condition, Operator
+from repro.core.common.modality import (
+    CLASSIFIED_FOR,
+    OSN_MODALITIES,
+    ModalityType,
+    ModalityValue,
+)
+from repro.core.mobile.context import ContextCache
+from repro.device.phone import Smartphone
+from repro.device.sensors.base import SensorReading
+from repro.sensing import ESSensorManager, SensingConfig
+from repro.simkit.world import World
+
+#: Virtual modalities inferred from each sensor (inverse of CLASSIFIED_FOR).
+_VIRTUAL_OF_SENSOR = {sensor: virtual for virtual, sensor in CLASSIFIED_FOR.items()}
+
+
+class MobileFilterManager:
+    """Owns the context cache and evaluates stream filters."""
+
+    def __init__(self, world: World, phone: Smartphone,
+                 sensing: ESSensorManager, classifiers: ClassifierRegistry):
+        self._world = world
+        self._phone = phone
+        self._sensing = sensing
+        self._classifiers = classifiers
+        self.context = ContextCache(world)
+        #: sensor modality -> (subscription, refcount)
+        self._monitors: dict[ModalityType, tuple[object, int]] = {}
+        self._monitor_classifiers = {}
+        self.conditions_evaluated = 0
+
+    # -- context monitors --------------------------------------------------
+
+    def acquire_monitors(self, sensors: set[ModalityType]) -> None:
+        """Reference-count continuous monitors for ``sensors``."""
+        for sensor in sensors:
+            entry = self._monitors.get(sensor)
+            if entry is not None:
+                subscription, refcount = entry
+                self._monitors[sensor] = (subscription, refcount + 1)
+                continue
+            subscription = self._sensing.subscribe(
+                sensor.value, SensingConfig(),
+                lambda reading, sensor=sensor: self._on_monitor_reading(
+                    sensor, reading))
+            self._monitors[sensor] = (subscription, 1)
+
+    def release_monitors(self, sensors: set[ModalityType]) -> None:
+        for sensor in sensors:
+            entry = self._monitors.get(sensor)
+            if entry is None:
+                continue
+            subscription, refcount = entry
+            if refcount <= 1:
+                self._sensing.unsubscribe(subscription.subscription_id)
+                del self._monitors[sensor]
+            else:
+                self._monitors[sensor] = (subscription, refcount - 1)
+
+    def active_monitors(self) -> list[ModalityType]:
+        return sorted(self._monitors, key=lambda modality: modality.value)
+
+    def _on_monitor_reading(self, sensor: ModalityType,
+                            reading: SensorReading) -> None:
+        """Classify a monitor reading and refresh the context cache."""
+        self.context.update(sensor, reading.raw)
+        virtual = _VIRTUAL_OF_SENSOR.get(sensor)
+        if virtual is None:
+            return
+        classifier = self._monitor_classifiers.get(sensor)
+        if classifier is None:
+            classifier = self._classifiers.create(
+                sensor.value, self._phone.battery, self._phone.cpu)
+            self._monitor_classifiers[sensor] = classifier
+        classified = classifier.classify(reading)
+        self.context.update(virtual, classified.label)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def local_conditions_satisfied(self, conditions: list[Condition]) -> bool:
+        """Evaluate non-OSN local conditions against the context cache."""
+        for condition in conditions:
+            if condition.is_cross_user or condition.modality in OSN_MODALITIES:
+                continue
+            self.conditions_evaluated += 1
+            if not condition.evaluate(self.context.get(condition.modality)):
+                return False
+        return True
+
+    @staticmethod
+    def osn_condition_satisfied(condition: Condition, action: dict) -> bool:
+        """Evaluate an OSN condition against a trigger's action payload.
+
+        ``equals active`` matches any action on the platform;
+        ``equals <type>`` matches that action type ("when the user
+        likes a page"); ``contains <text>`` matches post content
+        ("posts about football").
+        """
+        platform = {"facebook_activity": "facebook",
+                    "twitter_activity": "twitter"}[condition.modality.value]
+        if action.get("platform") != platform:
+            return False
+        if condition.operator is Operator.EQUALS:
+            if condition.value == ModalityValue.ACTIVE:
+                return True
+            return action.get("type") == condition.value
+        if condition.operator is Operator.IN:
+            return action.get("type") in condition.value
+        if condition.operator is Operator.CONTAINS:
+            return str(condition.value).lower() in str(
+                action.get("content", "")).lower()
+        return condition.evaluate(action.get("type"))

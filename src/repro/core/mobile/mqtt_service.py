@@ -1,0 +1,92 @@
+"""The mobile MQTT service (§4 "Remote Stream Management").
+
+Receives pushed triggers and stream configurations over MQTT — chosen
+over HTTP because push needs no polling and costs less battery — and
+registers the device with the server on startup.  The
+``FilterDownloader``/``FilterMerge`` flow of §4 is the config topic:
+XML definitions arrive here and are merged into the existing set by
+the SenSocial Manager.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.mqtt.client import MqttClient
+from repro.net.network import Network
+from repro.simkit.world import World
+
+
+def device_trigger_topic(device_id: str) -> str:
+    return f"sensocial/device/{device_id}/trigger"
+
+
+def device_config_topic(device_id: str) -> str:
+    return f"sensocial/device/{device_id}/config"
+
+
+def device_destroy_topic(device_id: str) -> str:
+    return f"sensocial/device/{device_id}/destroy"
+
+
+#: Topic filter the server subscribes to for device announcements.
+REGISTRATION_FILTER = "sensocial/register/+"
+
+
+def registration_topic(device_id: str) -> str:
+    """Per-device announcement topic.
+
+    Registrations are published *retained* so a server that connects
+    (or re-subscribes) later still learns about every device — plain
+    fire-and-forget registration would be lost if it raced the server's
+    subscription.
+    """
+    return f"sensocial/register/{device_id}"
+
+
+class MqttService:
+    """Owns the phone's MQTT connection and dispatches inbound pushes."""
+
+    def __init__(self, world: World, network: Network, manager,
+                 broker_address: str = "mqtt-broker"):
+        self._manager = manager
+        phone = manager.phone
+        self.client = MqttClient(
+            world, network,
+            client_id=f"sensocial-{phone.device_id}",
+            address=f"mqtt/{phone.device_id}",
+            broker_address=broker_address,
+            radio=phone.radio,
+        )
+        self.triggers_received = 0
+        self.configs_received = 0
+
+    def start(self) -> None:
+        """Connect, subscribe to the device topics, announce the device."""
+        device_id = self._manager.phone.device_id
+        self.client.connect(clean_session=False)
+        self.client.subscribe(device_trigger_topic(device_id), self._on_trigger)
+        self.client.subscribe(device_config_topic(device_id), self._on_config)
+        self.client.subscribe(device_destroy_topic(device_id), self._on_destroy)
+        self.client.publish(registration_topic(device_id), json.dumps({
+            "user_id": self._manager.phone.user_id,
+            "device_id": device_id,
+            "modalities": self._manager.phone.supported_modalities(),
+        }), qos=1, retain=True)
+
+    def stop(self) -> None:
+        self.client.disconnect()
+
+    # -- inbound pushes ------------------------------------------------------
+
+    def _on_trigger(self, topic: str, payload: str) -> None:
+        self.triggers_received += 1
+        self._manager.handle_trigger(json.loads(payload))
+
+    def _on_config(self, topic: str, payload: str) -> None:
+        self.configs_received += 1
+        self._manager.handle_config_xml(payload)
+
+    def _on_destroy(self, topic: str, payload: str) -> None:
+        document = json.loads(payload)
+        self._manager.destroy_stream(document["stream_id"], from_server=True)

@@ -1,0 +1,107 @@
+"""Privacy Policy Manager (§4 "Ensuring Privacy Compliance").
+
+Policies restrict *which* modalities may be sensed and at *what*
+granularity (raw vs classified).  Every stream creation, modification
+and policy change re-screens the stream set: non-compliant streams are
+paused, and move back to the working state once a later policy change
+clears them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.common.granularity import Granularity
+from repro.core.common.modality import ModalityType, sensor_for_modality
+from repro.core.common.stream_config import StreamConfig
+
+
+@dataclass(frozen=True)
+class PrivacyPolicy:
+    """Per-modality allowance."""
+
+    modality: ModalityType
+    allow_raw: bool = True
+    allow_classified: bool = True
+
+    def allows(self, granularity: Granularity) -> bool:
+        if granularity is Granularity.RAW:
+            return self.allow_raw
+        return self.allow_classified
+
+
+@dataclass
+class PrivacyPolicyDescriptor:
+    """The ``PrivacyPolicyDescriptor`` file: the active policy set.
+
+    Modalities without an explicit policy are fully allowed — the
+    descriptor is a restriction list the developer (or the user,
+    through exposed settings) tightens.
+    """
+
+    policies: dict[ModalityType, PrivacyPolicy] = field(default_factory=dict)
+
+    def set_policy(self, policy: PrivacyPolicy) -> None:
+        self.policies[policy.modality] = policy
+
+    def remove_policy(self, modality: ModalityType) -> None:
+        self.policies.pop(modality, None)
+
+    def allows(self, modality: ModalityType, granularity: Granularity) -> bool:
+        policy = self.policies.get(modality)
+        if policy is None:
+            return True
+        return policy.allows(granularity)
+
+    def violation(self, config: StreamConfig) -> str | None:
+        """Why ``config`` violates the descriptor, or ``None`` if clean.
+
+        Screens both the stream's own modality/granularity and the
+        modalities its filtering conditions force the phone to sense
+        ("Privacy Policy Manager screens for both the modality required
+        by the stream and its filtering conditions", §3.2).
+        """
+        if not self.allows(config.modality, config.granularity):
+            return (f"stream modality {config.modality.value!r} at "
+                    f"{config.granularity.value!r} granularity is not allowed")
+        for condition in config.filter.local_conditions():
+            sensor = sensor_for_modality(condition.modality)
+            if sensor is None:
+                continue
+            # Evaluating a condition needs (at least) classified data
+            # from its backing sensor.
+            if not self.allows(sensor, Granularity.CLASSIFIED):
+                return (f"filter condition on {condition.modality.value!r} "
+                        f"requires sensing {sensor.value!r}, which is not allowed")
+        return None
+
+
+class PrivacyPolicyManager:
+    """Screens stream configs and pauses/resumes streams on changes."""
+
+    def __init__(self, descriptor: PrivacyPolicyDescriptor | None = None):
+        self.descriptor = descriptor if descriptor is not None else PrivacyPolicyDescriptor()
+        self._rescreen_hooks = []
+        self.screens_performed = 0
+
+    def on_policy_change(self, hook) -> None:
+        """Register a callback run after every policy change."""
+        self._rescreen_hooks.append(hook)
+
+    def set_policy(self, policy: PrivacyPolicy) -> None:
+        """Install/replace one policy and re-screen all streams."""
+        self.descriptor.set_policy(policy)
+        self._notify()
+
+    def remove_policy(self, modality: ModalityType) -> None:
+        self.descriptor.remove_policy(modality)
+        self._notify()
+
+    def screen(self, config: StreamConfig) -> str | None:
+        """Check one stream config; returns the violation or ``None``."""
+        self.screens_performed += 1
+        return self.descriptor.violation(config)
+
+    def _notify(self) -> None:
+        for hook in list(self._rescreen_hooks):
+            hook()

@@ -1,0 +1,131 @@
+"""The mobile Stream object.
+
+A stream is the handle applications hold: they register listeners on
+it, set filters, reconfigure duty cycles, and pause/resume it.  The
+SenSocial Manager owns the sampling machinery; the stream keeps state
+and delivers records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from enum import Enum
+from typing import Callable
+
+from repro.core.common.errors import StreamStateError
+from repro.core.common.filters import Filter
+from repro.core.common.records import StreamRecord
+from repro.core.common.stream_config import StreamConfig, StreamMode
+
+#: Application listener receiving records (``SenSocialListener``).
+RecordListener = Callable[[StreamRecord], None]
+
+
+class StreamState(str, Enum):
+    """Lifecycle states of a mobile stream."""
+
+    ACTIVE = "active"
+    #: Paused by the Privacy Policy Manager; resumes automatically when
+    #: a policy change clears the stream (§4).
+    PAUSED_PRIVACY = "paused_privacy"
+    #: Paused by the application.
+    PAUSED = "paused"
+    DESTROYED = "destroyed"
+
+
+class MobileStream:
+    """One contextual data stream on one device."""
+
+    def __init__(self, manager, config: StreamConfig):
+        self._manager = manager
+        self.config = config
+        self.state = StreamState.ACTIVE
+        self._listeners: list[RecordListener] = []
+        self.records_delivered = 0
+        self.cycles_skipped = 0  # condition gate stopped sampling
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def stream_id(self) -> str:
+        return self.config.stream_id
+
+    @property
+    def modality(self):
+        return self.config.modality
+
+    @property
+    def granularity(self):
+        return self.config.granularity
+
+    @property
+    def mode(self) -> StreamMode:
+        return self.config.effective_mode()
+
+    @property
+    def is_server_bound(self) -> bool:
+        return self.config.send_to_server
+
+    # -- application API ----------------------------------------------------
+
+    def register_listener(self, listener: RecordListener) -> "MobileStream":
+        """The paper's ``registerListener()``."""
+        self._listeners.append(listener)
+        return self
+
+    def remove_listener(self, listener: RecordListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def set_filter(self, stream_filter: Filter) -> "MobileStream":
+        """Replace the stream's filter (Figure 7's ``setFilter``).
+
+        Goes through the manager so the privacy screen and the context
+        monitors are refreshed.
+        """
+        self._require_not_destroyed()
+        self._manager.reconfigure_stream(self, self.config.with_filter(stream_filter))
+        return self
+
+    def configure(self, settings: dict) -> "MobileStream":
+        """Update duty cycle / sample rate (the key-value settings object)."""
+        self._require_not_destroyed()
+        merged = dict(self.config.settings)
+        merged.update(settings)
+        self._manager.reconfigure_stream(self, replace(self.config, settings=merged))
+        return self
+
+    def pause(self) -> None:
+        """Application-level pause."""
+        self._require_not_destroyed()
+        if self.state is StreamState.ACTIVE:
+            self.state = StreamState.PAUSED
+            self._manager.on_stream_state_changed(self)
+
+    def resume(self) -> None:
+        self._require_not_destroyed()
+        if self.state is StreamState.PAUSED:
+            self.state = StreamState.ACTIVE
+            self._manager.on_stream_state_changed(self)
+
+    def destroy(self) -> None:
+        self._manager.destroy_stream(self.stream_id)
+
+    # -- manager-facing ---------------------------------------------------------
+
+    def deliver(self, record: StreamRecord) -> None:
+        """Hand a record to every registered listener."""
+        self.records_delivered += 1
+        for listener in list(self._listeners):
+            listener(record)
+
+    def listener_count(self) -> int:
+        return len(self._listeners)
+
+    def _require_not_destroyed(self) -> None:
+        if self.state is StreamState.DESTROYED:
+            raise StreamStateError(f"stream {self.stream_id!r} is destroyed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MobileStream {self.stream_id} {self.modality.value}/"
+                f"{self.granularity.value} {self.state.value}>")

@@ -1,0 +1,27 @@
+"""SenSocial server middleware (the Java-library half of Figure 3).
+
+The server component registers users/devices, taps OSN plug-ins,
+remotely creates and manages streams on mobiles (XML configs over
+MQTT), triggers OSN-action-based one-off sensing, filters incoming
+streams with cross-user conditions, aggregates related streams, and
+manages multicast streams over geo- or OSN-selected user groups.
+"""
+
+from repro.core.server.storage import ServerDatabase
+from repro.core.server.server_stream import ServerStream
+from repro.core.server.aggregator import Aggregator
+from repro.core.server.trigger import TriggerManager
+from repro.core.server.filter_manager import ServerFilterManager
+from repro.core.server.multicast import MulticastQuery, MulticastStream
+from repro.core.server.manager import ServerSenSocialManager
+
+__all__ = [
+    "Aggregator",
+    "MulticastQuery",
+    "MulticastStream",
+    "ServerDatabase",
+    "ServerFilterManager",
+    "ServerSenSocialManager",
+    "ServerStream",
+    "TriggerManager",
+]

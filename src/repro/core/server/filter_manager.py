@@ -1,0 +1,86 @@
+"""Server Filter Manager: cross-user conditions over incoming streams.
+
+"These filters can include data from multiple users, as streams coming
+from one user can be conditioned on data coming from another user"
+(§3.2).  The manager keeps a per-user context cache fed by every
+incoming record and by OSN actions, and suppresses records whose
+cross-user conditions do not hold.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.common.conditions import Condition, Operator
+from repro.core.common.modality import (
+    CLASSIFIED_FOR,
+    OSN_MODALITIES,
+    ModalityType,
+    ModalityValue,
+)
+from repro.core.common.granularity import Granularity
+from repro.core.common.records import StreamRecord
+from repro.simkit.world import World
+
+#: How long an OSN action keeps a user's platform modality "active"
+#: for cross-user conditions.
+OSN_ACTIVE_WINDOW_S = 120.0
+
+_VIRTUAL_OF_SENSOR = {sensor: virtual for virtual, sensor in CLASSIFIED_FOR.items()}
+
+
+class ServerFilterManager:
+    """Per-user context plus cross-user condition evaluation."""
+
+    def __init__(self, world: World):
+        self._world = world
+        self._context: dict[str, dict[ModalityType, Any]] = {}
+        self._osn_active_until: dict[tuple[str, ModalityType], float] = {}
+        self.conditions_evaluated = 0
+
+    # -- context maintenance ---------------------------------------------------
+
+    def observe_record(self, record: StreamRecord) -> None:
+        """Fold an incoming record into its user's context."""
+        user_context = self._context.setdefault(record.user_id, {})
+        user_context[record.modality] = record.value
+        if record.granularity is Granularity.CLASSIFIED:
+            virtual = _VIRTUAL_OF_SENSOR.get(record.modality)
+            if virtual is not None:
+                user_context[virtual] = record.value
+
+    def observe_location(self, user_id: str, place: str | None) -> None:
+        if place is not None:
+            self._context.setdefault(user_id, {})[ModalityType.PLACE] = place
+
+    def mark_osn_active(self, user_id: str, modality: ModalityType,
+                        window_s: float = OSN_ACTIVE_WINDOW_S) -> None:
+        self._osn_active_until[(user_id, modality)] = self._world.now + window_s
+
+    def context_value(self, user_id: str, modality: ModalityType) -> Any:
+        if modality in OSN_MODALITIES:
+            until = self._osn_active_until.get((user_id, modality), -1.0)
+            return ModalityValue.ACTIVE if self._world.now < until else "inactive"
+        return self._context.get(user_id, {}).get(modality)
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def cross_user_conditions_satisfied(
+            self, conditions: list[Condition]) -> bool:
+        """Evaluate the user-qualified conditions of a stream's filter."""
+        for condition in conditions:
+            if not condition.is_cross_user:
+                continue
+            self.conditions_evaluated += 1
+            observed = self.context_value(condition.user_id, condition.modality)
+            if condition.modality in OSN_MODALITIES:
+                # "equals active" means the user acted recently; other
+                # operators compare against the same activity flag.
+                if condition.operator is Operator.EQUALS and \
+                        condition.value == ModalityValue.ACTIVE:
+                    if observed != ModalityValue.ACTIVE:
+                        return False
+                    continue
+            if not condition.evaluate(observed):
+                return False
+        return True

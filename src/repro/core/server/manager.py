@@ -1,0 +1,326 @@
+"""The server SenSocial Manager: entry point of the server middleware.
+
+Responsibilities (Figure 3, right side): device registration over
+MQTT, OSN plug-in intake, trigger routing, remote stream lifecycle
+(XML config push / destroy), incoming stream-data handling with
+server-side filtering, aggregators, multicast streams, and the
+database of users, links and locations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from dataclasses import replace
+from typing import Callable
+
+from repro.core.common.filters import Filter
+from repro.core.common.granularity import Granularity
+from repro.core.common.modality import ModalityType
+from repro.core.common.records import StreamRecord
+from repro.core.common.stream_config import StreamConfig, StreamMode
+from repro.core.mobile.mqtt_service import REGISTRATION_FILTER
+from repro.core.server.aggregator import Aggregator
+from repro.core.server.filter_manager import ServerFilterManager
+from repro.core.server.multicast import MulticastQuery, MulticastStream
+from repro.core.server.server_stream import ServerStream
+from repro.core.server.storage import ServerDatabase
+from repro.core.server.trigger import TriggerManager
+from repro.core.common.errors import MiddlewareError
+from repro.mqtt.client import MqttClient
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.osn.actions import ActionType, OsnAction
+from repro.plugins.base import OsnPlugin
+from repro.simkit.world import World
+
+ActionListener = Callable[[OsnAction], None]
+RecordListener = Callable[[StreamRecord], None]
+
+_PLATFORM_MODALITY = {
+    "facebook": ModalityType.FACEBOOK_ACTIVITY,
+    "twitter": ModalityType.TWITTER_ACTIVITY,
+}
+
+
+class ServerSenSocialManager(Endpoint):
+    """Singleton-style server middleware core."""
+
+    def __init__(self, world: World, network: Network,
+                 database: ServerDatabase | None = None,
+                 broker_address: str = "mqtt-broker",
+                 address: str = "sensocial-server",
+                 processing_delay: LatencyModel | None = None):
+        self.world = world
+        self.network = network
+        self.address = address
+        self.database = database if database is not None else ServerDatabase()
+        self.mqtt = MqttClient(world, network, client_id="sensocial-server",
+                               address=f"mqtt/{address}",
+                               broker_address=broker_address)
+        self.triggers = TriggerManager(world, self.mqtt, processing_delay)
+        self.filters = ServerFilterManager(world)
+        self.streams: dict[str, ServerStream] = {}
+        self.multicasts: list[MulticastStream] = []
+        self._plugins: list[OsnPlugin] = []
+        self._action_listeners: list[ActionListener] = []
+        self._record_listeners: list[RecordListener] = []
+        self._registration_listeners: list[Callable[[str, str], None]] = []
+        self._stream_seq = itertools.count(1)
+        self._recent_action_latencies: deque[float] = deque(maxlen=1000)
+        self.records_received = 0
+        self.actions_received = 0
+        network.register(address, self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Connect to the broker and begin accepting registrations."""
+        self.mqtt.connect(clean_session=False)
+        self.mqtt.subscribe(REGISTRATION_FILTER, self._on_registration)
+
+    def attach_plugin(self, plugin: OsnPlugin) -> None:
+        """Consume a platform plug-in's captured actions."""
+        self._plugins.append(plugin)
+        plugin.add_listener(self._on_osn_action)
+
+    def plugins(self) -> list[OsnPlugin]:
+        return list(self._plugins)
+
+    # -- application API -------------------------------------------------------
+
+    def add_action_listener(self, listener: ActionListener) -> None:
+        """Server-app callback for every captured OSN action."""
+        self._action_listeners.append(listener)
+
+    def register_listener(self, listener: RecordListener) -> None:
+        """Server-app callback for every incoming stream record (the
+        paper's server-side ``registerListener()``)."""
+        self._record_listeners.append(listener)
+
+    def on_registration(self, listener: Callable[[str, str], None]) -> None:
+        """Callback fired as ``(user_id, device_id)`` register."""
+        self._registration_listeners.append(listener)
+
+    # -- user/graph management ----------------------------------------------------
+
+    def sync_social_graph(self, graph) -> None:
+        """Mirror an OSN social graph's friendships into the database."""
+        for user_id in graph.users():
+            if self.database.is_registered(user_id):
+                self.database.set_friends(user_id, [
+                    friend for friend in graph.friends(user_id)
+                    if self.database.is_registered(friend)])
+
+    def registered_users(self) -> list[str]:
+        return self.database.user_ids()
+
+    def device_of(self, user_id: str) -> str | None:
+        return self.database.device_of(user_id)
+
+    # -- remote stream lifecycle -----------------------------------------------------
+
+    def create_stream(self, user_id: str, modality: ModalityType | str,
+                      granularity: Granularity | str = Granularity.CLASSIFIED, *,
+                      stream_filter: Filter | None = None,
+                      settings: dict | None = None,
+                      mode: StreamMode = StreamMode.CONTINUOUS) -> ServerStream:
+        """Create a stream on ``user_id``'s device, managed from here."""
+        modality = ModalityType(modality)
+        granularity = Granularity.parse(granularity)
+        device_id = self.database.device_of(user_id)
+        if device_id is None:
+            raise MiddlewareError(f"user {user_id!r} has no registered device")
+        stream_filter = stream_filter if stream_filter is not None else Filter()
+        # Any OSN condition (own or cross-user) makes sampling
+        # trigger-driven, so the pushed config must say so explicitly —
+        # the mobile cannot see cross-user conditions.
+        if stream_filter.osn_conditions():
+            mode = StreamMode.SOCIAL_EVENT
+        config = StreamConfig(
+            stream_id=f"srv-s{next(self._stream_seq)}",
+            device_id=device_id,
+            modality=modality,
+            granularity=granularity,
+            mode=mode,
+            filter=stream_filter,
+            settings=dict(settings or {}),
+            send_to_server=True,
+            created_by="server",
+        )
+        stream = ServerStream(self, config, user_id)
+        self.streams[config.stream_id] = stream
+        self.triggers.push_config(config)
+        return stream
+
+    def update_stream_filter(self, stream: ServerStream,
+                             stream_filter: Filter) -> None:
+        stream.config = stream.config.with_filter(stream_filter)
+        self.triggers.push_config(stream.config)
+
+    def update_stream_settings(self, stream: ServerStream, settings: dict) -> None:
+        merged = dict(stream.config.settings)
+        merged.update(settings)
+        stream.config = replace(stream.config, settings=merged)
+        self.triggers.push_config(stream.config)
+
+    def destroy_stream(self, stream_id: str) -> None:
+        stream = self.streams.pop(stream_id, None)
+        if stream is None or stream.destroyed:
+            return
+        stream.destroyed = True
+        self.triggers.push_destroy(stream.device_id, stream_id)
+
+    # -- aggregation and multicast ------------------------------------------------------
+
+    def create_aggregator(self, name: str,
+                          streams: list[ServerStream]) -> Aggregator:
+        return Aggregator.wrap(name, streams)
+
+    def create_multicast_stream(self, modality: ModalityType,
+                                granularity: Granularity,
+                                query: MulticastQuery, *,
+                                stream_filter: Filter | None = None,
+                                settings: dict | None = None,
+                                mode: StreamMode = StreamMode.CONTINUOUS,
+                                name: str | None = None) -> MulticastStream:
+        """Instantiate a multicast stream and populate its membership."""
+        multicast = MulticastStream(
+            self, modality, granularity, query, stream_filter=stream_filter,
+            settings=settings, mode=mode, name=name)
+        self.multicasts.append(multicast)
+        multicast.refresh()
+        return multicast
+
+    def on_multicast_destroyed(self, multicast: MulticastStream) -> None:
+        if multicast in self.multicasts:
+            self.multicasts.remove(multicast)
+
+    def select_users(self, query: MulticastQuery) -> list[str]:
+        """Evaluate a multicast membership query against the database."""
+        candidates = set(self.database.user_ids())
+        if query.user_ids is not None:
+            candidates &= set(query.user_ids)
+        if query.place is not None:
+            candidates &= set(self.database.users_in_place(query.place))
+        if query.near_point is not None:
+            candidates &= set(self.database.users_near(
+                list(query.near_point), query.near_km))
+        if query.near_user is not None:
+            location = self.database.location_of(query.near_user)
+            if location is None:
+                candidates = set()  # person's position unknown yet
+            else:
+                nearby = set(self.database.users_near(
+                    location["point"], query.near_user_km))
+                nearby.discard(query.near_user)
+                candidates &= nearby
+        if query.friends_of is not None:
+            friends = self._friends_within(query.friends_of, query.hops)
+            candidates &= friends
+        return sorted(candidates)
+
+    def _friends_within(self, user_id: str, hops: int) -> set[str]:
+        seen = {user_id}
+        frontier = {user_id}
+        reached: set[str] = set()
+        for _ in range(hops):
+            next_frontier: set[str] = set()
+            for current in frontier:
+                for friend in self.database.friends_of(current):
+                    if friend not in seen:
+                        seen.add(friend)
+                        reached.add(friend)
+                        next_frontier.add(friend)
+            frontier = next_frontier
+        return reached
+
+    # -- inbound paths --------------------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        protocol = message.headers.get("protocol")
+        if protocol == "stream-data":
+            self._on_stream_data(message.payload)
+        elif protocol == "location-update":
+            self._on_location_update(message.payload)
+
+    def _on_registration(self, topic: str, payload: str) -> None:
+        document = json.loads(payload)
+        self.database.register_device(document["user_id"],
+                                      document["device_id"],
+                                      document.get("modalities", []))
+        for listener in list(self._registration_listeners):
+            listener(document["user_id"], document["device_id"])
+
+    def _on_stream_data(self, payload: dict) -> None:
+        record = StreamRecord.from_dict(payload)
+        self.records_received += 1
+        self.filters.observe_record(record)
+        self.database.store_record(record)
+        stream = self.streams.get(record.stream_id)
+        if stream is not None:
+            cross_user = stream.config.filter.server_conditions()
+            if cross_user and not self.filters.cross_user_conditions_satisfied(
+                    cross_user):
+                stream.records_suppressed += 1
+                return
+            stream.deliver(record)
+        for listener in list(self._record_listeners):
+            listener(record)
+
+    def _on_location_update(self, payload: dict) -> None:
+        self.database.update_location(
+            payload["user_id"], payload["lon"], payload["lat"],
+            payload.get("place"), payload["timestamp"])
+        self.filters.observe_location(payload["user_id"], payload.get("place"))
+        # Geo-qualified multicast memberships may have changed: the
+        # §3.2 geo-fenced pattern (streams follow users as they move).
+        for multicast in list(self.multicasts):
+            if multicast.query.is_geo_dependent:
+                multicast.refresh()
+
+    def _on_osn_action(self, action: OsnAction) -> None:
+        self.actions_received += 1
+        self._recent_action_latencies.append(self.world.now - action.created_at)
+        self.database.store_action(action)
+        modality = _PLATFORM_MODALITY.get(action.platform)
+        if modality is not None:
+            self.filters.mark_osn_active(action.user_id, modality)
+        self._maintain_friendships(action)
+        for listener in list(self._action_listeners):
+            listener(action)
+        self._route_action_triggers(action)
+
+    def _maintain_friendships(self, action: OsnAction) -> None:
+        """Classify friendship actions to keep OSN links fresh (§4)."""
+        friend_id = action.payload.get("friend_id")
+        if friend_id is None:
+            return
+        if action.type is ActionType.FRIEND_ADD:
+            self.database.add_friend(action.user_id, friend_id)
+        elif action.type is ActionType.FRIEND_REMOVE:
+            self.database.remove_friend(action.user_id, friend_id)
+
+    def _route_action_triggers(self, action: OsnAction) -> None:
+        """Decide which devices must sense because of this action."""
+        own_device = self.database.device_of(action.user_id)
+        if own_device is not None:
+            self.triggers.send_action_trigger(own_device, action)
+        # Streams conditioned on *this* user's OSN activity from other
+        # devices (cross-user OSN conditions) get a targeted trigger.
+        for stream in self.streams.values():
+            if stream.destroyed or stream.device_id == own_device:
+                continue
+            for condition in stream.config.filter.osn_conditions():
+                if condition.is_cross_user and condition.user_id == action.user_id:
+                    self.triggers.send_action_trigger(
+                        stream.device_id, action, stream_ids=[stream.stream_id])
+                    break
+
+    # -- observability ---------------------------------------------------------------------
+
+    def action_latencies(self) -> list[float]:
+        """OSN action → server arrival delays (Table 3's first row)."""
+        return list(self._recent_action_latencies)

@@ -1,0 +1,126 @@
+"""Server-side persistence (the MongoDB of §4).
+
+Stores "information about user registration, user's OSN friendship and
+geographic location information", plus the captured OSN actions and
+stream records so server applications can run complex multi-user
+queries over them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.common.records import StreamRecord
+from repro.docstore import DocumentStore
+from repro.osn.actions import OsnAction
+
+
+class ServerDatabase:
+    """Typed facade over the document store."""
+
+    def __init__(self, store: DocumentStore | None = None):
+        self.store = store if store is not None else DocumentStore()
+        self.users = self.store["users"]
+        self.actions = self.store["actions"]
+        self.records = self.store["records"]
+        self.users.create_index("user_id", unique=True)
+        self.actions.create_index("user_id")
+        self.records.create_index("user_id")
+        self.records.create_index("stream_id")
+
+    # -- registration ------------------------------------------------------
+
+    def register_device(self, user_id: str, device_id: str,
+                        modalities: list[str]) -> None:
+        """Upsert a user's device registration."""
+        existing = self.users.find_one({"user_id": user_id})
+        if existing is None:
+            self.users.insert_one({
+                "user_id": user_id,
+                "device_id": device_id,
+                "modalities": list(modalities),
+                "friends": [],
+                "location": None,
+            })
+        else:
+            self.users.update_one({"user_id": user_id}, {"$set": {
+                "device_id": device_id,
+                "modalities": list(modalities),
+            }})
+
+    def device_of(self, user_id: str) -> str | None:
+        document = self.users.find_one({"user_id": user_id})
+        return document["device_id"] if document is not None else None
+
+    def user_ids(self) -> list[str]:
+        return sorted(document["user_id"] for document in self.users.find())
+
+    def is_registered(self, user_id: str) -> bool:
+        return self.users.find_one({"user_id": user_id}) is not None
+
+    # -- social links -------------------------------------------------------
+
+    def set_friends(self, user_id: str, friends: list[str]) -> None:
+        self.users.update_one({"user_id": user_id},
+                              {"$set": {"friends": sorted(friends)}})
+
+    def add_friend(self, user_id: str, friend_id: str) -> None:
+        self.users.update_one({"user_id": user_id},
+                              {"$addToSet": {"friends": friend_id}})
+        self.users.update_one({"user_id": friend_id},
+                              {"$addToSet": {"friends": user_id}})
+
+    def remove_friend(self, user_id: str, friend_id: str) -> None:
+        self.users.update_one({"user_id": user_id},
+                              {"$pull": {"friends": friend_id}})
+        self.users.update_one({"user_id": friend_id},
+                              {"$pull": {"friends": user_id}})
+
+    def friends_of(self, user_id: str) -> list[str]:
+        document = self.users.find_one({"user_id": user_id})
+        return list(document["friends"]) if document is not None else []
+
+    # -- geography -----------------------------------------------------------
+
+    def update_location(self, user_id: str, lon: float, lat: float,
+                        place: str | None, timestamp: float) -> None:
+        self.users.update_one({"user_id": user_id}, {"$set": {"location": {
+            "point": [lon, lat], "place": place, "timestamp": timestamp,
+        }}})
+
+    def location_of(self, user_id: str) -> dict[str, Any] | None:
+        document = self.users.find_one({"user_id": user_id})
+        return document.get("location") if document is not None else None
+
+    def users_in_place(self, place: str) -> list[str]:
+        """Users whose last classified location is ``place``."""
+        return sorted(document["user_id"] for document in
+                      self.users.find({"location.place": place}))
+
+    def users_near(self, point: list[float], max_km: float) -> list[str]:
+        """Users whose last fix is within ``max_km`` of ``point``.
+
+        MongoDB "natively supports geospatial querying.  This translates
+        to fast return of nearby users" (§5.5).
+        """
+        return sorted(document["user_id"] for document in self.users.find({
+            "location.point": {"$near": {"$point": list(point),
+                                         "$maxDistance": max_km}},
+        }))
+
+    # -- history -------------------------------------------------------------
+
+    def store_action(self, action: OsnAction) -> None:
+        self.actions.insert_one(action.to_document())
+
+    def store_record(self, record: StreamRecord) -> None:
+        self.records.insert_one(record.to_dict())
+
+    def actions_of(self, user_id: str) -> list[dict]:
+        return list(self.actions.find({"user_id": user_id}).sort("created_at"))
+
+    def records_of(self, user_id: str, modality: str | None = None) -> list[dict]:
+        query: dict[str, Any] = {"user_id": user_id}
+        if modality is not None:
+            query["modality"] = modality
+        return list(self.records.find(query).sort("timestamp"))

@@ -1,0 +1,44 @@
+"""Simulated smartphone substrate.
+
+A :class:`Smartphone` bundles the hardware models the middleware's
+micro-benchmarks observe — battery, CPU, heap, radio — together with
+five sensors (accelerometer, microphone, GPS, WiFi, Bluetooth) whose
+readings are driven by a per-user physical environment (position,
+activity, audio scene) updated by mobility models.
+
+All hardware constants live in :mod:`repro.device.calibration`, each
+annotated with the paper measurement it reproduces.
+"""
+
+from repro.device.errors import DeviceError, SensorError
+from repro.device.battery import Battery, EnergyCategory
+from repro.device.cpu import CpuModel
+from repro.device.memory import HeapModel
+from repro.device.radio import Radio
+from repro.device.environment import (
+    ActivityState,
+    AudioState,
+    EnvironmentRegistry,
+    UserEnvironment,
+)
+from repro.device.mobility import City, CityRegistry, CityMobility, RandomWaypoint
+from repro.device.phone import Smartphone
+
+__all__ = [
+    "ActivityState",
+    "AudioState",
+    "Battery",
+    "City",
+    "CityMobility",
+    "CityRegistry",
+    "CpuModel",
+    "DeviceError",
+    "EnergyCategory",
+    "EnvironmentRegistry",
+    "HeapModel",
+    "Radio",
+    "RandomWaypoint",
+    "SensorError",
+    "Smartphone",
+    "UserEnvironment",
+]

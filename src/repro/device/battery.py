@@ -1,0 +1,72 @@
+"""Battery model with per-component, per-category energy ledger.
+
+Mirrors what PowerTutor gives the paper's authors: attribution of
+charge drain to the tasks a library performs — sampling,
+classification, transmission (§5.3, Figure 4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from enum import Enum
+
+from repro.device.calibration import BATTERY_CAPACITY_MAH
+from repro.device.errors import DeviceError
+
+
+class EnergyCategory(str, Enum):
+    """The key tasks whose energy the paper identifies separately."""
+
+    SAMPLING = "sampling"
+    CLASSIFICATION = "classification"
+    TRANSMISSION = "transmission"
+    RECEPTION = "reception"
+    IDLE = "idle"
+
+
+class Battery:
+    """Charge store plus a drain ledger keyed by (component, category)."""
+
+    def __init__(self, capacity_mah: float = BATTERY_CAPACITY_MAH):
+        if capacity_mah <= 0:
+            raise DeviceError(f"battery capacity must be > 0, got {capacity_mah}")
+        self.capacity_mah = capacity_mah
+        self.consumed_mah = 0.0
+        self._ledger: dict[tuple[str, EnergyCategory], float] = defaultdict(float)
+
+    @property
+    def remaining_mah(self) -> float:
+        return max(0.0, self.capacity_mah - self.consumed_mah)
+
+    @property
+    def level(self) -> float:
+        """State of charge in [0, 1]."""
+        return self.remaining_mah / self.capacity_mah
+
+    def drain(self, amount_mah: float, component: str,
+              category: EnergyCategory) -> None:
+        """Charge ``amount_mah`` to ``component``/``category``."""
+        if amount_mah < 0:
+            raise DeviceError(f"cannot drain a negative amount: {amount_mah}")
+        self.consumed_mah += amount_mah
+        self._ledger[(component, category)] += amount_mah
+
+    def consumed_by(self, component: str | None = None,
+                    category: EnergyCategory | None = None) -> float:
+        """Total drain filtered by component and/or category, in mAh."""
+        total = 0.0
+        for (ledger_component, ledger_category), amount in self._ledger.items():
+            if component is not None and ledger_component != component:
+                continue
+            if category is not None and ledger_category != category:
+                continue
+            total += amount
+        return total
+
+    def breakdown(self) -> dict[tuple[str, EnergyCategory], float]:
+        """A snapshot of the full ledger."""
+        return dict(self._ledger)
+
+    def snapshot(self) -> float:
+        """Current total consumption; subtract two snapshots for a delta."""
+        return self.consumed_mah

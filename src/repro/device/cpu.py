@@ -1,0 +1,51 @@
+"""CPU load model.
+
+Components register steady-state loads (percent of one core) under a
+name; the total is what Figure 5 plots against the number of active
+streams.  Transient work (a classification pass) can be recorded as a
+busy pulse that decays at the next sample, mimicking how TraceView
+averages short spikes.
+"""
+
+from __future__ import annotations
+
+from repro.device.errors import DeviceError
+
+
+class CpuModel:
+    """Additive steady-state loads plus transient pulses, capped at 100 %."""
+
+    def __init__(self, base_load_pct: float = 0.0):
+        if base_load_pct < 0:
+            raise DeviceError(f"base load must be >= 0, got {base_load_pct}")
+        self.base_load_pct = base_load_pct
+        self._loads: dict[str, float] = {}
+        self._pulse_pct = 0.0
+
+    def set_load(self, name: str, pct: float) -> None:
+        """Register or update a steady load component."""
+        if pct < 0:
+            raise DeviceError(f"load must be >= 0, got {pct}")
+        self._loads[name] = pct
+
+    def clear_load(self, name: str) -> None:
+        self._loads.pop(name, None)
+
+    def pulse(self, pct: float) -> None:
+        """Record transient work visible in the next utilisation sample."""
+        if pct < 0:
+            raise DeviceError(f"pulse must be >= 0, got {pct}")
+        self._pulse_pct += pct
+
+    def utilization_pct(self) -> float:
+        """Current total load (consumes any pending pulse), capped at 100."""
+        total = self.base_load_pct + sum(self._loads.values()) + self._pulse_pct
+        self._pulse_pct = 0.0
+        return min(100.0, total)
+
+    def steady_load_pct(self) -> float:
+        """Steady-state load only (no pulses, no cap reset)."""
+        return min(100.0, self.base_load_pct + sum(self._loads.values()))
+
+    def load_names(self) -> list[str]:
+        return sorted(self._loads)

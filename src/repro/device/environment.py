@@ -1,0 +1,103 @@
+"""Ground-truth physical environment of every user.
+
+Sensors don't invent data: they observe a per-user environment — the
+user's position, physical activity and audio scene — maintained by the
+mobility models.  The registry also answers proximity questions
+(who is nearby, which WiFi access points are visible), which is what
+the Bluetooth and WiFi sensors report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.docstore.geo import haversine_km
+from repro.simkit.errors import SimulationError
+
+
+class ActivityState(str, Enum):
+    """Physical activity classes the paper's classifier emits (§4)."""
+
+    STILL = "still"
+    WALKING = "walking"
+    RUNNING = "running"
+
+
+class AudioState(str, Enum):
+    """Audio environment classes the paper's classifier emits (§4)."""
+
+    SILENT = "silent"
+    NOISY = "not_silent"
+
+
+@dataclass
+class UserEnvironment:
+    """The ground truth a single user's sensors observe."""
+
+    user_id: str
+    position: list[float] = field(default_factory=lambda: [0.0, 0.0])  # [lon, lat]
+    activity: ActivityState = ActivityState.STILL
+    audio: AudioState = AudioState.SILENT
+    city_name: str | None = None
+
+    def move_to(self, lon: float, lat: float) -> None:
+        self.position = [float(lon), float(lat)]
+
+
+class EnvironmentRegistry:
+    """World-level registry of user environments and WiFi infrastructure."""
+
+    #: Radius within which two phones "see" each other over Bluetooth.
+    BLUETOOTH_RANGE_KM = 0.05
+    #: Radius within which an access point is visible.
+    WIFI_RANGE_KM = 0.15
+
+    def __init__(self):
+        self._environments: dict[str, UserEnvironment] = {}
+        self._access_points: list[tuple[str, list[float]]] = []
+
+    def register(self, environment: UserEnvironment) -> UserEnvironment:
+        if environment.user_id in self._environments:
+            raise SimulationError(
+                f"environment for {environment.user_id!r} already registered")
+        self._environments[environment.user_id] = environment
+        return environment
+
+    def get(self, user_id: str) -> UserEnvironment:
+        try:
+            return self._environments[user_id]
+        except KeyError:
+            raise SimulationError(f"no environment for user {user_id!r}") from None
+
+    def has(self, user_id: str) -> bool:
+        return user_id in self._environments
+
+    def user_ids(self) -> list[str]:
+        return sorted(self._environments)
+
+    def nearby_users(self, user_id: str, radius_km: float | None = None) -> list[str]:
+        """Other users within ``radius_km`` of ``user_id`` (Bluetooth range
+        by default), sorted by distance."""
+        if radius_km is None:
+            radius_km = self.BLUETOOTH_RANGE_KM
+        origin = self.get(user_id).position
+        candidates = []
+        for other_id, environment in self._environments.items():
+            if other_id == user_id:
+                continue
+            distance = haversine_km(origin, environment.position)
+            if distance <= radius_km:
+                candidates.append((distance, other_id))
+        return [other_id for _, other_id in sorted(candidates)]
+
+    def add_access_point(self, ssid: str, position: list[float]) -> None:
+        self._access_points.append((ssid, [float(position[0]), float(position[1])]))
+
+    def visible_access_points(self, position: list[float]) -> list[str]:
+        """SSIDs of access points within WiFi range of ``position``."""
+        visible = []
+        for ssid, ap_position in self._access_points:
+            if haversine_km(position, ap_position) <= self.WIFI_RANGE_KM:
+                visible.append(ssid)
+        return sorted(visible)

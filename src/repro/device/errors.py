@@ -1,0 +1,9 @@
+"""Device substrate errors."""
+
+
+class DeviceError(Exception):
+    """Base class for device simulation errors."""
+
+
+class SensorError(DeviceError):
+    """Raised for unknown sensor modalities or invalid sensing configs."""

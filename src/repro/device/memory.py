@@ -1,0 +1,57 @@
+"""Heap model: DDMS-style memory accounting.
+
+Android retains paused apps in memory and kills large ones first
+(§5.2), so the paper reports heap-allowed, heap-allocated and object
+counts for a stub middleware app.  Components register allocations
+under a name; the heap limit grows ahead of demand the way Dalvik's
+does.
+"""
+
+from __future__ import annotations
+
+from repro.device.calibration import HEAP_HEADROOM_FACTOR
+from repro.device.errors import DeviceError
+
+
+class HeapModel:
+    """Named allocations with Dalvik-like headroom growth."""
+
+    def __init__(self, headroom_factor: float = HEAP_HEADROOM_FACTOR):
+        if headroom_factor < 1.0:
+            raise DeviceError(
+                f"headroom factor must be >= 1, got {headroom_factor}")
+        self._headroom = headroom_factor
+        self._allocations: dict[str, tuple[float, int]] = {}
+        self._high_water_mb = 0.0
+
+    def allocate(self, name: str, megabytes: float, objects: int) -> None:
+        """Register (or grow) the allocation owned by ``name``."""
+        if megabytes < 0 or objects < 0:
+            raise DeviceError("allocations must be non-negative")
+        current_mb, current_objects = self._allocations.get(name, (0.0, 0))
+        self._allocations[name] = (current_mb + megabytes, current_objects + objects)
+        self._high_water_mb = max(self._high_water_mb, self.allocated_mb)
+
+    def free(self, name: str) -> None:
+        """Release everything owned by ``name``; idempotent."""
+        self._allocations.pop(name, None)
+
+    @property
+    def allocated_mb(self) -> float:
+        return sum(megabytes for megabytes, _ in self._allocations.values())
+
+    @property
+    def object_count(self) -> int:
+        return sum(objects for _, objects in self._allocations.values())
+
+    @property
+    def allowed_mb(self) -> float:
+        """The heap limit: grows with the high-water mark, never shrinks."""
+        return self._high_water_mb * self._headroom
+
+    def owners(self) -> list[str]:
+        return sorted(self._allocations)
+
+    def footprint(self) -> dict[str, tuple[float, int]]:
+        """Per-owner (MB, objects) snapshot."""
+        return dict(self._allocations)

@@ -1,0 +1,295 @@
+"""Mobility and activity ground-truth models.
+
+The geo-aware scenarios (Figure 2: a friend travels from Bordeaux to
+Paris) need users who live in cities, wander inside them, occasionally
+travel, and switch between still / walking / running — because filters
+like "sample GPS only when walking" observe those transitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device.environment import (
+    ActivityState,
+    AudioState,
+    EnvironmentRegistry,
+    UserEnvironment,
+)
+from repro.docstore.geo import haversine_km
+from repro.simkit.errors import SimulationError
+from repro.simkit.scheduler import PeriodicTask
+from repro.simkit.world import World
+
+
+@dataclass(frozen=True)
+class City:
+    """A circular city footprint."""
+
+    name: str
+    lon: float
+    lat: float
+    radius_km: float = 8.0
+
+    @property
+    def center(self) -> list[float]:
+        return [self.lon, self.lat]
+
+    def contains(self, position: list[float]) -> bool:
+        return haversine_km(position, self.center) <= self.radius_km
+
+
+class CityRegistry:
+    """Known cities; also the reverse geocoder for the location classifier."""
+
+    def __init__(self):
+        self._cities: dict[str, City] = {}
+
+    def add(self, city: City) -> City:
+        if city.name in self._cities:
+            raise SimulationError(f"city {city.name!r} already registered")
+        self._cities[city.name] = city
+        return city
+
+    def get(self, name: str) -> City:
+        try:
+            return self._cities[name]
+        except KeyError:
+            raise SimulationError(f"unknown city {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._cities)
+
+    def city_of(self, position: list[float]) -> City | None:
+        """The city containing ``position``; nearest wins on overlap."""
+        best: City | None = None
+        best_distance = math.inf
+        for city in self._cities.values():
+            distance = haversine_km(position, city.center)
+            if distance <= city.radius_km and distance < best_distance:
+                best = city
+                best_distance = distance
+        return best
+
+    @classmethod
+    def europe(cls) -> "CityRegistry":
+        """The default map used by examples and benches."""
+        registry = cls()
+        registry.add(City("Paris", 2.3522, 48.8566))
+        registry.add(City("Bordeaux", -0.5792, 44.8378))
+        registry.add(City("London", -0.1276, 51.5072))
+        registry.add(City("Birmingham", -1.8986, 52.4862))
+        registry.add(City("Lyon", 4.8357, 45.7640))
+        registry.add(City("Manchester", -2.2426, 53.4808))
+        return registry
+
+
+#: Per-update activity transition probabilities (rows sum to 1).
+ACTIVITY_TRANSITIONS: dict[ActivityState, list[tuple[ActivityState, float]]] = {
+    ActivityState.STILL: [
+        (ActivityState.STILL, 0.85),
+        (ActivityState.WALKING, 0.12),
+        (ActivityState.RUNNING, 0.03),
+    ],
+    ActivityState.WALKING: [
+        (ActivityState.STILL, 0.30),
+        (ActivityState.WALKING, 0.60),
+        (ActivityState.RUNNING, 0.10),
+    ],
+    ActivityState.RUNNING: [
+        (ActivityState.STILL, 0.20),
+        (ActivityState.WALKING, 0.30),
+        (ActivityState.RUNNING, 0.50),
+    ],
+}
+
+#: Probability of a noisy audio scene given the current activity.
+NOISY_GIVEN_ACTIVITY = {
+    ActivityState.STILL: 0.25,
+    ActivityState.WALKING: 0.65,
+    ActivityState.RUNNING: 0.80,
+}
+
+#: Walking / running speeds, km per hour.
+SPEED_KMH = {
+    ActivityState.STILL: 0.0,
+    ActivityState.WALKING: 4.5,
+    ActivityState.RUNNING: 10.0,
+}
+
+
+def _offset_position(position: list[float], bearing_rad: float,
+                     distance_km: float) -> list[float]:
+    """Move ``distance_km`` from ``position`` along ``bearing_rad``.
+
+    A local-tangent-plane approximation, plenty accurate at city scale.
+    """
+    dlat = (distance_km / 111.32) * math.cos(bearing_rad)
+    dlon = (distance_km / (111.32 * max(0.2, math.cos(math.radians(position[1]))))
+            ) * math.sin(bearing_rad)
+    return [position[0] + dlon, position[1] + dlat]
+
+
+class CityMobility:
+    """A resident of a city: wanders inside it, may travel to another.
+
+    Each update advances the activity Markov chain, resamples the audio
+    scene, and moves the user according to their activity.  ``travel_to``
+    interpolates the position towards another city over a duration —
+    exactly the Figure 2 scenario.
+    """
+
+    UPDATE_PERIOD_S = 30.0
+
+    def __init__(self, world: World, environment: UserEnvironment,
+                 registry: EnvironmentRegistry, cities: CityRegistry,
+                 home_city: str):
+        self._world = world
+        self._rng = world.rng(f"mobility-{environment.user_id}")
+        self.environment = environment
+        self._cities = cities
+        self.city = cities.get(home_city)
+        environment.city_name = self.city.name
+        environment.move_to(*self.city.center)
+        if not registry.has(environment.user_id):
+            registry.register(environment)
+        self._task: PeriodicTask | None = None
+        self._travel_target: City | None = None
+        self._travel_step_km = 0.0
+
+    def start(self) -> "CityMobility":
+        if self._task is None:
+            self._task = self._world.scheduler.every(
+                self.UPDATE_PERIOD_S, self._update, delay=self.UPDATE_PERIOD_S)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def travel_to(self, city_name: str, duration_s: float = 3 * 3600.0) -> None:
+        """Begin moving towards another city, arriving after ``duration_s``."""
+        target = self._cities.get(city_name)
+        distance = haversine_km(self.environment.position, target.center)
+        steps = max(1.0, duration_s / self.UPDATE_PERIOD_S)
+        self._travel_target = target
+        self._travel_step_km = distance / steps
+
+    @property
+    def travelling(self) -> bool:
+        return self._travel_target is not None
+
+    def _update(self) -> None:
+        environment = self.environment
+        environment.activity = self._next_activity(environment.activity)
+        noisy = self._rng.random() < NOISY_GIVEN_ACTIVITY[environment.activity]
+        environment.audio = AudioState.NOISY if noisy else AudioState.SILENT
+        if self._travel_target is not None:
+            self._travel_step()
+        else:
+            self._wander_step()
+        city = self._cities.city_of(environment.position)
+        environment.city_name = city.name if city is not None else None
+
+    def _next_activity(self, current: ActivityState) -> ActivityState:
+        draw = self._rng.random()
+        for state, probability in ACTIVITY_TRANSITIONS[current]:
+            draw -= probability
+            if draw <= 0:
+                return state
+        return current
+
+    def _wander_step(self) -> None:
+        environment = self.environment
+        speed = SPEED_KMH[environment.activity]
+        if speed == 0.0:
+            return
+        distance = speed * self.UPDATE_PERIOD_S / 3600.0
+        bearing = self._rng.uniform(0, 2 * math.pi)
+        candidate = _offset_position(environment.position, bearing, distance)
+        # Stay inside the home city while not travelling.
+        if self.city.contains(candidate):
+            environment.position = candidate
+
+    def _travel_step(self) -> None:
+        environment = self.environment
+        target = self._travel_target
+        remaining = haversine_km(environment.position, target.center)
+        if remaining <= self._travel_step_km:
+            environment.position = list(target.center)
+            self.city = target
+            self._travel_target = None
+            return
+        fraction = self._travel_step_km / remaining
+        environment.position = [
+            environment.position[0] + (target.lon - environment.position[0]) * fraction,
+            environment.position[1] + (target.lat - environment.position[1]) * fraction,
+        ]
+
+
+class RandomWaypoint:
+    """Classic random-waypoint mobility inside a bounding box.
+
+    Used by synthetic scalability workloads that don't need city
+    semantics: pick a waypoint, move towards it at walking speed,
+    pause, repeat.
+    """
+
+    UPDATE_PERIOD_S = 30.0
+
+    def __init__(self, world: World, environment: UserEnvironment,
+                 registry: EnvironmentRegistry,
+                 bbox: tuple[float, float, float, float],
+                 speed_kmh: float = 4.5, pause_s: float = 60.0):
+        self._world = world
+        self._rng = world.rng(f"waypoint-{environment.user_id}")
+        self.environment = environment
+        self._bbox = bbox  # (min_lon, min_lat, max_lon, max_lat)
+        self._speed_kmh = speed_kmh
+        self._pause_s = pause_s
+        self._waypoint: list[float] | None = None
+        self._pause_until = 0.0
+        if not registry.has(environment.user_id):
+            registry.register(environment)
+        min_lon, min_lat, max_lon, max_lat = bbox
+        environment.move_to(self._rng.uniform(min_lon, max_lon),
+                            self._rng.uniform(min_lat, max_lat))
+        self._task: PeriodicTask | None = None
+
+    def start(self) -> "RandomWaypoint":
+        if self._task is None:
+            self._task = self._world.scheduler.every(
+                self.UPDATE_PERIOD_S, self._update, delay=self.UPDATE_PERIOD_S)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _update(self) -> None:
+        environment = self.environment
+        if self._world.now < self._pause_until:
+            environment.activity = ActivityState.STILL
+            return
+        if self._waypoint is None:
+            min_lon, min_lat, max_lon, max_lat = self._bbox
+            self._waypoint = [self._rng.uniform(min_lon, max_lon),
+                              self._rng.uniform(min_lat, max_lat)]
+        environment.activity = ActivityState.WALKING
+        step_km = self._speed_kmh * self.UPDATE_PERIOD_S / 3600.0
+        remaining = haversine_km(environment.position, self._waypoint)
+        if remaining <= step_km:
+            environment.position = list(self._waypoint)
+            self._waypoint = None
+            self._pause_until = self._world.now + self._pause_s
+            return
+        fraction = step_km / remaining
+        environment.position = [
+            environment.position[0]
+            + (self._waypoint[0] - environment.position[0]) * fraction,
+            environment.position[1]
+            + (self._waypoint[1] - environment.position[1]) * fraction,
+        ]

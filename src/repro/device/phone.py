@@ -1,0 +1,116 @@
+"""The smartphone: hardware models + sensors + a network presence."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.device import calibration
+from repro.device.battery import Battery, EnergyCategory
+from repro.device.cpu import CpuModel
+from repro.device.environment import EnvironmentRegistry, UserEnvironment
+from repro.device.errors import SensorError
+from repro.device.memory import HeapModel
+from repro.device.radio import Radio
+from repro.device.sensors import (
+    AccelerometerSensor,
+    BluetoothSensor,
+    GpsSensor,
+    MicrophoneSensor,
+    Sensor,
+    WifiSensor,
+)
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.simkit.world import World
+
+_device_counter = itertools.count(1)
+
+
+class Smartphone(Endpoint):
+    """One simulated handset owned by one user.
+
+    The phone is a network endpoint (address ``device/<id>``); app-layer
+    payloads are dispatched to handlers registered per protocol key, and
+    an idle-drain task attributes background energy the way PowerTutor
+    attributes an app's idle cost.
+    """
+
+    IDLE_ACCOUNTING_PERIOD_S = 60.0
+
+    def __init__(self, world: World, network: Network,
+                 env_registry: EnvironmentRegistry, user_id: str,
+                 device_id: str | None = None):
+        self._world = world
+        self._network = network
+        self.user_id = user_id
+        self.device_id = device_id or f"d{next(_device_counter):04d}"
+        self.address = f"device/{self.device_id}"
+
+        if env_registry.has(user_id):
+            self.environment = env_registry.get(user_id)
+        else:
+            self.environment = env_registry.register(UserEnvironment(user_id))
+
+        self.battery = Battery()
+        self.cpu = CpuModel(base_load_pct=0.0)
+        self.heap = HeapModel()
+        self.heap.allocate("app-base", calibration.HEAP_BASE_APP_MB,
+                           calibration.HEAP_BASE_APP_OBJECTS)
+        self.radio = Radio(world, self.battery)
+
+        self.sensors: dict[str, Sensor] = {
+            "accelerometer": AccelerometerSensor(world, self.battery, self.environment),
+            "microphone": MicrophoneSensor(world, self.battery, self.environment),
+            "location": GpsSensor(world, self.battery, self.environment),
+            "wifi": WifiSensor(world, self.battery, self.environment, env_registry),
+            "bluetooth": BluetoothSensor(world, self.battery, self.environment,
+                                         env_registry),
+        }
+
+        self._handlers: dict[str, Callable[[Any, Message], None]] = {}
+        network.register(self.address, self)
+        world.scheduler.every(self.IDLE_ACCOUNTING_PERIOD_S, self._account_idle,
+                              delay=self.IDLE_ACCOUNTING_PERIOD_S)
+
+    # -- sensing --------------------------------------------------------
+
+    def sensor(self, modality: str) -> Sensor:
+        try:
+            return self.sensors[modality]
+        except KeyError:
+            raise SensorError(
+                f"device {self.device_id!r} has no {modality!r} sensor; "
+                f"available: {sorted(self.sensors)}") from None
+
+    def supported_modalities(self) -> list[str]:
+        return sorted(self.sensors)
+
+    # -- app-layer networking --------------------------------------------
+
+    def on_protocol(self, key: str, handler: Callable[[Any, Message], None]) -> None:
+        """Register a handler for payloads sent with ``protocol`` = key."""
+        self._handlers[key] = handler
+
+    def send(self, dst: str, protocol: str, payload: Any,
+             size: int | None = None) -> Message:
+        """Send an app-layer payload from this phone."""
+        return self._network.send(self.address, dst, payload, size=size,
+                                  headers={"protocol": protocol})
+
+    def deliver(self, message: Message) -> None:
+        protocol = message.headers.get("protocol")
+        handler = self._handlers.get(protocol)
+        if handler is not None:
+            handler(message.payload, message)
+
+    # -- internals ---------------------------------------------------------
+
+    def _account_idle(self) -> None:
+        amount = (calibration.IDLE_DRAIN_MAH_PER_HOUR
+                  * self.IDLE_ACCOUNTING_PERIOD_S / 3600.0)
+        self.battery.drain(amount, "system", EnergyCategory.IDLE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Smartphone {self.device_id} user={self.user_id} "
+                f"battery={self.battery.level:.3f}>")

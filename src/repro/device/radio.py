@@ -1,0 +1,52 @@
+"""Radio energy model.
+
+Transmissions pay a wake-up overhead plus a per-byte cost; bursts that
+land while the radio is still in its post-transmission high-power tail
+skip the overhead (the Cool-Tether effect [40] the paper's §5.3 cites
+when averaging in "extra energy-tails").  Tiny control packets
+(keep-alives, acks) ride signalling channels at a reduced wake cost.
+"""
+
+from __future__ import annotations
+
+from repro.device import calibration
+from repro.device.battery import Battery, EnergyCategory
+from repro.simkit.world import World
+
+
+class Radio:
+    """Per-device radio; plugged into :class:`repro.net.Network` hooks."""
+
+    def __init__(self, world: World, battery: Battery, component: str = "radio"):
+        self._world = world
+        self._battery = battery
+        self.component = component
+        self._tail_until = -1.0
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self.bursts = 0
+
+    def account_tx(self, size: int) -> None:
+        """Charge one outgoing message of ``size`` bytes."""
+        self.bytes_tx += size
+        cost = size * calibration.RADIO_TX_PER_BYTE_MAH
+        if size < calibration.RADIO_CONTROL_SIZE_BYTES:
+            cost += calibration.RADIO_CONTROL_OVERHEAD_MAH
+        elif self._world.now >= self._tail_until:
+            cost += calibration.RADIO_TX_OVERHEAD_MAH
+            self.bursts += 1
+        if size >= calibration.RADIO_CONTROL_SIZE_BYTES:
+            self._tail_until = self._world.now + calibration.RADIO_TAIL_SECONDS
+        self._battery.drain(cost, self.component, EnergyCategory.TRANSMISSION)
+
+    def account_rx(self, size: int) -> None:
+        """Charge one incoming message of ``size`` bytes."""
+        self.bytes_rx += size
+        cost = size * calibration.RADIO_RX_PER_BYTE_MAH
+        cost += calibration.RADIO_RX_OVERHEAD_MAH
+        self._battery.drain(cost, self.component, EnergyCategory.RECEPTION)
+
+    @property
+    def in_tail(self) -> bool:
+        """Is the radio currently in its high-power tail?"""
+        return self._world.now < self._tail_until

@@ -1,0 +1,19 @@
+"""The five sensor modalities SenSocial supports (§4): GPS,
+accelerometer, microphone, WiFi and Bluetooth."""
+
+from repro.device.sensors.base import Sensor, SensorReading
+from repro.device.sensors.accelerometer import AccelerometerSensor
+from repro.device.sensors.microphone import MicrophoneSensor
+from repro.device.sensors.gps import GpsSensor
+from repro.device.sensors.wifi import WifiSensor
+from repro.device.sensors.bluetooth import BluetoothSensor
+
+__all__ = [
+    "AccelerometerSensor",
+    "BluetoothSensor",
+    "GpsSensor",
+    "MicrophoneSensor",
+    "Sensor",
+    "SensorReading",
+    "WifiSensor",
+]

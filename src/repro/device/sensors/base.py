@@ -1,0 +1,59 @@
+"""Sensor base class and readings."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.device import calibration
+from repro.device.battery import Battery, EnergyCategory
+from repro.device.environment import UserEnvironment
+from repro.simkit.world import World
+
+
+@dataclass
+class SensorReading:
+    """One raw sampling cycle's output."""
+
+    modality: str
+    timestamp: float
+    raw: Any
+    wire_bytes: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class Sensor(ABC):
+    """A physical sensor: samples the user's environment for energy."""
+
+    #: Subclasses set the modality name used across the middleware.
+    modality: str = ""
+
+    def __init__(self, world: World, battery: Battery,
+                 environment: UserEnvironment):
+        self._world = world
+        self._battery = battery
+        self._environment = environment
+        self._rng = world.rng(f"sensor-{self.modality}-{environment.user_id}")
+        self.samples_taken = 0
+
+    @property
+    def window_seconds(self) -> float:
+        """How long one sampling cycle keeps the sensor on."""
+        return calibration.SENSE_WINDOW_SECONDS[self.modality]
+
+    def sample(self) -> SensorReading:
+        """Run one sampling cycle: charge the battery, return raw data."""
+        self._battery.drain(calibration.SAMPLING_MAH[self.modality],
+                            self.modality, EnergyCategory.SAMPLING)
+        self.samples_taken += 1
+        return SensorReading(
+            modality=self.modality,
+            timestamp=self._world.now,
+            raw=self._read(),
+            wire_bytes=calibration.RAW_PAYLOAD_BYTES[self.modality],
+        )
+
+    @abstractmethod
+    def _read(self) -> Any:
+        """Produce this cycle's raw data from the environment."""

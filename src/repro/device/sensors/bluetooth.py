@@ -1,0 +1,27 @@
+"""Bluetooth: discovery scan returning co-located users' devices.
+
+Collocation with other devices is one of the paper's headline
+modalities; the geo-fenced multicast scenario of §3.2 ("sensor data
+gathering from users who are collocated with a specific person") is
+built on these scans.
+"""
+
+from __future__ import annotations
+
+from repro.device.battery import Battery
+from repro.device.environment import EnvironmentRegistry, UserEnvironment
+from repro.device.sensors.base import Sensor
+from repro.simkit.world import World
+
+
+class BluetoothSensor(Sensor):
+    modality = "bluetooth"
+
+    def __init__(self, world: World, battery: Battery,
+                 environment: UserEnvironment, registry: EnvironmentRegistry):
+        super().__init__(world, battery, environment)
+        self._registry = registry
+
+    def _read(self) -> list[str]:
+        nearby = self._registry.nearby_users(self._environment.user_id)
+        return [f"bt-{user_id}" for user_id in nearby]

@@ -1,0 +1,20 @@
+"""GPS: the user's true position plus fix noise."""
+
+from __future__ import annotations
+
+from repro.device.sensors.base import Sensor
+
+#: Horizontal fix noise, in degrees (~10 m).
+_FIX_NOISE_DEG = 0.0001
+
+
+class GpsSensor(Sensor):
+    modality = "location"
+
+    def _read(self) -> dict:
+        lon, lat = self._environment.position
+        return {
+            "lon": lon + self._rng.gauss(0.0, _FIX_NOISE_DEG),
+            "lat": lat + self._rng.gauss(0.0, _FIX_NOISE_DEG),
+            "accuracy_m": abs(self._rng.gauss(8.0, 3.0)) + 2.0,
+        }

@@ -1,0 +1,24 @@
+"""Microphone: RMS amplitude envelopes shaped by the audio scene."""
+
+from __future__ import annotations
+
+from repro.device.environment import AudioState
+from repro.device.sensors.base import Sensor
+
+#: (mean RMS amplitude, sigma) per audio scene, normalised to [0, 1].
+_SCENE_LEVELS = {
+    AudioState.SILENT: (0.02, 0.01),
+    AudioState.NOISY: (0.32, 0.12),
+}
+
+#: Envelope points per sampling window.
+WINDOW_SAMPLES = 20
+
+
+class MicrophoneSensor(Sensor):
+    modality = "microphone"
+
+    def _read(self) -> list[float]:
+        mean, sigma = _SCENE_LEVELS[self._environment.audio]
+        return [min(1.0, max(0.0, self._rng.gauss(mean, sigma)))
+                for _ in range(WINDOW_SAMPLES)]

@@ -1,0 +1,20 @@
+"""WiFi: the SSIDs visible from the user's position."""
+
+from __future__ import annotations
+
+from repro.device.battery import Battery
+from repro.device.environment import EnvironmentRegistry, UserEnvironment
+from repro.device.sensors.base import Sensor
+from repro.simkit.world import World
+
+
+class WifiSensor(Sensor):
+    modality = "wifi"
+
+    def __init__(self, world: World, battery: Battery,
+                 environment: UserEnvironment, registry: EnvironmentRegistry):
+        super().__init__(world, battery, environment)
+        self._registry = registry
+
+    def _read(self) -> list[str]:
+        return self._registry.visible_access_points(self._environment.position)

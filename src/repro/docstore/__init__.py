@@ -1,0 +1,32 @@
+"""In-memory document store (MongoDB stand-in).
+
+The SenSocial server stores user registrations, OSN friendship graphs
+and geographic locations in MongoDB and issues document and geospatial
+queries against it.  This package reproduces the MongoDB feature slice
+the middleware needs: schemaless collections, dot-path queries with
+comparison/logical operators, update operators, unique and hash
+indexes, and planar geospatial queries (``$near`` / ``$within``).
+"""
+
+from repro.docstore.errors import (
+    DocStoreError,
+    DuplicateKeyError,
+    QueryError,
+    UpdateError,
+)
+from repro.docstore.collection import Collection, Cursor
+from repro.docstore.geo import haversine_km
+from repro.docstore.query import matches
+from repro.docstore.store import DocumentStore
+
+__all__ = [
+    "Collection",
+    "Cursor",
+    "DocStoreError",
+    "DocumentStore",
+    "DuplicateKeyError",
+    "QueryError",
+    "UpdateError",
+    "haversine_km",
+    "matches",
+]

@@ -1,0 +1,292 @@
+"""Collections and cursors."""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Iterable, Iterator
+
+from repro.docstore.errors import DocStoreError, QueryError
+from repro.docstore.index import HashIndex
+from repro.docstore.paths import MISSING, delete_path, get_path, set_path
+from repro.docstore.query import matches
+from repro.docstore.update import apply_update
+
+
+class Cursor:
+    """A lazy, chainable view over query results.
+
+    ``sort`` / ``skip`` / ``limit`` compose like their MongoDB
+    namesakes; iteration yields *copies* of documents so callers cannot
+    corrupt the store by mutating results.
+    """
+
+    def __init__(self, documents: Iterable[dict]):
+        self._documents = list(documents)
+        self._sort_spec: list[tuple[str, int]] = []
+        self._skip = 0
+        self._limit: int | None = None
+        self._projection: dict[str, int] | None = None
+
+    def sort(self, path: str | list[tuple[str, int]], direction: int = 1) -> "Cursor":
+        """Order results by one or more dot-paths (1 asc, -1 desc)."""
+        if isinstance(path, str):
+            self._sort_spec = [(path, direction)]
+        else:
+            self._sort_spec = list(path)
+        return self
+
+    def skip(self, count: int) -> "Cursor":
+        self._skip = max(0, count)
+        return self
+
+    def limit(self, count: int) -> "Cursor":
+        self._limit = max(0, count)
+        return self
+
+    def project(self, projection: dict) -> "Cursor":
+        """Restrict returned fields (MongoDB projection semantics)."""
+        flags = {bool(value) for key, value in projection.items()
+                 if key != "_id"}
+        if len(flags) > 1:
+            raise QueryError("cannot mix include and exclude in a projection")
+        self._projection = dict(projection)
+        return self
+
+    def count(self) -> int:
+        """Matching documents, ignoring skip/limit (MongoDB classic)."""
+        return len(self._documents)
+
+    def _materialise(self) -> list[dict]:
+        documents = self._documents
+        for path, direction in reversed(self._sort_spec):
+            documents = sorted(
+                documents,
+                key=lambda doc: _sort_key(get_path(doc, path)),
+                reverse=direction < 0,
+            )
+        documents = documents[self._skip:]
+        if self._limit is not None:
+            documents = documents[:self._limit]
+        return documents
+
+    def __iter__(self) -> Iterator[dict]:
+        for document in self._materialise():
+            yield self._apply_projection(copy.deepcopy(document))
+
+    def _apply_projection(self, document: dict) -> dict:
+        if self._projection is None:
+            return document
+        include_id = bool(self._projection.get("_id", 1))
+        paths = {key: bool(value) for key, value in self._projection.items()
+                 if key != "_id"}
+        if not paths:
+            projected = dict(document)
+        elif any(paths.values()):  # include mode
+            projected = {}
+            for path in paths:
+                value = get_path(document, path)
+                if value is not MISSING:
+                    set_path(projected, path, value)
+        else:  # exclude mode
+            projected = document
+            for path in paths:
+                delete_path(projected, path)
+        if include_id and "_id" in document:
+            projected["_id"] = document["_id"]
+        elif not include_id:
+            projected.pop("_id", None)
+        return projected
+
+    def to_list(self) -> list[dict]:
+        return list(self)
+
+    def __len__(self) -> int:
+        return len(self._materialise())
+
+
+def _sort_key(value: Any):
+    """Total order over mixed types: missing < None < numbers < strings."""
+    if value is MISSING:
+        return (0, 0)
+    if value is None:
+        return (1, 0)
+    if isinstance(value, bool):
+        return (2, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    return (4, repr(value))
+
+
+class Collection:
+    """A named set of documents with optional secondary indexes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: dict[int, dict] = {}
+        self._next_id = itertools.count(1)
+        self._indexes: dict[str, HashIndex] = {}
+        self.scans = 0          # full scans performed (observability)
+        self.index_lookups = 0  # queries served via an index
+
+    # -- writes -------------------------------------------------------
+
+    def insert_one(self, document: dict) -> int:
+        """Insert a copy of ``document``; returns its ``_id``."""
+        if not isinstance(document, dict):
+            raise DocStoreError(f"documents must be dicts, got {type(document).__name__}")
+        stored = copy.deepcopy(document)
+        doc_id = stored.setdefault("_id", next(self._next_id))
+        if doc_id in self._documents:
+            raise DocStoreError(f"_id {doc_id!r} already present in {self.name!r}")
+        for index in self._indexes.values():
+            index.add(doc_id, stored)
+        self._documents[doc_id] = stored
+        return doc_id
+
+    def insert_many(self, documents: Iterable[dict]) -> list[int]:
+        return [self.insert_one(document) for document in documents]
+
+    def update_one(self, query: dict, update: dict, upsert: bool = False) -> int:
+        """Update the first match; returns number of documents changed."""
+        for doc_id, document in self._candidates(query):
+            if matches(document, query):
+                self._reindex(doc_id, document, update)
+                return 1
+        if upsert:
+            seed = {key: value for key, value in query.items()
+                    if not key.startswith("$") and not isinstance(value, dict)}
+            if any(key.startswith("$") for key in update):
+                apply_update(seed, update)
+            else:
+                seed.update(update)
+            self.insert_one(seed)
+            return 1
+        return 0
+
+    def update_many(self, query: dict, update: dict) -> int:
+        changed = 0
+        for doc_id, document in list(self._candidates(query)):
+            if matches(document, query):
+                self._reindex(doc_id, document, update)
+                changed += 1
+        return changed
+
+    def replace_one(self, query: dict, replacement: dict) -> int:
+        """Replace the first match wholesale (keeps ``_id``)."""
+        if any(key.startswith("$") for key in replacement):
+            raise DocStoreError("replace_one takes a plain document")
+        return self.update_one(query, replacement)
+
+    def delete_one(self, query: dict) -> int:
+        for doc_id, document in self._candidates(query):
+            if matches(document, query):
+                self._remove(doc_id)
+                return 1
+        return 0
+
+    def delete_many(self, query: dict) -> int:
+        doomed = [doc_id for doc_id, document in self._candidates(query)
+                  if matches(document, query)]
+        for doc_id in doomed:
+            self._remove(doc_id)
+        return len(doomed)
+
+    def drop(self) -> None:
+        self._documents.clear()
+        for index in self._indexes.values():
+            for doc_id in list(index._doc_keys):
+                index.remove(doc_id)
+
+    # -- reads --------------------------------------------------------
+
+    def find(self, query: dict | None = None,
+             projection: dict | None = None) -> Cursor:
+        """All documents matching ``query`` (all documents when None).
+
+        ``projection`` selects fields MongoDB-style: ``{"name": 1}``
+        keeps only the named paths (plus ``_id``); ``{"secret": 0}``
+        drops the named paths.  Mixing include and exclude is rejected.
+        """
+        query = query or {}
+        cursor = Cursor(document for _, document in self._candidates(query)
+                        if matches(document, query))
+        if projection:
+            cursor.project(projection)
+        return cursor
+
+    def find_one(self, query: dict | None = None,
+                 projection: dict | None = None) -> dict | None:
+        for document in self.find(query, projection).limit(1):
+            return document
+        return None
+
+    def count(self, query: dict | None = None) -> int:
+        if not query:
+            return len(self._documents)
+        return self.find(query).count()
+
+    def distinct(self, path: str, query: dict | None = None) -> list:
+        seen = []
+        for document in self.find(query):
+            value = get_path(document, path)
+            if value is not MISSING and value not in seen:
+                seen.append(value)
+        return seen
+
+    # -- indexes ------------------------------------------------------
+
+    def create_index(self, path: str, unique: bool = False) -> None:
+        """Build a hash index over ``path`` (idempotent)."""
+        if path in self._indexes:
+            return
+        index = HashIndex(path, unique=unique)
+        for doc_id, document in self._documents.items():
+            index.add(doc_id, document)
+        self._indexes[path] = index
+
+    def index_paths(self) -> list[str]:
+        return sorted(self._indexes)
+
+    # -- internals ----------------------------------------------------
+
+    def _candidates(self, query: dict) -> Iterable[tuple[int, dict]]:
+        """Documents to test, narrowed through an index when possible."""
+        for path, condition in query.items():
+            if path.startswith("$") or path not in self._indexes:
+                continue
+            if isinstance(condition, dict):
+                if set(condition) == {"$eq"}:
+                    condition = condition["$eq"]
+                else:
+                    continue
+            if isinstance(condition, dict):
+                continue
+            self.index_lookups += 1
+            ids = self._indexes[path].lookup(condition)
+            return [(doc_id, self._documents[doc_id])
+                    for doc_id in sorted(ids) if doc_id in self._documents]
+        self.scans += 1
+        return list(self._documents.items())
+
+    def _reindex(self, doc_id: int, document: dict, update: dict) -> None:
+        for index in self._indexes.values():
+            index.remove(doc_id)
+        try:
+            apply_update(document, update)
+        finally:
+            for index in self._indexes.values():
+                index.add(doc_id, document)
+
+    def _remove(self, doc_id: int) -> None:
+        for index in self._indexes.values():
+            index.remove(doc_id)
+        del self._documents[doc_id]
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Collection {self.name!r} docs={len(self)} indexes={self.index_paths()}>"

@@ -1,0 +1,17 @@
+"""Document store errors."""
+
+
+class DocStoreError(Exception):
+    """Base class for document store errors."""
+
+
+class DuplicateKeyError(DocStoreError):
+    """Raised when an insert or update violates a unique index."""
+
+
+class QueryError(DocStoreError):
+    """Raised for malformed query documents."""
+
+
+class UpdateError(DocStoreError):
+    """Raised for malformed update documents."""

@@ -1,0 +1,72 @@
+"""Geospatial helpers and query predicates.
+
+Locations are ``[longitude, latitude]`` pairs (MongoDB's legacy
+coordinate convention, which the 2014-era SenSocial server used).
+Distances are great-circle kilometres via the haversine formula —
+needed both for ``$near`` user selection in multicast streams and for
+the mobility model's city geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.docstore.errors import QueryError
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(a: Sequence[float], b: Sequence[float]) -> float:
+    """Great-circle distance between two ``[lon, lat]`` points, in km."""
+    lon1, lat1 = math.radians(a[0]), math.radians(a[1])
+    lon2, lat2 = math.radians(b[0]), math.radians(b[1])
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def _as_point(value: Any) -> tuple[float, float] | None:
+    if (isinstance(value, (list, tuple)) and len(value) == 2
+            and all(isinstance(c, (int, float)) for c in value)):
+        return float(value[0]), float(value[1])
+    if isinstance(value, dict) and "lon" in value and "lat" in value:
+        return float(value["lon"]), float(value["lat"])
+    return None
+
+
+def match_near(value: Any, operand: Any) -> bool:
+    """``$near``: field within ``$maxDistance`` km of ``$point``."""
+    if not isinstance(operand, dict) or "$point" not in operand:
+        raise QueryError("$near operand must be {'$point': [lon, lat], "
+                         "'$maxDistance': km}")
+    center = _as_point(operand["$point"])
+    if center is None:
+        raise QueryError(f"$near $point is not a coordinate: {operand['$point']!r}")
+    max_km = float(operand.get("$maxDistance", math.inf))
+    point = _as_point(value)
+    if point is None:
+        return False
+    return haversine_km(point, center) <= max_km
+
+
+def match_within(value: Any, operand: Any) -> bool:
+    """``$within``: field inside a ``$box`` or ``$center`` region."""
+    point = _as_point(value)
+    if point is None:
+        return False
+    if not isinstance(operand, dict):
+        raise QueryError("$within operand must be a dict")
+    if "$box" in operand:
+        (lon1, lat1), (lon2, lat2) = operand["$box"]
+        low_lon, high_lon = sorted((lon1, lon2))
+        low_lat, high_lat = sorted((lat1, lat2))
+        return low_lon <= point[0] <= high_lon and low_lat <= point[1] <= high_lat
+    if "$center" in operand:
+        center, radius_km = operand["$center"]
+        center_point = _as_point(center)
+        if center_point is None:
+            raise QueryError(f"$center point is not a coordinate: {center!r}")
+        return haversine_km(point, center_point) <= float(radius_km)
+    raise QueryError("$within requires $box or $center")

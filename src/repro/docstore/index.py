@@ -1,0 +1,65 @@
+"""Secondary indexes.
+
+A :class:`HashIndex` maps a dot-path value to the set of document ids
+holding it; it accelerates equality lookups and enforces uniqueness
+when requested.  MongoDB's inefficient unindexed scans are what the
+paper's §5.5 warns about ("querying from MongoDB can be inefficient...
+addressed by building indices"); the collection uses these indexes for
+equality queries and falls back to a full scan otherwise, so the
+trade-off is observable in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.docstore.errors import DuplicateKeyError
+from repro.docstore.paths import MISSING, get_path
+
+
+def _freeze(value: Any) -> Hashable:
+    """Make a document value hashable for index bucketing."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(val)) for key, val in value.items()))
+    return value
+
+
+class HashIndex:
+    """Equality index over one dot-path field."""
+
+    def __init__(self, path: str, unique: bool = False):
+        self.path = path
+        self.unique = unique
+        self._buckets: dict[Hashable, set[int]] = {}
+        self._doc_keys: dict[int, Hashable] = {}
+
+    def add(self, doc_id: int, document: dict) -> None:
+        value = get_path(document, self.path)
+        if value is MISSING:
+            return
+        key = _freeze(value)
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket and doc_id not in bucket:
+            raise DuplicateKeyError(
+                f"duplicate value {value!r} for unique index on {self.path!r}")
+        bucket.add(doc_id)
+        self._doc_keys[doc_id] = key
+
+    def remove(self, doc_id: int) -> None:
+        key = self._doc_keys.pop(doc_id, MISSING)
+        if key is MISSING:
+            return
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(doc_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, value: Any) -> set[int]:
+        """Document ids whose indexed field equals ``value``."""
+        return set(self._buckets.get(_freeze(value), ()))
+
+    def __len__(self) -> int:
+        return len(self._doc_keys)

@@ -1,0 +1,128 @@
+"""The query engine: does a document match a query document?
+
+Implements the MongoDB operators the SenSocial server relies on, plus
+the ones any realistic consumer of the store reaches for:
+
+* comparisons — ``$eq $ne $gt $gte $lt $lte $in $nin``
+* logical — ``$and $or $nor $not``
+* structural — ``$exists $regex $size $elemMatch``
+* geospatial — ``$near $within`` (delegated to :mod:`repro.docstore.geo`)
+
+As in MongoDB, a comparison against a field whose value is a list also
+matches when *any element* of the list matches.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.docstore.errors import QueryError
+from repro.docstore.geo import match_near, match_within
+from repro.docstore.paths import MISSING, get_path
+
+_COMPARABLE = (int, float, str)
+
+
+def _ordered(a: Any, b: Any) -> bool:
+    """Can ``a`` and ``b`` be compared with ``<``/``>``?"""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return False
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return isinstance(a, str) and isinstance(b, str)
+
+
+def _compare(value: Any, operator: str, operand: Any) -> bool:
+    if operator == "$eq":
+        return _eq_with_arrays(value, operand)
+    if operator == "$ne":
+        return not _eq_with_arrays(value, operand)
+    if operator in ("$gt", "$gte", "$lt", "$lte"):
+        candidates = value if isinstance(value, list) else [value]
+        for candidate in candidates:
+            if candidate is MISSING or not _ordered(candidate, operand):
+                continue
+            if operator == "$gt" and candidate > operand:
+                return True
+            if operator == "$gte" and candidate >= operand:
+                return True
+            if operator == "$lt" and candidate < operand:
+                return True
+            if operator == "$lte" and candidate <= operand:
+                return True
+        return False
+    if operator == "$in":
+        if not isinstance(operand, (list, tuple)):
+            raise QueryError("$in requires a list operand")
+        return any(_eq_with_arrays(value, item) for item in operand)
+    if operator == "$nin":
+        if not isinstance(operand, (list, tuple)):
+            raise QueryError("$nin requires a list operand")
+        return not any(_eq_with_arrays(value, item) for item in operand)
+    if operator == "$exists":
+        return (value is not MISSING) == bool(operand)
+    if operator == "$regex":
+        if value is MISSING or not isinstance(value, str):
+            return False
+        return re.search(operand, value) is not None
+    if operator == "$size":
+        return isinstance(value, list) and len(value) == operand
+    if operator == "$elemMatch":
+        if not isinstance(value, list):
+            return False
+        return any(matches(element, operand) if isinstance(element, dict)
+                   else _matches_condition(element, operand)
+                   for element in value)
+    if operator == "$not":
+        return not _matches_condition(value, operand)
+    if operator == "$near":
+        return match_near(value, operand)
+    if operator == "$within":
+        return match_within(value, operand)
+    raise QueryError(f"unknown query operator {operator!r}")
+
+
+def _eq_with_arrays(value: Any, operand: Any) -> bool:
+    """MongoDB equality: direct match, or any-element match for lists."""
+    if value is MISSING:
+        return operand is None
+    if value == operand:
+        return True
+    if isinstance(value, list) and not isinstance(operand, list):
+        return any(element == operand for element in value)
+    return False
+
+
+def _matches_condition(value: Any, condition: Any) -> bool:
+    """Match a single field value against its condition."""
+    if isinstance(condition, dict) and condition and all(
+            key.startswith("$") for key in condition):
+        return all(_compare(value, op, operand)
+                   for op, operand in condition.items())
+    return _eq_with_arrays(value, condition)
+
+
+def matches(document: dict, query: dict) -> bool:
+    """Does ``document`` satisfy ``query``?
+
+    Top-level keys are ANDed together, as in MongoDB.
+    """
+    if not isinstance(query, dict):
+        raise QueryError(f"query must be a dict, got {type(query).__name__}")
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            if not _matches_condition(get_path(document, key), condition):
+                return False
+    return True

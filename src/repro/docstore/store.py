@@ -1,0 +1,31 @@
+"""The document store: a namespace of collections."""
+
+from __future__ import annotations
+
+from repro.docstore.collection import Collection
+
+
+class DocumentStore:
+    """MongoDB-style database: named collections created on first use."""
+
+    def __init__(self, name: str = "sensocial"):
+        self.name = name
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Return the collection ``name``, creating it if needed."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def drop_collection(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DocumentStore {self.name!r} collections={self.collection_names()}>"

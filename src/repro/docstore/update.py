@@ -1,0 +1,136 @@
+"""Update operators: ``$set $unset $inc $mul $min $max $push $pull
+$addToSet $rename``.
+
+A plain document (no ``$`` keys) replaces the matched document wholesale
+except for its ``_id`` — the same convention MongoDB follows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.docstore.errors import UpdateError
+from repro.docstore.paths import MISSING, delete_path, get_path, set_path
+
+
+def is_operator_update(update: dict) -> bool:
+    """True when ``update`` uses ``$`` operators (vs full replacement)."""
+    if not isinstance(update, dict):
+        raise UpdateError(f"update must be a dict, got {type(update).__name__}")
+    has_ops = any(key.startswith("$") for key in update)
+    if has_ops and not all(key.startswith("$") for key in update):
+        raise UpdateError("cannot mix update operators with plain fields")
+    return has_ops
+
+
+def apply_update(document: dict, update: dict) -> dict:
+    """Apply ``update`` to ``document`` in place and return it."""
+    if not is_operator_update(update):
+        preserved_id = document.get("_id")
+        document.clear()
+        document.update(update)
+        if preserved_id is not None:
+            document["_id"] = preserved_id
+        return document
+    for operator, spec in update.items():
+        handler = _HANDLERS.get(operator)
+        if handler is None:
+            raise UpdateError(f"unknown update operator {operator!r}")
+        if not isinstance(spec, dict):
+            raise UpdateError(f"{operator} requires a dict operand")
+        for path, value in spec.items():
+            handler(document, path, value)
+    return document
+
+
+def _set(document: dict, path: str, value: Any) -> None:
+    set_path(document, path, value)
+
+
+def _unset(document: dict, path: str, value: Any) -> None:
+    delete_path(document, path)
+
+
+def _inc(document: dict, path: str, value: Any) -> None:
+    current = get_path(document, path)
+    if current is MISSING:
+        current = 0
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        raise UpdateError(f"$inc target at {path!r} is not numeric")
+    set_path(document, path, current + value)
+
+
+def _mul(document: dict, path: str, value: Any) -> None:
+    current = get_path(document, path)
+    if current is MISSING:
+        current = 0
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        raise UpdateError(f"$mul target at {path!r} is not numeric")
+    set_path(document, path, current * value)
+
+
+def _min(document: dict, path: str, value: Any) -> None:
+    current = get_path(document, path)
+    if current is MISSING or value < current:
+        set_path(document, path, value)
+
+
+def _max(document: dict, path: str, value: Any) -> None:
+    current = get_path(document, path)
+    if current is MISSING or value > current:
+        set_path(document, path, value)
+
+
+def _push(document: dict, path: str, value: Any) -> None:
+    current = get_path(document, path)
+    if current is MISSING:
+        current = []
+        set_path(document, path, current)
+    if not isinstance(current, list):
+        raise UpdateError(f"$push target at {path!r} is not a list")
+    if isinstance(value, dict) and "$each" in value:
+        current.extend(value["$each"])
+    else:
+        current.append(value)
+
+
+def _pull(document: dict, path: str, value: Any) -> None:
+    current = get_path(document, path)
+    if current is MISSING:
+        return
+    if not isinstance(current, list):
+        raise UpdateError(f"$pull target at {path!r} is not a list")
+    current[:] = [item for item in current if item != value]
+
+
+def _add_to_set(document: dict, path: str, value: Any) -> None:
+    current = get_path(document, path)
+    if current is MISSING:
+        current = []
+        set_path(document, path, current)
+    if not isinstance(current, list):
+        raise UpdateError(f"$addToSet target at {path!r} is not a list")
+    if value not in current:
+        current.append(value)
+
+
+def _rename(document: dict, path: str, new_path: Any) -> None:
+    value = get_path(document, path)
+    if value is MISSING:
+        return
+    delete_path(document, path)
+    set_path(document, str(new_path), value)
+
+
+_HANDLERS = {
+    "$set": _set,
+    "$unset": _unset,
+    "$inc": _inc,
+    "$mul": _mul,
+    "$min": _min,
+    "$max": _max,
+    "$push": _push,
+    "$pull": _pull,
+    "$addToSet": _add_to_set,
+    "$rename": _rename,
+}

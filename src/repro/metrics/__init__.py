@@ -1,0 +1,29 @@
+"""Measurement tooling (the paper's §5.1 third-party tools).
+
+PowerTutor → :class:`EnergyMeter`; DDMS → :class:`MemoryProfiler`;
+TraceView → :class:`CpuProfiler`; CLOC → :func:`count_lines`;
+plus a latency recorder for Table 3-style statistics.
+"""
+
+from repro.metrics.energy import EnergyMeter
+from repro.metrics.cpu import CpuProfiler
+from repro.metrics.memory import HeapSnapshot, MemoryProfiler
+from repro.metrics.latency import LatencyStats
+from repro.metrics.cloc import LineCount, count_lines, count_tree
+from repro.metrics.lifetime import (
+    lifetime_reduction_factor,
+    projected_lifetime_hours,
+)
+
+__all__ = [
+    "CpuProfiler",
+    "EnergyMeter",
+    "HeapSnapshot",
+    "LatencyStats",
+    "LineCount",
+    "MemoryProfiler",
+    "count_lines",
+    "count_tree",
+    "lifetime_reduction_factor",
+    "projected_lifetime_hours",
+]

@@ -1,0 +1,40 @@
+"""CPU profiling (TraceView stand-in): periodic utilisation samples."""
+
+from __future__ import annotations
+
+from repro.device.cpu import CpuModel
+from repro.simkit.scheduler import PeriodicTask
+from repro.simkit.world import World
+
+
+class CpuProfiler:
+    """Samples a CPU model's utilisation at a fixed period."""
+
+    def __init__(self, world: World, cpu: CpuModel, sample_period_s: float = 1.0):
+        self._world = world
+        self._cpu = cpu
+        self._period = sample_period_s
+        self._task: PeriodicTask | None = None
+        self.samples: list[float] = []
+
+    def start(self) -> "CpuProfiler":
+        self.samples.clear()
+        self._task = self._world.scheduler.every(self._period, self._sample)
+        return self
+
+    def stop(self) -> float:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        return self.mean_pct()
+
+    def mean_pct(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def max_pct(self) -> float:
+        return max(self.samples, default=0.0)
+
+    def _sample(self) -> None:
+        self.samples.append(self._cpu.utilization_pct())

@@ -1,0 +1,31 @@
+"""Latency statistics for Table 3-style reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Mean / standard deviation / extremes of a delay sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: list[float]) -> "LatencyStats":
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        mean = sum(values) / len(values)
+        variance = sum((value - mean) ** 2 for value in values) / len(values)
+        return cls(
+            count=len(values),
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+        )

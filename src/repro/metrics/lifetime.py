@@ -1,0 +1,54 @@
+"""Battery lifetime projection.
+
+The paper motivates careful duty cycling with the observation that
+"continuous sensing of GPS ... can lead to a twenty-fold reduction in
+the battery lifetime" [13].  This helper projects how long a battery
+lasts under an observed drain rate, so configurations can be compared
+in hours of lifetime rather than raw mAh.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.device.battery import Battery
+
+
+def projected_lifetime_hours(battery: Battery, observed_mah: float,
+                             observed_duration_s: float,
+                             baseline_mah_per_hour: float = 8.0) -> float:
+    """Hours until empty, extrapolating the observed drain rate.
+
+    ``baseline_mah_per_hour`` models everything outside the profiled
+    app (screen, OS, standby radio) — the paper's per-app measurements
+    sit on top of a phone that drains regardless.
+    """
+    if observed_duration_s <= 0:
+        raise ValueError(f"duration must be > 0, got {observed_duration_s}")
+    if observed_mah < 0:
+        raise ValueError(f"observed drain must be >= 0, got {observed_mah}")
+    if baseline_mah_per_hour < 0:
+        raise ValueError(
+            f"baseline must be >= 0, got {baseline_mah_per_hour}")
+    app_rate = observed_mah * 3600.0 / observed_duration_s
+    total_rate = app_rate + baseline_mah_per_hour
+    if total_rate == 0:
+        return math.inf
+    return battery.capacity_mah / total_rate
+
+
+def lifetime_reduction_factor(battery: Battery, idle_mah: float,
+                              loaded_mah: float, duration_s: float,
+                              baseline_mah_per_hour: float = 8.0) -> float:
+    """How many times shorter the battery life gets under load.
+
+    Compares two observations over the same window (e.g. no sensing vs
+    continuous GPS); values above 1 mean the load shortens lifetime.
+    """
+    idle_lifetime = projected_lifetime_hours(
+        battery, idle_mah, duration_s, baseline_mah_per_hour)
+    loaded_lifetime = projected_lifetime_hours(
+        battery, loaded_mah, duration_s, baseline_mah_per_hour)
+    if loaded_lifetime == 0:
+        return math.inf
+    return idle_lifetime / loaded_lifetime

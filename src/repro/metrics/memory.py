@@ -1,0 +1,29 @@
+"""Memory profiling (DDMS stand-in): heap snapshots of Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.phone import Smartphone
+
+
+@dataclass(frozen=True)
+class HeapSnapshot:
+    """What DDMS reports for one app process."""
+
+    heap_allowed_mb: float
+    heap_allocated_mb: float
+    objects: int
+
+
+class MemoryProfiler:
+    """Takes heap snapshots of a phone's app process."""
+
+    @staticmethod
+    def profile(phone: Smartphone) -> HeapSnapshot:
+        heap = phone.heap
+        return HeapSnapshot(
+            heap_allowed_mb=round(heap.allowed_mb, 3),
+            heap_allocated_mb=round(heap.allocated_mb, 3),
+            objects=heap.object_count,
+        )

@@ -1,0 +1,25 @@
+"""In-simulation MQTT broker and client.
+
+SenSocial pushes triggers and stream configurations to phones through a
+Mosquitto MQTT broker; the paper argues for MQTT over HTTP polling
+because push costs less battery.  This package reproduces the slice of
+MQTT 3.1.1 the middleware needs: hierarchical topics with ``+``/``#``
+wildcards, QoS 0 and QoS 1 (with retransmission), retained messages,
+persistent sessions with offline queueing, and keep-alive.
+"""
+
+from repro.mqtt.errors import MqttError, MqttProtocolError, MqttTopicError
+from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
+from repro.mqtt.broker import MqttBroker
+from repro.mqtt.client import MqttClient
+
+__all__ = [
+    "MqttBroker",
+    "MqttClient",
+    "MqttError",
+    "MqttProtocolError",
+    "MqttTopicError",
+    "topic_matches",
+    "validate_filter",
+    "validate_topic",
+]

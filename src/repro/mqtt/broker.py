@@ -1,0 +1,323 @@
+"""The MQTT broker.
+
+One broker instance lives on the server host.  It keeps per-client
+sessions (subscriptions, offline queues for persistent sessions),
+retained messages, and performs QoS-1 redelivery towards clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mqtt import packets
+from repro.mqtt.errors import MqttProtocolError
+from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.simkit.scheduler import EventHandle
+from repro.simkit.world import World
+
+
+@dataclass
+class _Subscription:
+    topic_filter: str
+    qos: int
+
+
+@dataclass
+class _Session:
+    client_id: str
+    address: str
+    clean_session: bool
+    keepalive: float
+    connected: bool = True
+    subscriptions: dict[str, _Subscription] = field(default_factory=dict)
+    offline_queue: list[packets.Publish] = field(default_factory=list)
+    pending_acks: dict[int, "_PendingDelivery"] = field(default_factory=dict)
+    last_seen: float = 0.0
+    next_packet_id: int = 1
+    will_topic: str | None = None
+    will_payload: Any = None
+
+
+@dataclass
+class _PendingDelivery:
+    publish: packets.Publish
+    retries_left: int
+    timer: EventHandle | None = None
+
+
+class MqttBroker(Endpoint):
+    """Mosquitto stand-in: sessions, retained messages, QoS-1 redelivery."""
+
+    #: Seconds before an unacknowledged QoS-1 delivery is retransmitted.
+    RETRY_INTERVAL = 5.0
+    #: Retransmissions before giving up and queueing for reconnection.
+    MAX_RETRIES = 5
+    #: Offline queue cap per persistent session.
+    MAX_QUEUED = 1000
+    #: A session with no traffic for this many keep-alive periods is
+    #: declared dead (MQTT 3.1.1 mandates 1.5).
+    KEEPALIVE_GRACE = 1.5
+    #: How often the broker sweeps for dead sessions.
+    EXPIRY_SWEEP_S = 30.0
+
+    def __init__(self, world: World, network: Network, address: str = "mqtt-broker"):
+        self._world = world
+        self._network = network
+        self.address = network.register(address, self)
+        self._sessions: dict[str, _Session] = {}
+        self._address_to_client: dict[str, str] = {}
+        self._retained: dict[str, packets.Publish] = {}
+        self.messages_routed = 0
+        self.publishes_received = 0
+        self.sessions_expired = 0
+        world.scheduler.every(self.EXPIRY_SWEEP_S, self._expire_dead_sessions,
+                              delay=self.EXPIRY_SWEEP_S)
+
+    # -- endpoint interface -------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        packet = message.payload
+        if not isinstance(packet, packets.Connect):
+            self._maybe_resume(message.src)
+        handler = getattr(self, f"_on_{type(packet).__name__.lower()}", None)
+        if handler is None:
+            raise MqttProtocolError(f"broker cannot handle {type(packet).__name__}")
+        handler(message.src, packet)
+
+    def _maybe_resume(self, address: str) -> None:
+        """Traffic from an expired-but-persistent session resumes it.
+
+        A real client would notice the broken TCP connection and
+        re-CONNECT; the simulated clients don't watch their sockets, so
+        the broker treats any packet from the session's known address
+        as that reconnection and flushes the offline queue.
+        """
+        session = self._session_for(address)
+        if session is not None and not session.connected:
+            session.connected = True
+            session.last_seen = self._world.now
+            self._flush_offline(session)
+
+    # -- introspection -------------------------------------------------
+
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def connected_clients(self) -> list[str]:
+        return sorted(cid for cid, s in self._sessions.items() if s.connected)
+
+    def retained_topics(self) -> list[str]:
+        return sorted(self._retained)
+
+    def subscriber_count(self, topic: str) -> int:
+        """Connected sessions with at least one filter matching ``topic``."""
+        validate_topic(topic)
+        return sum(
+            1 for session in self._sessions.values()
+            if session.connected and any(
+                topic_matches(sub.topic_filter, topic)
+                for sub in session.subscriptions.values())
+        )
+
+    # -- packet handlers ----------------------------------------------
+
+    def _on_connect(self, src: str, packet: packets.Connect) -> None:
+        session = self._sessions.get(packet.client_id)
+        session_present = session is not None and not packet.clean_session
+        if session is None or packet.clean_session:
+            session = _Session(
+                client_id=packet.client_id,
+                address=src,
+                clean_session=packet.clean_session,
+                keepalive=packet.keepalive,
+            )
+            self._sessions[packet.client_id] = session
+        else:
+            session.address = src
+            session.connected = True
+            session.keepalive = packet.keepalive
+        session.will_topic = packet.will_topic
+        session.will_payload = packet.will_payload
+        session.last_seen = self._world.now
+        self._address_to_client[src] = packet.client_id
+        self._send(session, packets.ConnAck(session_present=session_present))
+        self._flush_offline(session)
+
+    def _on_disconnect(self, src: str, packet: packets.Disconnect) -> None:
+        session = self._session_for(src)
+        if session is None:
+            return
+        # A clean DISCONNECT discards the will message (MQTT 3.1.1).
+        session.will_topic = None
+        session.will_payload = None
+        self._mark_disconnected(session, send_will=False)
+
+    def _on_subscribe(self, src: str, packet: packets.Subscribe) -> None:
+        session = self._require_session(src)
+        validate_filter(packet.topic_filter)
+        session.subscriptions[packet.topic_filter] = _Subscription(
+            packet.topic_filter, packet.qos)
+        session.last_seen = self._world.now
+        self._send(session, packets.SubAck(packet.packet_id, granted_qos=packet.qos))
+        # Retained messages matching the new filter are delivered at once.
+        for topic, retained in sorted(self._retained.items()):
+            if topic_matches(packet.topic_filter, topic):
+                self._deliver_publish(session, retained, qos=min(
+                    packet.qos, retained.qos), retain_flag=True)
+
+    def _on_unsubscribe(self, src: str, packet: packets.Unsubscribe) -> None:
+        session = self._require_session(src)
+        session.subscriptions.pop(packet.topic_filter, None)
+        session.last_seen = self._world.now
+        self._send(session, packets.UnsubAck(packet.packet_id))
+
+    def _on_publish(self, src: str, packet: packets.Publish) -> None:
+        validate_topic(packet.topic)
+        self.publishes_received += 1
+        session = self._session_for(src)
+        if session is not None:
+            session.last_seen = self._world.now
+            if packet.qos >= 1 and packet.packet_id is not None:
+                self._send(session, packets.PubAck(packet.packet_id))
+        if packet.retain:
+            if packet.payload is None:
+                self._retained.pop(packet.topic, None)
+            else:
+                self._retained[packet.topic] = packet
+        self.route(packet)
+
+    def _on_pingreq(self, src: str, packet: packets.PingReq) -> None:
+        session = self._session_for(src)
+        if session is not None:
+            session.last_seen = self._world.now
+            self._send(session, packets.PingResp())
+
+    def _on_puback(self, src: str, packet: packets.PubAck) -> None:
+        session = self._session_for(src)
+        if session is None:
+            return
+        session.last_seen = self._world.now
+        pending = session.pending_acks.pop(packet.packet_id, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    # -- routing ------------------------------------------------------
+
+    def route(self, packet: packets.Publish) -> int:
+        """Fan a PUBLISH out to every matching session; returns count."""
+        delivered = 0
+        for client_id in sorted(self._sessions):
+            session = self._sessions[client_id]
+            best_qos = None
+            for sub in session.subscriptions.values():
+                if topic_matches(sub.topic_filter, packet.topic):
+                    qos = min(sub.qos, packet.qos)
+                    if best_qos is None or qos > best_qos:
+                        best_qos = qos
+            if best_qos is None:
+                continue
+            delivered += 1
+            if session.connected:
+                self._deliver_publish(session, packet, qos=best_qos)
+            elif not session.clean_session:
+                if len(session.offline_queue) < self.MAX_QUEUED:
+                    session.offline_queue.append(packets.Publish(
+                        topic=packet.topic, payload=packet.payload,
+                        qos=best_qos, headers=dict(packet.headers)))
+        self.messages_routed += delivered
+        return delivered
+
+    def _deliver_publish(self, session: _Session, packet: packets.Publish,
+                         qos: int, retain_flag: bool = False) -> None:
+        outgoing = packets.Publish(
+            topic=packet.topic, payload=packet.payload, qos=qos,
+            retain=retain_flag, headers=dict(packet.headers))
+        if qos >= 1:
+            outgoing.packet_id = session.next_packet_id
+            session.next_packet_id += 1
+            pending = _PendingDelivery(outgoing, retries_left=self.MAX_RETRIES)
+            session.pending_acks[outgoing.packet_id] = pending
+            pending.timer = self._world.scheduler.schedule(
+                self.RETRY_INTERVAL, self._retry, session.client_id,
+                outgoing.packet_id)
+        self._send(session, outgoing)
+
+    def _retry(self, client_id: str, packet_id: int) -> None:
+        session = self._sessions.get(client_id)
+        if session is None:
+            return
+        pending = session.pending_acks.get(packet_id)
+        if pending is None:
+            return
+        if pending.retries_left <= 0 or not session.connected:
+            # Treat the client as gone; queue for reconnect when the
+            # session is persistent, otherwise drop.
+            session.pending_acks.pop(packet_id, None)
+            if not session.clean_session:
+                session.offline_queue.append(pending.publish)
+                self._mark_disconnected(session, send_will=True)
+            return
+        pending.retries_left -= 1
+        pending.publish.duplicate = True
+        self._send(session, pending.publish)
+        pending.timer = self._world.scheduler.schedule(
+            self.RETRY_INTERVAL, self._retry, client_id, packet_id)
+
+    def _flush_offline(self, session: _Session) -> None:
+        queued, session.offline_queue = session.offline_queue, []
+        for packet in queued:
+            self._deliver_publish(session, packet, qos=packet.qos)
+
+    def _expire_dead_sessions(self) -> None:
+        """Disconnect sessions silent past their keep-alive grace.
+
+        A phone that died without a DISCONNECT is detected here; its
+        will message (if any) fires, and a persistent session starts
+        queueing for its eventual reconnection.
+        """
+        now = self._world.now
+        for session in list(self._sessions.values()):
+            if not session.connected or session.keepalive <= 0:
+                continue
+            deadline = session.last_seen + session.keepalive * self.KEEPALIVE_GRACE
+            if now > deadline:
+                self.sessions_expired += 1
+                self._mark_disconnected(session, send_will=True)
+
+    # -- plumbing -----------------------------------------------------
+
+    def _mark_disconnected(self, session: _Session, send_will: bool) -> None:
+        session.connected = False
+        if session.clean_session:
+            # Persistent sessions keep their address mapping so later
+            # traffic from the same client can resume them.
+            self._address_to_client.pop(session.address, None)
+        for pending in session.pending_acks.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+            if not session.clean_session:
+                session.offline_queue.append(pending.publish)
+        session.pending_acks.clear()
+        if send_will and session.will_topic is not None:
+            self.route(packets.Publish(
+                topic=session.will_topic, payload=session.will_payload, qos=0))
+        if session.clean_session:
+            self._sessions.pop(session.client_id, None)
+
+    def _session_for(self, address: str) -> _Session | None:
+        client_id = self._address_to_client.get(address)
+        if client_id is None:
+            return None
+        return self._sessions.get(client_id)
+
+    def _require_session(self, address: str) -> _Session:
+        session = self._session_for(address)
+        if session is None:
+            raise MqttProtocolError(f"no connected session for address {address!r}")
+        return session
+
+    def _send(self, session: _Session, packet) -> None:
+        self._network.send(self.address, session.address, packet)

@@ -1,0 +1,192 @@
+"""The MQTT client.
+
+Each simulated phone (and the SenSocial server component) owns one
+client.  The client keeps its subscription callbacks, performs QoS-1
+retransmission towards the broker, and sends keep-alive pings — the
+periodic cost that the battery model charges as the price of push
+connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.mqtt import packets
+from repro.mqtt.errors import MqttProtocolError
+from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.simkit.scheduler import EventHandle, PeriodicTask
+from repro.simkit.world import World
+
+#: Signature of a subscription callback: (topic, payload).
+MessageCallback = Callable[[str, Any], None]
+
+
+@dataclass
+class _PendingPublish:
+    packet: packets.Publish
+    retries_left: int
+    timer: EventHandle | None = None
+    on_ack: Callable[[], None] | None = None
+
+
+class MqttClient(Endpoint):
+    """A single MQTT connection to the broker."""
+
+    RETRY_INTERVAL = 5.0
+    MAX_RETRIES = 5
+
+    def __init__(self, world: World, network: Network, *, client_id: str,
+                 address: str, broker_address: str = "mqtt-broker",
+                 keepalive: float = 60.0, radio=None):
+        self._world = world
+        self._network = network
+        self.client_id = client_id
+        self.address = address
+        self.broker_address = broker_address
+        self.keepalive = keepalive
+        self.radio = radio
+        self.connected = False
+        self._callbacks: dict[str, list[MessageCallback]] = {}
+        self._pending: dict[int, _PendingPublish] = {}
+        self._next_packet_id = 1
+        self._ping_task: PeriodicTask | None = None
+        self._seen_inbound: set[int] = set()
+        self.publishes_sent = 0
+        self.publishes_received = 0
+        if not network.is_registered(address):
+            network.register(address, self)
+
+    # -- connection lifecycle -----------------------------------------
+
+    def connect(self, clean_session: bool = True,
+                will_topic: str | None = None, will_payload: Any = None) -> None:
+        """Open the session; CONNACK arrives asynchronously."""
+        self._network.send(self.address, self.broker_address, packets.Connect(
+            client_id=self.client_id, clean_session=clean_session,
+            keepalive=self.keepalive, will_topic=will_topic,
+            will_payload=will_payload))
+        self.connected = True  # optimistic; simulation has no refusals
+        if self._ping_task is None and self.keepalive > 0:
+            self._ping_task = self._world.scheduler.every(
+                self.keepalive, self._ping, delay=self.keepalive)
+
+    def disconnect(self) -> None:
+        """Close the session cleanly."""
+        if not self.connected:
+            return
+        self._network.send(self.address, self.broker_address, packets.Disconnect())
+        self.connected = False
+        if self._ping_task is not None:
+            self._ping_task.cancel()
+            self._ping_task = None
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+
+    # -- pub/sub ------------------------------------------------------
+
+    def subscribe(self, topic_filter: str, callback: MessageCallback,
+                  qos: int = 1) -> None:
+        """Register ``callback`` for messages matching ``topic_filter``."""
+        validate_filter(topic_filter)
+        self._require_connected()
+        self._callbacks.setdefault(topic_filter, []).append(callback)
+        self._network.send(self.address, self.broker_address, packets.Subscribe(
+            packet_id=self._take_packet_id(), topic_filter=topic_filter, qos=qos))
+
+    def unsubscribe(self, topic_filter: str) -> None:
+        """Drop every callback for ``topic_filter``."""
+        self._require_connected()
+        self._callbacks.pop(topic_filter, None)
+        self._network.send(self.address, self.broker_address, packets.Unsubscribe(
+            packet_id=self._take_packet_id(), topic_filter=topic_filter))
+
+    def publish(self, topic: str, payload: Any, qos: int = 0,
+                retain: bool = False, on_ack: Callable[[], None] | None = None) -> None:
+        """Publish ``payload`` on ``topic``.
+
+        With QoS 1 the packet is retransmitted until the broker
+        acknowledges it, surviving transient partitions injected by
+        :meth:`repro.net.Network.set_down`.
+        """
+        validate_topic(topic)
+        self._require_connected()
+        packet = packets.Publish(topic=topic, payload=payload, qos=qos, retain=retain)
+        self.publishes_sent += 1
+        if qos >= 1:
+            packet.packet_id = self._take_packet_id()
+            pending = _PendingPublish(packet, self.MAX_RETRIES, on_ack=on_ack)
+            self._pending[packet.packet_id] = pending
+            pending.timer = self._world.scheduler.schedule(
+                self.RETRY_INTERVAL, self._retry, packet.packet_id)
+        self._network.send(self.address, self.broker_address, packet)
+
+    def subscription_filters(self) -> list[str]:
+        return sorted(self._callbacks)
+
+    # -- endpoint interface -------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        packet = message.payload
+        if isinstance(packet, packets.Publish):
+            self._on_publish(packet)
+        elif isinstance(packet, packets.PubAck):
+            self._on_puback(packet)
+        elif isinstance(packet, (packets.ConnAck, packets.SubAck,
+                                 packets.UnsubAck, packets.PingResp)):
+            pass  # session bookkeeping only; nothing to do in-model
+        else:
+            raise MqttProtocolError(f"client cannot handle {type(packet).__name__}")
+
+    # -- internals ----------------------------------------------------
+
+    def _on_publish(self, packet: packets.Publish) -> None:
+        if packet.qos >= 1 and packet.packet_id is not None:
+            self._network.send(self.address, self.broker_address,
+                               packets.PubAck(packet.packet_id))
+            if packet.packet_id in self._seen_inbound and packet.duplicate:
+                return  # de-duplicate QoS-1 redelivery
+            self._seen_inbound.add(packet.packet_id)
+        self.publishes_received += 1
+        for topic_filter in sorted(self._callbacks):
+            if topic_matches(topic_filter, packet.topic):
+                for callback in list(self._callbacks[topic_filter]):
+                    callback(packet.topic, packet.payload)
+
+    def _on_puback(self, packet: packets.PubAck) -> None:
+        pending = self._pending.pop(packet.packet_id, None)
+        if pending is not None:
+            if pending.timer is not None:
+                pending.timer.cancel()
+            if pending.on_ack is not None:
+                pending.on_ack()
+
+    def _retry(self, packet_id: int) -> None:
+        pending = self._pending.get(packet_id)
+        if pending is None or not self.connected:
+            return
+        if pending.retries_left <= 0:
+            self._pending.pop(packet_id, None)
+            return
+        pending.retries_left -= 1
+        pending.packet.duplicate = True
+        self._network.send(self.address, self.broker_address, pending.packet)
+        pending.timer = self._world.scheduler.schedule(
+            self.RETRY_INTERVAL, self._retry, packet_id)
+
+    def _ping(self) -> None:
+        if self.connected:
+            self._network.send(self.address, self.broker_address, packets.PingReq())
+
+    def _take_packet_id(self) -> int:
+        packet_id = self._next_packet_id
+        self._next_packet_id += 1
+        return packet_id
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise MqttProtocolError(f"client {self.client_id!r} is not connected")

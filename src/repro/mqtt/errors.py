@@ -1,0 +1,13 @@
+"""MQTT substrate errors."""
+
+
+class MqttError(Exception):
+    """Base class for MQTT simulation errors."""
+
+
+class MqttTopicError(MqttError):
+    """Raised for malformed topic names or topic filters."""
+
+
+class MqttProtocolError(MqttError):
+    """Raised when a packet violates the protocol state machine."""

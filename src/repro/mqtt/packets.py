@@ -1,0 +1,81 @@
+"""MQTT control packets.
+
+Packets travel as :class:`repro.net.Message` payloads.  Only the fields
+the simulation needs are modelled; sizes are estimated from payloads so
+radio energy accounting stays realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Connect:
+    client_id: str
+    clean_session: bool = True
+    keepalive: float = 60.0
+    will_topic: str | None = None
+    will_payload: Any = None
+
+
+@dataclass
+class ConnAck:
+    session_present: bool = False
+    return_code: int = 0
+
+
+@dataclass
+class Subscribe:
+    packet_id: int
+    topic_filter: str
+    qos: int = 0
+
+
+@dataclass
+class SubAck:
+    packet_id: int
+    granted_qos: int = 0
+
+
+@dataclass
+class Unsubscribe:
+    packet_id: int
+    topic_filter: str
+
+
+@dataclass
+class UnsubAck:
+    packet_id: int
+
+
+@dataclass
+class Publish:
+    topic: str
+    payload: Any
+    qos: int = 0
+    retain: bool = False
+    packet_id: int | None = None
+    duplicate: bool = False
+    headers: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PubAck:
+    packet_id: int
+
+
+@dataclass
+class PingReq:
+    pass
+
+
+@dataclass
+class PingResp:
+    pass
+
+
+@dataclass
+class Disconnect:
+    pass

@@ -1,0 +1,70 @@
+"""MQTT topic names, topic filters, and the matching rules.
+
+Topic names are ``/``-separated level strings (``sensocial/device/42/
+trigger``).  Filters may use ``+`` to match exactly one level and ``#``
+(final level only) to match any remaining levels, per MQTT 3.1.1
+section 4.7.
+"""
+
+from __future__ import annotations
+
+from repro.mqtt.errors import MqttTopicError
+
+
+def _split(topic: str) -> list[str]:
+    if not topic:
+        raise MqttTopicError("topic must be a non-empty string")
+    if "\x00" in topic:
+        raise MqttTopicError("topic must not contain NUL characters")
+    return topic.split("/")
+
+
+def validate_topic(topic: str) -> list[str]:
+    """Validate a topic *name* (publishing target); returns its levels."""
+    levels = _split(topic)
+    for level in levels:
+        if "+" in level or "#" in level:
+            raise MqttTopicError(
+                f"wildcards are not allowed in topic names: {topic!r}")
+    return levels
+
+
+def validate_filter(topic_filter: str) -> list[str]:
+    """Validate a topic *filter* (subscription); returns its levels."""
+    levels = _split(topic_filter)
+    for index, level in enumerate(levels):
+        if level == "#":
+            if index != len(levels) - 1:
+                raise MqttTopicError(
+                    f"'#' must be the last level in filter {topic_filter!r}")
+        elif "#" in level:
+            raise MqttTopicError(
+                f"'#' must occupy a whole level in filter {topic_filter!r}")
+        elif "+" in level and level != "+":
+            raise MqttTopicError(
+                f"'+' must occupy a whole level in filter {topic_filter!r}")
+    return levels
+
+
+def topic_matches(topic_filter: str, topic: str) -> bool:
+    """Does ``topic`` match ``topic_filter``?
+
+    Implements the MQTT wildcard rules, including the corner case that
+    a ``#`` also matches the parent level itself (``a/#`` matches
+    ``a``) and that ``+`` matches an empty level.
+    """
+    filter_levels = validate_filter(topic_filter)
+    topic_levels = validate_topic(topic)
+
+    for index, pattern in enumerate(filter_levels):
+        if pattern == "#":
+            return True
+        if index >= len(topic_levels):
+            return False
+        if pattern == "+":
+            continue
+        if pattern != topic_levels[index]:
+            return False
+    if len(topic_levels) > len(filter_levels):
+        return False
+    return True

@@ -1,0 +1,31 @@
+"""Simulated network substrate.
+
+Models message delivery between named endpoints with configurable
+latency distributions, link loss, and per-byte accounting hooks that
+the device radio model uses to charge transmission energy (including
+the post-transmission radio energy tail the paper cites from
+Cool-Tether [40]).
+"""
+
+from repro.net.errors import NetworkError, UnknownEndpointError
+from repro.net.latency import (
+    FixedLatency,
+    GaussianLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.net.message import Message, estimate_size
+from repro.net.network import Endpoint, Network
+
+__all__ = [
+    "Endpoint",
+    "FixedLatency",
+    "GaussianLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkError",
+    "UniformLatency",
+    "UnknownEndpointError",
+    "estimate_size",
+]

@@ -1,0 +1,9 @@
+"""Network substrate errors."""
+
+
+class NetworkError(Exception):
+    """Base class for network simulation errors."""
+
+
+class UnknownEndpointError(NetworkError):
+    """Raised when sending to or from an address that is not registered."""

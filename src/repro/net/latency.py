@@ -1,0 +1,83 @@
+"""Latency distributions for simulated links."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """One-way message delay distribution, in seconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw a delay for one message."""
+
+    def mean(self) -> float:
+        """Expected delay; used by capacity planning helpers and tests."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """A constant delay — the default for deterministic tests."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"latency must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """A delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class GaussianLatency(LatencyModel):
+    """A normally distributed delay, truncated below at ``floor``.
+
+    Used for the Facebook notification delay of Table 3, where the
+    paper reports a mean and standard deviation over 50 actions.
+    """
+
+    def __init__(self, mu: float, sigma: float, floor: float = 0.0):
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.floor = float(floor)
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.gauss(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        # Exact only when truncation is negligible, which holds for
+        # every distribution used in the reproduction (mu >> sigma).
+        return self.mu
+
+    def __repr__(self) -> str:
+        return f"GaussianLatency({self.mu}, {self.sigma}, floor={self.floor})"

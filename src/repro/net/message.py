@@ -1,0 +1,52 @@
+"""Network messages and payload size estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def estimate_size(payload: Any) -> int:
+    """Approximate the wire size of a payload, in bytes.
+
+    The simulation does not serialise payloads for real; it charges
+    radio energy proportionally to this estimate, which mimics a JSON
+    encoding: strings and numbers cost their textual length, containers
+    add per-element framing overhead.
+    """
+    if payload is None:
+        return 4
+    if isinstance(payload, bool):
+        return 5
+    if isinstance(payload, (int, float)):
+        return len(repr(payload))
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8")) + 2
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, dict):
+        return 2 + sum(estimate_size(k) + estimate_size(v) + 2
+                       for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 2 + sum(estimate_size(item) + 1 for item in payload)
+    return len(repr(payload))
+
+
+@dataclass
+class Message:
+    """One message in flight between two endpoints."""
+
+    src: str
+    dst: str
+    payload: Any
+    size: int
+    sent_at: float
+    headers: dict[str, Any] = field(default_factory=dict)
+    delivered_at: float | None = None
+
+    @property
+    def latency(self) -> float | None:
+        """One-way delay, available once delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at

@@ -1,0 +1,153 @@
+"""The network: endpoint registry and message delivery.
+
+Endpoints register under unique string addresses.  ``send`` schedules
+delivery on the world scheduler after a latency draw; the receiving
+endpoint's ``deliver`` runs at the delivery instant.  Endpoints may
+expose a ``radio`` attribute (see :mod:`repro.device.radio`) whose
+``account_tx`` / ``account_rx`` hooks are charged per message — this is
+how transmission energy reaches the battery model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.net.errors import UnknownEndpointError
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import Message, estimate_size
+from repro.simkit.world import World
+
+
+class Endpoint(ABC):
+    """Anything that can receive network messages."""
+
+    #: Optional radio energy accounting hook; devices set this.
+    radio = None
+
+    @abstractmethod
+    def deliver(self, message: Message) -> None:
+        """Handle an incoming message (called at the delivery instant)."""
+
+
+class _CallbackEndpoint(Endpoint):
+    """Adapter turning a plain callable into an endpoint."""
+
+    def __init__(self, fn: Callable[[Message], None]):
+        self._fn = fn
+
+    def deliver(self, message: Message) -> None:
+        self._fn(message)
+
+
+class Network:
+    """Message fabric connecting every simulated host."""
+
+    DEFAULT_LATENCY = FixedLatency(0.05)
+
+    def __init__(self, world: World, default_latency: LatencyModel | None = None):
+        self._world = world
+        self._rng = world.rng("network")
+        self._endpoints: dict[str, Endpoint] = {}
+        self._link_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._endpoint_latency: dict[str, LatencyModel] = {}
+        self.default_latency = default_latency or self.DEFAULT_LATENCY
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._down: set[str] = set()
+        self._last_delivery: dict[tuple[str, str], float] = {}
+
+    # -- topology -----------------------------------------------------
+
+    def register(self, address: str, endpoint: Endpoint | Callable[[Message], None]) -> str:
+        """Attach an endpoint under ``address``; returns the address."""
+        if address in self._endpoints:
+            raise UnknownEndpointError(f"address {address!r} already registered")
+        if not isinstance(endpoint, Endpoint):
+            endpoint = _CallbackEndpoint(endpoint)
+        self._endpoints[address] = endpoint
+        return address
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+        self._endpoint_latency.pop(address, None)
+        self._down.discard(address)
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._endpoints
+
+    def set_link_latency(self, src: str, dst: str, model: LatencyModel) -> None:
+        """Override latency for the directed link ``src -> dst``."""
+        self._link_latency[(src, dst)] = model
+
+    def set_endpoint_latency(self, address: str, model: LatencyModel) -> None:
+        """Override latency for every message *to* ``address``."""
+        self._endpoint_latency[address] = model
+
+    def set_down(self, address: str, down: bool = True) -> None:
+        """Partition an endpoint: messages to it are silently dropped.
+
+        Used by failure-injection tests; mirrors a phone losing
+        connectivity, which the MQTT QoS-1 retry path must survive.
+        """
+        if down:
+            self._down.add(address)
+        else:
+            self._down.discard(address)
+
+    # -- data path ----------------------------------------------------
+
+    def send(self, src: str, dst: str, payload, *,
+             size: int | None = None, headers: dict | None = None) -> Message:
+        """Send ``payload`` from ``src`` to ``dst``; returns the message.
+
+        Delivery is scheduled for ``now + latency``.  The sender's radio
+        is charged immediately (transmission happens now); the
+        receiver's radio is charged at delivery.
+        """
+        if dst not in self._endpoints:
+            raise UnknownEndpointError(f"unknown destination {dst!r}")
+        message = Message(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size=size if size is not None else estimate_size(payload),
+            sent_at=self._world.now,
+            headers=dict(headers or {}),
+        )
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+
+        sender = self._endpoints.get(src)
+        if sender is not None and sender.radio is not None:
+            sender.radio.account_tx(message.size)
+
+        if dst in self._down or src in self._down:
+            return message  # dropped by the partition; QoS layers retry
+
+        latency = self._latency_for(src, dst).sample(self._rng)
+        # Per-link FIFO: messages between the same pair ride one TCP
+        # connection and never overtake each other.
+        delivery_at = max(self._world.now + latency,
+                          self._last_delivery.get((src, dst), 0.0))
+        self._last_delivery[(src, dst)] = delivery_at
+        self._world.scheduler.schedule_at(delivery_at, self._deliver, message)
+        return message
+
+    def _latency_for(self, src: str, dst: str) -> LatencyModel:
+        model = self._link_latency.get((src, dst))
+        if model is not None:
+            return model
+        model = self._endpoint_latency.get(dst)
+        if model is not None:
+            return model
+        return self.default_latency
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None or message.dst in self._down:
+            return  # endpoint vanished or went down while in flight
+        message.delivered_at = self._world.now
+        if endpoint.radio is not None:
+            endpoint.radio.account_rx(message.size)
+        endpoint.deliver(message)

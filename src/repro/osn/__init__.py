@@ -1,0 +1,33 @@
+"""Simulated online social network (OSN).
+
+Stands in for the Facebook and Twitter platforms of the paper: a
+social graph, user-generated actions (posts, comments, likes, tweets),
+per-user feeds, webhook subscriptions with realistic notification
+delays, and a pollable timeline API.  Also hosts the content generator
+and the lexicon sentiment analyser (the paper's stated future-work
+extension, which this reproduction implements).
+"""
+
+from repro.osn.errors import OsnError, UnknownUserError
+from repro.osn.graph import SocialGraph
+from repro.osn.actions import ActionType, OsnAction
+from repro.osn.content import ContentGenerator
+from repro.osn.sentiment import SentimentAnalyzer, SentimentLabel
+from repro.osn.topics import TopicClassifier, TopicScore
+from repro.osn.service import OsnService
+from repro.osn.generator import ActionWorkloadGenerator
+
+__all__ = [
+    "ActionType",
+    "ActionWorkloadGenerator",
+    "ContentGenerator",
+    "OsnAction",
+    "OsnError",
+    "OsnService",
+    "SentimentAnalyzer",
+    "SentimentLabel",
+    "SocialGraph",
+    "TopicClassifier",
+    "TopicScore",
+    "UnknownUserError",
+]

@@ -1,0 +1,69 @@
+"""OSN actions: the events SenSocial couples with physical context."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+_action_counter = itertools.count(1)
+
+
+class ActionType(str, Enum):
+    """The user activities the paper's plug-ins capture."""
+
+    POST = "post"
+    COMMENT = "comment"
+    LIKE = "like"
+    SHARE = "share"
+    TWEET = "tweet"
+    CHECKIN = "checkin"
+    FRIEND_ADD = "friend_add"
+    FRIEND_REMOVE = "friend_remove"
+
+
+@dataclass
+class OsnAction:
+    """One action a user performed on the OSN.
+
+    ``payload`` carries platform-specific extras (e.g. the page liked,
+    the post commented on); ``content`` is the user-visible text used
+    by the sentiment extension.
+    """
+
+    user_id: str
+    type: ActionType
+    created_at: float
+    platform: str = "facebook"
+    content: str = ""
+    target: str | None = None
+    payload: dict[str, Any] = field(default_factory=dict)
+    action_id: int = field(default_factory=lambda: next(_action_counter))
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialise for storage / the JSON trigger string of §4."""
+        return {
+            "action_id": self.action_id,
+            "user_id": self.user_id,
+            "type": self.type.value,
+            "created_at": self.created_at,
+            "platform": self.platform,
+            "content": self.content,
+            "target": self.target,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_document(cls, document: dict[str, Any]) -> "OsnAction":
+        """Inverse of :meth:`to_document`."""
+        return cls(
+            user_id=document["user_id"],
+            type=ActionType(document["type"]),
+            created_at=document["created_at"],
+            platform=document.get("platform", "facebook"),
+            content=document.get("content", ""),
+            target=document.get("target"),
+            payload=dict(document.get("payload", {})),
+            action_id=document.get("action_id", 0),
+        )

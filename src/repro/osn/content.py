@@ -1,0 +1,64 @@
+"""Synthetic OSN post content.
+
+Generates short status updates with a controllable topic and sentiment
+so that content-based filters ("when the user posts about football")
+and the sentiment extension have realistic material to chew on.
+"""
+
+from __future__ import annotations
+
+import random
+
+TOPICS = {
+    "football": ["match", "goal", "team", "league", "striker", "derby"],
+    "music": ["concert", "album", "song", "gig", "band", "playlist"],
+    "food": ["dinner", "restaurant", "recipe", "coffee", "brunch", "bakery"],
+    "travel": ["flight", "trip", "city", "beach", "museum", "train"],
+    "work": ["meeting", "deadline", "project", "office", "presentation"],
+    "weather": ["rain", "sunshine", "storm", "heatwave", "snow"],
+}
+
+POSITIVE_PHRASES = [
+    "absolutely loving", "so happy about", "what a fantastic", "best ever",
+    "really enjoying", "thrilled about", "great day for",
+]
+
+NEGATIVE_PHRASES = [
+    "so disappointed by", "really annoyed about", "worst ever",
+    "fed up with", "terrible experience with", "sad about",
+]
+
+NEUTRAL_PHRASES = [
+    "thinking about", "heading to", "just saw", "reading about",
+    "watching", "waiting for",
+]
+
+
+class ContentGenerator:
+    """Draws post texts with a chosen (or random) topic and sentiment."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def topics(self) -> list[str]:
+        return sorted(TOPICS)
+
+    def generate(self, topic: str | None = None,
+                 sentiment: str | None = None) -> str:
+        """One post text.  ``sentiment`` in {positive, negative, neutral}."""
+        if topic is None:
+            topic = self._rng.choice(sorted(TOPICS))
+        if topic not in TOPICS:
+            raise ValueError(f"unknown topic {topic!r}; choose from {sorted(TOPICS)}")
+        if sentiment is None:
+            sentiment = self._rng.choice(["positive", "negative", "neutral"])
+        phrases = {
+            "positive": POSITIVE_PHRASES,
+            "negative": NEGATIVE_PHRASES,
+            "neutral": NEUTRAL_PHRASES,
+        }.get(sentiment)
+        if phrases is None:
+            raise ValueError(f"unknown sentiment {sentiment!r}")
+        phrase = self._rng.choice(phrases)
+        noun = self._rng.choice(TOPICS[topic])
+        return f"{phrase} the {topic} {noun}"

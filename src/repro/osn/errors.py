@@ -1,0 +1,9 @@
+"""OSN simulator errors."""
+
+
+class OsnError(Exception):
+    """Base class for OSN simulation errors."""
+
+
+class UnknownUserError(OsnError):
+    """Raised when an operation references a user the OSN does not know."""

@@ -1,0 +1,91 @@
+"""OSN action workload generator.
+
+Drives the OSN service with Poisson action arrivals per user — the
+workload behind Table 4 (bursts of actions in a 20-minute window) and
+the scalability benches.
+"""
+
+from __future__ import annotations
+
+from repro.osn.actions import ActionType
+from repro.osn.content import ContentGenerator
+from repro.osn.service import OsnService
+from repro.simkit.world import World
+
+#: Relative frequency of action types in the generated workload;
+#: posts/likes/comments dominate, matching the plug-in coverage of §4.
+DEFAULT_ACTION_MIX = [
+    (ActionType.POST, 0.35),
+    (ActionType.LIKE, 0.30),
+    (ActionType.COMMENT, 0.20),
+    (ActionType.SHARE, 0.10),
+    (ActionType.CHECKIN, 0.05),
+]
+
+
+class ActionWorkloadGenerator:
+    """Poisson action arrivals for a set of users."""
+
+    def __init__(self, world: World, service: OsnService,
+                 actions_per_hour: float = 2.0,
+                 action_mix: list[tuple[ActionType, float]] | None = None):
+        if actions_per_hour <= 0:
+            raise ValueError(f"actions_per_hour must be > 0, got {actions_per_hour}")
+        self._world = world
+        self._service = service
+        self._rng = world.rng(f"osn-workload-{service.platform}")
+        self._content = ContentGenerator(world.rng("osn-content"))
+        self.actions_per_hour = actions_per_hour
+        self._mix = action_mix if action_mix is not None else DEFAULT_ACTION_MIX
+        self._running: dict[str, bool] = {}
+
+    def start_user(self, user_id: str) -> None:
+        """Begin generating actions for ``user_id``."""
+        if self._running.get(user_id):
+            return
+        self._running[user_id] = True
+        self._schedule_next(user_id)
+
+    def stop_user(self, user_id: str) -> None:
+        self._running[user_id] = False
+
+    def start_all(self) -> None:
+        for user_id in self._service.graph.users():
+            self.start_user(user_id)
+
+    def burst(self, user_id: str, count: int, interval: float) -> None:
+        """Schedule exactly ``count`` actions ``interval`` seconds apart.
+
+        Used by the Table 4 bench, which needs a controlled number of
+        actions inside a 20-minute window rather than a Poisson draw.
+        """
+        for index in range(count):
+            self._world.scheduler.schedule(
+                index * interval, self._perform_once, user_id)
+
+    def _schedule_next(self, user_id: str) -> None:
+        mean_gap = 3600.0 / self.actions_per_hour
+        gap = self._rng.expovariate(1.0 / mean_gap)
+        self._world.scheduler.schedule(gap, self._fire, user_id)
+
+    def _fire(self, user_id: str) -> None:
+        if not self._running.get(user_id):
+            return
+        self._perform_once(user_id)
+        self._schedule_next(user_id)
+
+    def _perform_once(self, user_id: str) -> None:
+        action_type = self._draw_type()
+        content = ""
+        if action_type in (ActionType.POST, ActionType.COMMENT, ActionType.TWEET):
+            content = self._content.generate()
+        self._service.perform_action(user_id, action_type, content=content)
+
+    def _draw_type(self) -> ActionType:
+        total = sum(weight for _, weight in self._mix)
+        draw = self._rng.random() * total
+        for action_type, weight in self._mix:
+            draw -= weight
+            if draw <= 0:
+                return action_type
+        return self._mix[-1][0]

@@ -1,0 +1,204 @@
+"""The social graph: friendships (undirected) and follows (directed).
+
+SenSocial's server keeps the users' OSN links in MongoDB and selects
+multicast-stream members by graph neighbourhood; this class is the
+in-model source of truth that the server mirrors into its database.
+Includes the classic random-graph generators used by the benchmark
+workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Iterable
+
+from repro.osn.errors import UnknownUserError
+
+
+class SocialGraph:
+    """Users plus friendship and follow edges."""
+
+    def __init__(self):
+        self._friends: dict[str, set[str]] = {}
+        self._following: dict[str, set[str]] = {}
+        self._followers: dict[str, set[str]] = {}
+
+    # -- membership ----------------------------------------------------
+
+    def add_user(self, user_id: str) -> None:
+        """Register a user; idempotent."""
+        self._friends.setdefault(user_id, set())
+        self._following.setdefault(user_id, set())
+        self._followers.setdefault(user_id, set())
+
+    def remove_user(self, user_id: str) -> None:
+        """Remove a user and every edge touching them."""
+        self._require(user_id)
+        for friend in self._friends.pop(user_id):
+            self._friends[friend].discard(user_id)
+        for followee in self._following.pop(user_id):
+            self._followers[followee].discard(user_id)
+        for follower in self._followers.pop(user_id):
+            self._following[follower].discard(user_id)
+
+    def has_user(self, user_id: str) -> bool:
+        return user_id in self._friends
+
+    def users(self) -> list[str]:
+        return sorted(self._friends)
+
+    def user_count(self) -> int:
+        return len(self._friends)
+
+    # -- friendship (undirected, Facebook-style) ------------------------
+
+    def add_friendship(self, a: str, b: str) -> None:
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise ValueError(f"user {a!r} cannot befriend themselves")
+        self._friends[a].add(b)
+        self._friends[b].add(a)
+
+    def remove_friendship(self, a: str, b: str) -> None:
+        self._require(a)
+        self._require(b)
+        self._friends[a].discard(b)
+        self._friends[b].discard(a)
+
+    def are_friends(self, a: str, b: str) -> bool:
+        self._require(a)
+        return b in self._friends[a]
+
+    def friends(self, user_id: str) -> list[str]:
+        self._require(user_id)
+        return sorted(self._friends[user_id])
+
+    def degree(self, user_id: str) -> int:
+        self._require(user_id)
+        return len(self._friends[user_id])
+
+    def mutual_friends(self, a: str, b: str) -> list[str]:
+        self._require(a)
+        self._require(b)
+        return sorted(self._friends[a] & self._friends[b])
+
+    def friendship_count(self) -> int:
+        return sum(len(adj) for adj in self._friends.values()) // 2
+
+    def friends_within(self, user_id: str, hops: int) -> list[str]:
+        """Users within ``hops`` friendship hops (excluding the user)."""
+        self._require(user_id)
+        seen = {user_id}
+        frontier = deque([(user_id, 0)])
+        reached: list[str] = []
+        while frontier:
+            current, depth = frontier.popleft()
+            if depth == hops:
+                continue
+            for neighbour in sorted(self._friends[current]):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    reached.append(neighbour)
+                    frontier.append((neighbour, depth + 1))
+        return reached
+
+    # -- follows (directed, Twitter-style) ------------------------------
+
+    def add_follow(self, follower: str, followee: str) -> None:
+        self._require(follower)
+        self._require(followee)
+        if follower == followee:
+            raise ValueError(f"user {follower!r} cannot follow themselves")
+        self._following[follower].add(followee)
+        self._followers[followee].add(follower)
+
+    def remove_follow(self, follower: str, followee: str) -> None:
+        self._require(follower)
+        self._require(followee)
+        self._following[follower].discard(followee)
+        self._followers[followee].discard(follower)
+
+    def follows(self, follower: str, followee: str) -> bool:
+        self._require(follower)
+        return followee in self._following[follower]
+
+    def following(self, user_id: str) -> list[str]:
+        self._require(user_id)
+        return sorted(self._following[user_id])
+
+    def followers(self, user_id: str) -> list[str]:
+        self._require(user_id)
+        return sorted(self._followers[user_id])
+
+    # -- generators ------------------------------------------------------
+
+    @classmethod
+    def erdos_renyi(cls, user_ids: Iterable[str], probability: float,
+                    rng: random.Random) -> "SocialGraph":
+        """G(n, p): each pair befriended independently with ``probability``."""
+        graph = cls()
+        ids = list(user_ids)
+        for user_id in ids:
+            graph.add_user(user_id)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                if rng.random() < probability:
+                    graph.add_friendship(a, b)
+        return graph
+
+    @classmethod
+    def watts_strogatz(cls, user_ids: Iterable[str], neighbours: int,
+                       rewire_probability: float, rng: random.Random) -> "SocialGraph":
+        """Small-world ring lattice with random rewiring."""
+        graph = cls()
+        ids = list(user_ids)
+        n = len(ids)
+        for user_id in ids:
+            graph.add_user(user_id)
+        if n < 3:
+            return graph
+        half = max(1, neighbours // 2)
+        for i in range(n):
+            for offset in range(1, half + 1):
+                j = (i + offset) % n
+                if rng.random() < rewire_probability:
+                    choices = [k for k in range(n)
+                               if k != i and not graph.are_friends(ids[i], ids[k])]
+                    if choices:
+                        j = rng.choice(choices)
+                if ids[i] != ids[j]:
+                    graph.add_friendship(ids[i], ids[j])
+        return graph
+
+    @classmethod
+    def barabasi_albert(cls, user_ids: Iterable[str], edges_per_user: int,
+                        rng: random.Random) -> "SocialGraph":
+        """Preferential attachment: hubs emerge, as in real OSNs."""
+        graph = cls()
+        ids = list(user_ids)
+        for user_id in ids:
+            graph.add_user(user_id)
+        if len(ids) < 2:
+            return graph
+        m = max(1, min(edges_per_user, len(ids) - 1))
+        targets = ids[:m]
+        attachment_pool: list[str] = list(targets)
+        for new_user in ids[m:]:
+            chosen: set[str] = set()
+            while len(chosen) < m:
+                candidate = rng.choice(attachment_pool)
+                if candidate != new_user:
+                    chosen.add(candidate)
+            for friend in chosen:
+                graph.add_friendship(new_user, friend)
+                attachment_pool.append(friend)
+            attachment_pool.extend([new_user] * m)
+        return graph
+
+    # -- internals -------------------------------------------------------
+
+    def _require(self, user_id: str) -> None:
+        if user_id not in self._friends:
+            raise UnknownUserError(f"unknown user {user_id!r}")

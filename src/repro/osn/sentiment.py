@@ -1,0 +1,79 @@
+"""Lexicon-based sentiment analysis of OSN posts.
+
+The paper's conclusions name text mining of OSN content — classifying
+post topics and emotional states — as planned future work; this module
+implements that extension so the emotion-propagation example from the
+introduction can run end to end.
+"""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+
+_POSITIVE_LEXICON = {
+    "loving": 2.0, "love": 2.0, "happy": 2.0, "fantastic": 2.5, "best": 2.0,
+    "enjoying": 1.5, "thrilled": 2.5, "great": 1.5, "good": 1.0, "nice": 1.0,
+    "wonderful": 2.0, "amazing": 2.5, "excited": 1.5, "glad": 1.5,
+}
+
+_NEGATIVE_LEXICON = {
+    "disappointed": -2.0, "annoyed": -1.5, "worst": -2.5, "fed": -1.0,
+    "terrible": -2.5, "sad": -2.0, "bad": -1.0, "awful": -2.5, "hate": -2.5,
+    "angry": -2.0, "upset": -1.5, "horrible": -2.5, "miserable": -2.0,
+}
+
+_NEGATIONS = {"not", "no", "never", "hardly", "isnt", "wasnt", "dont", "didnt"}
+
+_WORD = re.compile(r"[a-z']+")
+
+
+class SentimentLabel(str, Enum):
+    """Discrete post polarity."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+    NEUTRAL = "neutral"
+
+
+class SentimentAnalyzer:
+    """Scores text in [-1, 1] and maps it to a discrete label."""
+
+    def __init__(self, positive_threshold: float = 0.1,
+                 negative_threshold: float = -0.1):
+        if positive_threshold < negative_threshold:
+            raise ValueError("positive threshold must be >= negative threshold")
+        self.positive_threshold = positive_threshold
+        self.negative_threshold = negative_threshold
+
+    def score(self, text: str) -> float:
+        """Average lexicon valence of the text, squashed into [-1, 1].
+
+        A negation word flips the sign of the next sentiment-bearing
+        word ("not happy" counts as negative).
+        """
+        words = _WORD.findall(text.lower().replace("'", ""))
+        total = 0.0
+        hits = 0
+        negate = False
+        for word in words:
+            if word in _NEGATIONS:
+                negate = True
+                continue
+            valence = _POSITIVE_LEXICON.get(word) or _NEGATIVE_LEXICON.get(word)
+            if valence is not None:
+                total += -valence if negate else valence
+                hits += 1
+            negate = False
+        if hits == 0:
+            return 0.0
+        return max(-1.0, min(1.0, total / (2.5 * hits)))
+
+    def label(self, text: str) -> SentimentLabel:
+        """Discrete polarity of the text."""
+        score = self.score(text)
+        if score > self.positive_threshold:
+            return SentimentLabel.POSITIVE
+        if score < self.negative_threshold:
+            return SentimentLabel.NEGATIVE
+        return SentimentLabel.NEUTRAL

@@ -1,0 +1,182 @@
+"""The OSN platform service (Facebook / Twitter stand-in).
+
+Hosts the social graph and the action firehose.  Third-party
+applications (SenSocial's plug-ins) integrate two ways, exactly as the
+paper describes in §4:
+
+* **webhook subscription** — the platform pushes each action to the
+  application after a *notification delay*; the paper measured this at
+  ~46 s for Facebook (Table 3), and that delay lives here, not in the
+  middleware;
+* **timeline polling** — applications query ``timeline_since`` for new
+  actions, the Twitter-plug-in model, whose latency is bounded by the
+  chosen poll period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.osn.actions import ActionType, OsnAction
+from repro.osn.errors import UnknownUserError
+from repro.osn.graph import SocialGraph
+from repro.simkit.world import World
+
+#: Signature of a webhook: receives the action at notification time.
+WebhookCallback = Callable[[OsnAction], None]
+
+
+@dataclass
+class _WebhookSubscription:
+    app_name: str
+    callback: WebhookCallback
+    delay: LatencyModel
+    user_ids: set[str] | None  # None = all authenticated users
+
+
+class OsnService:
+    """One simulated OSN platform."""
+
+    def __init__(self, world: World, platform: str = "facebook",
+                 graph: SocialGraph | None = None):
+        self._world = world
+        self.platform = platform
+        self.graph = graph if graph is not None else SocialGraph()
+        self._rng = world.rng(f"osn-{platform}")
+        self._feeds: dict[str, list[OsnAction]] = {}
+        self._webhooks: list[_WebhookSubscription] = []
+        self._authorized: set[str] = set()
+        self._taps: list[WebhookCallback] = []
+        self.actions_performed = 0
+
+    # -- accounts -------------------------------------------------------
+
+    def register_user(self, user_id: str) -> None:
+        """Create a platform account; idempotent."""
+        self.graph.add_user(user_id)
+        self._feeds.setdefault(user_id, [])
+
+    def authorize_app(self, user_id: str) -> None:
+        """The user grants the SenSocial plug-in access (OAuth in §4)."""
+        self._require_user(user_id)
+        self._authorized.add(user_id)
+
+    def is_authorized(self, user_id: str) -> bool:
+        return user_id in self._authorized
+
+    # -- actions ----------------------------------------------------------
+
+    def perform_action(self, user_id: str, action_type: ActionType | str,
+                       content: str = "", target: str | None = None,
+                       payload: dict[str, Any] | None = None) -> OsnAction:
+        """The user acts on the OSN; webhooks fire after their delay.
+
+        Actions are accepted from any device — desktop, laptop or the
+        phone itself — which is why SenSocial must observe them through
+        the platform rather than on the phone.
+        """
+        self._require_user(user_id)
+        action = OsnAction(
+            user_id=user_id,
+            type=ActionType(action_type),
+            created_at=self._world.now,
+            platform=self.platform,
+            content=content,
+            target=target,
+            payload=dict(payload or {}),
+        )
+        self._feeds[user_id].append(action)
+        self.actions_performed += 1
+        self._maintain_graph(action)
+        for tap in list(self._taps):
+            tap(action)
+        for subscription in self._webhooks:
+            if subscription.user_ids is not None and user_id not in subscription.user_ids:
+                continue
+            if user_id not in self._authorized:
+                continue
+            delay = subscription.delay.sample(self._rng)
+            self._world.scheduler.schedule(delay, subscription.callback, action)
+        return action
+
+    def _maintain_graph(self, action: OsnAction) -> None:
+        """Friend add/remove actions mutate the social graph.
+
+        Mirrors §4's "the server component classifies OSN actions to
+        infer any change in the OSN".
+        """
+        other = action.payload.get("friend_id")
+        if other is None or not self.graph.has_user(other):
+            return
+        if action.type is ActionType.FRIEND_ADD:
+            self.graph.add_friendship(action.user_id, other)
+        elif action.type is ActionType.FRIEND_REMOVE:
+            self.graph.remove_friendship(action.user_id, other)
+
+    # -- application integration ------------------------------------------
+
+    def add_action_tap(self, callback: WebhookCallback) -> None:
+        """Observe every action synchronously, without delay or
+        authorisation filtering — platform-internal instrumentation
+        (used by trace recording), not an application surface."""
+        self._taps.append(callback)
+
+    def remove_action_tap(self, callback: WebhookCallback) -> None:
+        if callback in self._taps:
+            self._taps.remove(callback)
+
+    def subscribe_webhook(self, app_name: str, callback: WebhookCallback,
+                          delay: LatencyModel | None = None,
+                          user_ids: list[str] | None = None) -> None:
+        """Push each (authorized) user action to ``callback`` after ``delay``."""
+        self._webhooks.append(_WebhookSubscription(
+            app_name=app_name,
+            callback=callback,
+            delay=delay if delay is not None else FixedLatency(0.0),
+            user_ids=set(user_ids) if user_ids is not None else None,
+        ))
+
+    def timeline_since(self, user_id: str, since: float) -> list[OsnAction]:
+        """Actions by ``user_id`` strictly after instant ``since``.
+
+        The polling API used by the Twitter plug-in; requires the user
+        to have authorized the application.
+        """
+        self._require_user(user_id)
+        if user_id not in self._authorized:
+            return []
+        return [action for action in self._feeds[user_id]
+                if action.created_at > since]
+
+    def feed(self, user_id: str) -> list[OsnAction]:
+        """The user's full action history (their wall)."""
+        self._require_user(user_id)
+        return list(self._feeds[user_id])
+
+    def posts_of(self, user_id: str) -> list[OsnAction]:
+        """Only the user's posts/tweets (content-bearing top level)."""
+        return [action for action in self.feed(user_id)
+                if action.type in (ActionType.POST, ActionType.TWEET)]
+
+    def comments_on(self, target: str) -> list[OsnAction]:
+        """Comments across all users targeting one post/page id."""
+        return sorted(
+            (action for feed in self._feeds.values() for action in feed
+             if action.type is ActionType.COMMENT and action.target == target),
+            key=lambda action: (action.created_at, action.action_id))
+
+    def likes_of(self, target: str) -> list[str]:
+        """Users who liked one post/page id (unique, sorted)."""
+        return sorted({action.user_id for feed in self._feeds.values()
+                       for action in feed
+                       if action.type is ActionType.LIKE
+                       and action.target == target})
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_user(self, user_id: str) -> None:
+        if user_id not in self._feeds:
+            raise UnknownUserError(
+                f"user {user_id!r} has no {self.platform} account")

@@ -1,0 +1,67 @@
+"""Topic extraction from OSN post text.
+
+The paper's conclusions plan "classifiers that are able to extract OSN
+post topics ... and link them to the users' physical context"; this
+module implements that extension with a keyword-scoring model over the
+same topic vocabulary the content generator draws from, so generated
+workloads are classifiable end to end.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.osn.content import TOPICS
+
+_WORD = re.compile(r"[a-z']+")
+
+#: Score for the topic's own name appearing in the text.
+_NAME_WEIGHT = 2.0
+#: Score for one of the topic's associated nouns appearing.
+_NOUN_WEIGHT = 1.0
+
+
+@dataclass(frozen=True)
+class TopicScore:
+    topic: str
+    score: float
+
+
+class TopicClassifier:
+    """Keyword-weighted topic scoring with an extensible vocabulary."""
+
+    def __init__(self, vocabulary: dict[str, list[str]] | None = None):
+        base = {topic: list(nouns) for topic, nouns in TOPICS.items()}
+        if vocabulary:
+            for topic, nouns in vocabulary.items():
+                base.setdefault(topic, [])
+                base[topic] = sorted(set(base[topic]) | set(nouns))
+        self._vocabulary = base
+
+    def topics(self) -> list[str]:
+        return sorted(self._vocabulary)
+
+    def add_topic(self, topic: str, nouns: list[str]) -> None:
+        """Extend the vocabulary (developer-supplied domain topics)."""
+        existing = self._vocabulary.setdefault(topic, [])
+        self._vocabulary[topic] = sorted(set(existing) | set(nouns))
+
+    def scores(self, text: str) -> list[TopicScore]:
+        """Every topic with a non-zero score, best first."""
+        words = set(_WORD.findall(text.lower()))
+        results = []
+        for topic, nouns in sorted(self._vocabulary.items()):
+            score = 0.0
+            if topic in words:
+                score += _NAME_WEIGHT
+            score += _NOUN_WEIGHT * sum(1 for noun in nouns if noun in words)
+            if score > 0:
+                results.append(TopicScore(topic, score))
+        results.sort(key=lambda item: (-item.score, item.topic))
+        return results
+
+    def classify(self, text: str) -> str | None:
+        """The single best topic, or ``None`` for off-vocabulary text."""
+        scores = self.scores(text)
+        return scores[0].topic if scores else None

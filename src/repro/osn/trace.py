@@ -1,0 +1,85 @@
+"""OSN workload traces: record a run's actions, replay them exactly.
+
+Reproducible experiments need identical OSN workloads across design
+variants (the push-vs-poll ablation, for instance, must feed both arms
+the same actions).  A trace records every action performed on a
+service; replaying schedules the same actions, with the same content
+and timing, against another service instance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.osn.actions import OsnAction
+from repro.osn.service import OsnService
+from repro.simkit.errors import SimulationError
+from repro.simkit.world import World
+
+
+@dataclass
+class ActionTrace:
+    """A recorded sequence of OSN actions."""
+
+    platform: str
+    entries: list[dict] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def user_ids(self) -> list[str]:
+        return sorted({entry["user_id"] for entry in self.entries})
+
+    def to_json(self) -> str:
+        return json.dumps({"platform": self.platform,
+                           "entries": self.entries})
+
+    @classmethod
+    def from_json(cls, text: str) -> "ActionTrace":
+        document = json.loads(text)
+        return cls(platform=document["platform"],
+                   entries=list(document["entries"]))
+
+
+class TraceRecorder:
+    """Attaches to a service and records every action it sees.
+
+    Uses the service's synchronous action tap, so the recording sees
+    every user's actions (webhooks would skip unauthorised users) at
+    their true creation time (no notification delay).
+    """
+
+    def __init__(self, service: OsnService):
+        self._service = service
+        self.trace = ActionTrace(platform=service.platform)
+        service.add_action_tap(self._on_action)
+
+    def detach(self) -> None:
+        """Stop recording."""
+        self._service.remove_action_tap(self._on_action)
+
+    def _on_action(self, action: OsnAction) -> None:
+        self.trace.entries.append(action.to_document())
+
+
+def replay_trace(world: World, service: OsnService, trace: ActionTrace,
+                 register_missing_users: bool = True) -> int:
+    """Schedule every trace entry against ``service`` at its original
+    time (relative times must be in the future); returns the count."""
+    scheduled = 0
+    for entry in trace.entries:
+        if entry["created_at"] < world.now:
+            raise SimulationError(
+                f"trace entry at t={entry['created_at']} is in the past "
+                f"(clock at {world.now})")
+        user_id = entry["user_id"]
+        if register_missing_users and not service.graph.has_user(user_id):
+            service.register_user(user_id)
+            service.authorize_app(user_id)
+        world.scheduler.schedule_at(
+            entry["created_at"], service.perform_action, user_id,
+            entry["type"], entry.get("content", ""), entry.get("target"),
+            dict(entry.get("payload", {})))
+        scheduled += 1
+    return scheduled

@@ -1,0 +1,13 @@
+"""OSN plug-ins: how SenSocial taps into platform data (§4).
+
+The Facebook plug-in is added to the user's profile and pushes actions
+to the server's receiver script after the platform's notification
+delay; the Twitter plug-in lives entirely server-side and actively
+polls each authorised user's timeline.
+"""
+
+from repro.plugins.base import OsnPlugin
+from repro.plugins.facebook import FacebookPlugin
+from repro.plugins.twitter import TwitterPlugin
+
+__all__ = ["FacebookPlugin", "OsnPlugin", "TwitterPlugin"]

@@ -1,0 +1,50 @@
+"""Twitter plug-in: server-side polling of authorised users' timelines.
+
+"The Twitter plug-in comprises of PHP files that completely resides on
+the server and periodically queries data from the Twitter server for
+each user that has authenticated SenSocial via OAuth" (§4).  Because it
+actively scans, its capture delay is bounded by the poll period —
+"arbitrarily short" in the paper's words (§5.4).
+"""
+
+from __future__ import annotations
+
+from repro.device import calibration
+from repro.osn.service import OsnService
+from repro.plugins.base import OsnPlugin
+from repro.simkit.scheduler import PeriodicTask
+from repro.simkit.world import World
+
+
+class TwitterPlugin(OsnPlugin):
+    """Poll-based capture of tweets and other timeline actions."""
+
+    def __init__(self, world: World, service: OsnService,
+                 poll_period_s: float = calibration.TWITTER_POLL_PERIOD_S):
+        super().__init__(world, service)
+        if poll_period_s <= 0:
+            raise ValueError(f"poll period must be > 0, got {poll_period_s}")
+        self.poll_period_s = poll_period_s
+        self._last_poll: dict[str, float] = {}
+        self._task: PeriodicTask | None = None
+        self.polls_performed = 0
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = self._world.scheduler.every(
+                self.poll_period_s, self._poll_all, delay=self.poll_period_s)
+        self.started = True
+
+    def stop(self) -> None:
+        self.started = False
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _poll_all(self) -> None:
+        for user_id in sorted(self._users):
+            since = self._last_poll.get(user_id, -1.0)
+            self.polls_performed += 1
+            for action in self._service.timeline_since(user_id, since):
+                self._emit(action)
+            self._last_poll[user_id] = self._world.now

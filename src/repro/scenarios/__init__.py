@@ -1,0 +1,6 @@
+"""Canned simulation worlds used by examples, tests and benchmarks."""
+
+from repro.scenarios.testbed import MobileNode, SenSocialTestbed
+from repro.scenarios.paris import build_paris_scenario
+
+__all__ = ["MobileNode", "SenSocialTestbed", "build_paris_scenario"]

@@ -1,0 +1,32 @@
+"""The Figure 2 scenario: geo-aware social notifications.
+
+Five users — A and B in Paris; C, D and E in Bordeaux — with OSN links
+A–C and A–D.  User C later travels to Paris; the server notices one of
+A's friends entering A's home town and notifies A.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.testbed import SenSocialTestbed
+
+FIGURE2_USERS = {
+    "A": "Paris",
+    "B": "Paris",
+    "C": "Bordeaux",
+    "D": "Bordeaux",
+    "E": "Bordeaux",
+}
+
+FIGURE2_FRIENDSHIPS = [("A", "C"), ("A", "D")]
+
+
+def build_paris_scenario(seed: int = 0,
+                         location_update_period_s: float = 120.0) -> SenSocialTestbed:
+    """Deploy the five Figure 2 users and their OSN links."""
+    testbed = SenSocialTestbed(
+        seed=seed, location_update_period_s=location_update_period_s)
+    for user_id, city in FIGURE2_USERS.items():
+        testbed.add_user(user_id, home_city=city)
+    for a, b in FIGURE2_FRIENDSHIPS:
+        testbed.befriend(a, b)
+    return testbed

@@ -1,0 +1,14 @@
+"""Adaptive sensing library (ESSensorManager stand-in [30]).
+
+SenSocial's Sensor Manager delegates to this layer for the two
+sampling modes of §4: **one-off sensing** (a single remotely triggered
+cycle, used for social-event-based streams) and **subscription-based
+sensing** (continuous duty-cycled sampling).  Duty cycle and sample
+rate arrive as key-value settings objects, exactly like the paper's
+API.
+"""
+
+from repro.sensing.config import SensingConfig
+from repro.sensing.manager import ESSensorManager, SensingSubscription
+
+__all__ = ["ESSensorManager", "SensingConfig", "SensingSubscription"]

@@ -1,0 +1,123 @@
+"""The sensing manager: one-off and subscription-based sampling."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.device.phone import Smartphone
+from repro.device.sensors.base import SensorReading
+from repro.sensing.config import SensingConfig
+from repro.simkit.scheduler import PeriodicTask
+from repro.simkit.world import World
+
+#: Callback receiving each completed sensing cycle.
+ReadingCallback = Callable[[SensorReading], None]
+
+#: Transient CPU cost of driving one sampling cycle, percent.
+_SAMPLING_CPU_PULSE_PCT = 0.6
+
+_subscription_counter = itertools.count(1)
+
+
+@dataclass
+class SensingSubscription:
+    """A live subscription-based sensing registration."""
+
+    subscription_id: int
+    modality: str
+    config: SensingConfig
+    callback: ReadingCallback
+    task: PeriodicTask
+
+    @property
+    def active(self) -> bool:
+        return not self.task.cancelled
+
+
+class ESSensorManager:
+    """Per-device sensing manager.
+
+    One instance per phone (the real library is a singleton per app
+    process); obtained through :meth:`get_for` to mirror that pattern
+    while staying testable.
+    """
+
+    _instances: dict[str, "ESSensorManager"] = {}
+
+    def __init__(self, world: World, phone: Smartphone):
+        self._world = world
+        self._phone = phone
+        self._subscriptions: dict[int, SensingSubscription] = {}
+        self.one_off_count = 0
+
+    @classmethod
+    def get_for(cls, world: World, phone: Smartphone) -> "ESSensorManager":
+        """The per-device singleton accessor."""
+        manager = cls._instances.get(phone.device_id)
+        if manager is None or manager._world is not world:
+            manager = cls(world, phone)
+            cls._instances[phone.device_id] = manager
+        return manager
+
+    @classmethod
+    def reset_instances(cls) -> None:
+        """Forget all singletons (used between tests/benches)."""
+        cls._instances.clear()
+
+    # -- one-off sensing (for OSN-triggered streams) -----------------------
+
+    def sense_once(self, modality: str, callback: ReadingCallback) -> None:
+        """Sample ``modality`` a single time; energy is spent only now.
+
+        "One-off sensing is used for streams that are conditioned on
+        the OSN action trigger ... sensing is triggered once, remotely,
+        only if an OSN action is observed" (§4).
+        """
+        sensor = self._phone.sensor(modality)
+        self.one_off_count += 1
+        # The reading becomes available once the sensing window closes.
+        self._world.scheduler.schedule(
+            sensor.window_seconds, self._complete_cycle, sensor, callback)
+
+    # -- subscription-based sensing ----------------------------------------
+
+    def subscribe(self, modality: str, config: SensingConfig,
+                  callback: ReadingCallback) -> SensingSubscription:
+        """Sample ``modality`` every ``config.duty_cycle_s`` seconds."""
+        sensor = self._phone.sensor(modality)
+        subscription_id = next(_subscription_counter)
+        task = self._world.scheduler.every(
+            config.duty_cycle_s,
+            lambda: self._complete_cycle(sensor, callback, config),
+            delay=sensor.window_seconds,
+        )
+        subscription = SensingSubscription(
+            subscription_id=subscription_id, modality=modality,
+            config=config, callback=callback, task=task)
+        self._subscriptions[subscription_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        subscription = self._subscriptions.pop(subscription_id, None)
+        if subscription is not None:
+            subscription.task.cancel()
+
+    def active_subscriptions(self) -> list[SensingSubscription]:
+        return [subscription for subscription in self._subscriptions.values()
+                if subscription.active]
+
+    def unsubscribe_all(self) -> None:
+        for subscription_id in list(self._subscriptions):
+            self.unsubscribe(subscription_id)
+
+    # -- internals -----------------------------------------------------------
+
+    def _complete_cycle(self, sensor, callback: ReadingCallback,
+                        config: SensingConfig | None = None) -> None:
+        reading = sensor.sample()
+        if config is not None and config.sample_rate != 1.0:
+            reading.wire_bytes = max(1, int(reading.wire_bytes * config.sample_rate))
+        self._phone.cpu.pulse(_SAMPLING_CPU_PULSE_PCT)
+        callback(reading)

@@ -1,0 +1,14 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled at an invalid time.
+
+    The scheduler refuses events in the past: simulated causality only
+    moves forward, and silently clamping a negative delay would hide a
+    logic error in the calling component.
+    """

@@ -1,0 +1,177 @@
+"""Deterministic discrete-event scheduler.
+
+The scheduler owns the virtual clock.  Events are ``(time, seq, fn)``
+triples kept in a binary heap; ``seq`` is a monotonically increasing
+counter so that two events scheduled for the same instant always fire
+in scheduling order, making every run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.simkit.errors import SchedulingError
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is *lazy*: the entry stays in the heap but is skipped
+    when popped, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class PeriodicTask:
+    """A repeating event with a fixed period.
+
+    The next occurrence is scheduled only after the current one has
+    fired, so cancelling from inside the callback works and a slow
+    callback never causes events to pile up at the same instant.
+    """
+
+    def __init__(self, scheduler: "Scheduler", interval: float,
+                 fn: Callable[..., Any], args: tuple):
+        if interval <= 0:
+            raise SchedulingError(f"periodic interval must be > 0, got {interval}")
+        self._scheduler = scheduler
+        self.interval = interval
+        self._fn = fn
+        self._args = args
+        self._handle: EventHandle | None = None
+        self._cancelled = False
+        self.fire_count = 0
+
+    def start(self, delay: float = 0.0) -> "PeriodicTask":
+        """Arm the task; the first firing happens after ``delay`` seconds."""
+        if not self._cancelled and self._handle is None:
+            self._handle = self._scheduler.schedule(delay, self._fire)
+        return self
+
+    def cancel(self) -> None:
+        """Stop the task; safe to call from inside the callback."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        self._fn(*self._args)
+        if not self._cancelled:
+            self._handle = self._scheduler.schedule(self.interval, self._fire)
+
+
+class Scheduler:
+    """The event loop: a virtual clock plus a heap of pending events."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[EventHandle] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay:.6f}s in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at the absolute simulated instant ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time:.6f}, clock already at {self._now:.6f}")
+        handle = EventHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def every(self, interval: float, fn: Callable[..., Any], *args: Any,
+              delay: float = 0.0) -> PeriodicTask:
+        """Create and start a :class:`PeriodicTask`."""
+        return PeriodicTask(self, interval, fn, args).start(delay)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when nothing is pending."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        handle = heapq.heappop(self._queue)
+        self._now = handle.time
+        self.events_processed += 1
+        handle.fn(*handle.args)
+        return True
+
+    def run_until(self, time: float) -> None:
+        """Process events up to and including instant ``time``.
+
+        The clock is left exactly at ``time`` even if the queue drains
+        early, so back-to-back ``run_until`` calls compose naturally.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot run to t={time:.6f}, clock already at {self._now:.6f}")
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+        self._now = time
+
+    def run_for(self, duration: float) -> None:
+        """Process events for ``duration`` simulated seconds from now."""
+        self.run_until(self._now + duration)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue (optionally capped); returns events processed."""
+        count = 0
+        while max_events is None or count < max_events:
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)

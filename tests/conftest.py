@@ -1,0 +1,46 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mobile.manager import MobileSenSocialManager
+from repro.device.environment import EnvironmentRegistry
+from repro.device.phone import Smartphone
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.scenarios.testbed import SenSocialTestbed
+from repro.simkit.world import World
+
+
+@pytest.fixture(autouse=True)
+def _reset_singletons():
+    """Each test starts with a clean middleware singleton table."""
+    MobileSenSocialManager.reset_instances()
+    yield
+    MobileSenSocialManager.reset_instances()
+
+
+@pytest.fixture
+def world() -> World:
+    return World(seed=42)
+
+
+@pytest.fixture
+def network(world) -> Network:
+    return Network(world, default_latency=FixedLatency(0.01))
+
+
+@pytest.fixture
+def env_registry() -> EnvironmentRegistry:
+    return EnvironmentRegistry()
+
+
+@pytest.fixture
+def phone(world, network, env_registry) -> Smartphone:
+    return Smartphone(world, network, env_registry, "test-user")
+
+
+@pytest.fixture
+def testbed() -> SenSocialTestbed:
+    return SenSocialTestbed(seed=7)

@@ -1,0 +1,153 @@
+"""Tests for the offline analysis package."""
+
+import pytest
+
+from repro.analysis import (
+    EmotionStudy,
+    TimeBinnedSeries,
+    markers_to_geojson,
+    moving_average,
+    pearson,
+)
+from repro.apps.sensor_map.server import MapMarker
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+)
+from repro.device import ActivityState
+
+
+class TestTimeBinnedSeries:
+    def test_bin_means(self):
+        series = TimeBinnedSeries(10.0)
+        series.add(1.0, 2.0)
+        series.add(5.0, 4.0)
+        series.add(15.0, 10.0)
+        assert series.bin_means() == [(0.0, 3.0), (10.0, 10.0)]
+        assert series.bin_counts() == [(0.0, 2), (10.0, 1)]
+        assert len(series) == 3
+
+    def test_overall_mean(self):
+        series = TimeBinnedSeries(10.0)
+        for time, value in [(0, 1.0), (20, 3.0)]:
+            series.add(time, value)
+        assert series.mean() == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert TimeBinnedSeries(1.0).mean() == 0.0
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            TimeBinnedSeries(0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBinnedSeries(1.0).add(-1.0, 0.0)
+
+
+class TestMovingAverage:
+    def test_window_of_one_is_identity(self):
+        assert moving_average([1.0, 2.0, 3.0], 1) == [1.0, 2.0, 3.0]
+
+    def test_trailing_window(self):
+        assert moving_average([2.0, 4.0, 6.0, 8.0], 2) == [2.0, 3.0, 5.0, 7.0]
+
+    def test_prefix_uses_shorter_window(self):
+        assert moving_average([4.0, 8.0], 5) == [4.0, 6.0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_short_is_zero(self):
+        assert pearson([1], [2]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+
+class TestGeoJson:
+    def make_marker(self, **overrides):
+        defaults = dict(user_id="u", action_id=1, action_type="post",
+                        content="hi", timestamp=5.0, lon=2.35, lat=48.85,
+                        activity="still", audio="silent")
+        defaults.update(overrides)
+        return MapMarker(**defaults)
+
+    def test_feature_collection_shape(self):
+        geojson = markers_to_geojson([self.make_marker()])
+        assert geojson["type"] == "FeatureCollection"
+        feature = geojson["features"][0]
+        assert feature["geometry"]["coordinates"] == [2.35, 48.85]
+        assert feature["properties"]["activity"] == "still"
+
+    def test_incomplete_markers_skipped_by_default(self):
+        geojson = markers_to_geojson([self.make_marker(lon=None, lat=None)])
+        assert geojson["features"] == []
+
+    def test_incomplete_markers_included_on_request(self):
+        geojson = markers_to_geojson([self.make_marker(lon=None, lat=None)],
+                                     include_incomplete=True)
+        assert geojson["features"][0]["geometry"] is None
+
+    def test_extra_fields_in_properties(self):
+        marker = self.make_marker(extra={"place": "Paris"})
+        geojson = markers_to_geojson([marker])
+        assert geojson["features"][0]["properties"]["place"] == "Paris"
+
+
+class TestEmotionStudy:
+    def test_end_to_end_mood_statistics(self, testbed):
+        alice = testbed.add_user("alice", "Paris")
+        bob = testbed.add_user("bob", "Paris")
+        testbed.befriend("alice", "bob")
+        alice.mobility.stop()
+        alice.phone.environment.activity = ActivityState.STILL
+        # Couple posts with classified activity.
+        on_post = Filter([Condition(ModalityType.FACEBOOK_ACTIVITY,
+                                    Operator.EQUALS, ModalityValue.ACTIVE)])
+        alice.manager.create_stream(ModalityType.ACCELEROMETER,
+                                    Granularity.CLASSIFIED,
+                                    stream_filter=on_post,
+                                    send_to_server=True)
+        study = EmotionStudy(testbed.server)
+        testbed.facebook.perform_action("alice", "post",
+                                        content="absolutely loving this day")
+        testbed.facebook.perform_action("bob", "post",
+                                        content="terrible awful miserable rain")
+        testbed.run(200.0)
+
+        assert study.observed_users() == ["alice", "bob"]
+        assert study.mood_of("alice") > 0
+        assert study.mood_of("bob") < 0
+        # Neighbourhood mood: alice's circle is bob, and vice versa.
+        assert study.neighbourhood_mood_of("alice") == study.mood_of("bob")
+        summaries = {summary.user_id: summary for summary in study.summaries()}
+        assert summaries["alice"].posts == 1
+        # The coupled context crosstab saw alice's "still" post.
+        assert "still" in study.mood_by_context()
+        assert study.mood_by_context()["still"] > 0
+        # The global series has one bin with both posts.
+        series = study.global_mood_series()
+        assert len(series) == 1
+
+    def test_assortativity_degenerate_cases(self, testbed):
+        study = EmotionStudy(testbed.server)
+        assert study.mood_assortativity() == 0.0
+        assert study.mood_of("nobody") == 0.0

@@ -1,0 +1,68 @@
+"""API surface tests: every public export resolves and the documented
+entry points exist."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.apps.conweb",
+    "repro.apps.conweb_baseline",
+    "repro.apps.gar",
+    "repro.apps.sensor_map",
+    "repro.apps.sensor_map_baseline",
+    "repro.classify",
+    "repro.cli",
+    "repro.core.common",
+    "repro.core.mobile",
+    "repro.core.server",
+    "repro.device",
+    "repro.docstore",
+    "repro.metrics",
+    "repro.mqtt",
+    "repro.net",
+    "repro.osn",
+    "repro.plugins",
+    "repro.scenarios",
+    "repro.sensing",
+    "repro.simkit",
+]
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", [
+        name for name in PUBLIC_MODULES
+        if name not in ("repro.apps.gar", "repro.cli")])
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            return
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_top_level_quickstart_names(self):
+        import repro
+        for name in ["SenSocialTestbed", "ModalityType", "Granularity",
+                     "Filter", "Condition", "Operator", "ModalityValue",
+                     "MulticastQuery", "build_paris_scenario"]:
+            assert hasattr(repro, name)
+
+    def test_version_is_set(self):
+        import repro
+        assert repro.__version__
+
+    def test_docstrings_on_public_classes(self):
+        """Every public class carries a docstring."""
+        for module_name in PUBLIC_MODULES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                item = getattr(module, name)
+                if isinstance(item, type):
+                    assert item.__doc__, f"{module_name}.{name} lacks a docstring"

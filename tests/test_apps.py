@@ -1,0 +1,232 @@
+"""Tests for the prototype applications and their baselines."""
+
+import pytest
+
+from repro.apps.conweb import ConWebBrowser, ConWebServer, ConWebServerApp
+from repro.apps.conweb_baseline import (
+    BaselineConWebBrowser,
+    BaselineContextReceiver,
+)
+from repro.apps.gar import GoogleActivityRecognitionApp
+from repro.apps.sensor_map import FacebookSensorMapServer, FacebookSensorMapService
+from repro.apps.sensor_map_baseline import (
+    BaselineSensorMapServer,
+    BaselineSensorMapService,
+)
+from repro.apps.sensor_map_baseline.mobile.trigger_parser import (
+    TriggerParseError,
+    compile_trigger,
+    parse_trigger,
+)
+from repro.device import ActivityState, AudioState, calibration
+
+
+class TestGarBaseline:
+    def test_gar_streams_activity_labels(self, testbed):
+        node = testbed.add_user("g", "Paris")
+        app = GoogleActivityRecognitionApp(
+            testbed.world, testbed.network, node.phone).start()
+        labels = []
+        app.add_listener(labels.append)
+        testbed.run(200.0)
+        assert len(labels) == 3
+        assert set(labels) <= {"still", "walking", "running"}
+
+    def test_gar_energy_per_cycle_is_calibrated(self, testbed):
+        node = testbed.add_user("g", "Paris")
+        app = GoogleActivityRecognitionApp(
+            testbed.world, testbed.network, node.phone).start()
+        before = node.phone.battery.consumed_by("gar")
+        testbed.run(10 * 60.0)
+        per_cycle = (node.phone.battery.consumed_by("gar") - before) / 10
+        assert per_cycle == pytest.approx(calibration.GAR_CYCLE_MAH)
+
+    def test_gar_heap_footprint(self, testbed):
+        node = testbed.add_user("g", "Paris")
+        before = node.phone.heap.object_count
+        GoogleActivityRecognitionApp(testbed.world, testbed.network, node.phone)
+        assert node.phone.heap.object_count - before == \
+            calibration.HEAP_GAR_LIBRARY_OBJECTS
+
+    def test_gar_stop_clears_cpu(self, testbed):
+        node = testbed.add_user("g", "Paris")
+        app = GoogleActivityRecognitionApp(
+            testbed.world, testbed.network, node.phone).start()
+        app.stop()
+        assert "gar-library" not in node.phone.cpu.load_names()
+
+
+@pytest.fixture
+def map_rig(testbed):
+    node = testbed.add_user("alice", "Paris")
+    server_app = FacebookSensorMapServer(testbed.server)
+    mobile_app = FacebookSensorMapService(node.manager)
+    return testbed, node, server_app, mobile_app
+
+
+class TestFacebookSensorMap:
+    def test_no_markers_without_actions(self, map_rig):
+        testbed, _, server_app, mobile_app = map_rig
+        testbed.run(300.0)
+        assert mobile_app.marker_count() == 0
+        assert server_app.markers() == []
+
+    def test_action_produces_complete_marker(self, map_rig):
+        testbed, node, server_app, mobile_app = map_rig
+        node.mobility.stop()
+        node.phone.environment.activity = ActivityState.WALKING
+        node.phone.environment.audio = AudioState.NOISY
+        testbed.facebook.perform_action("alice", "post",
+                                        content="what a fantastic day")
+        testbed.run(180.0)
+        assert mobile_app.marker_count() == 3  # one per modality
+        markers = server_app.markers("alice")
+        assert len(markers) == 1
+        marker = markers[0]
+        assert marker.is_complete()
+        assert marker.activity == "walking"
+        assert marker.audio == "not_silent"
+        assert abs(marker.lon - 2.3522) < 0.1
+        assert marker.content == "what a fantastic day"
+
+    def test_markers_of_circle_includes_friends(self, map_rig):
+        testbed, _, server_app, _ = map_rig
+        bob = testbed.add_user("bob", "Bordeaux")
+        FacebookSensorMapService(bob.manager)
+        testbed.befriend("alice", "bob")
+        testbed.facebook.perform_action("bob", "like", target="page")
+        testbed.run(180.0)
+        circle = server_app.markers_of_circle("alice")
+        assert [marker.user_id for marker in circle] == ["bob"]
+
+    def test_works_when_action_made_from_another_device(self, map_rig):
+        """Actions captured by the OSN plug-in, not on the phone (§6.1):
+        a post made from a laptop still triggers mobile sensing."""
+        testbed, _, server_app, mobile_app = map_rig
+        # perform_action goes straight to the platform, device-agnostic.
+        testbed.facebook.perform_action("alice", "comment", content="desk")
+        testbed.run(180.0)
+        assert mobile_app.marker_count() == 3
+
+
+@pytest.fixture
+def conweb_rig(testbed):
+    node = testbed.add_user("alice", "Paris")
+    web = ConWebServer(testbed.world, testbed.network)
+    app = ConWebServerApp(testbed.server, web)
+    browser = ConWebBrowser(node.manager).start()
+    return testbed, node, web, app, browser
+
+
+class TestConWeb:
+    def test_page_loads_and_refreshes(self, conweb_rig):
+        testbed, _, _, _, browser = conweb_rig
+        browser.open("example.org/index")
+        testbed.run(185.0)
+        assert browser.pages_loaded == 4  # initial + 3 refreshes
+        assert browser.current_page.url == "example.org/index"
+
+    def test_page_adapts_to_place(self, conweb_rig):
+        testbed, _, _, _, browser = conweb_rig
+        browser.open("example.org")
+        testbed.run(185.0)
+        assert "Paris" in browser.current_page.headline
+
+    def test_page_adapts_to_activity(self, conweb_rig):
+        testbed, node, _, _, browser = conweb_rig
+        node.mobility.stop()
+        node.phone.environment.activity = ActivityState.RUNNING
+        browser.open("example.org")
+        testbed.run(185.0)
+        assert browser.current_page.layout == "compact"
+        assert browser.current_page.contrast == "high"
+
+    def test_page_adapts_to_osn_post(self, conweb_rig):
+        testbed, _, _, _, browser = conweb_rig
+        browser.open("example.org")
+        testbed.facebook.perform_action(
+            "alice", "post", content="so disappointed by the food dinner")
+        testbed.run(240.0)
+        suggestions = browser.current_page.suggestions
+        assert "more food for you" in suggestions
+        assert "something to cheer you up" in suggestions
+
+    def test_stop_tears_down_streams(self, conweb_rig):
+        testbed, node, _, _, browser = conweb_rig
+        browser.open("example.org")
+        count_before = len(node.manager.streams)
+        browser.stop()
+        assert len(node.manager.streams) == count_before - 3
+
+    def test_open_requires_running_browser(self, conweb_rig):
+        _, _, _, _, browser = conweb_rig
+        browser.stop()
+        with pytest.raises(RuntimeError):
+            browser.open("x")
+
+
+class TestBaselineSensorMap:
+    @pytest.fixture
+    def rig(self, testbed):
+        node = testbed.add_user("alice", "Paris")
+        server = BaselineSensorMapServer(testbed.world, testbed.network).start()
+        server.attach_plugin(testbed.facebook_plugin)
+        mobile = BaselineSensorMapService(
+            testbed.world, testbed.network, node.phone).start()
+        testbed.run(2.0)
+        return testbed, node, server, mobile
+
+    def test_functionally_equivalent_to_middleware_version(self, rig):
+        testbed, node, server, mobile = rig
+        node.mobility.stop()
+        node.phone.environment.activity = ActivityState.STILL
+        testbed.facebook.perform_action("alice", "post", content="hello")
+        testbed.run(180.0)
+        assert mobile.marker_count() == 3
+        markers = server.markers("alice")
+        assert len(markers) == 1
+        assert markers[0].is_complete()
+        assert markers[0].activity == "still"
+        assert markers[0].position is not None
+
+    def test_trigger_parser_rejects_garbage(self):
+        with pytest.raises(TriggerParseError):
+            parse_trigger("not json at all {{{")
+        with pytest.raises(TriggerParseError):
+            parse_trigger('{"version": 99, "action": {}}')
+        with pytest.raises(TriggerParseError):
+            parse_trigger('{"version": 1, "action": {"user_id": "x"}}')
+
+    def test_trigger_round_trip(self):
+        payload = compile_trigger({
+            "action_id": 4, "user_id": "u", "type": "post",
+            "created_at": 1.5, "content": "c"})
+        trigger = parse_trigger(payload)
+        assert trigger.action_id == 4
+        assert trigger.content == "c"
+
+    def test_foreign_user_triggers_ignored(self, rig):
+        testbed, node, server, mobile = rig
+        other = testbed.add_user("bob", "Paris")
+        BaselineSensorMapService(
+            testbed.world, testbed.network, other.phone).start()
+        testbed.run(2.0)
+        testbed.facebook.perform_action("bob", "post", content="bob's")
+        testbed.run(180.0)
+        assert mobile.marker_count() == 0
+
+
+class TestBaselineConWeb:
+    def test_functionally_equivalent_pages(self, testbed):
+        node = testbed.add_user("alice", "Paris")
+        web = ConWebServer(testbed.world, testbed.network)
+        BaselineContextReceiver(testbed.world, testbed.network, web,
+                                address="bcw-server")
+        browser = BaselineConWebBrowser(
+            testbed.world, node.phone, cities=testbed.cities).start()
+        browser.open("example.org")
+        testbed.run(185.0)
+        assert browser.pages_loaded >= 3
+        assert "Paris" in browser.current_page.headline
+        browser.stop()
+        assert not browser.context_service.running

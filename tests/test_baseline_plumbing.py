@@ -1,0 +1,267 @@
+"""Unit tests for the hand-rolled plumbing inside the no-middleware
+baseline apps (upload queues, dedup, connectivity, duty cycling,
+configuration)."""
+
+import pytest
+
+from repro.apps.conweb_baseline.mobile.config import (
+    ConfigError,
+    ConWebConfig,
+    UploadPolicy,
+)
+from repro.apps.conweb_baseline.mobile.connectivity import ConnectivityMonitor
+from repro.apps.conweb_baseline.mobile.diagnostics import Diagnostics
+from repro.apps.conweb_baseline.mobile.duty_cycler import DutyCycler
+from repro.apps.conweb_baseline.mobile.upload_queue import (
+    ACK_PROTOCOL,
+    UploadQueue,
+)
+from repro.apps.sensor_map_baseline.mobile.app_config import (
+    SensorMapConfig,
+    SensorMapConfigError,
+)
+from repro.apps.sensor_map_baseline.mobile.trigger_dedup import (
+    TriggerDeduplicator,
+)
+from repro.sensing import ESSensorManager
+
+
+class TestConWebConfig:
+    def test_defaults_validate(self):
+        ConWebConfig().validate()
+
+    def test_from_dict_applies_defaults(self):
+        config = ConWebConfig.from_dict({"refresh_period_s": 30})
+        assert config.refresh_period_s == 30.0
+        assert config.modalities == ("accelerometer", "microphone", "location")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            ConWebConfig.from_dict({"frequency": 1})
+
+    def test_unknown_modality_rejected(self):
+        with pytest.raises(ConfigError):
+            ConWebConfig(modalities=("thermometer",)).validate()
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigError):
+            ConWebConfig(periods_s={"accelerometer": 0,
+                                    "microphone": 60,
+                                    "location": 60}).validate()
+
+    def test_upload_policy_validation(self):
+        with pytest.raises(ConfigError):
+            UploadPolicy(ack_timeout_s=0).validate()
+        with pytest.raises(ConfigError):
+            UploadPolicy(backoff_factor=0.5).validate()
+
+
+class TestSensorMapConfig:
+    def test_defaults_validate(self):
+        SensorMapConfig().validate()
+
+    def test_duplicate_modalities_rejected(self):
+        with pytest.raises(SensorMapConfigError):
+            SensorMapConfig(modalities=("wifi", "wifi")).validate()
+
+    def test_from_dict_round_trip(self):
+        config = SensorMapConfig.from_dict({
+            "modalities": ["location"],
+            "retry": {"max_retries": 7},
+        })
+        assert config.modalities == ("location",)
+        assert config.retry.max_retries == 7
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SensorMapConfigError):
+            SensorMapConfig.from_dict({"whatever": 1})
+
+
+class TestUploadQueue:
+    def make(self, world, network, env_registry, policy=None):
+        from repro.device.phone import Smartphone
+        phone = Smartphone(world, network, env_registry, "q-user")
+        received = []
+
+        def server(message):
+            if message.headers.get("protocol") == "bcw-context":
+                received.append(message.payload)
+                network.send("ack-server", message.src,
+                             {"seq": message.payload["seq"]},
+                             headers={"protocol": ACK_PROTOCOL})
+
+        network.register("ack-server", server)
+        queue = UploadQueue(world, phone, "ack-server",
+                            policy or UploadPolicy())
+        return queue, received, phone
+
+    def test_upload_acked_exactly_once(self, world, network, env_registry):
+        queue, received, _ = self.make(world, network, env_registry)
+        queue.enqueue({"k": "v"}, wire_bytes=20)
+        world.run_for(5.0)
+        assert len(received) == 1
+        assert queue.updates_acked == 1
+        assert queue.pending_count() == 0
+        assert queue.retransmissions == 0
+
+    def test_lost_upload_is_retransmitted(self, world, network, env_registry):
+        queue, received, phone = self.make(world, network, env_registry)
+        network.set_down("ack-server")
+        queue.enqueue({"k": "v"}, wire_bytes=20)
+        world.run_for(5.0)
+        assert received == []
+        network.set_down("ack-server", False)
+        world.run_for(60.0)
+        assert len(received) >= 1
+        assert queue.updates_acked == 1
+        assert queue.retransmissions >= 1
+
+    def test_gives_up_after_max_retries(self, world, network, env_registry):
+        queue, received, _ = self.make(
+            world, network, env_registry,
+            UploadPolicy(ack_timeout_s=1.0, max_retries=2))
+        network.set_down("ack-server")
+        queue.enqueue({"k": "v"}, wire_bytes=20)
+        world.run_for(60.0)
+        assert queue.updates_abandoned == 1
+        assert queue.pending_count() == 0
+
+    def test_buffer_cap_drops_excess(self, world, network, env_registry):
+        queue, _, _ = self.make(world, network, env_registry,
+                                UploadPolicy(max_pending=2))
+        network.set_down("ack-server")
+        assert queue.enqueue({"n": 1}, 10)
+        assert queue.enqueue({"n": 2}, 10)
+        assert not queue.enqueue({"n": 3}, 10)
+        assert queue.updates_dropped == 1
+
+    def test_shutdown_cancels_timers(self, world, network, env_registry):
+        queue, _, _ = self.make(world, network, env_registry)
+        network.set_down("ack-server")
+        queue.enqueue({"n": 1}, 10)
+        queue.shutdown()
+        world.run_for(120.0)
+        assert queue.retransmissions == 0
+
+
+class TestTriggerDedup:
+    def test_first_time_processes(self, world):
+        dedup = TriggerDeduplicator(world)
+        assert dedup.should_process(1, created_at=0.0)
+
+    def test_duplicate_rejected(self, world):
+        dedup = TriggerDeduplicator(world)
+        dedup.should_process(1, created_at=0.0)
+        assert not dedup.should_process(1, created_at=0.0)
+        assert dedup.duplicates == 1
+
+    def test_ancient_replay_rejected(self, world):
+        dedup = TriggerDeduplicator(world, ttl_s=100.0)
+        world.run_for(1000.0)
+        assert not dedup.should_process(2, created_at=0.0)
+        assert dedup.replays == 1
+
+    def test_eviction_bounds_memory(self, world):
+        dedup = TriggerDeduplicator(world, ttl_s=10_000.0, max_entries=10)
+        for action_id in range(50):
+            dedup.should_process(action_id, created_at=world.now)
+        assert dedup.seen_count() <= 11
+
+
+class TestConnectivityMonitor:
+    def test_offline_after_silence(self, world):
+        monitor = ConnectivityMonitor(world, offline_after_s=30.0).start()
+        states = []
+        monitor.on_change(states.append)
+        monitor.note_ack()
+        world.run_for(60.0)
+        assert monitor.online is False
+        assert states == [False]
+
+    def test_ack_flips_back_online(self, world):
+        monitor = ConnectivityMonitor(world, offline_after_s=30.0).start()
+        monitor.note_ack()
+        world.run_for(60.0)
+        assert not monitor.online
+        monitor.note_ack()
+        assert monitor.online
+        assert monitor.transitions == 2
+
+    def test_optimistic_before_any_traffic(self, world):
+        monitor = ConnectivityMonitor(world).start()
+        world.run_for(300.0)
+        assert monitor.online
+
+
+class TestDutyCycler:
+    def test_cycles_at_configured_period(self, world, phone):
+        readings = []
+        cycler = DutyCycler(world, ESSensorManager.get_for(world, phone),
+                            readings.append)
+        cycler.add_modality("wifi", 20.0)
+        world.run_for(100.0)
+        assert 4 <= len(readings) <= 6
+
+    def test_pause_skips_sampling(self, world, phone):
+        readings = []
+        cycler = DutyCycler(world, ESSensorManager.get_for(world, phone),
+                            readings.append)
+        cycler.add_modality("wifi", 10.0)
+        world.run_for(30.0)
+        count = len(readings)
+        cycler.pause()
+        world.run_for(60.0)
+        assert len(readings) <= count + 1  # one in-flight cycle may land
+        cycler.resume()
+        world.run_for(30.0)
+        assert len(readings) > count + 1
+
+    def test_remove_modality(self, world, phone):
+        readings = []
+        cycler = DutyCycler(world, ESSensorManager.get_for(world, phone),
+                            readings.append)
+        cycler.add_modality("wifi", 10.0)
+        cycler.remove_modality("wifi")
+        world.run_for(60.0)
+        assert readings == []
+        assert cycler.modalities() == []
+
+    def test_invalid_period_rejected(self, world, phone):
+        cycler = DutyCycler(world, ESSensorManager.get_for(world, phone),
+                            lambda reading: None)
+        with pytest.raises(ValueError):
+            cycler.add_modality("wifi", 0.0)
+
+
+class TestDiagnostics:
+    def test_counters(self, world):
+        diagnostics = Diagnostics(world)
+        diagnostics.count("x")
+        diagnostics.count("x", 4)
+        assert diagnostics.counter("x") == 5
+        assert diagnostics.counter("missing") == 0
+
+    def test_log_levels_and_recent(self, world):
+        diagnostics = Diagnostics(world)
+        diagnostics.log("info", "a")
+        diagnostics.log("error", "boom", "detail")
+        assert [entry.event for entry in diagnostics.recent("error")] == ["boom"]
+        assert len(diagnostics.recent()) == 2
+
+    def test_unknown_level_rejected(self, world):
+        with pytest.raises(ValueError):
+            Diagnostics(world).log("fatal", "x")
+
+    def test_ring_buffer_bounded(self, world):
+        diagnostics = Diagnostics(world, log_capacity=5)
+        for index in range(20):
+            diagnostics.log("debug", f"event-{index}")
+        assert len(diagnostics.recent(limit=100)) == 5
+
+    def test_snapshot(self, world):
+        diagnostics = Diagnostics(world)
+        diagnostics.count("c")
+        diagnostics.log("error", "bad")
+        snapshot = diagnostics.snapshot()
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["errors"] == ["bad"]

@@ -1,0 +1,140 @@
+"""Unit tests for the baseline sensor-map plumbing (MQTT handler,
+server dedup/acks, sensor bundle timeouts, uploader retries)."""
+
+import pytest
+
+from repro.apps.sensor_map_baseline.mobile.app_config import RetryPolicy
+from repro.apps.sensor_map_baseline.mobile.mqtt_handler import (
+    BaselineMqttHandler,
+    baseline_trigger_topic,
+)
+from repro.apps.sensor_map_baseline.mobile.sensor_controller import (
+    BaselineSensorController,
+)
+from repro.apps.sensor_map_baseline.mobile.uploader import (
+    UPLOAD_PROTOCOL,
+    BaselineUploader,
+)
+from repro.apps.sensor_map_baseline.server.app import BaselineSensorMapServer
+from repro.mqtt import MqttBroker, MqttClient
+from repro.sensing import ESSensorManager
+
+
+@pytest.fixture
+def broker(world, network):
+    return MqttBroker(world, network)
+
+
+class TestBaselineMqttHandler:
+    def test_connect_subscribes_and_announces(self, world, network, phone,
+                                              broker):
+        server_client = MqttClient(world, network, client_id="srv",
+                                   address="srv-host")
+        server_client.connect()
+        world.run_for(0.5)
+        registrations = []
+        server_client.subscribe("bsm/register/+",
+                                lambda topic, payload: registrations.append(payload))
+        world.run_for(0.5)
+        handler = BaselineMqttHandler(world, network, phone)
+        handler.connect()
+        world.run_for(1.0)
+        assert handler.connected
+        assert len(registrations) == 1
+        assert phone.device_id in registrations[0]
+
+    def test_trigger_dispatch(self, world, network, phone, broker):
+        handler = BaselineMqttHandler(world, network, phone)
+        received = []
+        handler.on_trigger(received.append)
+        handler.connect()
+        world.run_for(0.5)
+        publisher = MqttClient(world, network, client_id="p", address="p-host")
+        publisher.connect()
+        world.run_for(0.5)
+        publisher.publish(baseline_trigger_topic(phone.device_id), "payload",
+                          qos=1)
+        world.run_for(1.0)
+        assert received == ["payload"]
+        assert handler.triggers_received == 1
+
+    def test_disconnect_is_idempotent(self, world, network, phone, broker):
+        handler = BaselineMqttHandler(world, network, phone)
+        handler.connect()
+        world.run_for(0.5)
+        handler.disconnect()
+        handler.disconnect()
+        assert not handler.connected
+
+
+class TestSensorBundles:
+    def test_bundle_completes_with_all_modalities(self, world, phone):
+        controller = BaselineSensorController(
+            world, ESSensorManager.get_for(world, phone),
+            ["wifi", "bluetooth"])
+        bundles = []
+        controller.collect_for_trigger(1, bundles.append)
+        world.run_for(10.0)
+        assert len(bundles) == 1
+        assert bundles[0].complete
+        assert set(bundles[0].readings) == {"wifi", "bluetooth"}
+
+    def test_duplicate_trigger_collection_ignored(self, world, phone):
+        controller = BaselineSensorController(
+            world, ESSensorManager.get_for(world, phone), ["wifi"])
+        bundles = []
+        controller.collect_for_trigger(1, bundles.append)
+        controller.collect_for_trigger(1, bundles.append)
+        world.run_for(10.0)
+        assert len(bundles) == 1
+        assert controller.bundles_started == 1
+
+    def test_independent_triggers_collect_independently(self, world, phone):
+        controller = BaselineSensorController(
+            world, ESSensorManager.get_for(world, phone), ["wifi"])
+        bundles = []
+        controller.collect_for_trigger(1, bundles.append)
+        controller.collect_for_trigger(2, bundles.append)
+        world.run_for(10.0)
+        assert sorted(bundle.trigger_action_id for bundle in bundles) == [1, 2]
+
+
+class TestBaselineServerDedup:
+    def test_duplicate_upload_acked_but_not_rejoined(self, world, network,
+                                                     phone, broker):
+        server = BaselineSensorMapServer(world, network).start()
+        uploader = BaselineUploader(
+            world, phone, "bsm-server",
+            RetryPolicy(ack_timeout_s=2.0, max_retries=3))
+        fragment = {"action_id": 1, "user_id": "u", "action_type": "post",
+                    "content": "", "modality": "wifi", "granularity": "raw",
+                    "value": [], "details": {}, "timestamp": 0.0}
+        # Drop acks so the uploader retransmits the same fragment.
+        network.set_down("bsm-server")
+        uploader.upload(fragment, 50)
+        world.run_for(3.0)
+        network.set_down("bsm-server", False)
+        world.run_for(30.0)
+        assert uploader.uploads_acked == 1
+        assert server.uploads_received == 1
+        assert server.joiner.fragments_received == 1
+
+    def test_malformed_upload_counted(self, world, network, broker):
+        server = BaselineSensorMapServer(world, network).start()
+        network.register("anon", lambda message: None)
+        network.send("anon", "bsm-server", {"nonsense": True},
+                     headers={"protocol": UPLOAD_PROTOCOL})
+        world.run_for(1.0)
+        assert server.malformed_uploads == 1
+        assert server.uploads_received == 0
+
+    def test_acks_reach_the_device(self, world, network, phone, broker):
+        server = BaselineSensorMapServer(world, network).start()
+        uploader = BaselineUploader(world, phone, "bsm-server")
+        fragment = {"action_id": 2, "user_id": "u", "action_type": "like",
+                    "content": "", "modality": "wifi", "granularity": "raw",
+                    "value": [], "details": {}, "timestamp": 0.0}
+        uploader.upload(fragment, 50)
+        world.run_for(5.0)
+        assert server.acks_sent == 1
+        assert uploader.pending_count() == 0

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_experiments_lists_every_bench(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure5" in out
+        assert "ablation-db" in out
+        assert "pytest benchmarks/" in out
+
+    def test_demo_paris_succeeds(self, capsys):
+        assert main(["demo", "paris", "--hours", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "friends seen in Paris: ['C']" in out
+
+    def test_demo_sensor_map_produces_markers(self, capsys):
+        assert main(["demo", "sensor-map", "--users", "2",
+                     "--minutes", "45"]) == 0
+        out = capsys.readouterr().out
+        assert "markers:" in out
+        assert "geojson features:" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

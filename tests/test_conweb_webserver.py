@@ -1,0 +1,94 @@
+"""Unit tests for the ConWeb Web server substrate."""
+
+import pytest
+
+from repro.apps.conweb.webserver import ConWebServer
+
+
+@pytest.fixture
+def web(world, network):
+    return ConWebServer(world, network)
+
+
+class TestPageAdaptation:
+    def test_default_page_is_plain(self, web):
+        page = web.render("u", "site/home")
+        assert page.layout == "full"
+        assert page.contrast == "normal"
+        assert page.suggestions == []
+        assert page.url == "site/home"
+
+    def test_walking_gets_compact_high_contrast(self, web):
+        web.update_context("u", "physical_activity", "walking")
+        page = web.render("u", "site")
+        assert page.layout == "compact"
+        assert page.contrast == "high"
+
+    def test_noisy_scene_raises_contrast_only(self, web):
+        web.update_context("u", "audio_environment", "not_silent")
+        page = web.render("u", "site")
+        assert page.contrast == "high"
+        assert page.layout == "full"
+
+    def test_place_in_headline(self, web):
+        web.update_context("u", "place", "Lyon")
+        assert "Lyon" in web.render("u", "site").headline
+
+    def test_post_topic_drives_suggestions(self, web):
+        web.update_context("u", "last_post", "great football derby")
+        page = web.render("u", "site")
+        assert "more football for you" in page.suggestions
+
+    def test_negative_mood_gets_cheering_content(self, web):
+        web.update_context("u", "last_post", "so sad about the awful rain")
+        assert "something to cheer you up" in web.render("u", "site").suggestions
+
+    def test_positive_mood_gets_sharing_prompt(self, web):
+        web.update_context("u", "last_post", "absolutely loving this")
+        assert "share the good mood" in web.render("u", "site").suggestions
+
+    def test_context_is_per_user(self, web):
+        web.update_context("u1", "place", "Paris")
+        assert "Paris" not in web.render("u2", "site").headline
+
+    def test_requests_counted(self, web):
+        web.render("u", "a")
+        web.render("u", "b")
+        assert web.requests_served == 2
+
+    def test_context_snapshot_copied(self, web):
+        web.update_context("u", "place", "Paris")
+        snapshot = web.context_of("u")
+        snapshot["place"] = "Mars"
+        assert web.context_of("u")["place"] == "Paris"
+
+    def test_page_dict_round_trip(self, web):
+        web.update_context("u", "place", "Paris")
+        page = web.render("u", "site")
+        document = page.to_dict()
+        assert document["headline"] == page.headline
+        assert document["context_used"]["place"] == "Paris"
+
+
+class TestHttpTransport:
+    def test_request_response_over_network(self, world, network, web):
+        responses = []
+
+        def client(message):
+            if message.headers.get("protocol") == "web-response":
+                responses.append(message.payload)
+
+        network.register("client", client)
+        network.send("client", web.address,
+                     {"user_id": "u", "url": "site/x"},
+                     headers={"protocol": "web-request"})
+        world.run_for(1.0)
+        assert len(responses) == 1
+        assert responses[0]["url"] == "site/x"
+
+    def test_non_web_protocol_ignored(self, world, network, web):
+        network.register("client", lambda message: None)
+        network.send("client", web.address, {"x": 1},
+                     headers={"protocol": "something-else"})
+        world.run_for(1.0)
+        assert web.requests_served == 0

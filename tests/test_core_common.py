@@ -1,0 +1,237 @@
+"""Unit tests for conditions, filters, records and stream configs."""
+
+import pytest
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    MiddlewareError,
+    ModalityType,
+    ModalityValue,
+    Operator,
+    StreamConfig,
+    StreamMode,
+    StreamRecord,
+    merge_configs,
+    sensor_for_modality,
+)
+
+
+class TestModalities:
+    def test_sensor_modalities_map_to_themselves(self):
+        assert sensor_for_modality(ModalityType.LOCATION) is ModalityType.LOCATION
+
+    def test_virtual_modalities_map_to_backing_sensor(self):
+        assert sensor_for_modality(
+            ModalityType.PHYSICAL_ACTIVITY) is ModalityType.ACCELEROMETER
+        assert sensor_for_modality(
+            ModalityType.AUDIO_ENVIRONMENT) is ModalityType.MICROPHONE
+        assert sensor_for_modality(ModalityType.PLACE) is ModalityType.LOCATION
+
+    def test_osn_and_time_need_no_sensor(self):
+        assert sensor_for_modality(ModalityType.FACEBOOK_ACTIVITY) is None
+        assert sensor_for_modality(ModalityType.TIME_OF_DAY) is None
+
+    def test_granularity_parse(self):
+        assert Granularity.parse("raw") is Granularity.RAW
+        assert Granularity.parse("CLASSIFIED") is Granularity.CLASSIFIED
+        assert Granularity.parse(Granularity.RAW) is Granularity.RAW
+
+
+class TestConditions:
+    def test_equals(self):
+        condition = Condition(ModalityType.PHYSICAL_ACTIVITY,
+                              Operator.EQUALS, "walking")
+        assert condition.evaluate("walking")
+        assert not condition.evaluate("still")
+
+    def test_none_never_satisfies(self):
+        condition = Condition(ModalityType.PHYSICAL_ACTIVITY,
+                              Operator.NOT_EQUALS, "walking")
+        assert not condition.evaluate(None)
+
+    @pytest.mark.parametrize("operator,value,observed,expected", [
+        (Operator.NOT_EQUALS, "a", "b", True),
+        (Operator.GREATER_THAN, 5, 6, True),
+        (Operator.GREATER_THAN, 5, 5, False),
+        (Operator.GREATER_EQUAL, 5, 5, True),
+        (Operator.LESS_THAN, 5, 4, True),
+        (Operator.LESS_EQUAL, 5, 6, False),
+        (Operator.IN, ["a", "b"], "a", True),
+        (Operator.IN, ["a", "b"], "c", False),
+        (Operator.CONTAINS, "foot", "football talk", True),
+        (Operator.CONTAINS, "golf", "football talk", False),
+        (Operator.BETWEEN, [9, 17], 12, True),
+        (Operator.BETWEEN, [9, 17], 20, False),
+    ])
+    def test_operator_table(self, operator, value, observed, expected):
+        condition = Condition(ModalityType.TIME_OF_DAY, operator, value)
+        assert condition.evaluate(observed) is expected
+
+    def test_incomparable_comparison_is_false(self):
+        condition = Condition(ModalityType.TIME_OF_DAY,
+                              Operator.GREATER_THAN, 5)
+        assert not condition.evaluate("noon")
+
+    def test_between_requires_pair(self):
+        with pytest.raises(MiddlewareError):
+            Condition(ModalityType.TIME_OF_DAY, Operator.BETWEEN, 5)
+
+    def test_in_requires_collection(self):
+        with pytest.raises(MiddlewareError):
+            Condition(ModalityType.TIME_OF_DAY, Operator.IN, 5)
+
+    def test_cross_user_flag(self):
+        own = Condition(ModalityType.PLACE, Operator.EQUALS, "Paris")
+        other = Condition(ModalityType.PLACE, Operator.EQUALS, "Paris",
+                          user_id="bob")
+        assert not own.is_cross_user
+        assert other.is_cross_user
+
+    def test_dict_round_trip(self):
+        condition = Condition(ModalityType.PLACE, Operator.IN,
+                              ["Paris", "Lyon"], user_id="bob")
+        restored = Condition.from_dict(condition.to_dict())
+        assert restored.modality is ModalityType.PLACE
+        assert restored.user_id == "bob"
+        assert restored.evaluate("Lyon")
+
+
+class TestFilters:
+    def activity_condition(self, user_id=None):
+        return Condition(ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS,
+                         ModalityValue.WALKING, user_id=user_id)
+
+    def osn_condition(self, user_id=None):
+        return Condition(ModalityType.FACEBOOK_ACTIVITY, Operator.EQUALS,
+                         ModalityValue.ACTIVE, user_id=user_id)
+
+    def test_local_vs_server_split(self):
+        stream_filter = Filter([self.activity_condition(),
+                                self.activity_condition("bob")])
+        assert len(stream_filter.local_conditions()) == 1
+        assert len(stream_filter.server_conditions()) == 1
+
+    def test_social_event_detection(self):
+        assert Filter([self.osn_condition()]).is_social_event_based()
+        assert not Filter([self.activity_condition()]).is_social_event_based()
+        # A cross-user OSN condition does not make the *mobile* side
+        # event-based — the server marks the mode explicitly.
+        assert not Filter([self.osn_condition("bob")]).is_social_event_based()
+
+    def test_conditional_sensors(self):
+        stream_filter = Filter([
+            self.activity_condition(),
+            Condition(ModalityType.PLACE, Operator.EQUALS, "Paris"),
+            self.osn_condition(),
+        ])
+        assert stream_filter.conditional_sensors() == {
+            ModalityType.ACCELEROMETER, ModalityType.LOCATION}
+
+    def test_merge_deduplicates(self):
+        a = Filter([self.activity_condition()])
+        b = Filter([self.activity_condition(), self.osn_condition()])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+
+    def test_with_condition_is_immutable(self):
+        base = Filter()
+        extended = base.with_condition(self.activity_condition())
+        assert len(base) == 0
+        assert len(extended) == 1
+
+    def test_dict_round_trip(self):
+        original = Filter([self.activity_condition(), self.osn_condition("x")])
+        restored = Filter.from_dict(original.to_dict())
+        assert restored.conditions == original.conditions
+
+
+class TestStreamConfig:
+    def make_config(self, **overrides):
+        defaults = dict(
+            stream_id="s1", device_id="d1",
+            modality=ModalityType.ACCELEROMETER,
+            granularity=Granularity.CLASSIFIED,
+            mode=StreamMode.CONTINUOUS,
+            filter=Filter([Condition(ModalityType.PHYSICAL_ACTIVITY,
+                                     Operator.EQUALS, "walking"),
+                           Condition(ModalityType.TIME_OF_DAY,
+                                     Operator.BETWEEN, [9, 17])]),
+            settings={"duty_cycle_s": 30.0},
+            send_to_server=True,
+            created_by="server",
+        )
+        defaults.update(overrides)
+        return StreamConfig(**defaults)
+
+    def test_virtual_modality_stream_rejected(self):
+        with pytest.raises(MiddlewareError):
+            self.make_config(modality=ModalityType.PHYSICAL_ACTIVITY)
+
+    def test_xml_round_trip(self):
+        config = self.make_config()
+        restored = StreamConfig.from_xml(config.to_xml())
+        assert restored == config
+
+    def test_xml_round_trip_with_cross_user_condition(self):
+        config = self.make_config(filter=Filter([
+            Condition(ModalityType.FACEBOOK_ACTIVITY, Operator.EQUALS,
+                      "active", user_id="bob")]))
+        restored = StreamConfig.from_xml(config.to_xml())
+        assert restored.filter.conditions[0].user_id == "bob"
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(MiddlewareError):
+            StreamConfig.from_xml("<not-even-close")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(MiddlewareError):
+            StreamConfig.from_xml("<other/>")
+
+    def test_effective_mode_osn_filter_forces_event(self):
+        config = self.make_config(filter=Filter([
+            Condition(ModalityType.FACEBOOK_ACTIVITY, Operator.EQUALS,
+                      "active")]))
+        assert config.effective_mode() is StreamMode.SOCIAL_EVENT
+
+    def test_effective_mode_plain_continuous(self):
+        config = self.make_config(filter=Filter())
+        assert config.effective_mode() is StreamMode.CONTINUOUS
+
+    def test_merge_appends_new_stream(self):
+        existing = [self.make_config()]
+        incoming = self.make_config(stream_id="s2")
+        merged = merge_configs(existing, incoming)
+        assert [config.stream_id for config in merged] == ["s1", "s2"]
+
+    def test_merge_replaces_and_merges_filters(self):
+        existing = self.make_config()
+        incoming = self.make_config(
+            granularity=Granularity.RAW,
+            filter=Filter([Condition(ModalityType.FACEBOOK_ACTIVITY,
+                                     Operator.EQUALS, "active")]))
+        merged = merge_configs([existing], incoming)
+        assert len(merged) == 1
+        assert merged[0].granularity is Granularity.RAW
+        assert len(merged[0].filter) == 3  # two old + one new condition
+
+
+class TestStreamRecord:
+    def test_dict_round_trip(self):
+        record = StreamRecord(
+            stream_id="s1", user_id="u", device_id="d",
+            modality=ModalityType.LOCATION, granularity=Granularity.RAW,
+            timestamp=12.5, value={"lon": 1.0, "lat": 2.0},
+            osn_action={"action_id": 7, "type": "post"})
+        restored = StreamRecord.from_dict(record.to_dict())
+        assert restored.modality is ModalityType.LOCATION
+        assert restored.osn_action["action_id"] == 7
+        assert restored.value == {"lon": 1.0, "lat": 2.0}
+
+    def test_plain_record_has_no_action(self):
+        record = StreamRecord(
+            stream_id="s1", user_id="u", device_id="d",
+            modality=ModalityType.WIFI, granularity=Granularity.RAW,
+            timestamp=0.0, value=[])
+        assert StreamRecord.from_dict(record.to_dict()).osn_action is None

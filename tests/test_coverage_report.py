@@ -1,0 +1,64 @@
+"""Tests for the context coverage report."""
+
+import pytest
+
+from repro.analysis import CoverageReport
+from repro.core.common import Granularity, ModalityType, StreamRecord
+
+
+def record(user="u", modality=ModalityType.ACCELEROMETER,
+           granularity=Granularity.CLASSIFIED, timestamp=0.0, value="still"):
+    return StreamRecord(stream_id="s", user_id=user, device_id="d",
+                        modality=modality, granularity=granularity,
+                        timestamp=timestamp, value=value)
+
+
+class TestCoverageReport:
+    def test_counts_and_span(self):
+        report = CoverageReport()
+        report.observe(record(timestamp=10.0))
+        report.observe(record(timestamp=70.0, value="walking"))
+        coverage = report.coverage_of("u")
+        assert coverage.records == 2
+        assert coverage.observed_span_s == 60.0
+        assert report.total_records() == 2
+
+    def test_label_fractions(self):
+        report = CoverageReport()
+        for value in ["still", "still", "walking", "running"]:
+            report.observe(record(value=value))
+        coverage = report.coverage_of("u")
+        assert coverage.label_fraction("accelerometer", "still") == 0.5
+        assert coverage.label_fraction("accelerometer", "walking") == 0.25
+        assert coverage.label_fraction("accelerometer", "flying") == 0.0
+
+    def test_raw_records_counted_but_not_labelled(self):
+        report = CoverageReport()
+        report.observe(record(granularity=Granularity.RAW, value=[1, 2, 3]))
+        coverage = report.coverage_of("u")
+        assert coverage.records == 1
+        assert coverage.label_counts == {}
+
+    def test_unseen_user_has_empty_coverage(self):
+        report = CoverageReport()
+        coverage = report.coverage_of("nobody")
+        assert coverage.records == 0
+        assert coverage.observed_span_s == 0.0
+        assert coverage.label_fraction("accelerometer", "still") == 0.0
+
+    def test_live_attachment_to_server(self, testbed):
+        report = CoverageReport(testbed.server)
+        testbed.add_user("alice", "Paris")
+        testbed.server.create_stream("alice", ModalityType.MICROPHONE,
+                                     Granularity.CLASSIFIED)
+        testbed.run(130.0)
+        assert report.user_ids() == ["alice"]
+        assert report.coverage_of("alice").records >= 1
+        audio_labels = report.coverage_of("alice").label_counts["microphone"]
+        assert set(audio_labels) <= {"silent", "not_silent"}
+
+    def test_summary_rows_sorted(self):
+        report = CoverageReport()
+        report.observe(record(user="zed"))
+        report.observe(record(user="amy"))
+        assert [row[0] for row in report.summary_rows()] == ["amy", "zed"]

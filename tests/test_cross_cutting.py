@@ -1,0 +1,153 @@
+"""Cross-cutting behaviours: privacy vs remote streams, compound
+filters, repeated server pushes, and multi-device interplay."""
+
+import pytest
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+)
+from repro.core.mobile import PrivacyPolicy, StreamState
+from repro.device import ActivityState, AudioState
+
+
+class TestPrivacyVsRemoteStreams:
+    def test_user_policy_silences_server_created_stream(self, testbed):
+        """The user's privacy descriptor wins over the server: a
+        server-created stream that violates it pauses, and no data
+        leaves the phone."""
+        node = testbed.add_user("alice", "Paris")
+        node.manager.privacy.set_policy(
+            PrivacyPolicy(ModalityType.MICROPHONE, allow_raw=False,
+                          allow_classified=False))
+        server_stream = testbed.server.create_stream(
+            "alice", ModalityType.MICROPHONE, Granularity.CLASSIFIED)
+        records = []
+        server_stream.add_listener(records.append)
+        testbed.run(300.0)
+        assert records == []
+        mobile_stream = node.manager.streams[server_stream.stream_id]
+        assert mobile_stream.state is StreamState.PAUSED_PRIVACY
+
+    def test_policy_relaxation_resumes_server_stream(self, testbed):
+        node = testbed.add_user("alice", "Paris")
+        node.manager.privacy.set_policy(
+            PrivacyPolicy(ModalityType.MICROPHONE, allow_classified=False,
+                          allow_raw=False))
+        server_stream = testbed.server.create_stream(
+            "alice", ModalityType.MICROPHONE, Granularity.CLASSIFIED)
+        records = []
+        server_stream.add_listener(records.append)
+        testbed.run(120.0)
+        node.manager.privacy.remove_policy(ModalityType.MICROPHONE)
+        testbed.run(130.0)
+        assert len(records) > 0
+
+
+class TestCompoundFilters:
+    def test_activity_and_audio_conditions_both_required(self, testbed):
+        node = testbed.add_user("alice", "Paris")
+        node.mobility.stop()
+        stream = node.manager.create_stream(
+            ModalityType.WIFI, Granularity.RAW,
+            stream_filter=Filter([
+                Condition(ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS,
+                          ModalityValue.WALKING),
+                Condition(ModalityType.AUDIO_ENVIRONMENT, Operator.EQUALS,
+                          ModalityValue.NOT_SILENT),
+            ]))
+        records = []
+        stream.register_listener(records.append)
+        # Walking but silent: the audio condition blocks sampling.
+        node.phone.environment.activity = ActivityState.WALKING
+        node.phone.environment.audio = AudioState.SILENT
+        testbed.run(300.0)
+        assert records == []
+        # Both satisfied: records flow.
+        node.phone.environment.audio = AudioState.NOISY
+        testbed.run(300.0)
+        assert len(records) > 0
+        # Both backing monitors are live.
+        assert set(node.manager.filter_manager.active_monitors()) == {
+            ModalityType.ACCELEROMETER, ModalityType.MICROPHONE}
+
+    def test_osn_plus_context_condition(self, testbed):
+        """Figure 7 extended: sample on Facebook actions, but only
+        while the user is still."""
+        node = testbed.add_user("alice", "Paris")
+        node.mobility.stop()
+        stream = node.manager.create_stream(
+            ModalityType.LOCATION, Granularity.RAW,
+            stream_filter=Filter([
+                Condition(ModalityType.FACEBOOK_ACTIVITY, Operator.EQUALS,
+                          ModalityValue.ACTIVE),
+                Condition(ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS,
+                          ModalityValue.STILL),
+            ]))
+        records = []
+        stream.register_listener(records.append)
+        node.phone.environment.activity = ActivityState.RUNNING
+        testbed.run(120.0)  # monitor observes "running"
+        testbed.facebook.perform_action("alice", "post", content="x")
+        testbed.run(200.0)
+        assert records == []  # wrong physical context: suppressed
+        node.phone.environment.activity = ActivityState.STILL
+        testbed.run(120.0)  # monitor observes "still"
+        testbed.facebook.perform_action("alice", "post", content="y")
+        testbed.run(200.0)
+        assert len(records) == 1
+        assert records[0].osn_action["content"] == "y"
+
+
+class TestRepeatedServerPushes:
+    def test_filter_updates_accumulate_via_merge(self, testbed):
+        node = testbed.add_user("alice", "Paris")
+        stream = testbed.server.create_stream(
+            "alice", ModalityType.WIFI, Granularity.RAW)
+        testbed.run(2.0)
+        stream.set_filter(Filter([Condition(
+            ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS, "walking")]))
+        testbed.run(2.0)
+        stream.set_filter(Filter([Condition(
+            ModalityType.TIME_OF_DAY, Operator.BETWEEN, [9, 17])]))
+        testbed.run(2.0)
+        mobile_stream = node.manager.streams[stream.stream_id]
+        modalities = {condition.modality
+                      for condition in mobile_stream.config.filter.conditions}
+        # FilterMerge semantics: the downloaded definition merges with
+        # the existing conditions rather than replacing them.
+        assert modalities == {ModalityType.PHYSICAL_ACTIVITY,
+                              ModalityType.TIME_OF_DAY}
+
+    def test_many_streams_per_device_from_server(self, testbed):
+        node = testbed.add_user("alice", "Paris")
+        streams = [testbed.server.create_stream(
+            "alice", ModalityType.WIFI, Granularity.RAW)
+            for _ in range(10)]
+        testbed.run(3.0)
+        assert len(node.manager.streams) == 10
+        for stream in streams:
+            stream.destroy()
+        testbed.run(3.0)
+        assert len(node.manager.streams) == 0
+
+
+class TestMultiDevice:
+    def test_records_attributed_to_correct_user(self, testbed):
+        nodes = [testbed.add_user(f"user{index}", "Paris")
+                 for index in range(4)]
+        streams = [testbed.server.create_stream(
+            node.user_id, ModalityType.MICROPHONE, Granularity.CLASSIFIED)
+            for node in nodes]
+        per_stream_users = {stream.stream_id: set() for stream in streams}
+        for stream in streams:
+            stream.add_listener(
+                lambda record, sid=stream.stream_id:
+                per_stream_users[sid].add(record.user_id))
+        testbed.run(130.0)
+        for stream in streams:
+            assert per_stream_users[stream.stream_id] == {stream.user_id}

@@ -1,0 +1,210 @@
+"""Unit tests for battery, CPU, heap, radio and the smartphone."""
+
+import pytest
+
+from repro.device import (
+    Battery,
+    CpuModel,
+    DeviceError,
+    EnergyCategory,
+    HeapModel,
+    Radio,
+    SensorError,
+    Smartphone,
+)
+from repro.device import calibration
+from repro.simkit import World
+
+
+class TestBattery:
+    def test_drain_accumulates(self):
+        battery = Battery(capacity_mah=100)
+        battery.drain(1.0, "gps", EnergyCategory.SAMPLING)
+        battery.drain(2.0, "gps", EnergyCategory.SAMPLING)
+        assert battery.consumed_mah == 3.0
+        assert battery.remaining_mah == 97.0
+
+    def test_ledger_filters(self):
+        battery = Battery()
+        battery.drain(1.0, "gps", EnergyCategory.SAMPLING)
+        battery.drain(2.0, "radio", EnergyCategory.TRANSMISSION)
+        battery.drain(4.0, "gps", EnergyCategory.CLASSIFICATION)
+        assert battery.consumed_by(component="gps") == 5.0
+        assert battery.consumed_by(category=EnergyCategory.TRANSMISSION) == 2.0
+        assert battery.consumed_by("gps", EnergyCategory.SAMPLING) == 1.0
+
+    def test_level_in_unit_range(self):
+        battery = Battery(capacity_mah=10)
+        battery.drain(5.0, "x", EnergyCategory.IDLE)
+        assert battery.level == 0.5
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(DeviceError):
+            Battery().drain(-1.0, "x", EnergyCategory.IDLE)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(DeviceError):
+            Battery(capacity_mah=0)
+
+
+class TestCpu:
+    def test_steady_loads_sum(self):
+        cpu = CpuModel(base_load_pct=1.0)
+        cpu.set_load("a", 2.0)
+        cpu.set_load("b", 3.0)
+        assert cpu.steady_load_pct() == 6.0
+
+    def test_pulse_consumed_by_next_sample(self):
+        cpu = CpuModel()
+        cpu.pulse(10.0)
+        assert cpu.utilization_pct() == 10.0
+        assert cpu.utilization_pct() == 0.0
+
+    def test_capped_at_100(self):
+        cpu = CpuModel()
+        cpu.set_load("huge", 500.0)
+        assert cpu.utilization_pct() == 100.0
+
+    def test_clear_load(self):
+        cpu = CpuModel()
+        cpu.set_load("a", 5.0)
+        cpu.clear_load("a")
+        assert cpu.steady_load_pct() == 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(DeviceError):
+            CpuModel().set_load("a", -1.0)
+
+
+class TestHeap:
+    def test_allocations_accumulate_per_owner(self):
+        heap = HeapModel()
+        heap.allocate("core", 2.0, 1000)
+        heap.allocate("core", 1.0, 500)
+        assert heap.allocated_mb == 3.0
+        assert heap.object_count == 1500
+
+    def test_free_releases(self):
+        heap = HeapModel()
+        heap.allocate("a", 2.0, 100)
+        heap.allocate("b", 3.0, 200)
+        heap.free("a")
+        assert heap.allocated_mb == 3.0
+        assert heap.object_count == 200
+
+    def test_allowed_tracks_high_water_mark(self):
+        heap = HeapModel(headroom_factor=1.1)
+        heap.allocate("a", 10.0, 1)
+        peak_allowed = heap.allowed_mb
+        heap.free("a")
+        assert heap.allowed_mb == peak_allowed  # limit never shrinks
+        assert peak_allowed == pytest.approx(11.0)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(DeviceError):
+            HeapModel().allocate("a", -1.0, 0)
+
+
+class TestRadio:
+    def make(self):
+        world = World(seed=1)
+        battery = Battery()
+        return world, battery, Radio(world, battery)
+
+    def test_tx_charges_overhead_plus_bytes(self):
+        world, battery, radio = self.make()
+        radio.account_tx(1000)
+        expected = (calibration.RADIO_TX_OVERHEAD_MAH
+                    + 1000 * calibration.RADIO_TX_PER_BYTE_MAH)
+        assert battery.consumed_mah == pytest.approx(expected)
+
+    def test_burst_within_tail_skips_overhead(self):
+        world, battery, radio = self.make()
+        radio.account_tx(1000)
+        first = battery.consumed_mah
+        radio.account_tx(1000)  # still inside the tail window
+        second = battery.consumed_mah - first
+        assert second == pytest.approx(1000 * calibration.RADIO_TX_PER_BYTE_MAH)
+
+    def test_burst_after_tail_pays_overhead_again(self):
+        world, battery, radio = self.make()
+        radio.account_tx(1000)
+        world.scheduler.run_until(calibration.RADIO_TAIL_SECONDS + 1)
+        first = battery.consumed_mah
+        radio.account_tx(1000)
+        assert battery.consumed_mah - first > \
+            1000 * calibration.RADIO_TX_PER_BYTE_MAH
+
+    def test_control_packets_pay_reduced_overhead(self):
+        world, battery, radio = self.make()
+        radio.account_tx(10)  # below the control threshold
+        assert battery.consumed_mah < calibration.RADIO_TX_OVERHEAD_MAH
+
+    def test_control_packets_do_not_extend_tail(self):
+        world, battery, radio = self.make()
+        radio.account_tx(10)
+        assert not radio.in_tail
+
+    def test_rx_cheaper_than_tx(self):
+        world, battery, radio = self.make()
+        radio.account_rx(1000)
+        rx_cost = battery.consumed_mah
+        radio.account_tx(1000)
+        tx_cost = battery.consumed_mah - rx_cost
+        assert rx_cost < tx_cost
+
+    def test_byte_counters(self):
+        world, battery, radio = self.make()
+        radio.account_tx(100)
+        radio.account_rx(50)
+        assert radio.bytes_tx == 100
+        assert radio.bytes_rx == 50
+
+
+class TestSmartphone:
+    def test_phone_has_five_sensors(self, phone):
+        assert phone.supported_modalities() == [
+            "accelerometer", "bluetooth", "location", "microphone", "wifi"]
+
+    def test_unknown_sensor_rejected(self, phone):
+        with pytest.raises(SensorError):
+            phone.sensor("thermometer")
+
+    def test_phone_registers_network_address(self, phone, network):
+        assert network.is_registered(phone.address)
+
+    def test_base_app_heap_allocated(self, phone):
+        assert phone.heap.allocated_mb == pytest.approx(
+            calibration.HEAP_BASE_APP_MB)
+        assert phone.heap.object_count == calibration.HEAP_BASE_APP_OBJECTS
+
+    def test_idle_drain_accrues_over_time(self, world, phone):
+        world.run_for(3600.0)
+        idle = phone.battery.consumed_by(category=EnergyCategory.IDLE)
+        assert idle == pytest.approx(calibration.IDLE_DRAIN_MAH_PER_HOUR, rel=0.05)
+
+    def test_protocol_dispatch(self, world, network, env_registry):
+        a = Smartphone(world, network, env_registry, "ua")
+        b = Smartphone(world, network, env_registry, "ub")
+        received = []
+        b.on_protocol("ping", lambda payload, message: received.append(payload))
+        a.send(b.address, "ping", {"n": 1})
+        world.run_for(1.0)
+        assert received == [{"n": 1}]
+
+    def test_unknown_protocol_ignored(self, world, network, env_registry):
+        a = Smartphone(world, network, env_registry, "ua2")
+        b = Smartphone(world, network, env_registry, "ub2")
+        a.send(b.address, "mystery", {})
+        world.run_for(1.0)  # must not raise
+
+    def test_transmission_charged_to_sender_radio(self, world, network,
+                                                  env_registry):
+        a = Smartphone(world, network, env_registry, "ua3")
+        b = Smartphone(world, network, env_registry, "ub3")
+        a.send(b.address, "ping", "x" * 500)
+        world.run_for(1.0)
+        assert a.battery.consumed_by(
+            category=EnergyCategory.TRANSMISSION) > 0
+        assert b.battery.consumed_by(
+            category=EnergyCategory.RECEPTION) > 0

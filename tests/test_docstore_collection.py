@@ -1,0 +1,224 @@
+"""Unit tests for collections, cursors, updates and indexes."""
+
+import pytest
+
+from repro.docstore import (
+    DocStoreError,
+    DocumentStore,
+    DuplicateKeyError,
+    UpdateError,
+)
+
+
+@pytest.fixture
+def people():
+    store = DocumentStore()
+    collection = store["people"]
+    collection.insert_many([
+        {"name": "alice", "age": 30, "city": "Paris"},
+        {"name": "bob", "age": 25, "city": "Bordeaux"},
+        {"name": "carol", "age": 41, "city": "Paris"},
+        {"name": "dave", "age": 35, "city": "Lyon"},
+    ])
+    return collection
+
+
+class TestCrud:
+    def test_insert_assigns_ids(self, people):
+        doc_id = people.insert_one({"name": "eve"})
+        assert people.find_one({"_id": doc_id})["name"] == "eve"
+
+    def test_insert_copies_document(self, people):
+        original = {"name": "frank", "tags": []}
+        people.insert_one(original)
+        original["tags"].append("mutated")
+        assert people.find_one({"name": "frank"})["tags"] == []
+
+    def test_insert_rejects_non_dict(self, people):
+        with pytest.raises(DocStoreError):
+            people.insert_one(["not", "a", "doc"])
+
+    def test_insert_rejects_duplicate_id(self, people):
+        people.insert_one({"_id": "x"})
+        with pytest.raises(DocStoreError):
+            people.insert_one({"_id": "x"})
+
+    def test_find_returns_copies(self, people):
+        document = people.find_one({"name": "alice"})
+        document["age"] = 999
+        assert people.find_one({"name": "alice"})["age"] == 30
+
+    def test_count(self, people):
+        assert people.count() == 4
+        assert people.count({"city": "Paris"}) == 2
+
+    def test_delete_one(self, people):
+        assert people.delete_one({"city": "Paris"}) == 1
+        assert people.count({"city": "Paris"}) == 1
+
+    def test_delete_many(self, people):
+        assert people.delete_many({"city": "Paris"}) == 2
+        assert people.count() == 2
+
+    def test_delete_no_match(self, people):
+        assert people.delete_one({"city": "Nowhere"}) == 0
+
+    def test_distinct(self, people):
+        assert sorted(people.distinct("city")) == ["Bordeaux", "Lyon", "Paris"]
+
+    def test_drop(self, people):
+        people.drop()
+        assert people.count() == 0
+
+
+class TestCursor:
+    def test_sort_ascending(self, people):
+        ages = [doc["age"] for doc in people.find().sort("age")]
+        assert ages == sorted(ages)
+
+    def test_sort_descending(self, people):
+        ages = [doc["age"] for doc in people.find().sort("age", -1)]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_multi_key_sort(self, people):
+        rows = list(people.find().sort([("city", 1), ("age", -1)]))
+        assert [r["name"] for r in rows] == ["bob", "dave", "carol", "alice"]
+
+    def test_skip_and_limit(self, people):
+        names = [doc["name"] for doc in people.find().sort("age").skip(1).limit(2)]
+        assert names == ["alice", "dave"]
+
+    def test_count_ignores_limit(self, people):
+        assert people.find().limit(1).count() == 4
+
+    def test_to_list(self, people):
+        assert len(people.find({"city": "Paris"}).to_list()) == 2
+
+    def test_sort_with_missing_field_orders_first(self, people):
+        people.insert_one({"name": "ghost"})
+        first = next(iter(people.find().sort("age")))
+        assert first["name"] == "ghost"
+
+
+class TestUpdates:
+    def test_set(self, people):
+        assert people.update_one({"name": "alice"}, {"$set": {"age": 31}}) == 1
+        assert people.find_one({"name": "alice"})["age"] == 31
+
+    def test_set_nested_path(self, people):
+        people.update_one({"name": "alice"}, {"$set": {"home.city": "Lyon"}})
+        assert people.find_one({"name": "alice"})["home"]["city"] == "Lyon"
+
+    def test_unset(self, people):
+        people.update_one({"name": "alice"}, {"$unset": {"city": ""}})
+        assert "city" not in people.find_one({"name": "alice"})
+
+    def test_inc(self, people):
+        people.update_one({"name": "bob"}, {"$inc": {"age": 5}})
+        assert people.find_one({"name": "bob"})["age"] == 30
+
+    def test_inc_creates_missing_field(self, people):
+        people.update_one({"name": "bob"}, {"$inc": {"logins": 1}})
+        assert people.find_one({"name": "bob"})["logins"] == 1
+
+    def test_inc_non_numeric_rejected(self, people):
+        with pytest.raises(UpdateError):
+            people.update_one({"name": "bob"}, {"$inc": {"name": 1}})
+
+    def test_push_and_pull(self, people):
+        people.update_one({"name": "alice"}, {"$push": {"tags": "x"}})
+        people.update_one({"name": "alice"}, {"$push": {"tags": "y"}})
+        assert people.find_one({"name": "alice"})["tags"] == ["x", "y"]
+        people.update_one({"name": "alice"}, {"$pull": {"tags": "x"}})
+        assert people.find_one({"name": "alice"})["tags"] == ["y"]
+
+    def test_push_each(self, people):
+        people.update_one({"name": "alice"},
+                          {"$push": {"tags": {"$each": [1, 2, 3]}}})
+        assert people.find_one({"name": "alice"})["tags"] == [1, 2, 3]
+
+    def test_add_to_set_deduplicates(self, people):
+        for _ in range(3):
+            people.update_one({"name": "alice"}, {"$addToSet": {"tags": "once"}})
+        assert people.find_one({"name": "alice"})["tags"] == ["once"]
+
+    def test_rename(self, people):
+        people.update_one({"name": "alice"}, {"$rename": {"city": "town"}})
+        document = people.find_one({"name": "alice"})
+        assert document["town"] == "Paris"
+        assert "city" not in document
+
+    def test_replacement_update_keeps_id(self, people):
+        original_id = people.find_one({"name": "alice"})["_id"]
+        people.update_one({"name": "alice"}, {"name": "alicia", "age": 1})
+        replaced = people.find_one({"name": "alicia"})
+        assert replaced["_id"] == original_id
+        assert "city" not in replaced
+
+    def test_mixed_update_rejected(self, people):
+        with pytest.raises(UpdateError):
+            people.update_one({"name": "alice"}, {"$set": {"a": 1}, "b": 2})
+
+    def test_update_many(self, people):
+        assert people.update_many({"city": "Paris"},
+                                  {"$set": {"country": "FR"}}) == 2
+        assert people.count({"country": "FR"}) == 2
+
+    def test_upsert_inserts_when_missing(self, people):
+        people.update_one({"name": "zed"}, {"$set": {"age": 1}}, upsert=True)
+        assert people.find_one({"name": "zed"})["age"] == 1
+
+    def test_update_no_match_returns_zero(self, people):
+        assert people.update_one({"name": "nobody"}, {"$set": {"x": 1}}) == 0
+
+
+class TestIndexes:
+    def test_unique_index_rejects_duplicates(self, people):
+        people.create_index("name", unique=True)
+        with pytest.raises(DuplicateKeyError):
+            people.insert_one({"name": "alice"})
+
+    def test_unique_index_rejects_duplicate_via_update(self, people):
+        people.create_index("name", unique=True)
+        with pytest.raises(DuplicateKeyError):
+            people.update_one({"name": "bob"}, {"$set": {"name": "alice"}})
+
+    def test_index_accelerates_equality(self, people):
+        people.create_index("city")
+        before = people.scans
+        result = people.find({"city": "Paris"}).to_list()
+        assert len(result) == 2
+        assert people.scans == before
+        assert people.index_lookups >= 1
+
+    def test_index_stays_fresh_after_update(self, people):
+        people.create_index("city")
+        people.update_one({"name": "bob"}, {"$set": {"city": "Paris"}})
+        assert people.count({"city": "Paris"}) == 3
+
+    def test_index_stays_fresh_after_delete(self, people):
+        people.create_index("city")
+        people.delete_one({"name": "alice"})
+        assert people.count({"city": "Paris"}) == 1
+
+    def test_create_index_is_idempotent(self, people):
+        people.create_index("city")
+        people.create_index("city")
+        assert people.index_paths() == ["city"]
+
+
+class TestStore:
+    def test_collections_created_on_demand(self):
+        store = DocumentStore()
+        store["a"].insert_one({"x": 1})
+        assert store.collection_names() == ["a"]
+
+    def test_same_collection_returned(self):
+        store = DocumentStore()
+        assert store["a"] is store["a"]
+
+    def test_drop_collection(self):
+        store = DocumentStore()
+        store["a"].insert_one({"x": 1})
+        store.drop_collection("a")
+        assert store["a"].count() == 0

@@ -1,0 +1,185 @@
+"""Unit tests for the document-store query engine."""
+
+import pytest
+
+from repro.docstore import QueryError, matches
+
+
+DOC = {
+    "name": "alice",
+    "age": 30,
+    "home": {"city": "Paris", "zip": "75001"},
+    "tags": ["friend", "colleague"],
+    "scores": [1, 5, 9],
+    "active": True,
+}
+
+
+class TestEquality:
+    def test_implicit_eq(self):
+        assert matches(DOC, {"name": "alice"})
+        assert not matches(DOC, {"name": "bob"})
+
+    def test_explicit_eq(self):
+        assert matches(DOC, {"age": {"$eq": 30}})
+
+    def test_dot_path(self):
+        assert matches(DOC, {"home.city": "Paris"})
+        assert not matches(DOC, {"home.city": "Lyon"})
+
+    def test_missing_field_equals_none(self):
+        assert matches(DOC, {"ghost": None})
+        assert not matches(DOC, {"ghost": 1})
+
+    def test_array_contains_scalar(self):
+        assert matches(DOC, {"tags": "friend"})
+        assert not matches(DOC, {"tags": "enemy"})
+
+    def test_array_full_equality(self):
+        assert matches(DOC, {"tags": ["friend", "colleague"]})
+
+    def test_ne(self):
+        assert matches(DOC, {"name": {"$ne": "bob"}})
+        assert not matches(DOC, {"name": {"$ne": "alice"}})
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("query,expected", [
+        ({"age": {"$gt": 29}}, True),
+        ({"age": {"$gt": 30}}, False),
+        ({"age": {"$gte": 30}}, True),
+        ({"age": {"$lt": 31}}, True),
+        ({"age": {"$lte": 29}}, False),
+        ({"age": {"$gt": 25, "$lt": 35}}, True),
+        ({"age": {"$gt": 25, "$lt": 28}}, False),
+    ])
+    def test_numeric_comparisons(self, query, expected):
+        assert matches(DOC, query) is expected
+
+    def test_array_any_element_comparison(self):
+        assert matches(DOC, {"scores": {"$gt": 8}})
+        assert not matches(DOC, {"scores": {"$gt": 9}})
+
+    def test_string_comparison(self):
+        assert matches(DOC, {"name": {"$lt": "bob"}})
+
+    def test_incomparable_types_never_match(self):
+        assert not matches(DOC, {"name": {"$gt": 5}})
+
+    def test_missing_field_fails_comparisons(self):
+        assert not matches(DOC, {"ghost": {"$gt": 0}})
+
+
+class TestSetMembership:
+    def test_in(self):
+        assert matches(DOC, {"name": {"$in": ["alice", "bob"]}})
+        assert not matches(DOC, {"name": {"$in": ["bob"]}})
+
+    def test_in_with_array_field(self):
+        assert matches(DOC, {"tags": {"$in": ["friend", "x"]}})
+
+    def test_nin(self):
+        assert matches(DOC, {"name": {"$nin": ["bob"]}})
+        assert not matches(DOC, {"name": {"$nin": ["alice"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"name": {"$in": "alice"}})
+
+
+class TestStructural:
+    def test_exists(self):
+        assert matches(DOC, {"age": {"$exists": True}})
+        assert matches(DOC, {"ghost": {"$exists": False}})
+        assert not matches(DOC, {"ghost": {"$exists": True}})
+
+    def test_regex(self):
+        assert matches(DOC, {"name": {"$regex": "^ali"}})
+        assert not matches(DOC, {"name": {"$regex": "^bob"}})
+
+    def test_regex_on_non_string_fails(self):
+        assert not matches(DOC, {"age": {"$regex": "3"}})
+
+    def test_size(self):
+        assert matches(DOC, {"tags": {"$size": 2}})
+        assert not matches(DOC, {"tags": {"$size": 3}})
+
+    def test_elem_match_scalar(self):
+        assert matches(DOC, {"scores": {"$elemMatch": {"$gt": 4, "$lt": 6}}})
+        assert not matches(DOC, {"scores": {"$elemMatch": {"$gt": 9}}})
+
+    def test_not(self):
+        assert matches(DOC, {"age": {"$not": {"$gt": 40}}})
+        assert not matches(DOC, {"age": {"$not": {"$gt": 20}}})
+
+
+class TestLogical:
+    def test_top_level_keys_are_anded(self):
+        assert matches(DOC, {"name": "alice", "age": 30})
+        assert not matches(DOC, {"name": "alice", "age": 31})
+
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"name": "alice"}, {"age": {"$gte": 30}}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"name": "bob"}, {"age": 30}]})
+        assert not matches(DOC, {"$or": [{"name": "bob"}, {"age": 31}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"name": "bob"}, {"age": 99}]})
+        assert not matches(DOC, {"$nor": [{"name": "alice"}]})
+
+    def test_nested_logical(self):
+        query = {"$or": [
+            {"$and": [{"home.city": "Paris"}, {"age": {"$lt": 40}}]},
+            {"name": "bob"},
+        ]}
+        assert matches(DOC, query)
+
+    def test_unknown_top_level_operator_rejected(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"$xor": []})
+
+    def test_unknown_field_operator_rejected(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"age": {"$wat": 1}})
+
+    def test_non_dict_query_rejected(self):
+        with pytest.raises(QueryError):
+            matches(DOC, ["not", "a", "query"])
+
+
+class TestGeoQueries:
+    PARIS = [2.3522, 48.8566]
+    BORDEAUX = [-0.5792, 44.8378]
+    USER = {"loc": [2.36, 48.86]}
+
+    def test_near_within_distance(self):
+        assert matches(self.USER, {"loc": {"$near": {
+            "$point": self.PARIS, "$maxDistance": 5}}})
+
+    def test_near_outside_distance(self):
+        assert not matches(self.USER, {"loc": {"$near": {
+            "$point": self.BORDEAUX, "$maxDistance": 5}}})
+
+    def test_within_box(self):
+        assert matches(self.USER, {"loc": {"$within": {
+            "$box": [[2.0, 48.0], [3.0, 49.0]]}}})
+        assert not matches(self.USER, {"loc": {"$within": {
+            "$box": [[-1.0, 44.0], [0.0, 45.0]]}}})
+
+    def test_within_center(self):
+        assert matches(self.USER, {"loc": {"$within": {
+            "$center": [self.PARIS, 10]}}})
+
+    def test_near_on_missing_field(self):
+        assert not matches({}, {"loc": {"$near": {
+            "$point": self.PARIS, "$maxDistance": 5}}})
+
+    def test_near_requires_point(self):
+        with pytest.raises(QueryError):
+            matches(self.USER, {"loc": {"$near": {"$maxDistance": 5}}})
+
+    def test_within_requires_region(self):
+        with pytest.raises(QueryError):
+            matches(self.USER, {"loc": {"$within": {}}})

@@ -1,0 +1,107 @@
+"""Geographic edge cases: haversine extremes, antimeridian, poles,
+mobility at high latitude, and geo query boundaries."""
+
+import pytest
+
+from repro.core.server import MulticastQuery
+from repro.docstore import DocumentStore, haversine_km, matches
+from repro.docstore.geo import EARTH_RADIUS_KM
+import math
+
+
+class TestHaversineExtremes:
+    def test_antipodal_points(self):
+        distance = haversine_km([0.0, 0.0], [180.0, 0.0])
+        assert distance == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_pole_to_pole(self):
+        distance = haversine_km([0.0, 90.0], [0.0, -90.0])
+        assert distance == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_across_antimeridian_is_short(self):
+        # 179.9°E to 179.9°W is ~22 km at the equator, not ~39 000 km.
+        distance = haversine_km([179.9, 0.0], [-179.9, 0.0])
+        assert distance < 25.0
+
+    def test_same_meridian_latitude_degree(self):
+        # One degree of latitude is ~111 km everywhere.
+        distance = haversine_km([10.0, 40.0], [10.0, 41.0])
+        assert distance == pytest.approx(111.2, rel=0.01)
+
+    def test_longitude_degree_shrinks_with_latitude(self):
+        at_equator = haversine_km([0.0, 0.0], [1.0, 0.0])
+        at_60_north = haversine_km([0.0, 60.0], [1.0, 60.0])
+        assert at_60_north == pytest.approx(at_equator / 2, rel=0.01)
+
+    def test_dict_point_form_supported(self):
+        assert matches({"p": {"lon": 0.0, "lat": 0.0}},
+                       {"p": {"$near": {"$point": [0.0, 0.0],
+                                        "$maxDistance": 1.0}}})
+
+
+class TestGeoQueryBoundaries:
+    def test_near_exact_boundary_inclusive(self):
+        store = DocumentStore()["places"]
+        # ~111.2 km north of origin.
+        store.insert_one({"p": [0.0, 1.0]})
+        boundary = haversine_km([0.0, 0.0], [0.0, 1.0])
+        assert store.count({"p": {"$near": {"$point": [0.0, 0.0],
+                                            "$maxDistance": boundary}}}) == 1
+        assert store.count({"p": {"$near": {"$point": [0.0, 0.0],
+                                            "$maxDistance": boundary - 0.1}}}) == 0
+
+    def test_box_with_reversed_corners(self):
+        store = DocumentStore()["places"]
+        store.insert_one({"p": [0.5, 0.5]})
+        # Corners in "wrong" order still describe the same box.
+        assert store.count({"p": {"$within": {
+            "$box": [[1.0, 1.0], [0.0, 0.0]]}}}) == 1
+
+    def test_non_point_field_never_matches_geo(self):
+        store = DocumentStore()["places"]
+        store.insert_many([{"p": "not a point"}, {"p": [1.0]},
+                           {"p": [1.0, 2.0, 3.0]}])
+        assert store.count({"p": {"$near": {"$point": [0.0, 0.0],
+                                            "$maxDistance": 1e9}}}) == 0
+
+
+class TestHighLatitudeMobility:
+    def test_wander_step_distance_respected_at_high_latitude(self):
+        from repro.device.mobility import _offset_position
+        start = [10.0, 69.0]  # Tromsø-ish
+        moved = _offset_position(start, bearing_rad=math.pi / 2,
+                                 distance_km=1.0)
+        assert haversine_km(start, moved) == pytest.approx(1.0, rel=0.05)
+
+    def test_city_registry_at_high_latitude(self):
+        from repro.device.mobility import City, CityRegistry
+        registry = CityRegistry()
+        registry.add(City("Tromso", 18.9553, 69.6496, radius_km=5.0))
+        assert registry.city_of([18.96, 69.65]).name == "Tromso"
+        assert registry.city_of([18.9553, 69.2]) is None
+
+
+class TestMulticastGeoBoundaries:
+    def test_near_point_radius_boundary(self, testbed):
+        node = testbed.add_user("edge", "Paris")
+        node.mobility.stop()
+        node.phone.environment.move_to(2.3522, 48.9)  # ~4.8 km north
+        testbed.run(400.0)
+        inside = testbed.server.create_multicast_stream(
+            _wifi(), _raw(),
+            MulticastQuery(near_point=(2.3522, 48.8566), near_km=6.0))
+        outside = testbed.server.create_multicast_stream(
+            _wifi(), _raw(),
+            MulticastQuery(near_point=(2.3522, 48.8566), near_km=3.0))
+        assert inside.members() == ["edge"]
+        assert outside.members() == []
+
+
+def _wifi():
+    from repro.core.common import ModalityType
+    return ModalityType.WIFI
+
+
+def _raw():
+    from repro.core.common import Granularity
+    return Granularity.RAW

@@ -1,0 +1,153 @@
+"""End-to-end integration tests: the Figure 2 scenario, determinism,
+and failure injection."""
+
+import pytest
+
+from repro.core.common import Granularity, ModalityType
+from repro.core.server import MulticastQuery
+from repro.scenarios import build_paris_scenario
+from repro.scenarios.testbed import SenSocialTestbed
+
+
+class TestFigure2Scenario:
+    """Geo-aware social notifications: A is told when a friend
+    (C) arrives in Paris."""
+
+    def build_app(self, testbed):
+        """The notification app from Figure 2, on the public API."""
+        notifications = []
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.LOCATION, Granularity.CLASSIFIED,
+            MulticastQuery(friends_of="A"), name="friends-of-A")
+
+        def on_location(record):
+            home = "Paris"
+            if record.value == home and record.user_id != "A":
+                notifications.append(
+                    f"{record.user_id} arrived in {home}")
+
+        multicast.add_listener(on_location)
+        return notifications
+
+    def test_friend_arrival_notifies_a(self):
+        testbed = build_paris_scenario(seed=2)
+        testbed.run(400.0)
+        notifications = self.build_app(testbed)
+        testbed.run(600.0)
+        assert notifications == []  # C and D still in Bordeaux
+        testbed.node("C").mobility.travel_to("Paris", duration_s=1800.0)
+        testbed.run(3600.0)
+        assert any(note.startswith("C arrived in Paris")
+                   for note in notifications)
+        # D never travelled; E and B are not A's friends.
+        assert all(note.startswith("C ") for note in notifications)
+
+    def test_non_friend_arrival_is_silent(self):
+        testbed = build_paris_scenario(seed=3)
+        testbed.run(400.0)
+        notifications = self.build_app(testbed)
+        testbed.node("E").mobility.travel_to("Paris", duration_s=1800.0)
+        testbed.run(3600.0)
+        assert notifications == []
+
+
+class TestDeterminism:
+    def run_once(self, seed):
+        testbed = SenSocialTestbed(seed=seed)
+        node = testbed.add_user("alice", "Paris")
+        stream = node.manager.create_stream(
+            ModalityType.ACCELEROMETER, Granularity.CLASSIFIED)
+        values = []
+        stream.register_listener(lambda record: values.append(
+            (record.timestamp, record.value)))
+        testbed.facebook.perform_action("alice", "post", content="x")
+        testbed.run(600.0)
+        return values, testbed.server.action_latencies()
+
+    def test_same_seed_same_trace(self):
+        assert self.run_once(5) == self.run_once(5)
+
+    def test_different_seed_different_trace(self):
+        assert self.run_once(5) != self.run_once(6)
+
+
+class TestFailureInjection:
+    def test_trigger_survives_phone_partition(self, testbed):
+        """QoS-1 redelivery: a trigger sent while the phone is offline
+        arrives after reconnection."""
+        from repro.core.common import StreamMode
+        node = testbed.add_user("alice", "Paris")
+        stream = node.manager.create_stream(
+            ModalityType.WIFI, Granularity.RAW, mode=StreamMode.SOCIAL_EVENT)
+        records = []
+        stream.register_listener(records.append)
+        mqtt_address = node.manager.mqtt.client.address
+        testbed.network.set_down(mqtt_address)
+        testbed.facebook.perform_action("alice", "post", content="offline")
+        testbed.run(70.0)  # trigger published while phone unreachable
+        assert records == []
+        testbed.network.set_down(mqtt_address, False)
+        testbed.run(60.0)  # broker retries within its retry budget
+        assert len(records) == 1
+
+    def test_stream_data_lost_during_partition_is_not_fabricated(self, testbed):
+        node = testbed.add_user("alice", "Paris")
+        stream = testbed.server.create_stream(
+            "alice", ModalityType.MICROPHONE, Granularity.CLASSIFIED)
+        records = []
+        stream.add_listener(records.append)
+        testbed.run(130.0)
+        baseline = len(records)
+        assert baseline >= 1
+        testbed.network.set_down(node.phone.address)
+        testbed.run(300.0)
+        assert len(records) == baseline  # uploads dropped, not duplicated
+        testbed.network.set_down(node.phone.address, False)
+        testbed.run(130.0)
+        assert len(records) > baseline
+
+    def test_registration_survives_server_restart_via_retained(self, testbed):
+        """A server that (re)subscribes later still sees every device,
+        because registrations are retained at the broker."""
+        testbed.add_user("alice", "Paris")
+        testbed.run(5.0)
+        from repro.core.server import ServerSenSocialManager
+        second = ServerSenSocialManager(testbed.world, testbed.network,
+                                        address="sensocial-server-2")
+        second.start()
+        testbed.run(5.0)
+        assert second.database.is_registered("alice")
+
+
+class TestEmotionPropagationPipeline:
+    """The introduction's social-science example: sentiment of posts
+    coupled with physical context, mapped onto the social graph."""
+
+    def test_sentiment_context_join(self, testbed):
+        from repro.osn import SentimentAnalyzer
+        alice = testbed.add_user("alice", "Paris")
+        bob = testbed.add_user("bob", "Paris")
+        testbed.befriend("alice", "bob")
+        analyzer = SentimentAnalyzer()
+        observations = []
+
+        def on_action(action):
+            if action.content:
+                observations.append({
+                    "user": action.user_id,
+                    "sentiment": analyzer.label(action.content).value,
+                    "friends": testbed.server.database.friends_of(
+                        action.user_id),
+                })
+
+        testbed.server.add_action_listener(on_action)
+        testbed.facebook.perform_action("alice", "post",
+                                        content="absolutely loving this")
+        testbed.facebook.perform_action("bob", "post",
+                                        content="fed up with the terrible rain")
+        testbed.run(120.0)
+        assert len(observations) == 2
+        by_user = {obs["user"]: obs for obs in observations}
+        assert by_user["alice"]["sentiment"] == "positive"
+        assert by_user["bob"]["sentiment"] == "negative"
+        assert by_user["alice"]["friends"] == ["bob"]

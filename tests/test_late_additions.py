@@ -1,0 +1,83 @@
+"""Tests for the $mul/$min/$max update operators and OSN feed queries."""
+
+import pytest
+
+from repro.docstore import DocumentStore, UpdateError
+from repro.osn import ActionType, OsnService
+from repro.simkit import World
+
+
+class TestNumericUpdateOperators:
+    @pytest.fixture
+    def docs(self):
+        collection = DocumentStore()["d"]
+        collection.insert_one({"k": "a", "n": 10})
+        return collection
+
+    def test_mul(self, docs):
+        docs.update_one({"k": "a"}, {"$mul": {"n": 3}})
+        assert docs.find_one({"k": "a"})["n"] == 30
+
+    def test_mul_missing_field_becomes_zero(self, docs):
+        docs.update_one({"k": "a"}, {"$mul": {"ghost": 5}})
+        assert docs.find_one({"k": "a"})["ghost"] == 0
+
+    def test_mul_non_numeric_rejected(self, docs):
+        with pytest.raises(UpdateError):
+            docs.update_one({"k": "a"}, {"$mul": {"k": 2}})
+
+    def test_min_lowers_only(self, docs):
+        docs.update_one({"k": "a"}, {"$min": {"n": 5}})
+        assert docs.find_one({"k": "a"})["n"] == 5
+        docs.update_one({"k": "a"}, {"$min": {"n": 99}})
+        assert docs.find_one({"k": "a"})["n"] == 5
+
+    def test_max_raises_only(self, docs):
+        docs.update_one({"k": "a"}, {"$max": {"n": 99}})
+        assert docs.find_one({"k": "a"})["n"] == 99
+        docs.update_one({"k": "a"}, {"$max": {"n": 1}})
+        assert docs.find_one({"k": "a"})["n"] == 99
+
+    def test_min_max_set_missing_field(self, docs):
+        docs.update_one({"k": "a"}, {"$min": {"low": 3}})
+        docs.update_one({"k": "a"}, {"$max": {"high": 7}})
+        document = docs.find_one({"k": "a"})
+        assert document["low"] == 3
+        assert document["high"] == 7
+
+
+class TestFeedQueries:
+    @pytest.fixture
+    def service(self):
+        world = World(seed=71)
+        service = OsnService(world, "facebook")
+        for user in ["a", "b", "c"]:
+            service.register_user(user)
+        service.perform_action("a", ActionType.POST, content="p1",
+                               target=None)
+        post_id = "post-1"
+        service.perform_action("b", ActionType.COMMENT, content="c1",
+                               target=post_id)
+        world.run_for(10.0)
+        service.perform_action("c", ActionType.COMMENT, content="c2",
+                               target=post_id)
+        service.perform_action("b", ActionType.LIKE, target=post_id)
+        service.perform_action("c", ActionType.LIKE, target=post_id)
+        service.perform_action("b", ActionType.LIKE, target=post_id)  # again
+        service.perform_action("a", ActionType.SHARE, target="elsewhere")
+        return service
+
+    def test_posts_of_filters_types(self, service):
+        posts = service.posts_of("a")
+        assert [action.content for action in posts] == ["p1"]
+
+    def test_comments_on_ordered_by_time(self, service):
+        comments = service.comments_on("post-1")
+        assert [action.content for action in comments] == ["c1", "c2"]
+
+    def test_likes_unique_and_sorted(self, service):
+        assert service.likes_of("post-1") == ["b", "c"]
+
+    def test_unknown_target_is_empty(self, service):
+        assert service.comments_on("nothing") == []
+        assert service.likes_of("nothing") == []

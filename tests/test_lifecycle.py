@@ -1,0 +1,97 @@
+"""Lifecycle tests: clean shutdown of managers, services and testbeds."""
+
+import pytest
+
+from repro.core.common import Granularity, ModalityType
+from repro.core.mobile import StreamState
+
+
+class TestMobileManagerLifecycle:
+    def test_stop_destroys_streams_and_disconnects(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        streams = [node.manager.create_stream(ModalityType.WIFI,
+                                              Granularity.RAW)
+                   for _ in range(3)]
+        node.manager.stop()
+        assert node.manager.streams == {}
+        assert all(stream.state is StreamState.DESTROYED for stream in streams)
+        assert not node.manager.mqtt.client.connected
+
+    def test_no_sampling_after_stop(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        stream = node.manager.create_stream(ModalityType.WIFI, Granularity.RAW)
+        records = []
+        stream.register_listener(records.append)
+        node.manager.stop()
+        testbed.run(300.0)
+        assert records == []
+
+    def test_location_reporting_stops(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        testbed.run(400.0)
+        assert testbed.server.database.location_of("a") is not None
+        node.manager.stop()
+        last = testbed.server.database.location_of("a")["timestamp"]
+        testbed.run(900.0)
+        assert testbed.server.database.location_of("a")["timestamp"] == last
+
+    def test_manager_is_singleton_per_device(self, testbed):
+        from repro.core.mobile.manager import MobileSenSocialManager
+        node = testbed.add_user("a", "Paris")
+        again = MobileSenSocialManager.get_sensocial_manager(
+            testbed.world, node.phone, testbed.network)
+        assert again is node.manager
+
+
+class TestServerLifecycle:
+    def test_destroy_stream_is_idempotent(self, testbed):
+        testbed.add_user("a", "Paris")
+        stream = testbed.server.create_stream("a", ModalityType.WIFI,
+                                              Granularity.RAW)
+        stream.destroy()
+        stream.destroy()
+        assert stream.destroyed
+
+    def test_destroyed_server_stream_delivers_nothing(self, testbed):
+        testbed.add_user("a", "Paris")
+        stream = testbed.server.create_stream("a", ModalityType.MICROPHONE,
+                                              Granularity.CLASSIFIED)
+        records = []
+        stream.add_listener(records.append)
+        testbed.run(3.0)
+        stream.destroy()
+        testbed.run(300.0)
+        assert records == []
+
+    def test_server_stream_remove_listener(self, testbed):
+        testbed.add_user("a", "Paris")
+        stream = testbed.server.create_stream("a", ModalityType.MICROPHONE,
+                                              Granularity.CLASSIFIED)
+        records = []
+        listener = records.append
+        stream.add_listener(listener)
+        stream.remove_listener(listener)
+        testbed.run(130.0)
+        assert records == []
+        assert stream.records_received > 0  # arrived, no listener left
+
+
+class TestTestbedSemantics:
+    def test_twitter_platform_user(self, testbed):
+        node = testbed.add_user("tweeter", "Paris", platforms=("twitter",))
+        assert testbed.twitter.is_authorized("tweeter")
+        assert not testbed.facebook.graph.has_user("tweeter") or \
+            not testbed.facebook.is_authorized("tweeter")
+
+    def test_befriend_on_twitter_graph(self, testbed):
+        testbed.add_user("a", "Paris", platforms=("twitter",))
+        testbed.add_user("b", "Paris", platforms=("twitter",))
+        testbed.befriend("a", "b", platform="twitter")
+        assert testbed.twitter.graph.are_friends("a", "b")
+        assert testbed.server.database.friends_of("a") == ["b"]
+
+    def test_node_lookup(self, testbed):
+        node = testbed.add_user("x", "Paris")
+        assert testbed.node("x") is node
+        with pytest.raises(KeyError):
+            testbed.node("missing")

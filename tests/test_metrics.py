@@ -1,0 +1,138 @@
+"""Unit tests for the measurement tooling."""
+
+import pytest
+
+from repro.device.battery import Battery, EnergyCategory
+from repro.device.cpu import CpuModel
+from repro.metrics import (
+    CpuProfiler,
+    EnergyMeter,
+    LatencyStats,
+    MemoryProfiler,
+    count_lines,
+    count_tree,
+)
+
+
+class TestEnergyMeter:
+    def test_delta_between_start_and_stop(self, world):
+        battery = Battery()
+        battery.drain(1.0, "pre", EnergyCategory.IDLE)  # before metering
+        meter = EnergyMeter(world, battery).start()
+        battery.drain(0.5, "x", EnergyCategory.SAMPLING)
+        world.run_for(10.0)
+        assert meter.stop() == pytest.approx(0.5)
+
+    def test_samples_at_one_hz(self, world):
+        battery = Battery()
+        meter = EnergyMeter(world, battery).start()
+        world.run_for(10.0)
+        meter.stop()
+        assert len(meter.samples) == 11  # t=0..10 inclusive
+
+    def test_average_per_interval(self, world):
+        battery = Battery()
+        meter = EnergyMeter(world, battery).start()
+        battery.drain(6.0, "x", EnergyCategory.SAMPLING)
+        world.run_for(3600.0)
+        meter.stop()
+        assert meter.average_mah_per(60.0, 3600.0) == pytest.approx(0.1)
+
+    def test_category_breakdown(self, world):
+        battery = Battery()
+        battery.drain(9.0, "x", EnergyCategory.TRANSMISSION)  # before
+        meter = EnergyMeter(world, battery).start()
+        battery.drain(1.0, "x", EnergyCategory.SAMPLING)
+        battery.drain(2.0, "x", EnergyCategory.TRANSMISSION)
+        meter.stop()
+        assert meter.category_mah(EnergyCategory.SAMPLING) == pytest.approx(1.0)
+        assert meter.category_mah(EnergyCategory.TRANSMISSION) == \
+            pytest.approx(2.0)
+
+    def test_invalid_duration_rejected(self, world):
+        meter = EnergyMeter(world, Battery()).start()
+        meter.stop()
+        with pytest.raises(ValueError):
+            meter.average_mah_per(60.0, 0.0)
+
+
+class TestCpuProfiler:
+    def test_mean_of_steady_load(self, world):
+        cpu = CpuModel()
+        cpu.set_load("x", 12.0)
+        profiler = CpuProfiler(world, cpu).start()
+        world.run_for(10.0)
+        assert profiler.stop() == pytest.approx(12.0)
+
+    def test_pulse_visible_in_max(self, world):
+        cpu = CpuModel()
+        profiler = CpuProfiler(world, cpu).start()
+        world.run_for(2.0)
+        cpu.pulse(50.0)
+        world.run_for(2.0)
+        profiler.stop()
+        assert profiler.max_pct() == pytest.approx(50.0)
+        assert profiler.mean_pct() < 50.0
+
+    def test_empty_profile_is_zero(self, world):
+        profiler = CpuProfiler(world, CpuModel())
+        assert profiler.mean_pct() == 0.0
+
+
+class TestMemoryProfiler:
+    def test_snapshot_reflects_heap(self, phone):
+        snapshot = MemoryProfiler.profile(phone)
+        assert snapshot.heap_allocated_mb == pytest.approx(
+            phone.heap.allocated_mb, abs=0.01)
+        assert snapshot.objects == phone.heap.object_count
+        assert snapshot.heap_allowed_mb > snapshot.heap_allocated_mb
+
+
+class TestLatencyStats:
+    def test_mean_and_std(self):
+        stats = LatencyStats.of([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(0.8165, abs=1e-3)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.count == 3
+
+    def test_empty_sample(self):
+        stats = LatencyStats.of([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+class TestCloc:
+    def test_counts_code_comments_blanks(self, tmp_path):
+        source = tmp_path / "module.py"
+        source.write_text('"""Doc."""\n\n# comment\nx = 1\n\ny = 2\n')
+        count = count_lines(source)
+        assert count.code_lines == 3  # docstring + two assignments
+        assert count.comment_lines == 1
+        assert count.blank_lines == 2
+
+    def test_count_tree_recurses_and_filters(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\nz = 3\n")
+        (tmp_path / "sub" / "notes.txt").write_text("ignored\n")
+        count = count_tree(tmp_path)
+        assert count.files == 2
+        assert count.code_lines == 3
+
+    def test_count_tree_excludes_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        assert count_tree(tmp_path).files == 0
+
+    def test_count_tree_on_single_file(self, tmp_path):
+        source = tmp_path / "one.py"
+        source.write_text("pass\n")
+        assert count_tree(source).files == 1
+
+    def test_counts_add(self):
+        from repro.metrics.cloc import LineCount
+        total = LineCount(1, 10, 2, 3) + LineCount(2, 20, 1, 1)
+        assert total.files == 3
+        assert total.code_lines == 30

@@ -1,0 +1,223 @@
+"""Unit tests for mobility models, environments and sensors."""
+
+import pytest
+
+from repro.device import (
+    ActivityState,
+    AudioState,
+    CityMobility,
+    CityRegistry,
+    EnvironmentRegistry,
+    RandomWaypoint,
+    Smartphone,
+    UserEnvironment,
+)
+from repro.device.mobility import City
+from repro.docstore import haversine_km
+from repro.net.network import Network
+from repro.simkit import SimulationError, World
+
+
+class TestCityRegistry:
+    def test_europe_has_paris_and_bordeaux(self):
+        cities = CityRegistry.europe()
+        assert "Paris" in cities.names()
+        assert "Bordeaux" in cities.names()
+
+    def test_city_of_resolves_position(self):
+        cities = CityRegistry.europe()
+        paris = cities.get("Paris")
+        assert cities.city_of(paris.center).name == "Paris"
+
+    def test_city_of_outside_everything(self):
+        cities = CityRegistry.europe()
+        assert cities.city_of([30.0, 60.0]) is None
+
+    def test_duplicate_city_rejected(self):
+        cities = CityRegistry.europe()
+        with pytest.raises(SimulationError):
+            cities.add(City("Paris", 0, 0))
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(SimulationError):
+            CityRegistry.europe().get("Atlantis")
+
+    def test_contains_radius(self):
+        city = City("Test", 0.0, 0.0, radius_km=10.0)
+        assert city.contains([0.05, 0.0])
+        assert not city.contains([1.0, 0.0])
+
+
+class TestCityMobility:
+    def make(self, seed=1):
+        world = World(seed=seed)
+        registry = EnvironmentRegistry()
+        cities = CityRegistry.europe()
+        environment = UserEnvironment("u")
+        mobility = CityMobility(world, environment, registry, cities, "Paris")
+        return world, mobility, environment, cities
+
+    def test_starts_at_home_city_center(self):
+        _, mobility, environment, cities = self.make()
+        assert environment.position == cities.get("Paris").center
+        assert environment.city_name == "Paris"
+
+    def test_user_stays_in_home_city(self):
+        world, mobility, environment, cities = self.make()
+        mobility.start()
+        world.run_for(6 * 3600.0)
+        assert cities.get("Paris").contains(environment.position)
+
+    def test_activity_states_visited(self):
+        world, mobility, environment, _ = self.make()
+        mobility.start()
+        seen = set()
+        for _ in range(200):
+            world.run_for(30.0)
+            seen.add(environment.activity)
+        assert ActivityState.STILL in seen
+        assert ActivityState.WALKING in seen
+
+    def test_travel_reaches_destination(self):
+        world, mobility, environment, cities = self.make()
+        mobility.start()
+        mobility.travel_to("Bordeaux", duration_s=3600.0)
+        assert mobility.travelling
+        world.run_for(4500.0)
+        assert not mobility.travelling
+        assert environment.city_name == "Bordeaux"
+
+    def test_travel_progress_is_monotonic(self):
+        world, mobility, environment, cities = self.make()
+        mobility.start()
+        target = cities.get("Bordeaux").center
+        mobility.travel_to("Bordeaux", duration_s=7200.0)
+        last = haversine_km(environment.position, target)
+        for _ in range(20):
+            world.run_for(300.0)
+            now = haversine_km(environment.position, target)
+            assert now <= last + 1e-6
+            last = now
+
+    def test_stop_halts_updates(self):
+        world, mobility, environment, _ = self.make()
+        mobility.start()
+        world.run_for(60.0)
+        mobility.stop()
+        position = list(environment.position)
+        activity = environment.activity
+        world.run_for(3600.0)
+        assert environment.position == position
+        assert environment.activity == activity
+
+
+class TestRandomWaypoint:
+    def test_stays_inside_bbox(self):
+        world = World(seed=5)
+        registry = EnvironmentRegistry()
+        environment = UserEnvironment("w")
+        bbox = (0.0, 0.0, 0.1, 0.1)
+        RandomWaypoint(world, environment, registry, bbox).start()
+        for _ in range(100):
+            world.run_for(30.0)
+            lon, lat = environment.position
+            assert 0.0 <= lon <= 0.1
+            assert 0.0 <= lat <= 0.1
+
+
+class TestEnvironmentRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = EnvironmentRegistry()
+        registry.register(UserEnvironment("u"))
+        with pytest.raises(SimulationError):
+            registry.register(UserEnvironment("u"))
+
+    def test_nearby_users_sorted_by_distance(self):
+        registry = EnvironmentRegistry()
+        registry.register(UserEnvironment("a", position=[0.0, 0.0]))
+        registry.register(UserEnvironment("b", position=[0.0002, 0.0]))
+        registry.register(UserEnvironment("c", position=[0.0001, 0.0]))
+        registry.register(UserEnvironment("far", position=[1.0, 1.0]))
+        assert registry.nearby_users("a", radius_km=1.0) == ["c", "b"]
+
+    def test_access_point_visibility(self):
+        registry = EnvironmentRegistry()
+        registry.add_access_point("home", [0.0, 0.0])
+        registry.add_access_point("office", [0.5, 0.5])
+        assert registry.visible_access_points([0.0001, 0.0]) == ["home"]
+
+
+class TestSensors:
+    @pytest.fixture
+    def rig(self):
+        world = World(seed=9)
+        network = Network(world)
+        registry = EnvironmentRegistry()
+        phone = Smartphone(world, network, registry, "sensor-user")
+        return world, registry, phone
+
+    def test_accelerometer_window_shape(self, rig):
+        _, _, phone = rig
+        reading = phone.sensor("accelerometer").sample()
+        assert len(reading.raw) == 40
+        assert all(len(sample) == 3 for sample in reading.raw)
+
+    def test_accelerometer_energy_charged(self, rig):
+        _, _, phone = rig
+        before = phone.battery.consumed_mah
+        phone.sensor("accelerometer").sample()
+        from repro.device import calibration
+        assert phone.battery.consumed_mah - before == pytest.approx(
+            calibration.SAMPLING_MAH["accelerometer"])
+
+    def test_running_has_higher_variance_than_still(self, rig):
+        _, _, phone = rig
+        import statistics
+
+        def spread(activity):
+            phone.environment.activity = activity
+            reading = phone.sensor("accelerometer").sample()
+            magnitudes = [(x * x + y * y + z * z) ** 0.5
+                          for x, y, z in reading.raw]
+            return statistics.pstdev(magnitudes)
+
+        assert spread(ActivityState.RUNNING) > 3 * spread(ActivityState.STILL)
+
+    def test_microphone_tracks_audio_scene(self, rig):
+        _, _, phone = rig
+        phone.environment.audio = AudioState.SILENT
+        silent = phone.sensor("microphone").sample()
+        phone.environment.audio = AudioState.NOISY
+        noisy = phone.sensor("microphone").sample()
+        mean = lambda values: sum(values) / len(values)
+        assert mean(noisy.raw) > 5 * mean(silent.raw)
+
+    def test_gps_near_true_position(self, rig):
+        _, _, phone = rig
+        phone.environment.move_to(2.35, 48.85)
+        fix = phone.sensor("location").sample().raw
+        assert abs(fix["lon"] - 2.35) < 0.01
+        assert abs(fix["lat"] - 48.85) < 0.01
+        assert fix["accuracy_m"] > 0
+
+    def test_wifi_sees_nearby_access_points(self, rig):
+        _, registry, phone = rig
+        phone.environment.move_to(0.0, 0.0)
+        registry.add_access_point("near-ap", [0.0, 0.0])
+        registry.add_access_point("far-ap", [2.0, 2.0])
+        assert phone.sensor("wifi").sample().raw == ["near-ap"]
+
+    def test_bluetooth_sees_collocated_devices(self, rig):
+        world, registry, phone = rig
+        network = Network(world)
+        other = Smartphone(world, network, registry, "nearby-user")
+        phone.environment.move_to(0.0, 0.0)
+        other.environment.move_to(0.0001, 0.0)
+        assert phone.sensor("bluetooth").sample().raw == ["bt-nearby-user"]
+
+    def test_samples_counted(self, rig):
+        _, _, phone = rig
+        sensor = phone.sensor("wifi")
+        sensor.sample()
+        sensor.sample()
+        assert sensor.samples_taken == 2

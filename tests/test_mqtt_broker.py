@@ -1,0 +1,218 @@
+"""Integration tests for the MQTT broker and client."""
+
+import pytest
+
+from repro.mqtt import MqttBroker, MqttClient, MqttProtocolError
+from repro.net import FixedLatency, Network
+from repro.simkit import World
+
+
+@pytest.fixture
+def stack():
+    world = World(seed=13)
+    network = Network(world, default_latency=FixedLatency(0.01))
+    broker = MqttBroker(world, network)
+    return world, network, broker
+
+
+def make_client(world, network, name, **kwargs):
+    return MqttClient(world, network, client_id=name,
+                      address=f"host/{name}", **kwargs)
+
+
+class TestPubSub:
+    def test_basic_publish_subscribe(self, stack):
+        world, network, broker = stack
+        publisher = make_client(world, network, "pub")
+        subscriber = make_client(world, network, "sub")
+        publisher.connect()
+        subscriber.connect()
+        world.run_for(0.1)
+        inbox = []
+        subscriber.subscribe("news/today", lambda t, p: inbox.append((t, p)))
+        world.run_for(0.1)
+        publisher.publish("news/today", "hello")
+        world.run_for(0.1)
+        assert inbox == [("news/today", "hello")]
+
+    def test_wildcard_subscription(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c")
+        client.connect()
+        world.run_for(0.1)
+        inbox = []
+        client.subscribe("news/#", lambda t, p: inbox.append(t))
+        world.run_for(0.1)
+        client.publish("news/sports/football", 1)
+        client.publish("weather/today", 2)
+        world.run_for(0.1)
+        assert inbox == ["news/sports/football"]
+
+    def test_multiple_subscribers_fan_out(self, stack):
+        world, network, broker = stack
+        publisher = make_client(world, network, "pub")
+        publisher.connect()
+        inboxes = {}
+        for name in ["s1", "s2", "s3"]:
+            client = make_client(world, network, name)
+            client.connect()
+            inboxes[name] = []
+            world.run_for(0.05)
+            client.subscribe("fan/out", lambda t, p, n=name: inboxes[n].append(p))
+        world.run_for(0.1)
+        publisher.publish("fan/out", 99)
+        world.run_for(0.1)
+        assert all(box == [99] for box in inboxes.values())
+
+    def test_unsubscribe_stops_delivery(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c")
+        client.connect()
+        world.run_for(0.1)
+        inbox = []
+        client.subscribe("x", lambda t, p: inbox.append(p))
+        world.run_for(0.1)
+        client.publish("x", 1)
+        world.run_for(0.1)
+        client.unsubscribe("x")
+        world.run_for(0.1)
+        client.publish("x", 2)
+        world.run_for(0.1)
+        assert inbox == [1]
+
+    def test_publish_requires_connection(self, stack):
+        world, network, _ = stack
+        client = make_client(world, network, "c")
+        with pytest.raises(MqttProtocolError):
+            client.publish("x", 1)
+
+    def test_subscribe_requires_connection(self, stack):
+        world, network, _ = stack
+        client = make_client(world, network, "c")
+        with pytest.raises(MqttProtocolError):
+            client.subscribe("x", lambda t, p: None)
+
+    def test_subscriber_count(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c")
+        client.connect()
+        world.run_for(0.1)
+        client.subscribe("a/b", lambda t, p: None)
+        world.run_for(0.1)
+        assert broker.subscriber_count("a/b") == 1
+        assert broker.subscriber_count("a/c") == 0
+
+
+class TestRetained:
+    def test_retained_message_delivered_to_late_subscriber(self, stack):
+        world, network, broker = stack
+        publisher = make_client(world, network, "pub")
+        publisher.connect()
+        world.run_for(0.1)
+        publisher.publish("config/device1", {"duty": 60}, retain=True)
+        world.run_for(0.1)
+        late = make_client(world, network, "late")
+        late.connect()
+        world.run_for(0.1)
+        inbox = []
+        late.subscribe("config/+", lambda t, p: inbox.append(p))
+        world.run_for(0.1)
+        assert inbox == [{"duty": 60}]
+
+    def test_retained_message_cleared_by_none_payload(self, stack):
+        world, network, broker = stack
+        publisher = make_client(world, network, "pub")
+        publisher.connect()
+        world.run_for(0.1)
+        publisher.publish("config/x", "v1", retain=True)
+        world.run_for(0.1)
+        publisher.publish("config/x", None, retain=True)
+        world.run_for(0.1)
+        assert broker.retained_topics() == []
+
+
+class TestQos1:
+    def test_qos1_survives_subscriber_partition(self, stack):
+        world, network, broker = stack
+        publisher = make_client(world, network, "pub")
+        subscriber = make_client(world, network, "sub")
+        publisher.connect()
+        subscriber.connect(clean_session=False)
+        world.run_for(0.1)
+        inbox = []
+        subscriber.subscribe("q/1", lambda t, p: inbox.append(p), qos=1)
+        world.run_for(0.1)
+        network.set_down("host/sub")
+        publisher.publish("q/1", "important", qos=1)
+        world.run_for(3.0)
+        assert inbox == []
+        network.set_down("host/sub", False)
+        world.run_for(30.0)
+        assert "important" in inbox
+
+    def test_qos1_publisher_ack_callback(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c")
+        client.connect()
+        world.run_for(0.1)
+        acked = []
+        client.publish("x", 1, qos=1, on_ack=lambda: acked.append(True))
+        world.run_for(0.5)
+        assert acked == [True]
+
+    def test_offline_queue_flushes_on_reconnect(self, stack):
+        world, network, broker = stack
+        publisher = make_client(world, network, "pub")
+        subscriber = make_client(world, network, "sub")
+        publisher.connect()
+        subscriber.connect(clean_session=False)
+        world.run_for(0.1)
+        inbox = []
+        subscriber.subscribe("q/2", lambda t, p: inbox.append(p), qos=1)
+        world.run_for(0.1)
+        subscriber.disconnect()
+        world.run_for(0.1)
+        # Clean disconnect: broker keeps the persistent session and
+        # queues while offline.
+        publisher.publish("q/2", "queued", qos=1)
+        world.run_for(0.5)
+        assert inbox == []
+        subscriber.connect(clean_session=False)
+        subscriber.subscribe("q/2", lambda t, p: inbox.append(p), qos=1)
+        world.run_for(1.0)
+        assert "queued" in inbox
+
+    def test_clean_session_forgets_subscriptions(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c")
+        client.connect(clean_session=True)
+        world.run_for(0.1)
+        client.subscribe("x", lambda t, p: None)
+        world.run_for(0.1)
+        client.disconnect()
+        world.run_for(0.1)
+        assert broker.session_count() == 0
+
+
+class TestKeepAliveAndWill:
+    def test_pings_flow_with_keepalive(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c", keepalive=10.0)
+        client.connect()
+        world.run_for(35.0)
+        # 3 pings sent; session still alive.
+        assert broker.connected_clients() == ["c"]
+
+    def test_will_not_sent_on_clean_disconnect(self, stack):
+        world, network, broker = stack
+        watcher = make_client(world, network, "w")
+        watcher.connect()
+        world.run_for(0.1)
+        inbox = []
+        watcher.subscribe("wills/#", lambda t, p: inbox.append(p))
+        client = make_client(world, network, "c")
+        client.connect(will_topic="wills/c", will_payload="died")
+        world.run_for(0.1)
+        client.disconnect()
+        world.run_for(1.0)
+        assert inbox == []

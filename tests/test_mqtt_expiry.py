@@ -1,0 +1,87 @@
+"""Tests for broker keep-alive expiry, wills on timeout, and session
+resumption."""
+
+import pytest
+
+from repro.mqtt import MqttBroker, MqttClient
+from repro.net import FixedLatency, Network
+from repro.simkit import World
+
+
+@pytest.fixture
+def stack():
+    world = World(seed=19)
+    network = Network(world, default_latency=FixedLatency(0.01))
+    broker = MqttBroker(world, network)
+    return world, network, broker
+
+
+def make_client(world, network, name, **kwargs):
+    return MqttClient(world, network, client_id=name,
+                      address=f"host/{name}", **kwargs)
+
+
+class TestKeepAliveExpiry:
+    def test_silent_session_expires(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c", keepalive=20.0)
+        client.connect(clean_session=False)
+        world.run_for(1.0)
+        # Cut the client off: its pings stop reaching the broker.
+        network.set_down("host/c")
+        world.run_for(120.0)
+        assert broker.sessions_expired == 1
+        assert broker.connected_clients() == []
+
+    def test_pinging_session_survives(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c", keepalive=20.0)
+        client.connect()
+        world.run_for(600.0)
+        assert broker.sessions_expired == 0
+        assert broker.connected_clients() == ["c"]
+
+    def test_will_fires_on_timeout_not_on_clean_disconnect(self, stack):
+        world, network, broker = stack
+        watcher = make_client(world, network, "w")
+        watcher.connect()
+        world.run_for(0.5)
+        wills = []
+        watcher.subscribe("wills/#", lambda topic, payload: wills.append(payload))
+        doomed = make_client(world, network, "doomed", keepalive=20.0)
+        doomed.connect(clean_session=False, will_topic="wills/doomed",
+                       will_payload="lost")
+        world.run_for(1.0)
+        network.set_down("host/doomed")
+        world.run_for(120.0)
+        assert wills == ["lost"]
+
+    def test_expired_persistent_session_queues_and_resumes(self, stack):
+        world, network, broker = stack
+        publisher = make_client(world, network, "pub")
+        subscriber = make_client(world, network, "sub", keepalive=20.0)
+        publisher.connect()
+        subscriber.connect(clean_session=False)
+        world.run_for(0.5)
+        inbox = []
+        subscriber.subscribe("q/x", lambda topic, payload: inbox.append(payload),
+                             qos=1)
+        world.run_for(0.5)
+        network.set_down("host/sub")
+        world.run_for(120.0)  # session expires
+        assert broker.connected_clients() == ["pub"]
+        publisher.publish("q/x", "while-you-were-out", qos=1)
+        world.run_for(5.0)
+        assert inbox == []
+        # Connectivity returns; the client's next ping resumes the
+        # session and the offline queue flushes.
+        network.set_down("host/sub", False)
+        world.run_for(60.0)
+        assert "while-you-were-out" in inbox
+
+    def test_zero_keepalive_never_expires(self, stack):
+        world, network, broker = stack
+        client = make_client(world, network, "c", keepalive=0.0)
+        client.connect()
+        world.run_for(600.0)
+        assert broker.connected_clients() == ["c"]

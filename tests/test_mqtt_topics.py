@@ -1,0 +1,68 @@
+"""Unit tests for MQTT topic validation and matching."""
+
+import pytest
+
+from repro.mqtt import MqttTopicError, topic_matches, validate_filter, validate_topic
+
+
+class TestTopicValidation:
+    def test_plain_topic_is_valid(self):
+        assert validate_topic("a/b/c") == ["a", "b", "c"]
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(MqttTopicError):
+            validate_topic("")
+
+    def test_wildcards_rejected_in_topic_names(self):
+        with pytest.raises(MqttTopicError):
+            validate_topic("a/+/c")
+        with pytest.raises(MqttTopicError):
+            validate_topic("a/#")
+
+    def test_nul_rejected(self):
+        with pytest.raises(MqttTopicError):
+            validate_topic("a\x00b")
+
+
+class TestFilterValidation:
+    def test_plus_must_fill_whole_level(self):
+        with pytest.raises(MqttTopicError):
+            validate_filter("a/b+/c")
+
+    def test_hash_must_be_last(self):
+        with pytest.raises(MqttTopicError):
+            validate_filter("a/#/c")
+
+    def test_hash_must_fill_whole_level(self):
+        with pytest.raises(MqttTopicError):
+            validate_filter("a/b#")
+
+    def test_valid_wildcards_accepted(self):
+        assert validate_filter("a/+/c") == ["a", "+", "c"]
+        assert validate_filter("a/#") == ["a", "#"]
+        assert validate_filter("#") == ["#"]
+
+
+class TestMatching:
+    @pytest.mark.parametrize("topic_filter,topic,expected", [
+        ("a/b/c", "a/b/c", True),
+        ("a/b/c", "a/b/d", False),
+        ("a/+/c", "a/b/c", True),
+        ("a/+/c", "a/x/c", True),
+        ("a/+/c", "a/b/c/d", False),
+        ("a/#", "a/b/c", True),
+        ("a/#", "a", True),          # '#' also matches the parent level
+        ("#", "anything/at/all", True),
+        ("+", "one", True),
+        ("+", "one/two", False),
+        ("a/b", "a", False),
+        ("a", "a/b", False),
+        ("sensocial/device/+/trigger", "sensocial/device/d1/trigger", True),
+        ("sensocial/device/+/trigger", "sensocial/device/d1/config", False),
+        ("a/+/+", "a/b/c", True),
+    ])
+    def test_matching_table(self, topic_filter, topic, expected):
+        assert topic_matches(topic_filter, topic) is expected
+
+    def test_empty_level_matches_plus(self):
+        assert topic_matches("a/+/b", "a//b")

@@ -1,0 +1,144 @@
+"""Unit tests for the social graph."""
+
+import pytest
+
+from repro.osn import SocialGraph, UnknownUserError
+from repro.simkit import World
+
+
+@pytest.fixture
+def graph():
+    g = SocialGraph()
+    for user in ["a", "b", "c", "d", "e"]:
+        g.add_user(user)
+    g.add_friendship("a", "b")
+    g.add_friendship("b", "c")
+    g.add_friendship("a", "c")
+    g.add_friendship("c", "d")
+    return g
+
+
+class TestFriendships:
+    def test_friendship_is_symmetric(self, graph):
+        assert graph.are_friends("a", "b")
+        assert graph.are_friends("b", "a")
+
+    def test_friends_sorted(self, graph):
+        assert graph.friends("a") == ["b", "c"]
+
+    def test_degree(self, graph):
+        assert graph.degree("c") == 3
+        assert graph.degree("e") == 0
+
+    def test_mutual_friends(self, graph):
+        assert graph.mutual_friends("a", "b") == ["c"]
+
+    def test_friendship_count(self, graph):
+        assert graph.friendship_count() == 4
+
+    def test_remove_friendship(self, graph):
+        graph.remove_friendship("a", "b")
+        assert not graph.are_friends("a", "b")
+        assert graph.friendship_count() == 3
+
+    def test_self_friendship_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_friendship("a", "a")
+
+    def test_unknown_user_rejected(self, graph):
+        with pytest.raises(UnknownUserError):
+            graph.friends("ghost")
+
+    def test_add_user_idempotent(self, graph):
+        graph.add_user("a")
+        assert graph.friends("a") == ["b", "c"]
+
+    def test_remove_user_cleans_edges(self, graph):
+        graph.remove_user("c")
+        assert graph.friends("a") == ["b"]
+        assert graph.friends("d") == []
+        assert not graph.has_user("c")
+
+    def test_friends_within_hops(self, graph):
+        assert set(graph.friends_within("a", 1)) == {"b", "c"}
+        assert set(graph.friends_within("a", 2)) == {"b", "c", "d"}
+        assert graph.friends_within("e", 3) == []
+
+
+class TestFollows:
+    def test_follow_is_directed(self, graph):
+        graph.add_follow("a", "b")
+        assert graph.follows("a", "b")
+        assert not graph.follows("b", "a")
+
+    def test_followers_and_following(self, graph):
+        graph.add_follow("a", "b")
+        graph.add_follow("c", "b")
+        assert graph.followers("b") == ["a", "c"]
+        assert graph.following("a") == ["b"]
+
+    def test_remove_follow(self, graph):
+        graph.add_follow("a", "b")
+        graph.remove_follow("a", "b")
+        assert not graph.follows("a", "b")
+
+    def test_self_follow_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_follow("a", "a")
+
+    def test_remove_user_cleans_follows(self, graph):
+        graph.add_follow("a", "b")
+        graph.add_follow("b", "e")
+        graph.remove_user("b")
+        assert graph.following("a") == []
+        assert graph.followers("e") == []
+
+
+class TestGenerators:
+    def ids(self, n):
+        return [f"u{i}" for i in range(n)]
+
+    def test_erdos_renyi_p_zero_is_empty(self):
+        rng = World(seed=1).rng("g")
+        graph = SocialGraph.erdos_renyi(self.ids(20), 0.0, rng)
+        assert graph.friendship_count() == 0
+
+    def test_erdos_renyi_p_one_is_complete(self):
+        rng = World(seed=1).rng("g")
+        graph = SocialGraph.erdos_renyi(self.ids(10), 1.0, rng)
+        assert graph.friendship_count() == 45
+
+    def test_erdos_renyi_density_tracks_p(self):
+        rng = World(seed=1).rng("g")
+        graph = SocialGraph.erdos_renyi(self.ids(40), 0.3, rng)
+        expected = 0.3 * 40 * 39 / 2
+        assert 0.5 * expected < graph.friendship_count() < 1.5 * expected
+
+    def test_watts_strogatz_ring_degree(self):
+        rng = World(seed=1).rng("g")
+        graph = SocialGraph.watts_strogatz(self.ids(20), 4, 0.0, rng)
+        assert all(graph.degree(user) == 4 for user in graph.users())
+
+    def test_watts_strogatz_rewiring_keeps_edge_count(self):
+        rng = World(seed=1).rng("g")
+        graph = SocialGraph.watts_strogatz(self.ids(30), 4, 0.5, rng)
+        # Rewired edges may occasionally collide with existing ones,
+        # but the count stays in the lattice's ballpark.
+        assert 45 <= graph.friendship_count() <= 60
+
+    def test_barabasi_albert_connectivity(self):
+        rng = World(seed=1).rng("g")
+        graph = SocialGraph.barabasi_albert(self.ids(50), 2, rng)
+        assert all(graph.degree(user) >= 2 for user in graph.users()[2:])
+
+    def test_barabasi_albert_has_hubs(self):
+        rng = World(seed=1).rng("g")
+        graph = SocialGraph.barabasi_albert(self.ids(100), 2, rng)
+        degrees = sorted(graph.degree(user) for user in graph.users())
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_generators_deterministic_under_seed(self):
+        graph_a = SocialGraph.erdos_renyi(self.ids(20), 0.2, World(seed=4).rng("g"))
+        graph_b = SocialGraph.erdos_renyi(self.ids(20), 0.2, World(seed=4).rng("g"))
+        assert ([graph_a.friends(u) for u in graph_a.users()]
+                == [graph_b.friends(u) for u in graph_b.users()])

@@ -1,0 +1,211 @@
+"""Unit tests for the OSN service, workload generator and sentiment."""
+
+import pytest
+
+from repro.net.latency import FixedLatency
+from repro.osn import (
+    ActionType,
+    ActionWorkloadGenerator,
+    ContentGenerator,
+    OsnService,
+    SentimentAnalyzer,
+    SentimentLabel,
+    UnknownUserError,
+)
+from repro.osn.actions import OsnAction
+from repro.simkit import World
+
+
+@pytest.fixture
+def service():
+    world = World(seed=17)
+    service = OsnService(world, "facebook")
+    for user in ["u1", "u2"]:
+        service.register_user(user)
+        service.authorize_app(user)
+    return world, service
+
+
+class TestActions:
+    def test_action_lands_in_feed(self, service):
+        world, osn = service
+        osn.perform_action("u1", "post", content="hello")
+        feed = osn.feed("u1")
+        assert len(feed) == 1
+        assert feed[0].content == "hello"
+
+    def test_action_timestamps_use_sim_clock(self, service):
+        world, osn = service
+        world.run_for(100.0)
+        action = osn.perform_action("u1", "like")
+        assert action.created_at == 100.0
+
+    def test_unknown_user_rejected(self, service):
+        _, osn = service
+        with pytest.raises(UnknownUserError):
+            osn.perform_action("ghost", "post")
+
+    def test_action_ids_unique(self, service):
+        _, osn = service
+        a = osn.perform_action("u1", "post")
+        b = osn.perform_action("u1", "post")
+        assert a.action_id != b.action_id
+
+    def test_action_document_round_trip(self, service):
+        _, osn = service
+        action = osn.perform_action("u1", "comment", content="nice",
+                                    target="post-9")
+        restored = OsnAction.from_document(action.to_document())
+        assert restored.user_id == "u1"
+        assert restored.type is ActionType.COMMENT
+        assert restored.target == "post-9"
+
+    def test_friend_add_action_updates_graph(self, service):
+        _, osn = service
+        osn.perform_action("u1", ActionType.FRIEND_ADD,
+                           payload={"friend_id": "u2"})
+        assert osn.graph.are_friends("u1", "u2")
+
+    def test_friend_remove_action_updates_graph(self, service):
+        _, osn = service
+        osn.graph.add_friendship("u1", "u2")
+        osn.perform_action("u1", ActionType.FRIEND_REMOVE,
+                           payload={"friend_id": "u2"})
+        assert not osn.graph.are_friends("u1", "u2")
+
+
+class TestWebhooks:
+    def test_webhook_fires_after_delay(self, service):
+        world, osn = service
+        received = []
+        osn.subscribe_webhook("app", received.append, delay=FixedLatency(10.0))
+        osn.perform_action("u1", "post")
+        world.run_for(9.0)
+        assert received == []
+        world.run_for(2.0)
+        assert len(received) == 1
+
+    def test_webhook_skips_unauthorized_users(self, service):
+        world, osn = service
+        osn.register_user("u3")  # never authorizes the app
+        received = []
+        osn.subscribe_webhook("app", received.append)
+        osn.perform_action("u3", "post")
+        world.run_for(1.0)
+        assert received == []
+
+    def test_webhook_user_scoping(self, service):
+        world, osn = service
+        received = []
+        osn.subscribe_webhook("app", received.append, user_ids=["u2"])
+        osn.perform_action("u1", "post")
+        osn.perform_action("u2", "post")
+        world.run_for(1.0)
+        assert [action.user_id for action in received] == ["u2"]
+
+
+class TestTimelinePolling:
+    def test_timeline_since_filters_by_time(self, service):
+        world, osn = service
+        osn.perform_action("u1", "post", content="old")
+        world.run_for(100.0)
+        osn.perform_action("u1", "post", content="new")
+        recent = osn.timeline_since("u1", since=50.0)
+        assert [action.content for action in recent] == ["new"]
+
+    def test_timeline_requires_authorization(self, service):
+        _, osn = service
+        osn.register_user("u3")
+        osn.perform_action("u3", "post")
+        assert osn.timeline_since("u3", -1.0) == []
+
+
+class TestWorkloadGenerator:
+    def test_poisson_rate_approximately_honoured(self):
+        world = World(seed=23)
+        osn = OsnService(world, "facebook")
+        osn.register_user("u1")
+        osn.authorize_app("u1")
+        generator = ActionWorkloadGenerator(world, osn, actions_per_hour=6.0)
+        generator.start_user("u1")
+        world.run_for(10 * 3600.0)
+        assert 30 <= osn.actions_performed <= 90  # ~60 expected
+
+    def test_stop_user_halts_generation(self):
+        world = World(seed=23)
+        osn = OsnService(world, "facebook")
+        osn.register_user("u1")
+        osn.authorize_app("u1")
+        generator = ActionWorkloadGenerator(world, osn, actions_per_hour=60.0)
+        generator.start_user("u1")
+        world.run_for(3600.0)
+        count = osn.actions_performed
+        generator.stop_user("u1")
+        world.run_for(3600.0)
+        assert osn.actions_performed == count
+
+    def test_burst_schedules_exact_count(self):
+        world = World(seed=23)
+        osn = OsnService(world, "facebook")
+        osn.register_user("u1")
+        osn.authorize_app("u1")
+        generator = ActionWorkloadGenerator(world, osn)
+        generator.burst("u1", count=5, interval=60.0)
+        world.run_for(400.0)
+        assert osn.actions_performed == 5
+
+    def test_invalid_rate_rejected(self):
+        world = World(seed=1)
+        osn = OsnService(world, "facebook")
+        with pytest.raises(ValueError):
+            ActionWorkloadGenerator(world, osn, actions_per_hour=0)
+
+
+class TestContentAndSentiment:
+    def test_generated_content_mentions_topic(self):
+        generator = ContentGenerator(World(seed=2).rng("c"))
+        text = generator.generate(topic="football")
+        assert "football" in text
+
+    def test_unknown_topic_rejected(self):
+        generator = ContentGenerator(World(seed=2).rng("c"))
+        with pytest.raises(ValueError):
+            generator.generate(topic="quantum")
+
+    def test_unknown_sentiment_rejected(self):
+        generator = ContentGenerator(World(seed=2).rng("c"))
+        with pytest.raises(ValueError):
+            generator.generate(sentiment="ambivalent")
+
+    def test_positive_phrases_classified_positive(self):
+        analyzer = SentimentAnalyzer()
+        generator = ContentGenerator(World(seed=2).rng("c"))
+        for _ in range(20):
+            text = generator.generate(sentiment="positive")
+            assert analyzer.label(text) is SentimentLabel.POSITIVE
+
+    def test_negative_phrases_classified_negative(self):
+        analyzer = SentimentAnalyzer()
+        generator = ContentGenerator(World(seed=2).rng("c"))
+        for _ in range(20):
+            text = generator.generate(sentiment="negative")
+            assert analyzer.label(text) is SentimentLabel.NEGATIVE
+
+    def test_neutral_text_classified_neutral(self):
+        analyzer = SentimentAnalyzer()
+        assert analyzer.label("heading to the office") is SentimentLabel.NEUTRAL
+
+    def test_negation_flips_polarity(self):
+        analyzer = SentimentAnalyzer()
+        assert analyzer.score("not happy at all") < 0
+
+    def test_score_bounds(self):
+        analyzer = SentimentAnalyzer()
+        assert -1.0 <= analyzer.score("amazing fantastic wonderful") <= 1.0
+
+    def test_empty_text_scores_zero(self):
+        assert SentimentAnalyzer().score("") == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SentimentAnalyzer(positive_threshold=-0.5, negative_threshold=0.5)

@@ -1,0 +1,136 @@
+"""Unit tests for the OSN plug-ins."""
+
+import pytest
+
+from repro.net.latency import FixedLatency
+from repro.osn import OsnService
+from repro.plugins import FacebookPlugin, TwitterPlugin
+from repro.simkit import World
+
+
+@pytest.fixture
+def facebook_rig():
+    world = World(seed=29)
+    service = OsnService(world, "facebook")
+    service.register_user("u1")
+    plugin = FacebookPlugin(world, service, notify_delay=FixedLatency(5.0))
+    plugin.register_user("u1")
+    captured = []
+    plugin.add_listener(captured.append)
+    return world, service, plugin, captured
+
+
+@pytest.fixture
+def twitter_rig():
+    world = World(seed=29)
+    service = OsnService(world, "twitter")
+    service.register_user("u1")
+    plugin = TwitterPlugin(world, service, poll_period_s=10.0)
+    plugin.register_user("u1")
+    captured = []
+    plugin.add_listener(captured.append)
+    return world, service, plugin, captured
+
+
+class TestFacebookPlugin:
+    def test_actions_forwarded_after_notify_delay(self, facebook_rig):
+        world, service, plugin, captured = facebook_rig
+        plugin.start()
+        service.perform_action("u1", "post", content="x")
+        world.run_for(4.0)
+        assert captured == []
+        world.run_for(2.0)
+        assert len(captured) == 1
+        assert plugin.actions_captured == 1
+
+    def test_stopped_plugin_forwards_nothing(self, facebook_rig):
+        world, service, plugin, captured = facebook_rig
+        plugin.start()
+        plugin.stop()
+        service.perform_action("u1", "post")
+        world.run_for(10.0)
+        assert captured == []
+
+    def test_unregistered_user_ignored(self, facebook_rig):
+        world, service, plugin, captured = facebook_rig
+        plugin.start()
+        service.register_user("u2")
+        service.authorize_app("u2")
+        service.perform_action("u2", "post")
+        world.run_for(10.0)
+        assert captured == []
+
+    def test_register_user_authorizes_platform(self, facebook_rig):
+        _, service, plugin, _ = facebook_rig
+        assert service.is_authorized("u1")
+        assert plugin.registered_users() == ["u1"]
+
+    def test_start_is_idempotent(self, facebook_rig):
+        world, service, plugin, captured = facebook_rig
+        plugin.start()
+        plugin.start()
+        service.perform_action("u1", "post")
+        world.run_for(10.0)
+        assert len(captured) == 1  # single webhook, not two
+
+    def test_default_delay_matches_table3_regime(self):
+        world = World(seed=30)
+        service = OsnService(world, "facebook")
+        service.register_user("u1")
+        plugin = FacebookPlugin(world, service)
+        plugin.register_user("u1")
+        latencies = []
+        plugin.add_listener(
+            lambda action: latencies.append(world.now - action.created_at))
+        plugin.start()
+        for _ in range(20):
+            service.perform_action("u1", "post")
+            world.run_for(120.0)
+        mean = sum(latencies) / len(latencies)
+        assert 40.0 < mean < 52.0
+
+
+class TestTwitterPlugin:
+    def test_polling_captures_within_period(self, twitter_rig):
+        world, service, plugin, captured = twitter_rig
+        capture_times = []
+        plugin.add_listener(lambda action: capture_times.append(world.now))
+        plugin.start()
+        service.perform_action("u1", "tweet", content="t")
+        world.run_for(11.0)
+        assert len(captured) == 1
+        # "Arbitrarily short delay" — bounded by the poll period.
+        assert capture_times[0] - captured[0].created_at <= 10.0 + 1e-9
+
+    def test_no_duplicate_captures_across_polls(self, twitter_rig):
+        world, service, plugin, captured = twitter_rig
+        plugin.start()
+        service.perform_action("u1", "tweet")
+        world.run_for(60.0)
+        assert len(captured) == 1
+
+    def test_stop_cancels_polling(self, twitter_rig):
+        world, service, plugin, captured = twitter_rig
+        plugin.start()
+        world.run_for(25.0)
+        polls = plugin.polls_performed
+        plugin.stop()
+        world.run_for(60.0)
+        assert plugin.polls_performed == polls
+        service.perform_action("u1", "tweet")
+        world.run_for(60.0)
+        assert captured == []
+
+    def test_invalid_poll_period_rejected(self):
+        world = World(seed=1)
+        service = OsnService(world, "twitter")
+        with pytest.raises(ValueError):
+            TwitterPlugin(world, service, poll_period_s=0)
+
+    def test_polls_counted_per_user(self, twitter_rig):
+        world, service, plugin, _ = twitter_rig
+        service.register_user("u2")
+        plugin.register_user("u2")
+        plugin.start()
+        world.run_for(30.0)
+        assert plugin.polls_performed == 6  # 3 polls x 2 users

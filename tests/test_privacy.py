@@ -1,0 +1,89 @@
+"""Unit tests for the Privacy Policy Manager."""
+
+import pytest
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    Operator,
+    StreamConfig,
+)
+from repro.core.mobile import (
+    PrivacyPolicy,
+    PrivacyPolicyDescriptor,
+    PrivacyPolicyManager,
+)
+
+
+def config_for(modality=ModalityType.LOCATION, granularity=Granularity.RAW,
+               conditions=()):
+    return StreamConfig(stream_id="s", device_id="d", modality=modality,
+                        granularity=granularity, filter=Filter(conditions))
+
+
+class TestDescriptor:
+    def test_default_allows_everything(self):
+        descriptor = PrivacyPolicyDescriptor()
+        assert descriptor.violation(config_for()) is None
+
+    def test_raw_denied_classified_allowed(self):
+        descriptor = PrivacyPolicyDescriptor()
+        descriptor.set_policy(PrivacyPolicy(ModalityType.LOCATION,
+                                            allow_raw=False))
+        assert descriptor.violation(config_for()) is not None
+        assert descriptor.violation(
+            config_for(granularity=Granularity.CLASSIFIED)) is None
+
+    def test_modality_fully_denied(self):
+        descriptor = PrivacyPolicyDescriptor()
+        descriptor.set_policy(PrivacyPolicy(
+            ModalityType.MICROPHONE, allow_raw=False, allow_classified=False))
+        violation = descriptor.violation(
+            config_for(modality=ModalityType.MICROPHONE,
+                       granularity=Granularity.CLASSIFIED))
+        assert "not allowed" in violation
+
+    def test_filter_conditions_screened_too(self):
+        descriptor = PrivacyPolicyDescriptor()
+        descriptor.set_policy(PrivacyPolicy(
+            ModalityType.ACCELEROMETER, allow_raw=False,
+            allow_classified=False))
+        config = config_for(conditions=[Condition(
+            ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS, "walking")])
+        violation = descriptor.violation(config)
+        assert "physical_activity" in violation
+
+    def test_cross_user_conditions_not_screened_on_mobile(self):
+        descriptor = PrivacyPolicyDescriptor()
+        descriptor.set_policy(PrivacyPolicy(
+            ModalityType.ACCELEROMETER, allow_raw=False,
+            allow_classified=False))
+        config = config_for(conditions=[Condition(
+            ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS, "walking",
+            user_id="someone-else")])
+        assert descriptor.violation(config) is None
+
+    def test_remove_policy_restores_allowance(self):
+        descriptor = PrivacyPolicyDescriptor()
+        descriptor.set_policy(PrivacyPolicy(ModalityType.LOCATION,
+                                            allow_raw=False))
+        descriptor.remove_policy(ModalityType.LOCATION)
+        assert descriptor.violation(config_for()) is None
+
+
+class TestManager:
+    def test_screen_counts(self):
+        manager = PrivacyPolicyManager()
+        manager.screen(config_for())
+        manager.screen(config_for())
+        assert manager.screens_performed == 2
+
+    def test_policy_change_fires_hooks(self):
+        manager = PrivacyPolicyManager()
+        fired = []
+        manager.on_policy_change(lambda: fired.append(True))
+        manager.set_policy(PrivacyPolicy(ModalityType.WIFI, allow_raw=False))
+        manager.remove_policy(ModalityType.WIFI)
+        assert fired == [True, True]

@@ -1,0 +1,96 @@
+"""Property-based tests of broker routing correctness."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    Operator,
+    StreamConfig,
+)
+from repro.mqtt import MqttBroker, MqttClient
+from repro.net import FixedLatency, Network
+from repro.simkit import World
+
+client_names = st.lists(
+    st.text(string.ascii_lowercase, min_size=1, max_size=6),
+    min_size=1, max_size=8, unique=True)
+
+
+class TestBrokerRoutingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(client_names)
+    def test_private_topics_never_leak(self, names):
+        """N clients each subscribed to their own topic: every client
+        receives exactly its own messages, never a neighbour's."""
+        world = World(seed=3)
+        network = Network(world, default_latency=FixedLatency(0.001))
+        MqttBroker(world, network)
+        inboxes = {}
+        clients = {}
+        for name in names:
+            client = MqttClient(world, network, client_id=name,
+                                address=f"host/{name}")
+            client.connect()
+            clients[name] = client
+            inboxes[name] = []
+        world.run_for(0.1)
+        for name, client in clients.items():
+            client.subscribe(f"private/{name}",
+                             lambda topic, payload, n=name:
+                             inboxes[n].append(payload))
+        world.run_for(0.1)
+        for name, client in clients.items():
+            client.publish(f"private/{name}", f"for-{name}")
+        world.run_for(0.5)
+        for name in names:
+            assert inboxes[name] == [f"for-{name}"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(client_names, st.integers(min_value=1, max_value=5))
+    def test_shared_topic_fans_out_to_everyone(self, names, message_count):
+        world = World(seed=4)
+        network = Network(world, default_latency=FixedLatency(0.001))
+        MqttBroker(world, network)
+        inboxes = {name: [] for name in names}
+        for name in names:
+            client = MqttClient(world, network, client_id=name,
+                                address=f"host/{name}")
+            client.connect()
+            world.run_for(0.05)
+            client.subscribe("shared/topic",
+                             lambda topic, payload, n=name:
+                             inboxes[n].append(payload))
+        publisher = MqttClient(world, network, client_id="publisher",
+                               address="host/publisher")
+        publisher.connect()
+        world.run_for(0.1)
+        for index in range(message_count):
+            publisher.publish("shared/topic", index)
+        world.run_for(0.5)
+        for name in names:
+            assert inboxes[name] == list(range(message_count))
+
+
+unicode_values = st.text(min_size=0, max_size=20).filter(
+    lambda text: "\x00" not in text)
+
+
+class TestXmlRoundTripUnicode:
+    @settings(max_examples=50)
+    @given(unicode_values)
+    def test_condition_values_survive_xml(self, value):
+        """Filter condition values — including unicode post content in
+        CONTAINS conditions — survive the config XML round trip."""
+        config = StreamConfig(
+            stream_id="s", device_id="d",
+            modality=ModalityType.MICROPHONE,
+            granularity=Granularity.CLASSIFIED,
+            filter=Filter([Condition(ModalityType.FACEBOOK_ACTIVITY,
+                                     Operator.CONTAINS, value)]))
+        restored = StreamConfig.from_xml(config.to_xml())
+        assert restored.filter.conditions[0].value == value

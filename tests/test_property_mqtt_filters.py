@@ -1,0 +1,125 @@
+"""Property-based tests for MQTT topic matching, filters and geo math."""
+
+import string
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.common import Condition, Filter, ModalityType, Operator
+from repro.core.common.stream_config import (
+    Granularity,
+    StreamConfig,
+    StreamMode,
+)
+from repro.docstore.geo import haversine_km
+from repro.mqtt import topic_matches
+
+level = st.text(string.ascii_lowercase + string.digits, min_size=1, max_size=5)
+topics = st.lists(level, min_size=1, max_size=5).map("/".join)
+
+
+class TestTopicProperties:
+    @given(topics)
+    def test_topic_matches_itself(self, topic):
+        assert topic_matches(topic, topic)
+
+    @given(topics)
+    def test_hash_matches_everything(self, topic):
+        assert topic_matches("#", topic)
+
+    @given(topics)
+    def test_single_plus_per_level_matches(self, topic):
+        levels = topic.split("/")
+        wildcard = "/".join("+" for _ in levels)
+        assert topic_matches(wildcard, topic)
+
+    @given(topics, topics)
+    def test_exact_filter_matches_only_equal_topic(self, topic_filter, topic):
+        assume(topic_filter != topic)
+        assert not topic_matches(topic_filter, topic)
+
+    @given(topics, st.integers(min_value=0, max_value=4))
+    def test_replacing_one_level_with_plus_still_matches(self, topic, index):
+        levels = topic.split("/")
+        assume(index < len(levels))
+        levels[index] = "+"
+        assert topic_matches("/".join(levels), topic)
+
+
+coordinates = st.tuples(
+    st.floats(min_value=-179.0, max_value=179.0),
+    st.floats(min_value=-89.0, max_value=89.0),
+)
+
+
+class TestGeoProperties:
+    @given(coordinates)
+    def test_distance_to_self_is_zero(self, point):
+        assert haversine_km(point, point) < 1e-6
+
+    @given(coordinates, coordinates)
+    def test_distance_is_symmetric(self, a, b):
+        assert haversine_km(a, b) == haversine_km(b, a)
+
+    @given(coordinates, coordinates)
+    def test_distance_non_negative_and_bounded(self, a, b):
+        distance = haversine_km(a, b)
+        assert 0.0 <= distance <= 20_100  # half the Earth's circumference
+
+    @given(coordinates, coordinates, coordinates)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= \
+            haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+
+conditions = st.builds(
+    Condition,
+    modality=st.sampled_from([ModalityType.PHYSICAL_ACTIVITY,
+                              ModalityType.PLACE,
+                              ModalityType.FACEBOOK_ACTIVITY,
+                              ModalityType.AUDIO_ENVIRONMENT]),
+    operator=st.sampled_from([Operator.EQUALS, Operator.NOT_EQUALS,
+                              Operator.CONTAINS]),
+    value=st.text(string.ascii_lowercase, min_size=1, max_size=8),
+    user_id=st.one_of(st.none(), st.text(string.ascii_lowercase,
+                                         min_size=1, max_size=4)),
+)
+
+
+class TestFilterProperties:
+    @given(st.lists(conditions, max_size=6))
+    def test_local_and_server_partition_conditions(self, condition_list):
+        stream_filter = Filter(condition_list)
+        local = stream_filter.local_conditions()
+        server = stream_filter.server_conditions()
+        assert len(local) + len(server) == len(stream_filter)
+        assert all(not condition.is_cross_user for condition in local)
+        assert all(condition.is_cross_user for condition in server)
+
+    @given(st.lists(conditions, max_size=5), st.lists(conditions, max_size=5))
+    def test_merge_is_idempotent_and_deduplicating(self, list_a, list_b):
+        a, b = Filter(list_a), Filter(list_b)
+        merged = a.merged_with(b)
+        assert merged.merged_with(b).conditions == merged.conditions
+        assert len(set(merged.conditions)) == len(merged.conditions)
+
+    @given(st.lists(conditions, max_size=5))
+    def test_filter_dict_round_trip(self, condition_list):
+        original = Filter(condition_list)
+        assert Filter.from_dict(original.to_dict()).conditions == \
+            original.conditions
+
+    @given(st.lists(conditions, max_size=4),
+           st.sampled_from([ModalityType.ACCELEROMETER,
+                            ModalityType.MICROPHONE, ModalityType.WIFI]),
+           st.sampled_from([Granularity.RAW, Granularity.CLASSIFIED]),
+           st.sampled_from([StreamMode.CONTINUOUS, StreamMode.SOCIAL_EVENT]),
+           st.booleans())
+    def test_stream_config_xml_round_trip(self, condition_list, modality,
+                                          granularity, mode, to_server):
+        config = StreamConfig(
+            stream_id="sid", device_id="did", modality=modality,
+            granularity=granularity, mode=mode,
+            filter=Filter(condition_list),
+            settings={"duty_cycle_s": 42.0},
+            send_to_server=to_server)
+        assert StreamConfig.from_xml(config.to_xml()) == config

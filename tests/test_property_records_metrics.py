@@ -1,0 +1,106 @@
+"""Property-based tests: record serialisation, latency statistics,
+moving averages and energy-ledger invariants."""
+
+import statistics
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import moving_average
+from repro.core.common import Granularity, ModalityType, StreamRecord
+from repro.device.battery import Battery, EnergyCategory
+from repro.metrics import LatencyStats
+
+identifiers = st.text(string.ascii_lowercase + string.digits,
+                      min_size=1, max_size=10)
+json_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=5),
+    st.dictionaries(identifiers, st.integers(min_value=0, max_value=9),
+                    max_size=4),
+)
+
+
+class TestRecordProperties:
+    @given(identifiers, identifiers, identifiers,
+           st.sampled_from(list(ModalityType)[:5]),
+           st.sampled_from(list(Granularity)),
+           st.floats(min_value=0, max_value=1e6, allow_nan=False),
+           json_values)
+    def test_record_round_trip(self, stream_id, user_id, device_id,
+                               modality, granularity, timestamp, value):
+        record = StreamRecord(
+            stream_id=stream_id, user_id=user_id, device_id=device_id,
+            modality=modality, granularity=granularity,
+            timestamp=timestamp, value=value)
+        restored = StreamRecord.from_dict(record.to_dict())
+        assert restored.stream_id == stream_id
+        assert restored.modality is modality
+        assert restored.granularity is granularity
+        assert restored.value == value
+        assert restored.osn_action is None
+
+
+class TestLatencyStatsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                    min_size=2, max_size=50))
+    def test_matches_statistics_module(self, values):
+        stats = LatencyStats.of(values)
+        assert stats.mean == (
+            sum(values) / len(values))
+        assert abs(stats.std - statistics.pstdev(values)) < 1e-6
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                    min_size=1, max_size=50))
+    def test_bounds_ordering(self, values):
+        stats = LatencyStats.of(values)
+        epsilon = 1e-9 * max(1.0, stats.maximum)  # summation rounding
+        assert stats.minimum - epsilon <= stats.mean <= stats.maximum + epsilon
+
+
+class TestMovingAverageProperties:
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=10))
+    def test_same_length_and_bounded(self, values, window):
+        averaged = moving_average(values, window)
+        assert len(averaged) == len(values)
+        low, high = min(values), max(values)
+        assert all(low - 1e-9 <= item <= high + 1e-9 for item in averaged)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False),
+           st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=10))
+    def test_constant_series_unchanged(self, value, length, window):
+        values = [value] * length
+        averaged = moving_average(values, window)
+        assert all(abs(item - value) < 1e-9 for item in averaged)
+
+
+class TestBatteryLedgerProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.sampled_from(["gps", "radio", "mic"]),
+        st.sampled_from(list(EnergyCategory))), max_size=40))
+    def test_ledger_sums_to_total(self, drains):
+        battery = Battery(capacity_mah=10_000)
+        for amount, component, category in drains:
+            battery.drain(amount, component, category)
+        ledger_total = sum(battery.breakdown().values())
+        assert abs(ledger_total - battery.consumed_mah) < 1e-9
+        by_component = sum(battery.consumed_by(component=name)
+                           for name in ["gps", "radio", "mic"])
+        assert abs(by_component - battery.consumed_mah) < 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), max_size=30))
+    def test_remaining_never_negative(self, drains):
+        battery = Battery(capacity_mah=50)
+        for amount in drains:
+            battery.drain(amount, "x", EnergyCategory.IDLE)
+        assert battery.remaining_mah >= 0.0
+        assert 0.0 <= battery.level <= 1.0

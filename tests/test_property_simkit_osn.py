@@ -1,0 +1,107 @@
+"""Property-based tests for the scheduler, sentiment and topics."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.osn import SentimentAnalyzer, TopicClassifier
+from repro.simkit import Scheduler
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1000.0),
+                  min_size=1, max_size=40)
+
+
+class TestSchedulerProperties:
+    @given(delays)
+    def test_events_fire_in_nondecreasing_time_order(self, delay_list):
+        scheduler = Scheduler()
+        fired = []
+        for delay in delay_list:
+            scheduler.schedule(delay, lambda: fired.append(scheduler.now))
+        scheduler.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delay_list)
+
+    @given(delays)
+    def test_run_until_never_overshoots(self, delay_list):
+        scheduler = Scheduler()
+        observed = []
+        for delay in delay_list:
+            scheduler.schedule(delay, lambda: observed.append(scheduler.now))
+        horizon = 500.0
+        scheduler.run_until(horizon)
+        assert all(time <= horizon for time in observed)
+        assert scheduler.now == horizon
+
+    @given(st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=1.0, max_value=500.0))
+    def test_periodic_fire_count_matches_interval(self, interval, horizon):
+        scheduler = Scheduler()
+        task = scheduler.every(interval, lambda: None, delay=interval)
+        scheduler.run_until(horizon)
+        expected = int(horizon / interval)
+        assert abs(task.fire_count - expected) <= 1
+
+    @given(delays, st.integers(min_value=0, max_value=39))
+    def test_cancelled_events_never_fire(self, delay_list, cancel_index):
+        scheduler = Scheduler()
+        fired = []
+        handles = [scheduler.schedule(delay, fired.append, index)
+                   for index, delay in enumerate(delay_list)]
+        cancel_index = cancel_index % len(handles)
+        handles[cancel_index].cancel()
+        scheduler.run()
+        assert cancel_index not in fired
+        assert len(fired) == len(delay_list) - 1
+
+
+words = st.text(string.ascii_lowercase + " ", min_size=0, max_size=60)
+
+
+class TestSentimentProperties:
+    @given(words)
+    def test_score_always_bounded(self, text):
+        score = SentimentAnalyzer().score(text)
+        assert -1.0 <= score <= 1.0
+
+    @given(words)
+    def test_label_consistent_with_score(self, text):
+        analyzer = SentimentAnalyzer()
+        score = analyzer.score(text)
+        label = analyzer.label(text).value
+        if score > 0.1:
+            assert label == "positive"
+        elif score < -0.1:
+            assert label == "negative"
+        else:
+            assert label == "neutral"
+
+    @given(words, words)
+    def test_concatenation_of_equal_texts_keeps_score(self, a, b):
+        analyzer = SentimentAnalyzer()
+        doubled = analyzer.score(f"{a} {a}")
+        single = analyzer.score(a)
+        # Averaging over hits: duplicating the text never changes the
+        # average valence.
+        assert abs(doubled - single) < 1e-9
+
+
+class TestTopicProperties:
+    @settings(max_examples=50)
+    @given(words)
+    def test_scores_sorted_and_positive(self, text):
+        scores = TopicClassifier().scores(text)
+        values = [item.score for item in scores]
+        assert values == sorted(values, reverse=True)
+        assert all(value > 0 for value in values)
+
+    @settings(max_examples=50)
+    @given(words)
+    def test_classify_agrees_with_best_score(self, text):
+        classifier = TopicClassifier()
+        scores = classifier.scores(text)
+        best = classifier.classify(text)
+        if scores:
+            assert best == scores[0].topic
+        else:
+            assert best is None

@@ -1,0 +1,93 @@
+"""Remaining-surface tests: small APIs not covered elsewhere."""
+
+import pytest
+
+from repro.mqtt import MqttBroker, MqttClient
+from repro.net import FixedLatency, Network
+from repro.scenarios.paris import FIGURE2_FRIENDSHIPS, FIGURE2_USERS
+from repro.simkit import World
+
+
+class TestMqttClientSurface:
+    @pytest.fixture
+    def stack(self):
+        world = World(seed=61)
+        network = Network(world, default_latency=FixedLatency(0.01))
+        MqttBroker(world, network)
+        client = MqttClient(world, network, client_id="c", address="host/c")
+        client.connect()
+        world.run_for(0.1)
+        return world, client
+
+    def test_subscription_filters_listed(self, stack):
+        world, client = stack
+        client.subscribe("a/b", lambda topic, payload: None)
+        client.subscribe("x/#", lambda topic, payload: None)
+        assert client.subscription_filters() == ["a/b", "x/#"]
+        client.unsubscribe("a/b")
+        assert client.subscription_filters() == ["x/#"]
+
+    def test_multiple_callbacks_per_filter(self, stack):
+        world, client = stack
+        first, second = [], []
+        client.subscribe("t", lambda topic, payload: first.append(payload))
+        client.subscribe("t", lambda topic, payload: second.append(payload))
+        world.run_for(0.1)
+        client.publish("t", 1)
+        world.run_for(0.1)
+        assert first == [1]
+        assert second == [1]
+
+    def test_publish_counters(self, stack):
+        world, client = stack
+        client.subscribe("t", lambda topic, payload: None)
+        world.run_for(0.1)
+        client.publish("t", 1)
+        client.publish("t", 2)
+        world.run_for(0.2)
+        assert client.publishes_sent == 2
+        assert client.publishes_received == 2
+
+    def test_disconnect_is_idempotent(self, stack):
+        _, client = stack
+        client.disconnect()
+        client.disconnect()
+        assert not client.connected
+
+
+class TestServerManagerSurface:
+    def test_plugins_listed(self, testbed):
+        assert len(testbed.server.plugins()) == 2
+        platforms = {plugin.platform for plugin in testbed.server.plugins()}
+        assert platforms == {"facebook", "twitter"}
+
+    def test_create_stream_for_unknown_user_rejected(self, testbed):
+        from repro.core.common import Granularity, ModalityType
+        from repro.core.common.errors import MiddlewareError
+        with pytest.raises(MiddlewareError):
+            testbed.server.create_stream("ghost", ModalityType.WIFI,
+                                         Granularity.RAW)
+
+
+class TestPhoneSendSize:
+    def test_explicit_size_controls_radio_bytes(self, world, network,
+                                                env_registry):
+        from repro.device.phone import Smartphone
+        a = Smartphone(world, network, env_registry, "sender")
+        b = Smartphone(world, network, env_registry, "receiver")
+        a.send(b.address, "x", {"tiny": 1}, size=5000)
+        assert a.radio.bytes_tx == 5000
+
+
+class TestParisConstants:
+    def test_figure2_population(self):
+        assert FIGURE2_USERS == {"A": "Paris", "B": "Paris", "C": "Bordeaux",
+                                 "D": "Bordeaux", "E": "Bordeaux"}
+        assert FIGURE2_FRIENDSHIPS == [("A", "C"), ("A", "D")]
+
+    def test_scenario_builder_wires_friendships(self):
+        from repro.scenarios import build_paris_scenario
+        testbed = build_paris_scenario(seed=1)
+        assert testbed.server.database.friends_of("A") == ["C", "D"]
+        assert testbed.facebook.graph.are_friends("A", "C")
+        assert not testbed.facebook.graph.are_friends("B", "E")

@@ -1,0 +1,98 @@
+"""Scale smoke tests: the middleware under tens of devices.
+
+Not micro-benchmarks — these assert the system stays correct (no lost
+registrations, consistent multicast membership, coupled records per
+action) when the deployment grows beyond toy size.
+"""
+
+import pytest
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+)
+from repro.core.server import MulticastQuery
+from repro.osn.graph import SocialGraph
+from repro.scenarios.testbed import SenSocialTestbed
+
+USERS = 40
+CITIES = ["Paris", "Bordeaux", "London", "Lyon"]
+
+
+@pytest.fixture(scope="module")
+def big_testbed():
+    testbed = SenSocialTestbed(seed=99, location_update_period_s=120.0)
+    user_ids = [f"u{i:02d}" for i in range(USERS)]
+    for index, user_id in enumerate(user_ids):
+        testbed.add_user(user_id, home_city=CITIES[index % len(CITIES)])
+    graph = SocialGraph.barabasi_albert(user_ids, 2,
+                                        testbed.world.rng("scale-graph"))
+    for user_id in user_ids:
+        for friend in graph.friends(user_id):
+            if user_id < friend:
+                testbed.befriend(user_id, friend)
+    testbed.run(300.0)  # location updates flow
+    return testbed, user_ids, graph
+
+
+class TestScale:
+    def test_every_device_registered(self, big_testbed):
+        testbed, user_ids, _ = big_testbed
+        assert testbed.server.registered_users() == sorted(user_ids)
+
+    def test_server_mirror_of_graph_is_consistent(self, big_testbed):
+        testbed, user_ids, graph = big_testbed
+        for user_id in user_ids:
+            assert testbed.server.database.friends_of(user_id) == \
+                graph.friends(user_id)
+
+    def test_city_multicasts_partition_population(self, big_testbed):
+        testbed, user_ids, _ = big_testbed
+        memberships = []
+        for city in CITIES:
+            multicast = testbed.server.create_multicast_stream(
+                ModalityType.WIFI, Granularity.RAW,
+                MulticastQuery(place=city), name=f"scale-{city}")
+            memberships.extend(multicast.members())
+            multicast.destroy()
+        # Every user lives in exactly one city's multicast.
+        assert sorted(memberships) == sorted(user_ids)
+
+    def test_burst_of_actions_across_users_all_coupled(self, big_testbed):
+        testbed, user_ids, _ = big_testbed
+        posters = user_ids[:10]
+        streams = {}
+        for user_id in posters:
+            node = testbed.node(user_id)
+            streams[user_id] = node.manager.create_stream(
+                ModalityType.ACCELEROMETER, Granularity.CLASSIFIED,
+                stream_filter=Filter([Condition(
+                    ModalityType.FACEBOOK_ACTIVITY, Operator.EQUALS,
+                    ModalityValue.ACTIVE)]),
+                send_to_server=True)
+        received = []
+        testbed.server.register_listener(
+            lambda record: received.append(record)
+            if record.osn_action is not None else None)
+        for user_id in posters:
+            testbed.facebook.perform_action(user_id, "post",
+                                            content=f"from {user_id}")
+        testbed.run(240.0)
+        coupled_users = {record.user_id for record in received}
+        assert coupled_users == set(posters)
+        # Each record carries its own user's action, never a neighbour's.
+        for record in received:
+            assert record.osn_action["user_id"] == record.user_id
+        for stream in streams.values():
+            stream.destroy()
+
+    def test_broker_sessions_match_population(self, big_testbed):
+        testbed, user_ids, _ = big_testbed
+        connected = testbed.broker.connected_clients()
+        device_sessions = [client for client in connected
+                           if client.startswith("sensocial-d")]
+        assert len(device_sessions) == USERS

@@ -1,0 +1,268 @@
+"""Tests for the server middleware half: storage, cross-user filters,
+aggregators, multicast streams and trigger routing."""
+
+import pytest
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+)
+from repro.core.common.errors import MiddlewareError
+from repro.core.server import MulticastQuery, ServerDatabase
+from repro.device import ActivityState
+from repro.osn.actions import ActionType, OsnAction
+
+
+class TestServerDatabase:
+    @pytest.fixture
+    def db(self):
+        db = ServerDatabase()
+        for index, user in enumerate(["a", "b", "c"]):
+            db.register_device(user, f"d{index}", ["wifi"])
+        return db
+
+    def test_registration_round_trip(self, db):
+        assert db.device_of("a") == "d0"
+        assert db.user_ids() == ["a", "b", "c"]
+        assert db.is_registered("a")
+        assert not db.is_registered("ghost")
+
+    def test_reregistration_updates_device(self, db):
+        db.register_device("a", "d9", ["gps"])
+        assert db.device_of("a") == "d9"
+        assert db.users.count() == 3
+
+    def test_friend_management(self, db):
+        db.add_friend("a", "b")
+        assert db.friends_of("a") == ["b"]
+        assert db.friends_of("b") == ["a"]
+        db.remove_friend("a", "b")
+        assert db.friends_of("a") == []
+
+    def test_location_queries(self, db):
+        db.update_location("a", 2.35, 48.85, "Paris", 10.0)
+        db.update_location("b", 2.36, 48.86, "Paris", 11.0)
+        db.update_location("c", -0.58, 44.84, "Bordeaux", 12.0)
+        assert db.users_in_place("Paris") == ["a", "b"]
+        assert db.users_near([2.35, 48.85], 10.0) == ["a", "b"]
+        assert db.users_near([-0.58, 44.84], 5.0) == ["c"]
+
+    def test_action_history(self, db):
+        action = OsnAction(user_id="a", type=ActionType.POST, created_at=5.0)
+        db.store_action(action)
+        assert len(db.actions_of("a")) == 1
+
+
+class TestCrossUserFiltering:
+    def test_stream_conditioned_on_other_users_activity(self, testbed):
+        """§3.2: report a user's data only while another user walks."""
+        alice = testbed.add_user("alice", "Paris")
+        bob = testbed.add_user("bob", "Paris")
+        alice.mobility.stop()
+        bob.mobility.stop()
+        bob.phone.environment.activity = ActivityState.STILL
+
+        # Bob's activity must be observed server-side: a classified
+        # accelerometer stream from bob feeds the server context.
+        testbed.server.create_stream("bob", ModalityType.ACCELEROMETER,
+                                     Granularity.CLASSIFIED)
+        stream = testbed.server.create_stream(
+            "alice", ModalityType.WIFI, Granularity.RAW,
+            stream_filter=Filter([Condition(
+                ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS,
+                ModalityValue.WALKING, user_id="bob")]))
+        records = []
+        stream.add_listener(records.append)
+        testbed.run(300.0)
+        assert records == []
+        assert stream.records_suppressed > 0
+        bob.phone.environment.activity = ActivityState.WALKING
+        testbed.run(300.0)
+        assert len(records) > 0
+
+    def test_cross_user_osn_condition(self, testbed):
+        """Report alice's context when bob acts on Facebook."""
+        alice = testbed.add_user("alice", "Paris")
+        testbed.add_user("bob", "Paris")
+        stream = testbed.server.create_stream(
+            "alice", ModalityType.WIFI, Granularity.RAW,
+            stream_filter=Filter([Condition(
+                ModalityType.FACEBOOK_ACTIVITY, Operator.EQUALS,
+                ModalityValue.ACTIVE, user_id="bob")]))
+        records = []
+        stream.add_listener(records.append)
+        testbed.run(200.0)
+        assert records == []
+        testbed.facebook.perform_action("bob", "post", content="ping")
+        testbed.run(200.0)
+        assert len(records) >= 1
+        assert records[0].user_id == "alice"
+        assert records[0].osn_action["user_id"] == "bob"
+
+
+class TestAggregators:
+    def test_aggregator_multiplexes_streams(self, testbed):
+        testbed.add_user("alice", "Paris")
+        testbed.add_user("bob", "Bordeaux")
+        streams = [
+            testbed.server.create_stream("alice", ModalityType.MICROPHONE,
+                                         Granularity.CLASSIFIED),
+            testbed.server.create_stream("bob", ModalityType.MICROPHONE,
+                                         Granularity.CLASSIFIED),
+        ]
+        aggregator = testbed.server.create_aggregator("join", streams)
+        records = []
+        aggregator.add_listener(records.append)
+        testbed.run(130.0)
+        users = {record.user_id for record in records}
+        assert users == {"alice", "bob"}
+        assert aggregator.records_out == len(records)
+
+    def test_aggregator_value_filter(self, testbed):
+        alice = testbed.add_user("alice", "Paris")
+        alice.mobility.stop()
+        alice.phone.environment.activity = ActivityState.STILL
+        stream = testbed.server.create_stream(
+            "alice", ModalityType.ACCELEROMETER, Granularity.CLASSIFIED)
+        aggregator = testbed.server.create_aggregator("filtered", [stream])
+        aggregator.set_filter(Filter([Condition(
+            ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS, "running")]))
+        records = []
+        aggregator.add_listener(records.append)
+        testbed.run(200.0)
+        assert records == []  # alice is still, aggregate filter drops all
+
+    def test_remove_stream_from_aggregator(self, testbed):
+        testbed.add_user("alice", "Paris")
+        stream = testbed.server.create_stream(
+            "alice", ModalityType.MICROPHONE, Granularity.CLASSIFIED)
+        aggregator = testbed.server.create_aggregator("agg", [stream])
+        aggregator.remove_stream(stream)
+        records = []
+        aggregator.add_listener(records.append)
+        testbed.run(130.0)
+        assert records == []
+
+
+class TestMulticast:
+    def test_query_requires_a_clause(self):
+        with pytest.raises(MiddlewareError):
+            MulticastQuery()
+
+    def test_osn_multicast_selects_friends(self, testbed):
+        for user, city in [("a", "Paris"), ("b", "Paris"), ("c", "Bordeaux")]:
+            testbed.add_user(user, city)
+        testbed.befriend("a", "b")
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.WIFI, Granularity.RAW,
+            MulticastQuery(friends_of="a"))
+        assert multicast.members() == ["b"]
+
+    def test_two_hop_friend_selection(self, testbed):
+        for user in ["a", "b", "c"]:
+            testbed.add_user(user, "Paris")
+        testbed.befriend("a", "b")
+        testbed.befriend("b", "c")
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.WIFI, Granularity.RAW,
+            MulticastQuery(friends_of="a", hops=2))
+        assert multicast.members() == ["b", "c"]
+
+    def test_geo_multicast_follows_movement(self, testbed):
+        alice = testbed.add_user("alice", "Paris")
+        bob = testbed.add_user("bob", "Bordeaux")
+        testbed.run(400.0)  # location updates flow (300 s period)
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.BLUETOOTH, Granularity.CLASSIFIED,
+            MulticastQuery(place="Paris"))
+        assert multicast.members() == ["alice"]
+        bob.mobility.travel_to("Paris", duration_s=1800.0)
+        testbed.run(3000.0)
+        assert multicast.members() == ["alice", "bob"]
+
+    def test_multicast_filter_distribution(self, testbed):
+        for user in ["a", "b"]:
+            testbed.add_user(user, "Paris")
+        testbed.befriend("a", "b")
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.LOCATION, Granularity.RAW,
+            MulticastQuery(friends_of="a"))
+        multicast.set_filter(Filter([Condition(
+            ModalityType.PHYSICAL_ACTIVITY, Operator.EQUALS, "walking")]))
+        testbed.run(3.0)
+        node_b = testbed.node("b")
+        member_stream = multicast.member_stream("b")
+        mobile_stream = node_b.manager.streams[member_stream.stream_id]
+        assert any(c.modality is ModalityType.PHYSICAL_ACTIVITY
+                   for c in mobile_stream.config.filter.conditions)
+
+    def test_multicast_listener_covers_future_members(self, testbed):
+        testbed.add_user("a", "Paris")
+        testbed.run(400.0)
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.MICROPHONE, Granularity.CLASSIFIED,
+            MulticastQuery(place="Paris"))
+        records = []
+        multicast.add_listener(records.append)
+        late = testbed.add_user("late", "Paris")
+        testbed.run(400.0)  # late's location arrives; refresh adds them
+        assert "late" in multicast.members()
+        testbed.run(130.0)
+        assert any(record.user_id == "late" for record in records)
+
+    def test_destroy_removes_member_streams(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        testbed.run(400.0)
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.WIFI, Granularity.RAW, MulticastQuery(place="Paris"))
+        member = multicast.member_stream("a")
+        testbed.run(3.0)
+        assert member.stream_id in node.manager.streams
+        multicast.destroy()
+        testbed.run(3.0)
+        assert member.stream_id not in node.manager.streams
+        assert multicast not in testbed.server.multicasts
+
+    def test_explicit_user_list_query(self, testbed):
+        for user in ["a", "b", "c"]:
+            testbed.add_user(user, "Paris")
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.WIFI, Granularity.RAW,
+            MulticastQuery(user_ids=("a", "c")))
+        assert multicast.members() == ["a", "c"]
+
+
+class TestTriggerRouting:
+    def test_friend_action_updates_database(self, testbed):
+        testbed.add_user("a", "Paris")
+        testbed.add_user("b", "Paris")
+        testbed.facebook.perform_action("a", ActionType.FRIEND_ADD,
+                                        payload={"friend_id": "b"})
+        testbed.run(120.0)
+        assert testbed.server.database.friends_of("a") == ["b"]
+
+    def test_action_listener_notified(self, testbed):
+        testbed.add_user("a", "Paris")
+        seen = []
+        testbed.server.add_action_listener(lambda action: seen.append(action))
+        testbed.facebook.perform_action("a", "post", content="x")
+        testbed.run(120.0)
+        assert len(seen) == 1
+
+    def test_actions_persisted(self, testbed):
+        testbed.add_user("a", "Paris")
+        testbed.facebook.perform_action("a", "comment", content="y")
+        testbed.run(120.0)
+        assert len(testbed.server.database.actions_of("a")) == 1
+
+    def test_twitter_plugin_path(self, testbed):
+        testbed.add_user("a", "Paris", platforms=("facebook", "twitter"))
+        seen = []
+        testbed.server.add_action_listener(seen.append)
+        testbed.twitter.perform_action("a", ActionType.TWEET, content="tw")
+        testbed.run(30.0)  # poll period is 10 s — far below Facebook's delay
+        assert [action.platform for action in seen] == ["twitter"]

@@ -1,0 +1,105 @@
+"""Tests for workload traces and battery lifetime projection."""
+
+import math
+
+import pytest
+
+from repro.device.battery import Battery
+from repro.metrics import lifetime_reduction_factor, projected_lifetime_hours
+from repro.osn import ActionWorkloadGenerator, OsnService
+from repro.osn.trace import ActionTrace, TraceRecorder, replay_trace
+from repro.simkit import SimulationError, World
+
+
+class TestTraceRecordReplay:
+    def record_workload(self, seed=51, hours=2.0):
+        world = World(seed=seed)
+        service = OsnService(world, "facebook")
+        for user in ["a", "b"]:
+            service.register_user(user)
+            service.authorize_app(user)
+        recorder = TraceRecorder(service)
+        generator = ActionWorkloadGenerator(world, service,
+                                            actions_per_hour=5.0)
+        generator.start_all()
+        world.run_for(hours * 3600.0)
+        recorder.detach()
+        return recorder.trace
+
+    def test_trace_captures_every_action(self):
+        trace = self.record_workload()
+        assert len(trace) > 5
+        assert trace.user_ids() == ["a", "b"]
+
+    def test_json_round_trip(self):
+        trace = self.record_workload()
+        restored = ActionTrace.from_json(trace.to_json())
+        assert restored.entries == trace.entries
+        assert restored.platform == "facebook"
+
+    def test_replay_reproduces_actions_exactly(self):
+        trace = self.record_workload()
+        world = World(seed=999)  # different seed: replay must not care
+        service = OsnService(world, "facebook")
+        seen = []
+        service.add_action_tap(
+            lambda action: seen.append((action.user_id, action.type.value,
+                                        action.content, world.now)))
+        assert replay_trace(world, service, trace) == len(trace)
+        world.run_for(3 * 3600.0)
+        expected = [(entry["user_id"], entry["type"], entry["content"],
+                     entry["created_at"]) for entry in trace.entries]
+        assert seen == expected
+
+    def test_replay_rejects_past_entries(self):
+        trace = self.record_workload(hours=0.5)
+        world = World(seed=1)
+        world.run_for(10 * 3600.0)  # clock beyond every trace entry
+        service = OsnService(world, "facebook")
+        with pytest.raises(SimulationError):
+            replay_trace(world, service, trace)
+
+    def test_detach_stops_recording(self):
+        world = World(seed=5)
+        service = OsnService(world, "facebook")
+        service.register_user("a")
+        recorder = TraceRecorder(service)
+        service.perform_action("a", "post")
+        recorder.detach()
+        service.perform_action("a", "post")
+        assert len(recorder.trace) == 1
+
+
+class TestLifetimeProjection:
+    def test_zero_app_drain_is_baseline_lifetime(self):
+        battery = Battery(capacity_mah=2400)
+        hours = projected_lifetime_hours(battery, 0.0, 3600.0,
+                                         baseline_mah_per_hour=100.0)
+        assert hours == pytest.approx(24.0)
+
+    def test_app_drain_shortens_lifetime(self):
+        battery = Battery(capacity_mah=2400)
+        idle = projected_lifetime_hours(battery, 0.0, 3600.0)
+        loaded = projected_lifetime_hours(battery, 50.0, 3600.0)
+        assert loaded < idle
+
+    def test_reduction_factor_matches_senseless_regime(self):
+        """Continuous GPS can cut lifetime ~20x [13]: with a small
+        baseline, a heavy GPS drain rate produces that order."""
+        battery = Battery(capacity_mah=2500)
+        factor = lifetime_reduction_factor(
+            battery, idle_mah=0.0, loaded_mah=150.0, duration_s=3600.0,
+            baseline_mah_per_hour=8.0)
+        assert 15.0 < factor < 25.0
+
+    def test_zero_total_rate_is_infinite(self):
+        battery = Battery()
+        assert projected_lifetime_hours(
+            battery, 0.0, 3600.0, baseline_mah_per_hour=0.0) == math.inf
+
+    def test_invalid_inputs_rejected(self):
+        battery = Battery()
+        with pytest.raises(ValueError):
+            projected_lifetime_hours(battery, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            projected_lifetime_hours(battery, -1.0, 10.0)

@@ -1,0 +1,153 @@
+"""Edge-case tests: trigger manager, aggregation over multicast, stream
+listener management, registration callbacks, and energy accounting of
+the full trigger path."""
+
+import pytest
+
+from repro.core.common import (
+    Condition,
+    Filter,
+    Granularity,
+    ModalityType,
+    ModalityValue,
+    Operator,
+    StreamMode,
+)
+from repro.core.server import MulticastQuery
+from repro.device.battery import EnergyCategory
+
+
+class TestTriggerManagerObservability:
+    def test_configs_pushed_counter(self, testbed):
+        testbed.add_user("a", "Paris")
+        testbed.server.create_stream("a", ModalityType.WIFI, Granularity.RAW)
+        assert testbed.server.triggers.configs_pushed == 1
+
+    def test_triggers_sent_counter(self, testbed):
+        testbed.add_user("a", "Paris")
+        testbed.facebook.perform_action("a", "post")
+        testbed.run(120.0)
+        assert testbed.server.triggers.triggers_sent == 1
+
+    def test_no_trigger_for_unregistered_osn_user(self, testbed):
+        # The user has a Facebook account and authorised the plug-in
+        # but never deployed a SenSocial device.
+        testbed.facebook.register_user("ghost")
+        testbed.facebook_plugin.register_user("ghost")
+        testbed.facebook.perform_action("ghost", "post")
+        testbed.run(120.0)
+        assert testbed.server.triggers.triggers_sent == 0
+        # The action itself is still captured and stored.
+        assert len(testbed.server.database.actions_of("ghost")) == 1
+
+
+class TestRegistrationCallbacks:
+    def test_on_registration_fires(self, testbed):
+        seen = []
+        testbed.server.on_registration(lambda user, device: seen.append(user))
+        testbed.add_user("fresh", "Paris")
+        assert seen == ["fresh"]
+
+    def test_sync_social_graph_skips_unregistered(self, testbed):
+        testbed.add_user("a", "Paris")
+        graph = testbed.facebook.graph
+        graph.add_user("a")
+        graph.add_user("offline-friend")
+        graph.add_friendship("a", "offline-friend")
+        testbed.server.sync_social_graph(graph)
+        assert testbed.server.database.friends_of("a") == []
+
+
+class TestAggregatedMulticast:
+    def test_multicast_members_into_aggregator(self, testbed):
+        """§3.1: multiple related streams consolidated into one
+        aggregated stream, then treated like any other stream."""
+        for user in ["a", "b"]:
+            testbed.add_user(user, "Paris")
+        testbed.befriend("a", "b")
+        testbed.run(400.0)
+        multicast = testbed.server.create_multicast_stream(
+            ModalityType.MICROPHONE, Granularity.CLASSIFIED,
+            MulticastQuery(place="Paris"))
+        member_streams = [multicast.member_stream(user)
+                          for user in multicast.members()]
+        aggregator = testbed.server.create_aggregator("join", member_streams)
+        records = []
+        aggregator.add_listener(records.append)
+        testbed.run(130.0)
+        assert {record.user_id for record in records} == {"a", "b"}
+
+
+class TestListenerManagement:
+    def test_remove_mobile_listener(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        stream = node.manager.create_stream(ModalityType.WIFI, Granularity.RAW)
+        records = []
+        listener = records.append
+        stream.register_listener(listener)
+        testbed.run(65.0)
+        count = len(records)
+        assert count > 0
+        stream.remove_listener(listener)
+        testbed.run(65.0)
+        assert len(records) == count
+
+    def test_multiple_listeners_each_get_records(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        stream = node.manager.create_stream(ModalityType.WIFI, Granularity.RAW)
+        first, second = [], []
+        stream.register_listener(first.append)
+        stream.register_listener(second.append)
+        testbed.run(65.0)
+        assert len(first) == len(second) > 0
+
+    def test_listener_count(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        stream = node.manager.create_stream(ModalityType.WIFI, Granularity.RAW)
+        stream.register_listener(lambda record: None)
+        assert stream.listener_count() == 1
+
+
+class TestTriggerPathEnergy:
+    @pytest.fixture
+    def testbed(self):
+        # Periodic location reporting would also sample the GPS;
+        # disable it so the ledger isolates the trigger path.
+        from repro.scenarios.testbed import SenSocialTestbed
+        return SenSocialTestbed(seed=7, location_update_period_s=None)
+
+    def test_social_event_stream_spends_nothing_when_idle(self, testbed):
+        node = testbed.add_user("a", "Paris")
+        node.manager.create_stream(
+            ModalityType.LOCATION, Granularity.RAW,
+            stream_filter=Filter([Condition(
+                ModalityType.FACEBOOK_ACTIVITY, Operator.EQUALS,
+                ModalityValue.ACTIVE)]))
+        testbed.run(600.0)
+        # No OSN action: the GPS was never sampled.
+        assert node.phone.battery.consumed_by(
+            "location", EnergyCategory.SAMPLING) == 0.0
+
+    def test_trigger_charges_one_sampling_cycle(self, testbed):
+        from repro.device import calibration
+        node = testbed.add_user("a", "Paris")
+        node.manager.create_stream(ModalityType.LOCATION, Granularity.RAW,
+                                   mode=StreamMode.SOCIAL_EVENT)
+        testbed.facebook.perform_action("a", "post")
+        testbed.run(200.0)
+        assert node.phone.battery.consumed_by(
+            "location", EnergyCategory.SAMPLING) == pytest.approx(
+                calibration.SAMPLING_MAH["location"])
+
+
+class TestServerRecordPersistence:
+    def test_records_stored_and_queryable(self, testbed):
+        testbed.add_user("a", "Paris")
+        testbed.server.create_stream("a", ModalityType.MICROPHONE,
+                                     Granularity.CLASSIFIED)
+        testbed.run(130.0)
+        stored = testbed.server.database.records_of("a", "microphone")
+        assert len(stored) >= 1
+        assert stored[0]["granularity"] == "classified"
+        timestamps = [record["timestamp"] for record in stored]
+        assert timestamps == sorted(timestamps)
