@@ -4,6 +4,7 @@ Usage::
 
     python -m repro demo paris --hours 3
     python -m repro demo sensor-map --users 3 --minutes 60
+    python -m repro chaos --plan broker-restart --minutes 10
     python -m repro experiments
 """
 
@@ -35,6 +36,8 @@ EXPERIMENTS = [
      "filter placement energy savings"),
     ("ablation-db", "benchmarks/test_ablation_db_indexing.py",
      "document-store indexing"),
+    ("recovery", "benchmarks/test_recovery_delay.py",
+     "time-to-recovery and zero-loss under faults"),
 ]
 
 
@@ -90,6 +93,29 @@ def _demo_sensor_map(args) -> int:
     return 0
 
 
+def _chaos(args) -> int:
+    from repro import Granularity, ModalityType, SenSocialTestbed
+    from repro.faults import ChaosController, build_plan
+
+    horizon = args.minutes * 60.0
+    testbed = SenSocialTestbed(seed=args.seed)
+    cities = ["Paris", "Bordeaux", "London"]
+    for index in range(args.users):
+        node = testbed.add_user(f"user{index}",
+                                home_city=cities[index % len(cities)])
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    controller = ChaosController(testbed)
+    controller.apply(build_plan(args.plan, horizon))
+    testbed.run(horizon)
+    # Quiet tail: let reconnects land and outboxes drain before judging.
+    testbed.run(args.drain)
+    report = controller.report()
+    print(report.format())
+    return 0 if report.records_lost == 0 else 1
+
+
 def _experiments(args) -> int:
     print(f"{'id':16s} {'bench':48s} description")
     for exp_id, path, description in EXPERIMENTS:
@@ -119,6 +145,19 @@ def build_parser() -> argparse.ArgumentParser:
     sensor_map.add_argument("--users", type=int, default=3)
     sensor_map.add_argument("--minutes", type=float, default=60.0)
     sensor_map.set_defaults(handler=_demo_sensor_map)
+
+    from repro.faults.plans import NAMED_PLANS
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run a scenario under a named fault plan")
+    chaos.add_argument("--plan", choices=sorted(NAMED_PLANS),
+                       default="broker-restart")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--users", type=int, default=3)
+    chaos.add_argument("--minutes", type=float, default=10.0)
+    chaos.add_argument("--drain", type=float, default=120.0,
+                       help="quiet seconds appended before the report")
+    chaos.set_defaults(handler=_chaos)
 
     experiments = subparsers.add_parser(
         "experiments", help="list the paper experiments and their benches")

@@ -21,6 +21,7 @@ from repro.core.common.records import StreamRecord
 from repro.core.common.stream_config import StreamConfig, StreamMode, merge_configs
 from repro.core.mobile.filter_manager import MobileFilterManager
 from repro.core.mobile.mqtt_service import MqttService
+from repro.core.mobile.outbox import Outbox
 from repro.core.mobile.privacy import PrivacyPolicyManager
 from repro.core.mobile.stream import MobileStream, StreamState
 from repro.device import calibration
@@ -38,6 +39,12 @@ DEFAULT_LOCATION_UPDATE_PERIOD_S = 300.0
 
 #: Application-layer framing overhead per transmitted record, bytes.
 _RECORD_FRAMING_BYTES = 96
+
+#: How often the outbox sweep re-offers unacknowledged records.
+OUTBOX_SWEEP_PERIOD_S = 15.0
+
+#: Age after which an unacknowledged transmission is presumed lost.
+OUTBOX_RETRY_TIMEOUT_S = 20.0
 
 _PLATFORM_MODALITY = {
     "facebook": ModalityType.FACEBOOK_ACTIVITY,
@@ -97,11 +104,19 @@ class MobileSenSocialManager:
         self._stream_classifiers: dict[str, Any] = {}
         self._privacy_reasons: dict[str, str] = {}
         self._stream_seq = itertools.count(1)
+        self._record_seq = itertools.count(1)
         self._location_task: PeriodicTask | None = None
+        self._outbox_task: PeriodicTask | None = None
         self._location_classifier = self.classifiers.create(
             "location", phone.battery, phone.cpu)
         self.triggers_handled = 0
         self.records_transmitted = 0
+        self.records_acked = 0
+        #: Store-and-forward queue for server-bound records: survives
+        #: partitions and broker restarts; drained by server acks.
+        self.outbox = Outbox()
+        phone.on_protocol("stream-ack", self._on_stream_ack)
+        self.mqtt.client.on_connection_change(self._on_connectivity_change)
         #: OSN action → trigger arrival delays (Table 3's second row).
         self.trigger_latencies: list[float] = []
         phone.heap.allocate("sensocial-core",
@@ -136,6 +151,10 @@ class MobileSenSocialManager:
             self._location_task = self.world.scheduler.every(
                 location_update_period_s, self._report_location,
                 delay=location_update_period_s / 2)
+        if self._outbox_task is None:
+            self._outbox_task = self.world.scheduler.every(
+                OUTBOX_SWEEP_PERIOD_S, self._outbox_sweep,
+                delay=OUTBOX_SWEEP_PERIOD_S)
 
     def stop(self) -> None:
         for stream_id in list(self.streams):
@@ -143,6 +162,9 @@ class MobileSenSocialManager:
         if self._location_task is not None:
             self._location_task.cancel()
             self._location_task = None
+        if self._outbox_task is not None:
+            self._outbox_task.cancel()
+            self._outbox_task = None
         self.mqtt.stop()
 
     # -- the paper's client API ------------------------------------------------
@@ -361,9 +383,58 @@ class MobileSenSocialManager:
         stream.deliver(record)
         if stream.is_server_bound:
             self.records_transmitted += 1
-            self.phone.send(self.server_address, "stream-data",
-                            record.to_dict(),
-                            size=wire_bytes + _RECORD_FRAMING_BYTES)
+            payload = record.to_dict()
+            payload["record_id"] = \
+                f"{self.phone.device_id}-r{next(self._record_seq)}"
+            entry = self.outbox.put(payload["record_id"], payload,
+                                    wire_bytes + _RECORD_FRAMING_BYTES,
+                                    self.world.now)
+            if self.mqtt.client.connected:
+                self._transmit(entry)
+
+    # -- reliable record transport ------------------------------------
+
+    def _transmit(self, entry) -> None:
+        self.phone.send(self.server_address, "stream-data", entry.payload,
+                        size=entry.size)
+        self.outbox.mark_sent(entry.record_id, self.world.now)
+
+    def _flush_outbox(self, force: bool = False) -> None:
+        """(Re)send every due unacknowledged record while connected."""
+        if not self.mqtt.client.connected:
+            return  # store and forward: the reconnect callback flushes
+        for entry in self.outbox.due(self.world.now, OUTBOX_RETRY_TIMEOUT_S,
+                                     force=force):
+            self._transmit(entry)
+
+    def _outbox_sweep(self) -> None:
+        self._flush_outbox(force=False)
+
+    def _on_connectivity_change(self, connected: bool) -> None:
+        if connected:
+            # Anything sent into the dying link is suspect: replay it
+            # all; the server's dedup window absorbs the duplicates.
+            self._flush_outbox(force=True)
+
+    def _on_stream_ack(self, payload, message) -> None:
+        if self.outbox.ack(payload["record_id"]):
+            self.records_acked += 1
+
+    def health(self) -> dict[str, Any]:
+        """Degraded-operation status of this device's middleware."""
+        client = self.mqtt.client
+        return {
+            "device_id": self.phone.device_id,
+            "connected": client.connected,
+            "queued": len(self.outbox),
+            "enqueued": self.outbox.enqueued,
+            "dropped": self.outbox.dropped_oldest,
+            "acked": self.records_acked,
+            "retransmissions": self.outbox.retransmissions,
+            "connection_losses": client.connection_losses,
+            "reconnects": client.reconnects,
+            "last_seen": client.last_inbound,
+        }
 
     # -- location reporting ------------------------------------------------------------
 

@@ -60,6 +60,10 @@ class MqttService:
         )
         self.triggers_received = 0
         self.configs_received = 0
+        self.reannouncements = 0
+        # A reconnection may follow a broker restart that wiped the
+        # retained registration: announce again, it is idempotent.
+        self.client.on_connection_change(self._on_connection_change)
 
     def start(self) -> None:
         """Connect, subscribe to the device topics, announce the device."""
@@ -68,11 +72,20 @@ class MqttService:
         self.client.subscribe(device_trigger_topic(device_id), self._on_trigger)
         self.client.subscribe(device_config_topic(device_id), self._on_config)
         self.client.subscribe(device_destroy_topic(device_id), self._on_destroy)
+        self._announce()
+
+    def _announce(self) -> None:
+        device_id = self._manager.phone.device_id
         self.client.publish(registration_topic(device_id), json.dumps({
             "user_id": self._manager.phone.user_id,
             "device_id": device_id,
             "modalities": self._manager.phone.supported_modalities(),
         }), qos=1, retain=True)
+
+    def _on_connection_change(self, connected: bool) -> None:
+        if connected:
+            self.reannouncements += 1
+            self._announce()
 
     def stop(self) -> None:
         self.client.disconnect()

@@ -1,0 +1,105 @@
+"""Store-and-forward outbox for server-bound stream records.
+
+The mobile middleware never hands a record straight to the radio and
+hopes: every server-bound record enters this bounded queue, is
+transmitted when the device believes it is connected, and leaves only
+when the server acknowledges the record id.  During a partition the
+queue absorbs new records; on reconnection everything unacknowledged
+is replayed (the server's dedup window makes replays idempotent).
+When the queue is full the *oldest* record is evicted and counted —
+fresh context beats stale context, and the counter keeps the loss
+honest.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Default queue bound: roughly an hour of records at the fastest
+#: default duty cycle, small enough for a phone's flash budget.
+DEFAULT_CAPACITY = 512
+
+
+@dataclass
+class OutboxEntry:
+    """One record awaiting server acknowledgement."""
+
+    record_id: str
+    payload: dict[str, Any]
+    size: int
+    enqueued_at: float
+    last_sent_at: float | None = None
+    sends: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class Outbox:
+    """Bounded, acknowledgement-driven record queue."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"outbox capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, OutboxEntry]" = OrderedDict()
+        self.enqueued = 0
+        self.acked = 0
+        self.dropped_oldest = 0
+        self.retransmissions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, record_id: str, payload: dict[str, Any], size: int,
+            now: float) -> OutboxEntry:
+        """Queue a record; evicts (and counts) the oldest when full."""
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.dropped_oldest += 1
+        entry = OutboxEntry(record_id=record_id, payload=payload,
+                            size=size, enqueued_at=now)
+        self._entries[record_id] = entry
+        self.enqueued += 1
+        return entry
+
+    def ack(self, record_id: str) -> bool:
+        """The server confirmed the record; forget it.  Idempotent."""
+        if self._entries.pop(record_id, None) is None:
+            return False
+        self.acked += 1
+        return True
+
+    def mark_sent(self, record_id: str, now: float) -> None:
+        entry = self._entries.get(record_id)
+        if entry is None:
+            return
+        if entry.sends > 0:
+            self.retransmissions += 1
+        entry.sends += 1
+        entry.last_sent_at = now
+
+    def due(self, now: float, retry_after: float,
+            force: bool = False) -> list[OutboxEntry]:
+        """Entries that should be (re)transmitted now.
+
+        An entry is due when it has never been sent, when its last send
+        is older than ``retry_after`` (the ack is presumed lost), or —
+        with ``force`` — unconditionally (used on reconnection, where
+        anything sent into the dying link is suspect).
+        """
+        return [entry for entry in self._entries.values()
+                if force or entry.last_sent_at is None
+                or now - entry.last_sent_at >= retry_after]
+
+    def pending_ids(self) -> list[str]:
+        return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "queued": len(self._entries),
+            "enqueued": self.enqueued,
+            "acked": self.acked,
+            "dropped_oldest": self.dropped_oldest,
+            "retransmissions": self.retransmissions,
+        }

@@ -1,0 +1,42 @@
+"""Idempotent-ingest support: a sliding dedup window of record ids.
+
+QoS-1 transport and the mobile outbox both guarantee *at-least-once*
+delivery; the server turns that into *exactly-once* ingest by
+remembering the last N record ids and discarding re-appearances.  The
+window is bounded (memory stays flat under heavy traffic) and N is
+sized far above any plausible retransmission horizon: a replay only
+slips through if more than ``window`` fresh records arrived in
+between, by which point every QoS layer has long given up retrying.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class RecordDeduper:
+    """Sliding-window set of recently seen record ids."""
+
+    def __init__(self, window: int = 4096):
+        if window <= 0:
+            raise ValueError(f"dedup window must be > 0, got {window}")
+        self.window = window
+        self._seen: "OrderedDict[str, None]" = OrderedDict()
+        self.duplicates = 0
+
+    def seen(self, record_id: str) -> bool:
+        """Record ``record_id``; True when it is a duplicate."""
+        if record_id in self._seen:
+            self._seen.move_to_end(record_id)
+            self.duplicates += 1
+            return True
+        self._seen[record_id] = None
+        while len(self._seen) > self.window:
+            self._seen.popitem(last=False)
+        return False
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._seen

@@ -22,6 +22,7 @@ from repro.core.common.records import StreamRecord
 from repro.core.common.stream_config import StreamConfig, StreamMode
 from repro.core.mobile.mqtt_service import REGISTRATION_FILTER
 from repro.core.server.aggregator import Aggregator
+from repro.core.server.dedup import RecordDeduper
 from repro.core.server.filter_manager import ServerFilterManager
 from repro.core.server.multicast import MulticastQuery, MulticastStream
 from repro.core.server.server_stream import ServerStream
@@ -70,8 +71,13 @@ class ServerSenSocialManager(Endpoint):
         self._registration_listeners: list[Callable[[str, str], None]] = []
         self._stream_seq = itertools.count(1)
         self._recent_action_latencies: deque[float] = deque(maxlen=1000)
+        #: Sliding window of record ids making QoS-1 replays idempotent.
+        self.dedup = RecordDeduper()
         self.records_received = 0
+        self.records_duplicate = 0
+        self.acks_sent = 0
         self.actions_received = 0
+        self.last_record_at: float | None = None
         network.register(address, self)
 
     # -- lifecycle -----------------------------------------------------------
@@ -242,7 +248,7 @@ class ServerSenSocialManager(Endpoint):
     def deliver(self, message: Message) -> None:
         protocol = message.headers.get("protocol")
         if protocol == "stream-data":
-            self._on_stream_data(message.payload)
+            self._on_stream_data(message.payload, reply_to=message.src)
         elif protocol == "location-update":
             self._on_location_update(message.payload)
 
@@ -254,9 +260,22 @@ class ServerSenSocialManager(Endpoint):
         for listener in list(self._registration_listeners):
             listener(document["user_id"], document["device_id"])
 
-    def _on_stream_data(self, payload: dict) -> None:
+    def _on_stream_data(self, payload: dict, reply_to: str | None = None) -> None:
+        record_id = payload.get("record_id")
+        if record_id is not None and reply_to is not None:
+            # Acknowledge before the dedup decision: the ack for the
+            # first copy may have been lost, and the sender keeps
+            # retrying until one lands (idempotent ingest makes the
+            # repeat ack harmless).
+            self.acks_sent += 1
+            self.network.send(self.address, reply_to, {"record_id": record_id},
+                              headers={"protocol": "stream-ack"})
+        if record_id is not None and self.dedup.seen(record_id):
+            self.records_duplicate += 1
+            return
         record = StreamRecord.from_dict(payload)
         self.records_received += 1
+        self.last_record_at = self.world.now
         self.filters.observe_record(record)
         self.database.store_record(record)
         stream = self.streams.get(record.stream_id)
@@ -324,3 +343,15 @@ class ServerSenSocialManager(Endpoint):
     def action_latencies(self) -> list[float]:
         """OSN action → server arrival delays (Table 3's first row)."""
         return list(self._recent_action_latencies)
+
+    def health(self) -> dict:
+        """Degraded-operation status of the server middleware."""
+        return {
+            "connected": self.mqtt.connected,
+            "records_received": self.records_received,
+            "duplicates_dropped": self.records_duplicate,
+            "acks_sent": self.acks_sent,
+            "connection_losses": self.mqtt.connection_losses,
+            "reconnects": self.mqtt.reconnects,
+            "last_seen": self.last_record_at,
+        }

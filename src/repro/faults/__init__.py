@@ -1,0 +1,24 @@
+"""Fault injection: scripted failures for resilience testing.
+
+``FaultPlan`` declares *what* goes wrong and *when* (symbolic targets,
+absolute times); ``ChaosController`` binds a plan to a wired testbed
+and drives it through the world scheduler; ``ChaosReport`` accounts
+for what was injected and what the middleware delivered anyway.
+"""
+
+from repro.faults.controller import ChaosController
+from repro.faults.errors import FaultError, FaultTargetError
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.plans import NAMED_PLANS, build_plan
+from repro.faults.report import ChaosReport
+
+__all__ = [
+    "ChaosController",
+    "ChaosReport",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultTargetError",
+    "NAMED_PLANS",
+    "build_plan",
+]

@@ -1,0 +1,9 @@
+"""Fault-injection errors."""
+
+
+class FaultError(Exception):
+    """Base class for fault-injection errors."""
+
+
+class FaultTargetError(FaultError):
+    """A plan names a target the deployment does not have."""

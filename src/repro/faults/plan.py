@@ -1,0 +1,134 @@
+"""Fault plans: declarative, reproducible failure schedules.
+
+A :class:`FaultPlan` is a list of timed fault events built with a
+fluent API::
+
+    plan = (FaultPlan("rough-day")
+            .broker_restart(at=600.0, downtime=60.0)
+            .partition("device:alice", start=900.0, duration=120.0)
+            .packet_loss("devices", rate=0.05, start=0.0))
+
+Plans carry no references to live objects — targets are symbolic
+("broker", "server", "device:<user>", "devices", or a raw network
+address) — so the same plan can be applied to any scenario, and a run
+with the same seed and the same plan is bit-for-bit reproducible.
+:class:`repro.faults.ChaosController` resolves the symbols and drives
+the events through the world scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action."""
+
+    at: float
+    kind: str
+    target: str | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        detail = f" {self.target}" if self.target else ""
+        extras = ", ".join(f"{key}={value}" for key, value
+                           in sorted(self.params.items()))
+        if extras:
+            detail += f" ({extras})"
+        return f"{self.kind}{detail}"
+
+
+class FaultPlan:
+    """An ordered schedule of fault injections."""
+
+    def __init__(self, name: str = "custom"):
+        self.name = name
+        self._events: list[FaultEvent] = []
+
+    # -- building -----------------------------------------------------
+
+    def add(self, kind: str, at: float, target: str | None = None,
+            **params: Any) -> "FaultPlan":
+        if at < 0:
+            raise ValueError(f"fault time must be >= 0, got {at}")
+        self._events.append(FaultEvent(at=float(at), kind=kind,
+                                       target=target, params=params))
+        return self
+
+    def partition(self, target: str, start: float,
+                  duration: float) -> "FaultPlan":
+        """Cut ``target`` off the network for ``duration`` seconds."""
+        self.add("link_down", start, target)
+        self.add("link_up", start + duration, target)
+        return self
+
+    def flap(self, target: str, start: float, cycles: int,
+             down_for: float, up_for: float) -> "FaultPlan":
+        """Repeated short partitions: patchy-coverage radio."""
+        at = start
+        for _ in range(cycles):
+            self.partition(target, at, down_for)
+            at += down_for + up_for
+        return self
+
+    def packet_loss(self, target: str, rate: float, start: float = 0.0,
+                    duration: float | None = None) -> "FaultPlan":
+        """Probabilistic loss on every link touching ``target``."""
+        self.add("loss", start, target, rate=rate)
+        if duration is not None:
+            self.add("loss", start + duration, target, rate=0.0)
+        return self
+
+    def jitter(self, target: str, model: LatencyModel, start: float = 0.0,
+               duration: float | None = None) -> "FaultPlan":
+        """Extra random delay on messages towards ``target``."""
+        self.add("jitter", start, target, model=model)
+        if duration is not None:
+            self.add("jitter", start + duration, target, model=None)
+        return self
+
+    def broker_restart(self, at: float, downtime: float,
+                       preserve_sessions: bool = True) -> "FaultPlan":
+        """Crash the broker at ``at``; bring it back after ``downtime``.
+
+        ``preserve_sessions=False`` models a broker with no persistence
+        store: it restarts amnesiac and clients must re-subscribe.
+        """
+        self.add("broker_crash", at, "broker",
+                 preserve_sessions=preserve_sessions)
+        self.add("broker_restart", at + downtime, "broker")
+        return self
+
+    def device_reboot(self, user_id: str, at: float,
+                      downtime: float) -> "FaultPlan":
+        """Reboot a phone: radio silent for ``downtime`` seconds."""
+        self.add("device_down", at, f"device:{user_id}")
+        self.add("device_up", at + downtime, f"device:{user_id}")
+        return self
+
+    def plugin_outage(self, platform: str, start: float,
+                      duration: float) -> "FaultPlan":
+        """An OSN plug-in stops capturing actions for a while."""
+        self.add("plugin_stop", start, platform)
+        self.add("plugin_start", start + duration, platform)
+        return self
+
+    # -- reading ------------------------------------------------------
+
+    def events(self) -> list[FaultEvent]:
+        """Events sorted by time (stable: insertion order breaks ties)."""
+        return sorted(self._events, key=lambda event: event.at)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {self.name!r} events={len(self._events)}>"

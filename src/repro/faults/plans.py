@@ -1,0 +1,73 @@
+"""Named fault plans for the ``repro chaos`` CLI and scenario tests.
+
+Each builder takes a ``horizon`` (total run length in seconds) and
+scales its fault windows to it, so ``repro chaos --minutes 30`` and a
+five-minute smoke run both exercise the same shape of trouble.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.plan import FaultPlan
+from repro.net.latency import UniformLatency
+
+
+def broker_restart_plan(horizon: float) -> FaultPlan:
+    """Crash the broker a third of the way in; 60 s of downtime."""
+    return FaultPlan("broker-restart").broker_restart(
+        at=horizon / 3.0, downtime=min(60.0, horizon / 6.0))
+
+
+def partition_plan(horizon: float) -> FaultPlan:
+    """Partition every device for 60 s mid-run."""
+    return FaultPlan("partition").partition(
+        "devices", start=horizon / 2.0, duration=min(60.0, horizon / 4.0))
+
+
+def flaky_plan(horizon: float) -> FaultPlan:
+    """Lossy, jittery radio on every device for the whole run."""
+    return (FaultPlan("flaky")
+            .packet_loss("devices", rate=0.05)
+            .jitter("devices", UniformLatency(0.0, 0.5)))
+
+
+def osn_outage_plan(horizon: float) -> FaultPlan:
+    """The Facebook plug-in stops capturing actions for a stretch."""
+    return FaultPlan("osn-outage").plugin_outage(
+        "facebook", start=horizon / 4.0, duration=horizon / 4.0)
+
+
+def churn_plan(horizon: float) -> FaultPlan:
+    """Devices flap through patchy coverage plus one broker restart."""
+    return (FaultPlan("churn")
+            .flap("devices", start=horizon / 6.0, cycles=3,
+                  down_for=min(45.0, horizon / 10.0),
+                  up_for=min(90.0, horizon / 5.0))
+            .broker_restart(at=2.0 * horizon / 3.0,
+                            downtime=min(30.0, horizon / 10.0)))
+
+
+def none_plan(horizon: float) -> FaultPlan:
+    """An empty plan: a control run with the chaos machinery attached."""
+    return FaultPlan("none")
+
+
+NAMED_PLANS: dict[str, Callable[[float], FaultPlan]] = {
+    "broker-restart": broker_restart_plan,
+    "partition": partition_plan,
+    "flaky": flaky_plan,
+    "osn-outage": osn_outage_plan,
+    "churn": churn_plan,
+    "none": none_plan,
+}
+
+
+def build_plan(name: str, horizon: float) -> FaultPlan:
+    """Build the named plan scaled to ``horizon`` seconds."""
+    try:
+        builder = NAMED_PLANS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_PLANS))
+        raise KeyError(f"unknown fault plan {name!r}; known: {known}") from None
+    return builder(float(horizon))

@@ -1,0 +1,91 @@
+"""Chaos run reports: what was injected, what survived, what it cost."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ChaosReport:
+    """Delivery/drop/recovery accounting for one chaos run."""
+
+    plan_name: str
+    injected: list[tuple[float, str]] = field(default_factory=list)
+    network: dict[str, int] = field(default_factory=dict)
+    broker: dict[str, int] = field(default_factory=dict)
+    server: dict[str, Any] = field(default_factory=dict)
+    devices: list[dict[str, Any]] = field(default_factory=list)
+    #: Per-client seconds from the last broker restart to reconnection.
+    recovery_delays: dict[str, float] = field(default_factory=dict)
+
+    # -- derived ------------------------------------------------------
+
+    @property
+    def records_enqueued(self) -> int:
+        return sum(device["enqueued"] for device in self.devices)
+
+    @property
+    def records_queued(self) -> int:
+        return sum(device["queued"] for device in self.devices)
+
+    @property
+    def records_dropped(self) -> int:
+        return sum(device["dropped"] for device in self.devices)
+
+    @property
+    def records_ingested(self) -> int:
+        return int(self.server.get("records_received", 0))
+
+    @property
+    def duplicates_dropped(self) -> int:
+        return int(self.server.get("duplicates_dropped", 0))
+
+    @property
+    def records_lost(self) -> int:
+        """Records that left a device and never reached the server —
+        zero at quiescence unless an outbox overflowed mid-partition."""
+        return (self.records_enqueued - self.records_queued
+                - self.records_dropped - self.records_ingested)
+
+    def format(self) -> str:
+        lines = [f"chaos report — plan {self.plan_name!r}",
+                 "", "injected faults:"]
+        if self.injected:
+            lines += [f"  [{at:8.1f}s] {what}" for at, what in self.injected]
+        else:
+            lines.append("  (none)")
+        lines += [
+            "",
+            "delivery:",
+            f"  records enqueued     {self.records_enqueued}",
+            f"  records ingested     {self.records_ingested}",
+            f"  duplicates dropped   {self.duplicates_dropped}",
+            f"  still queued         {self.records_queued}",
+            f"  outbox evictions     {self.records_dropped}",
+            f"  records lost         {self.records_lost}",
+            "",
+            "network:",
+            f"  messages sent        {self.network.get('messages_sent', 0)}",
+            f"  messages delivered   {self.network.get('messages_delivered', 0)}",
+            f"  partition drops      {self.network.get('partition_drops', 0)}",
+            f"  loss drops           {self.network.get('loss_drops', 0)}",
+            "",
+            "broker:",
+            f"  crashes / restarts   "
+            f"{self.broker.get('crashes', 0)} / {self.broker.get('restarts', 0)}",
+            f"  sessions expired     {self.broker.get('sessions_expired', 0)}",
+        ]
+        lines += ["", "devices:"]
+        for device in self.devices:
+            state = "up" if device["connected"] else "DEGRADED"
+            lines.append(
+                f"  {device['device_id']:12s} {state:8s} "
+                f"queued={device['queued']} dropped={device['dropped']} "
+                f"losses={device['connection_losses']} "
+                f"reconnects={device['reconnects']}")
+        if self.recovery_delays:
+            lines += ["", "recovery after last broker restart:"]
+            for client_id, delay in sorted(self.recovery_delays.items()):
+                lines.append(f"  {client_id:24s} {delay:6.1f}s")
+        return "\n".join(lines)

@@ -73,12 +73,66 @@ class MqttBroker(Endpoint):
         self.messages_routed = 0
         self.publishes_received = 0
         self.sessions_expired = 0
+        self.running = True
+        self.crashes = 0
+        self.restarts = 0
         world.scheduler.every(self.EXPIRY_SWEEP_S, self._expire_dead_sessions,
                               delay=self.EXPIRY_SWEEP_S)
+
+    # -- failure injection --------------------------------------------
+
+    def crash(self, *, preserve_persistent_sessions: bool = True) -> None:
+        """The broker process dies without warning.
+
+        While crashed, the broker's network address is partitioned, so
+        every packet towards it is dropped (and counted) by the
+        network.  Persistent sessions model Mosquitto's on-disk store:
+        with ``preserve_persistent_sessions`` their subscriptions,
+        offline queues and the retained-message table survive the
+        restart, and in-flight QoS-1 deliveries are re-queued; without
+        it the broker comes back completely amnesiac and clients must
+        re-CONNECT and re-SUBSCRIBE from scratch (which the client's
+        reconnect path does when CONNACK says ``session_present=False``).
+        """
+        if not self.running:
+            return
+        self.running = False
+        self.crashes += 1
+        self._network.set_down(self.address)
+        for session in list(self._sessions.values()):
+            for pending in session.pending_acks.values():
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                if not session.clean_session and preserve_persistent_sessions:
+                    session.offline_queue.append(pending.publish)
+            session.pending_acks.clear()
+            session.connected = False
+        if preserve_persistent_sessions:
+            self._sessions = {client_id: session
+                              for client_id, session in self._sessions.items()
+                              if not session.clean_session}
+            self._address_to_client = {
+                address: client_id
+                for address, client_id in self._address_to_client.items()
+                if client_id in self._sessions}
+        else:
+            self._sessions.clear()
+            self._address_to_client.clear()
+            self._retained.clear()
+
+    def restart(self) -> None:
+        """The broker process comes back up and accepts traffic again."""
+        if self.running:
+            return
+        self.running = True
+        self.restarts += 1
+        self._network.set_down(self.address, False)
 
     # -- endpoint interface -------------------------------------------
 
     def deliver(self, message: Message) -> None:
+        if not self.running:
+            return  # a packet racing the crash instant; the sender retries
         packet = message.payload
         if not isinstance(packet, packets.Connect):
             self._maybe_resume(message.src)
@@ -278,6 +332,8 @@ class MqttBroker(Endpoint):
         will message (if any) fires, and a persistent session starts
         queueing for its eventual reconnection.
         """
+        if not self.running:
+            return
         now = self._world.now
         for session in list(self._sessions.values()):
             if not session.connected or session.keepalive <= 0:

@@ -5,6 +5,14 @@ client.  The client keeps its subscription callbacks, performs QoS-1
 retransmission towards the broker, and sends keep-alive pings — the
 periodic cost that the battery model charges as the price of push
 connectivity.
+
+Connectivity is supervised: a watchdog declares the connection lost
+when nothing has been heard from the broker for 1.5 keep-alive
+periods (the same grace the broker applies in the other direction) and
+then reconnects with exponential backoff plus jitter.  On reconnection
+the client re-sends unacknowledged QoS-1 publishes and, when the
+broker reports no stored session, replays every subscription — so a
+broker restart that wiped its state is survived transparently.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ from repro.simkit.world import World
 #: Signature of a subscription callback: (topic, payload).
 MessageCallback = Callable[[str, Any], None]
 
+#: Signature of a connection-state callback: (connected: bool).
+ConnectionCallback = Callable[[bool], None]
+
 
 @dataclass
 class _PendingPublish:
@@ -37,10 +48,21 @@ class MqttClient(Endpoint):
 
     RETRY_INTERVAL = 5.0
     MAX_RETRIES = 5
+    #: Silence (in keep-alive periods) before the watchdog declares the
+    #: connection lost; matches the broker's expiry grace.
+    WATCHDOG_GRACE = 1.5
+    #: First reconnect delay; doubles per failed attempt.
+    RECONNECT_BASE_S = 2.0
+    #: Backoff ceiling, so a long outage is probed every ~30 s.
+    RECONNECT_MAX_S = 30.0
+    #: Jitter fraction added to each backoff (decorrelates a fleet of
+    #: clients reconnecting after the same broker restart).
+    RECONNECT_JITTER = 0.25
 
     def __init__(self, world: World, network: Network, *, client_id: str,
                  address: str, broker_address: str = "mqtt-broker",
-                 keepalive: float = 60.0, radio=None):
+                 keepalive: float = 60.0, radio=None,
+                 auto_reconnect: bool = True):
         self._world = world
         self._network = network
         self.client_id = client_id
@@ -48,14 +70,30 @@ class MqttClient(Endpoint):
         self.broker_address = broker_address
         self.keepalive = keepalive
         self.radio = radio
+        self.auto_reconnect = auto_reconnect
         self.connected = False
         self._callbacks: dict[str, list[MessageCallback]] = {}
+        self._subscription_qos: dict[str, int] = {}
         self._pending: dict[int, _PendingPublish] = {}
         self._next_packet_id = 1
         self._ping_task: PeriodicTask | None = None
+        self._watchdog_task: PeriodicTask | None = None
         self._seen_inbound: set[int] = set()
+        self._connection_callbacks: list[ConnectionCallback] = []
+        self._reconnect_rng = world.rng(f"mqtt-reconnect-{client_id}")
+        self._reconnect_handle: EventHandle | None = None
+        self._reconnect_backoff = self.RECONNECT_BASE_S
+        self._awaiting_connack = False
+        self._clean_session = True
+        self._will_topic: str | None = None
+        self._will_payload: Any = None
         self.publishes_sent = 0
         self.publishes_received = 0
+        #: Resilience counters, surfaced through :meth:`health`.
+        self.connection_losses = 0
+        self.reconnects = 0
+        self.last_inbound = world.now
+        self.last_reconnected_at: float | None = None
         if not network.is_registered(address):
             network.register(address, self)
 
@@ -64,17 +102,29 @@ class MqttClient(Endpoint):
     def connect(self, clean_session: bool = True,
                 will_topic: str | None = None, will_payload: Any = None) -> None:
         """Open the session; CONNACK arrives asynchronously."""
+        self._clean_session = clean_session
+        self._will_topic = will_topic
+        self._will_payload = will_payload
         self._network.send(self.address, self.broker_address, packets.Connect(
             client_id=self.client_id, clean_session=clean_session,
             keepalive=self.keepalive, will_topic=will_topic,
             will_payload=will_payload))
         self.connected = True  # optimistic; simulation has no refusals
+        self.last_inbound = self._world.now
         if self._ping_task is None and self.keepalive > 0:
             self._ping_task = self._world.scheduler.every(
                 self.keepalive, self._ping, delay=self.keepalive)
+        if (self._watchdog_task is None and self.auto_reconnect
+                and self.keepalive > 0):
+            self._watchdog_task = self._world.scheduler.every(
+                self.keepalive, self._watchdog_check, delay=self.keepalive)
 
     def disconnect(self) -> None:
         """Close the session cleanly."""
+        self._cancel_reconnect()
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            self._watchdog_task = None
         if not self.connected:
             return
         self._network.send(self.address, self.broker_address, packets.Disconnect())
@@ -86,6 +136,26 @@ class MqttClient(Endpoint):
             if pending.timer is not None:
                 pending.timer.cancel()
         self._pending.clear()
+        self._notify_connection(False)
+
+    def on_connection_change(self, callback: ConnectionCallback) -> None:
+        """Register a callback fired on every connect/disconnect edge.
+
+        The mobile middleware hooks this to flush its store-and-forward
+        outbox the moment connectivity returns.
+        """
+        self._connection_callbacks.append(callback)
+
+    def health(self) -> dict[str, Any]:
+        """Connectivity status for degraded-operation dashboards."""
+        return {
+            "client_id": self.client_id,
+            "connected": self.connected,
+            "pending_qos1": len(self._pending),
+            "connection_losses": self.connection_losses,
+            "reconnects": self.reconnects,
+            "last_seen": self.last_inbound,
+        }
 
     # -- pub/sub ------------------------------------------------------
 
@@ -95,6 +165,7 @@ class MqttClient(Endpoint):
         validate_filter(topic_filter)
         self._require_connected()
         self._callbacks.setdefault(topic_filter, []).append(callback)
+        self._subscription_qos[topic_filter] = qos
         self._network.send(self.address, self.broker_address, packets.Subscribe(
             packet_id=self._take_packet_id(), topic_filter=topic_filter, qos=qos))
 
@@ -102,6 +173,7 @@ class MqttClient(Endpoint):
         """Drop every callback for ``topic_filter``."""
         self._require_connected()
         self._callbacks.pop(topic_filter, None)
+        self._subscription_qos.pop(topic_filter, None)
         self._network.send(self.address, self.broker_address, packets.Unsubscribe(
             packet_id=self._take_packet_id(), topic_filter=topic_filter))
 
@@ -111,7 +183,8 @@ class MqttClient(Endpoint):
 
         With QoS 1 the packet is retransmitted until the broker
         acknowledges it, surviving transient partitions injected by
-        :meth:`repro.net.Network.set_down`.
+        :meth:`repro.net.Network.set_down`; unacknowledged packets are
+        also replayed after an automatic reconnection.
         """
         validate_topic(topic)
         self._require_connected()
@@ -131,16 +204,101 @@ class MqttClient(Endpoint):
     # -- endpoint interface -------------------------------------------
 
     def deliver(self, message: Message) -> None:
+        self.last_inbound = self._world.now
         packet = message.payload
         if isinstance(packet, packets.Publish):
             self._on_publish(packet)
         elif isinstance(packet, packets.PubAck):
             self._on_puback(packet)
-        elif isinstance(packet, (packets.ConnAck, packets.SubAck,
+        elif isinstance(packet, packets.ConnAck):
+            self._on_connack(packet)
+        elif isinstance(packet, (packets.SubAck,
                                  packets.UnsubAck, packets.PingResp)):
             pass  # session bookkeeping only; nothing to do in-model
         else:
             raise MqttProtocolError(f"client cannot handle {type(packet).__name__}")
+
+    # -- reconnect machinery ------------------------------------------
+
+    def _watchdog_check(self) -> None:
+        if not self.connected or self.keepalive <= 0:
+            return
+        if (self._world.now - self.last_inbound
+                > self.keepalive * self.WATCHDOG_GRACE):
+            self._connection_lost()
+
+    def _connection_lost(self) -> None:
+        """The broker went silent: drop to disconnected and start the
+        backoff loop (if auto-reconnect is on)."""
+        if not self.connected:
+            return
+        self.connected = False
+        self.connection_losses += 1
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+                pending.timer = None
+        self._notify_connection(False)
+        if self.auto_reconnect:
+            self._reconnect_backoff = self.RECONNECT_BASE_S
+            self._schedule_reconnect()
+
+    def _schedule_reconnect(self) -> None:
+        delay = self._reconnect_backoff * (
+            1.0 + self._reconnect_rng.uniform(0.0, self.RECONNECT_JITTER))
+        self._reconnect_backoff = min(self._reconnect_backoff * 2.0,
+                                      self.RECONNECT_MAX_S)
+        self._reconnect_handle = self._world.scheduler.schedule(
+            delay, self._attempt_reconnect)
+
+    def _attempt_reconnect(self) -> None:
+        if self.connected:
+            return
+        self._awaiting_connack = True
+        self._network.send(self.address, self.broker_address, packets.Connect(
+            client_id=self.client_id, clean_session=self._clean_session,
+            keepalive=self.keepalive, will_topic=self._will_topic,
+            will_payload=self._will_payload))
+        # If the CONNECT (or its CONNACK) is eaten, try again later.
+        self._schedule_reconnect()
+
+    def _on_connack(self, packet: packets.ConnAck) -> None:
+        if not self._awaiting_connack:
+            return  # initial optimistic connect; nothing to restore
+        self._awaiting_connack = False
+        self._cancel_reconnect()
+        self.connected = True
+        self.reconnects += 1
+        self.last_reconnected_at = self._world.now
+        self._reconnect_backoff = self.RECONNECT_BASE_S
+        if not packet.session_present:
+            # The broker lost our session (restart with wiped state, or
+            # expiry of a clean session): replay every subscription.
+            self._seen_inbound.clear()
+            for topic_filter in sorted(self._subscription_qos):
+                self._network.send(
+                    self.address, self.broker_address,
+                    packets.Subscribe(packet_id=self._take_packet_id(),
+                                      topic_filter=topic_filter,
+                                      qos=self._subscription_qos[topic_filter]))
+        for packet_id in sorted(self._pending):
+            pending = self._pending[packet_id]
+            pending.retries_left = self.MAX_RETRIES
+            pending.packet.duplicate = True
+            self._network.send(self.address, self.broker_address, pending.packet)
+            pending.timer = self._world.scheduler.schedule(
+                self.RETRY_INTERVAL, self._retry, packet_id)
+        self._notify_connection(True)
+
+    def _cancel_reconnect(self) -> None:
+        if self._reconnect_handle is not None:
+            self._reconnect_handle.cancel()
+            self._reconnect_handle = None
+        self._awaiting_connack = False
+
+    def _notify_connection(self, connected: bool) -> None:
+        for callback in list(self._connection_callbacks):
+            callback(connected)
 
     # -- internals ----------------------------------------------------
 
@@ -170,7 +328,8 @@ class MqttClient(Endpoint):
         if pending is None or not self.connected:
             return
         if pending.retries_left <= 0:
-            self._pending.pop(packet_id, None)
+            # Keep the packet for replay after a reconnection instead
+            # of dropping it: the watchdog will notice the dead link.
             return
         pending.retries_left -= 1
         pending.packet.duplicate = True

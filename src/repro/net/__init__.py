@@ -5,9 +5,17 @@ latency distributions, link loss, and per-byte accounting hooks that
 the device radio model uses to charge transmission energy (including
 the post-transmission radio energy tail the paper cites from
 Cool-Tether [40]).
+
+Fault injection is first-class: per-link/per-endpoint probabilistic
+loss, latency jitter, scheduled partition windows and flap schedules,
+each with drop counters — see :class:`Network` and docs/FAULTS.md.
 """
 
-from repro.net.errors import NetworkError, UnknownEndpointError
+from repro.net.errors import (
+    DuplicateEndpointError,
+    NetworkError,
+    UnknownEndpointError,
+)
 from repro.net.latency import (
     FixedLatency,
     GaussianLatency,
@@ -18,6 +26,7 @@ from repro.net.message import Message, estimate_size
 from repro.net.network import Endpoint, Network
 
 __all__ = [
+    "DuplicateEndpointError",
     "Endpoint",
     "FixedLatency",
     "GaussianLatency",

@@ -7,3 +7,7 @@ class NetworkError(Exception):
 
 class UnknownEndpointError(NetworkError):
     """Raised when sending to or from an address that is not registered."""
+
+
+class DuplicateEndpointError(NetworkError):
+    """Raised when registering an address that is already taken."""

@@ -6,6 +6,14 @@ endpoint's ``deliver`` runs at the delivery instant.  Endpoints may
 expose a ``radio`` attribute (see :mod:`repro.device.radio`) whose
 ``account_tx`` / ``account_rx`` hooks are charged per message — this is
 how transmission energy reaches the battery model.
+
+Fault models live here too: probabilistic per-link packet loss,
+latency jitter, and partition windows / flap schedules driven by the
+world scheduler.  Every drop is counted (globally and per endpoint) so
+resilience tests can assert on exactly what the network ate.  All
+randomness comes from the dedicated ``net-faults`` RNG stream, so a run
+with no faults configured draws nothing from it and is bit-identical
+to a run on a network without the fault machinery.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable
 
-from repro.net.errors import UnknownEndpointError
+from repro.net.errors import DuplicateEndpointError, UnknownEndpointError
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.message import Message, estimate_size
 from repro.simkit.world import World
@@ -48,21 +56,36 @@ class Network:
     def __init__(self, world: World, default_latency: LatencyModel | None = None):
         self._world = world
         self._rng = world.rng("network")
+        self._fault_rng = world.rng("net-faults")
         self._endpoints: dict[str, Endpoint] = {}
         self._link_latency: dict[tuple[str, str], LatencyModel] = {}
         self._endpoint_latency: dict[str, LatencyModel] = {}
         self.default_latency = default_latency or self.DEFAULT_LATENCY
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_delivered = 0
+        #: Messages eaten by any fault: partitions + probabilistic loss.
+        self.messages_dropped = 0
+        self.bytes_dropped = 0
+        #: Messages dropped because an endpoint was partitioned.
+        self.partition_drops = 0
+        #: Messages dropped by a probabilistic loss draw.
+        self.loss_drops = 0
+        self._drops_by_endpoint: dict[str, int] = {}
         self._down: set[str] = set()
         self._last_delivery: dict[tuple[str, str], float] = {}
+        self.default_loss = 0.0
+        self._link_loss: dict[tuple[str, str], float] = {}
+        self._endpoint_loss: dict[str, float] = {}
+        self._link_jitter: dict[tuple[str, str], LatencyModel] = {}
+        self._endpoint_jitter: dict[str, LatencyModel] = {}
 
     # -- topology -----------------------------------------------------
 
     def register(self, address: str, endpoint: Endpoint | Callable[[Message], None]) -> str:
         """Attach an endpoint under ``address``; returns the address."""
         if address in self._endpoints:
-            raise UnknownEndpointError(f"address {address!r} already registered")
+            raise DuplicateEndpointError(f"address {address!r} already registered")
         if not isinstance(endpoint, Endpoint):
             endpoint = _CallbackEndpoint(endpoint)
         self._endpoints[address] = endpoint
@@ -84,16 +107,81 @@ class Network:
         """Override latency for every message *to* ``address``."""
         self._endpoint_latency[address] = model
 
-    def set_down(self, address: str, down: bool = True) -> None:
-        """Partition an endpoint: messages to it are silently dropped.
+    # -- fault models -------------------------------------------------
 
-        Used by failure-injection tests; mirrors a phone losing
-        connectivity, which the MQTT QoS-1 retry path must survive.
+    def set_down(self, address: str, down: bool = True) -> None:
+        """Partition an endpoint: messages to or from it are dropped.
+
+        Used by failure injection; mirrors a phone losing connectivity,
+        which the MQTT QoS-1 retry path must survive.  Every message a
+        partition eats is counted in :attr:`partition_drops` and
+        against the partitioned address (:meth:`drop_count`).
         """
         if down:
             self._down.add(address)
         else:
             self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
+
+    def schedule_partition(self, address: str, start: float,
+                           duration: float) -> None:
+        """Partition ``address`` during ``[start, start + duration)``.
+
+        Times are absolute simulated instants; scheduling in the past
+        raises, same as any scheduler use.
+        """
+        scheduler = self._world.scheduler
+        scheduler.schedule_at(start, self.set_down, address, True)
+        scheduler.schedule_at(start + duration, self.set_down, address, False)
+
+    def schedule_flaps(self, address: str, start: float, cycles: int,
+                       down_for: float, up_for: float) -> None:
+        """Flap ``address``: ``cycles`` windows of down/up starting at
+        ``start``.  Models a walk through patchy coverage."""
+        at = start
+        for _ in range(cycles):
+            self.schedule_partition(address, at, down_for)
+            at += down_for + up_for
+
+    def set_default_loss(self, rate: float) -> None:
+        """Probability that any message is silently lost in transit."""
+        self.default_loss = self._check_rate(rate)
+
+    def set_link_loss(self, src: str, dst: str, rate: float) -> None:
+        """Loss probability for the directed link ``src -> dst``."""
+        self._link_loss[(src, dst)] = self._check_rate(rate)
+
+    def set_endpoint_loss(self, address: str, rate: float) -> None:
+        """Loss probability for every message to *or from* ``address``
+        (a flaky radio eats traffic in both directions)."""
+        self._endpoint_loss[address] = self._check_rate(rate)
+
+    def set_link_jitter(self, src: str, dst: str,
+                        model: LatencyModel | None) -> None:
+        """Extra random delay added on the link ``src -> dst``."""
+        if model is None:
+            self._link_jitter.pop((src, dst), None)
+        else:
+            self._link_jitter[(src, dst)] = model
+
+    def set_endpoint_jitter(self, address: str,
+                            model: LatencyModel | None) -> None:
+        """Extra random delay added to every message *to* ``address``."""
+        if model is None:
+            self._endpoint_jitter.pop(address, None)
+        else:
+            self._endpoint_jitter[address] = model
+
+    def drop_count(self, address: str) -> int:
+        """Messages dropped charged against ``address`` (partitioned
+        endpoint, or destination of a lossy link draw)."""
+        return self._drops_by_endpoint.get(address, 0)
+
+    def drop_counts(self) -> dict[str, int]:
+        """Per-endpoint drop counters, for fault reports."""
+        return dict(self._drops_by_endpoint)
 
     # -- data path ----------------------------------------------------
 
@@ -123,9 +211,19 @@ class Network:
             sender.radio.account_tx(message.size)
 
         if dst in self._down or src in self._down:
+            self._account_drop(message, dst if dst in self._down else src,
+                               partition=True)
             return message  # dropped by the partition; QoS layers retry
 
+        loss = self._loss_for(src, dst)
+        if loss > 0.0 and self._fault_rng.random() < loss:
+            self._account_drop(message, dst, partition=False)
+            return message  # lost in transit; QoS layers retry
+
         latency = self._latency_for(src, dst).sample(self._rng)
+        jitter = self._jitter_for(src, dst)
+        if jitter is not None:
+            latency += jitter.sample(self._fault_rng)
         # Per-link FIFO: messages between the same pair ride one TCP
         # connection and never overtake each other.
         delivery_at = max(self._world.now + latency,
@@ -143,11 +241,48 @@ class Network:
             return model
         return self.default_latency
 
+    def _loss_for(self, src: str, dst: str) -> float:
+        rate = self._link_loss.get((src, dst))
+        if rate is not None:
+            return rate
+        endpoint = max(self._endpoint_loss.get(dst, 0.0),
+                       self._endpoint_loss.get(src, 0.0))
+        if endpoint > 0.0:
+            return endpoint
+        return self.default_loss
+
+    def _jitter_for(self, src: str, dst: str) -> LatencyModel | None:
+        model = self._link_jitter.get((src, dst))
+        if model is not None:
+            return model
+        return self._endpoint_jitter.get(dst)
+
     def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None or message.dst in self._down:
-            return  # endpoint vanished or went down while in flight
+            # Endpoint vanished or went down while the message was in
+            # flight; account it like any other partition drop.
+            self._account_drop(message, message.dst, partition=True)
+            return
         message.delivered_at = self._world.now
+        self.messages_delivered += 1
         if endpoint.radio is not None:
             endpoint.radio.account_rx(message.size)
         endpoint.deliver(message)
+
+    def _account_drop(self, message: Message, address: str,
+                      partition: bool) -> None:
+        self.messages_dropped += 1
+        self.bytes_dropped += message.size
+        if partition:
+            self.partition_drops += 1
+        else:
+            self.loss_drops += 1
+        self._drops_by_endpoint[address] = \
+            self._drops_by_endpoint.get(address, 0) + 1
+
+    @staticmethod
+    def _check_rate(rate: float) -> float:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        return float(rate)

@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.core.server",
     "repro.device",
     "repro.docstore",
+    "repro.faults",
     "repro.metrics",
     "repro.mqtt",
     "repro.net",

@@ -1,0 +1,159 @@
+"""Tests for fault plans and the chaos controller: event scheduling,
+symbolic target resolution, OSN plug-in outages, device reboots, and
+the injection log / report."""
+
+import pytest
+
+from repro.core.common import Granularity, ModalityType
+from repro.faults import (
+    ChaosController,
+    FaultPlan,
+    FaultTargetError,
+    NAMED_PLANS,
+    build_plan,
+)
+from repro.scenarios.testbed import SenSocialTestbed
+
+
+def deploy(seed=7, users=("alice",)):
+    testbed = SenSocialTestbed(seed=seed)
+    for user_id in users:
+        node = testbed.add_user(user_id, "Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    return testbed
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = (FaultPlan("p")
+                .partition("broker", start=50.0, duration=10.0)
+                .broker_restart(at=5.0, downtime=2.0))
+        times = [event.at for event in plan.events()]
+        assert times == sorted(times)
+        assert len(plan) == 4
+        assert not plan.is_empty
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().add("link_down", -1.0, "broker")
+
+    def test_flap_expands_to_partitions(self):
+        plan = FaultPlan().flap("devices", start=0.0, cycles=3,
+                                down_for=5.0, up_for=5.0)
+        kinds = [event.kind for event in plan.events()]
+        assert kinds == ["link_down", "link_up"] * 3
+
+    def test_bounded_packet_loss_clears_itself(self):
+        plan = FaultPlan().packet_loss("devices", rate=0.2,
+                                       start=10.0, duration=50.0)
+        events = plan.events()
+        assert events[0].params["rate"] == 0.2
+        assert events[1].at == 60.0
+        assert events[1].params["rate"] == 0.0
+
+    def test_named_plans_build(self):
+        for name in NAMED_PLANS:
+            plan = build_plan(name, horizon=600.0)
+            assert plan.name == name
+
+    def test_unknown_named_plan(self):
+        with pytest.raises(KeyError):
+            build_plan("meteor-strike", horizon=600.0)
+
+
+class TestTargetResolution:
+    def test_symbolic_targets_resolve(self):
+        testbed = deploy()
+        controller = ChaosController(testbed)
+        assert controller._addresses("broker") == [testbed.broker.address]
+        assert testbed.server.address in controller._addresses("server")
+        alice = controller._addresses("device:alice")
+        assert testbed.nodes["alice"].phone.address in alice
+        assert controller._addresses("devices") == alice
+        assert controller._addresses("some/raw-address") == ["some/raw-address"]
+
+    def test_unknown_device_raises(self):
+        controller = ChaosController(deploy())
+        with pytest.raises(FaultTargetError):
+            controller._addresses("device:nobody")
+
+    def test_unknown_plugin_raises(self):
+        testbed = deploy()
+        controller = ChaosController(testbed)
+        controller.apply(FaultPlan().plugin_outage("myspace", 10.0, 10.0))
+        with pytest.raises(FaultTargetError):
+            testbed.run(20.0)
+
+    def test_unknown_kind_raises(self):
+        testbed = deploy()
+        controller = ChaosController(testbed)
+        controller.apply(FaultPlan().add("gremlins", 1.0, "broker"))
+        with pytest.raises(FaultTargetError):
+            testbed.run(5.0)
+
+
+class TestInjection:
+    def test_partition_fires_on_schedule(self):
+        testbed = deploy()
+        controller = ChaosController(testbed)
+        controller.apply(FaultPlan().partition("device:alice",
+                                               start=testbed.world.now + 10.0,
+                                               duration=20.0))
+        phone = testbed.nodes["alice"].phone.address
+        testbed.run(15.0)
+        assert testbed.network.is_down(phone)
+        testbed.run(20.0)
+        assert not testbed.network.is_down(phone)
+        assert len(controller.injected) == 2
+        assert "link_down" in controller.injected[0][1]
+
+    def test_plugin_outage_suppresses_actions(self):
+        testbed = deploy()
+        start = testbed.world.now + 5.0
+        controller = ChaosController(testbed)
+        controller.apply(FaultPlan().plugin_outage("facebook", start=start,
+                                                   duration=60.0))
+        testbed.run(10.0)  # inside the outage
+        assert not testbed.facebook_plugin.started
+        testbed.facebook.perform_action("alice", "post", content="unseen")
+        testbed.run(120.0)  # outage over
+        assert testbed.facebook_plugin.started
+        missed_during_outage = testbed.server.actions_received
+        testbed.facebook.perform_action("alice", "post", content="seen")
+        testbed.run(120.0)
+        assert testbed.server.actions_received == missed_during_outage + 1
+
+    def test_device_reboot_queues_then_drains(self):
+        testbed = deploy()
+        controller = ChaosController(testbed)
+        controller.apply(FaultPlan().device_reboot(
+            "alice", at=testbed.world.now + 60.0, downtime=90.0))
+        testbed.run(120.0)  # mid-reboot
+        manager = testbed.nodes["alice"].manager
+        assert not manager.mqtt.client.connected or manager.health()["queued"] >= 0
+        testbed.run(480.0)  # well past recovery
+        health = manager.health()
+        assert health["connected"]
+        assert health["queued"] == 0
+        assert testbed.server.records_received == health["enqueued"]
+
+    def test_report_accounts_injections_and_delivery(self):
+        testbed = deploy()
+        controller = ChaosController(testbed)
+        # Downtime must outlast the watchdog grace (1.5 × 60 s
+        # keep-alive) or clients never even notice the restart.
+        controller.apply(FaultPlan("bump").broker_restart(
+            at=testbed.world.now + 60.0, downtime=120.0))
+        testbed.run(600.0)
+        report = controller.report()
+        assert report.plan_name == "bump"
+        assert len(report.injected) == 2
+        assert report.broker["crashes"] == 1
+        assert report.broker["restarts"] == 1
+        assert report.records_lost == 0
+        assert report.recovery_delays  # someone reconnected post-restart
+        text = report.format()
+        assert "records lost" in text
+        assert "broker_crash" in text

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.net import (
+    DuplicateEndpointError,
     FixedLatency,
     GaussianLatency,
     Network,
@@ -91,7 +92,7 @@ class TestDelivery:
     def test_duplicate_registration_rejected(self):
         _, network = make_network()
         network.register("a", lambda message: None)
-        with pytest.raises(UnknownEndpointError):
+        with pytest.raises(DuplicateEndpointError):
             network.register("a", lambda message: None)
 
     def test_unregister_then_reuse_address(self):
@@ -154,6 +155,9 @@ class TestPartitions:
         network.send("a", "b", "lost")
         world.run_for(1.0)
         assert inbox == []
+        assert network.messages_dropped == 1
+        assert network.partition_drops == 1
+        assert network.drop_count("b") == 1
 
     def test_endpoint_recovers_after_partition(self):
         world, network = make_network()
@@ -176,3 +180,5 @@ class TestPartitions:
         network.set_down("b")
         world.run_for(1.0)
         assert inbox == []
+        assert network.messages_dropped == 1
+        assert network.drop_count("b") == 1

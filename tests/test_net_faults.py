@@ -1,0 +1,165 @@
+"""Unit tests for the network fault models: loss, jitter, partition
+windows, flap schedules, and drop accounting."""
+
+import pytest
+
+from repro.net import FixedLatency, Network
+from repro.simkit import World
+
+
+def make_network(seed=1, latency=None):
+    world = World(seed=seed)
+    return world, Network(world, default_latency=latency or FixedLatency(0.1))
+
+
+def wire(network, inbox):
+    network.register("a", lambda message: None)
+    network.register("b", lambda message: inbox.append(message.payload))
+
+
+class TestPacketLoss:
+    def test_default_loss_eats_a_fraction(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.set_default_loss(0.5)
+        for index in range(200):
+            network.send("a", "b", index)
+        world.run_for(5.0)
+        assert 40 < len(inbox) < 160
+        assert network.loss_drops == 200 - len(inbox)
+        assert network.messages_dropped == network.loss_drops
+        assert network.drop_count("b") == network.loss_drops
+
+    def test_loss_one_drops_everything(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.set_endpoint_loss("b", 1.0)
+        for index in range(20):
+            network.send("a", "b", index)
+        world.run_for(5.0)
+        assert inbox == []
+        assert network.loss_drops == 20
+
+    def test_endpoint_loss_is_bidirectional(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        # Loss configured on the *source* eats its outbound traffic too:
+        # a flaky radio fails both ways.
+        network.set_endpoint_loss("a", 1.0)
+        network.send("a", "b", "gone")
+        world.run_for(1.0)
+        assert inbox == []
+
+    def test_link_loss_overrides_endpoint_loss(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.set_endpoint_loss("b", 1.0)
+        network.set_link_loss("a", "b", 0.0)
+        network.send("a", "b", "survives")
+        world.run_for(1.0)
+        assert inbox == ["survives"]
+
+    def test_loss_rate_validated(self):
+        _, network = make_network()
+        with pytest.raises(ValueError):
+            network.set_default_loss(1.5)
+        with pytest.raises(ValueError):
+            network.set_endpoint_loss("b", -0.1)
+
+    def test_zero_loss_draws_nothing_from_fault_rng(self):
+        # Fault-free runs must not consume fault randomness, so adding
+        # the fault machinery can never perturb an existing scenario.
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        before = network._fault_rng.getstate()
+        network.send("a", "b", "x")
+        world.run_for(1.0)
+        assert network._fault_rng.getstate() == before
+
+
+class TestJitter:
+    def test_endpoint_jitter_delays_delivery(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.set_endpoint_jitter("b", FixedLatency(2.0))
+        network.send("a", "b", "late")
+        world.run_for(1.0)
+        assert inbox == []
+        world.run_for(1.5)
+        assert inbox == ["late"]
+
+    def test_link_jitter_overrides_endpoint_jitter(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.set_endpoint_jitter("b", FixedLatency(10.0))
+        network.set_link_jitter("a", "b", FixedLatency(0.5))
+        network.send("a", "b", "x")
+        world.run_for(1.0)
+        assert inbox == ["x"]
+
+    def test_jitter_cleared_with_none(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.set_endpoint_jitter("b", FixedLatency(10.0))
+        network.set_endpoint_jitter("b", None)
+        network.send("a", "b", "x")
+        world.run_for(1.0)
+        assert inbox == ["x"]
+
+
+class TestPartitionWindows:
+    def test_scheduled_partition_opens_and_closes(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.schedule_partition("b", start=10.0, duration=5.0)
+        world.run_for(9.0)
+        assert not network.is_down("b")
+        network.send("a", "b", "before")  # lands at t≈9.1, before start
+        world.run_for(3.0)  # now t=12, inside the window
+        assert network.is_down("b")
+        network.send("a", "b", "during")
+        world.run_for(4.0)  # now t=16, window closed
+        assert not network.is_down("b")
+        network.send("a", "b", "after")
+        world.run_for(1.0)
+        assert inbox == ["before", "after"]
+        assert network.partition_drops == 1
+
+    def test_flap_schedule_cycles(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.schedule_flaps("b", start=10.0, cycles=3,
+                               down_for=5.0, up_for=5.0)
+        down_samples = []
+        for t in (12.0, 17.0, 22.0, 27.0, 32.0, 37.0, 42.0):
+            world.run_until(t)
+            down_samples.append(network.is_down("b"))
+        assert down_samples == [True, False, True, False, True, False, False]
+
+
+class TestDropAccounting:
+    def test_drop_counts_split_by_cause(self):
+        world, network = make_network()
+        inbox = []
+        wire(network, inbox)
+        network.set_down("b")
+        network.send("a", "b", "partitioned")
+        network.set_down("b", False)
+        network.set_link_loss("a", "b", 1.0)
+        network.send("a", "b", "lossy")
+        world.run_for(1.0)
+        assert network.partition_drops == 1
+        assert network.loss_drops == 1
+        assert network.messages_dropped == 2
+        assert network.bytes_dropped > 0
+        assert network.drop_counts() == {"b": 2}
