@@ -1,0 +1,76 @@
+"""Observability overhead — the cost of leaving tracing on.
+
+Not a paper table: the paper never instruments its middleware.  This
+bench runs the same multi-user scenario with the ``repro.obs`` hub
+installed and without, on the same seed, and reports the wall-clock
+ratio plus the per-record bookkeeping volume.  The instrumentation is
+designed to be cheap enough to leave enabled (O(1) dict updates off
+the virtual clock, one ``None`` check per site when disabled), so the
+enabled run must stay within a small multiple of the bare run — and
+the disabled run must not regress at all, which the tier-1 determinism
+tests already pin bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.common import Granularity, ModalityType
+from repro.scenarios.testbed import SenSocialTestbed
+
+USERS = 5
+HORIZON_S = 30 * 60.0
+
+#: Generous ceiling on enabled/disabled wall-clock ratio — the bench
+#: guards against accidental O(n^2) bookkeeping, not micro-costs, and
+#: must not flake on a noisy CI box.
+MAX_OVERHEAD_RATIO = 3.0
+
+
+def run_scenario(observability: bool) -> dict:
+    started = time.perf_counter()
+    testbed = SenSocialTestbed(seed=17, observability=observability)
+    for index in range(USERS):
+        node = testbed.add_user(f"user{index}", "Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    testbed.run(HORIZON_S)
+    elapsed = time.perf_counter() - started
+    result = {
+        "wall_s": elapsed,
+        "ingested": testbed.server.records_received,
+        "messages": testbed.network.messages_sent,
+    }
+    if observability:
+        result["traces"] = testbed.obs.tracer.started
+        result["metrics"] = len(testbed.obs.telemetry)
+    return result
+
+
+def test_tracing_overhead_is_bounded(benchmark, report):
+    def measure() -> dict:
+        bare = run_scenario(observability=False)
+        traced = run_scenario(observability=True)
+        return {"bare": bare, "traced": traced,
+                "ratio": traced["wall_s"] / max(bare["wall_s"], 1e-9)}
+
+    result = run_once(benchmark, measure)
+    bare, traced = result["bare"], result["traced"]
+    report(
+        "observability overhead (not in the paper)",
+        ["run", "wall s", "ingested", "messages", "traces", "metrics"],
+        [["bare", f"{bare['wall_s']:.3f}", bare["ingested"],
+          bare["messages"], "-", "-"],
+         ["traced", f"{traced['wall_s']:.3f}", traced["ingested"],
+          traced["messages"], traced["traces"], traced["metrics"]],
+         ["ratio", f"{result['ratio']:.2f}x", "", "", "", ""]])
+
+    # Tracing must observe the run, not change it.
+    assert traced["ingested"] == bare["ingested"]
+    assert traced["messages"] == bare["messages"]
+    # Every ingested record was traced (plus any local-only records).
+    assert traced["traces"] >= traced["ingested"]
+    # The headline bound: leaving tracing on stays affordable.
+    assert result["ratio"] <= MAX_OVERHEAD_RATIO

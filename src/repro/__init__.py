@@ -45,6 +45,7 @@ from repro.core.server import (
     ServerSenSocialManager,
     ServerStream,
 )
+from repro.obs import Observability, ObsReport, Telemetry, TraceContext, Tracer
 from repro.scenarios import MobileNode, SenSocialTestbed, build_paris_scenario
 from repro.simkit import World
 
@@ -62,6 +63,8 @@ __all__ = [
     "ModalityValue",
     "MulticastQuery",
     "MulticastStream",
+    "Observability",
+    "ObsReport",
     "Operator",
     "PrivacyPolicy",
     "PrivacyPolicyDescriptor",
@@ -72,6 +75,9 @@ __all__ = [
     "StreamMode",
     "StreamRecord",
     "StreamState",
+    "Telemetry",
+    "TraceContext",
+    "Tracer",
     "World",
     "build_paris_scenario",
     "__version__",

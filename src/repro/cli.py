@@ -5,6 +5,7 @@ Usage::
     python -m repro demo paris --hours 3
     python -m repro demo sensor-map --users 3 --minutes 60
     python -m repro chaos --plan broker-restart --minutes 10
+    python -m repro obs --scenario paris --ticks 900
     python -m repro experiments
 """
 
@@ -98,7 +99,7 @@ def _chaos(args) -> int:
     from repro.faults import ChaosController, build_plan
 
     horizon = args.minutes * 60.0
-    testbed = SenSocialTestbed(seed=args.seed)
+    testbed = SenSocialTestbed(seed=args.seed, observability=args.obs)
     cities = ["Paris", "Bordeaux", "London"]
     for index in range(args.users):
         node = testbed.add_user(f"user{index}",
@@ -114,6 +115,33 @@ def _chaos(args) -> int:
     report = controller.report()
     print(report.format())
     return 0 if report.records_lost == 0 else 1
+
+
+def _obs(args) -> int:
+    from repro import Granularity, ModalityType
+    from repro.scenarios import build_paris_scenario
+
+    testbed = build_paris_scenario(seed=args.seed, observability=True)
+    for node in testbed.nodes.values():
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    testbed.run(args.ticks)
+    # Quiet tail so in-flight records settle into terminal states.
+    testbed.run(args.drain)
+    depths = {f"outbox:{user_id}": len(node.manager.outbox)
+              for user_id, node in sorted(testbed.nodes.items())}
+    report = testbed.obs.report(queue_depths=depths, network=testbed.network)
+    print(report.format())
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(testbed.obs.tracer.to_jsonl())
+        print(f"\nspan log written to {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(testbed.obs.telemetry.to_prometheus())
+        print(f"metrics dump written to {args.prom}")
+    return 0
 
 
 def _experiments(args) -> int:
@@ -157,7 +185,24 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--minutes", type=float, default=10.0)
     chaos.add_argument("--drain", type=float, default=120.0,
                        help="quiet seconds appended before the report")
+    chaos.add_argument("--obs", action="store_true",
+                       help="enable record tracing and attach the obs "
+                            "section to the chaos report")
     chaos.set_defaults(handler=_chaos)
+
+    obs = subparsers.add_parser(
+        "obs", help="run a traced scenario and print the obs report")
+    obs.add_argument("--scenario", choices=["paris"], default="paris")
+    obs.add_argument("--seed", type=int, default=2)
+    obs.add_argument("--ticks", type=float, default=900.0,
+                     help="simulated seconds to run")
+    obs.add_argument("--drain", type=float, default=60.0,
+                     help="quiet seconds appended before the report")
+    obs.add_argument("--jsonl", metavar="PATH",
+                     help="write the span/event log as JSONL")
+    obs.add_argument("--prom", metavar="PATH",
+                     help="write a Prometheus-style metrics dump")
+    obs.set_defaults(handler=_obs)
 
     experiments = subparsers.add_parser(
         "experiments", help="list the paper experiments and their benches")

@@ -30,9 +30,14 @@ class StreamRecord:
     #: social-event-based (``None`` for plain continuous samples).
     osn_action: dict[str, Any] | None = None
     wire_bytes: int = 0
+    #: Observability trace context (:class:`repro.obs.TraceContext`)
+    #: riding the record phone→server; ``None`` when tracing is off,
+    #: and then absent from the wire document too — untraced runs stay
+    #: bit-identical.
+    trace: Any = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        document = {
             "stream_id": self.stream_id,
             "user_id": self.user_id,
             "device_id": self.device_id,
@@ -43,9 +48,16 @@ class StreamRecord:
             "details": dict(self.details),
             "osn_action": dict(self.osn_action) if self.osn_action else None,
         }
+        if self.trace is not None:
+            document["trace"] = self.trace.to_dict()
+        return document
 
     @classmethod
     def from_dict(cls, document: dict[str, Any]) -> "StreamRecord":
+        trace = document.get("trace")
+        if trace is not None:
+            from repro.obs.trace import TraceContext
+            trace = TraceContext.from_dict(trace)
         return cls(
             stream_id=document["stream_id"],
             user_id=document["user_id"],
@@ -56,4 +68,5 @@ class StreamRecord:
             value=document["value"],
             details=dict(document.get("details", {})),
             osn_action=document.get("osn_action"),
+            trace=trace,
         )

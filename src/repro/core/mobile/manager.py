@@ -28,6 +28,7 @@ from repro.device import calibration
 from repro.device.phone import Smartphone
 from repro.device.sensors.base import SensorReading
 from repro.net.network import Network
+from repro.obs import Healthcheck, Observability
 from repro.sensing import ESSensorManager, SensingConfig
 from repro.simkit.scheduler import PeriodicTask
 from repro.simkit.world import World
@@ -112,9 +113,12 @@ class MobileSenSocialManager:
         self.triggers_handled = 0
         self.records_transmitted = 0
         self.records_acked = 0
+        #: Observability hub (``None`` when tracing/telemetry is off).
+        self.obs = Observability.of(world)
         #: Store-and-forward queue for server-bound records: survives
         #: partitions and broker restarts; drained by server acks.
         self.outbox = Outbox()
+        self.outbox.on_evict = self._on_outbox_evict
         phone.on_protocol("stream-ack", self._on_stream_ack)
         self.mqtt.client.on_connection_change(self._on_connectivity_change)
         #: OSN action → trigger arrival delays (Table 3's second row).
@@ -212,6 +216,10 @@ class MobileSenSocialManager:
                                  calibration.HEAP_PER_STREAM_MB,
                                  calibration.HEAP_PER_STREAM_OBJECTS)
         violation = self.privacy.screen(config)
+        if self.obs is not None:
+            self.obs.telemetry.counter(
+                "privacy_screens", device=self.phone.device_id,
+                blocked=violation is not None).inc()
         if violation is not None:
             stream.state = StreamState.PAUSED_PRIVACY
             self._privacy_reasons[config.stream_id] = violation
@@ -285,6 +293,11 @@ class MobileSenSocialManager:
         action = trigger.get("action", {})
         if "created_at" in action:
             self.trigger_latencies.append(self.world.now - action["created_at"])
+            if self.obs is not None:
+                self.obs.telemetry.timer(
+                    "trigger_arrival_delay",
+                    device=self.phone.device_id).observe(
+                        self.world.now - action["created_at"])
         platform_modality = _PLATFORM_MODALITY.get(action.get("platform"))
         if platform_modality is not None:
             self.filter_manager.context.mark_osn_active(platform_modality)
@@ -346,6 +359,10 @@ class MobileSenSocialManager:
         if not self.filter_manager.local_conditions_satisfied(
                 stream.config.filter.local_conditions()):
             stream.cycles_skipped += 1
+            if self.obs is not None:
+                self.obs.telemetry.counter(
+                    "filter_cycles_skipped", device=self.phone.device_id,
+                    stream=stream.stream_id).inc()
             return
         self.sensing.sense_once(
             stream.modality.value,
@@ -355,6 +372,17 @@ class MobileSenSocialManager:
                     osn_action: dict | None) -> None:
         if stream.state is not StreamState.ACTIVE:
             return  # privacy or app pause landed while sensing
+        obs = self.obs
+        trace = None
+        if obs is not None:
+            trace = obs.tracer.start_trace(
+                device=self.phone.device_id, stream=stream.stream_id,
+                modality=stream.modality.value)
+            obs.tracer.span(trace, "sense", start=reading.timestamp,
+                            osn_triggered=osn_action is not None)
+            obs.telemetry.counter("records_sensed",
+                                  device=self.phone.device_id,
+                                  modality=stream.modality.value).inc()
         self.filter_manager.context.update(stream.modality, reading.raw)
         if stream.granularity is Granularity.CLASSIFIED:
             classifier = self._stream_classifiers.get(stream.stream_id)
@@ -365,6 +393,8 @@ class MobileSenSocialManager:
             classified = classifier.classify(reading)
             value, details = classified.label, classified.details
             wire_bytes = classified.wire_bytes
+            if obs is not None:
+                obs.tracer.span(trace, "classify", label=str(value))
         else:
             value, details = reading.raw, dict(reading.meta)
             wire_bytes = reading.wire_bytes
@@ -379,8 +409,12 @@ class MobileSenSocialManager:
             details=details,
             osn_action=osn_action,
             wire_bytes=wire_bytes,
+            trace=trace,
         )
         stream.deliver(record)
+        if obs is not None:
+            obs.tracer.span(trace, "deliver_local",
+                            listeners=stream.listener_count())
         if stream.is_server_bound:
             self.records_transmitted += 1
             payload = record.to_dict()
@@ -389,8 +423,20 @@ class MobileSenSocialManager:
             entry = self.outbox.put(payload["record_id"], payload,
                                     wire_bytes + _RECORD_FRAMING_BYTES,
                                     self.world.now)
+            if trace is not None:
+                entry.meta["trace"] = trace
+            if obs is not None:
+                obs.tracer.event(trace, "outbox_enqueue",
+                                 record_id=payload["record_id"])
+                obs.telemetry.gauge(
+                    "outbox_depth",
+                    device=self.phone.device_id).set(len(self.outbox))
             if self.mqtt.client.connected:
                 self._transmit(entry)
+        elif obs is not None:
+            # Local-only records terminate here: the journey's scope
+            # never includes the server.
+            obs.tracer.mark_delivered(trace, scope="local")
 
     # -- reliable record transport ------------------------------------
 
@@ -398,6 +444,12 @@ class MobileSenSocialManager:
         self.phone.send(self.server_address, "stream-data", entry.payload,
                         size=entry.size)
         self.outbox.mark_sent(entry.record_id, self.world.now)
+        if self.obs is not None:
+            self.obs.tracer.event(entry.meta.get("trace"), "transmit",
+                                  attempt=entry.sends)
+            self.obs.telemetry.counter(
+                "records_transmitted", device=self.phone.device_id,
+                retry=entry.sends > 1).inc()
 
     def _flush_outbox(self, force: bool = False) -> None:
         """(Re)send every due unacknowledged record while connected."""
@@ -417,24 +469,61 @@ class MobileSenSocialManager:
             self._flush_outbox(force=True)
 
     def _on_stream_ack(self, payload, message) -> None:
+        entry = self.outbox.get(payload["record_id"])
         if self.outbox.ack(payload["record_id"]):
             self.records_acked += 1
+            if self.obs is not None and entry is not None:
+                # The outbox span closes on the server's ack: the full
+                # store-and-forward residence time of the record.
+                self.obs.tracer.span(entry.meta.get("trace"), "outbox",
+                                     start=entry.enqueued_at,
+                                     sends=entry.sends)
+                self.obs.telemetry.gauge(
+                    "outbox_depth",
+                    device=self.phone.device_id).set(len(self.outbox))
+
+    def _on_outbox_evict(self, entry) -> None:
+        """The bounded outbox overflowed: the oldest record is gone."""
+        if self.obs is not None:
+            self.obs.tracer.mark_dropped(entry.meta.get("trace"),
+                                         "outbox", "evicted_oldest")
+            self.obs.telemetry.counter(
+                "records_dropped", device=self.phone.device_id,
+                stage="outbox", reason="evicted_oldest").inc()
 
     def health(self) -> dict[str, Any]:
-        """Degraded-operation status of this device's middleware."""
+        """Degraded-operation status of this device's middleware.
+
+        Uniform :class:`repro.obs.Healthcheck` schema (``status`` /
+        ``detail`` / ``counters``) with the counters also flattened at
+        the top level for older consumers.
+        """
         client = self.mqtt.client
-        return {
-            "device_id": self.phone.device_id,
-            "connected": client.connected,
-            "queued": len(self.outbox),
-            "enqueued": self.outbox.enqueued,
-            "dropped": self.outbox.dropped_oldest,
-            "acked": self.records_acked,
-            "retransmissions": self.outbox.retransmissions,
-            "connection_losses": client.connection_losses,
-            "reconnects": client.reconnects,
-            "last_seen": client.last_inbound,
-        }
+        status = Healthcheck.status_for(client.connected,
+                                        backlog=len(self.outbox))
+        last_drop = (self.network.last_drop(self.phone.address)
+                     or self.network.last_drop(client.address))
+        return Healthcheck.build(
+            status=status,
+            detail=(f"device {self.phone.device_id}: "
+                    f"{'connected' if client.connected else 'disconnected'}, "
+                    f"{len(self.outbox)} queued"),
+            counters={
+                "queued": len(self.outbox),
+                "enqueued": self.outbox.enqueued,
+                "dropped": self.outbox.dropped_oldest,
+                "acked": self.records_acked,
+                "retransmissions": self.outbox.retransmissions,
+                "connection_losses": client.connection_losses,
+                "reconnects": client.reconnects,
+                "net_drops": (self.network.drop_count(self.phone.address)
+                              + self.network.drop_count(client.address)),
+            },
+            device_id=self.phone.device_id,
+            connected=client.connected,
+            last_seen=client.last_inbound,
+            last_net_drop=last_drop,
+        )
 
     # -- location reporting ------------------------------------------------------------
 

@@ -47,16 +47,25 @@ class Outbox:
         self.acked = 0
         self.dropped_oldest = 0
         self.retransmissions = 0
+        #: Optional observer called with every evicted entry, so the
+        #: owner can attribute the drop (stage + reason) in its traces.
+        self.on_evict = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def get(self, record_id: str) -> OutboxEntry | None:
+        """The queued entry for ``record_id``, if still unacknowledged."""
+        return self._entries.get(record_id)
 
     def put(self, record_id: str, payload: dict[str, Any], size: int,
             now: float) -> OutboxEntry:
         """Queue a record; evicts (and counts) the oldest when full."""
         while len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
             self.dropped_oldest += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
         entry = OutboxEntry(record_id=record_id, payload=payload,
                             size=size, enqueued_at=now)
         self._entries[record_id] = entry

@@ -33,6 +33,7 @@ from repro.mqtt.client import MqttClient
 from repro.net.latency import LatencyModel
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network
+from repro.obs import Healthcheck, Observability
 from repro.osn.actions import ActionType, OsnAction
 from repro.plugins.base import OsnPlugin
 from repro.simkit.world import World
@@ -71,6 +72,8 @@ class ServerSenSocialManager(Endpoint):
         self._registration_listeners: list[Callable[[str, str], None]] = []
         self._stream_seq = itertools.count(1)
         self._recent_action_latencies: deque[float] = deque(maxlen=1000)
+        #: Observability hub (``None`` when tracing/telemetry is off).
+        self.obs = Observability.of(world)
         #: Sliding window of record ids making QoS-1 replays idempotent.
         self.dedup = RecordDeduper()
         self.records_received = 0
@@ -248,7 +251,8 @@ class ServerSenSocialManager(Endpoint):
     def deliver(self, message: Message) -> None:
         protocol = message.headers.get("protocol")
         if protocol == "stream-data":
-            self._on_stream_data(message.payload, reply_to=message.src)
+            self._on_stream_data(message.payload, reply_to=message.src,
+                                 sent_at=message.sent_at)
         elif protocol == "location-update":
             self._on_location_update(message.payload)
 
@@ -260,7 +264,13 @@ class ServerSenSocialManager(Endpoint):
         for listener in list(self._registration_listeners):
             listener(document["user_id"], document["device_id"])
 
-    def _on_stream_data(self, payload: dict, reply_to: str | None = None) -> None:
+    def _on_stream_data(self, payload: dict, reply_to: str | None = None,
+                        sent_at: float | None = None) -> None:
+        obs = self.obs
+        trace = None
+        if obs is not None and payload.get("trace") is not None:
+            from repro.obs.trace import TraceContext
+            trace = TraceContext.from_dict(payload["trace"])
         record_id = payload.get("record_id")
         if record_id is not None and reply_to is not None:
             # Acknowledge before the dedup decision: the ack for the
@@ -272,20 +282,45 @@ class ServerSenSocialManager(Endpoint):
                               headers={"protocol": "stream-ack"})
         if record_id is not None and self.dedup.seen(record_id):
             self.records_duplicate += 1
+            if obs is not None:
+                # Not a loss: the first copy already terminated this
+                # trace; the replay is only an event on the journey.
+                obs.tracer.event(trace, "duplicate_ingest",
+                                 record_id=record_id)
+                obs.telemetry.counter("records_duplicate").inc()
             return
+        arrived_at = self.world.now
+        if obs is not None:
+            obs.tracer.span(trace, "transport",
+                            start=arrived_at if sent_at is None else sent_at)
         record = StreamRecord.from_dict(payload)
         self.records_received += 1
-        self.last_record_at = self.world.now
+        self.last_record_at = arrived_at
         self.filters.observe_record(record)
         self.database.store_record(record)
+        if obs is not None:
+            obs.tracer.span(trace, "ingest", start=arrived_at,
+                            record_id=record_id)
+            obs.telemetry.counter("records_ingested",
+                                  modality=record.modality.value).inc()
         stream = self.streams.get(record.stream_id)
         if stream is not None:
             cross_user = stream.config.filter.server_conditions()
             if cross_user and not self.filters.cross_user_conditions_satisfied(
                     cross_user):
                 stream.records_suppressed += 1
+                if obs is not None:
+                    obs.tracer.mark_dropped(
+                        trace, "server_filter", "cross_user_condition")
+                    obs.telemetry.counter(
+                        "records_dropped", stage="server_filter",
+                        reason="cross_user_condition").inc()
                 return
             stream.deliver(record)
+        if obs is not None:
+            obs.tracer.span(trace, "stream_delivery", start=arrived_at,
+                            listeners=len(self._record_listeners))
+            obs.tracer.mark_delivered(trace)
         for listener in list(self._record_listeners):
             listener(record)
 
@@ -303,6 +338,10 @@ class ServerSenSocialManager(Endpoint):
     def _on_osn_action(self, action: OsnAction) -> None:
         self.actions_received += 1
         self._recent_action_latencies.append(self.world.now - action.created_at)
+        if self.obs is not None:
+            self.obs.telemetry.timer(
+                "osn_action_delay", platform=action.platform).observe(
+                    self.world.now - action.created_at)
         self.database.store_action(action)
         modality = _PLATFORM_MODALITY.get(action.platform)
         if modality is not None:
@@ -345,13 +384,28 @@ class ServerSenSocialManager(Endpoint):
         return list(self._recent_action_latencies)
 
     def health(self) -> dict:
-        """Degraded-operation status of the server middleware."""
-        return {
-            "connected": self.mqtt.connected,
-            "records_received": self.records_received,
-            "duplicates_dropped": self.records_duplicate,
-            "acks_sent": self.acks_sent,
-            "connection_losses": self.mqtt.connection_losses,
-            "reconnects": self.mqtt.reconnects,
-            "last_seen": self.last_record_at,
-        }
+        """Degraded-operation status of the server middleware.
+
+        Uniform :class:`repro.obs.Healthcheck` schema (``status`` /
+        ``detail`` / ``counters``) with the counters also flattened at
+        the top level for older consumers.
+        """
+        status = Healthcheck.status_for(self.mqtt.connected)
+        return Healthcheck.build(
+            status=status,
+            detail=(f"server {self.address}: "
+                    f"{'connected' if self.mqtt.connected else 'disconnected'}"
+                    f", {self.records_received} records ingested"),
+            counters={
+                "records_received": self.records_received,
+                "duplicates_dropped": self.records_duplicate,
+                "acks_sent": self.acks_sent,
+                "actions_received": self.actions_received,
+                "connection_losses": self.mqtt.connection_losses,
+                "reconnects": self.mqtt.reconnects,
+                "net_drops": self.network.drop_count(self.address),
+            },
+            connected=self.mqtt.connected,
+            last_seen=self.last_record_at,
+            last_net_drop=self.network.last_drop(self.address),
+        )

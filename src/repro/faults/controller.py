@@ -139,6 +139,13 @@ class ChaosController:
         """Snapshot delivery/drop/recovery accounting for the run."""
         devices = [node.manager.health()
                    for _, node in sorted(self.testbed.nodes.items())]
+        obs_doc = None
+        hub = self.world.component_or_none("obs")
+        if hub is not None:
+            depths = {f"outbox:{user_id}": len(node.manager.outbox)
+                      for user_id, node in sorted(self.testbed.nodes.items())}
+            obs_doc = hub.report(queue_depths=depths,
+                                 network=self.network).to_dict()
         return ChaosReport(
             plan_name=", ".join(plan.name for plan in self.plans_applied)
             or "(none)",
@@ -158,4 +165,5 @@ class ChaosController:
             server=self.server.health(),
             devices=devices,
             recovery_delays=dict(self._recovery),
+            obs=obs_doc,
         )

@@ -18,6 +18,9 @@ class ChaosReport:
     devices: list[dict[str, Any]] = field(default_factory=list)
     #: Per-client seconds from the last broker restart to reconnection.
     recovery_delays: dict[str, float] = field(default_factory=dict)
+    #: Observability snapshot (``ObsReport.to_dict()``) when the run's
+    #: world had the obs hub installed; ``None`` otherwise.
+    obs: dict[str, Any] | None = None
 
     # -- derived ------------------------------------------------------
 
@@ -88,4 +91,22 @@ class ChaosReport:
             lines += ["", "recovery after last broker restart:"]
             for client_id, delay in sorted(self.recovery_delays.items()):
                 lines.append(f"  {client_id:24s} {delay:6.1f}s")
+        if self.obs is not None:
+            terminals = self.obs.get("terminals", {})
+            lines += [
+                "",
+                "observability:",
+                f"  traces started       "
+                f"{self.obs.get('traces_started', 0)}",
+                f"  delivered / dropped  "
+                f"{terminals.get('delivered', 0)} / "
+                f"{terminals.get('dropped', 0)}",
+                f"  in-flight at report  {terminals.get('in_flight', 0)}",
+                f"  chain completeness   "
+                f"{self.obs.get('completeness', 0.0):.4f}",
+            ]
+            for drop in self.obs.get("drops", []):
+                lines.append(
+                    f"  drop {drop['stage']}/{drop['reason']:20s} "
+                    f"{drop['count']}")
         return "\n".join(lines)

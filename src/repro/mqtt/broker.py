@@ -76,6 +76,7 @@ class MqttBroker(Endpoint):
         self.running = True
         self.crashes = 0
         self.restarts = 0
+        self._obs = world.component_or_none("obs")
         world.scheduler.every(self.EXPIRY_SWEEP_S, self._expire_dead_sessions,
                               delay=self.EXPIRY_SWEEP_S)
 
@@ -231,6 +232,9 @@ class MqttBroker(Endpoint):
     def _on_publish(self, src: str, packet: packets.Publish) -> None:
         validate_topic(packet.topic)
         self.publishes_received += 1
+        if self._obs is not None:
+            self._obs.telemetry.counter(
+                "broker_publishes_received", topic=packet.topic).inc()
         session = self._session_for(src)
         if session is not None:
             session.last_seen = self._world.now
@@ -281,7 +285,15 @@ class MqttBroker(Endpoint):
                     session.offline_queue.append(packets.Publish(
                         topic=packet.topic, payload=packet.payload,
                         qos=best_qos, headers=dict(packet.headers)))
+                    if self._obs is not None:
+                        self._obs.telemetry.gauge(
+                            "broker_offline_queue_depth",
+                            client=session.client_id).set(
+                                len(session.offline_queue))
         self.messages_routed += delivered
+        if self._obs is not None and delivered:
+            self._obs.telemetry.counter(
+                "broker_routed", topic=packet.topic).inc(delivered)
         return delivered
 
     def _deliver_publish(self, session: _Session, packet: packets.Publish,
@@ -322,6 +334,10 @@ class MqttBroker(Endpoint):
 
     def _flush_offline(self, session: _Session) -> None:
         queued, session.offline_queue = session.offline_queue, []
+        if self._obs is not None and queued:
+            self._obs.telemetry.gauge(
+                "broker_offline_queue_depth",
+                client=session.client_id).set(0)
         for packet in queued:
             self._deliver_publish(session, packet, qos=packet.qos)
 

@@ -25,6 +25,7 @@ from repro.mqtt.errors import MqttProtocolError
 from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network
+from repro.obs import Healthcheck, Observability
 from repro.simkit.scheduler import EventHandle, PeriodicTask
 from repro.simkit.world import World
 
@@ -41,6 +42,9 @@ class _PendingPublish:
     retries_left: int
     timer: EventHandle | None = None
     on_ack: Callable[[], None] | None = None
+    #: First-send instant (virtual clock), so the ack delay — the
+    #: MQTT-publish→ack stage of the pipeline — can be measured.
+    sent_at: float = 0.0
 
 
 class MqttClient(Endpoint):
@@ -94,6 +98,8 @@ class MqttClient(Endpoint):
         self.reconnects = 0
         self.last_inbound = world.now
         self.last_reconnected_at: float | None = None
+        #: Observability hub (``None`` when tracing/telemetry is off).
+        self.obs = Observability.of(world)
         if not network.is_registered(address):
             network.register(address, self)
 
@@ -147,15 +153,30 @@ class MqttClient(Endpoint):
         self._connection_callbacks.append(callback)
 
     def health(self) -> dict[str, Any]:
-        """Connectivity status for degraded-operation dashboards."""
-        return {
-            "client_id": self.client_id,
-            "connected": self.connected,
-            "pending_qos1": len(self._pending),
-            "connection_losses": self.connection_losses,
-            "reconnects": self.reconnects,
-            "last_seen": self.last_inbound,
-        }
+        """Connectivity status for degraded-operation dashboards.
+
+        Uniform :class:`repro.obs.Healthcheck` schema (``status`` /
+        ``detail`` / ``counters``) with the counters also flattened at
+        the top level for older consumers.
+        """
+        status = Healthcheck.status_for(self.connected,
+                                        backlog=len(self._pending))
+        return Healthcheck.build(
+            status=status,
+            detail=(f"mqtt client {self.client_id}: "
+                    f"{'connected' if self.connected else 'disconnected'}, "
+                    f"{len(self._pending)} unacked QoS-1"),
+            counters={
+                "pending_qos1": len(self._pending),
+                "publishes_sent": self.publishes_sent,
+                "publishes_received": self.publishes_received,
+                "connection_losses": self.connection_losses,
+                "reconnects": self.reconnects,
+            },
+            client_id=self.client_id,
+            connected=self.connected,
+            last_seen=self.last_inbound,
+        )
 
     # -- pub/sub ------------------------------------------------------
 
@@ -190,9 +211,13 @@ class MqttClient(Endpoint):
         self._require_connected()
         packet = packets.Publish(topic=topic, payload=payload, qos=qos, retain=retain)
         self.publishes_sent += 1
+        if self.obs is not None:
+            self.obs.telemetry.counter("mqtt_publishes",
+                                       client=self.client_id, qos=qos).inc()
         if qos >= 1:
             packet.packet_id = self._take_packet_id()
-            pending = _PendingPublish(packet, self.MAX_RETRIES, on_ack=on_ack)
+            pending = _PendingPublish(packet, self.MAX_RETRIES, on_ack=on_ack,
+                                      sent_at=self._world.now)
             self._pending[packet.packet_id] = pending
             pending.timer = self._world.scheduler.schedule(
                 self.RETRY_INTERVAL, self._retry, packet.packet_id)
@@ -234,6 +259,9 @@ class MqttClient(Endpoint):
             return
         self.connected = False
         self.connection_losses += 1
+        if self.obs is not None:
+            self.obs.telemetry.counter("mqtt_connection_losses",
+                                       client=self.client_id).inc()
         for pending in self._pending.values():
             if pending.timer is not None:
                 pending.timer.cancel()
@@ -270,6 +298,9 @@ class MqttClient(Endpoint):
         self.connected = True
         self.reconnects += 1
         self.last_reconnected_at = self._world.now
+        if self.obs is not None:
+            self.obs.telemetry.counter("mqtt_reconnects",
+                                       client=self.client_id).inc()
         self._reconnect_backoff = self.RECONNECT_BASE_S
         if not packet.session_present:
             # The broker lost our session (restart with wiped state, or
@@ -320,6 +351,10 @@ class MqttClient(Endpoint):
         if pending is not None:
             if pending.timer is not None:
                 pending.timer.cancel()
+            if self.obs is not None:
+                self.obs.telemetry.timer(
+                    "mqtt_ack_delay", client=self.client_id).stop(
+                        pending.sent_at, self._world.now)
             if pending.on_ack is not None:
                 pending.on_ack()
 

@@ -10,4 +10,12 @@ class UnknownEndpointError(NetworkError):
 
 
 class DuplicateEndpointError(NetworkError):
-    """Raised when registering an address that is already taken."""
+    """Raised when registering an address that is already taken.
+
+    Carries the contested ``address`` so observability surfaces can
+    report *which* endpoint collided, not just that one did.
+    """
+
+    def __init__(self, message: str, address: str | None = None):
+        super().__init__(message)
+        self.address = address

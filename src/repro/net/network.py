@@ -72,6 +72,12 @@ class Network:
         #: Messages dropped by a probabilistic loss draw.
         self.loss_drops = 0
         self._drops_by_endpoint: dict[str, int] = {}
+        #: address -> (reason, simulated time) of the latest drop
+        #: charged against it — the taxonomy detail ObsReport and the
+        #: managers' health() both read, so they cannot disagree.
+        self._last_drop: dict[str, tuple[str, float]] = {}
+        #: Observability hub, when one is installed on this world.
+        self._obs = world.component_or_none("obs")
         self._down: set[str] = set()
         self._last_delivery: dict[tuple[str, str], float] = {}
         self.default_loss = 0.0
@@ -85,7 +91,8 @@ class Network:
     def register(self, address: str, endpoint: Endpoint | Callable[[Message], None]) -> str:
         """Attach an endpoint under ``address``; returns the address."""
         if address in self._endpoints:
-            raise DuplicateEndpointError(f"address {address!r} already registered")
+            raise DuplicateEndpointError(
+                f"address {address!r} already registered", address=address)
         if not isinstance(endpoint, Endpoint):
             endpoint = _CallbackEndpoint(endpoint)
         self._endpoints[address] = endpoint
@@ -183,6 +190,22 @@ class Network:
         """Per-endpoint drop counters, for fault reports."""
         return dict(self._drops_by_endpoint)
 
+    def last_drop(self, address: str) -> dict[str, object] | None:
+        """Latest drop charged against ``address``: reason + instant."""
+        entry = self._last_drop.get(address)
+        if entry is None:
+            return None
+        return {"reason": entry[0], "at": entry[1]}
+
+    def drop_details(self) -> dict[str, dict[str, object]]:
+        """Per-endpoint drop taxonomy: count, last reason, last time."""
+        details: dict[str, dict[str, object]] = {}
+        for address, count in self._drops_by_endpoint.items():
+            reason, at = self._last_drop[address]
+            details[address] = {"count": count, "last_reason": reason,
+                                "last_at": at}
+        return details
+
     # -- data path ----------------------------------------------------
 
     def send(self, src: str, dst: str, payload, *,
@@ -274,12 +297,18 @@ class Network:
                       partition: bool) -> None:
         self.messages_dropped += 1
         self.bytes_dropped += message.size
+        reason = "partition" if partition else "loss"
         if partition:
             self.partition_drops += 1
         else:
             self.loss_drops += 1
         self._drops_by_endpoint[address] = \
             self._drops_by_endpoint.get(address, 0) + 1
+        self._last_drop[address] = (reason, self._world.now)
+        if self._obs is not None:
+            self._obs.telemetry.counter(
+                "net_messages_dropped", reason=reason,
+                endpoint=address).inc()
 
     @staticmethod
     def _check_rate(rate: float) -> float:

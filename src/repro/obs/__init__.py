@@ -1,0 +1,56 @@
+"""End-to-end observability: telemetry, record tracing, reports.
+
+Three layers (see ``docs/OBSERVABILITY.md``):
+
+* a :class:`Telemetry` registry of named counters, gauges and
+  virtual-clock timers/histograms with labeled series;
+* record-level tracing — a :class:`TraceContext` rides every record
+  phone→server, each pipeline stage emits a timed :class:`Span`, and
+  every record ends in exactly one terminal (delivered, dropped with a
+  stage+reason, or in-flight at simulation end);
+* exporters and surfaces — a JSONL span log, a Prometheus-style text
+  dump, the per-run :class:`ObsReport`, the shared :class:`Healthcheck`
+  schema, and the ``repro obs`` CLI subcommand.
+
+Everything hangs off a per-world :class:`Observability` hub; worlds
+without one pay a single ``None`` check per instrumentation site and
+run bit-for-bit identically to an uninstrumented build.
+"""
+
+from repro.obs.health import Healthcheck
+from repro.obs.hub import Observability
+from repro.obs.registry import Counter, Gauge, Histogram, Telemetry, Timer
+from repro.obs.report import ObsReport
+from repro.obs.trace import (
+    DELIVERED,
+    DELIVERED_LOCAL,
+    DROPPED,
+    FULL_CHAIN_STAGES,
+    IN_FLIGHT,
+    STAGES,
+    Span,
+    TraceContext,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DELIVERED",
+    "DELIVERED_LOCAL",
+    "DROPPED",
+    "FULL_CHAIN_STAGES",
+    "Gauge",
+    "Healthcheck",
+    "Histogram",
+    "IN_FLIGHT",
+    "Observability",
+    "ObsReport",
+    "STAGES",
+    "Span",
+    "Telemetry",
+    "Timer",
+    "TraceContext",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,59 @@
+"""Shared healthcheck schema for every middleware component.
+
+The MQTT client, the mobile manager and the server manager all expose
+``health()``; before ``repro.obs`` each hand-rolled its own dict.
+:class:`Healthcheck` gives them one uniform envelope — ``status``,
+``detail``, ``counters`` — while still flattening the counters into
+the top level so existing dashboards (and tests) that index
+``health()["queued"]`` keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Canonical status values, healthiest first.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_DOWN = "down"
+
+
+class Healthcheck:
+    """Builder for the uniform health document."""
+
+    SCHEMA_KEYS = ("status", "detail", "counters")
+
+    @staticmethod
+    def status_for(connected: bool, *, backlog: int = 0) -> str:
+        """Map the common connected/backlog pair onto a status."""
+        if not connected:
+            return STATUS_DOWN
+        return STATUS_DEGRADED if backlog > 0 else STATUS_OK
+
+    @classmethod
+    def build(cls, *, status: str, detail: str,
+              counters: dict[str, Any], **extra) -> dict[str, Any]:
+        """Assemble a health document.
+
+        ``counters`` are exposed both under the ``counters`` key (the
+        uniform schema) and flattened at the top level (legacy
+        surface); ``extra`` adds identity fields like ``device_id``.
+        Flattened counters never shadow the schema keys.
+        """
+        doc: dict[str, Any] = {
+            "status": status,
+            "detail": detail,
+            "counters": dict(counters),
+        }
+        for key, value in counters.items():
+            if key not in cls.SCHEMA_KEYS:
+                doc[key] = value
+        for key, value in extra.items():
+            if key not in cls.SCHEMA_KEYS:
+                doc[key] = value
+        return doc
+
+    @staticmethod
+    def is_uniform(doc: dict[str, Any]) -> bool:
+        """True when ``doc`` follows the shared schema."""
+        return all(key in doc for key in Healthcheck.SCHEMA_KEYS)

@@ -1,0 +1,53 @@
+"""The observability hub: one telemetry registry + tracer per world.
+
+The hub is attached to the world's component registry under a
+well-known name, so any middleware layer can find it without threading
+a parameter through every constructor — and, crucially, can find
+*nothing* when observability is off: every instrumentation site caches
+``Observability.of(world)`` (``None`` when not installed) and guards
+with a single ``is not None`` check, which keeps the disabled path
+zero-overhead-ish and bit-for-bit identical to a build without the
+instrumentation.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Telemetry
+from repro.obs.report import ObsReport
+from repro.obs.trace import Tracer
+from repro.simkit.world import World
+
+
+class Observability:
+    """Per-world telemetry registry + record tracer."""
+
+    #: Name under which the hub registers in the world's components.
+    COMPONENT_NAME = "obs"
+
+    def __init__(self, world: World, *, max_traces: int = 200_000):
+        self.world = world
+        self.telemetry = Telemetry()
+        self.tracer = Tracer(world, max_traces=max_traces)
+
+    # -- discovery ----------------------------------------------------
+
+    @classmethod
+    def install(cls, world: World, **kwargs) -> "Observability":
+        """Attach a hub to ``world`` (idempotent)."""
+        existing = cls.of(world)
+        if existing is not None:
+            return existing
+        return world.attach(cls.COMPONENT_NAME, cls(world, **kwargs))
+
+    @classmethod
+    def of(cls, world: World) -> "Observability | None":
+        """The world's hub, or ``None`` when observability is off."""
+        return world.component_or_none(cls.COMPONENT_NAME)
+
+    # -- reporting ----------------------------------------------------
+
+    def report(self, *, queue_depths: dict[str, int] | None = None,
+               network=None) -> ObsReport:
+        """Snapshot the run into an :class:`ObsReport`."""
+        return ObsReport.build(self, queue_depths=queue_depths,
+                               network=network)

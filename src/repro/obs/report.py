@@ -1,0 +1,168 @@
+"""Per-run observability reports.
+
+:class:`ObsReport` condenses a run's tracer and telemetry state into
+the quantities the paper's evaluation cares about: per-stage latency
+percentiles, a drop taxonomy (every non-delivered record attributed to
+a stage and reason), terminal accounting, queue depths, and journey
+reconstruction completeness.  It renders as text for the ``repro obs``
+CLI and as a dict for embedding into :class:`repro.faults.ChaosReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.trace import (
+    DELIVERED,
+    DELIVERED_LOCAL,
+    DROPPED,
+    IN_FLIGHT,
+    STAGES,
+)
+
+_STAGE_ORDER = {stage: index for index, stage in enumerate(STAGES)}
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class ObsReport:
+    """One run's telemetry/tracing summary."""
+
+    generated_at: float
+    terminals: dict[str, int] = field(default_factory=dict)
+    #: ``stage -> {count, p50, p95, p99, max}`` span durations.
+    stage_latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: ``[{stage, reason, count}, ...]`` — the drop taxonomy.
+    drops: list[dict[str, Any]] = field(default_factory=list)
+    #: Named queue depths at report time (outboxes, broker queues).
+    queue_depths: dict[str, int] = field(default_factory=dict)
+    #: Per-endpoint network drop details (count + last reason/time).
+    network_drops: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Fraction of server-delivered traces whose full phone→server
+    #: chain (sense→outbox→transport→ingest) was reconstructed.
+    completeness: float | None = None
+    traces_started: int = 0
+    traces_evicted: int = 0
+    terminal_conflicts: int = 0
+    counters: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def build(cls, obs, *, queue_depths: dict[str, int] | None = None,
+              network=None) -> "ObsReport":
+        """Snapshot ``obs`` (an :class:`Observability` hub) now."""
+        tracer = obs.tracer
+        stage_latency: dict[str, dict[str, float]] = {}
+        for stage, durations in tracer.stage_durations().items():
+            ordered = sorted(durations)
+            stage_latency[stage] = {
+                "count": len(ordered),
+                "p50": _percentile(ordered, 0.50),
+                "p95": _percentile(ordered, 0.95),
+                "p99": _percentile(ordered, 0.99),
+                "max": ordered[-1],
+            }
+        drops = [{"stage": stage, "reason": reason, "count": count}
+                 for (stage, reason), count
+                 in sorted(tracer.drop_taxonomy().items())]
+        delivered = [state for state in tracer.traces()
+                     if state.terminal_kind() == DELIVERED]
+        completeness = None
+        if delivered:
+            complete = sum(1 for state in delivered
+                           if tracer.chain_complete(state))
+            completeness = complete / len(delivered)
+        return cls(
+            generated_at=obs.world.now,
+            terminals=tracer.terminal_counts(),
+            stage_latency=stage_latency,
+            drops=drops,
+            queue_depths=dict(queue_depths or {}),
+            network_drops=(network.drop_details()
+                           if network is not None else {}),
+            completeness=completeness,
+            traces_started=tracer.started,
+            traces_evicted=tracer.evicted,
+            terminal_conflicts=tracer.terminal_conflicts,
+            counters=obs.telemetry.snapshot(),
+        )
+
+    # -- derived ------------------------------------------------------
+
+    @property
+    def records_delivered(self) -> int:
+        return self.terminals.get(DELIVERED, 0)
+
+    @property
+    def records_dropped(self) -> int:
+        return self.terminals.get(DROPPED, 0)
+
+    @property
+    def records_in_flight(self) -> int:
+        return self.terminals.get(IN_FLIGHT, 0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "generated_at": self.generated_at,
+            "terminals": dict(self.terminals),
+            "stage_latency": {stage: dict(summary) for stage, summary
+                              in self.stage_latency.items()},
+            "drops": [dict(drop) for drop in self.drops],
+            "queue_depths": dict(self.queue_depths),
+            "network_drops": {address: dict(details) for address, details
+                              in self.network_drops.items()},
+            "completeness": self.completeness,
+            "traces_started": self.traces_started,
+            "traces_evicted": self.traces_evicted,
+            "terminal_conflicts": self.terminal_conflicts,
+        }
+
+    def format(self) -> str:
+        lines = [f"observability report @ {self.generated_at:.1f}s",
+                 "",
+                 "record terminals:"]
+        for kind in (DELIVERED, DELIVERED_LOCAL, DROPPED, IN_FLIGHT):
+            lines.append(f"  {kind:16s} {self.terminals.get(kind, 0)}")
+        if self.completeness is not None:
+            lines.append(f"  chain completeness   {self.completeness:.1%}")
+        lines += ["", "stage latencies (s):",
+                  f"  {'stage':16s} {'count':>7s} {'p50':>9s} "
+                  f"{'p95':>9s} {'p99':>9s} {'max':>9s}"]
+        ordered = sorted(self.stage_latency,
+                         key=lambda stage: (_STAGE_ORDER.get(stage, 99), stage))
+        for stage in ordered:
+            summary = self.stage_latency[stage]
+            lines.append(
+                f"  {stage:16s} {summary['count']:7d} {summary['p50']:9.3f} "
+                f"{summary['p95']:9.3f} {summary['p99']:9.3f} "
+                f"{summary['max']:9.3f}")
+        lines += ["", "drop taxonomy:"]
+        if self.drops:
+            for drop in self.drops:
+                lines.append(f"  {drop['stage']:16s} "
+                             f"{drop['reason']:28s} {drop['count']}")
+        else:
+            lines.append("  (no record drops)")
+        if self.network_drops:
+            lines += ["", "network drops by endpoint:"]
+            for address in sorted(self.network_drops):
+                details = self.network_drops[address]
+                lines.append(
+                    f"  {address:24s} count={details['count']} "
+                    f"last={details['last_reason']} "
+                    f"at={details['last_at']:.1f}s")
+        if self.queue_depths:
+            lines += ["", "queue depths:"]
+            for name in sorted(self.queue_depths):
+                lines.append(f"  {name:24s} {self.queue_depths[name]}")
+        lines += ["",
+                  f"traces: {self.traces_started} started, "
+                  f"{self.traces_evicted} evicted, "
+                  f"{self.terminal_conflicts} terminal conflicts"]
+        return "\n".join(lines)

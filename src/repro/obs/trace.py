@@ -1,0 +1,310 @@
+"""Record-level tracing: trace contexts, spans, and terminal states.
+
+A :class:`TraceContext` (trace id + span id + baggage) is attached to
+every :class:`~repro.core.common.records.StreamRecord` at the sensor
+and propagated — through filter evaluation, classification, the
+outbox, transport, and server ingest — as the record travels
+phone→server.  Each stage emits a timed :class:`Span` off the virtual
+clock, so a full journey is reconstructable from the span log, and
+every record ends in exactly one *terminal*: delivered, dropped (with
+a stage and reason), or in-flight when the simulation stops.
+
+Trace and span ids come from a dedicated deterministic RNG stream
+(``obs-trace``): runs with tracing disabled draw nothing from it and
+are bit-identical to runs on a world without the tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.simkit.world import World
+
+#: Stage names in phone→server journey order; spans may use others
+#: (the taxonomy is open) but reports order known stages this way.
+STAGES = (
+    "sense",
+    "classify",
+    "privacy",
+    "filter",
+    "deliver_local",
+    "outbox",
+    "transport",
+    "ingest",
+    "server_filter",
+    "stream_delivery",
+)
+
+#: The stages a delivered record's chain must contain for the journey
+#: to count as fully reconstructed.
+FULL_CHAIN_STAGES = frozenset({"sense", "outbox", "transport", "ingest"})
+
+#: Terminal kinds.
+DELIVERED = "delivered"
+DELIVERED_LOCAL = "delivered_local"
+DROPPED = "dropped"
+IN_FLIGHT = "in_flight"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Propagated identity of one traced record."""
+
+    trace_id: str
+    span_id: str
+    baggage: tuple[tuple[str, str], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"trace_id": self.trace_id,
+                               "span_id": self.span_id}
+        if self.baggage:
+            doc["baggage"] = dict(self.baggage)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "TraceContext":
+        return cls(trace_id=doc["trace_id"], span_id=doc["span_id"],
+                   baggage=tuple(sorted(doc.get("baggage", {}).items())))
+
+    def get_baggage(self, key: str, default: str | None = None) -> str | None:
+        for item_key, value in self.baggage:
+            if item_key == key:
+                return value
+        return default
+
+
+@dataclass
+class Span:
+    """One timed stage of a record's journey."""
+
+    trace_id: str
+    stage: str
+    start: float
+    end: float
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "kind": "span",
+            "trace_id": self.trace_id,
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+
+@dataclass
+class TraceEvent:
+    """A point-in-time annotation on a trace (e.g. a transmit attempt)."""
+
+    trace_id: str
+    name: str
+    at: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"kind": "event", "trace_id": self.trace_id,
+                               "name": self.name, "at": self.at}
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+
+@dataclass
+class TraceState:
+    """Everything recorded about one trace."""
+
+    trace_id: str
+    started_at: float
+    baggage: tuple[tuple[str, str], ...] = ()
+    spans: list[Span] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+    #: ``None`` while in flight; otherwise ``(kind, stage, reason, at)``.
+    terminal: tuple[str, str | None, str | None, float] | None = None
+
+    def stages(self) -> set[str]:
+        return {span.stage for span in self.spans}
+
+    def terminal_kind(self) -> str:
+        return self.terminal[0] if self.terminal is not None else IN_FLIGHT
+
+
+class Tracer:
+    """Collects spans, events and terminals for every traced record.
+
+    Bounded: past ``max_traces`` the oldest *terminated* traces are
+    evicted (and counted) so long simulations stay flat in memory
+    while in-flight records keep their state.
+    """
+
+    #: Name of the dedicated RNG stream ids are drawn from.
+    RNG_STREAM = "obs-trace"
+
+    def __init__(self, world: World, max_traces: int = 200_000):
+        self._world = world
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[str, TraceState]" = OrderedDict()
+        self.started = 0
+        self.evicted = 0
+        #: Terminal marks attempted on an already-terminated trace —
+        #: zero in a correct pipeline; surfaced by the invariant tests.
+        self.terminal_conflicts = 0
+
+    # -- trace lifecycle ----------------------------------------------
+
+    def _new_id(self, nbits: int = 64) -> str:
+        return self._world.randoms.token(self.RNG_STREAM, nbits)
+
+    def start_trace(self, **baggage) -> TraceContext:
+        """Open a trace; baggage values are stringified and carried."""
+        trace_id = self._new_id(64)
+        items = tuple(sorted((key, str(value))
+                             for key, value in baggage.items()))
+        context = TraceContext(trace_id=trace_id, span_id=self._new_id(32),
+                               baggage=items)
+        self._traces[trace_id] = TraceState(
+            trace_id=trace_id, started_at=self._world.now, baggage=items)
+        self.started += 1
+        self._evict_terminated()
+        return context
+
+    def _evict_terminated(self) -> None:
+        while len(self._traces) > self.max_traces:
+            victim = next((trace_id for trace_id, state in self._traces.items()
+                           if state.terminal is not None), None)
+            if victim is None:
+                return  # everything in flight; keep it all
+            del self._traces[victim]
+            self.evicted += 1
+
+    # -- recording ----------------------------------------------------
+
+    def _state(self, context: TraceContext | None) -> TraceState | None:
+        if context is None:
+            return None
+        return self._traces.get(context.trace_id)
+
+    def span(self, context: TraceContext | None, stage: str, *,
+             start: float | None = None, end: float | None = None,
+             status: str = "ok", **attrs) -> None:
+        """Record a completed span; times default to the virtual now."""
+        state = self._state(context)
+        if state is None:
+            return
+        now = self._world.now
+        state.spans.append(Span(
+            trace_id=state.trace_id, stage=stage,
+            start=now if start is None else start,
+            end=now if end is None else end,
+            status=status, attrs=attrs))
+
+    def event(self, context: TraceContext | None, name: str, **attrs) -> None:
+        state = self._state(context)
+        if state is None:
+            return
+        state.events.append(TraceEvent(
+            trace_id=state.trace_id, name=name, at=self._world.now,
+            attrs=attrs))
+
+    def mark_delivered(self, context: TraceContext | None,
+                       scope: str = "server") -> None:
+        """Terminal: the record reached its destination listeners."""
+        state = self._state(context)
+        if state is None:
+            return
+        if state.terminal is not None:
+            self.terminal_conflicts += 1
+            return
+        kind = DELIVERED if scope == "server" else DELIVERED_LOCAL
+        state.terminal = (kind, None, None, self._world.now)
+
+    def mark_dropped(self, context: TraceContext | None, stage: str,
+                     reason: str) -> None:
+        """Terminal: the record died at ``stage`` because ``reason``."""
+        state = self._state(context)
+        if state is None:
+            return
+        if state.terminal is not None:
+            self.terminal_conflicts += 1
+            return
+        now = self._world.now
+        state.terminal = (DROPPED, stage, reason, now)
+        state.spans.append(Span(trace_id=state.trace_id, stage=stage,
+                                start=now, end=now, status="drop",
+                                attrs={"reason": reason}))
+
+    # -- introspection ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def traces(self) -> Iterator[TraceState]:
+        yield from self._traces.values()
+
+    def get(self, trace_id: str) -> TraceState | None:
+        return self._traces.get(trace_id)
+
+    def terminal_counts(self) -> dict[str, int]:
+        counts = {DELIVERED: 0, DELIVERED_LOCAL: 0, DROPPED: 0, IN_FLIGHT: 0}
+        for state in self._traces.values():
+            counts[state.terminal_kind()] += 1
+        return counts
+
+    def drop_taxonomy(self) -> dict[tuple[str, str], int]:
+        """``(stage, reason) -> count`` over every dropped trace."""
+        taxonomy: dict[tuple[str, str], int] = {}
+        for state in self._traces.values():
+            if state.terminal is not None and state.terminal[0] == DROPPED:
+                key = (state.terminal[1] or "?", state.terminal[2] or "?")
+                taxonomy[key] = taxonomy.get(key, 0) + 1
+        return taxonomy
+
+    def stage_durations(self) -> dict[str, list[float]]:
+        durations: dict[str, list[float]] = {}
+        for state in self._traces.values():
+            for span in state.spans:
+                if span.status == "ok":
+                    durations.setdefault(span.stage, []).append(span.duration)
+        return durations
+
+    def chain_complete(self, state: TraceState) -> bool:
+        """True when a delivered trace contains the full journey."""
+        return FULL_CHAIN_STAGES <= state.stages()
+
+    # -- exporters ----------------------------------------------------
+
+    def to_jsonl_lines(self) -> Iterator[str]:
+        """One JSON document per span/event/terminal, journey-ordered
+        within each trace."""
+        for state in self._traces.values():
+            header: dict[str, Any] = {
+                "kind": "trace", "trace_id": state.trace_id,
+                "started_at": state.started_at,
+                "baggage": dict(state.baggage),
+                "terminal": None,
+            }
+            if state.terminal is not None:
+                kind, stage, reason, at = state.terminal
+                header["terminal"] = {"kind": kind, "stage": stage,
+                                      "reason": reason, "at": at}
+            yield json.dumps(header, sort_keys=True)
+            for span in state.spans:
+                yield json.dumps(span.to_dict(), sort_keys=True)
+            for event in state.events:
+                yield json.dumps(event.to_dict(), sort_keys=True)
+
+    def to_jsonl(self) -> str:
+        lines = list(self.to_jsonl_lines())
+        return "\n".join(lines) + ("\n" if lines else "")

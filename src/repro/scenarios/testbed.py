@@ -20,6 +20,7 @@ from repro.device.phone import Smartphone
 from repro.mqtt.broker import MqttBroker
 from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.network import Network
+from repro.obs import Observability
 from repro.osn.generator import ActionWorkloadGenerator
 from repro.osn.service import OsnService
 from repro.plugins.facebook import FacebookPlugin
@@ -42,9 +43,14 @@ class SenSocialTestbed:
 
     def __init__(self, seed: int = 0, *,
                  facebook_delay: LatencyModel | None = None,
-                 location_update_period_s: float | None = 300.0):
+                 location_update_period_s: float | None = 300.0,
+                 observability: bool = False):
         MobileSenSocialManager.reset_instances()
         self.world = World(seed=seed)
+        #: Observability hub, or ``None`` when tracing is off.  Installed
+        #: before any component is built so every constructor-time
+        #: ``Observability.of`` / ``component_or_none("obs")`` sees it.
+        self.obs = Observability.install(self.world) if observability else None
         self.network = Network(
             self.world,
             default_latency=UniformLatency(

@@ -27,6 +27,16 @@ class RandomStreams:
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
 
+    def token(self, name: str, bits: int = 64) -> str:
+        """A fixed-width hex token drawn from the named stream.
+
+        Used for trace/span ids: tokens are reproducible from the seed,
+        and because each name is an independent stream, a consumer that
+        only draws tokens (e.g. the tracer) never perturbs the draws
+        seen by any other component.
+        """
+        return f"{self.stream(name).getrandbits(bits):0{bits // 4}x}"
+
     def fork(self, name: str) -> "RandomStreams":
         """Derive a child factory whose streams are independent of ours."""
         digest = hashlib.sha256(f"fork:{self.seed}:{name}".encode()).digest()

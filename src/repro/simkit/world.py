@@ -55,6 +55,11 @@ class World:
         except KeyError:
             raise SimulationError(f"no component named {name!r}") from None
 
+    def component_or_none(self, name: str) -> Any | None:
+        """Like :meth:`component`, but ``None`` when absent — the cheap
+        lookup instrumentation uses to find the observability hub."""
+        return self._components.get(name)
+
     def has_component(self, name: str) -> bool:
         return name in self._components
 

@@ -24,6 +24,7 @@ PUBLIC_MODULES = [
     "repro.metrics",
     "repro.mqtt",
     "repro.net",
+    "repro.obs",
     "repro.osn",
     "repro.plugins",
     "repro.scenarios",

@@ -26,6 +26,26 @@ class TestCli:
         assert "markers:" in out
         assert "geojson features:" in out
 
+    def test_obs_prints_report_and_writes_exports(self, capsys, tmp_path):
+        jsonl = tmp_path / "spans.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(["obs", "--ticks", "300",
+                     "--jsonl", str(jsonl), "--prom", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "observability report" in out
+        assert "stage latencies" in out
+        import json
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        assert prom.read_text().strip()
+
+    def test_chaos_obs_flag_attaches_the_section(self, capsys):
+        assert main(["chaos", "--plan", "broker-restart",
+                     "--minutes", "5", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "observability:" in out
+        assert "chain completeness" in out
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])

@@ -33,7 +33,8 @@ class TestReadmeQuickstart:
 class TestDocReferences:
     @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md",
                                      "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
-                                     "docs/CALIBRATION.md", "docs/FAULTS.md"])
+                                     "docs/CALIBRATION.md", "docs/FAULTS.md",
+                                     "docs/OBSERVABILITY.md"])
     def test_referenced_paths_exist(self, doc):
         text = (REPO / doc).read_text()
         referenced = re.findall(

@@ -1,0 +1,191 @@
+"""End-to-end tracing invariants.
+
+Every record that enters the mobile middleware must end in exactly one
+terminal state — delivered, dropped (with a stage and reason), or
+in-flight at simulation end — including across a broker restart plus a
+device partition (the ``rough-day`` plan from the chaos acceptance
+tests).  Delivered records must reconstruct their full phone→server
+span chain, and enabling tracing must not perturb the simulation."""
+
+import itertools
+
+import repro.device.phone as phone_module
+from repro.core.common import Granularity, ModalityType
+from repro.faults import ChaosController, FaultPlan
+from repro.net.errors import DuplicateEndpointError
+from repro.obs import DELIVERED, DROPPED, FULL_CHAIN_STAGES, IN_FLIGHT
+from repro.scenarios.testbed import SenSocialTestbed
+
+USERS = ("alice", "bob")
+HORIZON_S = 1200.0
+DRAIN_S = 180.0
+
+
+def run_traced(seed: int, plan: FaultPlan | None = None, *,
+               observability: bool = True):
+    """The chaos acceptance scenario, with tracing on by default.
+
+    Device ids come from a process-global counter; pin it so span
+    baggage and telemetry labels are comparable across runs."""
+    phone_module._device_counter = itertools.count(1)
+    testbed = SenSocialTestbed(seed=seed, observability=observability)
+    ingested = []
+    testbed.server.register_listener(
+        lambda record: ingested.append((record.user_id, record.timestamp,
+                                        record.value)))
+    for user_id in USERS:
+        node = testbed.add_user(user_id, "Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    controller = ChaosController(testbed)
+    if plan is not None:
+        controller.apply(plan)
+    testbed.run(HORIZON_S)
+    testbed.run(DRAIN_S)
+    return testbed, controller, ingested
+
+
+def rough_day_plan() -> FaultPlan:
+    return (FaultPlan("rough-day")
+            .broker_restart(at=300.0, downtime=120.0)
+            .partition("devices", start=700.0, duration=60.0))
+
+
+class TestTerminalInvariant:
+    def test_every_record_has_exactly_one_terminal_fault_free(self):
+        testbed, _, ingested = run_traced(3)
+        tracer = testbed.obs.tracer
+        counts = tracer.terminal_counts()
+        assert tracer.started > 0
+        assert sum(counts.values()) == tracer.started
+        # At quiescence nothing is in flight and nothing was dropped.
+        assert counts[IN_FLIGHT] == 0
+        assert counts[DROPPED] == 0
+        assert counts[DELIVERED] == len(ingested)
+        assert tracer.terminal_conflicts == 0
+
+    def test_terminal_invariant_survives_broker_restart(self):
+        """The rough-day plan (broker crash + device partition): every
+        trace still ends in exactly one terminal, duplicates from QoS-1
+        replays never produce a second delivered terminal, and every
+        non-delivered record is attributed to a (stage, reason)."""
+        testbed, controller, ingested = run_traced(3, rough_day_plan())
+        report = controller.report()
+        assert report.broker["crashes"] == 1  # faults actually bit
+        tracer = testbed.obs.tracer
+        counts = tracer.terminal_counts()
+        assert sum(counts.values()) == tracer.started
+        assert tracer.terminal_conflicts == 0
+        # Exactly-once: delivered terminals == unique ingested records,
+        # even though the wire carried retransmissions.
+        assert counts[DELIVERED] == len(set(ingested))
+        # 100% drop attribution: dropped terminals all carry a stage
+        # and a reason, and nothing else is unaccounted for.
+        for state in tracer.traces():
+            if state.terminal_kind() == DROPPED:
+                _, stage, reason, _ = state.terminal
+                assert stage and reason
+        assert counts[IN_FLIGHT] == 0  # drain long enough to settle
+
+    def test_obs_section_riding_the_chaos_report(self):
+        _, controller, _ = run_traced(3, rough_day_plan())
+        report = controller.report()
+        assert report.obs is not None
+        assert report.obs["terminals"]["delivered"] == report.records_ingested
+        assert "observability:" in report.format()
+
+    def test_untraced_run_has_no_obs_section(self):
+        _, controller, _ = run_traced(3, observability=False)
+        report = controller.report()
+        assert report.obs is None
+        assert "observability:" not in report.format()
+
+
+class TestChainCompleteness:
+    def test_delivered_records_reconstruct_their_full_chain(self):
+        """Acceptance bar: >= 99% of delivered records' span chains
+        contain the full sense → outbox → transport → ingest journey
+        (here it should be every single one)."""
+        testbed, _, _ = run_traced(3, rough_day_plan())
+        tracer = testbed.obs.tracer
+        delivered = [state for state in tracer.traces()
+                     if state.terminal_kind() == DELIVERED]
+        assert delivered
+        complete = sum(1 for state in delivered
+                       if tracer.chain_complete(state))
+        assert complete / len(delivered) >= 0.99
+        # and the report agrees
+        assert testbed.obs.report().completeness >= 0.99
+
+    def test_full_chain_stages_are_a_subset_of_the_taxonomy(self):
+        from repro.obs import STAGES
+        assert FULL_CHAIN_STAGES <= set(STAGES)
+
+
+class TestOutboxDropAttribution:
+    def test_eviction_is_attributed_to_the_outbox_stage(self):
+        """Shrink the outbox and partition the devices long enough to
+        overflow it: every evicted record must carry the
+        (outbox, evicted_oldest) terminal."""
+        testbed = SenSocialTestbed(seed=4, observability=True)
+        node = testbed.add_user("alice", "Paris")
+        node.manager.outbox.capacity = 2
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+        testbed.network.schedule_partition(node.phone.address,
+                                           start=30.0, duration=600.0)
+        testbed.world.run_for(700.0)
+        testbed.world.run_for(120.0)
+        tracer = testbed.obs.tracer
+        taxonomy = tracer.drop_taxonomy()
+        assert taxonomy.get(("outbox", "evicted_oldest"), 0) > 0
+        assert sum(tracer.terminal_counts().values()) == tracer.started
+
+
+class TestTracingDeterminism:
+    def test_tracing_does_not_perturb_the_record_stream(self):
+        """A traced run must ingest a bit-identical record stream (and
+        drive the network identically) to an untraced run."""
+        traced = run_traced(5, rough_day_plan(), observability=True)
+        plain = run_traced(5, rough_day_plan(), observability=False)
+        assert traced[2] == plain[2]  # identical ingested records
+        assert traced[0].network.messages_sent == plain[0].network.messages_sent
+        assert traced[0].network.bytes_sent == plain[0].network.bytes_sent
+        assert traced[0].server.records_duplicate \
+            == plain[0].server.records_duplicate
+
+    def test_traced_runs_are_reproducible(self):
+        first = run_traced(7, rough_day_plan())
+        second = run_traced(7, rough_day_plan())
+        assert first[0].obs.tracer.to_jsonl() == second[0].obs.tracer.to_jsonl()
+        assert first[0].obs.telemetry.snapshot() \
+            == second[0].obs.telemetry.snapshot()
+
+
+class TestNetworkDropSurfaces:
+    def test_last_drop_reason_and_time_are_exposed(self):
+        testbed, _, _ = run_traced(3, rough_day_plan())
+        details = testbed.network.drop_details()
+        assert details  # the partition ate something
+        for address, info in details.items():
+            assert info["count"] == testbed.network.drop_count(address)
+            assert info["last_reason"] in ("partition", "loss")
+            last = testbed.network.last_drop(address)
+            assert last == {"reason": info["last_reason"],
+                            "at": info["last_at"]}
+        # health() surfaces the same taxonomy per device
+        node = testbed.nodes["alice"]
+        health = node.manager.health()
+        if health["net_drops"] > 0:
+            assert health["last_net_drop"]["reason"] in ("partition", "loss")
+
+    def test_duplicate_endpoint_error_carries_the_address(self):
+        testbed = SenSocialTestbed(seed=0)
+        try:
+            testbed.network.register("mqtt-broker", lambda message: None)
+        except DuplicateEndpointError as error:
+            assert error.address == "mqtt-broker"
+        else:
+            raise AssertionError("duplicate registration did not raise")
