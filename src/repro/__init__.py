@@ -45,6 +45,7 @@ from repro.core.server import (
     ServerSenSocialManager,
     ServerStream,
 )
+from repro.durability import DurabilityConfig, ServerDurability
 from repro.obs import Observability, ObsReport, Telemetry, TraceContext, Tracer
 from repro.scenarios import MobileNode, SenSocialTestbed, build_paris_scenario
 from repro.simkit import World
@@ -54,6 +55,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Aggregator",
     "Condition",
+    "DurabilityConfig",
     "Filter",
     "Granularity",
     "MobileNode",
@@ -69,6 +71,7 @@ __all__ = [
     "PrivacyPolicy",
     "PrivacyPolicyDescriptor",
     "SenSocialTestbed",
+    "ServerDurability",
     "ServerSenSocialManager",
     "ServerStream",
     "StreamConfig",

@@ -39,6 +39,8 @@ EXPERIMENTS = [
      "document-store indexing"),
     ("recovery", "benchmarks/test_recovery_delay.py",
      "time-to-recovery and zero-loss under faults"),
+    ("wal-overhead", "benchmarks/test_wal_overhead.py",
+     "write-ahead journal overhead bound"),
 ]
 
 
@@ -99,7 +101,8 @@ def _chaos(args) -> int:
     from repro.faults import ChaosController, build_plan
 
     horizon = args.minutes * 60.0
-    testbed = SenSocialTestbed(seed=args.seed, observability=args.obs)
+    testbed = SenSocialTestbed(seed=args.seed, observability=args.obs,
+                               durability=args.durability)
     cities = ["Paris", "Bordeaux", "London"]
     for index in range(args.users):
         node = testbed.add_user(f"user{index}",
@@ -133,6 +136,9 @@ def _obs(args) -> int:
               for user_id, node in sorted(testbed.nodes.items())}
     report = testbed.obs.report(queue_depths=depths, network=testbed.network)
     print(report.format())
+    db_health = testbed.server.database.health()
+    print(f"\nserver database: {db_health['status']} — "
+          f"{db_health['detail']}")
     if args.jsonl:
         with open(args.jsonl, "w", encoding="utf-8") as handle:
             handle.write(testbed.obs.tracer.to_jsonl())
@@ -188,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--obs", action="store_true",
                        help="enable record tracing and attach the obs "
                             "section to the chaos report")
+    chaos.add_argument("--durability", action="store_true",
+                       help="journaled server: write-ahead log, crash "
+                            "recovery, admission control (required by "
+                            "server-crash / storage-stress plans)")
     chaos.set_defaults(handler=_chaos)
 
     obs = subparsers.add_parser(

@@ -35,6 +35,25 @@ class RecordDeduper:
             self._seen.popitem(last=False)
         return False
 
+    def remember(self, record_id: str) -> None:
+        """Insert ``record_id`` without counting a duplicate.
+
+        Used when restoring the window after a crash (journal replay)
+        and when a record is terminally disposed without ingest (shed
+        or quarantined) — a later retransmission must dedup, but the
+        insertion itself is not a duplicate sighting.
+        """
+        if record_id in self._seen:
+            self._seen.move_to_end(record_id)
+            return
+        self._seen[record_id] = None
+        while len(self._seen) > self.window:
+            self._seen.popitem(last=False)
+
+    def snapshot(self) -> list[str]:
+        """Window contents oldest-first, for checkpoint persistence."""
+        return list(self._seen)
+
     def __len__(self) -> int:
         return len(self._seen)
 

@@ -34,6 +34,7 @@ from repro.net.latency import LatencyModel
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network
 from repro.obs import Healthcheck, Observability
+from repro.obs.health import STATUS_DOWN
 from repro.osn.actions import ActionType, OsnAction
 from repro.plugins.base import OsnPlugin
 from repro.simkit.world import World
@@ -54,10 +55,18 @@ class ServerSenSocialManager(Endpoint):
                  database: ServerDatabase | None = None,
                  broker_address: str = "mqtt-broker",
                  address: str = "sensocial-server",
-                 processing_delay: LatencyModel | None = None):
+                 processing_delay: LatencyModel | None = None,
+                 durability=None):
         self.world = world
         self.network = network
         self.address = address
+        #: Durability controller (:class:`repro.durability.ServerDurability`)
+        #: or ``None`` — then ingest is the classic volatile fast path.
+        self.durability = durability
+        if durability is not None:
+            durability.bind(self)
+            if database is None:
+                database = ServerDatabase(store=durability.build_store())
         self.database = database if database is not None else ServerDatabase()
         self.mqtt = MqttClient(world, network, client_id="sensocial-server",
                                address=f"mqtt/{address}",
@@ -81,6 +90,13 @@ class ServerSenSocialManager(Endpoint):
         self.acks_sent = 0
         self.actions_received = 0
         self.last_record_at: float | None = None
+        #: Crash/restart state (``repro.faults`` server_crash fault).
+        self.crashed = False
+        self.crashes = 0
+        self.restarts = 0
+        #: OSN actions that arrived (synchronously, plugin-side) while
+        #: the server process was down — lost, like a real outage.
+        self.actions_lost_crashed = 0
         network.register(address, self)
 
     # -- lifecycle -----------------------------------------------------------
@@ -89,6 +105,56 @@ class ServerSenSocialManager(Endpoint):
         """Connect to the broker and begin accepting registrations."""
         self.mqtt.connect(clean_session=False)
         self.mqtt.subscribe(REGISTRATION_FILTER, self._on_registration)
+
+    def crash(self) -> None:
+        """Kill the server process mid-run (fault injection).
+
+        Both network endpoints partition (in-flight messages drop and
+        QoS layers retry), the durable intake queue is wiped — those
+        records are unacked, so mobile outboxes retransmit them after
+        the restart — and synchronously delivered OSN actions are lost
+        until :meth:`restart`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        self.network.set_down(self.address)
+        self.network.set_down(self.mqtt.address)
+        if self.durability is not None:
+            self.durability.on_crash()
+        if self.obs is not None:
+            self.obs.telemetry.counter("server_crashes").inc()
+
+    def restart(self) -> None:
+        """Bring a crashed server back.
+
+        With durability, the database and the dedup window rebuild
+        from the medium's snapshot + journal replay, so post-restart
+        ingest stays exactly-once.  Without it the restart is amnesiac:
+        registrations, friendships, locations and records are gone —
+        the failure mode the journal exists to prevent.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restarts += 1
+        self.network.set_down(self.address, False)
+        self.network.set_down(self.mqtt.address, False)
+        window = self.dedup.window
+        if self.durability is not None:
+            store, dedup_ids = self.durability.recover()
+            self.database = ServerDatabase(store=store)
+            self.dedup = RecordDeduper(window=window)
+            for record_id in dedup_ids:
+                self.dedup.remember(record_id)
+            self.durability.finish_recovery()
+        else:
+            self.database = ServerDatabase()
+            self.dedup = RecordDeduper(window=window)
+        if self.obs is not None:
+            self.obs.telemetry.counter("server_restarts").inc()
+        self._update_dedup_metrics()
 
     def attach_plugin(self, plugin: OsnPlugin) -> None:
         """Consume a platform plug-in's captured actions."""
@@ -249,6 +315,8 @@ class ServerSenSocialManager(Endpoint):
     # -- inbound paths --------------------------------------------------------------------
 
     def deliver(self, message: Message) -> None:
+        if self.crashed:
+            return  # belt-and-braces; the network partitions us anyway
         protocol = message.headers.get("protocol")
         if protocol == "stream-data":
             self._on_stream_data(message.payload, reply_to=message.src,
@@ -264,6 +332,20 @@ class ServerSenSocialManager(Endpoint):
         for listener in list(self._registration_listeners):
             listener(document["user_id"], document["device_id"])
 
+    def _send_ack(self, record_id: str | None, reply_to: str | None) -> None:
+        if record_id is None or reply_to is None:
+            return
+        self.acks_sent += 1
+        self.network.send(self.address, reply_to, {"record_id": record_id},
+                          headers={"protocol": "stream-ack"})
+
+    def _update_dedup_metrics(self) -> None:
+        """Surface the dedup window in the telemetry registry."""
+        if self.obs is None:
+            return
+        self.obs.telemetry.gauge("dedup_window_size").set(len(self.dedup))
+        self.obs.telemetry.gauge("dedup_duplicates").set(self.dedup.duplicates)
+
     def _on_stream_data(self, payload: dict, reply_to: str | None = None,
                         sent_at: float | None = None) -> None:
         obs = self.obs
@@ -272,16 +354,24 @@ class ServerSenSocialManager(Endpoint):
             from repro.obs.trace import TraceContext
             trace = TraceContext.from_dict(payload["trace"])
         record_id = payload.get("record_id")
+        if self.durability is not None:
+            # Durable path: admission-controlled, write-ahead journaled
+            # ingest.  The ack moves to apply time — a record is only
+            # acknowledged once it is journaled (or terminally shed /
+            # quarantined), never while it could still die in a crash.
+            self.durability.submit(payload, reply_to=reply_to,
+                                   sent_at=sent_at, trace=trace,
+                                   record_id=record_id)
+            return
         if record_id is not None and reply_to is not None:
             # Acknowledge before the dedup decision: the ack for the
             # first copy may have been lost, and the sender keeps
             # retrying until one lands (idempotent ingest makes the
             # repeat ack harmless).
-            self.acks_sent += 1
-            self.network.send(self.address, reply_to, {"record_id": record_id},
-                              headers={"protocol": "stream-ack"})
+            self._send_ack(record_id, reply_to)
         if record_id is not None and self.dedup.seen(record_id):
             self.records_duplicate += 1
+            self._update_dedup_metrics()
             if obs is not None:
                 # Not a loss: the first copy already terminated this
                 # trace; the replay is only an event on the journey.
@@ -289,6 +379,7 @@ class ServerSenSocialManager(Endpoint):
                                  record_id=record_id)
                 obs.telemetry.counter("records_duplicate").inc()
             return
+        self._update_dedup_metrics()
         arrived_at = self.world.now
         if obs is not None:
             obs.tracer.span(trace, "transport",
@@ -303,6 +394,46 @@ class ServerSenSocialManager(Endpoint):
                             record_id=record_id)
             obs.telemetry.counter("records_ingested",
                                   modality=record.modality.value).inc()
+        self._dispatch_record(record, trace, arrived_at)
+
+    def _ingest_durable(self, item) -> None:
+        """Apply one admitted record through the write-ahead journal.
+
+        The journal entry is composite — record document + dedup id —
+        so recovery restores both atomically: there is no window where
+        a replayed record is deduped but absent from the database (a
+        loss) or present but not deduped (a duplicate).  Raises
+        :class:`repro.durability.StorageWriteError` without side
+        effects when the journal append fails; the drain pump owns the
+        retry/quarantine decision.
+        """
+        record, trace = item.record, item.trace
+        obs = self.obs
+        now = self.world.now
+        with self.durability.journal.op(
+                "ingest", "records", strict=True, document=record.to_dict(),
+                record_id=item.record_id):
+            self.database.store_record(record)
+            if item.record_id is not None:
+                self.dedup.seen(item.record_id)
+        self.filters.observe_record(record)
+        self.records_received += 1
+        self.last_record_at = now
+        if obs is not None:
+            obs.tracer.span(trace, "journal_append", start=now)
+            obs.tracer.span(trace, "ingest", start=item.enqueued_at,
+                            record_id=item.record_id)
+            obs.telemetry.counter("records_ingested",
+                                  modality=record.modality.value).inc()
+        self._update_dedup_metrics()
+        self._send_ack(item.record_id, item.reply_to)
+        self._dispatch_record(record, trace, now)
+
+    def _dispatch_record(self, record: StreamRecord, trace,
+                         arrived_at: float) -> None:
+        """Post-ingest delivery: server-side filtering, stream and
+        listener fan-out, and the trace's delivered terminal."""
+        obs = self.obs
         stream = self.streams.get(record.stream_id)
         if stream is not None:
             cross_user = stream.config.filter.server_conditions()
@@ -336,6 +467,11 @@ class ServerSenSocialManager(Endpoint):
                 multicast.refresh()
 
     def _on_osn_action(self, action: OsnAction) -> None:
+        if self.crashed:
+            # Plug-in listeners call us synchronously (no network hop
+            # to drop the message): a dead process simply misses them.
+            self.actions_lost_crashed += 1
+            return
         self.actions_received += 1
         self._recent_action_latencies.append(self.world.now - action.created_at)
         if self.obs is not None:
@@ -390,12 +526,25 @@ class ServerSenSocialManager(Endpoint):
         ``detail`` / ``counters``) with the counters also flattened at
         the top level for older consumers.
         """
-        status = Healthcheck.status_for(self.mqtt.connected)
+        if self.crashed:
+            status = STATUS_DOWN
+            detail = f"server {self.address}: crashed"
+        else:
+            status = Healthcheck.status_for(self.mqtt.connected)
+            detail = (f"server {self.address}: "
+                      f"{'connected' if self.mqtt.connected else 'disconnected'}"
+                      f", {self.records_received} records ingested")
+        extras: dict = {
+            "connected": self.mqtt.connected,
+            "last_seen": self.last_record_at,
+            "last_net_drop": self.network.last_drop(self.address),
+            "database": self.database.health(),
+        }
+        if self.durability is not None:
+            extras["durability"] = self.durability.health()
         return Healthcheck.build(
             status=status,
-            detail=(f"server {self.address}: "
-                    f"{'connected' if self.mqtt.connected else 'disconnected'}"
-                    f", {self.records_received} records ingested"),
+            detail=detail,
             counters={
                 "records_received": self.records_received,
                 "duplicates_dropped": self.records_duplicate,
@@ -404,8 +553,9 @@ class ServerSenSocialManager(Endpoint):
                 "connection_losses": self.mqtt.connection_losses,
                 "reconnects": self.mqtt.reconnects,
                 "net_drops": self.network.drop_count(self.address),
+                "crashes": self.crashes,
+                "restarts": self.restarts,
+                "actions_lost_crashed": self.actions_lost_crashed,
             },
-            connected=self.mqtt.connected,
-            last_seen=self.last_record_at,
-            last_net_drop=self.network.last_drop(self.address),
+            **extras,
         )

@@ -32,21 +32,19 @@ class ServerDatabase:
 
     def register_device(self, user_id: str, device_id: str,
                         modalities: list[str]) -> None:
-        """Upsert a user's device registration."""
-        existing = self.users.find_one({"user_id": user_id})
-        if existing is None:
-            self.users.insert_one({
-                "user_id": user_id,
-                "device_id": device_id,
-                "modalities": list(modalities),
-                "friends": [],
-                "location": None,
-            })
-        else:
-            self.users.update_one({"user_id": user_id}, {"$set": {
-                "device_id": device_id,
-                "modalities": list(modalities),
-            }})
+        """Upsert a user's device registration.
+
+        One code path for both cases: a re-registration replaces the
+        device id and the modality list wholesale (the device declares
+        what it can sense *now*), while friends and location survive —
+        they are seeded only when the user is first inserted.
+        """
+        self.users.update_one(
+            {"user_id": user_id},
+            {"$set": {"device_id": device_id,
+                      "modalities": list(modalities)},
+             "$setOnInsert": {"friends": [], "location": None}},
+            upsert=True)
 
     def device_of(self, user_id: str) -> str | None:
         document = self.users.find_one({"user_id": user_id})
@@ -124,3 +122,11 @@ class ServerDatabase:
         if modality is not None:
             query["modality"] = modality
         return list(self.records.find(query).sort("timestamp"))
+
+    # -- observability -------------------------------------------------------
+
+    def health(self) -> dict:
+        """The underlying store's :class:`repro.obs.Healthcheck`
+        document — collection counts, plus journal lag when the store
+        is journaled (see :mod:`repro.docstore.journaled`)."""
+        return self.store.health()

@@ -16,6 +16,7 @@ from repro.docstore.errors import (
 )
 from repro.docstore.collection import Collection, Cursor
 from repro.docstore.geo import haversine_km
+from repro.docstore.journaled import JournaledCollection, JournaledDocumentStore
 from repro.docstore.query import matches
 from repro.docstore.store import DocumentStore
 
@@ -25,6 +26,8 @@ __all__ = [
     "DocStoreError",
     "DocumentStore",
     "DuplicateKeyError",
+    "JournaledCollection",
+    "JournaledDocumentStore",
     "QueryError",
     "UpdateError",
     "haversine_km",

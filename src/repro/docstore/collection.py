@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import copy
-import itertools
 from typing import Any, Iterable, Iterator
 
 from repro.docstore.errors import DocStoreError, QueryError
@@ -126,7 +125,9 @@ class Collection:
     def __init__(self, name: str):
         self.name = name
         self._documents: dict[int, dict] = {}
-        self._next_id = itertools.count(1)
+        #: Next auto-assigned ``_id``; a plain int (not a generator) so
+        #: snapshot/restore can persist the exact allocation state.
+        self._next_id = 1
         self._indexes: dict[str, HashIndex] = {}
         self.scans = 0          # full scans performed (observability)
         self.index_lookups = 0  # queries served via an index
@@ -138,7 +139,11 @@ class Collection:
         if not isinstance(document, dict):
             raise DocStoreError(f"documents must be dicts, got {type(document).__name__}")
         stored = copy.deepcopy(document)
-        doc_id = stored.setdefault("_id", next(self._next_id))
+        # The counter advances on every insert, even when the caller
+        # supplies an explicit ``_id`` (itertools.count semantics).
+        default_id = self._next_id
+        self._next_id += 1
+        doc_id = stored.setdefault("_id", default_id)
         if doc_id in self._documents:
             raise DocStoreError(f"_id {doc_id!r} already present in {self.name!r}")
         for index in self._indexes.values():
@@ -159,6 +164,11 @@ class Collection:
             seed = {key: value for key, value in query.items()
                     if not key.startswith("$") and not isinstance(value, dict)}
             if any(key.startswith("$") for key in update):
+                # ``$setOnInsert`` only acts on this insert branch (a
+                # matched update ignores it); seeded first so explicit
+                # ``$set`` paths in the same update still win.
+                for path, value in update.get("$setOnInsert", {}).items():
+                    set_path(seed, path, value)
                 apply_update(seed, update)
             else:
                 seed.update(update)
@@ -249,6 +259,32 @@ class Collection:
 
     def index_paths(self) -> list[str]:
         return sorted(self._indexes)
+
+    # -- snapshot / restore -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Full recoverable state: documents, id counter, index specs."""
+        return {
+            "documents": [copy.deepcopy(document)
+                          for document in self._documents.values()],
+            "next_id": self._next_id,
+            "indexes": [[index.path, index.unique]
+                        for index in self._indexes.values()],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace this collection's contents with ``state``."""
+        self._documents.clear()
+        self._indexes.clear()
+        for path, unique in state.get("indexes", []):
+            self._indexes[path] = HashIndex(path, unique=unique)
+        for document in state.get("documents", []):
+            stored = copy.deepcopy(document)
+            doc_id = stored["_id"]
+            for index in self._indexes.values():
+                index.add(doc_id, stored)
+            self._documents[doc_id] = stored
+        self._next_id = state.get("next_id", len(self._documents) + 1)
 
     # -- internals ----------------------------------------------------
 

@@ -1,0 +1,98 @@
+"""Journaled docstore: collections whose mutations are write-ahead
+logged.
+
+:class:`JournaledCollection` wraps every mutating op of
+:class:`~repro.docstore.collection.Collection` in a journal entry
+(append-before-apply); :class:`JournaledDocumentStore` hands out
+journaled collections so a whole database is recoverable from the
+journal's snapshot + tail.  Reads are untouched — same cursors, same
+indexes, same scan accounting.
+
+The journal object is duck-typed (see
+:class:`repro.durability.journal.WriteAheadJournal`): it must provide
+an ``op(name, collection, **payload)`` context manager and a
+``suspended()`` context manager.  Keeping the coupling this loose
+means the docstore package never imports ``repro.durability``.
+"""
+
+from __future__ import annotations
+
+from repro.docstore.collection import Collection
+from repro.docstore.store import DocumentStore
+
+
+class JournaledCollection(Collection):
+    """A collection that write-ahead journals every mutation."""
+
+    def __init__(self, name: str, journal):
+        super().__init__(name)
+        self._journal = journal
+
+    # -- journaled writes --------------------------------------------
+    # ``insert_many`` and ``replace_one`` need no overrides: they
+    # delegate to ``insert_one`` / ``update_one`` and journal through
+    # them (one entry per underlying op).
+
+    def insert_one(self, document: dict) -> int:
+        with self._journal.op("insert_one", self.name, document=document):
+            return super().insert_one(document)
+
+    def update_one(self, query: dict, update: dict, upsert: bool = False) -> int:
+        with self._journal.op("update_one", self.name, query=query,
+                              update=update, upsert=upsert):
+            return super().update_one(query, update, upsert)
+
+    def update_many(self, query: dict, update: dict) -> int:
+        with self._journal.op("update_many", self.name, query=query,
+                              update=update):
+            return super().update_many(query, update)
+
+    def delete_one(self, query: dict) -> int:
+        with self._journal.op("delete_one", self.name, query=query):
+            return super().delete_one(query)
+
+    def delete_many(self, query: dict) -> int:
+        with self._journal.op("delete_many", self.name, query=query):
+            return super().delete_many(query)
+
+    def drop(self) -> None:
+        with self._journal.op("drop", self.name):
+            super().drop()
+
+    def create_index(self, path: str, unique: bool = False) -> None:
+        if path in self._indexes:
+            return  # idempotent re-creation must not journal a no-op
+        with self._journal.op("create_index", self.name, path=path,
+                              unique=unique):
+            super().create_index(path, unique)
+
+
+class JournaledDocumentStore(DocumentStore):
+    """A document store whose collections journal their mutations."""
+
+    def __init__(self, journal, name: str = "sensocial"):
+        super().__init__(name)
+        self.journal = journal
+
+    def collection(self, name: str) -> Collection:
+        if name not in self._collections:
+            self._collections[name] = JournaledCollection(name, self.journal)
+        return self._collections[name]
+
+    def drop_collection(self, name: str) -> None:
+        if name not in self._collections:
+            return
+        with self.journal.op("drop_collection", name):
+            super().drop_collection(name)
+
+    def health(self) -> dict:
+        doc = super().health()
+        doc["counters"]["journal_lag"] = self.journal.lag
+        doc["journal_lag"] = self.journal.lag
+        doc["journal"] = {
+            "lag": self.journal.lag,
+            "entries_written": self.journal.entries_written,
+            "checkpoints": self.journal.medium.checkpoints,
+            "append_failures": self.journal.medium.append_failures,
+        }
+        return doc

@@ -1,8 +1,10 @@
 """Update operators: ``$set $unset $inc $mul $min $max $push $pull
-$addToSet $rename``.
+$addToSet $rename $setOnInsert``.
 
 A plain document (no ``$`` keys) replaces the matched document wholesale
 except for its ``_id`` — the same convention MongoDB follows.
+``$setOnInsert`` is a no-op on a matched document; its fields only
+apply when an upsert inserts (handled by the collection's upsert path).
 """
 
 from __future__ import annotations
@@ -114,6 +116,10 @@ def _add_to_set(document: dict, path: str, value: Any) -> None:
         current.append(value)
 
 
+def _set_on_insert(document: dict, path: str, value: Any) -> None:
+    """No-op on updates; the upsert insert path applies these fields."""
+
+
 def _rename(document: dict, path: str, new_path: Any) -> None:
     value = get_path(document, path)
     if value is MISSING:
@@ -133,4 +139,5 @@ _HANDLERS = {
     "$pull": _pull,
     "$addToSet": _add_to_set,
     "$rename": _rename,
+    "$setOnInsert": _set_on_insert,
 }

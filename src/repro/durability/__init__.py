@@ -1,0 +1,47 @@
+"""Server durability: write-ahead journaling, crash recovery, and
+overload protection.
+
+The SenSocial server of the paper leans on MongoDB for persistence;
+this package reproduces the *durability contract* that implies on top
+of the in-memory docstore: a write-ahead journal with periodic
+snapshot+truncate checkpoints (:mod:`~repro.durability.journal`), a
+crash/restart recovery path that replays the journal tail and restores
+the dedup window for exactly-once ingest, and overload protection —
+bounded admission with priority-aware load shedding
+(:mod:`~repro.durability.admission`), a circuit breaker around the
+storage medium (:mod:`~repro.durability.breaker`), and a dead-letter
+quarantine for poison records (:mod:`~repro.durability.quarantine`).
+
+Everything is opt-in: a run without a :class:`ServerDurability`
+attached is bit-identical to one on a build without this package.
+"""
+
+from repro.durability.admission import AdmissionController, IntakeItem
+from repro.durability.breaker import CircuitBreaker
+from repro.durability.config import DurabilityConfig
+from repro.durability.controller import ServerDurability
+from repro.durability.errors import DurabilityError, StorageWriteError
+from repro.durability.journal import (
+    JournalEntry,
+    ReplayResult,
+    StorageMedium,
+    WriteAheadJournal,
+    replay,
+)
+from repro.durability.quarantine import DeadLetterQuarantine
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DeadLetterQuarantine",
+    "DurabilityConfig",
+    "DurabilityError",
+    "IntakeItem",
+    "JournalEntry",
+    "ReplayResult",
+    "ServerDurability",
+    "StorageMedium",
+    "StorageWriteError",
+    "WriteAheadJournal",
+    "replay",
+]

@@ -1,0 +1,141 @@
+"""Admission control: a bounded intake queue with watermark shedding.
+
+The server's durable ingest path decouples *receiving* a record from
+*applying* it: arrivals enter a bounded FIFO intake queue and a drain
+pump applies them at the pace the storage medium sustains.  When
+intake outruns drain the queue sheds load instead of growing without
+bound:
+
+- past the **high watermark** it sheds down to the **low watermark**,
+  oldest lowest-priority first;
+- watermark shedding only ever victimises *continuous* records
+  (priority 0) — OSN-triggered records (priority 1) are the events
+  the middleware exists to capture and are never shed before every
+  continuous record is gone;
+- only a **hard capacity** overflow may shed an OSN record, and then
+  only when the queue holds nothing of lower priority.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class IntakeItem:
+    """One record waiting in the intake queue."""
+
+    record_id: str | None
+    payload: dict[str, Any]
+    record: Any
+    reply_to: str | None
+    sent_at: float | None
+    trace: Any
+    #: 1 for OSN-triggered records, 0 for continuous samples.
+    priority: int
+    enqueued_at: float
+    #: Failed apply attempts (storage write errors) so far.
+    attempts: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class AdmissionController:
+    """Bounded FIFO intake with priority-aware load shedding."""
+
+    def __init__(self, capacity: int, high_watermark: float = 0.75,
+                 low_watermark: float = 0.5):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise ValueError("need 0 < low_watermark <= high_watermark <= 1")
+        self.capacity = capacity
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self._queue: deque[IntakeItem] = deque()
+        self._pending_ids: set[str] = set()
+        self.admitted = 0
+        self.shed = 0
+        self.max_depth = 0
+
+    # -- intake -------------------------------------------------------
+
+    def admit(self, item: IntakeItem) -> list[IntakeItem]:
+        """Enqueue ``item``; returns the records shed to make room.
+
+        The new item itself may be among the victims when it is the
+        lowest-priority entry of a full queue.
+        """
+        self._queue.append(item)
+        if item.record_id is not None:
+            self._pending_ids.add(item.record_id)
+        self.admitted += 1
+        self.max_depth = max(self.max_depth, len(self._queue))
+        victims: list[IntakeItem] = []
+        if len(self._queue) > self.capacity:
+            # Hard overflow: get back under capacity no matter what.
+            victims.extend(self._shed_to(self.capacity, continuous_only=False))
+        if len(self._queue) >= self.high_watermark * self.capacity:
+            target = int(self.low_watermark * self.capacity)
+            victims.extend(self._shed_to(target, continuous_only=True))
+        for victim in victims:
+            self.shed += 1
+        return victims
+
+    def _shed_to(self, target: int, *, continuous_only: bool) -> list[IntakeItem]:
+        victims: list[IntakeItem] = []
+        while len(self._queue) > target:
+            victim = self._pick_victim(continuous_only)
+            if victim is None:
+                break  # only OSN records left; watermark shedding stops
+            self._queue.remove(victim)
+            self._forget(victim)
+            victims.append(victim)
+        return victims
+
+    def _pick_victim(self, continuous_only: bool) -> IntakeItem | None:
+        """Oldest continuous record, else (hard overflow only) oldest."""
+        for item in self._queue:
+            if item.priority == 0:
+                return item
+        if continuous_only or not self._queue:
+            return None
+        return self._queue[0]
+
+    # -- drain --------------------------------------------------------
+
+    def pop(self) -> IntakeItem | None:
+        """Oldest admitted record, or None when the queue is idle."""
+        if not self._queue:
+            return None
+        item = self._queue.popleft()
+        self._forget(item)
+        return item
+
+    def requeue(self, item: IntakeItem) -> None:
+        """Put a failed-apply record back at the head for a retry."""
+        self._queue.appendleft(item)
+        if item.record_id is not None:
+            self._pending_ids.add(item.record_id)
+
+    def pending(self, record_id: str) -> bool:
+        """True when ``record_id`` is waiting in the queue — the
+        retransmission of a not-yet-durable record is ignored, not
+        acked, so the sender keeps retrying until the apply lands."""
+        return record_id in self._pending_ids
+
+    def wipe(self) -> list[IntakeItem]:
+        """Crash: volatile intake is lost.  Returns what was wiped —
+        unacked, so senders retransmit it all after the restart."""
+        wiped = list(self._queue)
+        self._queue.clear()
+        self._pending_ids.clear()
+        return wiped
+
+    def _forget(self, item: IntakeItem) -> None:
+        if item.record_id is not None:
+            self._pending_ids.discard(item.record_id)
+
+    def __len__(self) -> int:
+        return len(self._queue)

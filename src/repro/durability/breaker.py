@@ -1,0 +1,61 @@
+"""Circuit breaker around the storage medium.
+
+Consecutive journal write failures trip the breaker **open**: the
+drain pump stops hammering a dying medium (each attempt costs a
+record's retry budget) and sheds instead.  After ``reset_s`` the
+breaker **half-opens** and lets probes through; the first success
+closes it again, another failure re-opens it for a fresh window.
+Time is the virtual clock — callers pass ``world.now``.
+"""
+
+from __future__ import annotations
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip on consecutive failures, half-open on a timer."""
+
+    def __init__(self, trip_after: int, reset_s: float):
+        if trip_after <= 0:
+            raise ValueError(f"trip_after must be > 0, got {trip_after}")
+        self.trip_after = trip_after
+        self.reset_s = reset_s
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at: float | None = None
+
+    def allow(self, now: float) -> bool:
+        """May an operation be attempted at virtual time ``now``?"""
+        if self.state == OPEN:
+            if self._opened_at is not None and \
+                    now - self._opened_at >= self.reset_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True  # closed or half-open (probing)
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or \
+                self.consecutive_failures >= self.trip_after:
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self._opened_at = now
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self._opened_at = None
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == OPEN
+
+    def to_dict(self) -> dict:
+        return {"state": self.state, "trips": self.trips,
+                "consecutive_failures": self.consecutive_failures}

@@ -1,0 +1,293 @@
+"""The server durability controller.
+
+Binds the durable-ingest machinery to a
+:class:`~repro.core.server.manager.ServerSenSocialManager`:
+
+- **intake** — ``submit()`` validates a record, short-circuits
+  duplicates against the dedup window, and admits it to the bounded
+  intake queue (shedding lowest-priority continuous records first);
+- **drain** — a self-rescheduling pump applies one record per tick
+  through the write-ahead journal, paced by the storage medium's
+  write latency and gated by the circuit breaker;
+- **crash/restart** — ``on_crash()`` wipes the volatile queue (those
+  records are unacked and will be retransmitted); ``recover()``
+  rebuilds the journaled store from the medium's snapshot + journal
+  tail and returns the dedup ids to restore, so post-restart ingest
+  stays exactly-once.
+
+The controller never touches an RNG stream and schedules work only
+while the durable path is active, so a run with durability disabled
+(no controller) is bit-identical to one on a build without this
+module.  It also never imports ``repro.core.server`` — the manager
+owns the typed objects (``ServerDatabase``, ``RecordDeduper``) and
+hands itself in via :meth:`bind`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.docstore.journaled import JournaledDocumentStore
+from repro.durability.admission import AdmissionController, IntakeItem
+from repro.durability.breaker import CircuitBreaker
+from repro.durability.config import DurabilityConfig
+from repro.durability.errors import StorageWriteError
+from repro.durability.journal import StorageMedium, WriteAheadJournal, replay
+from repro.durability.quarantine import DeadLetterQuarantine
+from repro.obs.health import STATUS_DEGRADED, STATUS_OK, Healthcheck
+
+
+class ServerDurability:
+    """Write-ahead journaling + overload protection for one server."""
+
+    def __init__(self, world, config: DurabilityConfig | None = None,
+                 medium: StorageMedium | None = None):
+        self.world = world
+        self.config = config if config is not None else DurabilityConfig()
+        self.medium = medium if medium is not None else StorageMedium()
+        self.server: Any = None
+        self.journal: WriteAheadJournal | None = None
+        self.store: JournaledDocumentStore | None = None
+        self.admission = AdmissionController(
+            self.config.intake_capacity,
+            high_watermark=self.config.high_watermark,
+            low_watermark=self.config.low_watermark)
+        self.breaker = CircuitBreaker(self.config.breaker_trip_after,
+                                      self.config.breaker_reset_s)
+        self.quarantine = DeadLetterQuarantine(self.config.quarantine_capacity)
+        self.records_shed = 0
+        self.records_quarantined = 0
+        self.pending_duplicates = 0
+        self.crash_wiped = 0
+        self.replayed_entries = 0
+        self.recoveries = 0
+        #: Bumped on every crash; a drain step scheduled before the
+        #: crash sees a stale epoch and dies instead of running twice.
+        self._epoch = 0
+        self._pump_active = False
+
+    # -- wiring -------------------------------------------------------
+
+    def bind(self, server) -> None:
+        """Attach to the server manager this controller protects."""
+        self.server = server
+
+    def build_store(self) -> JournaledDocumentStore:
+        """The journaled store the server database must be built on."""
+        self.journal = WriteAheadJournal(
+            self.medium, self.config.checkpoint_interval,
+            state_provider=self._snapshot_state)
+        self.store = JournaledDocumentStore(self.journal)
+        return self.store
+
+    def _snapshot_state(self) -> dict[str, Any]:
+        state: dict[str, Any] = {"store": self.store.snapshot()}
+        if self.server is not None:
+            state["dedup"] = self.server.dedup.snapshot()
+        return state
+
+    @property
+    def _obs(self):
+        return self.server.obs if self.server is not None else None
+
+    # -- intake -------------------------------------------------------
+
+    def submit(self, payload: dict, *, reply_to: str | None,
+               sent_at: float | None, trace, record_id: str | None) -> None:
+        """Admit one arriving stream-data payload to the durable path."""
+        from repro.core.common.records import StreamRecord
+
+        server = self.server
+        obs = self._obs
+        now = self.world.now
+        if obs is not None:
+            obs.tracer.span(trace, "transport",
+                            start=now if sent_at is None else sent_at)
+        if record_id is not None and record_id in server.dedup:
+            # Applied (or terminally disposed) before: re-ack so the
+            # sender stops retrying; idempotent ingest absorbs it.
+            server.dedup.seen(record_id)
+            server.records_duplicate += 1
+            server._send_ack(record_id, reply_to)
+            if obs is not None:
+                obs.tracer.event(trace, "duplicate_ingest",
+                                 record_id=record_id)
+                obs.telemetry.counter("records_duplicate").inc()
+            return
+        if record_id is not None and self.admission.pending(record_id):
+            # A retransmission of a record still waiting in the intake
+            # queue: not yet durable, so no ack — stay silent and let
+            # the sender keep its retry timer running.
+            self.pending_duplicates += 1
+            if obs is not None:
+                obs.tracer.event(trace, "duplicate_pending",
+                                 record_id=record_id)
+            return
+        try:
+            record = StreamRecord.from_dict(payload)
+        except Exception:
+            # Poison payload: quarantine instead of wedging the queue.
+            self._quarantine_payload(record_id, payload, reply_to, trace,
+                                     "invalid")
+            return
+        item = IntakeItem(
+            record_id=record_id, payload=payload, record=record,
+            reply_to=reply_to, sent_at=sent_at, trace=trace,
+            priority=1 if record.osn_action else 0, enqueued_at=now)
+        victims = self.admission.admit(item)
+        if obs is not None:
+            obs.tracer.span(trace, "admission", start=now,
+                            depth=len(self.admission))
+            obs.telemetry.gauge("intake_depth").set(len(self.admission))
+        for victim in victims:
+            self._shed(victim)
+        self._ensure_pump()
+
+    # -- drain pump ---------------------------------------------------
+
+    def _ensure_pump(self) -> None:
+        if self._pump_active or not len(self.admission):
+            return
+        self._pump_active = True
+        delay = self.config.drain_interval_s + self.medium.write_latency_s
+        self.world.scheduler.schedule(delay, self._drain_step, self._epoch)
+
+    def _drain_step(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # scheduled before a crash; the restart superseded it
+        self._pump_active = False
+        now = self.world.now
+        if not len(self.admission):
+            return
+        if not self.breaker.allow(now):
+            self._ensure_pump()  # keep polling until the breaker half-opens
+            return
+        item = self.admission.pop()
+        try:
+            self.server._ingest_durable(item)
+        except StorageWriteError:
+            self.breaker.record_failure(now)
+            item.attempts += 1
+            if item.attempts >= self.config.max_apply_attempts:
+                self._quarantine_item(item, "repeated_write_failure")
+            else:
+                self.admission.requeue(item)
+        else:
+            self.breaker.record_success()
+        self._ensure_pump()
+
+    # -- drops --------------------------------------------------------
+
+    def _shed(self, victim: IntakeItem) -> None:
+        """Load-shed one queued record: ack (a deliberate drop must not
+        be retried), remember its id so a late retransmission is not
+        re-admitted, and attribute the drop."""
+        reason = "breaker_open" if self.breaker.is_open else "shed"
+        self.records_shed += 1
+        server = self.server
+        if victim.record_id is not None:
+            server.dedup.remember(victim.record_id)
+        server._send_ack(victim.record_id, victim.reply_to)
+        obs = self._obs
+        if obs is not None:
+            obs.tracer.mark_dropped(victim.trace, "admission", reason)
+            obs.telemetry.counter("records_dropped", stage="admission",
+                                  reason=reason).inc()
+
+    def _quarantine_item(self, item: IntakeItem, reason: str) -> None:
+        self._quarantine_payload(item.record_id, item.payload, item.reply_to,
+                                 item.trace, reason)
+
+    def _quarantine_payload(self, record_id: str | None, payload: dict,
+                            reply_to: str | None, trace, reason: str) -> None:
+        self.quarantine.put(record_id=record_id, reason=reason,
+                            at=self.world.now, payload=payload)
+        self.records_quarantined += 1
+        server = self.server
+        if record_id is not None:
+            server.dedup.remember(record_id)
+        server._send_ack(record_id, reply_to)
+        obs = self._obs
+        if obs is not None:
+            obs.tracer.mark_dropped(trace, "ingest", "quarantined")
+            obs.telemetry.counter("records_dropped", stage="ingest",
+                                  reason="quarantined",
+                                  quarantine_reason=reason).inc()
+
+    # -- crash / recovery ---------------------------------------------
+
+    def on_crash(self) -> None:
+        """The server process died: volatile intake is gone.  Wiped
+        records are unacked — their traces stay in flight and the
+        mobile outboxes retransmit them after the restart."""
+        self._epoch += 1
+        self._pump_active = False
+        wiped = self.admission.wipe()
+        self.crash_wiped += len(wiped)
+
+    def recover(self) -> tuple[JournaledDocumentStore, list[str]]:
+        """Rebuild the store from snapshot + journal replay.
+
+        Returns the recovered store and the record ids (snapshot dedup
+        state, then replayed ingests in journal order) the manager must
+        feed back into a fresh dedup window.
+        """
+        store = self.build_store()  # fresh journal bound to the medium
+        journal = self.journal
+        dedup_ids: list[str] = []
+        snapshot = self.medium.load_snapshot()
+        entries = list(self.medium.entries)
+        with journal.suspended():
+            if snapshot is not None:
+                store.restore(snapshot["store"])
+                dedup_ids.extend(snapshot.get("dedup", []))
+            result = replay(store, entries)
+        dedup_ids.extend(result.dedup_ids)
+        self.replayed_entries += result.applied
+        self.recoveries += 1
+        obs = self._obs
+        if obs is not None:
+            from repro.obs.trace import TraceContext
+            for record_id, trace_doc in result.traces:
+                obs.tracer.span(TraceContext.from_dict(trace_doc), "replay",
+                                record_id=record_id)
+            obs.telemetry.counter("journal_entries_replayed").inc(
+                result.applied)
+        return store, dedup_ids
+
+    def finish_recovery(self) -> None:
+        """Fold the replayed tail into a fresh checkpoint so the next
+        crash does not replay it again.  Called after the manager has
+        rebuilt its database and dedup window on the recovered store."""
+        self.journal.checkpoint()
+
+    # -- observability ------------------------------------------------
+
+    def health(self) -> dict:
+        degraded = (self.breaker.is_open or len(self.admission) > 0
+                    or len(self.quarantine) > 0)
+        return Healthcheck.build(
+            status=STATUS_DEGRADED if degraded else STATUS_OK,
+            detail=(f"durability: breaker {self.breaker.state}, "
+                    f"intake {len(self.admission)}/{self.config.intake_capacity}, "
+                    f"journal lag {self.journal.lag if self.journal else 0}"),
+            counters={
+                "intake_depth": len(self.admission),
+                "intake_max_depth": self.admission.max_depth,
+                "records_shed": self.records_shed,
+                "records_quarantined": self.records_quarantined,
+                "pending_duplicates": self.pending_duplicates,
+                "crash_wiped": self.crash_wiped,
+                "journal_lag": self.journal.lag if self.journal else 0,
+                "journal_appends": self.medium.appends,
+                "journal_append_failures": self.medium.append_failures,
+                "journal_lost_appends":
+                    self.journal.lost_appends if self.journal else 0,
+                "checkpoints": self.medium.checkpoints,
+                "replayed_entries": self.replayed_entries,
+                "recoveries": self.recoveries,
+                "breaker_trips": self.breaker.trips,
+            },
+            breaker=self.breaker.to_dict(),
+            quarantine_reasons=self.quarantine.reasons(),
+        )

@@ -1,0 +1,11 @@
+"""Durability errors."""
+
+from repro.core.common.errors import MiddlewareError
+
+
+class DurabilityError(MiddlewareError):
+    """Base class for durability-subsystem errors."""
+
+
+class StorageWriteError(DurabilityError):
+    """A write to the durable medium failed (injected or real)."""

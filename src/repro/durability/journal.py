@@ -1,0 +1,294 @@
+"""Write-ahead journal over a simulated durable medium.
+
+Every mutating docstore operation appends a compact, replayable
+:class:`JournalEntry` *before* applying in memory (write-ahead), so a
+server crash loses at most work that was never acknowledged.  The
+journal periodically folds itself into a snapshot+truncate checkpoint:
+the medium keeps one full-state snapshot plus the entries appended
+since, and recovery is ``restore(snapshot)`` followed by
+:func:`replay` of the tail.
+
+Invariants:
+
+- **Append-before-apply** — an entry is on the medium before the
+  in-memory structures change; a crash between the two replays the
+  entry and converges to the post-apply state.
+- **Outermost-only journaling** — compound operations (an upsert that
+  inserts, the server's composite ``ingest``) journal one entry; the
+  nested ops they perform are suppressed by a depth guard so replay
+  never double-applies.
+- **Checkpoint-after-apply** — checkpoints are only taken after the
+  current operation has fully applied, so a snapshot can never miss
+  the effect of an entry the truncation discards.
+- **Replay idempotence from the snapshot** — replaying the tail onto
+  the snapshot state reproduces the pre-crash state exactly; an entry
+  whose original application failed fails identically on replay (the
+  store raises the same error from the same state) and is skipped.
+
+The medium is deliberately simple — an in-process object standing in
+for an fsync'd file — but it is the *fault point*: the chaos
+controller injects write failures and latency here, which is what the
+circuit breaker in :mod:`repro.durability.breaker` reacts to.
+"""
+
+from __future__ import annotations
+
+import copy
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.docstore.errors import DocStoreError
+from repro.durability.errors import DurabilityError, StorageWriteError
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One replayable mutation: ``op`` on ``collection`` with ``payload``."""
+
+    seq: int
+    op: str
+    collection: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "op": self.op,
+                "collection": self.collection, "payload": self.payload}
+
+
+class StorageMedium:
+    """The simulated durable device the journal writes to.
+
+    Holds the latest checkpoint snapshot plus the journal tail, and is
+    the injection point for storage faults: a burst of deterministic
+    write failures (``inject_write_failures``) and extra per-write
+    latency (``write_latency_s``, charged by the drain pump).
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[JournalEntry] = []
+        self._snapshot: dict[str, Any] | None = None
+        #: Extra seconds each durable write costs (drain pacing).
+        self.write_latency_s = 0.0
+        self._fail_writes = 0
+        self.appends = 0
+        self.append_failures = 0
+        self.checkpoints = 0
+        self.truncated_entries = 0
+
+    # -- fault injection ----------------------------------------------
+
+    def inject_write_failures(self, count: int) -> None:
+        """Make the next ``count`` appends raise ``StorageWriteError``."""
+        if count < 0:
+            raise ValueError(f"failure count must be >= 0, got {count}")
+        self._fail_writes += count
+
+    @property
+    def pending_write_failures(self) -> int:
+        return self._fail_writes
+
+    def raise_for_write(self) -> None:
+        if self._fail_writes > 0:
+            self._fail_writes -= 1
+            self.append_failures += 1
+            raise StorageWriteError("journal append failed (injected)")
+
+    # -- durable surface ----------------------------------------------
+
+    def append(self, entry: JournalEntry) -> None:
+        self.raise_for_write()
+        self.entries.append(entry)
+        self.appends += 1
+
+    def store_snapshot(self, state: dict[str, Any]) -> None:
+        """Checkpoint: persist ``state`` and truncate the journal tail."""
+        self._snapshot = copy.deepcopy(state)
+        self.checkpoints += 1
+        self.truncated_entries += len(self.entries)
+        self.entries.clear()
+
+    def load_snapshot(self) -> dict[str, Any] | None:
+        return copy.deepcopy(self._snapshot)
+
+    @property
+    def has_snapshot(self) -> bool:
+        return self._snapshot is not None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class WriteAheadJournal:
+    """Append-before-apply journaling with periodic checkpoints."""
+
+    def __init__(self, medium: StorageMedium, checkpoint_interval: int,
+                 state_provider: Callable[[], dict[str, Any]] | None = None):
+        self.medium = medium
+        self.checkpoint_interval = checkpoint_interval
+        #: Callable returning the full state a checkpoint must persist
+        #: (the journaled store plus any companion state, e.g. the
+        #: server's dedup window).
+        self.state_provider = state_provider
+        self._seq = 0
+        self._depth = 0
+        self._suspend = 0
+        self.entries_written = 0
+        #: Non-strict ops whose append failed: applied in memory only,
+        #: durable at the next checkpoint, lost by a crash before it.
+        self.lost_appends = 0
+
+    # -- journaling ---------------------------------------------------
+
+    @property
+    def suspended_now(self) -> bool:
+        return self._suspend > 0
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """No-journal window: replay and snapshot restore run inside it
+        so recovering an op never journals it again."""
+        self._suspend += 1
+        try:
+            yield
+        finally:
+            self._suspend -= 1
+
+    @contextmanager
+    def op(self, op: str, collection: str, *, strict: bool = False,
+           **payload: Any) -> Iterator[bool]:
+        """Journal one mutating operation around its in-memory apply.
+
+        Appends the entry *before* yielding (write-ahead); nested ops
+        opened while another is active are suppressed, so a compound
+        operation replays as exactly one entry.  Yields True when this
+        op was journaled.  The checkpoint check runs only after the
+        outermost apply completes, never between append and apply.
+
+        When the medium rejects the append, a ``strict`` op raises
+        :class:`StorageWriteError` *before* any in-memory change — the
+        server's ingest pump uses this so unjournaled records are never
+        acknowledged.  A non-strict op absorbs the failure and applies
+        in memory anyway: a dirty write that was never flushed, visible
+        until the next crash and lost by it (``lost_appends`` counts
+        them).
+        """
+        if self._suspend > 0 or self._depth > 0:
+            self._depth += 1
+            try:
+                yield False
+            finally:
+                self._depth -= 1
+            return
+        journaled = True
+        try:
+            self._append(op, collection, payload)
+        except StorageWriteError:
+            if strict:
+                raise
+            self.lost_appends += 1
+            journaled = False
+        self._depth += 1
+        try:
+            yield journaled
+        finally:
+            self._depth -= 1
+        if journaled:
+            self.maybe_checkpoint()
+
+    def _append(self, op: str, collection: str,
+                payload: dict[str, Any]) -> None:
+        entry = JournalEntry(seq=self._seq, op=op, collection=collection,
+                             payload=copy.deepcopy(payload))
+        self.medium.append(entry)  # raises StorageWriteError on fault
+        self._seq += 1
+        self.entries_written += 1
+
+    # -- checkpoints --------------------------------------------------
+
+    @property
+    def lag(self) -> int:
+        """Journal entries not yet folded into a checkpoint."""
+        return len(self.medium)
+
+    def maybe_checkpoint(self) -> None:
+        if len(self.medium) >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def checkpoint(self, state: dict[str, Any] | None = None) -> None:
+        """Snapshot full state to the medium and truncate the journal."""
+        if state is None:
+            if self.state_provider is None:
+                raise DurabilityError(
+                    "checkpoint needs a state or a state_provider")
+            state = self.state_provider()
+        self.medium.store_snapshot(state)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a journal tail onto a restored store."""
+
+    applied: int = 0
+    #: Entries whose original application failed; they fail identically
+    #: on replay and leave the store unchanged.
+    failed: int = 0
+    #: Record ids from composite ``ingest`` entries, in journal order —
+    #: the dedup-window state to restore on top of the snapshot's.
+    dedup_ids: list[str] = field(default_factory=list)
+    #: ``(record_id, trace_dict)`` for replayed ingests that carried a
+    #: trace context, so recovery can emit ``replay`` spans.
+    traces: list[tuple[str | None, dict[str, Any]]] = field(
+        default_factory=list)
+
+
+def replay(store, entries: list[JournalEntry]) -> ReplayResult:
+    """Apply journal ``entries`` to ``store`` in order.
+
+    Callers run this under ``journal.suspended()`` so a journaled store
+    does not re-journal its own recovery.
+    """
+    result = ReplayResult()
+    for entry in entries:
+        try:
+            _apply(store, entry, result)
+        except DocStoreError:
+            result.failed += 1
+        else:
+            result.applied += 1
+    return result
+
+
+def _apply(store, entry: JournalEntry, result: ReplayResult) -> None:
+    op, payload = entry.op, entry.payload
+    if op == "drop_collection":
+        store.drop_collection(entry.collection)
+        return
+    collection = store.collection(entry.collection)
+    if op == "insert_one":
+        collection.insert_one(payload["document"])
+    elif op == "update_one":
+        collection.update_one(payload["query"], payload["update"],
+                              payload.get("upsert", False))
+    elif op == "update_many":
+        collection.update_many(payload["query"], payload["update"])
+    elif op == "delete_one":
+        collection.delete_one(payload["query"])
+    elif op == "delete_many":
+        collection.delete_many(payload["query"])
+    elif op == "drop":
+        collection.drop()
+    elif op == "create_index":
+        collection.create_index(payload["path"], payload.get("unique", False))
+    elif op == "ingest":
+        # Composite server entry: record document + dedup id move
+        # together, so recovery can never ack-then-lose or double-store.
+        collection.insert_one(payload["document"])
+        record_id = payload.get("record_id")
+        if record_id is not None:
+            result.dedup_ids.append(record_id)
+        trace = payload["document"].get("trace")
+        if trace is not None:
+            result.traces.append((record_id, trace))
+    else:
+        raise DurabilityError(f"unknown journal op {op!r}")

@@ -1,0 +1,48 @@
+"""Dead-letter quarantine for poison records.
+
+Records that fail validation, or that keep failing to apply past
+their retry budget, land here instead of wedging the intake queue or
+being silently discarded: the payload is preserved for offline
+inspection, the sender is acked (retrying a poison record cannot
+help), and the drop is attributed in the trace taxonomy as
+``quarantined``.  The quarantine is bounded; past capacity the oldest
+entry is evicted and counted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+
+class DeadLetterQuarantine:
+    """Bounded FIFO of poison records with their failure reason."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[dict[str, Any]] = deque()
+        self.total = 0
+        self.evictions = 0
+
+    def put(self, *, record_id: str | None, reason: str, at: float,
+            payload: dict[str, Any]) -> None:
+        self._items.append({"record_id": record_id, "reason": reason,
+                            "at": at, "payload": payload})
+        self.total += 1
+        while len(self._items) > self.capacity:
+            self._items.popleft()
+            self.evictions += 1
+
+    def items(self) -> list[dict[str, Any]]:
+        return list(self._items)
+
+    def reasons(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for item in self._items:
+            counts[item["reason"]] = counts.get(item["reason"], 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._items)

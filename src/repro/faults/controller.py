@@ -96,6 +96,26 @@ class ChaosController:
                 self._recovery[client.client_id] = self.world.now - restart_at
         client.on_connection_change(callback)
 
+    def _do_server_crash(self, event: FaultEvent) -> None:
+        self.server.crash()
+
+    def _do_server_restart(self, event: FaultEvent) -> None:
+        self.server.restart()
+
+    def _do_storage_write_error(self, event: FaultEvent) -> None:
+        self._storage_medium().inject_write_failures(event.params["count"])
+
+    def _do_storage_latency(self, event: FaultEvent) -> None:
+        self._storage_medium().write_latency_s = event.params["seconds"]
+
+    def _storage_medium(self):
+        durability = getattr(self.server, "durability", None)
+        if durability is None:
+            raise FaultTargetError(
+                "storage faults need a durable server (testbed "
+                "durability=True / repro chaos --durability)")
+        return durability.medium
+
     def _do_plugin_stop(self, event: FaultEvent) -> None:
         self._plugin(event.target).stop()
 

@@ -103,6 +103,36 @@ class FaultPlan:
         self.add("broker_restart", at + downtime, "broker")
         return self
 
+    def server_crash(self, at: float, downtime: float) -> "FaultPlan":
+        """Kill the server process at ``at``; restart after ``downtime``.
+
+        Both server endpoints partition (in-flight messages drop, QoS
+        layers retry) and the volatile intake queue is wiped.  On
+        restart a durable server recovers its database and dedup
+        window from snapshot + journal replay; a non-durable one comes
+        back amnesiac — the contrast the durability tests pin.
+        """
+        self.add("server_crash", at, "server")
+        self.add("server_restart", at + downtime, "server")
+        return self
+
+    def storage_write_errors(self, at: float, count: int) -> "FaultPlan":
+        """Make the next ``count`` journal appends fail (bad sectors,
+        full disk).  The circuit breaker trips on consecutive failures
+        and poison-retried records end up quarantined."""
+        self.add("storage_write_error", at, "server", count=count)
+        return self
+
+    def storage_latency(self, at: float, seconds: float,
+                        duration: float | None = None) -> "FaultPlan":
+        """Slow every durable write by ``seconds`` (degraded disk).
+        The drain pump paces itself by this, so intake backs up and
+        the admission controller starts shedding."""
+        self.add("storage_latency", at, "server", seconds=seconds)
+        if duration is not None:
+            self.add("storage_latency", at + duration, "server", seconds=0.0)
+        return self
+
     def device_reboot(self, user_id: str, at: float,
                       downtime: float) -> "FaultPlan":
         """Reboot a phone: radio silent for ``downtime`` seconds."""

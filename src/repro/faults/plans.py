@@ -48,6 +48,21 @@ def churn_plan(horizon: float) -> FaultPlan:
                             downtime=min(30.0, horizon / 10.0)))
 
 
+def server_crash_plan(horizon: float) -> FaultPlan:
+    """Kill the server mid-run; bring it back after a short outage."""
+    return FaultPlan("server-crash").server_crash(
+        at=horizon / 2.0, downtime=min(60.0, horizon / 6.0))
+
+
+def storage_stress_plan(horizon: float) -> FaultPlan:
+    """Degrade durable storage: a burst of write failures early, then
+    a stretch of elevated write latency (drain backs up, intake sheds)."""
+    return (FaultPlan("storage-stress")
+            .storage_write_errors(at=horizon / 4.0, count=8)
+            .storage_latency(at=horizon / 2.0, seconds=2.0,
+                             duration=horizon / 4.0))
+
+
 def none_plan(horizon: float) -> FaultPlan:
     """An empty plan: a control run with the chaos machinery attached."""
     return FaultPlan("none")
@@ -59,6 +74,8 @@ NAMED_PLANS: dict[str, Callable[[float], FaultPlan]] = {
     "flaky": flaky_plan,
     "osn-outage": osn_outage_plan,
     "churn": churn_plan,
+    "server-crash": server_crash_plan,
+    "storage-stress": storage_stress_plan,
     "none": none_plan,
 }
 

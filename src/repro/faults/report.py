@@ -79,6 +79,33 @@ class ChaosReport:
             f"{self.broker.get('crashes', 0)} / {self.broker.get('restarts', 0)}",
             f"  sessions expired     {self.broker.get('sessions_expired', 0)}",
         ]
+        if self.server.get("crashes") or self.server.get("restarts"):
+            lines += [
+                "",
+                "server:",
+                f"  crashes / restarts   "
+                f"{self.server.get('crashes', 0)} / "
+                f"{self.server.get('restarts', 0)}",
+                f"  actions lost (down)  "
+                f"{self.server.get('actions_lost_crashed', 0)}",
+            ]
+        durability = self.server.get("durability")
+        if durability is not None:
+            counters = durability.get("counters", {})
+            lines += [
+                "",
+                "durability:",
+                f"  journal appends      {counters.get('journal_appends', 0)}",
+                f"  checkpoints          {counters.get('checkpoints', 0)}",
+                f"  replayed entries     {counters.get('replayed_entries', 0)}"
+                f" over {counters.get('recoveries', 0)} recoveries",
+                f"  records shed         {counters.get('records_shed', 0)}",
+                f"  quarantined          "
+                f"{counters.get('records_quarantined', 0)}",
+                f"  breaker trips        {counters.get('breaker_trips', 0)}",
+                f"  intake max depth     "
+                f"{counters.get('intake_max_depth', 0)}",
+            ]
         lines += ["", "devices:"]
         for device in self.devices:
             state = "up" if device["connected"] else "DEGRADED"

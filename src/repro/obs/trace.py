@@ -33,7 +33,10 @@ STAGES = (
     "deliver_local",
     "outbox",
     "transport",
+    "admission",
+    "journal_append",
     "ingest",
+    "replay",
     "server_filter",
     "stream_delivery",
 )

@@ -44,7 +44,8 @@ class SenSocialTestbed:
     def __init__(self, seed: int = 0, *,
                  facebook_delay: LatencyModel | None = None,
                  location_update_period_s: float | None = 300.0,
-                 observability: bool = False):
+                 observability: bool = False,
+                 durability=False):
         MobileSenSocialManager.reset_instances()
         self.world = World(seed=seed)
         #: Observability hub, or ``None`` when tracing is off.  Installed
@@ -60,7 +61,17 @@ class SenSocialTestbed:
         self.cities = CityRegistry.europe()
         self.classifiers = ClassifierRegistry(self.cities)
         self.broker = MqttBroker(self.world, self.network)
-        self.server = ServerSenSocialManager(self.world, self.network)
+        #: Server durability controller (write-ahead journal + overload
+        #: protection), or ``None`` — pass ``durability=True`` for the
+        #: defaults or a :class:`repro.durability.DurabilityConfig`.
+        self.durability = None
+        if durability:
+            from repro.durability import DurabilityConfig, ServerDurability
+            config = (durability if isinstance(durability, DurabilityConfig)
+                      else None)
+            self.durability = ServerDurability(self.world, config)
+        self.server = ServerSenSocialManager(self.world, self.network,
+                                             durability=self.durability)
         self.server.start()
         # Let the server's broker session settle before devices deploy:
         # a registration published before the server's subscription

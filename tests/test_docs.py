@@ -34,7 +34,8 @@ class TestDocReferences:
     @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md",
                                      "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
                                      "docs/CALIBRATION.md", "docs/FAULTS.md",
-                                     "docs/OBSERVABILITY.md"])
+                                     "docs/OBSERVABILITY.md",
+                                     "docs/DURABILITY.md"])
     def test_referenced_paths_exist(self, doc):
         text = (REPO / doc).read_text()
         referenced = re.findall(

@@ -1,0 +1,83 @@
+"""Durability must be invisible when off and content-preserving when on.
+
+``durability=False`` (the default) must leave the simulation
+bit-identical to a build without the durability package: the
+controller consumes no RNG and schedules nothing unless attached.
+``durability=True`` may re-time ingest (records pass through the
+intake queue and the drain pump) but must deliver exactly the same
+record *content* to the database.
+"""
+
+from repro.core.common import Granularity, ModalityType
+from repro.scenarios.testbed import SenSocialTestbed
+
+USERS = ("alice", "bob")
+
+
+def run_plain(seed: int, *, durability):
+    testbed = SenSocialTestbed(seed=seed, durability=durability)
+    for user_id in USERS:
+        node = testbed.add_user(user_id, "Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    testbed.run(500.0)
+    testbed.run(60.0)
+    return testbed
+
+
+def full_signature(testbed):
+    """Every observable a durability-off run must not perturb."""
+    return (
+        testbed.world.now,
+        testbed.server.records_received,
+        testbed.server.records_duplicate,
+        testbed.server.acks_sent,
+        testbed.network.messages_sent,
+        testbed.network.bytes_sent,
+        testbed.network.messages_dropped,
+        tuple(sorted((user_id, len(node.manager.outbox))
+                     for user_id, node in testbed.nodes.items())),
+    )
+
+
+def record_contents(testbed):
+    """The ingested record stream, order-insensitively.  Device/stream
+    ids are excluded: their counters are process-global, so they differ
+    between any two testbeds in one process."""
+    return sorted(
+        (doc["user_id"], doc["timestamp"], doc["value"], doc["modality"])
+        for doc in testbed.server.database.records.find())
+
+
+class TestDisabledIsIdentity:
+    def test_off_runs_are_reproducible(self):
+        first = run_plain(13, durability=False)
+        second = run_plain(13, durability=False)
+        assert full_signature(first) == full_signature(second)
+
+    def test_no_controller_attached_means_no_machinery(self):
+        testbed = run_plain(13, durability=False)
+        assert testbed.durability is None
+        assert testbed.server.durability is None
+        # The plain DocumentStore, not the journaled subclass.
+        assert type(testbed.server.database.store).__name__ == "DocumentStore"
+
+
+class TestEnabledPreservesContent:
+    def test_same_records_ingested(self):
+        off = run_plain(13, durability=False)
+        on = run_plain(13, durability=True)
+        assert record_contents(off) == record_contents(on)
+        assert off.server.records_received == on.server.records_received
+
+    def test_enabled_runs_are_reproducible(self):
+        first = run_plain(13, durability=True)
+        second = run_plain(13, durability=True)
+        assert full_signature(first) == full_signature(second)
+        assert record_contents(first) == record_contents(second)
+
+    def test_journal_actually_engaged(self):
+        testbed = run_plain(13, durability=True)
+        assert testbed.durability.medium.appends > 0
+        assert testbed.server.database.records.count() > 0

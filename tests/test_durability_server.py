@@ -1,0 +1,150 @@
+"""Server-side satellites of the durability work: the upsert-style
+device registration, the dedup-window eviction boundary, the uniform
+health schema on the database layers, and dedup telemetry gauges."""
+
+from repro.core.common import Granularity, ModalityType
+from repro.core.server.dedup import RecordDeduper
+from repro.core.server.storage import ServerDatabase
+from repro.docstore import DocumentStore
+from repro.obs.health import Healthcheck
+from repro.scenarios.testbed import SenSocialTestbed
+
+
+class TestRegisterDeviceUpsert:
+    def test_first_registration_seeds_defaults(self):
+        database = ServerDatabase()
+        database.register_device("alice", "d1", ["accelerometer"])
+        doc = database.users.find_one({"user_id": "alice"})
+        assert doc["device_id"] == "d1"
+        assert doc["modalities"] == ["accelerometer"]
+        assert doc["friends"] == []
+        assert doc["location"] is None
+
+    def test_reregistration_replaces_device_and_modalities(self):
+        """A re-registration is the device declaring what it senses
+        *now*: the modality list is replaced wholesale, not merged."""
+        database = ServerDatabase()
+        database.register_device("alice", "d1", ["accelerometer", "location"])
+        database.register_device("alice", "d2", ["microphone"])
+        doc = database.users.find_one({"user_id": "alice"})
+        assert doc["device_id"] == "d2"
+        assert doc["modalities"] == ["microphone"]
+        assert database.users.count() == 1  # upsert, not a second row
+
+    def test_reregistration_preserves_social_state(self):
+        database = ServerDatabase()
+        database.register_device("alice", "d1", ["accelerometer"])
+        database.register_device("bob", "d2", ["accelerometer"])
+        database.add_friend("alice", "bob")
+        database.update_location("alice", 2.35, 48.85, "Paris", 10.0)
+        database.register_device("alice", "d9", ["location"])
+        assert database.friends_of("alice") == ["bob"]
+        assert database.location_of("alice")["place"] == "Paris"
+
+
+class TestDedupWindowBoundary:
+    def test_replay_within_window_is_caught(self):
+        """A replay after ``window - 1`` fresh records still dedups:
+        the original id is the oldest entry but has not been evicted."""
+        deduper = RecordDeduper(window=8)
+        assert deduper.seen("r0") is False
+        for index in range(7):  # window - 1 fresh ids; len == window
+            deduper.seen(f"fresh-{index}")
+        assert deduper.seen("r0") is True
+        assert deduper.duplicates == 1
+
+    def test_replay_after_exactly_window_slips_through(self):
+        """The documented boundary: ``window`` fresh records evict the
+        original id, so the replay is treated as new — the price of a
+        bounded window, sized far above any retransmission horizon."""
+        deduper = RecordDeduper(window=8)
+        assert deduper.seen("r0") is False
+        for index in range(8):  # exactly window fresh ids; r0 evicted
+            deduper.seen(f"fresh-{index}")
+        assert deduper.seen("r0") is False
+        assert deduper.duplicates == 0
+
+    def test_duplicate_refreshes_recency(self):
+        """A duplicate sighting moves the id to the young end, resetting
+        its eviction clock."""
+        deduper = RecordDeduper(window=4)
+        deduper.seen("r0")
+        deduper.seen("a"), deduper.seen("b"), deduper.seen("c")
+        assert deduper.seen("r0") is True  # refreshed
+        deduper.seen("d"), deduper.seen("e"), deduper.seen("f")
+        assert deduper.seen("r0") is True  # survived where it wouldn't have
+
+    def test_remember_does_not_count_duplicates(self):
+        deduper = RecordDeduper(window=4)
+        deduper.remember("r0")
+        deduper.remember("r0")
+        assert deduper.duplicates == 0
+        assert deduper.seen("r0") is True
+        assert deduper.duplicates == 1
+
+    def test_snapshot_roundtrip_preserves_order(self):
+        deduper = RecordDeduper(window=4)
+        for record_id in ("a", "b", "c"):
+            deduper.seen(record_id)
+        restored = RecordDeduper(window=4)
+        for record_id in deduper.snapshot():
+            restored.remember(record_id)
+        restored.seen("d")
+        restored.seen("e")  # evicts "a", the oldest
+        assert "a" not in restored
+        assert "b" in restored
+
+
+class TestHealthSchemas:
+    def test_document_store_health_is_uniform(self):
+        store = DocumentStore()
+        store["users"].insert_one({"user_id": "a"})
+        health = store.health()
+        assert Healthcheck.is_uniform(health)
+        assert health["counters"]["documents"] == 1
+        assert health["counters"]["docs_users"] == 1
+
+    def test_server_database_health_is_uniform(self):
+        database = ServerDatabase()
+        database.register_device("alice", "d1", [])
+        health = database.health()
+        assert Healthcheck.is_uniform(health)
+        assert health["counters"]["docs_users"] == 1
+
+    def test_journaled_store_health_reports_lag(self):
+        testbed = SenSocialTestbed(seed=2, durability=True)
+        testbed.add_user("alice", "Paris")
+        health = testbed.server.database.health()
+        assert Healthcheck.is_uniform(health)
+        assert "journal_lag" in health["counters"]
+        assert health["journal"]["entries_written"] > 0
+
+    def test_server_health_nests_database_and_durability(self):
+        testbed = SenSocialTestbed(seed=2, durability=True)
+        health = testbed.server.health()
+        assert Healthcheck.is_uniform(health)
+        assert Healthcheck.is_uniform(health["database"])
+        assert Healthcheck.is_uniform(health["durability"])
+
+    def test_plain_server_health_has_no_durability_section(self):
+        testbed = SenSocialTestbed(seed=2)
+        health = testbed.server.health()
+        assert "durability" not in health
+        assert Healthcheck.is_uniform(health["database"])
+
+
+class TestDedupTelemetry:
+    def test_gauges_reach_the_registry(self):
+        testbed = SenSocialTestbed(seed=4, observability=True)
+        node = testbed.add_user("alice", "Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+        testbed.run(300.0)
+        testbed.run(60.0)
+        telemetry = testbed.obs.telemetry
+        assert telemetry.gauge("dedup_window_size").value \
+            == len(testbed.server.dedup)
+        assert telemetry.gauge("dedup_window_size").value > 0
+        assert telemetry.gauge("dedup_duplicates").value \
+            == testbed.server.dedup.duplicates
