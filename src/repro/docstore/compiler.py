@@ -1,0 +1,401 @@
+"""Query compilation: a query dict becomes a predicate closure tree.
+
+:func:`repro.docstore.query.matches` re-interprets the query dict
+against every document — re-dispatching operator names, re-splitting
+dot-paths and re-validating operands per document.  The compiler does
+all of that exactly once per *query shape*: the result is a
+:class:`CompiledQuery` whose ``predicate`` is a tree of closures with
+paths pre-split, regexes pre-compiled and ``$in`` operands pre-hashed,
+LRU-cached by the query's structural key so repeated queries (the
+common case on the server's hot paths) skip compilation entirely.
+
+Semantics are bit-identical to the interpreter — including *when*
+errors surface: a malformed operand or unknown operator raises the
+same :class:`~repro.docstore.errors.QueryError` only when a document
+actually reaches it, never at compile time, so an invalid query over
+an empty collection stays silent exactly as it always has.
+
+The compiler also extracts the planner's food: conjunctive top-level
+equality constraints (including through ``$and``) and indexable
+``$in`` lists, which :meth:`Collection._candidates` intersects/unions
+against hash indexes (the paper's §5.5 indexing prescription).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.docstore.errors import QueryError
+from repro.docstore.geo import match_near, match_within
+from repro.docstore.paths import MISSING
+from repro.docstore.query import (
+    _compare,
+    _eq_with_arrays,
+    _matches_condition,
+    matches,
+)
+
+Predicate = Callable[[Any], bool]
+
+
+class CompiledQuery:
+    """A compiled plan: the predicate plus the planner's constraints."""
+
+    __slots__ = ("predicate", "equalities", "in_lists", "always_true")
+
+    def __init__(self, predicate: Predicate, equalities: tuple, in_lists: tuple):
+        #: ``predicate(document) -> bool`` — closure tree.
+        self.predicate = predicate
+        #: ``(path, value)`` conjunctive equality constraints (top
+        #: level and through ``$and``), usable for index intersection.
+        self.equalities = equalities
+        #: ``(path, (values...))`` indexable ``$in`` constraints.
+        self.in_lists = in_lists
+        #: True when the query has no conditions at all — callers can
+        #: skip the predicate entirely.
+        self.always_true = not equalities and not in_lists and \
+            predicate is _TRUE
+
+    def __call__(self, document: dict) -> bool:
+        return self.predicate(document)
+
+
+def _always_true(_document: Any) -> bool:
+    return True
+
+
+_TRUE: Predicate = _always_true
+
+
+# -- LRU cache ---------------------------------------------------------
+
+_CACHE: "OrderedDict[Any, CompiledQuery]" = OrderedDict()
+_CACHE_MAX = 256
+_hits = 0
+_misses = 0
+
+
+def _structural_key(value: Any):
+    """A hashable, order-sensitive key for a query dict.
+
+    Scalars carry their type name so ``1``/``True``/``"1"`` (which
+    compare differently under ``$gt`` etc.) never share a cache slot.
+    Raises ``TypeError`` for values it cannot freeze — the query then
+    simply compiles uncached.
+    """
+    if isinstance(value, dict):
+        return ("d",) + tuple((key, _structural_key(item))
+                              for key, item in value.items())
+    if isinstance(value, (list, tuple)):
+        return ("l",) + tuple(_structural_key(item) for item in value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return (type(value).__name__, value)
+    raise TypeError(f"unfreezable query value {type(value).__name__}")
+
+
+def cache_info() -> dict[str, int]:
+    return {"hits": _hits, "misses": _misses, "size": len(_CACHE),
+            "max_size": _CACHE_MAX}
+
+
+def cache_clear() -> None:
+    global _hits, _misses
+    _CACHE.clear()
+    _hits = 0
+    _misses = 0
+
+
+def compile_query(query: dict) -> CompiledQuery:
+    """Compile (or fetch the cached plan for) ``query``."""
+    global _hits, _misses
+    if not isinstance(query, dict):
+        raise QueryError(f"query must be a dict, got {type(query).__name__}")
+    try:
+        key = _structural_key(query)
+    except TypeError:
+        key = None
+    if key is not None:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _hits += 1
+            _CACHE.move_to_end(key)
+            return cached
+    _misses += 1
+    predicate, equalities, in_lists = _compile_query(query)
+    compiled = CompiledQuery(predicate, tuple(equalities), tuple(in_lists))
+    if key is not None:
+        _CACHE[key] = compiled
+        if len(_CACHE) > _CACHE_MAX:
+            _CACHE.popitem(last=False)
+    return compiled
+
+
+# -- compilation -------------------------------------------------------
+
+def _raiser(error: Exception) -> Predicate:
+    """A predicate that raises ``error`` when a document reaches it —
+    this is how compile-time-detectable mistakes stay lazy."""
+
+    def raise_it(_value: Any) -> bool:
+        raise error
+
+    return raise_it
+
+
+def _interpreted(fragment: dict) -> Predicate:
+    """Fallback: evaluate a query fragment with the interpreter (used
+    for shapes whose lazy error behavior is cheaper to inherit than to
+    reproduce)."""
+    return lambda document: matches(document, fragment)
+
+
+def _compile_query(query: dict) -> tuple[Predicate, list, list]:
+    predicates: list[Predicate] = []
+    equalities: list[tuple[str, Any]] = []
+    in_lists: list[tuple[str, tuple]] = []
+    for key, condition in query.items():
+        if key == "$and":
+            branches = _compile_branches(condition)
+            for branch_pred, branch_eqs, branch_ins in branches:
+                predicates.append(branch_pred)
+                equalities.extend(branch_eqs)
+                in_lists.extend(branch_ins)
+        elif key == "$or":
+            branch_preds = [pred for pred, _, _ in _compile_branches(condition)]
+            predicates.append(_any_of(branch_preds))
+        elif key == "$nor":
+            branch_preds = [pred for pred, _, _ in _compile_branches(condition)]
+            predicates.append(_none_of(branch_preds))
+        elif key.startswith("$"):
+            predicates.append(_raiser(
+                QueryError(f"unknown top-level operator {key!r}")))
+        else:
+            getter = _make_getter(key)
+            value_pred = _compile_condition(condition)
+            predicates.append(_field(getter, value_pred))
+            _extract_constraints(key, condition, equalities, in_lists)
+    if not predicates:
+        return _TRUE, equalities, in_lists
+    if len(predicates) == 1:
+        return predicates[0], equalities, in_lists
+    return _all_of(predicates), equalities, in_lists
+
+
+def _compile_branches(condition: Any) -> list[tuple[Predicate, list, list]]:
+    """Compile the sub-queries of ``$and``/``$or``/``$nor``."""
+    try:
+        subs = list(condition)
+    except TypeError:
+        # The interpreter would raise the TypeError while iterating,
+        # per document; keep that behavior.
+        return [(_interpreted({"$and": condition}), [], [])]
+    branches = []
+    for sub in subs:
+        if isinstance(sub, dict):
+            branches.append(_compile_query(sub))
+        else:
+            # ``matches`` raises "query must be a dict" per document.
+            branches.append((_interpreted_sub(sub), [], []))
+    return branches
+
+
+def _interpreted_sub(sub: Any) -> Predicate:
+    return lambda document: matches(document, sub)
+
+
+def _all_of(predicates: list[Predicate]) -> Predicate:
+    def pred(document: Any) -> bool:
+        for p in predicates:
+            if not p(document):
+                return False
+        return True
+    return pred
+
+
+def _any_of(predicates: list[Predicate]) -> Predicate:
+    def pred(document: Any) -> bool:
+        for p in predicates:
+            if p(document):
+                return True
+        return False
+    return pred
+
+
+def _none_of(predicates: list[Predicate]) -> Predicate:
+    def pred(document: Any) -> bool:
+        for p in predicates:
+            if p(document):
+                return False
+        return True
+    return pred
+
+
+def _field(getter: Callable[[Any], Any], value_pred: Predicate) -> Predicate:
+    return lambda document: value_pred(getter(document))
+
+
+def _make_getter(path: str) -> Callable[[Any], Any]:
+    """A pre-split dot-path getter (``get_path`` without the per-call
+    ``str.split``)."""
+    segments = path.split(".")
+    if len(segments) == 1:
+        def get_flat(document: Any, _key: str = path) -> Any:
+            if isinstance(document, dict):
+                return document.get(_key, MISSING)
+            return MISSING
+        return get_flat
+    prepared = [(seg, int(seg) if seg.isdigit() else None) for seg in segments]
+
+    def get_deep(document: Any) -> Any:
+        current = document
+        for segment, index in prepared:
+            if isinstance(current, dict):
+                if segment not in current:
+                    return MISSING
+                current = current[segment]
+            elif isinstance(current, list) and index is not None:
+                if index >= len(current):
+                    return MISSING
+                current = current[index]
+            else:
+                return MISSING
+        return current
+
+    return get_deep
+
+
+def _is_operator_dict(condition: Any) -> bool:
+    return (isinstance(condition, dict) and bool(condition)
+            and all(key.startswith("$") for key in condition))
+
+
+def _compile_condition(condition: Any) -> Predicate:
+    """Compile one field's condition (mirror of ``_matches_condition``)."""
+    if _is_operator_dict(condition):
+        ops = [_compile_operator(op, operand)
+               for op, operand in condition.items()]
+        if len(ops) == 1:
+            return ops[0]
+        return _all_of(ops)
+    return _eq_pred(condition)
+
+
+def _eq_pred(operand: Any) -> Predicate:
+    return lambda value: _eq_with_arrays(value, operand)
+
+
+def _compile_operator(operator: str, operand: Any) -> Predicate:
+    if operator == "$eq":
+        return _eq_pred(operand)
+    if operator == "$ne":
+        eq = _eq_pred(operand)
+        return lambda value: not eq(value)
+    if operator in ("$gt", "$gte", "$lt", "$lte"):
+        return lambda value: _compare(value, operator, operand)
+    if operator in ("$in", "$nin"):
+        if not isinstance(operand, (list, tuple)):
+            return _raiser(QueryError(f"{operator} requires a list operand"))
+        member = _membership_pred(tuple(operand))
+        if operator == "$in":
+            return member
+        return lambda value: not member(value)
+    if operator == "$exists":
+        expected = bool(operand)
+        return lambda value: (value is not MISSING) == expected
+    if operator == "$regex":
+        try:
+            rx = re.compile(operand)
+        except (re.error, TypeError):
+            # Invalid patterns must keep their lazy behavior: never
+            # raise while values are non-strings, raise on the first
+            # string value — exactly what re-compiling per call did.
+            return lambda value: _compare(value, "$regex", operand)
+        return lambda value: (isinstance(value, str)
+                              and rx.search(value) is not None)
+    if operator == "$size":
+        return lambda value: isinstance(value, list) and len(value) == operand
+    if operator == "$elemMatch":
+        return _elem_match_pred(operand)
+    if operator == "$not":
+        inner = _compile_condition(operand)
+        return lambda value: not inner(value)
+    if operator == "$near":
+        return lambda value: match_near(value, operand)
+    if operator == "$within":
+        return lambda value: match_within(value, operand)
+    return _raiser(QueryError(f"unknown query operator {operator!r}"))
+
+
+def _membership_pred(operand: tuple) -> Predicate:
+    """``$in`` with a hash-set fast path when every operand item is a
+    hashable, self-equal scalar (``NaN`` and unhashables fall back to
+    the interpreter's linear scan semantics)."""
+    try:
+        operand_set = frozenset(operand)
+        hashable = all(item == item for item in operand)
+    except TypeError:
+        hashable = False
+    if not hashable:
+        return lambda value: any(_eq_with_arrays(value, item)
+                                 for item in operand)
+    none_matches = None in operand_set
+
+    def member(value: Any) -> bool:
+        if value is MISSING:
+            return none_matches
+        if isinstance(value, list):
+            return any(_eq_with_arrays(value, item) for item in operand)
+        try:
+            return value in operand_set
+        except TypeError:
+            return any(value == item for item in operand)
+
+    return member
+
+
+def _elem_match_pred(operand: Any) -> Predicate:
+    """``$elemMatch``: dict elements are matched as sub-queries, scalar
+    elements as conditions — decided per element, like the interpreter."""
+    condition_pred = _compile_condition(operand)
+    if isinstance(operand, dict):
+        sub_query = compile_query(operand)
+
+        def pred(value: Any) -> bool:
+            if not isinstance(value, list):
+                return False
+            for element in value:
+                if isinstance(element, dict):
+                    if sub_query.predicate(element):
+                        return True
+                elif condition_pred(element):
+                    return True
+            return False
+    else:
+        def pred(value: Any) -> bool:
+            if not isinstance(value, list):
+                return False
+            for element in value:
+                if isinstance(element, dict):
+                    # ``matches`` raises "query must be a dict" here —
+                    # lazily, only when a dict element shows up.
+                    if matches(element, operand):
+                        return True
+                elif condition_pred(element):
+                    return True
+            return False
+    return pred
+
+
+def _extract_constraints(path: str, condition: Any,
+                         equalities: list, in_lists: list) -> None:
+    """Record the planner-usable constraints of one field condition."""
+    if _is_operator_dict(condition):
+        if "$eq" in condition:
+            equalities.append((path, condition["$eq"]))
+        in_operand = condition.get("$in")
+        if isinstance(in_operand, (list, tuple)):
+            in_lists.append((path, tuple(in_operand)))
+        return
+    equalities.append((path, condition))

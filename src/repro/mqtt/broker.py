@@ -12,7 +12,8 @@ from typing import Any
 
 from repro.mqtt import packets
 from repro.mqtt.errors import MqttProtocolError
-from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
+from repro.mqtt.subtrie import RetainedTrie, SubscriptionTrie
+from repro.mqtt.topics import validate_filter, validate_topic
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network
 from repro.simkit.scheduler import EventHandle
@@ -70,6 +71,15 @@ class MqttBroker(Endpoint):
         self._sessions: dict[str, _Session] = {}
         self._address_to_client: dict[str, str] = {}
         self._retained: dict[str, packets.Publish] = {}
+        #: Wildcard-aware subscription trie: routing work per PUBLISH is
+        #: O(topic levels + matches), not O(sessions × subscriptions).
+        self._subscriptions = SubscriptionTrie()
+        #: Topic trie over the retained table, so a new subscription
+        #: finds its retained messages without scanning every topic.
+        self._retained_trie = RetainedTrie()
+        #: Per-topic cached counter handles (when observability is on),
+        #: so the routing hot loop never re-resolves registry entries.
+        self._obs_counters: dict[tuple[str, str], Any] = {}
         self.messages_routed = 0
         self.publishes_received = 0
         self.sessions_expired = 0
@@ -109,6 +119,9 @@ class MqttBroker(Endpoint):
             session.pending_acks.clear()
             session.connected = False
         if preserve_persistent_sessions:
+            for client_id, session in self._sessions.items():
+                if session.clean_session:
+                    self._drop_subscriptions(session)
             self._sessions = {client_id: session
                               for client_id, session in self._sessions.items()
                               if not session.clean_session}
@@ -120,6 +133,8 @@ class MqttBroker(Endpoint):
             self._sessions.clear()
             self._address_to_client.clear()
             self._retained.clear()
+            self._subscriptions = SubscriptionTrie()
+            self._retained_trie.clear()
 
     def restart(self) -> None:
         """The broker process comes back up and accepts traffic again."""
@@ -169,13 +184,22 @@ class MqttBroker(Endpoint):
 
     def subscriber_count(self, topic: str) -> int:
         """Connected sessions with at least one filter matching ``topic``."""
-        validate_topic(topic)
-        return sum(
-            1 for session in self._sessions.values()
-            if session.connected and any(
-                topic_matches(sub.topic_filter, topic)
-                for sub in session.subscriptions.values())
-        )
+        levels = validate_topic(topic)
+        matched = self._subscriptions.match(levels)
+        count = 0
+        for client_id in matched:
+            session = self._sessions.get(client_id)
+            if session is not None and session.connected:
+                count += 1
+        return count
+
+    @property
+    def routing_checks(self) -> int:
+        """Cumulative routing work (trie nodes visited + subscriber
+        entries considered).  The perf harness diffs this across
+        publishes to prove per-publish work is sublinear in the total
+        subscription count."""
+        return self._subscriptions.checks
 
     # -- packet handlers ----------------------------------------------
 
@@ -183,6 +207,10 @@ class MqttBroker(Endpoint):
         session = self._sessions.get(packet.client_id)
         session_present = session is not None and not packet.clean_session
         if session is None or packet.clean_session:
+            if session is not None:
+                # A clean CONNECT wipes the previous session, so its
+                # subscriptions must leave the routing trie too.
+                self._drop_subscriptions(session)
             session = _Session(
                 client_id=packet.client_id,
                 address=src,
@@ -212,29 +240,33 @@ class MqttBroker(Endpoint):
 
     def _on_subscribe(self, src: str, packet: packets.Subscribe) -> None:
         session = self._require_session(src)
-        validate_filter(packet.topic_filter)
+        levels = validate_filter(packet.topic_filter)
         session.subscriptions[packet.topic_filter] = _Subscription(
             packet.topic_filter, packet.qos)
+        self._subscriptions.add(levels, session.client_id, packet.qos)
         session.last_seen = self._world.now
         self._send(session, packets.SubAck(packet.packet_id, granted_qos=packet.qos))
-        # Retained messages matching the new filter are delivered at once.
-        for topic, retained in sorted(self._retained.items()):
-            if topic_matches(packet.topic_filter, topic):
-                self._deliver_publish(session, retained, qos=min(
-                    packet.qos, retained.qos), retain_flag=True)
+        # Retained messages matching the new filter are delivered at
+        # once; the retained trie yields them already topic-sorted (the
+        # historical delivery order of the full-table scan).
+        for _topic, retained in self._retained_trie.match_filter(levels):
+            self._deliver_publish(session, retained, qos=min(
+                packet.qos, retained.qos), retain_flag=True)
 
     def _on_unsubscribe(self, src: str, packet: packets.Unsubscribe) -> None:
         session = self._require_session(src)
-        session.subscriptions.pop(packet.topic_filter, None)
+        removed = session.subscriptions.pop(packet.topic_filter, None)
+        if removed is not None:
+            self._subscriptions.discard(
+                validate_filter(packet.topic_filter), session.client_id)
         session.last_seen = self._world.now
         self._send(session, packets.UnsubAck(packet.packet_id))
 
     def _on_publish(self, src: str, packet: packets.Publish) -> None:
-        validate_topic(packet.topic)
+        levels = validate_topic(packet.topic)
         self.publishes_received += 1
         if self._obs is not None:
-            self._obs.telemetry.counter(
-                "broker_publishes_received", topic=packet.topic).inc()
+            self._counter("broker_publishes_received", packet.topic).inc()
         session = self._session_for(src)
         if session is not None:
             session.last_seen = self._world.now
@@ -243,8 +275,10 @@ class MqttBroker(Endpoint):
         if packet.retain:
             if packet.payload is None:
                 self._retained.pop(packet.topic, None)
+                self._retained_trie.delete(levels)
             else:
                 self._retained[packet.topic] = packet
+                self._retained_trie.set(levels, packet)
         self.route(packet)
 
     def _on_pingreq(self, src: str, packet: packets.PingReq) -> None:
@@ -265,18 +299,22 @@ class MqttBroker(Endpoint):
     # -- routing ------------------------------------------------------
 
     def route(self, packet: packets.Publish) -> int:
-        """Fan a PUBLISH out to every matching session; returns count."""
+        """Fan a PUBLISH out to every matching session; returns count.
+
+        The subscription trie yields each matching client with the max
+        qos of its matching filters (``max over filters of min(sub.qos,
+        packet.qos)`` equals ``min(max filter qos, packet.qos)`` since
+        the packet qos is constant), and delivery iterates matched
+        clients in sorted id order — the same order the historical
+        all-sessions scan produced.
+        """
+        matched = self._subscriptions.match(validate_topic(packet.topic))
         delivered = 0
-        for client_id in sorted(self._sessions):
-            session = self._sessions[client_id]
-            best_qos = None
-            for sub in session.subscriptions.values():
-                if topic_matches(sub.topic_filter, packet.topic):
-                    qos = min(sub.qos, packet.qos)
-                    if best_qos is None or qos > best_qos:
-                        best_qos = qos
-            if best_qos is None:
+        for client_id in sorted(matched):
+            session = self._sessions.get(client_id)
+            if session is None:
                 continue
+            best_qos = min(matched[client_id], packet.qos)
             delivered += 1
             if session.connected:
                 self._deliver_publish(session, packet, qos=best_qos)
@@ -292,9 +330,18 @@ class MqttBroker(Endpoint):
                                 len(session.offline_queue))
         self.messages_routed += delivered
         if self._obs is not None and delivered:
-            self._obs.telemetry.counter(
-                "broker_routed", topic=packet.topic).inc(delivered)
+            self._counter("broker_routed", packet.topic).inc(delivered)
         return delivered
+
+    def _counter(self, name: str, topic: str):
+        """A cached per-topic counter handle: the hot loop resolves the
+        registry entry (name + sorted label set) once per topic, not
+        once per publish."""
+        counter = self._obs_counters.get((name, topic))
+        if counter is None:
+            counter = self._obs.telemetry.counter(name, topic=topic)
+            self._obs_counters[(name, topic)] = counter
+        return counter
 
     def _deliver_publish(self, session: _Session, packet: packets.Publish,
                          qos: int, retain_flag: bool = False) -> None:
@@ -377,7 +424,14 @@ class MqttBroker(Endpoint):
             self.route(packets.Publish(
                 topic=session.will_topic, payload=session.will_payload, qos=0))
         if session.clean_session:
+            self._drop_subscriptions(session)
             self._sessions.pop(session.client_id, None)
+
+    def _drop_subscriptions(self, session: _Session) -> None:
+        """Remove every filter of a dying session from the trie."""
+        for topic_filter in session.subscriptions:
+            self._subscriptions.discard(
+                validate_filter(topic_filter), session.client_id)
 
     def _session_for(self, address: str) -> _Session | None:
         client_id = self._address_to_client.get(address)

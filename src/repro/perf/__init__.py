@@ -1,0 +1,19 @@
+"""Hot-path performance harness (see ``docs/PERFORMANCE.md``)."""
+
+from repro.perf.harness import (
+    BENCH_PERF_FILENAME,
+    bench_broker_fanout,
+    bench_docstore_query,
+    bench_end_to_end_ingest,
+    run_all,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_PERF_FILENAME",
+    "bench_broker_fanout",
+    "bench_docstore_query",
+    "bench_end_to_end_ingest",
+    "run_all",
+    "write_report",
+]

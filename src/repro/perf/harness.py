@@ -1,0 +1,282 @@
+"""Microbenchmarks for the three hot paths, plus the perf trajectory.
+
+The paper's evaluation (§5.5, Tables 3/4) measures how the middleware
+degrades under load and prescribes indices for the data path; the
+ROADMAP's north star is "as fast as the hardware allows".  This module
+is the repo's proof layer for both: three microbenchmarks — broker
+fan-out, docstore querying, end-to-end ingest on the virtual clock —
+that report *algorithmic* work counters (routing checks per publish,
+candidate documents examined per query) alongside wall-clock ops/sec,
+and a persistent trajectory file (``BENCH_PERF.json``) so every later
+change is measured against the history.
+
+Work counters, not just timings, are the primary metrics: they are
+deterministic across machines, so CI can assert on them with tight
+bounds while wall-clock numbers stay informational.
+
+Run via ``repro perf`` or ``pytest benchmarks/test_hotpath_perf.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+BENCH_PERF_FILENAME = "BENCH_PERF.json"
+
+#: Constant number of wildcard subscribers mixed into the fan-out
+#: benchmark (they match every publish; exact subscribers don't).
+_WILDCARD_SUBSCRIBERS = 4
+
+
+def bench_broker_fanout(subscriber_counts: tuple[int, ...] = (100, 400, 1600),
+                        publishes: int = 200, seed: int = 41) -> dict:
+    """Routing work per PUBLISH as the subscriber population grows.
+
+    Each of N clients subscribes to its own exact topic; a constant
+    handful subscribe through ``+``/``#`` wildcards.  Every publish
+    targets one user's topic, so the *match set* stays constant while N
+    grows — a linear-scan router does O(N) work per publish anyway,
+    which is exactly what the trie removes.  ``checks_per_publish`` is
+    the trie's own work counter (nodes visited + subscriber entries
+    considered); ``scan_equivalent`` is what the old implementation
+    examined (every subscription).
+    """
+    from repro.mqtt import packets
+    from repro.mqtt.broker import MqttBroker
+    from repro.net.network import Network
+    from repro.simkit.world import World
+
+    points = []
+    for count in subscriber_counts:
+        world = World(seed=seed)
+        network = Network(world)
+        broker = MqttBroker(world, network, address="perf-broker")
+        for i in range(count):
+            address = network.register(f"perf-c{i}", lambda message: None)
+            broker._on_connect(address, packets.Connect(client_id=f"c{i}"))
+            broker._on_subscribe(address, packets.Subscribe(
+                packet_id=1, topic_filter=f"sensocial/data/u{i}/accel"))
+            if i < _WILDCARD_SUBSCRIBERS:
+                broker._on_subscribe(address, packets.Subscribe(
+                    packet_id=2, topic_filter="sensocial/data/+/accel"))
+        subscriptions = count + _WILDCARD_SUBSCRIBERS
+        packet = packets.Publish(topic="sensocial/data/u0/accel",
+                                 payload={"v": 1}, qos=0)
+        # Warm-up publish (first route pays dict allocations).
+        broker.route(packet)
+        checks_before = broker.routing_checks
+        started = time.perf_counter()
+        delivered = 0
+        for _ in range(publishes):
+            delivered += broker.route(packet)
+        elapsed = time.perf_counter() - started
+        checks = (broker.routing_checks - checks_before) / publishes
+        points.append({
+            "subscribers": count,
+            "subscriptions": subscriptions,
+            "matches_per_publish": delivered / publishes,
+            "checks_per_publish": checks,
+            "scan_equivalent": subscriptions,
+            "publishes_per_s": publishes / elapsed if elapsed > 0 else None,
+        })
+    first, last = points[0], points[-1]
+    growth = {
+        "subscription_growth":
+            last["subscriptions"] / first["subscriptions"],
+        "checks_growth":
+            last["checks_per_publish"] / first["checks_per_publish"],
+    }
+    return {"points": points, "growth": growth}
+
+
+def bench_docstore_query(n_docs: int = 2000, rounds: int = 200,
+                         seed: int = 42) -> dict:
+    """Candidate documents examined per query, indexed vs full scan.
+
+    The workload is the server's own shape: records keyed by user and
+    modality, queried conjunctively (``records_of``) and with ``$in``
+    over users.  The planner intersects the two hash-index buckets (or
+    unions ``$in`` buckets), so examined candidates collapse from
+    "every document" to "documents that could match".
+    """
+    from repro.docstore import DocumentStore
+    from repro.docstore import compiler
+
+    modalities = ["accelerometer", "location", "activity", "place"]
+    users = max(10, n_docs // 100)
+    documents = [
+        {"user_id": f"user-{i % users}",
+         "modality": modalities[i % len(modalities)],
+         "seq": i,
+         "value": {"x": i}}
+        for i in range(n_docs)
+    ]
+    unindexed = DocumentStore()["records"]
+    unindexed.insert_many(documents)
+    indexed = DocumentStore()["records"]
+    indexed.create_index("user_id")
+    indexed.create_index("modality")
+    indexed.insert_many(documents)
+
+    # "place" = modalities[3] co-occurs with user-7 (and user-3) at any
+    # population size: document 7 is always user-7/place, document 3
+    # always user-3/place — so both queries have matches regardless of
+    # how ``users`` and the modality cycle align.
+    conjunctive = {"user_id": "user-7", "modality": "place"}
+    in_query = {"user_id": {"$in": ["user-3", "user-5", "user-7"]},
+                "modality": "place"}
+
+    def measure(collection, query):
+        collection.find(query).to_list()  # warm the compiler cache
+        before = collection.candidates_examined
+        started = time.perf_counter()
+        results = 0
+        for _ in range(rounds):
+            results = len(collection.find(query).to_list())
+        elapsed = time.perf_counter() - started
+        return {
+            "results": results,
+            "candidates_per_query":
+                (collection.candidates_examined - before) / rounds,
+            "queries_per_s": rounds / elapsed if elapsed > 0 else None,
+        }
+
+    cache_before = compiler.cache_info()
+    metrics = {
+        "n_docs": n_docs,
+        "conjunctive": {
+            "scan": measure(unindexed, conjunctive),
+            "indexed": measure(indexed, conjunctive),
+        },
+        "in_union": {
+            "scan": measure(unindexed, in_query),
+            "indexed": measure(indexed, in_query),
+        },
+    }
+    cache_after = compiler.cache_info()
+    metrics["compiler_cache_hits"] = cache_after["hits"] - cache_before["hits"]
+    for group in ("conjunctive", "in_union"):
+        scan = metrics[group]["scan"]["candidates_per_query"]
+        indexed_c = metrics[group]["indexed"]["candidates_per_query"]
+        metrics[group]["candidate_reduction"] = (
+            scan / indexed_c if indexed_c else None)
+    return metrics
+
+
+def bench_end_to_end_ingest(users: int = 8, sim_minutes: float = 10.0,
+                            seed: int = 43) -> dict:
+    """A whole simulated deployment: devices sense, the broker routes,
+    the server ingests, filters and stores — wall-clock throughput of
+    the full virtual-clock pipeline plus the hot-path work counters."""
+    from repro import Granularity, ModalityType, SenSocialTestbed
+
+    testbed = SenSocialTestbed(seed=seed)
+    cities = ["Paris", "Bordeaux", "London"]
+    for index in range(users):
+        node = testbed.add_user(f"user{index}",
+                                home_city=cities[index % len(cities)])
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    sim_seconds = sim_minutes * 60.0
+    started = time.perf_counter()
+    testbed.run(sim_seconds)
+    elapsed = time.perf_counter() - started
+    server = testbed.server
+    records_collection = server.database.records
+    return {
+        "users": users,
+        "sim_seconds": sim_seconds,
+        "wall_seconds": elapsed,
+        "sim_speedup": sim_seconds / elapsed if elapsed > 0 else None,
+        "records_ingested": server.records_received,
+        "records_per_wall_s":
+            server.records_received / elapsed if elapsed > 0 else None,
+        "broker_publishes": testbed.broker.publishes_received,
+        "broker_checks_per_publish": (
+            testbed.broker.routing_checks / testbed.broker.publishes_received
+            if testbed.broker.publishes_received else None),
+        "db_candidates_examined": records_collection.candidates_examined,
+        "db_scans": records_collection.scans,
+        "db_index_lookups": records_collection.index_lookups,
+        "filter_gate_hits": server.filters.gate_cache_hits,
+        "filter_gate_evaluations": server.filters.gate_evaluations,
+    }
+
+
+def run_all(*, quick: bool = False) -> dict:
+    """Run the three benchmark groups; ``quick`` shrinks sizes for CI
+    smoke runs while keeping every metric meaningful."""
+    if quick:
+        broker = bench_broker_fanout(subscriber_counts=(50, 200, 800),
+                                     publishes=50)
+        docstore = bench_docstore_query(n_docs=1000, rounds=50)
+        ingest = bench_end_to_end_ingest(users=4, sim_minutes=5.0)
+    else:
+        broker = bench_broker_fanout()
+        docstore = bench_docstore_query()
+        ingest = bench_end_to_end_ingest()
+    return {
+        "run_at": time.time(),
+        "quick": quick,
+        "broker_fanout": broker,
+        "docstore_query": docstore,
+        "end_to_end_ingest": ingest,
+    }
+
+
+def write_report(entry: dict, path: str | Path = BENCH_PERF_FILENAME,
+                 history_limit: int = 50) -> dict:
+    """Append ``entry`` to the perf trajectory file and return the full
+    document (``latest`` plus a bounded ``history``)."""
+    path = Path(path)
+    document: dict[str, Any] = {"schema": 1, "history": []}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(previous, dict) and isinstance(
+                    previous.get("history"), list):
+                document["history"] = previous["history"]
+        except (ValueError, OSError):
+            pass  # corrupt/unreadable trajectory: start a fresh one
+    document["history"].append(entry)
+    document["history"] = document["history"][-history_limit:]
+    document["latest"] = entry
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return document
+
+
+def format_summary(entry: dict) -> str:
+    """A terse human-readable digest of one benchmark entry."""
+    lines = ["hot-path benchmarks"]
+    broker = entry["broker_fanout"]
+    for point in broker["points"]:
+        lines.append(
+            f"  broker   {point['subscribers']:>5} subs: "
+            f"{point['checks_per_publish']:8.1f} checks/publish "
+            f"(scan would do {point['scan_equivalent']}), "
+            f"{point['publishes_per_s']:,.0f} publish/s")
+    growth = broker["growth"]
+    lines.append(
+        f"  broker   growth: x{growth['subscription_growth']:.0f} "
+        f"subscriptions -> x{growth['checks_growth']:.2f} routing work")
+    docstore = entry["docstore_query"]
+    for group in ("conjunctive", "in_union"):
+        metrics = docstore[group]
+        reduction = metrics["candidate_reduction"]
+        lines.append(
+            f"  docstore {group}: {metrics['indexed']['candidates_per_query']:.1f} "
+            f"candidates/query indexed vs {metrics['scan']['candidates_per_query']:.1f} "
+            f"scanned ({f'{reduction:.0f}x fewer' if reduction else 'n/a'}), "
+            f"{metrics['indexed']['queries_per_s']:,.0f} q/s")
+    ingest = entry["end_to_end_ingest"]
+    lines.append(
+        f"  ingest   {ingest['records_ingested']} records / "
+        f"{ingest['sim_seconds']:.0f} sim-s in {ingest['wall_seconds']:.2f} "
+        f"wall-s ({ingest['sim_speedup']:.0f}x real time, "
+        f"{ingest['records_per_wall_s']:,.0f} records/wall-s)")
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Routing-trie equivalence: the trie must agree with the brute-force
+scan it replaced — matched clients, per-client QoS, and delivery order.
+
+``topic_matches`` is the reference oracle (unchanged by the overhaul);
+the randomized tests confront :class:`SubscriptionTrie` /
+:class:`RetainedTrie` with generated filter/topic populations and
+demand identical answers, including the MQTT 3.1.1 corner cases
+(``a/#`` matching ``a`` itself, ``+`` matching empty levels).
+"""
+
+import random
+
+from repro.mqtt import packets
+from repro.mqtt.broker import MqttBroker
+from repro.mqtt.subtrie import RetainedTrie, SubscriptionTrie
+from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
+from repro.net.network import Network
+from repro.simkit.world import World
+
+_LEVELS = ["a", "b", "c", ""]
+
+
+def _random_filter(rng: random.Random) -> str:
+    depth = rng.randint(1, 4)
+    levels = [rng.choice(_LEVELS + ["+"]) for _ in range(depth)]
+    if rng.random() < 0.25:
+        levels.append("#")
+    candidate = "/".join(levels)
+    try:
+        validate_filter(candidate)
+    except Exception:
+        return _random_filter(rng)
+    return candidate
+
+
+def _random_topic(rng: random.Random) -> str:
+    depth = rng.randint(1, 4)
+    topic = "/".join(rng.choice(_LEVELS) for _ in range(depth))
+    # A single empty level is the empty string — not a legal topic.
+    return topic if topic else _random_topic(rng)
+
+
+def _brute_force(subscriptions, topic: str) -> dict[str, int]:
+    """The old router's answer: scan every (client, filter, qos)."""
+    matched: dict[str, int] = {}
+    for client_id, topic_filter, qos in subscriptions:
+        if topic_matches(topic_filter, topic):
+            best = matched.get(client_id)
+            if best is None or qos > best:
+                matched[client_id] = qos
+    return matched
+
+
+class TestSubscriptionTrieEquivalence:
+    def test_randomized_population_matches_brute_force(self):
+        rng = random.Random(1234)
+        subscriptions = []
+        trie = SubscriptionTrie()
+        for i in range(300):
+            client_id = f"c{i % 40}"
+            topic_filter = _random_filter(rng)
+            qos = rng.randint(0, 1)
+            # Re-subscribing to the same filter replaces the qos, both
+            # in the trie and in the oracle table.
+            subscriptions = [s for s in subscriptions
+                             if not (s[0] == client_id and s[1] == topic_filter)]
+            subscriptions.append((client_id, topic_filter, qos))
+            trie.add(validate_filter(topic_filter), client_id, qos)
+        for _ in range(200):
+            topic = _random_topic(rng)
+            try:
+                validate_topic(topic)
+            except Exception:
+                continue
+            assert trie.match(topic.split("/")) == \
+                _brute_force(subscriptions, topic), topic
+
+    def test_randomized_discard_keeps_equivalence(self):
+        rng = random.Random(99)
+        subscriptions = []
+        trie = SubscriptionTrie()
+        for i in range(200):
+            entry = (f"c{i % 25}", _random_filter(rng), rng.randint(0, 1))
+            subscriptions = [s for s in subscriptions
+                             if not (s[0] == entry[0] and s[1] == entry[1])]
+            subscriptions.append(entry)
+            trie.add(validate_filter(entry[1]), entry[0], entry[2])
+        rng.shuffle(subscriptions)
+        keep = subscriptions[: len(subscriptions) // 2]
+        for client_id, topic_filter, _qos in subscriptions[len(keep):]:
+            trie.discard(validate_filter(topic_filter), client_id)
+        assert len(trie) == len(keep)
+        for _ in range(150):
+            topic = _random_topic(rng)
+            assert trie.match(topic.split("/")) == _brute_force(keep, topic)
+
+    def test_discard_everything_prunes_to_empty(self):
+        trie = SubscriptionTrie()
+        filters = ["a/b/c", "a/+/c", "a/#", "#", "+/+", "a/b"]
+        for topic_filter in filters:
+            trie.add(validate_filter(topic_filter), "c1", 0)
+        for topic_filter in filters:
+            trie.discard(validate_filter(topic_filter), "c1")
+        assert len(trie) == 0
+        assert trie._root.is_empty()
+        assert trie.match(["a", "b", "c"]) == {}
+
+    def test_hash_matches_parent_level_itself(self):
+        trie = SubscriptionTrie()
+        trie.add(validate_filter("a/#"), "c1", 1)
+        assert trie.match(["a"]) == {"c1": 1}
+        assert trie.match(["a", "b", "c"]) == {"c1": 1}
+        assert trie.match(["b"]) == {}
+
+    def test_max_qos_across_overlapping_filters(self):
+        trie = SubscriptionTrie()
+        trie.add(validate_filter("a/b"), "c1", 0)
+        trie.add(validate_filter("a/+"), "c1", 1)
+        trie.add(validate_filter("#"), "c1", 0)
+        assert trie.match(["a", "b"]) == {"c1": 1}
+        assert trie.match(["a", "z"]) == {"c1": 1}
+        assert trie.match(["q"]) == {"c1": 0}
+
+    def test_match_work_is_counted(self):
+        trie = SubscriptionTrie()
+        trie.add(validate_filter("a/b"), "c1", 0)
+        before = trie.checks
+        trie.match(["a", "b"])
+        assert trie.checks > before
+
+
+class TestRetainedTrieEquivalence:
+    def test_match_filter_agrees_with_scan_and_is_topic_sorted(self):
+        rng = random.Random(7)
+        trie = RetainedTrie()
+        table = {}
+        for i in range(120):
+            topic = _random_topic(rng)
+            value = f"v{i}"
+            table[topic] = value
+            trie.set(topic.split("/"), value)
+        for _ in range(80):
+            topic_filter = _random_filter(rng)
+            expected = sorted(
+                (topic, value) for topic, value in table.items()
+                if topic_matches(topic_filter, topic))
+            assert trie.match_filter(validate_filter(topic_filter)) == expected
+
+    def test_delete_prunes_and_items_round_trips(self):
+        trie = RetainedTrie()
+        trie.set(["a", "b"], 1)
+        trie.set(["a", "c"], 2)
+        trie.delete(["a", "b"])
+        assert dict(trie.items()) == {"a/c": 2}
+        trie.delete(["a", "c"])
+        assert dict(trie.items()) == {}
+        assert not trie._root.children
+
+
+class TestBrokerDeliveryOrder:
+    def _broker(self):
+        world = World(seed=5)
+        network = Network(world)
+        broker = MqttBroker(world, network, address="order-broker")
+        return world, network, broker
+
+    def _connect(self, network, broker, client_id, log):
+        address = network.register(
+            f"host/{client_id}",
+            lambda message, n=client_id: log.append((n, message.payload)))
+        broker._on_connect(address, packets.Connect(client_id=client_id))
+        return address
+
+    def test_fanout_delivers_in_sorted_client_order(self):
+        """The trie returns an unordered match table; ``route`` must
+        still deliver in sorted client-id order (the historical order
+        of the all-sessions scan)."""
+        world, network, broker = self._broker()
+        log = []
+        # Register out of order so insertion order != sorted order.
+        for client_id in ["c3", "c1", "c4", "c2"]:
+            address = self._connect(network, broker, client_id, log)
+            broker._on_subscribe(address, packets.Subscribe(
+                packet_id=1, topic_filter="shared/topic"))
+        log.clear()
+        delivered = broker.route(packets.Publish(
+            topic="shared/topic", payload="x", qos=0))
+        world.run_for(1.0)
+        assert delivered == 4
+        arrivals = [name for name, packet in log
+                    if isinstance(packet, packets.Publish)]
+        assert arrivals == ["c1", "c2", "c3", "c4"]
+
+    def test_delivered_qos_is_min_of_max_filter_and_packet(self):
+        world, network, broker = self._broker()
+        log = []
+        address = self._connect(network, broker, "c1", log)
+        broker._on_subscribe(address, packets.Subscribe(
+            packet_id=1, topic_filter="a/b", qos=0))
+        broker._on_subscribe(address, packets.Subscribe(
+            packet_id=2, topic_filter="a/+", qos=1))
+        log.clear()
+        broker.route(packets.Publish(topic="a/b", payload="p", qos=1))
+        broker.route(packets.Publish(topic="a/b", payload="p", qos=0))
+        world.run_for(1.0)
+        delivered = [packet.qos for _name, packet in log
+                     if isinstance(packet, packets.Publish)]
+        assert delivered == [1, 0]
+
+    def test_unsubscribe_and_clean_connect_leave_no_stale_routes(self):
+        world, network, broker = self._broker()
+        log = []
+        address = self._connect(network, broker, "c1", log)
+        broker._on_subscribe(address, packets.Subscribe(
+            packet_id=1, topic_filter="t/1"))
+        broker._on_subscribe(address, packets.Subscribe(
+            packet_id=2, topic_filter="t/2"))
+        broker._on_unsubscribe(address, packets.Unsubscribe(
+            packet_id=3, topic_filter="t/1"))
+        assert broker.route(packets.Publish(topic="t/1", payload=1, qos=0)) == 0
+        assert broker.route(packets.Publish(topic="t/2", payload=1, qos=0)) == 1
+        # A clean re-CONNECT wipes the session: its trie entries go too.
+        broker._on_connect(address, packets.Connect(client_id="c1"))
+        assert broker.route(packets.Publish(topic="t/2", payload=1, qos=0)) == 0
+        assert len(broker._subscriptions) == 0
+        world.run_for(1.0)
+
+    def test_retained_delivery_order_is_topic_sorted(self):
+        world, network, broker = self._broker()
+        log = []
+        publisher = self._connect(network, broker, "pub", log)
+        for topic in ["r/c", "r/a", "r/b"]:
+            broker._on_publish(publisher, packets.Publish(
+                topic=topic, payload=topic, qos=0, retain=True))
+        subscriber = self._connect(network, broker, "sub", log)
+        log.clear()
+        broker._on_subscribe(subscriber, packets.Subscribe(
+            packet_id=1, topic_filter="r/+"))
+        world.run_for(1.0)
+        retained = [packet.payload for name, packet in log
+                    if name == "sub" and isinstance(packet, packets.Publish)]
+        assert retained == ["r/a", "r/b", "r/c"]

@@ -35,7 +35,8 @@ class TestDocReferences:
                                      "EXPERIMENTS.md", "docs/ARCHITECTURE.md",
                                      "docs/CALIBRATION.md", "docs/FAULTS.md",
                                      "docs/OBSERVABILITY.md",
-                                     "docs/DURABILITY.md"])
+                                     "docs/DURABILITY.md",
+                                     "docs/PERFORMANCE.md"])
     def test_referenced_paths_exist(self, doc):
         text = (REPO / doc).read_text()
         referenced = re.findall(

@@ -1,0 +1,147 @@
+"""Lazy-cursor behavior pins: streaming, early exit, count/len
+semantics, snapshot isolation and projection-aware copying."""
+
+import pytest
+
+from repro.docstore import DocumentStore
+from repro.docstore.errors import QueryError
+
+
+@pytest.fixture
+def collection():
+    collection = DocumentStore()["c"]
+    collection.insert_many([{"v": i, "parity": i % 2} for i in range(100)])
+    return collection
+
+
+class TestLazyStreaming:
+    def test_find_alone_examines_nothing(self, collection):
+        before = collection.candidates_examined
+        collection.find({"v": {"$gte": 0}})
+        assert collection.candidates_examined == before
+
+    def test_find_one_stops_at_the_first_match(self, collection):
+        before = collection.candidates_examined
+        document = collection.find_one({"v": 7})
+        assert document["v"] == 7
+        # Insertion order: documents 0..7 are examined, nothing after.
+        assert collection.candidates_examined - before == 8
+
+    def test_limit_stops_the_scan_early(self, collection):
+        before = collection.candidates_examined
+        results = collection.find({"parity": 0}).limit(3).to_list()
+        assert [doc["v"] for doc in results] == [0, 2, 4]
+        assert collection.candidates_examined - before == 5
+
+    def test_cursor_is_reiterable_with_one_scan(self, collection):
+        cursor = collection.find({"parity": 1})
+        before = collection.candidates_examined
+        first = [doc["v"] for doc in cursor]
+        second = [doc["v"] for doc in cursor]
+        assert first == second
+        # The second pass replays the cursor's cache, not the store.
+        assert collection.candidates_examined - before == 100
+
+    def test_interleaved_iterators_share_the_stream(self, collection):
+        cursor = collection.find({"parity": 0})
+        one, two = iter(cursor), iter(cursor)
+        assert next(one)["v"] == 0
+        assert next(two)["v"] == 0
+        assert next(one)["v"] == 2
+        assert next(two)["v"] == 2
+
+    def test_candidates_pinned_at_find_time(self, collection):
+        cursor = collection.find({"parity": 0})
+        collection.insert_one({"v": 100, "parity": 0})
+        assert all(doc["v"] < 100 for doc in cursor)
+        # A fresh find sees the new document.
+        assert collection.find({"v": 100}).count() == 1
+
+    def test_results_are_copies(self, collection):
+        document = collection.find_one({"v": 3})
+        document["v"] = 999
+        assert collection.find_one({"v": 3})["v"] == 3
+        assert collection.count({"v": 999}) == 0
+
+
+class TestCountAndLen:
+    def test_count_ignores_skip_and_limit(self, collection):
+        cursor = collection.find({"parity": 0}).skip(10).limit(5)
+        assert cursor.count() == 50
+
+    def test_len_respects_skip_and_limit(self, collection):
+        cursor = collection.find({"parity": 0}).skip(10).limit(5)
+        assert len(cursor) == 5
+        assert len(collection.find({"parity": 0}).skip(48)) == 2
+        assert len(collection.find({"parity": 0}).limit(1000)) == 50
+
+    def test_count_with_sort_does_not_sort(self, collection):
+        """Sorting cannot change cardinality; counting a sorted cursor
+        must not pay for ordering (or copying)."""
+        cursor = collection.find({"parity": 1}).sort("v", -1)
+        assert cursor.count() == 50
+        assert len(cursor) == 50
+        # The cursor still iterates sorted afterwards.
+        values = [doc["v"] for doc in cursor]
+        assert values == sorted(values, reverse=True)
+
+
+class TestProjectionCopies:
+    @pytest.fixture
+    def nested(self):
+        collection = DocumentStore()["n"]
+        collection.insert_one({
+            "name": "alice",
+            "secret": "s3cr3t",
+            "profile": {"city": "Paris", "token": "t", "tags": ["a", "b"]},
+            "history": [{"at": 1, "ip": "x"}, {"at": 2, "ip": "y"}],
+        })
+        return collection
+
+    def test_include_mode_keeps_only_named_paths(self, nested):
+        document = nested.find_one({}, {"name": 1, "profile.city": 1})
+        assert document == {"_id": 1, "name": "alice",
+                            "profile": {"city": "Paris"}}
+
+    def test_exclude_mode_drops_named_paths(self, nested):
+        document = nested.find_one({}, {"secret": 0, "profile.token": 0})
+        assert "secret" not in document
+        assert document["profile"] == {"city": "Paris", "tags": ["a", "b"]}
+        assert document["name"] == "alice"
+
+    def test_id_suppression(self, nested):
+        assert "_id" not in nested.find_one({}, {"name": 1, "_id": 0})
+        assert "_id" not in nested.find_one({}, {"secret": 0, "_id": 0})
+
+    def test_mixed_projection_rejected(self, nested):
+        with pytest.raises(QueryError, match="cannot mix"):
+            nested.find({}, {"name": 1, "secret": 0}).to_list()
+
+    def test_exclusion_leaf_on_list_index_is_a_no_op(self, nested):
+        """``delete_path`` only removes dict keys; an exclusion leaf
+        landing on a list index must not drop the element."""
+        document = nested.find_one({}, {"history.0": 0})
+        assert len(document["history"]) == 2
+
+    def test_exclusion_descends_through_list_indices(self, nested):
+        document = nested.find_one({}, {"history.1.ip": 0})
+        assert document["history"] == [{"at": 1, "ip": "x"}, {"at": 2}]
+
+    def test_whole_subtree_exclusion_wins_over_deeper_path(self, nested):
+        for projection in ({"profile": 0, "profile.city": 0},
+                           {"profile.city": 0, "profile": 0}):
+            document = nested.find_one({}, projection)
+            assert "profile" not in document
+
+    def test_projected_results_are_deep_copies(self, nested):
+        document = nested.find_one({}, {"profile.token": 0})
+        document["profile"]["tags"].append("z")
+        document["history"][0]["ip"] = "mutated"
+        stored = nested.find_one({})
+        assert stored["profile"]["tags"] == ["a", "b"]
+        assert stored["history"][0]["ip"] == "x"
+
+    def test_include_projection_results_are_deep_copies(self, nested):
+        document = nested.find_one({}, {"profile.tags": 1})
+        document["profile"]["tags"].append("z")
+        assert nested.find_one({})["profile"]["tags"] == ["a", "b"]

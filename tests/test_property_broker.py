@@ -76,6 +76,70 @@ class TestBrokerRoutingProperties:
             assert inboxes[name] == list(range(message_count))
 
 
+level_strategy = st.sampled_from(["a", "b", "c"])
+filter_strategy = st.builds(
+    lambda levels, tail: "/".join(levels + tail),
+    st.lists(st.sampled_from(["a", "b", "c", "+"]), min_size=1, max_size=3),
+    st.sampled_from([[], ["#"]]))
+topic_strategy = st.builds("/".join,
+                           st.lists(level_strategy, min_size=1, max_size=4))
+subscription_strategy = st.lists(
+    st.tuples(st.sampled_from(["c1", "c2", "c3", "c4", "c5"]),
+              filter_strategy,
+              st.integers(min_value=0, max_value=1)),
+    max_size=20)
+
+
+class TestTrieMatchesBruteForce:
+    @settings(max_examples=200)
+    @given(subscription_strategy, topic_strategy)
+    def test_trie_agrees_with_topic_matches_scan(self, subscriptions, topic):
+        """The routing trie's (client → max qos) table must equal the
+        brute-force scan over every subscription — wildcards, ``#``
+        parent matches and per-client qos maximisation included."""
+        from repro.mqtt.subtrie import SubscriptionTrie
+        from repro.mqtt.topics import topic_matches, validate_filter
+
+        trie = SubscriptionTrie()
+        table = {}
+        for client_id, topic_filter, qos in subscriptions:
+            table[(client_id, topic_filter)] = qos
+            trie.add(validate_filter(topic_filter), client_id, qos)
+        expected = {}
+        for (client_id, topic_filter), qos in table.items():
+            if topic_matches(topic_filter, topic):
+                if qos > expected.get(client_id, -1):
+                    expected[client_id] = qos
+        assert trie.match(topic.split("/")) == expected
+
+    @settings(max_examples=100)
+    @given(subscription_strategy, topic_strategy,
+           st.data())
+    def test_equivalence_survives_random_discards(self, subscriptions,
+                                                  topic, data):
+        from repro.mqtt.subtrie import SubscriptionTrie
+        from repro.mqtt.topics import topic_matches, validate_filter
+
+        trie = SubscriptionTrie()
+        table = {}
+        for client_id, topic_filter, qos in subscriptions:
+            table[(client_id, topic_filter)] = qos
+            trie.add(validate_filter(topic_filter), client_id, qos)
+        keys = sorted(table)
+        doomed = data.draw(st.sets(st.sampled_from(keys), max_size=len(keys))
+                           if keys else st.just(set()))
+        for client_id, topic_filter in doomed:
+            del table[(client_id, topic_filter)]
+            trie.discard(validate_filter(topic_filter), client_id)
+        assert len(trie) == len(table)
+        expected = {}
+        for (client_id, topic_filter), qos in table.items():
+            if topic_matches(topic_filter, topic):
+                if qos > expected.get(client_id, -1):
+                    expected[client_id] = qos
+        assert trie.match(topic.split("/")) == expected
+
+
 unicode_values = st.text(min_size=0, max_size=20).filter(
     lambda text: "\x00" not in text)
 

@@ -110,6 +110,71 @@ class TestCollectionProperties:
             assert (plain.count({"v": needle})
                     == indexed.count({"v": needle}))
 
+    # Every supported query shape, generated over small value domains
+    # so collisions (and therefore matches) are common.
+    small_values = st.one_of(st.integers(min_value=0, max_value=3),
+                             st.sampled_from(["a", "b"]), st.none())
+    query_shapes = st.one_of(
+        st.builds(lambda v: {"v": v}, small_values),
+        st.builds(lambda v: {"v": {"$eq": v}}, small_values),
+        st.builds(lambda v: {"v": {"$ne": v}}, small_values),
+        st.builds(lambda v: {"v": {"$gt": v}},
+                  st.integers(min_value=0, max_value=3)),
+        st.builds(lambda lo, hi: {"v": {"$gte": lo, "$lte": hi}},
+                  st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=3)),
+        st.builds(lambda items: {"v": {"$in": items}},
+                  st.lists(small_values, max_size=3)),
+        st.builds(lambda items: {"v": {"$nin": items}},
+                  st.lists(small_values, max_size=3)),
+        st.builds(lambda flag: {"v": {"$exists": flag}}, st.booleans()),
+        st.builds(lambda v, w: {"v": v, "w": w}, small_values, small_values),
+        st.builds(lambda v, w: {"$and": [{"v": v}, {"w": w}]},
+                  small_values, small_values),
+        st.builds(lambda v, w: {"$or": [{"v": v}, {"w": w}]},
+                  small_values, small_values),
+        st.builds(lambda v: {"$nor": [{"v": v}]}, small_values),
+        st.builds(lambda v: {"v": {"$not": {"$eq": v}}}, small_values),
+        st.builds(lambda n: {"v": {"$size": n}},
+                  st.integers(min_value=0, max_value=3)),
+        st.builds(lambda v: {"v": {"$elemMatch": {"$eq": v}}}, small_values),
+    )
+    small_documents = st.fixed_dictionaries(
+        {},
+        optional={
+            "v": st.one_of(small_values,
+                           st.lists(st.integers(min_value=0, max_value=3),
+                                    max_size=3)),
+            "w": small_values,
+        },
+    )
+
+    @settings(max_examples=120)
+    @given(st.lists(small_documents, max_size=15), query_shapes)
+    def test_indexed_unindexed_same_results_and_order(self, documents, query):
+        """The planner must be invisible: any query over any data set
+        returns identical documents in identical order with and without
+        indexes on the queried paths."""
+        plain = DocumentStore()["plain"]
+        indexed = DocumentStore()["indexed"]
+        plain.insert_many(documents)
+        indexed.create_index("v")
+        indexed.create_index("w")
+        indexed.insert_many(documents)
+        # Auto-assigned ids make sorted(ids) == insertion order, so the
+        # full result lists — order included — must be equal.
+        assert plain.find(query).to_list() == indexed.find(query).to_list()
+        assert plain.count(query) == indexed.count(query)
+
+    @settings(max_examples=60)
+    @given(st.lists(small_documents, max_size=12), query_shapes)
+    def test_compiled_matches_interpreter_per_document(self, documents, query):
+        from repro.docstore.compiler import compile_query
+        from repro.docstore.query import matches
+        compiled = compile_query(query)
+        for document in documents:
+            assert compiled(document) == matches(document, query)
+
     @settings(max_examples=50)
     @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
                     max_size=20),

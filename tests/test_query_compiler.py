@@ -1,0 +1,186 @@
+"""The query compiler must be indistinguishable from the interpreter.
+
+Every behavior here is pinned against :func:`repro.docstore.query.
+matches` — same verdicts, same errors, and crucially the same *timing*
+of errors: malformed queries stay silent until a document actually
+reaches the bad fragment, exactly like per-document interpretation.
+"""
+
+import pytest
+
+from repro.docstore import DocumentStore
+from repro.docstore.compiler import (
+    cache_clear,
+    cache_info,
+    compile_query,
+)
+from repro.docstore.errors import QueryError
+from repro.docstore.query import matches
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    cache_clear()
+    yield
+    cache_clear()
+
+
+def _outcome(callable_, *args):
+    """Result or (exception type, message) — for equivalence checks."""
+    try:
+        return ("ok", callable_(*args))
+    except Exception as error:  # noqa: BLE001 - equivalence harness
+        return ("err", type(error).__name__, str(error))
+
+
+DOCUMENTS = [
+    {},
+    {"x": 1},
+    {"x": 1.0},
+    {"x": True},
+    {"x": "1"},
+    {"x": None},
+    {"x": [1, 2, 3]},
+    {"x": [{"y": 1}, {"y": 2}]},
+    {"x": {"y": {"z": 5}}},
+    {"x": "hello world"},
+    {"x": float("nan")},
+    {"y": 7},
+]
+
+QUERIES = [
+    {},
+    {"x": 1},
+    {"x": True},
+    {"x": "1"},
+    {"x": None},
+    {"x": {"$eq": 1}},
+    {"x": {"$ne": 1}},
+    {"x": {"$gt": 0}},
+    {"x": {"$gte": 1, "$lt": 3}},
+    {"x": {"$in": [1, "1", None]}},
+    {"x": {"$in": [[1, 2, 3]]}},
+    {"x": {"$in": [float("nan")]}},
+    {"x": {"$nin": [1, 2]}},
+    {"x": {"$exists": True}},
+    {"x": {"$exists": False}},
+    {"x": {"$regex": "wor"}},
+    {"x": {"$regex": "("}},          # invalid pattern — lazy error
+    {"x": {"$size": 3}},
+    {"x": {"$elemMatch": {"y": 2}}},
+    {"x": {"$elemMatch": {"$gt": 2}}},
+    {"x": {"$not": {"$gt": 1}}},
+    {"x.y": 1},
+    {"x.y.z": 5},
+    {"x.0": 1},
+    {"x.1.y": 2},
+    {"$and": [{"x": {"$gt": 0}}, {"x": {"$lt": 2}}]},
+    {"$or": [{"x": 1}, {"y": 7}]},
+    {"$nor": [{"x": 1}, {"y": 7}]},
+    {"$bogus": 1},                    # unknown top-level operator
+    {"x": {"$frobnicate": 1}},        # unknown field operator
+    {"x": {"$in": 5}},                # non-list $in operand
+]
+
+
+class TestCompiledEquivalence:
+    def test_every_query_agrees_with_interpreter_on_every_document(self):
+        for query in QUERIES:
+            compiled = compile_query(query)
+            for document in DOCUMENTS:
+                expected = _outcome(matches, document, query)
+                actual = _outcome(compiled, document)
+                assert actual == expected, (query, document)
+
+    def test_nan_in_uses_equality_not_set_identity(self):
+        """``{"$in": [nan]}`` never matches (nan != nan); a naive
+        hash-set membership test would say it does."""
+        nan = float("nan")
+        compiled = compile_query({"x": {"$in": [nan]}})
+        assert not compiled({"x": nan})
+        assert not matches({"x": nan}, {"x": {"$in": [nan]}})
+
+
+class TestLazyErrors:
+    def test_bad_query_compiles_silently(self):
+        compile_query({"$bogus": 1})
+        compile_query({"x": {"$in": "not-a-list"}})
+        compile_query({"x": {"$what": 1}})
+
+    def test_bad_query_over_empty_collection_stays_silent(self):
+        collection = DocumentStore()["c"]
+        assert collection.find({"$bogus": 1}).to_list() == []
+        assert collection.count({"x": {"$in": 5}}) == 0
+
+    def test_bad_query_raises_when_a_document_reaches_it(self):
+        collection = DocumentStore()["c"]
+        collection.insert_one({"x": 1})
+        with pytest.raises(QueryError, match="unknown top-level operator"):
+            collection.find({"$bogus": 1}).to_list()
+        with pytest.raises(QueryError, match="unknown query operator"):
+            collection.find({"x": {"$what": 1}}).to_list()
+        with pytest.raises(QueryError, match="requires a list operand"):
+            collection.find({"x": {"$in": 5}}).to_list()
+
+    def test_non_dict_query_raises_eagerly(self):
+        with pytest.raises(QueryError, match="query must be a dict"):
+            compile_query(["not", "a", "dict"])
+
+
+class TestPlanCache:
+    def test_repeat_queries_hit_the_cache(self):
+        first = compile_query({"a": 1, "b": {"$gt": 2}})
+        info = cache_info()
+        second = compile_query({"a": 1, "b": {"$gt": 2}})
+        assert second is first
+        assert cache_info()["hits"] == info["hits"] + 1
+
+    def test_scalar_types_never_share_a_slot(self):
+        """1, 1.0, True and "1" compare differently under $gt etc., so
+        each must compile to its own plan."""
+        plans = {id(compile_query({"x": {"$gte": operand}}))
+                 for operand in (1, 1.0, True, "1")}
+        assert len(plans) == 4
+        assert cache_info()["misses"] >= 4
+
+    def test_key_order_is_significant(self):
+        a = compile_query({"a": 1, "b": 2})
+        b = compile_query({"b": 2, "a": 1})
+        assert a is not b
+
+    def test_unfreezable_queries_compile_uncached(self):
+        query = {"x": {"$in": [object()]}}
+        size_before = cache_info()["size"]
+        compile_query(query)
+        assert cache_info()["size"] == size_before
+
+    def test_cache_is_bounded(self):
+        for i in range(400):
+            compile_query({"x": i})
+        assert cache_info()["size"] <= cache_info()["max_size"]
+
+
+class TestPlannerConstraints:
+    def test_equalities_extracted_including_through_and(self):
+        plan = compile_query({"a": 1, "b": {"$eq": 2},
+                              "$and": [{"c": 3}, {"d": {"$in": [4, 5]}}]})
+        assert ("a", 1) in plan.equalities
+        assert ("b", 2) in plan.equalities
+        assert ("c", 3) in plan.equalities
+        assert ("d", (4, 5)) in plan.in_lists
+
+    def test_or_branches_contribute_no_constraints(self):
+        """An $or match can come from either branch, so neither branch
+        may narrow the candidate set."""
+        plan = compile_query({"$or": [{"a": 1}, {"b": 2}]})
+        assert plan.equalities == ()
+        assert plan.in_lists == ()
+
+    def test_operator_conditions_are_not_equalities(self):
+        plan = compile_query({"a": {"$gt": 1}})
+        assert plan.equalities == ()
+
+    def test_always_true_only_for_the_empty_query(self):
+        assert compile_query({}).always_true
+        assert not compile_query({"a": 1}).always_true
+        assert not compile_query({"$or": []}).always_true
