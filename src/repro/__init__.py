@@ -20,6 +20,7 @@ Quickstart::
     testbed.run(300)
 """
 
+from repro.cluster import ClusterCoordinator, ConsistentHashRing, ShardWorker
 from repro.core.common import (
     Condition,
     Filter,
@@ -54,7 +55,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregator",
+    "ClusterCoordinator",
     "Condition",
+    "ConsistentHashRing",
     "DurabilityConfig",
     "Filter",
     "Granularity",
@@ -74,6 +77,7 @@ __all__ = [
     "ServerDurability",
     "ServerSenSocialManager",
     "ServerStream",
+    "ShardWorker",
     "StreamConfig",
     "StreamMode",
     "StreamRecord",

@@ -43,6 +43,8 @@ EXPERIMENTS = [
      "write-ahead journal overhead bound"),
     ("hotpath", "benchmarks/test_hotpath_perf.py",
      "broker trie / query planner / ingest hot paths"),
+    ("cluster-scaling", "benchmarks/test_cluster_scaling.py",
+     "sharded-cluster work scaling and crash zero-loss"),
 ]
 
 
@@ -152,6 +154,42 @@ def _obs(args) -> int:
     return 0
 
 
+def _cluster(args) -> int:
+    from repro import Granularity, ModalityType, SenSocialTestbed
+    from repro.faults import ChaosController, FaultPlan
+
+    horizon = args.minutes * 60.0
+    testbed = SenSocialTestbed(seed=args.seed, shards=args.shards,
+                               durability=args.durability)
+    cities = ["Paris", "Bordeaux", "London"]
+    for index in range(args.users):
+        testbed.add_user(f"user{index:02d}",
+                         home_city=cities[index % len(cities)])
+    for user_id in sorted(testbed.nodes):
+        testbed.server.create_stream(user_id, ModalityType.ACCELEROMETER,
+                                     Granularity.CLASSIFIED)
+    controller = ChaosController(testbed)
+    if args.crash_shard is not None:
+        plan = FaultPlan("cluster-shard-crash").shard_crash(
+            at=horizon * 0.4, shard=args.crash_shard,
+            rebalance_after=args.rebalance_after)
+        controller.apply(plan)
+    testbed.run(horizon)
+    testbed.run(args.drain)  # quiet tail: let outboxes drain first
+    report = controller.report()
+    cluster = testbed.server.cluster_report()
+    print(report.format())
+    print("\ncluster:")
+    print(f"  shards               {cluster['active']}/{cluster['shards']} "
+          f"active, {cluster['rebalances']} rebalances")
+    for shard_id in sorted(cluster["work"]):
+        devices = len(cluster["devices"].get(shard_id, []))
+        print(f"  {shard_id:12s} work={cluster['work'][shard_id]:<6d} "
+              f"records={cluster['records'][shard_id]:<6d} "
+              f"devices={devices}")
+    return 0 if report.records_lost == 0 else 1
+
+
 def _perf(args) -> int:
     from repro.perf import run_all, write_report
     from repro.perf.harness import format_summary
@@ -228,6 +266,27 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--prom", metavar="PATH",
                      help="write a Prometheus-style metrics dump")
     obs.set_defaults(handler=_obs)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="run a sharded server cluster, optionally "
+                        "crashing and rebalancing a shard mid-run")
+    cluster.add_argument("--shards", type=int, default=4)
+    cluster.add_argument("--seed", type=int, default=11)
+    cluster.add_argument("--users", type=int, default=8)
+    cluster.add_argument("--minutes", type=float, default=10.0)
+    cluster.add_argument("--drain", type=float, default=120.0,
+                         help="quiet seconds appended before the report")
+    cluster.add_argument("--durability", action="store_true",
+                         help="per-shard write-ahead journals (required "
+                              "for zero acknowledged-record loss across "
+                              "a shard crash)")
+    cluster.add_argument("--crash-shard", type=int, default=None,
+                         metavar="N", help="crash shard N at 40%% of the "
+                                           "run")
+    cluster.add_argument("--rebalance-after", type=float, default=60.0,
+                         help="seconds between the crash and the ring "
+                              "rebalance")
+    cluster.set_defaults(handler=_cluster)
 
     perf = subparsers.add_parser(
         "perf", help="run the hot-path microbenchmarks and record the "

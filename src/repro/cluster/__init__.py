@@ -1,0 +1,24 @@
+"""Sharded server cluster: consistent-hash placement over shard workers.
+
+Splits the monolithic server middleware into shard-agnostic
+:class:`ShardWorker`\\ s and a :class:`ClusterCoordinator` owning
+placement, routing and the merged cross-shard views.  A 1-shard
+cluster is bit-identical to the monolithic server; see
+``docs/SCALING.md`` for the ring, the rebalance protocol and the
+zero-acknowledged-loss recovery semantics.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.database import ClusterDatabase
+from repro.cluster.ring import DEFAULT_VNODES, ConsistentHashRing, stable_hash
+from repro.cluster.worker import REGISTRATION_KEY_LEVEL, ShardWorker
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterDatabase",
+    "ConsistentHashRing",
+    "DEFAULT_VNODES",
+    "REGISTRATION_KEY_LEVEL",
+    "ShardWorker",
+    "stable_hash",
+]

@@ -1,0 +1,676 @@
+"""The cluster coordinator: placement, routing and merged views.
+
+:class:`ClusterCoordinator` is the placement-aware half of the old
+monolithic ``ServerSenSocialManager`` split (ISSUE 5).  It owns the
+consistent-hash ring that maps devices to :class:`ShardWorker`\\ s,
+routes ingest and OSN action triggers to the owning shard, merges
+every cross-shard concern — multicast membership queries, cross-user
+filter context, aggregators, the database facade — and aggregates
+per-shard health into one cluster document.  Server applications talk
+to the coordinator exactly as they talked to the monolith.
+
+Two regimes:
+
+- ``shards=1`` — a *passthrough* cluster: one worker inheriting the
+  monolith's address, client id and (absent) partition spec.  Every
+  coordinator method delegates, so a 1-shard run is **bit-identical**
+  to the pre-cluster server (pinned by ``tests/test_cluster.py``).
+- ``shards=N>1`` — the coordinator registers the public server
+  address itself and forwards each data-plane message synchronously to
+  the shard the ring places its device on; shards share one
+  :class:`ServerFilterManager` (cross-user conditions see context from
+  users on other shards, like the monolith) and one stream-id sequence
+  (``srv-sN`` ids stay globally unique and creation-ordered).
+
+Failure handling: :meth:`crash_shard` kills one worker;
+:meth:`rebalance` removes dead workers from the ring, re-subscribes
+survivors (the broker replays retained registrations of inherited
+devices), replays the dead shard's write-ahead journal and migrates
+its documents, dedup ids and live stream handles to the new owners —
+the zero-acknowledged-loss protocol detailed in ``docs/SCALING.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.cluster.database import ClusterDatabase, merge_status
+from repro.cluster.ring import DEFAULT_VNODES, ConsistentHashRing
+from repro.cluster.worker import REGISTRATION_KEY_LEVEL, ShardWorker
+from repro.core.common.errors import MiddlewareError
+from repro.core.common.filters import Filter
+from repro.core.common.granularity import Granularity
+from repro.core.common.modality import ModalityType
+from repro.core.common.stream_config import StreamMode
+from repro.core.server.aggregator import Aggregator
+from repro.core.server.filter_manager import ServerFilterManager
+from repro.core.server.manager import _PLATFORM_MODALITY
+from repro.core.server.multicast import MulticastQuery, MulticastStream
+from repro.core.server.server_stream import ServerStream
+from repro.core.server.storage import ServerDatabase
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.obs import Healthcheck, Observability
+from repro.obs.health import STATUS_DEGRADED, STATUS_DOWN
+from repro.osn.actions import ActionType, OsnAction
+from repro.simkit.world import World
+
+
+class ClusterCoordinator(Endpoint):
+    """N shard workers behind the monolithic server's API."""
+
+    def __init__(self, world: World, network: Network, shards: int = 1, *,
+                 broker_address: str = "mqtt-broker",
+                 address: str = "sensocial-server",
+                 processing_delay=None, durability=None,
+                 vnodes: int = DEFAULT_VNODES):
+        if shards < 1:
+            raise MiddlewareError(f"a cluster needs >= 1 shard, got {shards}")
+        if durability is not None and len(durability) != shards:
+            raise MiddlewareError(
+                f"durability list has {len(durability)} entries "
+                f"for {shards} shards")
+        self.world = world
+        self.network = network
+        self.address = address
+        self.obs = Observability.of(world)
+        self._passthrough = shards == 1
+        #: Shared cross-user filter context (``None`` in passthrough:
+        #: the single worker builds its own, like the monolith did).
+        self.filters = None if self._passthrough \
+            else ServerFilterManager(world)
+        stream_seq = None if self._passthrough else itertools.count(1)
+        self._shards: dict[str, ShardWorker] = {}
+        self._order: list[str] = []
+        for index in range(shards):
+            shard_id = f"shard-{index}"
+            worker = ShardWorker(
+                world, network, shard_id,
+                broker_address=broker_address,
+                address=address if self._passthrough
+                else f"{address.rsplit('-', 1)[0]}-{shard_id}",
+                durability=None if durability is None else durability[index],
+                filters=self.filters, stream_seq=stream_seq,
+                processing_delay=processing_delay)
+            self._shards[shard_id] = worker
+            self._order.append(shard_id)
+        if self._passthrough:
+            self.filters = self._shards["shard-0"].filters
+        self.ring = ConsistentHashRing(self._order, vnodes=vnodes)
+        #: Learned placement maps, fed by per-shard registration hooks.
+        self._user_device: dict[str, str] = {}
+        self._user_shard: dict[str, str] = {}
+        self._plugins: list = []
+        self._action_listeners: list[Callable[[OsnAction], None]] = []
+        self._registration_listeners: list[Callable[[str, str], None]] = []
+        self.multicasts: list[MulticastStream] = []
+        self._multicast_seq = itertools.count(1)
+        self.rebalances = 0
+        self._database = None
+        if not self._passthrough:
+            # The coordinator is the cluster's public ingress; shards
+            # hide behind their own addresses.  (In passthrough the
+            # single worker registered the public address itself.)
+            network.register(address, self)
+            self._database = ClusterDatabase(self)
+            for shard_id in self._order:
+                self._hook_registration(self._shards[shard_id])
+
+    # -- wiring -------------------------------------------------------
+
+    def _hook_registration(self, shard: ShardWorker) -> None:
+        def hook(user_id: str, device_id: str) -> None:
+            self._user_device[user_id] = device_id
+            self._user_shard[user_id] = shard.shard_id
+            for listener in list(self._registration_listeners):
+                listener(user_id, device_id)
+        shard.on_registration(hook)
+
+    def _partition_for(self, shard_id: str) -> dict:
+        spec = self.ring.to_spec()
+        spec["owner"] = shard_id
+        spec["key_level"] = REGISTRATION_KEY_LEVEL
+        return spec
+
+    # -- shard access -------------------------------------------------
+
+    @property
+    def _mono(self) -> ShardWorker:
+        return self._shards["shard-0"]
+
+    def shard_workers(self) -> list[ShardWorker]:
+        """Active (non-retired) workers in shard order."""
+        return [self._shards[shard_id] for shard_id in self._order
+                if not self._shards[shard_id].retired]
+
+    def all_shard_workers(self) -> list[ShardWorker]:
+        """Every worker ever on the ring, retired ones included —
+        the population cluster-wide counters aggregate over."""
+        return [self._shards[shard_id] for shard_id in self._order]
+
+    def shard_for_device(self, device_id: str) -> ShardWorker:
+        return self._shards[self.ring.owner(device_id)]
+
+    def shard_for_user(self, user_id: str) -> ShardWorker:
+        """The worker holding ``user_id``'s documents.
+
+        Registered users live with their device; users the cluster has
+        never seen register (e.g. OSN-only participants) are homed by a
+        deterministic user-hash so their action history still lands on
+        one stable shard.
+        """
+        shard_id = self._user_shard.get(user_id)
+        if shard_id is not None and not self._shards[shard_id].retired:
+            return self._shards[shard_id]
+        device_id = self._user_device.get(user_id)
+        if device_id is not None:
+            return self.shard_for_device(device_id)
+        return self._shards[self.ring.owner(f"user:{user_id}")]
+
+    # -- facade attributes --------------------------------------------
+
+    @property
+    def database(self):
+        return self._mono.database if self._passthrough else self._database
+
+    @property
+    def durability(self):
+        """Shard 0's durability controller (the storage-fault target;
+        exact in passthrough, representative on a wider cluster)."""
+        return self._mono.durability
+
+    @property
+    def mqtt(self):
+        return self._mono.mqtt
+
+    @property
+    def dedup(self):
+        return self._mono.dedup
+
+    @property
+    def streams(self) -> dict[str, ServerStream]:
+        if self._passthrough:
+            return self._mono.streams
+        merged: dict[str, ServerStream] = {}
+        for shard in self.shard_workers():
+            merged.update(shard.streams)
+        return merged
+
+    @property
+    def crashed(self) -> bool:
+        active = self.shard_workers()
+        return bool(active) and all(shard.crashed for shard in active)
+
+    def fault_addresses(self) -> list[str]:
+        """Every network address a ``server``-targeted fault hits."""
+        addresses = [] if self._passthrough else [self.address]
+        for shard in self.shard_workers():
+            addresses.extend([shard.address, shard.mqtt.address])
+        return addresses
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        for shard_id in self._order:
+            self._shards[shard_id].start(
+                partition=None if self._passthrough
+                else self._partition_for(shard_id))
+
+    def crash(self) -> None:
+        """Whole-tier outage: every active shard dies."""
+        for shard in self.shard_workers():
+            shard.crash()
+
+    def restart(self) -> None:
+        for shard in self.shard_workers():
+            if shard.crashed:
+                shard.restart()
+
+    def crash_shard(self, index: int) -> ShardWorker:
+        """Kill one shard worker (``shard_crash`` chaos fault)."""
+        shard = self._shard_at(index)
+        shard.crash()
+        return shard
+
+    def restart_shard(self, index: int) -> ShardWorker:
+        shard = self._shard_at(index)
+        if shard.retired:
+            raise MiddlewareError(
+                f"shard {shard.shard_id!r} was rebalanced away; "
+                f"a retired shard never rejoins the ring")
+        shard.restart()
+        return shard
+
+    def _shard_at(self, index: int) -> ShardWorker:
+        if not 0 <= index < len(self._order):
+            raise MiddlewareError(
+                f"no shard {index} in a {len(self._order)}-shard cluster")
+        return self._shards[self._order[index]]
+
+    # -- rebalance ----------------------------------------------------
+
+    def rebalance(self) -> dict:
+        """Fail crashed shards out of the ring and migrate their state.
+
+        Protocol (each step deterministic, all on the world scheduler's
+        current instant):
+
+        1. remove every crashed shard from the ring and retire it;
+        2. re-subscribe the survivors with the new ring — the broker
+           replays retained registrations, so every inherited device
+           re-registers on its new owner without the phone sending a
+           byte;
+        3. for each dead shard, replay its write-ahead journal
+           (snapshot + tail) and copy users, records and OSN actions to
+           the shards the new ring places them on;
+        4. replicate the dead shard's dedup ids to all survivors, so a
+           retransmission of a record the dead shard acknowledged is
+           absorbed as a duplicate, never double-ingested;
+        5. re-home the dead shard's live :class:`ServerStream` handles
+           (listeners intact) onto the inheriting shards.
+
+        A dead shard without a journal loses its documents (the same
+        amnesia a non-durable monolith restart has) but devices still
+        migrate via the retained-registration replay.  Acknowledged
+        records are never lost when durability is on: acked ⇒
+        journaled ⇒ replayed here.
+        """
+        if self._passthrough:
+            raise MiddlewareError("a 1-shard cluster cannot rebalance")
+        dead = [self._shards[shard_id] for shard_id in self._order
+                if self._shards[shard_id].crashed
+                and not self._shards[shard_id].retired]
+        if not dead:
+            return {"retired": [], "migrated": {}}
+        if len(dead) == len(self.shard_workers()):
+            raise MiddlewareError("cannot rebalance: no live shard left")
+        for shard in dead:
+            self.ring.remove(shard.shard_id)
+            shard.retire()
+        survivors = self.shard_workers()
+        for shard in survivors:
+            shard.update_partition(self._partition_for(shard.shard_id))
+        migrated = {"users": 0, "records": 0, "actions": 0,
+                    "dedup_ids": 0, "streams": 0}
+        for shard in dead:
+            self._migrate_shard_state(shard, survivors, migrated)
+        self.rebalances += 1
+        if self.obs is not None:
+            self.obs.telemetry.counter("cluster_rebalances").inc()
+        return {"retired": [shard.shard_id for shard in dead],
+                "migrated": migrated}
+
+    def _migrate_shard_state(self, dead: ShardWorker,
+                             survivors: list[ShardWorker],
+                             migrated: dict) -> None:
+        if dead.durability is not None:
+            store, dedup_ids = dead.durability.recover()
+            recovered = ServerDatabase(store=store)
+            for doc in list(recovered.users.find()):
+                owner = self.shard_for_device(doc["device_id"])
+                owner.database.register_device(
+                    doc["user_id"], doc["device_id"],
+                    doc.get("modalities", []))
+                if doc.get("friends"):
+                    owner.database.set_friends(doc["user_id"],
+                                               doc["friends"])
+                if doc.get("location") is not None:
+                    owner.database.users.update_one(
+                        {"user_id": doc["user_id"]},
+                        {"$set": {"location": doc["location"]}})
+                self._user_device[doc["user_id"]] = doc["device_id"]
+                self._user_shard[doc["user_id"]] = owner.shard_id
+                migrated["users"] += 1
+            for doc in list(recovered.records.find()):
+                owner = self.shard_for_device(doc["device_id"])
+                owner.database.records.insert_one(
+                    {key: value for key, value in doc.items()
+                     if key != "_id"})
+                migrated["records"] += 1
+            for doc in list(recovered.actions.find()):
+                owner = self.shard_for_user(doc["user_id"])
+                owner.database.actions.insert_one(
+                    {key: value for key, value in doc.items()
+                     if key != "_id"})
+                migrated["actions"] += 1
+            for record_id in dedup_ids:
+                # Over-approximate: any survivor may receive the
+                # retransmission (the ring moved), so all of them must
+                # recognise it as already acknowledged.
+                for survivor in survivors:
+                    survivor.dedup.remember(record_id)
+                migrated["dedup_ids"] += 1
+        for stream_id in list(dead.streams):
+            stream = dead.release_stream(stream_id)
+            if stream is None or stream.destroyed:
+                continue
+            self.shard_for_device(stream.device_id).adopt_stream(stream)
+            migrated["streams"] += 1
+
+    # -- ingress data plane -------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Route one data-plane message to its device's owner shard.
+
+        The forward is a synchronous method call — the coordinator and
+        its shards are one process tier, so routing adds no network hop
+        and no latency, preserving the monolith's timing exactly.
+        """
+        protocol = message.headers.get("protocol")
+        if protocol == "stream-data":
+            device_id = message.payload.get("device_id")
+            shard = self.shard_for_device(device_id) \
+                if device_id is not None else self._mono
+            shard.deliver(message)
+        elif protocol == "location-update":
+            shard = self.shard_for_user(message.payload["user_id"])
+            if shard.crashed:
+                return
+            shard._on_location_update(message.payload)
+            # The owning shard refreshed nothing: multicasts live here.
+            for multicast in list(self.multicasts):
+                if multicast.query.is_geo_dependent:
+                    multicast.refresh()
+
+    # -- plug-ins and listeners ---------------------------------------
+
+    def attach_plugin(self, plugin) -> None:
+        if self._passthrough:
+            self._mono.attach_plugin(plugin)
+            return
+        self._plugins.append(plugin)
+        plugin.add_listener(self._on_osn_action)
+
+    def plugins(self) -> list:
+        return self._mono.plugins() if self._passthrough \
+            else list(self._plugins)
+
+    def add_action_listener(self, listener) -> None:
+        if self._passthrough:
+            self._mono.add_action_listener(listener)
+            return
+        self._action_listeners.append(listener)
+
+    def register_listener(self, listener) -> None:
+        if self._passthrough:
+            self._mono.register_listener(listener)
+            return
+        # Records are dispatched by whichever shard ingests them, so
+        # the listener must ride every shard; global callback order is
+        # record arrival order, exactly as on the monolith.
+        for shard in self.shard_workers():
+            shard.register_listener(listener)
+
+    def on_registration(self, listener) -> None:
+        if self._passthrough:
+            self._mono.on_registration(listener)
+            return
+        self._registration_listeners.append(listener)
+
+    # -- user/graph management ----------------------------------------
+
+    def sync_social_graph(self, graph) -> None:
+        if self._passthrough:
+            self._mono.sync_social_graph(graph)
+            return
+        database = self.database
+        for user_id in graph.users():
+            if database.is_registered(user_id):
+                database.set_friends(user_id, [
+                    friend for friend in graph.friends(user_id)
+                    if database.is_registered(friend)])
+
+    def registered_users(self) -> list[str]:
+        return self.database.user_ids()
+
+    def device_of(self, user_id: str) -> str | None:
+        return self.database.device_of(user_id)
+
+    # -- remote stream lifecycle --------------------------------------
+
+    def create_stream(self, user_id: str, modality, granularity=Granularity.CLASSIFIED, *,
+                      stream_filter: Filter | None = None,
+                      settings: dict | None = None,
+                      mode: StreamMode = StreamMode.CONTINUOUS) -> ServerStream:
+        if self._passthrough:
+            return self._mono.create_stream(
+                user_id, modality, granularity, stream_filter=stream_filter,
+                settings=settings, mode=mode)
+        device_id = self.database.device_of(user_id)
+        if device_id is None:
+            raise MiddlewareError(f"user {user_id!r} has no registered device")
+        return self.shard_for_device(device_id).create_stream(
+            user_id, modality, granularity, stream_filter=stream_filter,
+            settings=settings, mode=mode)
+
+    def destroy_stream(self, stream_id: str) -> None:
+        if self._passthrough:
+            self._mono.destroy_stream(stream_id)
+            return
+        for shard in self.shard_workers():
+            if stream_id in shard.streams:
+                shard.destroy_stream(stream_id)
+                return
+
+    # -- aggregation and multicast ------------------------------------
+
+    def allocate_multicast_name(self) -> str:
+        if self._passthrough:
+            return self._mono.allocate_multicast_name()
+        return f"mcast-{next(self._multicast_seq)}"
+
+    def create_aggregator(self, name: str,
+                          streams: list[ServerStream]) -> Aggregator:
+        return Aggregator.wrap(name, streams)
+
+    def create_multicast_stream(self, modality: ModalityType,
+                                granularity: Granularity,
+                                query: MulticastQuery, *,
+                                stream_filter: Filter | None = None,
+                                settings: dict | None = None,
+                                mode: StreamMode = StreamMode.CONTINUOUS,
+                                name: str | None = None) -> MulticastStream:
+        if self._passthrough:
+            return self._mono.create_multicast_stream(
+                modality, granularity, query, stream_filter=stream_filter,
+                settings=settings, mode=mode, name=name)
+        multicast = MulticastStream(
+            self, modality, granularity, query, stream_filter=stream_filter,
+            settings=settings, mode=mode, name=name)
+        self.multicasts.append(multicast)
+        multicast.refresh()
+        return multicast
+
+    def on_multicast_destroyed(self, multicast: MulticastStream) -> None:
+        if self._passthrough:
+            self._mono.on_multicast_destroyed(multicast)
+            return
+        if multicast in self.multicasts:
+            self.multicasts.remove(multicast)
+
+    def select_users(self, query: MulticastQuery) -> list[str]:
+        """Monolith membership semantics over the merged database."""
+        if self._passthrough:
+            return self._mono.select_users(query)
+        database = self.database
+        candidates = set(database.user_ids())
+        if query.user_ids is not None:
+            candidates &= set(query.user_ids)
+        if query.place is not None:
+            candidates &= set(database.users_in_place(query.place))
+        if query.near_point is not None:
+            candidates &= set(database.users_near(
+                list(query.near_point), query.near_km))
+        if query.near_user is not None:
+            location = database.location_of(query.near_user)
+            if location is None:
+                candidates = set()
+            else:
+                nearby = set(database.users_near(
+                    location["point"], query.near_user_km))
+                nearby.discard(query.near_user)
+                candidates &= nearby
+        if query.friends_of is not None:
+            candidates &= self._friends_within(query.friends_of, query.hops)
+        return sorted(candidates)
+
+    def _friends_within(self, user_id: str, hops: int) -> set[str]:
+        seen = {user_id}
+        frontier = {user_id}
+        reached: set[str] = set()
+        for _ in range(hops):
+            next_frontier: set[str] = set()
+            for current in frontier:
+                for friend in self.database.friends_of(current):
+                    if friend not in seen:
+                        seen.add(friend)
+                        reached.add(friend)
+                        next_frontier.add(friend)
+            frontier = next_frontier
+        return reached
+
+    # -- OSN action plane ---------------------------------------------
+
+    def _on_osn_action(self, action: OsnAction) -> None:
+        """Cluster version of the monolith's action intake: account on
+        the owning shard, mark shared filter context, maintain
+        cross-shard friendships, then route triggers globally."""
+        shard = self.shard_for_user(action.user_id)
+        if shard.crashed:
+            shard.actions_lost_crashed += 1
+            return
+        shard.actions_received += 1
+        latency = self.world.now - action.created_at
+        shard._recent_action_latencies.append(latency)
+        if self.obs is not None:
+            self.obs.telemetry.timer(
+                "osn_action_delay", platform=action.platform).observe(latency)
+        shard.database.store_action(action)
+        modality = _PLATFORM_MODALITY.get(action.platform)
+        if modality is not None:
+            self.filters.mark_osn_active(action.user_id, modality)
+        self._maintain_friendships(action)
+        for listener in list(self._action_listeners):
+            listener(action)
+        self._route_action_triggers(action)
+
+    def _maintain_friendships(self, action: OsnAction) -> None:
+        friend_id = action.payload.get("friend_id")
+        if friend_id is None:
+            return
+        if action.type is ActionType.FRIEND_ADD:
+            self.database.add_friend(action.user_id, friend_id)
+        elif action.type is ActionType.FRIEND_REMOVE:
+            self.database.remove_friend(action.user_id, friend_id)
+
+    def _route_action_triggers(self, action: OsnAction) -> None:
+        """Fan one action out to every device it must trigger, in
+        global stream-creation order (the shared ``srv-sN`` sequence
+        makes per-shard order slots globally comparable)."""
+        own_device = self._user_device.get(action.user_id)
+        if own_device is None:
+            own_device = self.database.device_of(action.user_id)
+        if own_device is not None:
+            self.shard_for_device(own_device).triggers.send_action_trigger(
+                own_device, action)
+        entries: list[tuple[int, ShardWorker, ServerStream]] = []
+        for shard in self.shard_workers():
+            bucket = shard._osn_trigger_index.get(action.user_id)
+            if not bucket:
+                continue
+            for stream in bucket.values():
+                if (stream.destroyed or stream.device_id == own_device
+                        or shard.streams.get(stream.stream_id) is not stream):
+                    continue
+                entries.append((shard._stream_order.get(stream.stream_id, 0),
+                                shard, stream))
+        for _, shard, stream in sorted(entries, key=lambda entry: entry[0]):
+            shard.triggers.send_action_trigger(
+                stream.device_id, action, stream_ids=[stream.stream_id])
+
+    # -- observability ------------------------------------------------
+
+    def action_latencies(self) -> list[float]:
+        if self._passthrough:
+            return self._mono.action_latencies()
+        merged: list[float] = []
+        for shard in self.all_shard_workers():
+            merged.extend(shard.action_latencies())
+        return merged
+
+    def health(self) -> dict:
+        """One cluster document aggregating every shard's health.
+
+        Counters are summed over *all* shards, retired ones included —
+        records a dead shard ingested before its crash stay counted, so
+        delivery accounting (``ChaosReport.records_lost``) holds across
+        a rebalance.
+        """
+        if self._passthrough:
+            return self._mono.health()
+        shard_docs = {shard.shard_id: shard.health()
+                      for shard in self.all_shard_workers()}
+        counters: dict[str, float] = {}
+        for doc in shard_docs.values():
+            for key, value in doc["counters"].items():
+                if isinstance(value, (int, float)):
+                    counters[key] = counters.get(key, 0) + value
+        active = self.shard_workers()
+        down = [shard for shard in active if shard.crashed]
+        if active and len(down) == len(active):
+            status = STATUS_DOWN
+        elif down or len(active) < len(self._order):
+            status = STATUS_DEGRADED
+        else:
+            status = merge_status(doc["status"]
+                                  for doc in shard_docs.values())
+        detail = (f"cluster {self.address}: "
+                  f"{len(active) - len(down)}/{len(self._order)} shards up, "
+                  f"{int(counters.get('records_received', 0))} records "
+                  f"ingested")
+        last_seen = [shard.last_record_at for shard in self.all_shard_workers()
+                     if shard.last_record_at is not None]
+        extras: dict = {
+            "connected": any(shard.mqtt.connected for shard in active),
+            "last_seen": max(last_seen) if last_seen else None,
+            "database": self.database.health(),
+            "ring": self.ring.to_spec(),
+            "rebalances": self.rebalances,
+            "shards": shard_docs,
+        }
+        durable = [shard for shard in self.all_shard_workers()
+                   if shard.durability is not None]
+        if durable:
+            extras["durability"] = self._durability_health(durable)
+        return Healthcheck.build(status=status, detail=detail,
+                                 counters=counters, **extras)
+
+    def _durability_health(self, durable: list[ShardWorker]) -> dict:
+        docs = {shard.shard_id: shard.durability.health()
+                for shard in durable}
+        counters: dict[str, float] = {}
+        for doc in docs.values():
+            for key, value in doc["counters"].items():
+                if isinstance(value, (int, float)):
+                    counters[key] = counters.get(key, 0) + value
+        return Healthcheck.build(
+            status=merge_status(doc["status"] for doc in docs.values()),
+            detail=f"cluster durability over {len(docs)} shards",
+            counters=counters, shards=docs)
+
+    def cluster_report(self) -> dict:
+        """Placement + per-shard work snapshot (the ``repro cluster``
+        CLI surface and the scaling benchmark's raw material)."""
+        return {
+            "shards": len(self._order),
+            "active": len(self.shard_workers()),
+            "ring": self.ring.to_spec(),
+            "rebalances": self.rebalances,
+            "work": {shard.shard_id: shard.work_done()
+                     for shard in self.all_shard_workers()},
+            "records": {shard.shard_id: shard.records_received
+                        for shard in self.all_shard_workers()},
+            "devices": self.ring.assignments(
+                sorted(set(self._user_device.values()))),
+        }

@@ -1,0 +1,128 @@
+"""Deterministic consistent-hash ring for device placement.
+
+The cluster partitions devices across shard workers with a classic
+consistent-hash ring (Karger et al.): every shard contributes a fixed
+number of virtual points, a key is owned by the first point clockwise
+from its hash, and removing a shard only moves the keys that shard
+owned — the property the rebalance protocol relies on (see
+``docs/SCALING.md``).
+
+All hashing goes through :func:`stable_hash` (blake2b), **never**
+Python's builtin ``hash``: builtin string hashing is salted per
+interpreter run (``PYTHONHASHSEED``), and placement must be identical
+across runs, across machines, and between the broker's routing-side
+evaluation and the coordinator's placement-side evaluation of the same
+ring (see ``tests/test_hash_stability.py``).
+
+The ring serialises to a plain-dict *spec* (members + vnode count) so
+it can ride a SUBSCRIBE packet: the broker rebuilds the identical ring
+from the spec and evaluates ownership on its side of the wire
+(:mod:`repro.mqtt.broker` shard-aware topic routing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable
+
+from repro.core.common.errors import MiddlewareError
+
+#: Virtual points each shard contributes to the ring.  High enough
+#: that small clusters spread load evenly, low enough that rebuilding
+#: after a membership change stays cheap.
+DEFAULT_VNODES = 128
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit hash of ``key`` independent of ``PYTHONHASHSEED``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Maps string keys (device ids) to shard ids, deterministically."""
+
+    def __init__(self, members: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise MiddlewareError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._members: list[str] = []
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        #: Bumped on every membership change so subscribers can tell a
+        #: stale partition spec from the current one.
+        self.version = 0
+        for member in members:
+            self.add(member)
+
+    # -- membership ---------------------------------------------------
+
+    def members(self) -> list[str]:
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            raise MiddlewareError(f"shard {member!r} already on the ring")
+        self._members.append(member)
+        self._members.sort()
+        self._rebuild()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            raise MiddlewareError(f"shard {member!r} not on the ring")
+        self._members.remove(member)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points: list[tuple[int, str]] = []
+        for member in self._members:
+            for vnode in range(self.vnodes):
+                points.append((stable_hash(f"{member}#{vnode}"), member))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+        self.version += 1
+
+    # -- placement ----------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        if not self._members:
+            raise MiddlewareError("the ring has no members")
+        index = bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap around the top of the hash space
+        return self._owners[index]
+
+    def assignments(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        """Group ``keys`` by owning shard (shard -> sorted keys)."""
+        grouped: dict[str, list[str]] = {member: [] for member in self._members}
+        for key in keys:
+            grouped[self.owner(key)].append(key)
+        for bucket in grouped.values():
+            bucket.sort()
+        return grouped
+
+    # -- wire format --------------------------------------------------
+
+    def to_spec(self) -> dict:
+        """A plain-dict description another party can rebuild from."""
+        return {"members": list(self._members), "vnodes": self.vnodes,
+                "version": self.version}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ConsistentHashRing":
+        ring = cls(spec["members"], vnodes=spec.get("vnodes", DEFAULT_VNODES))
+        return ring
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ConsistentHashRing members={self._members} "
+                f"vnodes={self.vnodes} v{self.version}>")

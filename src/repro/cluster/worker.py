@@ -1,0 +1,93 @@
+"""The shard worker: one partition's slice of the server middleware.
+
+A :class:`ShardWorker` is the shard-agnostic half of the old
+monolithic ``ServerSenSocialManager`` split (ISSUE 5): the ingest pump,
+dedup window, filter gates and per-shard document store (plus an
+optional write-ahead journal) — everything that scales with *this
+partition's* devices.  Placement, cross-shard routing and the merged
+views live in :class:`repro.cluster.ClusterCoordinator`.
+
+Each worker owns its own network address, MQTT session and database.
+Its registration subscription carries a consistent-hash *partition
+spec*, so the broker delivers only the retained registrations of
+devices the ring places on this shard — re-subscribing with a newer
+ring is how a worker inherits devices during a rebalance.
+"""
+
+from __future__ import annotations
+
+from repro.core.mobile.mqtt_service import REGISTRATION_FILTER
+from repro.core.server.manager import ServerSenSocialManager
+
+#: Topic level carrying the device id in ``sensocial/register/+``.
+REGISTRATION_KEY_LEVEL = 2
+
+
+class ShardWorker(ServerSenSocialManager):
+    """One consistent-hash partition of the server tier."""
+
+    def __init__(self, world, network, shard_id: str, *,
+                 broker_address: str = "mqtt-broker",
+                 address: str | None = None,
+                 durability=None, filters=None, stream_seq=None,
+                 processing_delay=None, database=None):
+        address = address if address is not None else f"sensocial-{shard_id}"
+        super().__init__(
+            world, network, database=database,
+            broker_address=broker_address, address=address,
+            processing_delay=processing_delay, durability=durability,
+            client_id=address, filters=filters, stream_seq=stream_seq)
+        self.shard_id = shard_id
+        #: Current partition spec for the registration subscription
+        #: (``None`` on a 1-shard cluster: the subscription is then
+        #: byte-identical to the monolithic server's).
+        self.registration_partition: dict | None = None
+        #: True once :meth:`retire` ran — a dead shard whose devices
+        #: migrated away never rejoins the ring.
+        self.retired = False
+
+    # -- partition management -----------------------------------------
+
+    def start(self, partition: dict | None = None) -> None:
+        """Connect and subscribe to this shard's registration slice."""
+        self.registration_partition = partition
+        self.mqtt.connect(clean_session=False)
+        self.mqtt.subscribe(REGISTRATION_FILTER, self._on_registration,
+                            partition=partition)
+
+    def update_partition(self, partition: dict) -> None:
+        """Re-subscribe with a newer ring.
+
+        The broker replays retained registrations matching the widened
+        slice, which is the device-migration mechanism: every device
+        this shard inherits re-registers here without the phone sending
+        a byte.
+        """
+        self.registration_partition = partition
+        self.mqtt.subscribe(REGISTRATION_FILTER, self._on_registration,
+                            partition=partition)
+
+    def retire(self) -> None:
+        """Mark this worker permanently out of the cluster."""
+        self.retired = True
+
+    # -- scaling metrics ----------------------------------------------
+
+    def work_done(self) -> int:
+        """Deterministic per-shard work counter: records this shard
+        ingested + replayed duplicates it absorbed + OSN actions it
+        stored.  Each unit drives exactly one dedup probe, one filter
+        observation and one document-store write, so the counter tracks
+        the shard's share of ingest+filter work machine-independently
+        (the quantity ``benchmarks/test_cluster_scaling.py`` asserts
+        shrinks as shards are added)."""
+        return (self.records_received + self.records_duplicate
+                + self.actions_received)
+
+    def health(self) -> dict:
+        document = super().health()
+        document["shard_id"] = self.shard_id
+        document["retired"] = self.retired
+        document["counters"]["shard_work"] = self.work_done()
+        document["shard_work"] = self.work_done()
+        return document

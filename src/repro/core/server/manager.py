@@ -56,7 +56,9 @@ class ServerSenSocialManager(Endpoint):
                  broker_address: str = "mqtt-broker",
                  address: str = "sensocial-server",
                  processing_delay: LatencyModel | None = None,
-                 durability=None):
+                 durability=None, client_id: str | None = None,
+                 filters: ServerFilterManager | None = None,
+                 stream_seq=None):
         self.world = world
         self.network = network
         self.address = address
@@ -68,18 +70,32 @@ class ServerSenSocialManager(Endpoint):
             if database is None:
                 database = ServerDatabase(store=durability.build_store())
         self.database = database if database is not None else ServerDatabase()
-        self.mqtt = MqttClient(world, network, client_id="sensocial-server",
+        self.mqtt = MqttClient(world, network,
+                               client_id=client_id or "sensocial-server",
                                address=f"mqtt/{address}",
                                broker_address=broker_address)
         self.triggers = TriggerManager(world, self.mqtt, processing_delay)
-        self.filters = ServerFilterManager(world)
+        #: Cross-user filter context.  Injectable so a shard cluster
+        #: can hand every worker the same manager — cross-user
+        #: conditions then see context from users on *other* shards,
+        #: exactly like the monolithic server did.
+        self.filters = filters if filters is not None \
+            else ServerFilterManager(world)
         self.streams: dict[str, ServerStream] = {}
         self.multicasts: list[MulticastStream] = []
         self._plugins: list[OsnPlugin] = []
         self._action_listeners: list[ActionListener] = []
         self._record_listeners: list[RecordListener] = []
         self._registration_listeners: list[Callable[[str, str], None]] = []
-        self._stream_seq = itertools.count(1)
+        #: Stream-id sequence.  Injectable (shared ``itertools.count``)
+        #: so every shard of a cluster draws globally unique, globally
+        #: creation-ordered ``srv-sN`` ids.
+        self._stream_seq = stream_seq if stream_seq is not None \
+            else itertools.count(1)
+        #: Per-manager multicast naming counter: module-global state
+        #: here used to leak across simulations in one process, making
+        #: back-to-back runs disagree on stream names.
+        self._multicast_seq = itertools.count(1)
         #: OSN trigger routing index: acting user id -> streams whose
         #: filters carry a cross-user OSN condition on that user, so an
         #: action only touches the streams it can trigger instead of
@@ -289,7 +305,39 @@ class ServerSenSocialManager(Endpoint):
                 if not bucket:
                     del self._osn_trigger_index[user_id]
 
+    # -- shard migration ------------------------------------------------------
+
+    def adopt_stream(self, stream: ServerStream) -> None:
+        """Take ownership of a stream created on another manager.
+
+        Used by the cluster rebalance protocol: when a shard dies, its
+        live :class:`ServerStream` handles (listeners and all) are
+        re-homed onto the shards that inherit the underlying devices.
+        The stream keeps its id — the device keeps publishing under it
+        — and its creation-order slot, so trigger fan-out order is
+        unchanged.
+        """
+        stream._manager = self
+        self.streams[stream.stream_id] = stream
+        seq = int(stream.stream_id.rsplit("s", 1)[-1]) \
+            if stream.stream_id.startswith("srv-s") else 0
+        self._stream_order[stream.stream_id] = seq
+        self._index_stream_triggers(stream)
+
+    def release_stream(self, stream_id: str) -> ServerStream | None:
+        """Forget a stream without destroying it on the device (the
+        adopting manager keeps serving it)."""
+        stream = self.streams.pop(stream_id, None)
+        self._unindex_stream_triggers(stream_id)
+        self._stream_order.pop(stream_id, None)
+        self.filters.drop_gate(stream_id)
+        return stream
+
     # -- aggregation and multicast ------------------------------------------------------
+
+    def allocate_multicast_name(self) -> str:
+        """Next default multicast stream name, scoped to this manager."""
+        return f"mcast-{next(self._multicast_seq)}"
 
     def create_aggregator(self, name: str,
                           streams: list[ServerStream]) -> Aggregator:

@@ -13,7 +13,6 @@ streams follow a moving person.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable
 
@@ -26,8 +25,6 @@ from repro.core.common.stream_config import StreamMode
 from repro.core.server.server_stream import ServerStream
 
 RecordListener = Callable[[StreamRecord], None]
-
-_multicast_counter = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -78,7 +75,10 @@ class MulticastStream:
                  mode: StreamMode = StreamMode.CONTINUOUS,
                  name: str | None = None):
         self._manager = manager
-        self.name = name or f"mcast-{next(_multicast_counter)}"
+        # Naming is scoped to the owning manager (not a module global):
+        # back-to-back simulations in one process must produce the same
+        # stream names.
+        self.name = name or manager.allocate_multicast_name()
         self.modality = modality
         self.granularity = granularity
         self.query = query

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable
 
 from repro.device import calibration
@@ -24,8 +23,6 @@ from repro.net.message import Message
 from repro.net.network import Endpoint, Network
 from repro.simkit.world import World
 
-_device_counter = itertools.count(1)
-
 
 class Smartphone(Endpoint):
     """One simulated handset owned by one user.
@@ -44,7 +41,9 @@ class Smartphone(Endpoint):
         self._world = world
         self._network = network
         self.user_id = user_id
-        self.device_id = device_id or f"d{next(_device_counter):04d}"
+        # Device ids come from a per-world sequence, not a module
+        # global: back-to-back simulations must name devices identically.
+        self.device_id = device_id or f"d{world.sequence('device'):04d}"
         self.address = f"device/{self.device_id}"
 
         if env_registry.has(user_id):

@@ -102,6 +102,22 @@ class ChaosController:
     def _do_server_restart(self, event: FaultEvent) -> None:
         self.server.restart()
 
+    def _do_shard_crash(self, event: FaultEvent) -> None:
+        self._cluster().crash_shard(event.params["shard"])
+
+    def _do_shard_restart(self, event: FaultEvent) -> None:
+        self._cluster().restart_shard(event.params["shard"])
+
+    def _do_shard_rebalance(self, event: FaultEvent) -> None:
+        self._cluster().rebalance()
+
+    def _cluster(self):
+        if not hasattr(self.server, "crash_shard"):
+            raise FaultTargetError(
+                "shard faults need a sharded server cluster (testbed "
+                "shards=N / repro cluster)")
+        return self.server
+
     def _do_storage_write_error(self, event: FaultEvent) -> None:
         self._storage_medium().inject_write_failures(event.params["count"])
 
@@ -131,6 +147,11 @@ class ChaosController:
         if target == "broker":
             return [self.broker.address]
         if target == "server":
+            # A cluster exposes every shard's addresses (plus its own
+            # ingress); the monolith pair is the degenerate case.
+            fault_addresses = getattr(self.server, "fault_addresses", None)
+            if fault_addresses is not None:
+                return fault_addresses()
             return [self.server.address, self.server.mqtt.address]
         if target == "devices":
             addresses: list[str] = []

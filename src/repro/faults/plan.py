@@ -116,6 +116,32 @@ class FaultPlan:
         self.add("server_restart", at + downtime, "server")
         return self
 
+    def shard_crash(self, at: float, shard: int,
+                    rebalance_after: float | None = None) -> "FaultPlan":
+        """Kill shard ``shard`` of a server cluster at ``at``.
+
+        When ``rebalance_after`` is given, a ``shard_rebalance``
+        follows that many seconds later: the dead shard is failed out
+        of the ring, survivors inherit its devices via the broker's
+        retained-registration replay, and its journal is replayed so
+        acknowledged records migrate instead of dying with it.
+        """
+        self.add("shard_crash", at, "server", shard=shard)
+        if rebalance_after is not None:
+            self.shard_rebalance(at + rebalance_after)
+        return self
+
+    def shard_restart(self, at: float, shard: int) -> "FaultPlan":
+        """Restart a crashed (not yet rebalanced-away) shard."""
+        self.add("shard_restart", at, "server", shard=shard)
+        return self
+
+    def shard_rebalance(self, at: float) -> "FaultPlan":
+        """Fail every crashed shard out of the ring and migrate its
+        devices, documents and live streams to the survivors."""
+        self.add("shard_rebalance", at, "server")
+        return self
+
     def storage_write_errors(self, at: float, count: int) -> "FaultPlan":
         """Make the next ``count`` journal appends fail (bad sectors,
         full disk).  The circuit breaker trips on consecutive failures

@@ -24,6 +24,9 @@ from repro.simkit.world import World
 class _Subscription:
     topic_filter: str
     qos: int
+    #: Shard partition spec (see :class:`repro.mqtt.packets.Subscribe`)
+    #: or ``None`` for a classic subscription.
+    partition: dict | None = None
 
 
 @dataclass
@@ -34,6 +37,9 @@ class _Session:
     keepalive: float
     connected: bool = True
     subscriptions: dict[str, _Subscription] = field(default_factory=dict)
+    #: True while any subscription carries a partition spec — lets the
+    #: routing hot loop skip partition checks for ordinary clients.
+    has_partitioned: bool = False
     offline_queue: list[packets.Publish] = field(default_factory=list)
     pending_acks: dict[int, "_PendingDelivery"] = field(default_factory=dict)
     last_seen: float = 0.0
@@ -82,6 +88,12 @@ class MqttBroker(Endpoint):
         self._obs_counters: dict[tuple[str, str], Any] = {}
         self.messages_routed = 0
         self.publishes_received = 0
+        #: Deliveries suppressed by shard partition specs (shard-aware
+        #: topic routing; see ``_partition_allows``).
+        self.partition_filtered = 0
+        #: Consistent-hash rings rebuilt from partition specs, cached
+        #: per distinct membership.
+        self._ring_cache: dict[tuple, Any] = {}
         self.sessions_expired = 0
         self.running = True
         self.crashes = 0
@@ -242,14 +254,23 @@ class MqttBroker(Endpoint):
         session = self._require_session(src)
         levels = validate_filter(packet.topic_filter)
         session.subscriptions[packet.topic_filter] = _Subscription(
-            packet.topic_filter, packet.qos)
+            packet.topic_filter, packet.qos, partition=packet.partition)
+        session.has_partitioned = any(
+            sub.partition is not None
+            for sub in session.subscriptions.values())
         self._subscriptions.add(levels, session.client_id, packet.qos)
         session.last_seen = self._world.now
         self._send(session, packets.SubAck(packet.packet_id, granted_qos=packet.qos))
         # Retained messages matching the new filter are delivered at
         # once; the retained trie yields them already topic-sorted (the
-        # historical delivery order of the full-table scan).
+        # historical delivery order of the full-table scan).  A
+        # partitioned subscription only pulls its ring slice — this
+        # redelivery of retained registrations is exactly how a shard
+        # learns the devices it inherits after a rebalance.
         for _topic, retained in self._retained_trie.match_filter(levels):
+            if packet.partition is not None and not self._partition_accepts(
+                    packet.partition, validate_topic(retained.topic)):
+                continue
             self._deliver_publish(session, retained, qos=min(
                 packet.qos, retained.qos), retain_flag=True)
 
@@ -259,6 +280,9 @@ class MqttBroker(Endpoint):
         if removed is not None:
             self._subscriptions.discard(
                 validate_filter(packet.topic_filter), session.client_id)
+            session.has_partitioned = any(
+                sub.partition is not None
+                for sub in session.subscriptions.values())
         session.last_seen = self._world.now
         self._send(session, packets.UnsubAck(packet.packet_id))
 
@@ -308,11 +332,16 @@ class MqttBroker(Endpoint):
         clients in sorted id order — the same order the historical
         all-sessions scan produced.
         """
-        matched = self._subscriptions.match(validate_topic(packet.topic))
+        levels = validate_topic(packet.topic)
+        matched = self._subscriptions.match(levels)
         delivered = 0
         for client_id in sorted(matched):
             session = self._sessions.get(client_id)
             if session is None:
+                continue
+            if session.has_partitioned and not self._partition_allows(
+                    session, levels, packet.topic):
+                self.partition_filtered += 1
                 continue
             best_qos = min(matched[client_id], packet.qos)
             delivered += 1
@@ -332,6 +361,43 @@ class MqttBroker(Endpoint):
         if self._obs is not None and delivered:
             self._counter("broker_routed", packet.topic).inc(delivered)
         return delivered
+
+    def _partition_allows(self, session: _Session, levels: list[str],
+                          topic: str) -> bool:
+        """Shard-aware routing decision for a partitioned session.
+
+        The publish goes through if *any* subscription matching the
+        topic is unpartitioned, or any matching partitioned
+        subscription's ring places the topic's key on that shard.
+        """
+        from repro.mqtt.topics import topic_matches
+
+        for sub in session.subscriptions.values():
+            if not topic_matches(sub.topic_filter, topic):
+                continue
+            if sub.partition is None or self._partition_accepts(
+                    sub.partition, levels):
+                return True
+        return False
+
+    def _partition_accepts(self, spec: dict, levels: list[str]) -> bool:
+        """Does the consistent-hash ring in ``spec`` place the topic's
+        key on the subscribing shard?"""
+        key_level = spec.get("key_level", 0)
+        if not 0 <= key_level < len(levels):
+            return False
+        cache_key = (tuple(spec.get("members", ())), spec.get("vnodes"))
+        ring = self._ring_cache.get(cache_key)
+        if ring is None:
+            # The ring module is import-cycle-sensitive (cluster code
+            # imports the broker); resolve it lazily and rebuild the
+            # ring once per distinct membership.
+            from repro.cluster.ring import ConsistentHashRing
+            ring = ConsistentHashRing.from_spec(spec)
+            self._ring_cache[cache_key] = ring
+        if not len(ring):
+            return False
+        return ring.owner(levels[key_level]) == spec.get("owner")
 
     def _counter(self, name: str, topic: str):
         """A cached per-topic counter handle: the hot loop resolves the

@@ -78,6 +78,9 @@ class MqttClient(Endpoint):
         self.connected = False
         self._callbacks: dict[str, list[MessageCallback]] = {}
         self._subscription_qos: dict[str, int] = {}
+        #: Shard partition spec per topic filter, replayed alongside
+        #: the qos when a lost broker session forces re-subscription.
+        self._subscription_partition: dict[str, dict] = {}
         self._pending: dict[int, _PendingPublish] = {}
         self._next_packet_id = 1
         self._ping_task: PeriodicTask | None = None
@@ -181,20 +184,39 @@ class MqttClient(Endpoint):
     # -- pub/sub ------------------------------------------------------
 
     def subscribe(self, topic_filter: str, callback: MessageCallback,
-                  qos: int = 1) -> None:
-        """Register ``callback`` for messages matching ``topic_filter``."""
+                  qos: int = 1, partition: dict | None = None) -> None:
+        """Register ``callback`` for messages matching ``topic_filter``.
+
+        ``partition`` is an optional shard partition spec (see
+        :class:`repro.mqtt.packets.Subscribe`); re-subscribing to the
+        same filter replaces both callbacks and partition — which is
+        how a shard worker narrows or widens its slice of a wildcard
+        topic after a rebalance.
+        """
         validate_filter(topic_filter)
         self._require_connected()
-        self._callbacks.setdefault(topic_filter, []).append(callback)
+        if partition is not None:
+            # A partition change is a *replacement* subscription: the
+            # old callbacks would double-fire once the broker rebinds
+            # the filter to the new ring slice.
+            self._callbacks[topic_filter] = [callback]
+        else:
+            self._callbacks.setdefault(topic_filter, []).append(callback)
         self._subscription_qos[topic_filter] = qos
+        if partition is None:
+            self._subscription_partition.pop(topic_filter, None)
+        else:
+            self._subscription_partition[topic_filter] = partition
         self._network.send(self.address, self.broker_address, packets.Subscribe(
-            packet_id=self._take_packet_id(), topic_filter=topic_filter, qos=qos))
+            packet_id=self._take_packet_id(), topic_filter=topic_filter,
+            qos=qos, partition=partition))
 
     def unsubscribe(self, topic_filter: str) -> None:
         """Drop every callback for ``topic_filter``."""
         self._require_connected()
         self._callbacks.pop(topic_filter, None)
         self._subscription_qos.pop(topic_filter, None)
+        self._subscription_partition.pop(topic_filter, None)
         self._network.send(self.address, self.broker_address, packets.Unsubscribe(
             packet_id=self._take_packet_id(), topic_filter=topic_filter))
 
@@ -309,9 +331,12 @@ class MqttClient(Endpoint):
             for topic_filter in sorted(self._subscription_qos):
                 self._network.send(
                     self.address, self.broker_address,
-                    packets.Subscribe(packet_id=self._take_packet_id(),
-                                      topic_filter=topic_filter,
-                                      qos=self._subscription_qos[topic_filter]))
+                    packets.Subscribe(
+                        packet_id=self._take_packet_id(),
+                        topic_filter=topic_filter,
+                        qos=self._subscription_qos[topic_filter],
+                        partition=self._subscription_partition.get(
+                            topic_filter)))
         for packet_id in sorted(self._pending):
             pending = self._pending[packet_id]
             pending.retries_left = self.MAX_RETRIES

@@ -31,6 +31,25 @@ class Subscribe:
     packet_id: int
     topic_filter: str
     qos: int = 0
+    #: Optional shard partition spec (see :mod:`repro.cluster.ring`):
+    #: ``{"members": [...], "vnodes": N, "owner": shard_id,
+    #: "key_level": i}``.  The broker extracts topic level ``i`` of
+    #: each matching PUBLISH, evaluates the consistent-hash ring the
+    #: spec describes, and delivers only when ``owner`` owns the key —
+    #: so a shard subscribed to a wildcard filter receives exactly its
+    #: partition's topics.  ``None`` (the default) routes classically.
+    partition: dict | None = None
+
+    def __repr__(self) -> str:
+        # Wire sizes are estimated from ``repr`` (see
+        # :func:`repro.net.message.estimate_size`): an unpartitioned
+        # SUBSCRIBE must cost exactly what it did before the partition
+        # field existed, while a partitioned one pays for its spec.
+        base = (f"Subscribe(packet_id={self.packet_id!r}, "
+                f"topic_filter={self.topic_filter!r}, qos={self.qos!r}")
+        if self.partition is None:
+            return base + ")"
+        return base + f", partition={self.partition!r})"
 
 
 @dataclass

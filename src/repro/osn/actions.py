@@ -39,6 +39,10 @@ class OsnAction:
     content: str = ""
     target: str | None = None
     payload: dict[str, Any] = field(default_factory=dict)
+    #: Unique id.  :class:`repro.osn.service.OsnService` assigns these
+    #: from the world-scoped sequence; the module-counter default only
+    #: serves hand-built actions (tests), which never need cross-run
+    #: name stability.
     action_id: int = field(default_factory=lambda: next(_action_counter))
 
     def to_document(self) -> dict[str, Any]:

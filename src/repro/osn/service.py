@@ -86,6 +86,10 @@ class OsnService:
             content=content,
             target=target,
             payload=dict(payload or {}),
+            # World-scoped ids: the module-global fallback counter in
+            # ``repro.osn.actions`` would keep counting across
+            # simulations run back-to-back in one process.
+            action_id=self._world.sequence("osn-action"),
         )
         self._feeds[user_id].append(action)
         self.actions_performed += 1

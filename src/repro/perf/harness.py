@@ -207,24 +207,76 @@ def bench_end_to_end_ingest(users: int = 8, sim_minutes: float = 10.0,
     }
 
 
+def bench_shard_scaling(shard_counts: tuple[int, ...] = (1, 4),
+                        users: int = 16, sim_minutes: float = 10.0,
+                        seed: int = 44) -> dict:
+    """Per-shard ingest+filter work as the cluster widens.
+
+    The same deployment — ``users`` devices, one continuous stream each
+    — runs against clusters of each size in ``shard_counts``.  The
+    metric is the *maximum* per-shard deterministic work counter
+    (records ingested + replayed duplicates + OSN actions; see
+    ``ShardWorker.work_done``): the hottest shard bounds the cluster's
+    capacity, so ``max_shard_work(1) / max_shard_work(N)`` is the
+    scaling factor the consistent-hash placement actually delivers.
+    Work counters are deterministic, so CI asserts a floor on the
+    1→4-shard factor (``benchmarks/test_cluster_scaling.py``).
+    """
+    from repro import Granularity, ModalityType, SenSocialTestbed
+
+    points = []
+    for shards in shard_counts:
+        testbed = SenSocialTestbed(seed=seed, shards=shards)
+        cities = ["Paris", "Bordeaux", "London"]
+        for index in range(users):
+            testbed.add_user(f"user{index:02d}",
+                             home_city=cities[index % len(cities)])
+        for user_id in sorted(testbed.nodes):
+            testbed.server.create_stream(user_id, ModalityType.ACCELEROMETER,
+                                         Granularity.CLASSIFIED)
+        started = time.perf_counter()
+        testbed.run(sim_minutes * 60.0)
+        elapsed = time.perf_counter() - started
+        work = testbed.server.cluster_report()["work"]
+        health = testbed.server.health()
+        points.append({
+            "shards": shards,
+            "users": users,
+            "records_ingested": int(health["records_received"]),
+            "total_work": sum(work.values()),
+            "max_shard_work": max(work.values()),
+            "per_shard_work": work,
+            "wall_seconds": elapsed,
+        })
+    first, last = points[0], points[-1]
+    return {
+        "points": points,
+        "scaling_factor": (first["max_shard_work"] / last["max_shard_work"]
+                           if last["max_shard_work"] else None),
+    }
+
+
 def run_all(*, quick: bool = False) -> dict:
-    """Run the three benchmark groups; ``quick`` shrinks sizes for CI
+    """Run the four benchmark groups; ``quick`` shrinks sizes for CI
     smoke runs while keeping every metric meaningful."""
     if quick:
         broker = bench_broker_fanout(subscriber_counts=(50, 200, 800),
                                      publishes=50)
         docstore = bench_docstore_query(n_docs=1000, rounds=50)
         ingest = bench_end_to_end_ingest(users=4, sim_minutes=5.0)
+        shard = bench_shard_scaling(users=16, sim_minutes=5.0)
     else:
         broker = bench_broker_fanout()
         docstore = bench_docstore_query()
         ingest = bench_end_to_end_ingest()
+        shard = bench_shard_scaling()
     return {
         "run_at": time.time(),
         "quick": quick,
         "broker_fanout": broker,
         "docstore_query": docstore,
         "end_to_end_ingest": ingest,
+        "shard_scaling": shard,
     }
 
 
@@ -279,4 +331,16 @@ def format_summary(entry: dict) -> str:
         f"{ingest['sim_seconds']:.0f} sim-s in {ingest['wall_seconds']:.2f} "
         f"wall-s ({ingest['sim_speedup']:.0f}x real time, "
         f"{ingest['records_per_wall_s']:,.0f} records/wall-s)")
+    shard = entry.get("shard_scaling")
+    if shard is not None:
+        for point in shard["points"]:
+            lines.append(
+                f"  cluster  {point['shards']} shard(s), "
+                f"{point['users']} users: max shard work "
+                f"{point['max_shard_work']} of {point['total_work']}")
+        factor = shard["scaling_factor"]
+        lines.append(
+            f"  cluster  hottest-shard work scaling 1->"
+            f"{shard['points'][-1]['shards']} shards: "
+            f"{f'x{factor:.2f}' if factor else 'n/a'}")
     return "\n".join(lines)

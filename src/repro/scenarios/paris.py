@@ -22,11 +22,12 @@ FIGURE2_FRIENDSHIPS = [("A", "C"), ("A", "D")]
 
 def build_paris_scenario(seed: int = 0,
                          location_update_period_s: float = 120.0,
-                         observability: bool = False) -> SenSocialTestbed:
+                         observability: bool = False,
+                         shards: int | None = None) -> SenSocialTestbed:
     """Deploy the five Figure 2 users and their OSN links."""
     testbed = SenSocialTestbed(
         seed=seed, location_update_period_s=location_update_period_s,
-        observability=observability)
+        observability=observability, shards=shards)
     for user_id, city in FIGURE2_USERS.items():
         testbed.add_user(user_id, home_city=city)
     for a, b in FIGURE2_FRIENDSHIPS:

@@ -45,9 +45,14 @@ class SenSocialTestbed:
                  facebook_delay: LatencyModel | None = None,
                  location_update_period_s: float | None = 300.0,
                  observability: bool = False,
-                 durability=False):
+                 durability=False, shards: int | None = None):
         MobileSenSocialManager.reset_instances()
         self.world = World(seed=seed)
+        #: ``None`` deploys the classic monolithic server; an integer
+        #: deploys a :class:`repro.cluster.ClusterCoordinator` over
+        #: that many shard workers (``shards=1`` is bit-identical to
+        #: the monolith — pinned by ``tests/test_cluster.py``).
+        self.shards = shards
         #: Observability hub, or ``None`` when tracing is off.  Installed
         #: before any component is built so every constructor-time
         #: ``Observability.of`` / ``component_or_none("obs")`` sees it.
@@ -64,14 +69,33 @@ class SenSocialTestbed:
         #: Server durability controller (write-ahead journal + overload
         #: protection), or ``None`` — pass ``durability=True`` for the
         #: defaults or a :class:`repro.durability.DurabilityConfig`.
+        #: On a cluster every shard gets its own controller (see
+        #: ``durabilities``); this attribute then points at shard 0's.
         self.durability = None
+        #: Per-shard durability controllers (cluster deployments only).
+        self.durabilities = None
+        durability_config = None
         if durability:
             from repro.durability import DurabilityConfig, ServerDurability
-            config = (durability if isinstance(durability, DurabilityConfig)
-                      else None)
-            self.durability = ServerDurability(self.world, config)
-        self.server = ServerSenSocialManager(self.world, self.network,
-                                             durability=self.durability)
+            durability_config = (
+                durability if isinstance(durability, DurabilityConfig)
+                else None)
+            if shards is None:
+                self.durability = ServerDurability(self.world,
+                                                   durability_config)
+            else:
+                self.durabilities = [
+                    ServerDurability(self.world, durability_config)
+                    for _ in range(shards)]
+                self.durability = self.durabilities[0]
+        if shards is None:
+            self.server = ServerSenSocialManager(self.world, self.network,
+                                                 durability=self.durability)
+        else:
+            from repro.cluster import ClusterCoordinator
+            self.server = ClusterCoordinator(self.world, self.network,
+                                             shards=shards,
+                                             durability=self.durabilities)
         self.server.start()
         # Let the server's broker session settle before devices deploy:
         # a registration published before the server's subscription

@@ -18,8 +18,6 @@ ReadingCallback = Callable[[SensorReading], None]
 #: Transient CPU cost of driving one sampling cycle, percent.
 _SAMPLING_CPU_PULSE_PCT = 0.6
 
-_subscription_counter = itertools.count(1)
-
 
 @dataclass
 class SensingSubscription:
@@ -50,6 +48,9 @@ class ESSensorManager:
         self._world = world
         self._phone = phone
         self._subscriptions: dict[int, SensingSubscription] = {}
+        # Per-manager, not module-global: repeated simulations in one
+        # process must hand out identical subscription ids.
+        self._subscription_seq = itertools.count(1)
         self.one_off_count = 0
 
     @classmethod
@@ -87,7 +88,7 @@ class ESSensorManager:
                   callback: ReadingCallback) -> SensingSubscription:
         """Sample ``modality`` every ``config.duty_cycle_s`` seconds."""
         sensor = self._phone.sensor(modality)
-        subscription_id = next(_subscription_counter)
+        subscription_id = next(self._subscription_seq)
         task = self._world.scheduler.every(
             config.duty_cycle_s,
             lambda: self._complete_cycle(sensor, callback, config),

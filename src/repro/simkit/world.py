@@ -24,6 +24,7 @@ class World:
         self.scheduler = Scheduler(start_time)
         self.randoms = RandomStreams(seed)
         self._components: dict[str, Any] = {}
+        self._sequences: dict[str, int] = {}
 
     @property
     def now(self) -> float:
@@ -33,6 +34,18 @@ class World:
     def rng(self, name: str) -> random.Random:
         """Named deterministic RNG stream (see :class:`RandomStreams`)."""
         return self.randoms.stream(name)
+
+    def sequence(self, name: str) -> int:
+        """Next value (1, 2, 3, …) of a named per-world counter.
+
+        Entity-naming counters (device ids, OSN action ids) live here
+        rather than in module globals so that two simulations run
+        back-to-back in one process assign identical names — a module
+        global would keep counting across worlds.
+        """
+        value = self._sequences.get(name, 0) + 1
+        self._sequences[name] = value
+        return value
 
     def attach(self, name: str, component: Any) -> Any:
         """Register a component under a unique name and return it."""

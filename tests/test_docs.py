@@ -36,7 +36,8 @@ class TestDocReferences:
                                      "docs/CALIBRATION.md", "docs/FAULTS.md",
                                      "docs/OBSERVABILITY.md",
                                      "docs/DURABILITY.md",
-                                     "docs/PERFORMANCE.md"])
+                                     "docs/PERFORMANCE.md",
+                                     "docs/SCALING.md"])
     def test_referenced_paths_exist(self, doc):
         text = (REPO / doc).read_text()
         referenced = re.findall(

@@ -1,0 +1,98 @@
+"""Hash-stability regression tests (ISSUE 5 satellite).
+
+Python salts builtin ``hash(str)`` per interpreter run
+(``PYTHONHASHSEED``), so anything that routes, places or orders by it
+silently changes behaviour between runs.  Two surfaces must be immune:
+
+- consistent-hash ring placement (devices would migrate between shards
+  from one run to the next, breaking reproducibility *and* splitting a
+  user's history across shards);
+- docstore hash-index bucket iteration (candidate evaluation order
+  feeds ``find_one``/``update_one`` semantics).
+
+The tests run the same computation in subprocesses pinned to different
+``PYTHONHASHSEED`` values and require identical output.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+RING_SCRIPT = """
+import json, sys
+from repro.cluster.ring import ConsistentHashRing, stable_hash
+ring = ConsistentHashRing([f"shard-{i}" for i in range(5)], vnodes=64)
+keys = [f"d{i:04d}" for i in range(200)] + ["user:alice", "user:bob"]
+print(json.dumps({
+    "owners": {key: ring.owner(key) for key in keys},
+    "hashes": [stable_hash(key) for key in keys[:20]],
+    "spec": ring.to_spec(),
+}, sort_keys=True))
+"""
+
+INDEX_SCRIPT = """
+import json
+from repro.docstore import DocumentStore
+collection = DocumentStore()["records"]
+collection.create_index("user_id")
+collection.create_index("modality")
+modalities = ["accelerometer", "location", "activity", "place"]
+for i in range(300):
+    collection.insert_one({"user_id": f"user-{i % 17}",
+                           "modality": modalities[i % 4], "seq": i})
+out = {
+    "conjunctive": [d["seq"] for d in collection.find(
+        {"user_id": "user-7", "modality": "place"})],
+    "in_union": [d["seq"] for d in collection.find(
+        {"user_id": {"$in": ["user-3", "user-7", "user-11"]}})],
+    "first": collection.find_one({"modality": "activity"})["seq"],
+}
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def run_with_hashseed(script: str, seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC
+    result = subprocess.run([sys.executable, "-c", script], env=env,
+                            capture_output=True, text=True, check=True)
+    return json.loads(result.stdout)
+
+
+class TestRingPlacementStability:
+    def test_placement_identical_across_interpreter_runs(self):
+        baseline = run_with_hashseed(RING_SCRIPT, "0")
+        for seed in ("1", "12345", "random"):
+            assert run_with_hashseed(RING_SCRIPT, seed) == baseline
+
+    def test_stable_hash_pinned_values(self):
+        # Golden values: a change here means every existing deployment
+        # would re-place every device on upgrade.
+        from repro.cluster.ring import stable_hash
+        assert stable_hash("d0001") == 0x5FC9AD130B7DE9D8
+        assert stable_hash("sensocial") == 0xF194688AE01414A1
+        assert stable_hash("shard-0#0") == 0x3A138B1616E0D2C1
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_broker_and_coordinator_agree_on_ownership(self):
+        """The broker rebuilds the ring from the SUBSCRIBE spec; both
+        sides must place every key identically."""
+        from repro.cluster.ring import ConsistentHashRing
+        ring = ConsistentHashRing([f"shard-{i}" for i in range(4)])
+        spec = ring.to_spec()
+        broker_side = ConsistentHashRing.from_spec(spec)
+        for i in range(100):
+            key = f"d{i:04d}"
+            assert ring.owner(key) == broker_side.owner(key)
+
+
+class TestDocstoreIterationStability:
+    def test_index_bucket_iteration_identical_across_runs(self):
+        baseline = run_with_hashseed(INDEX_SCRIPT, "0")
+        for seed in ("1", "98765", "random"):
+            assert run_with_hashseed(INDEX_SCRIPT, seed) == baseline
