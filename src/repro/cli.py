@@ -169,10 +169,18 @@ def _cluster(args) -> int:
         testbed.server.create_stream(user_id, ModalityType.ACCELEROMETER,
                                      Granularity.CLASSIFIED)
     controller = ChaosController(testbed)
+    plan = FaultPlan("cluster-lifecycle")
     if args.crash_shard is not None:
-        plan = FaultPlan("cluster-shard-crash").shard_crash(
-            at=horizon * 0.4, shard=args.crash_shard,
-            rebalance_after=args.rebalance_after)
+        plan.shard_crash(at=horizon * 0.4, shard=args.crash_shard,
+                         rebalance_after=args.rebalance_after)
+    if args.add_shard_at is not None:
+        plan.shard_add(at=args.add_shard_at, strategy=args.add_strategy)
+    if args.remove_shard is not None:
+        plan.shard_drain(at=args.remove_shard_at, shard=args.remove_shard)
+    if args.rolling_upgrade_at is not None:
+        plan.rolling_upgrade(at=args.rolling_upgrade_at,
+                             stagger=args.upgrade_stagger)
+    if not plan.is_empty:
         controller.apply(plan)
     testbed.run(horizon)
     testbed.run(args.drain)  # quiet tail: let outboxes drain first
@@ -181,13 +189,42 @@ def _cluster(args) -> int:
     print(report.format())
     print("\ncluster:")
     print(f"  shards               {cluster['active']}/{cluster['shards']} "
-          f"active, {cluster['rebalances']} rebalances")
+          f"active, {cluster['rebalances']} rebalances, "
+          f"{cluster['scale_outs']} scale-outs, "
+          f"{cluster['scale_ins']} scale-ins, "
+          f"{cluster['rolling_upgrades']} rolling upgrades")
     for shard_id in sorted(cluster["work"]):
         devices = len(cluster["devices"].get(shard_id, []))
         print(f"  {shard_id:12s} work={cluster['work'][shard_id]:<6d} "
               f"records={cluster['records'][shard_id]:<6d} "
               f"devices={devices}")
-    return 0 if report.records_lost == 0 else 1
+    elasticity = cluster["elasticity"]
+    print(f"  work skew            {elasticity['skew']:.2f} "
+          f"(hot: {', '.join(elasticity['hot_shards']) or 'none'})")
+    if cluster["lifecycle"]:
+        print("\nlifecycle:")
+        for entry in cluster["lifecycle"]:
+            timings = " ".join(
+                f"{step}={seconds * 1000.0:.1f}ms" for step, seconds
+                in entry.get("step_timings_s", {}).items())
+            detail = ""
+            if "moved_devices" in entry:
+                detail += f" moved={entry['moved_devices']}"
+            if "migrated" in entry:
+                migrated = entry["migrated"]
+                detail += (f" users={migrated['users']} "
+                           f"records={migrated['records']} "
+                           f"dedup={migrated['dedup_ids']}")
+            if "drained" in entry:
+                detail += f" drained={entry['drained']}"
+            subject = entry.get("shard") or ",".join(
+                entry.get("shards", entry.get("retired", [])))
+            print(f"  t={entry['at']:<8.1f} {entry['op']:16s} "
+                  f"{subject:12s}{detail} {timings}".rstrip())
+    problems = testbed.server.verify_consistent()
+    for problem in problems:
+        print(f"INCONSISTENT: {problem}", file=sys.stderr)
+    return 0 if report.records_lost == 0 and not problems else 1
 
 
 def _perf(args) -> int:
@@ -269,7 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     cluster = subparsers.add_parser(
         "cluster", help="run a sharded server cluster, optionally "
-                        "crashing and rebalancing a shard mid-run")
+                        "crashing, scaling or rolling-upgrading shards "
+                        "mid-run")
     cluster.add_argument("--shards", type=int, default=4)
     cluster.add_argument("--seed", type=int, default=11)
     cluster.add_argument("--users", type=int, default=8)
@@ -286,6 +324,23 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--rebalance-after", type=float, default=60.0,
                          help="seconds between the crash and the ring "
                               "rebalance")
+    cluster.add_argument("--add-shard-at", type=float, default=None,
+                         metavar="T", help="scale out by one shard at "
+                                           "T seconds into the run")
+    cluster.add_argument("--add-strategy", choices=["snapshot", "replay"],
+                         default="snapshot",
+                         help="bootstrap path for the joining shard's "
+                              "migrated documents")
+    cluster.add_argument("--remove-shard", type=int, default=None,
+                         metavar="N", help="drain and retire shard N")
+    cluster.add_argument("--remove-shard-at", type=float, default=300.0,
+                         metavar="T", help="when the scale-in fires")
+    cluster.add_argument("--rolling-upgrade-at", type=float, default=None,
+                         metavar="T", help="drain+restart+rejoin every "
+                                           "shard in sequence from T")
+    cluster.add_argument("--upgrade-stagger", type=float, default=60.0,
+                         help="seconds between per-shard upgrade steps "
+                              "(0 = all at one instant)")
     cluster.set_defaults(handler=_cluster)
 
     perf = subparsers.add_parser(

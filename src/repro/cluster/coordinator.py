@@ -33,6 +33,7 @@ the zero-acknowledged-loss protocol detailed in ``docs/SCALING.md``.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Callable
 
 from repro.cluster.database import ClusterDatabase, merge_status
@@ -64,7 +65,7 @@ class ClusterCoordinator(Endpoint):
                  broker_address: str = "mqtt-broker",
                  address: str = "sensocial-server",
                  processing_delay=None, durability=None,
-                 vnodes: int = DEFAULT_VNODES):
+                 vnodes: int = DEFAULT_VNODES, durability_factory=None):
         if shards < 1:
             raise MiddlewareError(f"a cluster needs >= 1 shard, got {shards}")
         if durability is not None and len(durability) != shards:
@@ -75,12 +76,20 @@ class ClusterCoordinator(Endpoint):
         self.network = network
         self.address = address
         self.obs = Observability.of(world)
+        self._broker_address = broker_address
+        self._processing_delay = processing_delay
+        self._shard_address_base = address.rsplit('-', 1)[0]
+        #: Builds a fresh durability controller for each shard
+        #: :meth:`add_shard` spawns (``None`` on non-durable clusters).
+        self._durability_factory = durability_factory
         self._passthrough = shards == 1
         #: Shared cross-user filter context (``None`` in passthrough:
         #: the single worker builds its own, like the monolith did).
         self.filters = None if self._passthrough \
             else ServerFilterManager(world)
-        stream_seq = None if self._passthrough else itertools.count(1)
+        #: Shared stream-id sequence (``None`` until a passthrough
+        #: cluster converts: it then adopts the worker's own counter).
+        self._stream_seq = None if self._passthrough else itertools.count(1)
         self._shards: dict[str, ShardWorker] = {}
         self._order: list[str] = []
         for index in range(shards):
@@ -89,14 +98,18 @@ class ClusterCoordinator(Endpoint):
                 world, network, shard_id,
                 broker_address=broker_address,
                 address=address if self._passthrough
-                else f"{address.rsplit('-', 1)[0]}-{shard_id}",
+                else f"{self._shard_address_base}-{shard_id}",
                 durability=None if durability is None else durability[index],
-                filters=self.filters, stream_seq=stream_seq,
+                filters=self.filters, stream_seq=self._stream_seq,
                 processing_delay=processing_delay)
             self._shards[shard_id] = worker
             self._order.append(shard_id)
         if self._passthrough:
             self.filters = self._shards["shard-0"].filters
+        #: Monotonic shard-id allocator — retired ids are never reused,
+        #: so journal state and broker sessions can't be inherited by
+        #: an unrelated later shard.
+        self._shard_seq = itertools.count(shards)
         self.ring = ConsistentHashRing(self._order, vnodes=vnodes)
         #: Learned placement maps, fed by per-shard registration hooks.
         self._user_device: dict[str, str] = {}
@@ -104,9 +117,19 @@ class ClusterCoordinator(Endpoint):
         self._plugins: list = []
         self._action_listeners: list[Callable[[OsnAction], None]] = []
         self._registration_listeners: list[Callable[[str, str], None]] = []
+        #: Record listeners tracked cluster-side so shards added later
+        #: inherit every listener registered before they existed.
+        self._record_listeners: list[Callable] = []
         self.multicasts: list[MulticastStream] = []
         self._multicast_seq = itertools.count(1)
         self.rebalances = 0
+        self.scale_outs = 0
+        self.scale_ins = 0
+        self.rolling_upgrades = 0
+        #: One entry per lifecycle operation (rebalance / add / remove /
+        #: upgrade): moved-device counts, migrated document counts and
+        #: wall-clock step timings — the ``repro cluster`` CLI surface.
+        self.lifecycle_log: list[dict] = []
         self._database = None
         if not self._passthrough:
             # The coordinator is the cluster's public ingress; shards
@@ -285,68 +308,523 @@ class ClusterCoordinator(Endpoint):
             return {"retired": [], "migrated": {}}
         if len(dead) == len(self.shard_workers()):
             raise MiddlewareError("cannot rebalance: no live shard left")
+        timings: dict[str, float] = {}
+        step = time.perf_counter()
+        dead_ids = {shard.shard_id for shard in dead}
+        moved_devices = [device for device in
+                         sorted(set(self._user_device.values()))
+                         if self.ring.owner(device) in dead_ids]
         for shard in dead:
             self.ring.remove(shard.shard_id)
             shard.retire()
+        timings["retire"] = time.perf_counter() - step
+        step = time.perf_counter()
         survivors = self.shard_workers()
         for shard in survivors:
             shard.update_partition(self._partition_for(shard.shard_id))
+        timings["resubscribe"] = time.perf_counter() - step
+        step = time.perf_counter()
         migrated = {"users": 0, "records": 0, "actions": 0,
                     "dedup_ids": 0, "streams": 0}
         for shard in dead:
             self._migrate_shard_state(shard, survivors, migrated)
+        timings["migrate"] = time.perf_counter() - step
         self.rebalances += 1
         if self.obs is not None:
             self.obs.telemetry.counter("cluster_rebalances").inc()
-        return {"retired": [shard.shard_id for shard in dead],
-                "migrated": migrated}
+        entry = {"op": "rebalance", "at": self.world.now,
+                 "retired": [shard.shard_id for shard in dead],
+                 "migrated": migrated,
+                 "moved_devices": len(moved_devices),
+                 "step_timings_s": timings}
+        self.lifecycle_log.append(entry)
+        return {"retired": entry["retired"], "migrated": migrated}
 
     def _migrate_shard_state(self, dead: ShardWorker,
                              survivors: list[ShardWorker],
                              migrated: dict) -> None:
         if dead.durability is not None:
             store, dedup_ids = dead.durability.recover()
-            recovered = ServerDatabase(store=store)
-            for doc in list(recovered.users.find()):
-                owner = self.shard_for_device(doc["device_id"])
-                owner.database.register_device(
-                    doc["user_id"], doc["device_id"],
-                    doc.get("modalities", []))
-                if doc.get("friends"):
-                    owner.database.set_friends(doc["user_id"],
-                                               doc["friends"])
-                if doc.get("location") is not None:
-                    owner.database.users.update_one(
-                        {"user_id": doc["user_id"]},
-                        {"$set": {"location": doc["location"]}})
-                self._user_device[doc["user_id"]] = doc["device_id"]
-                self._user_shard[doc["user_id"]] = owner.shard_id
-                migrated["users"] += 1
-            for doc in list(recovered.records.find()):
-                owner = self.shard_for_device(doc["device_id"])
-                owner.database.records.insert_one(
-                    {key: value for key, value in doc.items()
-                     if key != "_id"})
-                migrated["records"] += 1
-            for doc in list(recovered.actions.find()):
-                owner = self.shard_for_user(doc["user_id"])
-                owner.database.actions.insert_one(
-                    {key: value for key, value in doc.items()
-                     if key != "_id"})
-                migrated["actions"] += 1
-            for record_id in dedup_ids:
-                # Over-approximate: any survivor may receive the
-                # retransmission (the ring moved), so all of them must
-                # recognise it as already acknowledged.
-                for survivor in survivors:
-                    survivor.dedup.remember(record_id)
-                migrated["dedup_ids"] += 1
-        for stream_id in list(dead.streams):
-            stream = dead.release_stream(stream_id)
-            if stream is None or stream.destroyed:
+            self._migrate_documents(ServerDatabase(store=store), migrated)
+            # Over-approximate: any survivor may receive the
+            # retransmission (the ring moved), so all of them must
+            # recognise it as already acknowledged.  The merge is
+            # bounded — replicated ids enter as the oldest entries of
+            # each survivor's window and evict by the same window
+            # policy as local inserts.
+            for survivor in survivors:
+                survivor.dedup.merge_replicated(dedup_ids)
+            migrated["dedup_ids"] += len(dedup_ids)
+        self._migrate_streams(dead, migrated)
+
+    def _migrate_documents(self, database: ServerDatabase,
+                           migrated: dict) -> None:
+        """Copy a departing shard's documents to their new ring owners."""
+        for doc in list(database.users.find()):
+            owner = self.shard_for_device(doc["device_id"])
+            owner.database.register_device(
+                doc["user_id"], doc["device_id"],
+                doc.get("modalities", []))
+            if doc.get("friends"):
+                owner.database.set_friends(doc["user_id"],
+                                           doc["friends"])
+            if doc.get("location") is not None:
+                owner.database.users.update_one(
+                    {"user_id": doc["user_id"]},
+                    {"$set": {"location": doc["location"]}})
+            self._user_device[doc["user_id"]] = doc["device_id"]
+            self._user_shard[doc["user_id"]] = owner.shard_id
+            migrated["users"] += 1
+        for doc in list(database.records.find()):
+            owner = self.shard_for_device(doc["device_id"])
+            owner.database.records.insert_one(
+                {key: value for key, value in doc.items()
+                 if key != "_id"})
+            migrated["records"] += 1
+        for doc in list(database.actions.find()):
+            owner = self.shard_for_user(doc["user_id"])
+            owner.database.actions.insert_one(
+                {key: value for key, value in doc.items()
+                 if key != "_id"})
+            migrated["actions"] += 1
+
+    def _migrate_streams(self, source: ShardWorker, migrated: dict,
+                         devices: set[str] | None = None) -> None:
+        """Re-home ``source``'s live stream handles onto ring owners.
+
+        With ``devices`` given, only streams on those devices move
+        (scale-out moves a slice); otherwise every stream moves
+        (crash rebalance and drain move everything).
+        """
+        for stream_id in list(source.streams):
+            stream = source.streams[stream_id]
+            if devices is not None and stream.device_id not in devices:
                 continue
-            self.shard_for_device(stream.device_id).adopt_stream(stream)
+            released = source.release_stream(stream_id)
+            if released is None or released.destroyed:
+                continue
+            self.shard_for_device(released.device_id).adopt_stream(released)
             migrated["streams"] += 1
+
+    # -- elastic lifecycle --------------------------------------------
+
+    def _spawn_worker(self, shard_id: str, durability) -> ShardWorker:
+        """Construct a worker for a shard joining an N>1 cluster and
+        wire it into the coordinator's listener planes."""
+        worker = ShardWorker(
+            self.world, self.network, shard_id,
+            broker_address=self._broker_address,
+            address=f"{self._shard_address_base}-{shard_id}",
+            durability=durability, filters=self.filters,
+            stream_seq=self._stream_seq,
+            processing_delay=self._processing_delay)
+        self._shards[shard_id] = worker
+        self._order.append(shard_id)
+        self._hook_registration(worker)
+        for listener in self._record_listeners:
+            worker.register_listener(listener)
+        return worker
+
+    def _leave_passthrough(self) -> None:
+        """Convert a 1-shard passthrough cluster to multi-shard mode.
+
+        The single worker has been impersonating the monolith: it holds
+        the public network address, the shared context objects and every
+        application listener.  Scale-out needs the coordinator in the
+        middle, so ownership moves up — *without* touching the worker's
+        MQTT session (client id, subscription and broker queue survive
+        unchanged; only the plain network address is re-homed, and the
+        network resolves endpoints at delivery time, so even in-flight
+        messages land on the coordinator).
+        """
+        worker = self._mono
+        # 1. Address takeover: worker moves to its shard address, the
+        #    coordinator becomes the public ingress.
+        self.network.unregister(worker.address)
+        worker.address = f"{self._shard_address_base}-{worker.shard_id}"
+        self.network.register(worker.address, worker)
+        self.network.register(self.address, self)
+        # 2. Adopt the shared context the worker built for itself.
+        self.filters = worker.filters
+        self._stream_seq = worker._stream_seq
+        self._multicast_seq = worker._multicast_seq
+        # 3. Action plane: plugins re-point at the coordinator (the
+        #    worker's listener must stop firing or every action would
+        #    be accounted twice).
+        for plugin in worker.plugins():
+            plugin.remove_listener(worker._on_osn_action)
+            plugin.add_listener(self._on_osn_action)
+            self._plugins.append(plugin)
+        worker._plugins.clear()
+        self._action_listeners.extend(worker._action_listeners)
+        worker._action_listeners.clear()
+        # 4. Registration and record listeners: registration hooks move
+        #    up (the coordinator's per-shard hook re-fires them); record
+        #    listeners stay on the worker (records dispatch shard-side)
+        #    and are tracked here so later shards inherit them.
+        self._registration_listeners.extend(worker._registration_listeners)
+        worker._registration_listeners.clear()
+        self._record_listeners.extend(worker._record_listeners)
+        # 5. Multicasts re-home: membership queries must now run over
+        #    the merged database, not one shard's slice.
+        for multicast in worker.multicasts:
+            multicast._manager = self
+            self.multicasts.append(multicast)
+        worker.multicasts.clear()
+        # 6. Merged views + placement maps.
+        self._database = ClusterDatabase(self)
+        for doc in list(worker.database.users.find()):
+            self._user_device[doc["user_id"]] = doc["device_id"]
+            self._user_shard[doc["user_id"]] = worker.shard_id
+        self._hook_registration(worker)
+        self._passthrough = False
+        # Deliberately NOT re-subscribing here: the subscribe is a
+        # network message, and one carrying the pre-growth one-member
+        # ring would land at the broker *after* add_shard() migrated
+        # documents away — its retained replay would re-register the
+        # moved devices right back.  add_shard() sends the worker one
+        # SUBSCRIBE with the grown ring instead.
+
+    def add_shard(self, *, strategy: str = "snapshot") -> dict:
+        """Scale out: grow the ring by one freshly bootstrapped shard.
+
+        Protocol (all on the scheduler's current instant — no window in
+        which a record can route to a shard that doesn't own it):
+
+        1. a passthrough cluster first converts to multi-shard mode
+           (:meth:`_leave_passthrough`);
+        2. a new worker spawns on a never-used shard id, with its own
+           journal when the cluster is durable;
+        3. the ring grows; the devices whose ownership moved are
+           exactly the consistent-hash delta (≈1/N of the fleet);
+        4. the moved slice migrates: documents copy over (and are
+           *deleted* from the old owners — both stay active, so a stale
+           copy would double-count in merged reads), dedup ids
+           replicate bounded, live stream handles re-home;
+        5. the new shard subscribes with the grown ring and the
+           broker replays its slice's retained registrations; the old
+           owners re-subscribe with narrowed slices.
+
+        ``strategy`` picks how a durable new shard loads the migrated
+        documents: ``"snapshot"`` bulk-imports under a suspended
+        journal and pays one checkpoint; ``"replay"`` journals every
+        document individually (the cost baseline —
+        ``benchmarks/test_cluster_scaling.py`` quantifies the gap).
+        """
+        if strategy not in ("snapshot", "replay"):
+            raise MiddlewareError(
+                f"unknown bootstrap strategy {strategy!r} "
+                f"(expected 'snapshot' or 'replay')")
+        timings: dict[str, float] = {}
+        step = time.perf_counter()
+        if self._passthrough:
+            self._leave_passthrough()
+            timings["convert"] = time.perf_counter() - step
+        step = time.perf_counter()
+        shard_id = f"shard-{next(self._shard_seq)}"
+        durability = None
+        if self._durability_factory is not None:
+            durability = self._durability_factory()
+        elif any(shard.durability is not None
+                 for shard in self.shard_workers()):
+            from repro.durability import ServerDurability
+            durability = ServerDurability(self.world)
+        worker = self._spawn_worker(shard_id, durability)
+        timings["spawn"] = time.perf_counter() - step
+        step = time.perf_counter()
+        devices = sorted(set(self._user_device.values()))
+        old_owner = {device: self.ring.owner(device) for device in devices}
+        self.ring.add(shard_id)
+        moved = [device for device in devices
+                 if self.ring.owner(device) == shard_id
+                 and old_owner[device] != shard_id]
+        timings["ring"] = time.perf_counter() - step
+        step = time.perf_counter()
+        migrated = {"users": 0, "records": 0, "actions": 0,
+                    "dedup_ids": 0, "streams": 0}
+        bootstrap = self._bootstrap_new_shard(worker, moved, strategy,
+                                              migrated)
+        timings["migrate"] = time.perf_counter() - step
+        step = time.perf_counter()
+        worker.start(partition=self._partition_for(shard_id))
+        for shard in self.shard_workers():
+            if shard is not worker:
+                shard.update_partition(self._partition_for(shard.shard_id))
+        timings["resubscribe"] = time.perf_counter() - step
+        self.scale_outs += 1
+        if self.obs is not None:
+            self.obs.telemetry.counter("cluster_scale_outs").inc()
+        entry = {"op": "add_shard", "at": self.world.now,
+                 "shard": shard_id, "strategy": strategy,
+                 "moved_devices": len(moved), "migrated": migrated,
+                 "bootstrap": bootstrap, "step_timings_s": timings}
+        self.lifecycle_log.append(entry)
+        return entry
+
+    def _bootstrap_new_shard(self, worker: ShardWorker, moved: list[str],
+                             strategy: str, migrated: dict) -> dict:
+        """Move the ownership delta onto a joining shard and load it.
+
+        Dedup ids replicate *before* the document import so a snapshot
+        bootstrap's checkpoint persists the seeded window alongside the
+        store — a crash right after the import recovers both.
+        """
+        moved_set = set(moved)
+        moved_list = sorted(moved_set)
+        zeros = {"journal_appends": 0, "checkpoints": 0}
+        work_before = worker.durability.bootstrap_work() \
+            if worker.durability is not None else zeros
+        sources = [shard for shard in self.shard_workers()
+                   if shard is not worker]
+        for source in sources:
+            migrated["dedup_ids"] += worker.dedup.merge_replicated(
+                source.dedup.snapshot())
+        documents: dict[str, list[dict]] = {"users": [], "records": [],
+                                            "actions": []}
+        moving_users: set[str] = set()
+        if moved_list:
+            device_query = {"device_id": {"$in": moved_list}}
+            for source in sources:
+                for doc in list(source.database.users.find(device_query)):
+                    documents["users"].append(doc)
+                    moving_users.add(doc["user_id"])
+                    self._user_device[doc["user_id"]] = doc["device_id"]
+                    self._user_shard[doc["user_id"]] = worker.shard_id
+                documents["records"].extend(
+                    source.database.records.find(device_query))
+                source.database.users.delete_many(device_query)
+                source.database.records.delete_many(device_query)
+            if moving_users:
+                user_query = {"user_id": {"$in": sorted(moving_users)}}
+                for source in sources:
+                    documents["actions"].extend(
+                        source.database.actions.find(user_query))
+                    source.database.actions.delete_many(user_query)
+        documents = {name: [{key: value for key, value in doc.items()
+                             if key != "_id"} for doc in docs]
+                     for name, docs in documents.items()}
+        total = sum(len(docs) for docs in documents.values())
+        if worker.durability is not None and strategy == "snapshot":
+            worker.durability.import_state(documents)
+        else:
+            for doc in documents["users"]:
+                worker.database.users.insert_one(doc)
+            for doc in documents["records"]:
+                worker.database.records.insert_one(doc)
+            for doc in documents["actions"]:
+                worker.database.actions.insert_one(doc)
+        migrated["users"] += len(documents["users"])
+        migrated["records"] += len(documents["records"])
+        migrated["actions"] += len(documents["actions"])
+        for source in sources:
+            self._migrate_streams(source, migrated, devices=moved_set)
+        work_after = worker.durability.bootstrap_work() \
+            if worker.durability is not None else zeros
+        return {"strategy": strategy, "documents": total,
+                "journal_appends": (work_after["journal_appends"]
+                                    - work_before["journal_appends"]),
+                "checkpoints": (work_after["checkpoints"]
+                                - work_before["checkpoints"])}
+
+    def remove_shard(self, index: int) -> dict:
+        """Scale in: drain a *healthy* shard and retire it from the ring.
+
+        Unlike :meth:`rebalance` (which salvages a crashed shard's
+        state from its journal), scale-in hands off from the live
+        process: the durable intake queue is flushed first, so every
+        admitted record is applied and journaled before the handoff
+        reads the store — nothing acked dies with the shard.  The
+        retired shard keeps its documents (the merged views read only
+        active shards, exactly like the crash path) and cleanly drops
+        its broker session.
+        """
+        if self._passthrough:
+            raise MiddlewareError(
+                "a 1-shard cluster cannot scale in; grow it first")
+        shard = self._shard_at(index)
+        if shard.retired:
+            raise MiddlewareError(
+                f"shard {shard.shard_id!r} is already retired")
+        if shard.crashed:
+            raise MiddlewareError(
+                f"shard {shard.shard_id!r} crashed; use rebalance() — "
+                f"scale-in drains a healthy shard")
+        if len(self.shard_workers()) == 1:
+            raise MiddlewareError("cannot remove the last active shard")
+        timings: dict[str, float] = {}
+        step = time.perf_counter()
+        drained = shard.drain()
+        timings["drain"] = time.perf_counter() - step
+        step = time.perf_counter()
+        devices = sorted(set(self._user_device.values()))
+        moved = [device for device in devices
+                 if self.ring.owner(device) == shard.shard_id]
+        self.ring.remove(shard.shard_id)
+        shard.retire(unsubscribe=True)
+        timings["retire"] = time.perf_counter() - step
+        step = time.perf_counter()
+        survivors = self.shard_workers()
+        for survivor in survivors:
+            survivor.update_partition(self._partition_for(survivor.shard_id))
+        timings["resubscribe"] = time.perf_counter() - step
+        step = time.perf_counter()
+        migrated = {"users": 0, "records": 0, "actions": 0,
+                    "dedup_ids": 0, "streams": 0}
+        self._migrate_documents(shard.database, migrated)
+        dedup_ids = shard.dedup.snapshot()
+        for survivor in survivors:
+            survivor.dedup.merge_replicated(dedup_ids)
+        migrated["dedup_ids"] += len(dedup_ids)
+        self._migrate_streams(shard, migrated)
+        timings["migrate"] = time.perf_counter() - step
+        self.scale_ins += 1
+        if self.obs is not None:
+            self.obs.telemetry.counter("cluster_scale_ins").inc()
+        entry = {"op": "remove_shard", "at": self.world.now,
+                 "shard": shard.shard_id, "drained": drained,
+                 "moved_devices": len(moved), "migrated": migrated,
+                 "step_timings_s": timings}
+        self.lifecycle_log.append(entry)
+        return entry
+
+    def upgrade_shard(self, index: int) -> dict:
+        """Drain → restart → rejoin one shard (one rolling-upgrade step).
+
+        The restart is atomic at the current instant: the shard's
+        endpoints are never down across a scheduler tick, so nothing
+        in flight drops.  A durable shard replays its journal and
+        resumes exactly-once; a non-durable one restarts amnesiac but
+        re-learns its devices from the retained-registration replay the
+        rejoin subscription triggers.
+        """
+        shard = self._shard_at(index)
+        if shard.retired:
+            raise MiddlewareError(
+                f"shard {shard.shard_id!r} was rebalanced away; "
+                f"a retired shard cannot be upgraded")
+        timings: dict[str, float] = {}
+        step = time.perf_counter()
+        drained = shard.drain()
+        timings["drain"] = time.perf_counter() - step
+        step = time.perf_counter()
+        shard.crash()
+        shard.restart()
+        timings["restart"] = time.perf_counter() - step
+        step = time.perf_counter()
+        shard.resubscribe()
+        timings["rejoin"] = time.perf_counter() - step
+        if self.obs is not None:
+            self.obs.telemetry.counter("cluster_shard_upgrades").inc()
+        entry = {"op": "upgrade_shard", "at": self.world.now,
+                 "shard": shard.shard_id, "drained": drained,
+                 "recovered": shard.durability is not None,
+                 "step_timings_s": timings}
+        self.lifecycle_log.append(entry)
+        return entry
+
+    def rolling_restart(self) -> dict:
+        """Upgrade every active shard in sequence, cluster serving
+        throughout — at most one shard is mid-restart at any time."""
+        upgraded: list[str] = []
+        drained = 0
+        for index, shard_id in enumerate(self._order):
+            if self._shards[shard_id].retired:
+                continue
+            entry = self.upgrade_shard(index)
+            upgraded.append(shard_id)
+            drained += entry["drained"]
+        self.rolling_upgrades += 1
+        if self.obs is not None:
+            self.obs.telemetry.counter("cluster_rolling_upgrades").inc()
+        summary = {"op": "rolling_restart", "at": self.world.now,
+                   "shards": upgraded, "drained": drained}
+        self.lifecycle_log.append(summary)
+        return summary
+
+    # -- consistency + elasticity -------------------------------------
+
+    def verify_consistent(self) -> list[str]:
+        """Cross-check ring, shard set and placement; [] when sound.
+
+        The ``repro cluster`` CLI exits non-zero on any problem — the
+        invariants every lifecycle operation must restore:
+
+        - ring members == active (non-retired) shard ids;
+        - every active shard's subscription carries the current ring
+          (same members, same version);
+        - every registered device's documents live on the shard the
+          ring places it on.
+        """
+        problems: list[str] = []
+        active = [shard_id for shard_id in self._order
+                  if not self._shards[shard_id].retired]
+        if sorted(self.ring.members()) != sorted(active):
+            problems.append(
+                f"ring members {sorted(self.ring.members())} != "
+                f"active shards {sorted(active)}")
+        if not self._passthrough:
+            for shard_id in active:
+                spec = self._shards[shard_id].registration_partition
+                if spec is None:
+                    problems.append(
+                        f"{shard_id}: no partition spec on a "
+                        f"multi-shard cluster")
+                    continue
+                if sorted(spec.get("members", [])) != sorted(
+                        self.ring.members()):
+                    problems.append(
+                        f"{shard_id}: subscription members "
+                        f"{sorted(spec.get('members', []))} != ring")
+                if spec.get("version") != self.ring.version:
+                    problems.append(
+                        f"{shard_id}: subscription ring version "
+                        f"{spec.get('version')} != {self.ring.version}")
+            for shard_id in active:
+                shard = self._shards[shard_id]
+                if shard.crashed:
+                    continue
+                for doc in shard.database.users.find():
+                    owner = self.ring.owner(doc["device_id"])
+                    if owner != shard_id:
+                        problems.append(
+                            f"device {doc['device_id']!r} lives on "
+                            f"{shard_id} but the ring owns it to {owner}")
+        return problems
+
+    def elasticity_advice(self, threshold: float = 1.5) -> dict:
+        """Hot-shard detection from the deterministic work counters.
+
+        A shard is *hot* when its work exceeds ``threshold`` × the
+        cluster mean; any hot shard with overall skew past the
+        threshold recommends a scale-out.  Pure observation — calling
+        this never changes cluster state (:meth:`maybe_autoscale`
+        acts on it).
+        """
+        work = {shard.shard_id: shard.work_done()
+                for shard in self.shard_workers()}
+        mean = sum(work.values()) / len(work) if work else 0.0
+        skew = (max(work.values()) / mean) if mean else 1.0
+        hot = sorted(shard_id for shard_id, done in work.items()
+                     if mean and done > threshold * mean)
+        if self.obs is not None:
+            self.obs.telemetry.gauge("cluster_work_skew").set(skew)
+            self.obs.telemetry.gauge("cluster_hot_shards").set(len(hot))
+        return {"work": work, "mean_work": mean, "skew": skew,
+                "hot_shards": hot, "threshold": threshold,
+                "recommend_add_shard": bool(hot) and skew >= threshold}
+
+    def maybe_autoscale(self, threshold: float = 1.5,
+                        max_shards: int = 8,
+                        strategy: str = "snapshot") -> dict:
+        """Telemetry-driven elasticity: scale out when a shard runs hot
+        (and the cluster is still below ``max_shards``)."""
+        advice = self.elasticity_advice(threshold)
+        advice["scaled"] = False
+        if (advice["recommend_add_shard"]
+                and len(self.shard_workers()) < max_shards):
+            advice["added"] = self.add_shard(strategy=strategy)
+            advice["scaled"] = True
+        return advice
 
     # -- ingress data plane -------------------------------------------
 
@@ -398,7 +876,9 @@ class ClusterCoordinator(Endpoint):
             return
         # Records are dispatched by whichever shard ingests them, so
         # the listener must ride every shard; global callback order is
-        # record arrival order, exactly as on the monolith.
+        # record arrival order, exactly as on the monolith.  Tracked
+        # cluster-side too, so shards added later inherit it.
+        self._record_listeners.append(listener)
         for shard in self.shard_workers():
             shard.register_listener(listener)
 
@@ -667,10 +1147,15 @@ class ClusterCoordinator(Endpoint):
             "active": len(self.shard_workers()),
             "ring": self.ring.to_spec(),
             "rebalances": self.rebalances,
+            "scale_outs": self.scale_outs,
+            "scale_ins": self.scale_ins,
+            "rolling_upgrades": self.rolling_upgrades,
             "work": {shard.shard_id: shard.work_done()
                      for shard in self.all_shard_workers()},
             "records": {shard.shard_id: shard.records_received
                         for shard in self.all_shard_workers()},
             "devices": self.ring.assignments(
                 sorted(set(self._user_device.values()))),
+            "lifecycle": list(self.lifecycle_log),
+            "elasticity": self.elasticity_advice(),
         }

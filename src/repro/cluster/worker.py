@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.mobile.mqtt_service import REGISTRATION_FILTER
 from repro.core.server.manager import ServerSenSocialManager
+from repro.durability.errors import StorageWriteError
 
 #: Topic level carrying the device id in ``sensocial/register/+``.
 REGISTRATION_KEY_LEVEL = 2
@@ -67,9 +68,60 @@ class ShardWorker(ServerSenSocialManager):
         self.mqtt.subscribe(REGISTRATION_FILTER, self._on_registration,
                             partition=partition)
 
-    def retire(self) -> None:
-        """Mark this worker permanently out of the cluster."""
+    def resubscribe(self) -> None:
+        """Re-issue the registration subscription with the current
+        partition — the rejoin step of a rolling upgrade.  The broker
+        replays the retained registrations of this shard's slice, so a
+        worker that restarted amnesiac (no journal) re-learns its
+        devices without any phone resending."""
+        self.mqtt.subscribe(REGISTRATION_FILTER, self._on_registration,
+                            partition=self.registration_partition)
+
+    def drain(self) -> int:
+        """Synchronously flush the durable intake queue.
+
+        Scale-in and rolling upgrades drain a *healthy* shard before
+        touching it: every record already admitted (but not yet
+        journaled) is applied through the write-ahead journal now, so
+        the handoff starts from a settled store and nothing admitted
+        dies un-acked with the shard.  Records that keep failing the
+        journal append are quarantined exactly as the drain pump would
+        have.  Returns the number of records applied.
+        """
+        if self.durability is None:
+            return 0
+        admission = self.durability.admission
+        drained = 0
+        while len(admission):
+            item = admission.pop()
+            try:
+                self._ingest_durable(item)
+            except StorageWriteError:
+                item.attempts += 1
+                if item.attempts >= self.durability.config.max_apply_attempts:
+                    self.durability._quarantine_item(
+                        item, "repeated_write_failure")
+                else:
+                    admission.requeue(item)
+                continue
+            drained += 1
+        return drained
+
+    def retire(self, *, unsubscribe: bool = False) -> None:
+        """Mark this worker permanently out of the cluster.
+
+        A *drained* shard retires cleanly (``unsubscribe=True``): its
+        broker session drops the registration subscription and
+        disconnects, so no dead subscription lingers to queue offline
+        registrations forever.  A *crashed* shard cannot — its network
+        endpoints are down — and keeps the session; the broker's
+        partition gate already stops routing it anything it no longer
+        owns.
+        """
         self.retired = True
+        if unsubscribe and self.mqtt.connected:
+            self.mqtt.unsubscribe(REGISTRATION_FILTER)
+            self.mqtt.disconnect()
 
     # -- scaling metrics ----------------------------------------------
 

@@ -23,6 +23,8 @@ class RecordDeduper:
         self.window = window
         self._seen: "OrderedDict[str, None]" = OrderedDict()
         self.duplicates = 0
+        #: Ids folded in from other shards and retained by the bound.
+        self.replicated = 0
 
     def seen(self, record_id: str) -> bool:
         """Record ``record_id``; True when it is a duplicate."""
@@ -49,6 +51,34 @@ class RecordDeduper:
         self._seen[record_id] = None
         while len(self._seen) > self.window:
             self._seen.popitem(last=False)
+
+    def merge_replicated(self, record_ids) -> int:
+        """Fold another shard's window into this one, bounded.
+
+        Cluster rebalances and drains replicate a departing shard's
+        dedup ids onto the survivors so a retransmission of a record
+        the departed shard acknowledged is absorbed, not re-ingested.
+        Replicated ids enter as the *oldest* entries: they evict before
+        this shard's own recent ids, and the merged window obeys the
+        same size bound as local inserts — repeated rebalances can
+        never grow a survivor's window past ``window``.
+
+        Returns how many replicated ids the bounded window retained.
+        """
+        fresh = [record_id for record_id in record_ids
+                 if record_id not in self._seen]
+        if not fresh:
+            return 0
+        merged: "OrderedDict[str, None]" = OrderedDict()
+        for record_id in fresh:
+            merged[record_id] = None
+        merged.update(self._seen)
+        while len(merged) > self.window:
+            merged.popitem(last=False)
+        retained = sum(1 for record_id in fresh if record_id in merged)
+        self._seen = merged
+        self.replicated += retained
+        return retained
 
     def snapshot(self) -> list[str]:
         """Window contents oldest-first, for checkpoint persistence."""

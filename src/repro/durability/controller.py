@@ -261,6 +261,43 @@ class ServerDurability:
         rebuilt its database and dedup window on the recovered store."""
         self.journal.checkpoint()
 
+    def import_state(self, documents: dict[str, list[dict]]) -> int:
+        """Snapshot-bootstrap: bulk-load a migrated state slice.
+
+        A shard joining the cluster inherits documents from the shards
+        that owned them before the ring change.  Loading them through
+        the journal would append one entry per document; instead the
+        writes run with the journal suspended and the whole imported
+        state is folded into a single checkpoint — the new shard's
+        journal cost is one snapshot write regardless of slice size
+        (the trade-off ``docs/SCALING.md`` quantifies against
+        per-document retained replay).
+
+        The caller must seed the server's dedup window *before* calling
+        this: the checkpoint persists the dedup snapshot alongside the
+        store, so a crash right after the import recovers both.
+
+        Returns the number of documents imported.
+        """
+        imported = 0
+        with self.journal.suspended():
+            for collection_name, docs in documents.items():
+                collection = self.store[collection_name]
+                for doc in docs:
+                    collection.insert_one(
+                        {key: value for key, value in doc.items()
+                         if key != "_id"})
+                    imported += 1
+        self.journal.checkpoint()
+        return imported
+
+    def bootstrap_work(self) -> dict[str, int]:
+        """Deterministic cost counters of this shard's journal medium
+        (appends + checkpoints), used by the elasticity benchmark to
+        compare snapshot bootstrap against retained replay."""
+        return {"journal_appends": self.medium.appends,
+                "checkpoints": self.medium.checkpoints}
+
     # -- observability ------------------------------------------------
 
     def health(self) -> dict:

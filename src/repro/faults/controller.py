@@ -111,6 +111,42 @@ class ChaosController:
     def _do_shard_rebalance(self, event: FaultEvent) -> None:
         self._cluster().rebalance()
 
+    def _do_shard_add(self, event: FaultEvent) -> None:
+        self._cluster().add_shard(
+            strategy=event.params.get("strategy", "snapshot"))
+
+    def _do_shard_drain(self, event: FaultEvent) -> None:
+        self._cluster().remove_shard(event.params["shard"])
+
+    def _do_rolling_upgrade(self, event: FaultEvent) -> None:
+        cluster = self._cluster()
+        stagger = event.params.get("stagger", 0.0)
+        if stagger <= 0:
+            cluster.rolling_restart()
+            return
+        # Space the per-shard upgrades out so live traffic lands on a
+        # cluster that is mid-upgrade — the window the zero-loss chaos
+        # tests exercise.  Shards retired between scheduling and firing
+        # are skipped; the final step accounts the completed sweep.
+        delay = 0.0
+        active = [index for index, shard_id in enumerate(cluster._order)
+                  if not cluster._shards[shard_id].retired]
+        for position, index in enumerate(active):
+            last = position == len(active) - 1
+            self.world.scheduler.schedule(
+                delay, self._upgrade_one, (cluster, index, last))
+            delay += stagger
+
+    def _upgrade_one(self, step: tuple) -> None:
+        cluster, index, last = step
+        shard = cluster._shard_at(index)
+        if not shard.retired:
+            cluster.upgrade_shard(index)
+            self.injected.append(
+                (self.world.now, f"rolling_upgrade_step {shard.shard_id}"))
+        if last:
+            cluster.rolling_upgrades += 1
+
     def _cluster(self):
         if not hasattr(self.server, "crash_shard"):
             raise FaultTargetError(

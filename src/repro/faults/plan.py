@@ -142,6 +142,34 @@ class FaultPlan:
         self.add("shard_rebalance", at, "server")
         return self
 
+    def shard_add(self, at: float, strategy: str = "snapshot") -> "FaultPlan":
+        """Scale the cluster out by one shard mid-run.
+
+        ``strategy`` picks the bootstrap path for the joining shard's
+        migrated documents: ``"snapshot"`` (bulk import + one
+        checkpoint) or ``"replay"`` (per-document journaling).
+        """
+        self.add("shard_add", at, "server", strategy=strategy)
+        return self
+
+    def shard_drain(self, at: float, shard: int) -> "FaultPlan":
+        """Scale in: drain healthy shard ``shard`` and retire it from
+        the ring, handing its state off to the survivors."""
+        self.add("shard_drain", at, "server", shard=shard)
+        return self
+
+    def rolling_upgrade(self, at: float,
+                        stagger: float = 0.0) -> "FaultPlan":
+        """Drain → restart → rejoin every shard in sequence.
+
+        ``stagger=0`` upgrades the whole fleet at one instant (each
+        shard still one at a time); a positive stagger spaces the
+        per-shard upgrades that many seconds apart, so live traffic
+        lands on a cluster that is mid-upgrade.
+        """
+        self.add("rolling_upgrade", at, "server", stagger=stagger)
+        return self
+
     def storage_write_errors(self, at: float, count: int) -> "FaultPlan":
         """Make the next ``count`` journal appends fail (bad sectors,
         full disk).  The circuit breaker trips on consecutive failures

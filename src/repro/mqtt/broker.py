@@ -91,6 +91,9 @@ class MqttBroker(Endpoint):
         #: Deliveries suppressed by shard partition specs (shard-aware
         #: topic routing; see ``_partition_allows``).
         self.partition_filtered = 0
+        #: SUBSCRIBEs rejected for carrying a ring older than the one
+        #: already bound to the same filter (elastic lifecycle guard).
+        self.partition_stale_rejected = 0
         #: Consistent-hash rings rebuilt from partition specs, cached
         #: per distinct membership.
         self._ring_cache: dict[tuple, Any] = {}
@@ -253,6 +256,23 @@ class MqttBroker(Endpoint):
     def _on_subscribe(self, src: str, packet: packets.Subscribe) -> None:
         session = self._require_session(src)
         levels = validate_filter(packet.topic_filter)
+        current = session.subscriptions.get(packet.topic_filter)
+        if (current is not None and current.partition is not None
+                and packet.partition is not None
+                and "version" in packet.partition
+                and "version" in current.partition
+                and packet.partition["version"]
+                < current.partition["version"]):
+            # A SUBSCRIBE carrying an older ring than the one already
+            # bound must not rewind the slice: during elastic lifecycle
+            # churn a re-subscribe delayed in flight could otherwise
+            # overwrite a newer ownership map and route records to a
+            # shard that no longer owns them.
+            self.partition_stale_rejected += 1
+            session.last_seen = self._world.now
+            self._send(session, packets.SubAck(packet.packet_id,
+                                               granted_qos=packet.qos))
+            return
         session.subscriptions[packet.topic_filter] = _Subscription(
             packet.topic_filter, packet.qos, partition=packet.partition)
         session.has_partitioned = any(

@@ -69,19 +69,28 @@ class Counter(Metric):
 
 
 class Gauge(Metric):
-    """A value that can go up and down (queue depths, connections)."""
+    """A value that can go up and down (queue depths, connections).
+
+    The high-water mark (``peak``) is tracked alongside the current
+    value: sampled gauges like ``cluster_work_skew`` are only as
+    current as their last update, and capacity decisions (did a shard
+    ever run hot?) need the worst value seen, not the final one.
+    """
 
     kind = "gauge"
 
     def __init__(self, name: str, labels: LabelSet):
         super().__init__(name, labels)
         self.value = 0.0
+        self.peak = 0.0
 
     def set(self, value: float) -> None:
         self.value = value
+        if value > self.peak:
+            self.peak = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        self.set(self.value + amount)
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
@@ -221,6 +230,8 @@ class Telemetry:
             key = metric.name + _prom_labels(metric.labels)
             if isinstance(metric, Histogram):
                 doc[key] = metric.summary()
+            elif isinstance(metric, Gauge):
+                doc[key] = {"value": metric.value, "peak": metric.peak}
             else:
                 doc[key] = {"value": metric.value}
         return doc

@@ -256,8 +256,70 @@ def bench_shard_scaling(shard_counts: tuple[int, ...] = (1, 4),
     }
 
 
+def bench_elasticity(users: int = 12, sim_minutes: float = 10.0,
+                     seed: int = 45) -> dict:
+    """Mid-run scale-out cost: snapshot bootstrap vs retained replay.
+
+    The same deployment — identical seed, identical workload — runs
+    twice on a durable 2-shard cluster; halfway through, a third shard
+    joins, once with each bootstrap strategy.  Determinism makes the
+    two runs move the *same* documents, so the only difference is how
+    the joining shard loads them: ``journal_appends`` (one per document
+    under replay, zero under snapshot) and ``checkpoints`` (one under
+    snapshot) are deterministic work counters the CI bound asserts on.
+    Zero-loss accounting is checked for both.
+    """
+    from repro import Granularity, ModalityType, SenSocialTestbed
+
+    sim_seconds = sim_minutes * 60.0
+    runs = {}
+    for strategy in ("snapshot", "replay"):
+        testbed = SenSocialTestbed(seed=seed, shards=2, durability=True)
+        cities = ["Paris", "Bordeaux", "London"]
+        for index in range(users):
+            testbed.add_user(f"user{index:02d}",
+                             home_city=cities[index % len(cities)])
+        for user_id in sorted(testbed.nodes):
+            testbed.server.create_stream(user_id, ModalityType.ACCELEROMETER,
+                                         Granularity.CLASSIFIED)
+        started = time.perf_counter()
+        testbed.run(sim_seconds / 2)
+        entry = testbed.server.add_shard(strategy=strategy)
+        testbed.run(sim_seconds / 2)
+        testbed.run(120.0)  # quiet tail: outboxes drain, retries land
+        elapsed = time.perf_counter() - started
+        enqueued = sum(node.manager.health()["enqueued"]
+                       for node in testbed.nodes.values())
+        queued = sum(node.manager.health()["queued"]
+                     for node in testbed.nodes.values())
+        dropped = sum(node.manager.health()["dropped"]
+                      for node in testbed.nodes.values())
+        ingested = testbed.server.health()["records_received"]
+        runs[strategy] = {
+            "strategy": strategy,
+            "moved_devices": entry["moved_devices"],
+            "documents": entry["bootstrap"]["documents"],
+            "journal_appends": entry["bootstrap"]["journal_appends"],
+            "checkpoints": entry["bootstrap"]["checkpoints"],
+            "records_ingested": int(ingested),
+            "records_lost": int(enqueued - queued - dropped - ingested),
+            "consistency_problems": len(testbed.server.verify_consistent()),
+            "wall_seconds": elapsed,
+        }
+    return {
+        "users": users,
+        "sim_seconds": sim_seconds,
+        "snapshot": runs["snapshot"],
+        "replay": runs["replay"],
+        #: Journal appends the snapshot bootstrap avoided (== documents
+        #: migrated, since replay journals each one individually).
+        "appends_saved": (runs["replay"]["journal_appends"]
+                          - runs["snapshot"]["journal_appends"]),
+    }
+
+
 def run_all(*, quick: bool = False) -> dict:
-    """Run the four benchmark groups; ``quick`` shrinks sizes for CI
+    """Run the five benchmark groups; ``quick`` shrinks sizes for CI
     smoke runs while keeping every metric meaningful."""
     if quick:
         broker = bench_broker_fanout(subscriber_counts=(50, 200, 800),
@@ -265,11 +327,13 @@ def run_all(*, quick: bool = False) -> dict:
         docstore = bench_docstore_query(n_docs=1000, rounds=50)
         ingest = bench_end_to_end_ingest(users=4, sim_minutes=5.0)
         shard = bench_shard_scaling(users=16, sim_minutes=5.0)
+        elasticity = bench_elasticity(users=8, sim_minutes=5.0)
     else:
         broker = bench_broker_fanout()
         docstore = bench_docstore_query()
         ingest = bench_end_to_end_ingest()
         shard = bench_shard_scaling()
+        elasticity = bench_elasticity()
     return {
         "run_at": time.time(),
         "quick": quick,
@@ -277,6 +341,7 @@ def run_all(*, quick: bool = False) -> dict:
         "docstore_query": docstore,
         "end_to_end_ingest": ingest,
         "shard_scaling": shard,
+        "elasticity": elasticity,
     }
 
 
@@ -343,4 +408,17 @@ def format_summary(entry: dict) -> str:
             f"  cluster  hottest-shard work scaling 1->"
             f"{shard['points'][-1]['shards']} shards: "
             f"{f'x{factor:.2f}' if factor else 'n/a'}")
+    elasticity = entry.get("elasticity")
+    if elasticity is not None:
+        for strategy in ("snapshot", "replay"):
+            point = elasticity[strategy]
+            lines.append(
+                f"  elastic  {strategy:8s} bootstrap: "
+                f"{point['documents']} docs moved, "
+                f"{point['journal_appends']} journal appends + "
+                f"{point['checkpoints']} checkpoints, "
+                f"{point['records_lost']} lost")
+        lines.append(
+            f"  elastic  snapshot bootstrap saved "
+            f"{elasticity['appends_saved']} journal appends")
     return "\n".join(lines)

@@ -93,9 +93,19 @@ class SenSocialTestbed:
                                                  durability=self.durability)
         else:
             from repro.cluster import ClusterCoordinator
-            self.server = ClusterCoordinator(self.world, self.network,
-                                             shards=shards,
-                                             durability=self.durabilities)
+            durability_factory = None
+            if durability:
+                def durability_factory():
+                    # Shards joining via add_shard() get their own
+                    # controller, tracked alongside the initial ones.
+                    controller = ServerDurability(self.world,
+                                                  durability_config)
+                    self.durabilities.append(controller)
+                    return controller
+            self.server = ClusterCoordinator(
+                self.world, self.network, shards=shards,
+                durability=self.durabilities,
+                durability_factory=durability_factory)
         self.server.start()
         # Let the server's broker session settle before devices deploy:
         # a registration published before the server's subscription

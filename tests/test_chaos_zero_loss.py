@@ -1,7 +1,13 @@
 """Chaos acceptance scenarios: zero QoS-1 record loss and exactly-once
 ingest across a scripted broker restart plus a 60 s partition — and
 determinism guarantees (same seed, same plan → same run; the fault
-machinery disabled changes nothing)."""
+machinery disabled changes nothing).
+
+`TestElasticChaos` (ISSUE 6) runs the elastic-lifecycle faults on a
+sharded durable cluster: a shard crash landing mid-scale-out, a crash
+interleaved with a staggered rolling upgrade, and a drain-based
+scale-in — each must end with zero acknowledged-record loss and a
+consistent ring."""
 
 from repro.core.common import Granularity, ModalityType
 from repro.faults import ChaosController, FaultPlan
@@ -83,6 +89,108 @@ class TestZeroLoss:
         assert retransmissions > 0
         assert testbed.server.acks_sent > testbed.server.records_received \
             or testbed.server.records_duplicate >= 0
+
+
+CLUSTER_USERS = ("alice", "bob", "carol", "dave", "erin", "frank")
+
+
+def run_cluster_scenario(seed: int, plan: FaultPlan | None, *,
+                         shards: int = 3):
+    """A sharded durable cluster under a fault plan; returns the
+    testbed and controller after the horizon plus a quiet tail."""
+    testbed = SenSocialTestbed(seed=seed, shards=shards, durability=True)
+    for user_id in CLUSTER_USERS:
+        testbed.add_user(user_id, "Paris")
+    for user_id in CLUSTER_USERS:
+        testbed.server.create_stream(user_id, ModalityType.ACCELEROMETER,
+                                     Granularity.CLASSIFIED)
+    controller = ChaosController(testbed)
+    if plan is not None:
+        controller.apply(plan)
+    testbed.run(HORIZON_S)
+    testbed.run(DRAIN_S)
+    return testbed, controller
+
+
+class TestElasticChaos:
+    def test_crash_lands_mid_scale_out(self):
+        """A shard dies 30 s after a scale-out: the in-flight migration
+        (re-subscriptions still landing, moved devices re-homing) must
+        recover through the ordinary rebalance path with nothing acked
+        lost and the ring consistent."""
+        plan = (FaultPlan("crash-mid-scale-out")
+                .shard_add(at=400.0)
+                .shard_crash(at=430.0, shard=1, rebalance_after=60.0))
+        testbed, controller = run_cluster_scenario(17, plan)
+        report = controller.report()
+        cluster = testbed.server.cluster_report()
+        assert cluster["scale_outs"] == 1
+        assert cluster["rebalances"] == 1
+        assert report.records_lost == 0
+        assert testbed.server.verify_consistent() == []
+
+    def test_crash_lands_mid_rolling_upgrade(self):
+        """A staggered rolling upgrade with a shard crash landing
+        between two upgrade steps: the crashed shard restarts via its
+        own upgrade step or the scripted restart, and the sweep still
+        completes with zero acked loss."""
+        plan = (FaultPlan("crash-mid-rolling-upgrade")
+                .rolling_upgrade(at=400.0, stagger=60.0)
+                .shard_crash(at=430.0, shard=2)
+                .shard_restart(at=490.0, shard=2))
+        testbed, controller = run_cluster_scenario(19, plan)
+        report = controller.report()
+        cluster = testbed.server.cluster_report()
+        assert cluster["rolling_upgrades"] == 1
+        assert report.records_lost == 0
+        assert testbed.server.verify_consistent() == []
+        # The staggered sweep really ran step by step.
+        steps = [entry for entry in controller.injected
+                 if "rolling_upgrade_step" in entry[1]]
+        assert len(steps) == 3
+
+    def test_scale_in_hands_off_without_loss(self):
+        plan = (FaultPlan("scale-in")
+                .shard_drain(at=500.0, shard=0))
+        testbed, controller = run_cluster_scenario(23, plan)
+        report = controller.report()
+        cluster = testbed.server.cluster_report()
+        assert cluster["scale_ins"] == 1
+        assert cluster["active"] == 2
+        assert report.records_lost == 0
+        assert testbed.server.verify_consistent() == []
+
+    def test_full_lifecycle_gauntlet(self):
+        """Scale out, upgrade the fleet, crash+rebalance, scale in —
+        the whole lifecycle in one run, ending consistent and lossless."""
+        plan = (FaultPlan("lifecycle-gauntlet")
+                .shard_add(at=240.0, strategy="replay")
+                .rolling_upgrade(at=480.0, stagger=30.0)
+                .shard_crash(at=720.0, shard=0, rebalance_after=60.0)
+                .shard_drain(at=960.0, shard=1))
+        testbed, controller = run_cluster_scenario(29, plan)
+        report = controller.report()
+        cluster = testbed.server.cluster_report()
+        assert cluster["scale_outs"] == 1
+        assert cluster["scale_ins"] == 1
+        assert cluster["rebalances"] == 1
+        assert report.records_lost == 0
+        assert testbed.server.verify_consistent() == []
+        window = testbed.server.shard_workers()[0].dedup.window
+        for shard in testbed.server.shard_workers():
+            assert len(shard.dedup) <= window
+
+    def test_elastic_chaos_is_deterministic(self):
+        plan = (FaultPlan("crash-mid-scale-out")
+                .shard_add(at=400.0)
+                .shard_crash(at=430.0, shard=1, rebalance_after=60.0))
+        def run():
+            testbed, _ = run_cluster_scenario(31, plan)
+            return (testbed.world.now,
+                    testbed.server.health()["records_received"],
+                    testbed.network.messages_sent,
+                    testbed.network.bytes_sent)
+        assert run() == run()
 
 
 class TestDeterminism:

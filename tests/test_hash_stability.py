@@ -34,6 +34,26 @@ print(json.dumps({
 }, sort_keys=True))
 """
 
+ELASTIC_RING_SCRIPT = """
+import json
+from repro.cluster.ring import ConsistentHashRing
+keys = [f"d{i:04d}" for i in range(200)]
+# Grow 1 -> 4, then shrink back down to a 2-member ring...
+grown = ConsistentHashRing(["shard-0"], vnodes=64)
+for i in range(1, 4):
+    grown.add(f"shard-{i}")
+grown.remove("shard-1")
+grown.remove("shard-0")
+# ...and build the same 2-member ring from scratch.
+fresh = ConsistentHashRing(["shard-2", "shard-3"], vnodes=64)
+print(json.dumps({
+    "grown": {key: grown.owner(key) for key in keys},
+    "fresh": {key: fresh.owner(key) for key in keys},
+    "grown_members": grown.members(),
+    "grown_version": grown.version,
+}, sort_keys=True))
+"""
+
 INDEX_SCRIPT = """
 import json
 from repro.docstore import DocumentStore
@@ -77,6 +97,11 @@ class TestRingPlacementStability:
         assert stable_hash("d0001") == 0x5FC9AD130B7DE9D8
         assert stable_hash("sensocial") == 0xF194688AE01414A1
         assert stable_hash("shard-0#0") == 0x3A138B1616E0D2C1
+        # Vnodes of shards that only ever exist mid-lifecycle (joined by
+        # add_shard) hash identically everywhere too — elastic clusters
+        # re-place devices from the member set alone.
+        assert stable_hash("shard-3#0") == 0x14B15B395D011C03
+        assert stable_hash("shard-1#63") == 0xB636A3687EC95280
         assert stable_hash("a") != stable_hash("b")
 
     def test_broker_and_coordinator_agree_on_ownership(self):
@@ -89,6 +114,25 @@ class TestRingPlacementStability:
         for i in range(100):
             key = f"d{i:04d}"
             assert ring.owner(key) == broker_side.owner(key)
+
+
+class TestElasticRingStability:
+    """A ring grown shard by shard and then shrunk must place exactly
+    like a fresh ring over the surviving member set (placement is a
+    pure function of membership, never of join order) — and must do so
+    identically across interpreter hash seeds."""
+
+    def test_grown_then_shrunk_equals_fresh(self):
+        baseline = run_with_hashseed(ELASTIC_RING_SCRIPT, "0")
+        assert baseline["grown"] == baseline["fresh"]
+        assert baseline["grown_members"] == ["shard-2", "shard-3"]
+        # 1 initial build + 3 adds + 2 removes.
+        assert baseline["grown_version"] == 6
+
+    def test_elastic_placement_identical_across_interpreter_runs(self):
+        baseline = run_with_hashseed(ELASTIC_RING_SCRIPT, "0")
+        for seed in ("1", "31337", "random"):
+            assert run_with_hashseed(ELASTIC_RING_SCRIPT, seed) == baseline
 
 
 class TestDocstoreIterationStability:
