@@ -6,6 +6,7 @@ Usage::
     python -m repro demo sensor-map --users 3 --minutes 60
     python -m repro chaos --plan broker-restart --minutes 10
     python -m repro obs --scenario paris --ticks 900
+    python -m repro slo --plan slo-burn --minutes 10
     python -m repro experiments
 """
 
@@ -105,8 +106,13 @@ def _chaos(args) -> int:
     from repro.faults import ChaosController, build_plan
 
     horizon = args.minutes * 60.0
+    plan = build_plan(args.plan, horizon)
+    # A plan that declares expected SLO alerts needs the control plane
+    # (and the durable ingest path its storage faults act on).
+    slo = getattr(args, "slo", False) or bool(plan.expected_alerts)
+    durability = args.durability or slo
     testbed = SenSocialTestbed(seed=args.seed, observability=args.obs,
-                               durability=args.durability)
+                               durability=durability, slo=slo)
     cities = ["Paris", "Bordeaux", "London"]
     for index in range(args.users):
         node = testbed.add_user(f"user{index}",
@@ -115,13 +121,83 @@ def _chaos(args) -> int:
                                    Granularity.CLASSIFIED,
                                    send_to_server=True)
     controller = ChaosController(testbed)
-    controller.apply(build_plan(args.plan, horizon))
+    controller.apply(plan)
     testbed.run(horizon)
     # Quiet tail: let reconnects land and outboxes drain before judging.
     testbed.run(args.drain)
     report = controller.report()
     print(report.format())
-    return 0 if report.records_lost == 0 else 1
+    failed = report.records_lost != 0
+    if testbed.slo is not None:
+        unfired = [name for name in plan.expected_alerts
+                   if not testbed.slo.log.fired(name)]
+        for name in unfired:
+            print(f"EXPECTED ALERT NEVER FIRED: {name}", file=sys.stderr)
+        problems = testbed.slo.log.verify(testbed.slo.evaluator.alerts)
+        for problem in problems:
+            print(f"ALERT ACCOUNTING: {problem}", file=sys.stderr)
+        failed = failed or unfired or problems
+    return 1 if failed else 0
+
+
+def _slo(args) -> int:
+    from repro import Granularity, ModalityType, SenSocialTestbed
+    from repro.faults import ChaosController, build_plan
+
+    horizon = args.minutes * 60.0
+    plan = build_plan(args.plan, horizon)
+    testbed = SenSocialTestbed(seed=args.seed, durability=True, slo=True,
+                               shards=args.shards)
+    cities = ["Paris", "Bordeaux", "London"]
+    for index in range(args.users):
+        node = testbed.add_user(f"user{index}",
+                                home_city=cities[index % len(cities)])
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    controller = ChaosController(testbed)
+    if not plan.is_empty:
+        controller.apply(plan)
+    testbed.run(horizon)
+    testbed.run(args.drain)
+    plane = testbed.slo
+    report = plane.report()
+    print(f"slo report — plan {plan.name!r} @ {testbed.world.now:.1f}s")
+    print(f"  evaluations          {report['evaluations']}")
+    for name in sorted(report["slos"]):
+        doc = report["slos"][name]
+        print(f"  {name:22s} {doc['state']:9s} "
+              f"err={doc['last_error']:5.3f} "
+              f"fast={doc['burn_fast']:6.2f} slow={doc['burn_slow']:6.2f} "
+              f"fired={doc['firings']} resolved={doc['resolutions']}")
+    if report["alert_log"]:
+        print("  alert transitions:")
+        for entry in report["alert_log"]:
+            print(f"    [{entry['at']:8.1f}s] {entry['alert']:22s} "
+                  f"{entry['from']} -> {entry['to']} "
+                  f"({entry['severity'] or '-'})")
+    actions = report["actions"]
+    print(f"  actions: backoff x{actions['backoff_factor']}, "
+          f"{actions['backoffs_pushed']} backoffs, "
+          f"{actions['restores_pushed']} restores, "
+          f"{actions['rate_pushes']} rate pushes, "
+          f"{actions['autoscales']} autoscales")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(plane.to_jsonl())
+        print(f"  alert log written to {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(plane.to_prometheus())
+        print(f"  alert states written to {args.prom}")
+    unfired = [name for name in plan.expected_alerts
+               if not plane.log.fired(name)]
+    for name in unfired:
+        print(f"EXPECTED ALERT NEVER FIRED: {name}", file=sys.stderr)
+    problems = report["accounting_problems"]
+    for problem in problems:
+        print(f"ALERT ACCOUNTING: {problem}", file=sys.stderr)
+    return 1 if (unfired or problems) else 0
 
 
 def _obs(args) -> int:
@@ -288,7 +364,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="journaled server: write-ahead log, crash "
                             "recovery, admission control (required by "
                             "server-crash / storage-stress plans)")
+    chaos.add_argument("--slo", action="store_true",
+                       help="deploy the SLO control plane (burn-rate "
+                            "alerts + adaptive sensing backoff); implied "
+                            "by plans that declare expected alerts")
     chaos.set_defaults(handler=_chaos)
+
+    slo = subparsers.add_parser(
+        "slo", help="run a durable, SLO-managed scenario under a fault "
+                    "plan and print the burn-rate/alert report")
+    slo.add_argument("--plan", choices=sorted(NAMED_PLANS),
+                     default="slo-burn")
+    slo.add_argument("--seed", type=int, default=7)
+    slo.add_argument("--users", type=int, default=3)
+    slo.add_argument("--shards", type=int, default=None,
+                     help="deploy a sharded cluster (enables the "
+                          "work-skew SLO)")
+    slo.add_argument("--minutes", type=float, default=10.0)
+    slo.add_argument("--drain", type=float, default=120.0,
+                     help="quiet seconds appended before the report")
+    slo.add_argument("--jsonl", metavar="PATH",
+                     help="write the alert transition log as JSONL")
+    slo.add_argument("--prom", metavar="PATH",
+                     help="write alert states in Prometheus format")
+    slo.set_defaults(handler=_slo)
 
     obs = subparsers.add_parser(
         "obs", help="run a traced scenario and print the obs report")

@@ -130,6 +130,9 @@ class ClusterCoordinator(Endpoint):
         #: upgrade): moved-device counts, migrated document counts and
         #: wall-clock step timings — the ``repro cluster`` CLI surface.
         self.lifecycle_log: list[dict] = []
+        #: SLO control plane, when one is deployed over this cluster
+        #: (set by :class:`repro.obs.control.SloControlPlane`).
+        self.slo_control = None
         self._database = None
         if not self._passthrough:
             # The coordinator is the cluster's public ingress; shards
@@ -1139,6 +1142,32 @@ class ClusterCoordinator(Endpoint):
             detail=f"cluster durability over {len(docs)} shards",
             counters=counters, shards=docs)
 
+    def slo_rollup(self) -> dict:
+        """Per-shard health rollup for the SLO work-skew probe.
+
+        A crashed (or otherwise unreporting) active shard lands in
+        ``missing`` — the evaluator treats a missing shard as burning,
+        never as healthy-by-absence.
+        """
+        statuses: dict[str, str] = {}
+        missing: list[str] = []
+        for shard in self.shard_workers():
+            if shard.crashed:
+                missing.append(shard.shard_id)
+                continue
+            try:
+                statuses[shard.shard_id] = shard.health()["status"]
+            except Exception:
+                missing.append(shard.shard_id)
+        advice = self.elasticity_advice()
+        return {
+            "statuses": statuses,
+            "missing": sorted(missing),
+            "skew": advice["skew"],
+            "hot_shards": advice["hot_shards"],
+            "recommend_add_shard": advice["recommend_add_shard"],
+        }
+
     def cluster_report(self) -> dict:
         """Placement + per-shard work snapshot (the ``repro cluster``
         CLI surface and the scaling benchmark's raw material)."""
@@ -1158,4 +1187,6 @@ class ClusterCoordinator(Endpoint):
                 sorted(set(self._user_device.values()))),
             "lifecycle": list(self.lifecycle_log),
             "elasticity": self.elasticity_advice(),
+            "slo": (self.slo_control.summary()
+                    if self.slo_control is not None else None),
         }

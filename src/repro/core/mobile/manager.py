@@ -113,6 +113,12 @@ class MobileSenSocialManager:
         self.triggers_handled = 0
         self.records_transmitted = 0
         self.records_acked = 0
+        #: Server-pushed sensing-rate backoff: continuous duty cycles
+        #: are stretched by this factor.  1.0 = nominal rate, and the
+        #: multiplication by exactly 1.0 keeps unbackoffed runs
+        #: bit-identical.
+        self.rate_backoff_factor = 1.0
+        self.rate_backoffs_applied = 0
         #: Observability hub (``None`` when tracing/telemetry is off).
         self.obs = Observability.of(world)
         #: Store-and-forward queue for server-bound records: survives
@@ -329,13 +335,50 @@ class MobileSenSocialManager:
         return all(self.filter_manager.osn_condition_satisfied(condition, action)
                    for condition in osn_conditions)
 
+    def apply_rate_backoff(self, factor: float) -> None:
+        """Server-pushed adaptive sensing: stretch duty cycles by
+        ``factor`` (1.0 restores the nominal rate).
+
+        Reschedules every active continuous stream's sampling task at
+        the scaled period; one-off (SOCIAL_EVENT) sensing is untouched,
+        so OSN-triggered records keep flowing at full fidelity.
+        """
+        factor = max(1.0, float(factor))
+        if factor == self.rate_backoff_factor:
+            return
+        self.rate_backoff_factor = factor
+        self.rate_backoffs_applied += 1
+        for stream in self.streams.values():
+            if stream.state is not StreamState.ACTIVE:
+                continue
+            if stream.mode is not StreamMode.CONTINUOUS:
+                continue
+            task = self._tasks.pop(stream.stream_id, None)
+            if task is None:
+                continue
+            task.cancel()
+            sensing_config = SensingConfig.from_settings(
+                stream.config.settings).scaled(factor)
+            self._tasks[stream.stream_id] = self.world.scheduler.every(
+                sensing_config.duty_cycle_s,
+                lambda stream=stream: self._cycle(stream),
+                delay=sensing_config.duty_cycle_s)
+        if self.obs is not None:
+            self.obs.telemetry.gauge(
+                "sensing_rate_factor",
+                device=self.phone.device_id).set(factor)
+            self.obs.telemetry.counter(
+                "rate_backoffs_applied",
+                device=self.phone.device_id).inc()
+
     # -- sampling machinery -----------------------------------------------------------
 
     def _activate(self, stream: MobileStream) -> None:
         self.filter_manager.acquire_monitors(
             stream.config.filter.conditional_sensors())
         if stream.mode is StreamMode.CONTINUOUS:
-            sensing_config = SensingConfig.from_settings(stream.config.settings)
+            sensing_config = SensingConfig.from_settings(
+                stream.config.settings).scaled(self.rate_backoff_factor)
             self._tasks[stream.stream_id] = self.world.scheduler.every(
                 sensing_config.duty_cycle_s,
                 lambda: self._cycle(stream),

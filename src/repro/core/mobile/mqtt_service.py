@@ -29,6 +29,11 @@ def device_destroy_topic(device_id: str) -> str:
     return f"sensocial/device/{device_id}/destroy"
 
 
+def device_rate_topic(device_id: str) -> str:
+    """Server-pushed sensing-rate control (SLO backoff/restore)."""
+    return f"sensocial/device/{device_id}/rate"
+
+
 #: Topic filter the server subscribes to for device announcements.
 REGISTRATION_FILTER = "sensocial/register/+"
 
@@ -61,6 +66,8 @@ class MqttService:
         self.triggers_received = 0
         self.configs_received = 0
         self.reannouncements = 0
+        self.rate_updates_received = 0
+        self._rate_control = False
         # A reconnection may follow a broker restart that wiped the
         # retained registration: announce again, it is idempotent.
         self.client.on_connection_change(self._on_connection_change)
@@ -73,6 +80,19 @@ class MqttService:
         self.client.subscribe(device_config_topic(device_id), self._on_config)
         self.client.subscribe(device_destroy_topic(device_id), self._on_destroy)
         self._announce()
+
+    def enable_rate_control(self) -> None:
+        """Subscribe to server-pushed sensing-rate updates.
+
+        Opt-in (and idempotent) rather than part of :meth:`start` so a
+        deployment without an SLO control plane exchanges exactly the
+        same MQTT packets as before the rate topic existed.
+        """
+        if self._rate_control:
+            return
+        self._rate_control = True
+        device_id = self._manager.phone.device_id
+        self.client.subscribe(device_rate_topic(device_id), self._on_rate)
 
     def _announce(self) -> None:
         device_id = self._manager.phone.device_id
@@ -103,3 +123,8 @@ class MqttService:
     def _on_destroy(self, topic: str, payload: str) -> None:
         document = json.loads(payload)
         self._manager.destroy_stream(document["stream_id"], from_server=True)
+
+    def _on_rate(self, topic: str, payload: str) -> None:
+        document = json.loads(payload)
+        self.rate_updates_received += 1
+        self._manager.apply_rate_backoff(document.get("factor", 1.0))

@@ -17,6 +17,7 @@ from repro.core.common.stream_config import StreamConfig
 from repro.core.mobile.mqtt_service import (
     device_config_topic,
     device_destroy_topic,
+    device_rate_topic,
     device_trigger_topic,
 )
 from repro.device import calibration
@@ -42,6 +43,7 @@ class TriggerManager:
         self._rng = world.rng("trigger-manager")
         self.triggers_sent = 0
         self.configs_pushed = 0
+        self.rates_pushed = 0
 
     def send_action_trigger(self, device_id: str, action: OsnAction,
                             stream_ids: list[str] | None = None) -> None:
@@ -64,6 +66,14 @@ class TriggerManager:
         self.configs_pushed += 1
         self._client.publish(device_config_topic(config.device_id),
                              config.to_xml(), qos=1)
+
+    def push_rate(self, device_id: str, factor: float,
+                  reason: str = "") -> None:
+        """Push a sensing-rate backoff/restore (SLO control loop)."""
+        self.rates_pushed += 1
+        self._client.publish(device_rate_topic(device_id),
+                             json.dumps({"factor": factor,
+                                         "reason": reason}), qos=1)
 
     def push_destroy(self, device_id: str, stream_id: str) -> None:
         self._client.publish(device_destroy_topic(device_id),

@@ -21,6 +21,7 @@ from repro.durability.breaker import CircuitBreaker
 from repro.durability.config import DurabilityConfig
 from repro.durability.controller import ServerDurability
 from repro.durability.errors import DurabilityError, StorageWriteError
+from repro.durability.fair import FairAdmissionController
 from repro.durability.journal import (
     JournalEntry,
     ReplayResult,
@@ -36,6 +37,7 @@ __all__ = [
     "DeadLetterQuarantine",
     "DurabilityConfig",
     "DurabilityError",
+    "FairAdmissionController",
     "IntakeItem",
     "JournalEntry",
     "ReplayResult",

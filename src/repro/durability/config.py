@@ -34,6 +34,15 @@ class DurabilityConfig:
     max_apply_attempts: int = 8
     #: Bound on the dead-letter quarantine (oldest evicted past it).
     quarantine_capacity: int = 256
+    #: Use per-source weighted-fair intake queues instead of the single
+    #: global FIFO (see :class:`repro.durability.fair.
+    #: FairAdmissionController`).  Off by default — the global FIFO is
+    #: the paper's baseline behaviour.
+    fair_admission: bool = False
+    #: ``((source, weight), ...)`` drain weights for fair admission;
+    #: unlisted sources weigh 1.  Tuple-of-pairs keeps the config
+    #: hashable/frozen.
+    fair_weights: tuple[tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.intake_capacity <= 0:
@@ -46,3 +55,7 @@ class DurabilityConfig:
             raise ValueError("breaker_trip_after must be > 0")
         if self.max_apply_attempts <= 0:
             raise ValueError("max_apply_attempts must be > 0")
+        for source, weight in self.fair_weights:
+            if weight <= 0:
+                raise ValueError(
+                    f"fair weight for {source!r} must be > 0, got {weight}")

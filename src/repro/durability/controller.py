@@ -32,6 +32,7 @@ from repro.durability.admission import AdmissionController, IntakeItem
 from repro.durability.breaker import CircuitBreaker
 from repro.durability.config import DurabilityConfig
 from repro.durability.errors import StorageWriteError
+from repro.durability.fair import FairAdmissionController
 from repro.durability.journal import StorageMedium, WriteAheadJournal, replay
 from repro.durability.quarantine import DeadLetterQuarantine
 from repro.obs.health import STATUS_DEGRADED, STATUS_OK, Healthcheck
@@ -48,10 +49,17 @@ class ServerDurability:
         self.server: Any = None
         self.journal: WriteAheadJournal | None = None
         self.store: JournaledDocumentStore | None = None
-        self.admission = AdmissionController(
-            self.config.intake_capacity,
-            high_watermark=self.config.high_watermark,
-            low_watermark=self.config.low_watermark)
+        if self.config.fair_admission:
+            self.admission = FairAdmissionController(
+                self.config.intake_capacity,
+                high_watermark=self.config.high_watermark,
+                low_watermark=self.config.low_watermark,
+                weights=dict(self.config.fair_weights))
+        else:
+            self.admission = AdmissionController(
+                self.config.intake_capacity,
+                high_watermark=self.config.high_watermark,
+                low_watermark=self.config.low_watermark)
         self.breaker = CircuitBreaker(self.config.breaker_trip_after,
                                       self.config.breaker_reset_s)
         self.quarantine = DeadLetterQuarantine(self.config.quarantine_capacity)
@@ -303,6 +311,10 @@ class ServerDurability:
     def health(self) -> dict:
         degraded = (self.breaker.is_open or len(self.admission) > 0
                     or len(self.quarantine) > 0)
+        extra: dict[str, Any] = {}
+        if isinstance(self.admission, FairAdmissionController):
+            extra["fair_admission"] = True
+            extra["fair_sources"] = len(self.admission.fairness_report())
         return Healthcheck.build(
             status=STATUS_DEGRADED if degraded else STATUS_OK,
             detail=(f"durability: breaker {self.breaker.state}, "
@@ -324,6 +336,7 @@ class ServerDurability:
                 "replayed_entries": self.replayed_entries,
                 "recoveries": self.recoveries,
                 "breaker_trips": self.breaker.trips,
+                **extra,
             },
             breaker=self.breaker.to_dict(),
             quarantine_reasons=self.quarantine.reasons(),

@@ -217,12 +217,13 @@ class ChaosController:
         devices = [node.manager.health()
                    for _, node in sorted(self.testbed.nodes.items())]
         obs_doc = None
+        plane = getattr(self.testbed, "slo", None)
         hub = self.world.component_or_none("obs")
         if hub is not None:
             depths = {f"outbox:{user_id}": len(node.manager.outbox)
                       for user_id, node in sorted(self.testbed.nodes.items())}
             obs_doc = hub.report(queue_depths=depths,
-                                 network=self.network).to_dict()
+                                 network=self.network, slo=plane).to_dict()
         return ChaosReport(
             plan_name=", ".join(plan.name for plan in self.plans_applied)
             or "(none)",
@@ -243,4 +244,5 @@ class ChaosController:
             devices=devices,
             recovery_delays=dict(self._recovery),
             obs=obs_doc,
+            slo=plane.report() if plane is not None else None,
         )

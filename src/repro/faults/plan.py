@@ -48,6 +48,9 @@ class FaultPlan:
     def __init__(self, name: str = "custom"):
         self.name = name
         self._events: list[FaultEvent] = []
+        #: SLO alert names this plan expects to fire during the run
+        #: (asserted by the chaos CLI when an SLO plane is deployed).
+        self._expected_alerts: list[str] = []
 
     # -- building -----------------------------------------------------
 
@@ -200,6 +203,16 @@ class FaultPlan:
         self.add("plugin_stop", start, platform)
         self.add("plugin_start", start + duration, platform)
         return self
+
+    def expect_alert(self, name: str) -> "FaultPlan":
+        """Declare that SLO alert ``name`` must fire during this plan."""
+        if name not in self._expected_alerts:
+            self._expected_alerts.append(name)
+        return self
+
+    @property
+    def expected_alerts(self) -> tuple[str, ...]:
+        return tuple(self._expected_alerts)
 
     # -- reading ------------------------------------------------------
 

@@ -63,6 +63,24 @@ def storage_stress_plan(horizon: float) -> FaultPlan:
                              duration=horizon / 4.0))
 
 
+def slo_burn_plan(horizon: float) -> FaultPlan:
+    """Burn the delivery-delay error budget hard enough to page.
+
+    A long stretch of 25 s durable-write latency pushes the drain
+    pump's service time past the record inter-arrival time, so the
+    intake queue builds and every delivery lands far beyond the 30 s
+    objective — a *sustained* burn across many evaluation windows
+    (unlike a crash, whose backlog drains in one burst a single
+    window dilutes away).  The plan *declares* the page it expects —
+    the chaos CLI fails the run if an SLO control plane is deployed
+    and the alert never fires.
+    """
+    return (FaultPlan("slo-burn")
+            .storage_latency(at=horizon / 4.0, seconds=25.0,
+                             duration=horizon / 3.0)
+            .expect_alert("delivery-delay-p95"))
+
+
 def none_plan(horizon: float) -> FaultPlan:
     """An empty plan: a control run with the chaos machinery attached."""
     return FaultPlan("none")
@@ -76,6 +94,7 @@ NAMED_PLANS: dict[str, Callable[[float], FaultPlan]] = {
     "churn": churn_plan,
     "server-crash": server_crash_plan,
     "storage-stress": storage_stress_plan,
+    "slo-burn": slo_burn_plan,
     "none": none_plan,
 }
 

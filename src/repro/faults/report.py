@@ -21,6 +21,9 @@ class ChaosReport:
     #: Observability snapshot (``ObsReport.to_dict()``) when the run's
     #: world had the obs hub installed; ``None`` otherwise.
     obs: dict[str, Any] | None = None
+    #: SLO/alert snapshot (``SloControlPlane.report()``) when the run
+    #: deployed a control plane; ``None`` otherwise.
+    slo: dict[str, Any] | None = None
 
     # -- derived ------------------------------------------------------
 
@@ -136,4 +139,26 @@ class ChaosReport:
                 lines.append(
                     f"  drop {drop['stage']}/{drop['reason']:20s} "
                     f"{drop['count']}")
+        if self.slo is not None:
+            lines += ["", "slo control plane:"]
+            for name in sorted(self.slo.get("slos", {})):
+                doc = self.slo["slos"][name]
+                lines.append(
+                    f"  {name:22s} {doc['state']:9s} "
+                    f"fast={doc['burn_fast']:6.2f} "
+                    f"slow={doc['burn_slow']:6.2f}")
+            for entry in self.slo.get("alert_log", []):
+                lines.append(
+                    f"  [{entry['at']:8.1f}s] {entry['alert']:22s} "
+                    f"{entry['from']} -> {entry['to']}"
+                    f" ({entry['severity'] or '-'})")
+            actions = self.slo.get("actions", {})
+            lines.append(
+                f"  actions: backoff x{actions.get('backoff_factor', 1.0)}, "
+                f"{actions.get('backoffs_pushed', 0)} backoffs, "
+                f"{actions.get('restores_pushed', 0)} restores, "
+                f"{actions.get('autoscales', 0)} autoscales")
+            problems = self.slo.get("accounting_problems", [])
+            if problems:
+                lines.append(f"  ACCOUNTING PROBLEMS: {problems}")
         return "\n".join(lines)

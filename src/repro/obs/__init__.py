@@ -17,10 +17,23 @@ without one pay a single ``None`` check per instrumentation site and
 run bit-for-bit identically to an uninstrumented build.
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertLog,
+    FIRING,
+    INACTIVE,
+    PENDING,
+    RESOLVED,
+    SEVERITY_PAGE,
+    SEVERITY_TICKET,
+    alerts_to_prometheus,
+)
+from repro.obs.control import SloControlPlane, SloControlPlaneConfig
 from repro.obs.health import Healthcheck
 from repro.obs.hub import Observability
 from repro.obs.registry import Counter, Gauge, Histogram, Telemetry, Timer
 from repro.obs.report import ObsReport
+from repro.obs.slo import SloEvaluator, SloSpec
 from repro.obs.trace import (
     DELIVERED,
     DELIVERED_LOCAL,
@@ -35,22 +48,35 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertLog",
     "Counter",
     "DELIVERED",
     "DELIVERED_LOCAL",
     "DROPPED",
+    "FIRING",
     "FULL_CHAIN_STAGES",
     "Gauge",
     "Healthcheck",
     "Histogram",
+    "INACTIVE",
     "IN_FLIGHT",
     "Observability",
     "ObsReport",
+    "PENDING",
+    "RESOLVED",
+    "SEVERITY_PAGE",
+    "SEVERITY_TICKET",
     "STAGES",
+    "SloControlPlane",
+    "SloControlPlaneConfig",
+    "SloEvaluator",
+    "SloSpec",
     "Span",
     "Telemetry",
     "Timer",
     "TraceContext",
     "TraceEvent",
     "Tracer",
+    "alerts_to_prometheus",
 ]

@@ -1,0 +1,243 @@
+"""Burn-rate alerts: a firing/resolved state machine plus a tamper-
+evident transition log.
+
+One :class:`Alert` per SLO walks the classic multiwindow lifecycle —
+``inactive → pending → firing → resolved`` (and back to pending when
+the burn returns) — on the *virtual* clock.  Every state change is
+appended to a shared :class:`AlertLog` exactly once, with the instant
+and severity, so a chaos test can assert not just "the alert fired"
+but "it fired once, at the right time, and resolved after the fault
+cleared".  The log renders as JSONL and as Prometheus ``ALERTS``
+series (label values escaped per the exposition format).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.obs.registry import escape_label_value
+
+#: Alert states, in lifecycle order.
+INACTIVE = "inactive"
+PENDING = "pending"
+FIRING = "firing"
+RESOLVED = "resolved"
+
+#: Severity tiers: a fast-window burn pages a human *now*; a sustained
+#: slow-window burn files a ticket.
+SEVERITY_PAGE = "page"
+SEVERITY_TICKET = "ticket"
+
+_SEVERITY_RANK = {SEVERITY_TICKET: 1, SEVERITY_PAGE: 2}
+
+#: Legal state-machine edges; anything else is a bug the log verifier
+#: reports.
+_LEGAL_EDGES = {
+    (INACTIVE, PENDING),
+    (PENDING, FIRING),
+    (PENDING, INACTIVE),   # the burn cleared before the for-window ran out
+    (FIRING, RESOLVED),
+    (RESOLVED, PENDING),   # a fresh episode after recovery
+}
+
+
+class Alert:
+    """The alert lifecycle for one SLO."""
+
+    def __init__(self, name: str, log: "AlertLog"):
+        self.name = name
+        self.log = log
+        self.state = INACTIVE
+        self.severity: str | None = None
+        self.pending_since: float | None = None
+        self.fired_at: float | None = None
+        self.resolved_at: float | None = None
+        self.firings = 0
+        self.resolutions = 0
+
+    def observe(self, now: float, severity: str | None, *,
+                for_s: float) -> str | None:
+        """Advance the state machine one evaluation tick.
+
+        ``severity`` is the highest breached tier this tick (``None``
+        when no burn rule is breached); ``for_s`` is how long a breach
+        must persist in *pending* before the alert fires.  Returns the
+        new state when a transition happened, else ``None``.
+        """
+        if severity is not None:
+            if self.state in (INACTIVE, RESOLVED):
+                self.pending_since = now
+                return self._transition(now, PENDING, severity)
+            if self.state == PENDING:
+                self.severity = self._max_severity(severity)
+                if now - self.pending_since >= for_s:
+                    self.fired_at = now
+                    self.firings += 1
+                    return self._transition(now, FIRING, self.severity)
+                return None
+            # Already firing: track the worst tier seen this episode.
+            self.severity = self._max_severity(severity)
+            return None
+        if self.state == FIRING:
+            self.resolved_at = now
+            self.resolutions += 1
+            return self._transition(now, RESOLVED, self.severity)
+        if self.state == PENDING:
+            # A false alarm: the burn cleared inside the for-window.
+            return self._transition(now, INACTIVE, None)
+        return None
+
+    def _max_severity(self, severity: str) -> str:
+        if self.severity is None:
+            return severity
+        return max(self.severity, severity,
+                   key=lambda tier: _SEVERITY_RANK.get(tier, 0))
+
+    def _transition(self, now: float, to_state: str,
+                    severity: str | None) -> str:
+        self.log.record(now, self.name, self.state, to_state, severity)
+        self.state = to_state
+        self.severity = severity
+        return to_state
+
+    @property
+    def active(self) -> bool:
+        return self.state in (PENDING, FIRING)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "severity": self.severity,
+            "pending_since": self.pending_since,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "firings": self.firings,
+            "resolutions": self.resolutions,
+        }
+
+
+class AlertLog:
+    """Append-only record of every alert transition.
+
+    The log is the accounting surface the acceptance tests pin:
+    :meth:`verify` cross-checks that every entry follows a legal edge,
+    that timestamps never go backwards per alert, and that firing and
+    resolution counts reconcile exactly (one ``resolved`` per
+    ``firing``, modulo an episode still open at read time).
+    """
+
+    def __init__(self):
+        self.entries: list[dict[str, Any]] = []
+
+    def record(self, at: float, alert: str, from_state: str,
+               to_state: str, severity: str | None) -> None:
+        self.entries.append({
+            "at": at,
+            "alert": alert,
+            "from": from_state,
+            "to": to_state,
+            "severity": severity,
+        })
+
+    # -- queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def for_alert(self, name: str) -> list[dict[str, Any]]:
+        return [entry for entry in self.entries if entry["alert"] == name]
+
+    def fired(self, name: str) -> bool:
+        """True when ``name`` reached the firing state at least once."""
+        return any(entry["to"] == FIRING for entry in self.for_alert(name))
+
+    def transition_counts(self) -> dict[tuple[str, str], int]:
+        """``(alert, to_state) -> count`` over the whole log."""
+        counts: dict[tuple[str, str], int] = {}
+        for entry in self.entries:
+            key = (entry["alert"], entry["to"])
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def verify(self, alerts: dict[str, Alert] | None = None) -> list[str]:
+        """Exactly-once transition accounting; ``[]`` when sound."""
+        problems: list[str] = []
+        last_state: dict[str, str] = {}
+        last_at: dict[str, float] = {}
+        for entry in self.entries:
+            name = entry["alert"]
+            expected_from = last_state.get(name, INACTIVE)
+            if entry["from"] != expected_from:
+                problems.append(
+                    f"{name}: transition from {entry['from']!r} at "
+                    f"{entry['at']:.1f}s but the previous state was "
+                    f"{expected_from!r}")
+            if (entry["from"], entry["to"]) not in _LEGAL_EDGES:
+                problems.append(
+                    f"{name}: illegal edge {entry['from']}→{entry['to']} "
+                    f"at {entry['at']:.1f}s")
+            if entry["at"] < last_at.get(name, float("-inf")):
+                problems.append(
+                    f"{name}: timestamp went backwards at {entry['at']:.1f}s")
+            last_state[name] = entry["to"]
+            last_at[name] = entry["at"]
+        counts = self.transition_counts()
+        names = {entry["alert"] for entry in self.entries}
+        for name in sorted(names):
+            firings = counts.get((name, FIRING), 0)
+            resolutions = counts.get((name, RESOLVED), 0)
+            open_episode = 1 if last_state.get(name) == FIRING else 0
+            if firings != resolutions + open_episode:
+                problems.append(
+                    f"{name}: {firings} firings vs {resolutions} "
+                    f"resolutions (+{open_episode} open)")
+            if alerts is not None and name in alerts:
+                alert = alerts[name]
+                if (alert.firings, alert.resolutions) != (firings, resolutions):
+                    problems.append(
+                        f"{name}: alert counters "
+                        f"({alert.firings}/{alert.resolutions}) disagree "
+                        f"with the log ({firings}/{resolutions})")
+        return problems
+
+    # -- exporters ----------------------------------------------------
+
+    def to_jsonl_lines(self) -> Iterator[str]:
+        for entry in self.entries:
+            yield json.dumps({"kind": "alert_transition", **entry},
+                             sort_keys=True)
+
+    def to_jsonl(self) -> str:
+        lines = list(self.to_jsonl_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def alerts_to_prometheus(alerts: dict[str, Alert],
+                         log: AlertLog | None = None) -> str:
+    """Prometheus text rendering of alert states and transition totals.
+
+    Mirrors the ``ALERTS{alertname,alertstate,severity}`` convention:
+    one sample per currently pending/firing alert, plus cumulative
+    ``alert_transitions_total`` counters from the log.  Each ``# TYPE``
+    line appears exactly once per family and label values go through
+    the exposition-format escaper.
+    """
+    lines: list[str] = []
+    active = [alerts[name] for name in sorted(alerts)
+              if alerts[name].active]
+    if active:
+        lines.append("# TYPE ALERTS gauge")
+        for alert in active:
+            labels = (f'alertname="{escape_label_value(alert.name)}"'
+                      f',alertstate="{alert.state}"'
+                      f',severity="{escape_label_value(alert.severity or "")}"')
+            lines.append("ALERTS{" + labels + "} 1")
+    if log is not None and len(log):
+        lines.append("# TYPE alert_transitions_total counter")
+        for (name, to_state), count in sorted(log.transition_counts().items()):
+            labels = (f'alertname="{escape_label_value(name)}"'
+                      f',to="{escape_label_value(to_state)}"')
+            lines.append(f"alert_transitions_total{{{labels}}} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -47,7 +47,11 @@ class Observability:
     # -- reporting ----------------------------------------------------
 
     def report(self, *, queue_depths: dict[str, int] | None = None,
-               network=None) -> ObsReport:
-        """Snapshot the run into an :class:`ObsReport`."""
+               network=None, slo=None) -> ObsReport:
+        """Snapshot the run into an :class:`ObsReport`.
+
+        ``slo`` may be an :class:`~repro.obs.control.SloControlPlane`
+        (its ``report()`` is embedded) or a pre-built dict.
+        """
         return ObsReport.build(self, queue_depths=queue_depths,
-                               network=network)
+                               network=network, slo=slo)

@@ -32,11 +32,25 @@ def _prom_name(name: str) -> str:
     return _PROM_NAME_RE.sub("_", name)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside a quoted label value; anything else passes
+    through verbatim.  Order matters: the backslash must be doubled
+    first or the escapes it introduces would themselves be escaped.
+    """
+    return (value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labels: LabelSet, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = labels + extra
     if not items:
         return ""
-    body = ",".join(f'{_prom_name(key)}="{value}"' for key, value in items)
+    body = ",".join(f'{_prom_name(key)}="{escape_label_value(value)}"'
+                    for key, value in items)
     return "{" + body + "}"
 
 
@@ -94,6 +108,19 @@ class Gauge(Metric):
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+
+    def read_and_reset_peak(self) -> float:
+        """Return the high-water mark and reset it to the current value.
+
+        Periodic samplers (the SLO evaluator, capacity dashboards) call
+        this once per window so each window sees its *own* worst value
+        instead of a peak that only ever grows for the lifetime of the
+        run.  The peak can never fall below the current value, so the
+        reset floor is ``value``, not zero.
+        """
+        peak = self.peak
+        self.peak = self.value
+        return peak
 
 
 class Histogram(Metric):

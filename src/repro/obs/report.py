@@ -50,12 +50,15 @@ class ObsReport:
     traces_evicted: int = 0
     terminal_conflicts: int = 0
     counters: dict[str, Any] = field(default_factory=dict)
+    #: SLO/alert snapshot (``SloControlPlane.report()``) when a control
+    #: plane is deployed; ``None`` otherwise.
+    slo: dict[str, Any] | None = None
 
     # -- construction -------------------------------------------------
 
     @classmethod
     def build(cls, obs, *, queue_depths: dict[str, int] | None = None,
-              network=None) -> "ObsReport":
+              network=None, slo=None) -> "ObsReport":
         """Snapshot ``obs`` (an :class:`Observability` hub) now."""
         tracer = obs.tracer
         stage_latency: dict[str, dict[str, float]] = {}
@@ -91,6 +94,7 @@ class ObsReport:
             traces_evicted=tracer.evicted,
             terminal_conflicts=tracer.terminal_conflicts,
             counters=obs.telemetry.snapshot(),
+            slo=(slo.report() if hasattr(slo, "report") else slo),
         )
 
     # -- derived ------------------------------------------------------
@@ -121,6 +125,7 @@ class ObsReport:
             "traces_started": self.traces_started,
             "traces_evicted": self.traces_evicted,
             "terminal_conflicts": self.terminal_conflicts,
+            "slo": self.slo,
         }
 
     def format(self) -> str:
@@ -161,6 +166,29 @@ class ObsReport:
             lines += ["", "queue depths:"]
             for name in sorted(self.queue_depths):
                 lines.append(f"  {name:24s} {self.queue_depths[name]}")
+        if self.slo is not None:
+            lines += ["", "slo burn rates:"]
+            for name in sorted(self.slo.get("slos", {})):
+                doc = self.slo["slos"][name]
+                lines.append(
+                    f"  {name:22s} {doc['state']:9s} "
+                    f"fast={doc['burn_fast']:6.2f} "
+                    f"slow={doc['burn_slow']:6.2f}")
+            log = self.slo.get("alert_log", [])
+            if log:
+                lines += ["", "alert transitions:"]
+                for entry in log:
+                    lines.append(
+                        f"  [{entry['at']:8.1f}s] {entry['alert']:22s} "
+                        f"{entry['from']} -> {entry['to']}"
+                        f" ({entry['severity'] or '-'})")
+            actions = self.slo.get("actions", {})
+            if actions:
+                lines.append(
+                    f"  actions: backoff x{actions.get('backoff_factor', 1.0)}"
+                    f", {actions.get('backoffs_pushed', 0)} backoffs, "
+                    f"{actions.get('restores_pushed', 0)} restores, "
+                    f"{actions.get('autoscales', 0)} autoscales")
         lines += ["",
                   f"traces: {self.traces_started} started, "
                   f"{self.traces_evicted} evicted, "

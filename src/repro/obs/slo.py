@@ -1,0 +1,164 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`SloSpec` states an objective as an allowed *error-budget
+fraction* (e.g. "at most 5% of records may exceed the delivery-delay
+threshold").  A probe — any callable returning the error fraction
+observed since the previous evaluation — feeds the evaluator, which
+keeps a sample window per SLO on the virtual clock and derives two
+burn rates:
+
+* **fast** (short window): how hard the budget is burning *right now*
+  — crossing ``page_burn`` breaches the ``page`` tier;
+* **slow** (long window): a sustained burn — crossing ``ticket_burn``
+  breaches the ``ticket`` tier.
+
+A burn rate of 1.0 means the budget is being consumed exactly at the
+rate the objective allows; the page threshold sits well above it so a
+transient blip never wakes anyone, while the ticket threshold catches
+slow leaks.  Breaches drive the per-SLO :class:`~repro.obs.alerts.Alert`
+state machine; the evaluator itself never schedules anything — a
+control plane (or a test) calls :meth:`evaluate` at its own cadence,
+so installing the machinery without driving it costs nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.alerts import (
+    Alert,
+    AlertLog,
+    SEVERITY_PAGE,
+    SEVERITY_TICKET,
+)
+
+#: A probe returns the error fraction (0..1) observed since the last
+#: evaluation tick, or ``None`` when there was no signal this interval.
+SliProbe = Callable[[], "float | None"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective and its burn-rate alert rules."""
+
+    name: str
+    description: str
+    #: Allowed error-budget fraction (0 < objective < 1).
+    objective: float
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    #: Fast-window burn rate that breaches the ``page`` tier.
+    page_burn: float = 4.0
+    #: Slow-window burn rate that breaches the ``ticket`` tier.
+    ticket_burn: float = 1.0
+    #: Seconds a breach must persist in *pending* before firing.
+    for_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got "
+                             f"{self.objective}")
+        if not 0.0 < self.fast_window_s <= self.slow_window_s:
+            raise ValueError("need 0 < fast_window_s <= slow_window_s")
+        if self.page_burn <= 0 or self.ticket_burn <= 0:
+            raise ValueError("burn thresholds must be > 0")
+
+
+class SloEvaluator:
+    """Evaluates registered SLOs over windowed error samples.
+
+    ``evaluate(now)`` samples every probe once, folds the result into
+    the per-SLO window, computes the fast/slow burn rates and steps the
+    alert state machine.  A probe returning ``None`` (no signal — e.g.
+    a crashed shard whose health rollup is missing) is recorded as a
+    *full* error: absence of evidence of health is not health.
+    """
+
+    def __init__(self, log: AlertLog | None = None):
+        self.log = log if log is not None else AlertLog()
+        self._specs: dict[str, SloSpec] = {}
+        self._probes: dict[str, SliProbe] = {}
+        #: ``name -> deque[(at, error_fraction)]`` bounded by the slow
+        #: window.
+        self._samples: dict[str, deque] = {}
+        self.alerts: dict[str, Alert] = {}
+        self._last: dict[str, dict[str, float]] = {}
+        self.evaluations = 0
+
+    def register(self, spec: SloSpec, probe: SliProbe) -> None:
+        if spec.name in self._specs:
+            raise ValueError(f"SLO {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        self._probes[spec.name] = probe
+        self._samples[spec.name] = deque()
+        self.alerts[spec.name] = Alert(spec.name, self.log)
+
+    def specs(self) -> list[SloSpec]:
+        return [self._specs[name] for name in sorted(self._specs)]
+
+    def alert(self, name: str) -> Alert:
+        return self.alerts[name]
+
+    # -- evaluation ---------------------------------------------------
+
+    def evaluate(self, now: float) -> list[tuple[str, str]]:
+        """One evaluation tick; returns ``[(slo, new_state), ...]``
+        for every alert that transitioned."""
+        self.evaluations += 1
+        transitions: list[tuple[str, str]] = []
+        for name in sorted(self._specs):
+            spec = self._specs[name]
+            error = self._probes[name]()
+            error = 1.0 if error is None else min(1.0, max(0.0, float(error)))
+            window = self._samples[name]
+            window.append((now, error))
+            while window and window[0][0] < now - spec.slow_window_s:
+                window.popleft()
+            burn_fast = self._burn(window, now, spec.fast_window_s,
+                                   spec.objective)
+            burn_slow = self._burn(window, now, spec.slow_window_s,
+                                   spec.objective)
+            severity = None
+            if burn_fast >= spec.page_burn:
+                severity = SEVERITY_PAGE
+            elif burn_slow >= spec.ticket_burn:
+                severity = SEVERITY_TICKET
+            self._last[name] = {"error": error, "burn_fast": burn_fast,
+                                "burn_slow": burn_slow}
+            new_state = self.alerts[name].observe(now, severity,
+                                                  for_s=spec.for_s)
+            if new_state is not None:
+                transitions.append((name, new_state))
+        return transitions
+
+    @staticmethod
+    def _burn(window, now: float, window_s: float,
+              objective: float) -> float:
+        samples = [error for at, error in window if at >= now - window_s]
+        if not samples:
+            return 0.0
+        return (sum(samples) / len(samples)) / objective
+
+    # -- introspection ------------------------------------------------
+
+    def state(self) -> dict[str, dict[str, Any]]:
+        """Per-SLO snapshot: objective, burn rates, alert state."""
+        doc: dict[str, dict[str, Any]] = {}
+        for name in sorted(self._specs):
+            spec = self._specs[name]
+            alert = self.alerts[name]
+            last = self._last.get(name, {})
+            doc[name] = {
+                "description": spec.description,
+                "objective": spec.objective,
+                "last_error": last.get("error"),
+                "burn_fast": last.get("burn_fast", 0.0),
+                "burn_slow": last.get("burn_slow", 0.0),
+                "state": alert.state,
+                "severity": alert.severity,
+                "firings": alert.firings,
+                "resolutions": alert.resolutions,
+            }
+        return doc

@@ -164,6 +164,11 @@ class Tracer:
         #: Terminal marks attempted on an already-terminated trace —
         #: zero in a correct pipeline; surfaced by the invariant tests.
         self.terminal_conflicts = 0
+        #: Called with the :class:`TraceState` the instant a trace
+        #: terminates.  Empty unless an SLO evaluator (or similar
+        #: consumer) registers — iterating an empty list is the only
+        #: cost the default path pays.
+        self._terminal_listeners: list = []
 
     # -- trace lifecycle ----------------------------------------------
 
@@ -232,6 +237,8 @@ class Tracer:
             return
         kind = DELIVERED if scope == "server" else DELIVERED_LOCAL
         state.terminal = (kind, None, None, self._world.now)
+        for listener in self._terminal_listeners:
+            listener(state)
 
     def mark_dropped(self, context: TraceContext | None, stage: str,
                      reason: str) -> None:
@@ -247,6 +254,17 @@ class Tracer:
         state.spans.append(Span(trace_id=state.trace_id, stage=stage,
                                 start=now, end=now, status="drop",
                                 attrs={"reason": reason}))
+        for listener in self._terminal_listeners:
+            listener(state)
+
+    def on_terminal(self, listener) -> None:
+        """Register ``listener(state)`` to fire on every terminal mark.
+
+        The SLO evaluator uses this to fold delivery delays and drop
+        ratios incrementally instead of rescanning the trace table each
+        evaluation window.
+        """
+        self._terminal_listeners.append(listener)
 
     # -- introspection ------------------------------------------------
 

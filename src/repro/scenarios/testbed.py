@@ -45,9 +45,12 @@ class SenSocialTestbed:
                  facebook_delay: LatencyModel | None = None,
                  location_update_period_s: float | None = 300.0,
                  observability: bool = False,
-                 durability=False, shards: int | None = None):
+                 durability=False, shards: int | None = None,
+                 slo=False):
         MobileSenSocialManager.reset_instances()
         self.world = World(seed=seed)
+        #: The SLO control plane needs the tracer's terminal stream.
+        observability = observability or bool(slo)
         #: ``None`` deploys the classic monolithic server; an integer
         #: deploys a :class:`repro.cluster.ClusterCoordinator` over
         #: that many shard workers (``shards=1`` is bit-identical to
@@ -112,6 +115,18 @@ class SenSocialTestbed:
         # lands would be dropped (deployments start the server first).
         self.world.run_for(1.0)
 
+        #: SLO control plane, or ``None`` — pass ``slo=True`` for the
+        #: stock objectives or a
+        #: :class:`repro.obs.SloControlPlaneConfig` to tune them.
+        self.slo = None
+        if slo:
+            from repro.obs import SloControlPlane, SloControlPlaneConfig
+            slo_config = slo if isinstance(slo, SloControlPlaneConfig) \
+                else None
+            self.slo = SloControlPlane(
+                self.world, self.server, config=slo_config,
+                durabilities=self.durabilities).start()
+
         self.facebook = OsnService(self.world, "facebook")
         self.twitter = OsnService(self.world, "twitter")
         self.facebook_plugin = FacebookPlugin(
@@ -145,6 +160,10 @@ class SenSocialTestbed:
         manager = MobileSenSocialManager.get_sensocial_manager(
             self.world, phone, self.network, classifiers=self.classifiers)
         manager.start(location_update_period_s=self._location_update_period_s)
+        if self.slo is not None:
+            # Only SLO-managed deployments listen for rate pushes, so
+            # plain runs exchange exactly the same MQTT packets.
+            manager.mqtt.enable_rate_control()
         if "facebook" in platforms:
             self.facebook.register_user(user_id)
             self.facebook_plugin.register_user(user_id)

@@ -46,3 +46,16 @@ class SensingConfig:
 
     def to_settings(self) -> dict:
         return {"duty_cycle_s": self.duty_cycle_s, "sample_rate": self.sample_rate}
+
+    def scaled(self, factor: float) -> "SensingConfig":
+        """This config with the duty cycle stretched by ``factor``.
+
+        Used by server-pushed rate backoff: factor 2 halves the
+        sensing rate.  Factor 1.0 returns an identical config (and
+        ``duty_cycle_s * 1.0`` is exact in IEEE-754, preserving
+        bit-identity when no backoff is in force).
+        """
+        if factor <= 0:
+            raise SensorError(f"rate factor must be > 0, got {factor}")
+        return SensingConfig(duty_cycle_s=self.duty_cycle_s * factor,
+                             sample_rate=self.sample_rate)

@@ -1,0 +1,107 @@
+"""Regression tests for the Prometheus text exporter: label-value
+escaping against hostile inputs, exactly-one ``# TYPE`` line per
+metric family, and peak-tracked gauge sampling."""
+
+from repro.obs import Telemetry
+from repro.obs.registry import escape_label_value
+
+
+class TestLabelEscaping:
+    def test_backslash_escaped_before_quote_and_newline(self):
+        assert escape_label_value('\\') == '\\\\'
+        assert escape_label_value('"') == '\\"'
+        assert escape_label_value('\n') == '\\n'
+        # A pre-escaped sequence must not collapse: the backslash is
+        # doubled first, then the quote gets its own escape.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_plain_values_pass_through(self):
+        assert escape_label_value("device-01_x") == "device-01_x"
+
+    def test_hostile_label_values_in_export(self):
+        telemetry = Telemetry()
+        telemetry.counter("records", device='d"1', path="C:\\tmp").inc(3)
+        telemetry.gauge("depth", note="line1\nline2").set(2.0)
+        text = telemetry.to_prometheus()
+        assert 'device="d\\"1"' in text
+        assert 'path="C:\\\\tmp"' in text
+        assert 'note="line1\\nline2"' in text
+        # A raw newline inside a label value would split the sample
+        # into two bogus lines; every line must be TYPE or a sample.
+        for line in text.strip().splitlines():
+            assert line.startswith("# TYPE") or " " in line
+
+    def test_snapshot_keys_escape_too(self):
+        telemetry = Telemetry()
+        telemetry.counter("records", device='d"1').inc()
+        key = next(iter(telemetry.snapshot()))
+        assert key == 'records{device="d\\"1"}'
+
+
+class TestTypeLines:
+    def test_type_line_exactly_once_per_family(self):
+        telemetry = Telemetry()
+        for device in ("d1", "d2", "d3"):
+            telemetry.counter("records_sent", device=device).inc()
+            telemetry.gauge("queue_depth", device=device).set(1.0)
+            telemetry.histogram("latency", device=device).observe(0.5)
+        text = telemetry.to_prometheus()
+        assert text.count("# TYPE records_sent counter") == 1
+        assert text.count("# TYPE queue_depth gauge") == 1
+        assert text.count("# TYPE latency summary") == 1
+        # Three labeled samples per family survive.
+        assert text.count("records_sent{") == 3
+        assert text.count("latency_count{") == 3
+
+    def test_sanitised_names_do_not_duplicate_type_lines(self):
+        telemetry = Telemetry()
+        # Both sanitise to the same exposition name.
+        telemetry.counter("records.sent").inc()
+        telemetry.counter("records-sent").inc()
+        text = telemetry.to_prometheus()
+        assert text.count("# TYPE records_sent counter") == 1
+
+
+class TestPeakGauges:
+    def test_peak_tracks_high_water_mark(self):
+        gauge = Telemetry().gauge("depth")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+        assert gauge.peak == 5.0
+
+    def test_peak_survives_between_samples_until_read(self):
+        gauge = Telemetry().gauge("depth")
+        gauge.set(9.0)
+        gauge.set(1.0)
+        # Two snapshots without a reset both see the same peak.
+        assert gauge.peak == 9.0
+        assert gauge.peak == 9.0
+        assert gauge.read_and_reset_peak() == 9.0
+        # After the read the peak floors at the *current* value — a
+        # still-deep queue must not report as empty.
+        assert gauge.peak == 1.0
+
+    def test_reset_floor_is_current_value_not_zero(self):
+        gauge = Telemetry().gauge("depth")
+        gauge.set(4.0)
+        gauge.read_and_reset_peak()
+        assert gauge.peak == 4.0
+        gauge.set(3.0)
+        assert gauge.read_and_reset_peak() == 4.0
+        assert gauge.peak == 3.0
+
+    def test_new_peak_accumulates_after_reset(self):
+        gauge = Telemetry().gauge("depth")
+        gauge.set(8.0)
+        gauge.read_and_reset_peak()
+        gauge.set(2.0)
+        gauge.set(6.0)
+        assert gauge.read_and_reset_peak() == 8.0  # floor was 8
+        # That read floored the peak at the then-current value, 6.
+        gauge.set(1.0)
+        gauge.set(5.0)
+        assert gauge.read_and_reset_peak() == 6.0
+        gauge.set(2.0)
+        gauge.set(7.0)
+        assert gauge.read_and_reset_peak() == 7.0

@@ -1,0 +1,248 @@
+"""Unit tests for the SLO layer: burn-rate evaluation, the alert
+state machine, the exactly-once transition log, and the exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Alert,
+    AlertLog,
+    FIRING,
+    INACTIVE,
+    PENDING,
+    RESOLVED,
+    SEVERITY_PAGE,
+    SEVERITY_TICKET,
+    SloEvaluator,
+    SloSpec,
+    alerts_to_prometheus,
+)
+
+
+def spec(**overrides) -> SloSpec:
+    base = dict(name="delivery", description="records on time",
+                objective=0.05, fast_window_s=60.0, slow_window_s=300.0,
+                page_burn=4.0, ticket_burn=1.0, for_s=30.0)
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+class TestSloSpec:
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError):
+            spec(objective=0.0)
+        with pytest.raises(ValueError):
+            spec(objective=1.0)
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError):
+            spec(fast_window_s=600.0, slow_window_s=60.0)
+
+
+class TestBurnRates:
+    def test_error_at_objective_burns_at_one(self):
+        evaluator = SloEvaluator()
+        evaluator.register(spec(), lambda: 0.05)
+        evaluator.evaluate(10.0)
+        state = evaluator.state()["delivery"]
+        assert state["burn_fast"] == pytest.approx(1.0)
+        assert state["burn_slow"] == pytest.approx(1.0)
+
+    def test_fast_window_sees_recent_samples_only(self):
+        evaluator = SloEvaluator()
+        errors = iter([1.0, 0.0, 0.0, 0.0, 0.0])
+        evaluator.register(spec(), lambda: next(errors))
+        for at in (10.0, 100.0, 130.0, 145.0, 160.0):
+            evaluator.evaluate(at)
+        state = evaluator.state()["delivery"]
+        # The 1.0 sample at t=10 left the 60s fast window but still
+        # sits in the 300s slow window.
+        assert state["burn_fast"] == pytest.approx(0.0)
+        assert state["burn_slow"] == pytest.approx((1.0 / 5) / 0.05)
+
+    def test_samples_beyond_slow_window_are_dropped(self):
+        evaluator = SloEvaluator()
+        errors = iter([1.0, 0.0])
+        evaluator.register(spec(), lambda: next(errors))
+        evaluator.evaluate(10.0)
+        evaluator.evaluate(400.0)
+        state = evaluator.state()["delivery"]
+        assert state["burn_slow"] == pytest.approx(0.0)
+
+    def test_none_probe_counts_as_full_error(self):
+        evaluator = SloEvaluator()
+        evaluator.register(spec(), lambda: None)
+        evaluator.evaluate(10.0)
+        state = evaluator.state()["delivery"]
+        assert state["last_error"] == 1.0
+        assert state["burn_fast"] == pytest.approx(1.0 / 0.05)
+
+    def test_error_clamped_to_unit_interval(self):
+        evaluator = SloEvaluator()
+        evaluator.register(spec(), lambda: 7.5)
+        evaluator.evaluate(10.0)
+        assert evaluator.state()["delivery"]["last_error"] == 1.0
+
+    def test_duplicate_registration_rejected(self):
+        evaluator = SloEvaluator()
+        evaluator.register(spec(), lambda: 0.0)
+        with pytest.raises(ValueError):
+            evaluator.register(spec(), lambda: 0.0)
+
+
+class TestAlertLifecycle:
+    def drive(self, errors_by_time, slo=None):
+        evaluator = SloEvaluator()
+        feed = dict(errors_by_time)
+        evaluator.register(slo or spec(), lambda: feed[self._now])
+        for at in sorted(feed):
+            self._now = at
+            evaluator.evaluate(at)
+        return evaluator
+
+    def test_pending_then_firing_then_resolved_with_timestamps(self):
+        # Page-level burn from t=100; clears at t=400.
+        feed = {at: (1.0 if 100.0 <= at < 400.0 else 0.0)
+                for at in range(0, 800, 15)}
+        evaluator = self.drive(feed, slo=spec(slow_window_s=120.0))
+        alert = evaluator.alert("delivery")
+        assert alert.state == RESOLVED
+        assert alert.firings == 1 and alert.resolutions == 1
+        entries = evaluator.log.for_alert("delivery")
+        states = [(entry["from"], entry["to"]) for entry in entries]
+        assert states == [(INACTIVE, PENDING), (PENDING, FIRING),
+                          (FIRING, RESOLVED)]
+        pending_at = entries[0]["at"]
+        fired_at = entries[1]["at"]
+        assert pending_at == 105.0  # first tick with the breach
+        assert fired_at - pending_at >= 30.0  # the for-window held
+        assert entries[2]["at"] > 400.0  # resolved only after the fault
+        assert evaluator.log.verify(evaluator.alerts) == []
+
+    def test_blip_is_a_false_alarm_not_a_firing(self):
+        evaluator = SloEvaluator()
+        errors = iter([1.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        evaluator.register(spec(fast_window_s=10.0, slow_window_s=20.0),
+                           lambda: next(errors))
+        for at in (10.0, 40.0, 70.0, 100.0, 130.0, 160.0):
+            evaluator.evaluate(at)
+        alert = evaluator.alert("delivery")
+        assert alert.state == INACTIVE
+        assert alert.firings == 0
+        states = [(e["from"], e["to"])
+                  for e in evaluator.log.for_alert("delivery")]
+        assert states == [(INACTIVE, PENDING), (PENDING, INACTIVE)]
+
+    def test_second_episode_reenters_via_pending(self):
+        log = AlertLog()
+        alert = Alert("a", log)
+        alert.observe(0.0, SEVERITY_PAGE, for_s=10.0)
+        alert.observe(10.0, SEVERITY_PAGE, for_s=10.0)
+        alert.observe(20.0, None, for_s=10.0)
+        alert.observe(30.0, SEVERITY_PAGE, for_s=10.0)
+        alert.observe(40.0, SEVERITY_PAGE, for_s=10.0)
+        assert alert.state == FIRING
+        assert alert.firings == 2 and alert.resolutions == 1
+        assert log.verify({"a": alert}) == []
+
+    def test_severity_upgrades_to_worst_tier_seen(self):
+        log = AlertLog()
+        alert = Alert("a", log)
+        alert.observe(0.0, SEVERITY_TICKET, for_s=10.0)
+        alert.observe(10.0, SEVERITY_PAGE, for_s=10.0)
+        assert alert.state == FIRING
+        assert alert.severity == SEVERITY_PAGE
+
+    def test_ticket_tier_fires_on_slow_burn_only(self):
+        evaluator = SloEvaluator()
+        # 10% errors: slow burn 2 >= 1 (ticket) but fast burn 2 < 4.
+        evaluator.register(spec(), lambda: 0.10)
+        for at in range(0, 120, 15):
+            evaluator.evaluate(float(at))
+        alert = evaluator.alert("delivery")
+        assert alert.state == FIRING
+        assert alert.severity == SEVERITY_TICKET
+
+
+class TestAlertLog:
+    def test_verify_flags_illegal_edge_and_broken_chain(self):
+        log = AlertLog()
+        log.record(1.0, "a", INACTIVE, FIRING, SEVERITY_PAGE)
+        problems = log.verify()
+        assert any("illegal edge" in problem for problem in problems)
+
+    def test_verify_flags_backwards_timestamps(self):
+        log = AlertLog()
+        log.record(10.0, "a", INACTIVE, PENDING, SEVERITY_PAGE)
+        log.record(5.0, "a", PENDING, FIRING, SEVERITY_PAGE)
+        assert any("backwards" in problem for problem in log.verify())
+
+    def test_verify_flags_unbalanced_firings(self):
+        log = AlertLog()
+        log.record(1.0, "a", INACTIVE, PENDING, SEVERITY_PAGE)
+        log.record(2.0, "a", PENDING, FIRING, SEVERITY_PAGE)
+        log.record(3.0, "a", FIRING, RESOLVED, SEVERITY_PAGE)
+        log.record(4.0, "a", RESOLVED, PENDING, SEVERITY_PAGE)
+        log.record(5.0, "a", PENDING, FIRING, SEVERITY_PAGE)
+        # Two firings, one resolution, episode still open: balanced.
+        assert log.verify() == []
+        log.record(6.0, "a", FIRING, RESOLVED, SEVERITY_PAGE)
+        log.record(7.0, "a", RESOLVED, PENDING, SEVERITY_PAGE)
+        log.record(8.0, "a", PENDING, INACTIVE, None)
+        assert log.verify() == []
+
+    def test_fired_and_counts(self):
+        log = AlertLog()
+        assert not log.fired("a")
+        log.record(1.0, "a", INACTIVE, PENDING, SEVERITY_PAGE)
+        assert not log.fired("a")
+        log.record(2.0, "a", PENDING, FIRING, SEVERITY_PAGE)
+        assert log.fired("a")
+        assert log.transition_counts()[("a", FIRING)] == 1
+
+    def test_jsonl_round_trips(self):
+        log = AlertLog()
+        log.record(1.5, "a", INACTIVE, PENDING, SEVERITY_PAGE)
+        lines = log.to_jsonl().strip().splitlines()
+        doc = json.loads(lines[0])
+        assert doc["kind"] == "alert_transition"
+        assert doc["alert"] == "a" and doc["at"] == 1.5
+
+
+class TestAlertsPrometheus:
+    def test_active_alerts_render_with_type_once(self):
+        log = AlertLog()
+        alerts = {"a": Alert("a", log), "b": Alert("b", log)}
+        alerts["a"].observe(0.0, SEVERITY_PAGE, for_s=0.0)
+        alerts["a"].observe(1.0, SEVERITY_PAGE, for_s=0.0)
+        alerts["b"].observe(1.0, SEVERITY_TICKET, for_s=30.0)
+        text = alerts_to_prometheus(alerts, log)
+        assert text.count("# TYPE ALERTS gauge") == 1
+        assert text.count("# TYPE alert_transitions_total counter") == 1
+        assert 'ALERTS{alertname="a",alertstate="firing",severity="page"} 1' \
+            in text
+        assert 'alertstate="pending"' in text  # b is pending
+
+    def test_resolved_alert_not_exported_as_active(self):
+        log = AlertLog()
+        alert = Alert("a", log)
+        alert.observe(0.0, SEVERITY_PAGE, for_s=0.0)
+        alert.observe(1.0, SEVERITY_PAGE, for_s=0.0)
+        alert.observe(2.0, None, for_s=0.0)
+        text = alerts_to_prometheus({"a": alert}, log)
+        assert "ALERTS{" not in text
+        assert "alert_transitions_total" in text
+
+    def test_hostile_alert_names_are_escaped(self):
+        log = AlertLog()
+        name = 'evil"alert\\with\nnewline'
+        alert = Alert(name, log)
+        alert.observe(0.0, SEVERITY_PAGE, for_s=0.0)
+        text = alerts_to_prometheus({name: alert}, log)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # The raw newline must never split a sample across lines:
+        # one TYPE line + one active-alert sample + one TYPE line +
+        # one transition counter.
+        assert len(text.strip().splitlines()) == 4
+        assert 'alertname="evil\\"alert\\\\with\\nnewline"' in text

@@ -1,0 +1,116 @@
+"""Cluster-facing SLO surfaces: the health rollup through
+``cluster_report()``, the ``slo_rollup()`` shard summary, and the
+missing-shard-burns rule (a crashed shard is an SLO violation, never
+healthy-by-absence)."""
+
+from repro.core.common import Granularity, ModalityType
+from repro.obs import SloControlPlaneConfig
+from repro.obs.control import SLO_WORK_SKEW
+from repro.scenarios.testbed import SenSocialTestbed
+
+USERS = ["alice", "bob", "carol"]
+
+
+def deploy(shards=3, *, slo=False, seed=7):
+    testbed = SenSocialTestbed(seed=seed, shards=shards, durability=True,
+                               slo=slo)
+    for user_id in USERS:
+        node = testbed.add_user(user_id, "Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True,
+                                   settings={"duty_cycle_s": 20.0})
+    return testbed
+
+
+class TestSloRollup:
+    def test_healthy_cluster_reports_every_shard(self):
+        testbed = deploy()
+        testbed.run(60.0)
+        rollup = testbed.server.slo_rollup()
+        assert len(rollup["statuses"]) == 3
+        assert rollup["missing"] == []
+        assert rollup["skew"] >= 1.0
+
+    def test_crashed_shard_lands_in_missing(self):
+        testbed = deploy()
+        testbed.run(60.0)
+        dead = testbed.server.crash_shard(1)
+        rollup = testbed.server.slo_rollup()
+        assert rollup["missing"] == [dead.shard_id]
+        assert dead.shard_id not in rollup["statuses"]
+        assert len(rollup["statuses"]) == 2
+
+    def test_missing_shard_burns_not_healthy(self):
+        """The work-skew probe returns None for a cluster with a dead
+        shard, and the evaluator books that as a full error — missing
+        telemetry is indistinguishable from an outage."""
+        # work_skew_threshold raised: three users over three shards
+        # place unevenly, and this test is about the missing-shard
+        # rule, not placement skew.
+        testbed = deploy(slo=SloControlPlaneConfig(
+            eval_period_s=5.0, fast_window_s=30.0, slow_window_s=60.0,
+            for_s=10.0, work_skew_threshold=50.0))
+        testbed.run(60.0)
+        state = testbed.slo.evaluator.state()[SLO_WORK_SKEW]
+        assert state["last_error"] == 0.0  # healthy first
+        testbed.server.crash_shard(1)
+        testbed.run(30.0)
+        state = testbed.slo.evaluator.state()[SLO_WORK_SKEW]
+        assert state["last_error"] == 1.0
+        assert state["burn_fast"] > 0.0
+        alert = testbed.slo.evaluator.alert(SLO_WORK_SKEW)
+        assert alert.state in ("pending", "firing")
+
+    def test_rebalance_clears_the_burn(self):
+        testbed = deploy(slo=SloControlPlaneConfig(
+            eval_period_s=5.0, fast_window_s=15.0, slow_window_s=30.0,
+            for_s=5.0, work_skew_threshold=50.0))
+        testbed.run(60.0)
+        testbed.server.crash_shard(1)
+        testbed.run(30.0)
+        assert testbed.slo.evaluator.state()[SLO_WORK_SKEW]["last_error"] \
+            == 1.0
+        testbed.server.rebalance()
+        testbed.run(60.0)
+        state = testbed.slo.evaluator.state()[SLO_WORK_SKEW]
+        assert state["last_error"] == 0.0
+        assert testbed.server.slo_rollup()["missing"] == []
+
+
+class TestClusterReportSurface:
+    def test_cluster_report_has_no_slo_section_by_default(self):
+        testbed = deploy()
+        testbed.run(30.0)
+        assert testbed.server.cluster_report()["slo"] is None
+
+    def test_cluster_report_carries_the_slo_summary(self):
+        testbed = deploy(slo=True)
+        testbed.run(60.0)
+        doc = testbed.server.cluster_report()["slo"]
+        assert doc is not None
+        assert SLO_WORK_SKEW in doc["slos"]
+        assert doc["backoff_factor"] == 1.0
+        assert isinstance(doc["firing"], list)
+
+    def test_health_rollup_degrades_on_shard_crash(self):
+        """The aggregated Healthcheck surfaced by ``cluster_report``'s
+        sibling ``health()`` flips to DEGRADED, while per-shard docs
+        and summed counters stay intact."""
+        testbed = deploy()
+        testbed.run(60.0)
+        healthy = testbed.server.health()
+        assert healthy["status"] == "ok"
+        assert len(healthy["shards"]) == 3
+        received_before = healthy["counters"]["records_received"]
+        testbed.server.crash_shard(1)
+        degraded = testbed.server.health()
+        assert degraded["status"] == "degraded"
+        # Records ingested before the crash stay counted in the rollup.
+        assert degraded["counters"]["records_received"] >= received_before
+        assert degraded["database"]["status"] is not None
+
+    def test_monolith_has_no_rollup_and_registers_no_skew_slo(self):
+        testbed = SenSocialTestbed(seed=7, durability=True, slo=True)
+        assert not hasattr(testbed.server, "slo_rollup")
+        assert SLO_WORK_SKEW not in testbed.slo.evaluator.state()

@@ -1,0 +1,140 @@
+"""The closed loop: a burning delivery-delay SLO pushes a sensing
+backoff to devices over MQTT, and resolution restores the rate.
+
+Also pins the disabled-is-identity contract: ``slo=False`` deploys no
+control plane, subscribes no rate topic, and a ``scaled(1.0)`` rate
+push is an exact no-op (``duty_cycle_s * 1.0`` is IEEE-754 exact)."""
+
+import pytest
+
+from repro.core.common import Granularity, ModalityType
+from repro.obs import FIRING, INACTIVE, RESOLVED, SloControlPlane, \
+    SloControlPlaneConfig
+from repro.obs.control import SLO_DELIVERY_DELAY
+from repro.scenarios.testbed import SenSocialTestbed
+from repro.device.errors import SensorError
+from repro.sensing import SensingConfig
+
+#: Small windows so a ten-minute virtual run sees full episodes.
+TUNED = dict(eval_period_s=5.0, fast_window_s=30.0, slow_window_s=60.0,
+             for_s=10.0, delivery_delay_threshold_s=10.0,
+             backoff_factor=4.0)
+
+
+def run_loop(seed: int, *, slo, latency_s: float = 12.0):
+    """Healthy minute, three slow-storage minutes, three recovery
+    minutes.  One user on a 10 s duty cycle: a 12 s write latency
+    pushes service time past inter-arrival, so the backlog (and the
+    sense-to-server delay) grows until the loop sheds load."""
+    config = SloControlPlaneConfig(**TUNED) if slo else False
+    testbed = SenSocialTestbed(seed=seed, durability=True,
+                               observability=True, slo=config)
+    node = testbed.add_user("alice", "Paris")
+    node.manager.create_stream(ModalityType.ACCELEROMETER,
+                               Granularity.CLASSIFIED,
+                               send_to_server=True,
+                               settings={"duty_cycle_s": 10.0})
+    testbed.run(60.0)
+    testbed.durability.medium.write_latency_s = latency_s
+    testbed.run(180.0)
+    testbed.durability.medium.write_latency_s = 0.0
+    testbed.run(180.0)
+    return testbed, node
+
+
+class TestClosedLoop:
+    def test_burn_fires_backs_off_and_restores(self):
+        testbed, node = run_loop(7, slo=True)
+        plane = testbed.slo
+        log = plane.log
+
+        # The delivery-delay alert went through a full episode with
+        # clean exactly-once accounting.
+        assert log.fired(SLO_DELIVERY_DELAY)
+        assert log.verify(plane.evaluator.alerts) == []
+        alert = plane.evaluator.alert(SLO_DELIVERY_DELAY)
+        assert alert.state in (RESOLVED, INACTIVE)
+
+        # Firing pushed a backoff to the device; resolution restored it.
+        assert plane.backoffs_pushed >= 1
+        assert plane.restores_pushed >= 1
+        assert plane.rate_pushes >= 2
+        assert node.manager.rate_backoffs_applied >= 2
+        assert node.manager.rate_backoff_factor == 1.0  # restored
+        assert node.manager.mqtt.rate_updates_received >= 2
+
+        # Transition timestamps are ordered: pending before firing
+        # before resolution, with the for-window honoured.
+        entries = log.for_alert(SLO_DELIVERY_DELAY)
+        fired = [e for e in entries if e["to"] == FIRING]
+        assert fired[0]["at"] >= 60.0  # not before the fault
+        pending_at = entries[0]["at"]
+        assert fired[0]["at"] - pending_at >= TUNED["for_s"]
+
+    def test_backoff_measurably_reduces_publish_rate(self):
+        """The same fault without a control plane produces strictly
+        more sensed records: the backoff visibly throttled the device."""
+        unmanaged, _ = run_loop(7, slo=False)
+        managed, node = run_loop(7, slo=True)
+        assert managed.slo.backoffs_pushed >= 1
+        unmanaged_sent = unmanaged.node("alice").manager.records_transmitted
+        managed_sent = node.manager.records_transmitted
+        assert managed_sent < unmanaged_sent
+
+    def test_loop_reports_its_actions(self):
+        testbed, _ = run_loop(7, slo=True)
+        report = testbed.slo.report()
+        assert report["accounting_problems"] == []
+        assert report["actions"]["backoffs_pushed"] >= 1
+        assert report["evaluations"] >= 80  # 420 s / 5 s, minus start-up
+        summary = testbed.slo.summary()
+        assert SLO_DELIVERY_DELAY in summary["slos"]
+        assert summary["backoff_factor"] == 1.0
+
+
+class TestDisabledIsIdentity:
+    def test_no_plane_means_no_machinery(self):
+        testbed = SenSocialTestbed(seed=5, durability=True,
+                                   observability=True)
+        node = testbed.add_user("alice", "Paris")
+        assert testbed.slo is None
+        assert getattr(testbed.server, "slo_control", None) is None
+        assert node.manager.mqtt.rate_updates_received == 0
+        assert node.manager.rate_backoff_factor == 1.0
+
+    def test_off_runs_are_reproducible(self):
+        first, _ = run_loop(13, slo=False)
+        second, _ = run_loop(13, slo=False)
+        assert first.network.messages_sent == second.network.messages_sent
+        assert first.server.records_received == second.server.records_received
+
+    def test_managed_runs_are_reproducible(self):
+        first, _ = run_loop(13, slo=True)
+        second, _ = run_loop(13, slo=True)
+        assert first.network.messages_sent == second.network.messages_sent
+        assert first.slo.report() == second.slo.report()
+
+    def test_scaled_unity_is_exact(self):
+        config = SensingConfig(duty_cycle_s=0.1, sample_rate=3.0)
+        scaled = config.scaled(1.0)
+        assert scaled.duty_cycle_s == config.duty_cycle_s
+        with pytest.raises(SensorError):
+            config.scaled(0.0)
+
+    def test_unity_rate_push_is_a_no_op(self):
+        testbed = SenSocialTestbed(seed=5, durability=True,
+                                   observability=True)
+        node = testbed.add_user("alice", "Paris")
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+        node.manager.apply_rate_backoff(1.0)
+        assert node.manager.rate_backoffs_applied == 0
+        assert node.manager.rate_backoff_factor == 1.0
+
+
+class TestConstruction:
+    def test_plane_requires_the_obs_hub(self):
+        testbed = SenSocialTestbed(seed=5, durability=True)
+        with pytest.raises(ValueError):
+            SloControlPlane(testbed.world, testbed.server)
