@@ -108,9 +108,10 @@ def _chaos(args) -> int:
     horizon = args.minutes * 60.0
     plan = build_plan(args.plan, horizon)
     # A plan that declares expected SLO alerts needs the control plane
-    # (and the durable ingest path its storage faults act on).
+    # (and the durable ingest path its storage faults act on); plans
+    # that damage the journal itself need a journal to damage.
     slo = getattr(args, "slo", False) or bool(plan.expected_alerts)
-    durability = args.durability or slo
+    durability = args.durability or slo or plan.needs_durable_journal
     testbed = SenSocialTestbed(seed=args.seed, observability=args.obs,
                                durability=durability, slo=slo)
     cities = ["Paris", "Bordeaux", "London"]
@@ -137,7 +138,99 @@ def _chaos(args) -> int:
         for problem in problems:
             print(f"ALERT ACCOUNTING: {problem}", file=sys.stderr)
         failed = failed or unfired or problems
+    failed = _check_recovery_expectations(plan, report) or failed
     return 1 if failed else 0
+
+
+def _check_recovery_expectations(plan, report) -> bool:
+    """Durable runs must account every injected corruption — and show
+    none the plan didn't declare.  The expectations derive from the
+    plan's own events (one torn frame per ``journal_torn_write``, ...),
+    so an *undeclared* quarantined/torn frame fails the run loudly.
+    Returns True when the run must fail."""
+    durability = report.server.get("durability")
+    if durability is None:
+        return False
+    counters = durability.get("counters", {})
+    failed = False
+    for name, want in sorted(plan.expected_recovery().items()):
+        got = int(counters.get(name, 0))
+        if got != want:
+            print(f"RECOVERY ACCOUNTING: {name} = {got}, "
+                  f"plan expected {want}", file=sys.stderr)
+            failed = True
+    return failed
+
+
+def _replay(args) -> int:
+    """Run a (possibly chaotic) durable scenario, then re-derive every
+    store from its journal and fingerprint-compare against the live
+    state — the divergence oracle.  ``--verify`` exits 1 on mismatch."""
+    from repro import Granularity, ModalityType, SenSocialTestbed
+    from repro.faults import ChaosController, build_plan
+
+    horizon = args.minutes * 60.0
+    plan = build_plan(args.plan, horizon)
+    testbed = SenSocialTestbed(seed=args.seed, durability=True,
+                               shards=args.shards)
+    cities = ["Paris", "Bordeaux", "London"]
+    for index in range(args.users):
+        node = testbed.add_user(f"user{index}",
+                                home_city=cities[index % len(cities)])
+        node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                   Granularity.CLASSIFIED,
+                                   send_to_server=True)
+    controller = ChaosController(testbed)
+    if not plan.is_empty:
+        controller.apply(plan)
+    testbed.run(horizon)
+    testbed.run(args.drain)
+    server = testbed.server
+    if hasattr(server, "verify_replay"):  # sharded cluster coordinator
+        verdict = server.verify_replay()
+    else:
+        doc = server.durability.verify_replay()
+        verdict = {"match": doc["match"], "shards_verified": 1,
+                   "shards": {"server": doc}}
+    print(f"replay report — plan {plan.name!r} @ {testbed.world.now:.1f}s "
+          f"({verdict['shards_verified']} store(s) verified)")
+    for name, doc in sorted(verdict["shards"].items()):
+        scan = doc["scan"]
+        state = "match" if doc["match"] else "DIVERGED"
+        print(f"  {name:12s} {state:9s} live={doc['live_fingerprint']} "
+              f"replayed={doc['replayed_fingerprint']}")
+        print(f"  {'':12s} {doc['replayed']} entries replayed "
+              f"({doc['replay_failed']} failed, "
+              f"{doc['lost_appends']} lost appends), "
+              f"snapshot {scan['snapshot_status']}, "
+              f"{scan['scanned_frames']} frames scanned "
+              f"({scan['quarantined_frames']} quarantined, "
+              f"{scan['torn_frames']} torn)")
+    if args.backfill:
+        # Bounded, idempotent backfill demo over the retained history:
+        # batches of --backfill entries, resumed from the returned
+        # progress checkpoint until the window is exhausted.
+        durability = getattr(server, "durability", None)
+        republished: list = []
+        checkpoint, batches = None, 0
+        while True:
+            checkpoint = durability.backfill(republished.append,
+                                             limit=args.backfill,
+                                             checkpoint=checkpoint)
+            batches += 1
+            if checkpoint.exhausted:
+                break
+        print(f"  backfill     {checkpoint.published} ingest entries "
+              f"re-published in {batches} batches of <= {args.backfill}")
+    if not verdict["match"]:
+        diverged = [name for name, doc in sorted(verdict["shards"].items())
+                    if not doc["match"]]
+        print(f"REPLAY DIVERGENCE: live state does not match the "
+              f"journal-derived state on {', '.join(diverged)}",
+              file=sys.stderr)
+        if args.verify:
+            return 1
+    return 0
 
 
 def _slo(args) -> int:
@@ -369,6 +462,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "alerts + adaptive sensing backoff); implied "
                             "by plans that declare expected alerts")
     chaos.set_defaults(handler=_chaos)
+
+    replay = subparsers.add_parser(
+        "replay", help="run a durable scenario, re-derive every store "
+                       "from snapshot+journal, and fingerprint-compare "
+                       "against the live state")
+    replay.add_argument("--plan", choices=sorted(NAMED_PLANS),
+                        default="none",
+                        help="optional fault plan to run underneath")
+    replay.add_argument("--seed", type=int, default=7)
+    replay.add_argument("--users", type=int, default=3)
+    replay.add_argument("--shards", type=int, default=None,
+                        help="deploy a sharded cluster and verify each "
+                             "shard's store against its own journal")
+    replay.add_argument("--minutes", type=float, default=10.0)
+    replay.add_argument("--drain", type=float, default=120.0,
+                        help="quiet seconds appended before verifying")
+    replay.add_argument("--verify", action="store_true",
+                        help="exit 1 on any live-vs-replayed "
+                             "fingerprint divergence")
+    replay.add_argument("--backfill", type=int, default=None, metavar="N",
+                        help="also re-publish the retained ingest "
+                             "history in bounded batches of N (backfill "
+                             "demo)")
+    replay.set_defaults(handler=_replay)
 
     slo = subparsers.add_parser(
         "slo", help="run a durable, SLO-managed scenario under a fault "

@@ -1142,6 +1142,27 @@ class ClusterCoordinator(Endpoint):
             detail=f"cluster durability over {len(docs)} shards",
             counters=counters, shards=docs)
 
+    def verify_replay(self) -> dict:
+        """Per-shard replay divergence oracle.
+
+        Runs :meth:`ServerDurability.verify_replay` on every active,
+        non-crashed durable shard: each shard's live store is
+        fingerprint-compared against an offline re-derivation from its
+        own snapshot + journal.  ``match`` is True only when *every*
+        shard matches — ``repro replay --verify`` exits nonzero
+        otherwise.
+        """
+        shards: dict[str, dict] = {}
+        for shard in self.shard_workers():
+            if shard.durability is None or shard.crashed:
+                continue
+            shards[shard.shard_id] = shard.durability.verify_replay()
+        return {
+            "match": all(doc["match"] for doc in shards.values()),
+            "shards_verified": len(shards),
+            "shards": shards,
+        }
+
     def slo_rollup(self) -> dict:
         """Per-shard health rollup for the SLO work-skew probe.
 

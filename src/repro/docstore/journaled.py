@@ -94,5 +94,8 @@ class JournaledDocumentStore(DocumentStore):
             "entries_written": self.journal.entries_written,
             "checkpoints": self.journal.medium.checkpoints,
             "append_failures": self.journal.medium.append_failures,
+            "lost_appends": self.journal.lost_appends,
+            "truncated_entries": self.journal.medium.truncated_entries,
+            "log_bytes": self.journal.medium.log_bytes,
         }
         return doc

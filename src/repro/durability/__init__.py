@@ -18,9 +18,16 @@ attached is bit-identical to one on a build without this package.
 
 from repro.durability.admission import AdmissionController, IntakeItem
 from repro.durability.breaker import CircuitBreaker
+from repro.durability.codec import fingerprint, fingerprint_store
 from repro.durability.config import DurabilityConfig
 from repro.durability.controller import ServerDurability
-from repro.durability.errors import DurabilityError, StorageWriteError
+from repro.durability.errors import (
+    CodecError,
+    CorruptFrameError,
+    DurabilityError,
+    SnapshotCorruptError,
+    StorageWriteError,
+)
 from repro.durability.fair import FairAdmissionController
 from repro.durability.journal import (
     JournalEntry,
@@ -30,20 +37,37 @@ from repro.durability.journal import (
     replay,
 )
 from repro.durability.quarantine import DeadLetterQuarantine
+from repro.durability.recovery import (
+    BackfillCheckpoint,
+    FrameIssue,
+    JournalBackfill,
+    RecoveryScan,
+    run_recovery_scan,
+)
 
 __all__ = [
     "AdmissionController",
+    "BackfillCheckpoint",
     "CircuitBreaker",
+    "CodecError",
+    "CorruptFrameError",
     "DeadLetterQuarantine",
     "DurabilityConfig",
     "DurabilityError",
     "FairAdmissionController",
+    "FrameIssue",
     "IntakeItem",
+    "JournalBackfill",
     "JournalEntry",
+    "RecoveryScan",
     "ReplayResult",
     "ServerDurability",
+    "SnapshotCorruptError",
     "StorageMedium",
     "StorageWriteError",
     "WriteAheadJournal",
+    "fingerprint",
+    "fingerprint_store",
     "replay",
+    "run_recovery_scan",
 ]

@@ -18,6 +18,12 @@ class DurabilityConfig:
 
     #: Journal entries accumulated before a snapshot+truncate checkpoint.
     checkpoint_interval: int = 1024
+    #: Keep checkpointed frames on the medium as replayable history
+    #: (journal-as-history): backs ``repro replay``, backfill, and the
+    #: full-history fallback when the snapshot frame rots.  Turning it
+    #: off restores the physical-truncation behaviour (smaller medium,
+    #: no fallback).
+    retain_history: bool = True
     #: Hard bound on the ingest intake queue.
     intake_capacity: int = 256
     #: Queue fraction at which watermark shedding starts.

@@ -35,6 +35,11 @@ from repro.durability.errors import StorageWriteError
 from repro.durability.fair import FairAdmissionController
 from repro.durability.journal import StorageMedium, WriteAheadJournal, replay
 from repro.durability.quarantine import DeadLetterQuarantine
+from repro.durability.recovery import (
+    BackfillCheckpoint,
+    JournalBackfill,
+    run_recovery_scan,
+)
 from repro.obs.health import STATUS_DEGRADED, STATUS_OK, Healthcheck
 
 
@@ -63,12 +68,31 @@ class ServerDurability:
         self.breaker = CircuitBreaker(self.config.breaker_trip_after,
                                       self.config.breaker_reset_s)
         self.quarantine = DeadLetterQuarantine(self.config.quarantine_capacity)
+        self.medium.retain_history = self.config.retain_history
+        self.medium.observer = self._observe_medium
         self.records_shed = 0
         self.records_quarantined = 0
         self.pending_duplicates = 0
         self.crash_wiped = 0
         self.replayed_entries = 0
         self.recoveries = 0
+        #: Corruption accounting, aggregated across recoveries.
+        self.frames_quarantined = 0
+        self.frames_torn = 0
+        self.frames_discarded = 0
+        self.bytes_truncated = 0
+        self.snapshot_fallbacks = 0
+        self.snapshot_unrecoverable = 0
+        #: Sticky: a recovery scan found acked-loss damage (a
+        #: quarantined frame or an unrecoverable snapshot).  Health
+        #: stays degraded — this store diverged from what it acked.
+        self.corruption_detected = False
+        #: ``RecoveryScan.to_dict()`` + replay outcome of the last
+        #: recovery, for the chaos report's recovery section.
+        self.last_recovery: dict[str, Any] | None = None
+        #: Replay failure taxonomy across recoveries (op/collection/
+        #: error per entry whose apply failed).
+        self.replay_failures: list[dict[str, Any]] = []
         #: Bumped on every crash; a drain step scheduled before the
         #: crash sees a stale epoch and dies instead of running twice.
         self._epoch = 0
@@ -97,6 +121,12 @@ class ServerDurability:
     @property
     def _obs(self):
         return self.server.obs if self.server is not None else None
+
+    def _observe_medium(self, name: str, amount: int) -> None:
+        """Medium-level counter callback → Telemetry (when wired)."""
+        obs = self._obs
+        if obs is not None:
+            obs.telemetry.counter(name).inc(amount)
 
     # -- intake -------------------------------------------------------
 
@@ -236,6 +266,14 @@ class ServerDurability:
     def recover(self) -> tuple[JournaledDocumentStore, list[str]]:
         """Rebuild the store from snapshot + journal replay.
 
+        The medium is scanned and classified first
+        (:func:`~repro.durability.recovery.run_recovery_scan`): a torn
+        tail is truncated (never acked, zero acked loss), a mid-log CRC
+        mismatch quarantines the frame and recovers the longest valid
+        prefix while flagging sticky-degraded health, and a rotten
+        snapshot falls back to full-history replay when the log still
+        reaches back to genesis.
+
         Returns the recovered store and the record ids (snapshot dedup
         state, then replayed ingests in journal order) the manager must
         feed back into a fresh dedup window.
@@ -243,16 +281,30 @@ class ServerDurability:
         store = self.build_store()  # fresh journal bound to the medium
         journal = self.journal
         dedup_ids: list[str] = []
-        snapshot = self.medium.load_snapshot()
-        entries = list(self.medium.entries)
+        scan = run_recovery_scan(self.medium, repair=True)
         with journal.suspended():
-            if snapshot is not None:
-                store.restore(snapshot["store"])
-                dedup_ids.extend(snapshot.get("dedup", []))
-            result = replay(store, entries)
+            if scan.snapshot is not None:
+                store.restore(scan.snapshot["store"])
+                dedup_ids.extend(scan.snapshot.get("dedup", []))
+            result = replay(store, scan.entries)
         dedup_ids.extend(result.dedup_ids)
         self.replayed_entries += result.applied
         self.recoveries += 1
+        self.frames_quarantined += scan.quarantined_frames
+        self.frames_torn += scan.torn_frames
+        self.frames_discarded += scan.discarded_frames
+        self.bytes_truncated += scan.truncated_bytes
+        self.snapshot_fallbacks += int(scan.used_full_history)
+        self.snapshot_unrecoverable += int(scan.snapshot_unrecoverable)
+        if not scan.clean:
+            self.corruption_detected = True
+        self.replay_failures.extend(result.failures)
+        self.last_recovery = {
+            "scan": scan.to_dict(),
+            "replayed": result.applied,
+            "replay_failed": result.failed,
+            "replay_failures": list(result.failures),
+        }
         obs = self._obs
         if obs is not None:
             from repro.obs.trace import TraceContext
@@ -261,6 +313,17 @@ class ServerDurability:
                                 record_id=record_id)
             obs.telemetry.counter("journal_entries_replayed").inc(
                 result.applied)
+            obs.telemetry.counter("recovery_scans").inc()
+            for name, amount in (
+                    ("journal_frames_quarantined", scan.quarantined_frames),
+                    ("journal_frames_torn", scan.torn_frames),
+                    ("journal_frames_discarded", scan.discarded_frames),
+                    ("journal_bytes_truncated", scan.truncated_bytes),
+                    ("journal_snapshot_fallbacks",
+                     int(scan.used_full_history)),
+                    ("journal_replay_failures", result.failed)):
+                if amount:
+                    obs.telemetry.counter(name).inc(amount)
         return store, dedup_ids
 
     def finish_recovery(self) -> None:
@@ -296,8 +359,68 @@ class ServerDurability:
                         {key: value for key, value in doc.items()
                          if key != "_id"})
                     imported += 1
+        # The bulk load bypassed the journal: the log can no longer
+        # reproduce state from seq 0, so a rotten snapshot has no
+        # full-history fallback on this shard.
+        self.medium.mark_history_incomplete()
         self.journal.checkpoint()
         return imported
+
+    # -- replay oracle / backfill -------------------------------------
+
+    def replay_store(self):
+        """Re-derive a store offline from the medium, without touching
+        the live one: a read-only recovery scan (no torn-tail repair)
+        replayed onto a fresh plain :class:`DocumentStore`.
+
+        Returns ``(store, scan, replay_result)``.
+        """
+        from repro.docstore.store import DocumentStore
+
+        scan = run_recovery_scan(self.medium, repair=False)
+        name = self.store.name if self.store is not None else "sensocial"
+        store = DocumentStore(name)
+        if scan.snapshot is not None:
+            store.restore(scan.snapshot["store"])
+        result = replay(store, scan.entries)
+        return store, scan, result
+
+    def verify_replay(self) -> dict[str, Any]:
+        """The divergence oracle: fingerprint the live store against an
+        offline snapshot+journal re-derivation.
+
+        A mismatch means the durable history does not reproduce the
+        state the server is serving — a dirty write the journal
+        absorbed (``lost_appends``), unrepaired damage, or a bug.
+        ``repro replay --verify`` exits nonzero on it.
+        """
+        from repro.durability.codec import fingerprint_store
+
+        replayed, scan, result = self.replay_store()
+        live = fingerprint_store(self.store)
+        derived = fingerprint_store(replayed)
+        return {
+            "match": live == derived,
+            "live_fingerprint": live,
+            "replayed_fingerprint": derived,
+            "lost_appends": self.journal.lost_appends if self.journal else 0,
+            "replayed": result.applied,
+            "replay_failed": result.failed,
+            "scan": scan.to_dict(),
+        }
+
+    def backfill(self, publish, *, ops=("ingest",),
+                 collection: str | None = None, start_seq: int = 0,
+                 end_seq: int | None = None, limit: int | None = None,
+                 checkpoint: BackfillCheckpoint | None = None,
+                 ) -> BackfillCheckpoint:
+        """Re-publish a bounded window of retained journal history
+        through ``publish`` (a newly registered stream/filter adapter);
+        see :class:`~repro.durability.recovery.JournalBackfill`."""
+        backfill = JournalBackfill(self.medium, ops=ops,
+                                   collection=collection)
+        return backfill.run(publish, start_seq=start_seq, end_seq=end_seq,
+                            limit=limit, checkpoint=checkpoint)
 
     def bootstrap_work(self) -> dict[str, int]:
         """Deterministic cost counters of this shard's journal medium
@@ -310,11 +433,16 @@ class ServerDurability:
 
     def health(self) -> dict:
         degraded = (self.breaker.is_open or len(self.admission) > 0
-                    or len(self.quarantine) > 0)
+                    or len(self.quarantine) > 0
+                    or self.corruption_detected)
         extra: dict[str, Any] = {}
         if isinstance(self.admission, FairAdmissionController):
             extra["fair_admission"] = True
             extra["fair_sources"] = len(self.admission.fairness_report())
+        if self.last_recovery is not None:
+            extra["recovery"] = self.last_recovery
+        if self.corruption_detected:
+            extra["corruption_detected"] = True
         return Healthcheck.build(
             status=STATUS_DEGRADED if degraded else STATUS_OK,
             detail=(f"durability: breaker {self.breaker.state}, "
@@ -335,6 +463,14 @@ class ServerDurability:
                 "checkpoints": self.medium.checkpoints,
                 "replayed_entries": self.replayed_entries,
                 "recoveries": self.recoveries,
+                "journal_frames_quarantined": self.frames_quarantined,
+                "journal_frames_torn": self.frames_torn,
+                "journal_frames_discarded": self.frames_discarded,
+                "journal_bytes_truncated": self.bytes_truncated,
+                "journal_snapshot_fallbacks": self.snapshot_fallbacks,
+                "journal_snapshot_unrecoverable": self.snapshot_unrecoverable,
+                "journal_truncated_entries": self.medium.truncated_entries,
+                "replay_failures": len(self.replay_failures),
                 "breaker_trips": self.breaker.trips,
                 **extra,
             },

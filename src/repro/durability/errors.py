@@ -9,3 +9,16 @@ class DurabilityError(MiddlewareError):
 
 class StorageWriteError(DurabilityError):
     """A write to the durable medium failed (injected or real)."""
+
+
+class CodecError(DurabilityError):
+    """A value cannot be durably encoded, or durable bytes cannot be
+    decoded back into a value."""
+
+
+class CorruptFrameError(DurabilityError):
+    """A journal or snapshot frame failed its integrity check."""
+
+
+class SnapshotCorruptError(CorruptFrameError):
+    """The checkpoint snapshot frame failed its integrity check."""

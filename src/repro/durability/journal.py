@@ -3,10 +3,21 @@
 Every mutating docstore operation appends a compact, replayable
 :class:`JournalEntry` *before* applying in memory (write-ahead), so a
 server crash loses at most work that was never acknowledged.  The
-journal periodically folds itself into a snapshot+truncate checkpoint:
-the medium keeps one full-state snapshot plus the entries appended
-since, and recovery is ``restore(snapshot)`` followed by
-:func:`replay` of the tail.
+journal periodically folds itself into a checkpoint: the medium keeps
+one full-state snapshot plus a *tail pointer* into its byte log, and
+recovery is ``restore(snapshot)`` followed by :func:`replay` of the
+tail.
+
+Entries and snapshots are durable **bytes**, not shared object
+references: each append encodes the entry through
+:mod:`repro.durability.codec` into a length-prefixed, CRC-checksummed
+frame on a contiguous byte log.  That makes the medium honest about
+what a real device delivers — a crash mid-write leaves a *torn tail*,
+bit rot leaves a frame whose CRC no longer matches — and it makes the
+log a verifiable history: by default a checkpoint only advances the
+tail pointer (``retain_history``), so the full frame sequence from
+genesis backs ``repro replay``, backfill, and the snapshot-corruption
+fallback in :mod:`repro.durability.recovery`.
 
 Invariants:
 
@@ -24,22 +35,36 @@ Invariants:
   the snapshot state reproduces the pre-crash state exactly; an entry
   whose original application failed fails identically on replay (the
   store raises the same error from the same state) and is skipped.
+- **Capture-at-append** — the encode happens inside ``append``, so a
+  caller mutating its payload dict afterwards cannot retroactively
+  change what was journaled.
 
-The medium is deliberately simple — an in-process object standing in
+The medium is deliberately simple — an in-process byte log standing in
 for an fsync'd file — but it is the *fault point*: the chaos
-controller injects write failures and latency here, which is what the
-circuit breaker in :mod:`repro.durability.breaker` reacts to.
+controller injects write failures, latency, torn writes and flipped
+bits here, which is what the circuit breaker and the recovery scan
+react to.
 """
 
 from __future__ import annotations
 
-import copy
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.docstore.errors import DocStoreError
-from repro.durability.errors import DurabilityError, StorageWriteError
+from repro.durability import codec
+from repro.durability.codec import (
+    FRAME_CORRUPT,
+    FRAME_OK,
+    FRAME_TORN,
+    read_frame,
+)
+from repro.durability.errors import (
+    DurabilityError,
+    SnapshotCorruptError,
+    StorageWriteError,
+)
 
 
 @dataclass(frozen=True)
@@ -55,26 +80,57 @@ class JournalEntry:
         return {"seq": self.seq, "op": self.op,
                 "collection": self.collection, "payload": self.payload}
 
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "JournalEntry":
+        return cls(seq=doc["seq"], op=doc["op"],
+                   collection=doc["collection"],
+                   payload=doc.get("payload", {}))
+
 
 class StorageMedium:
     """The simulated durable device the journal writes to.
 
-    Holds the latest checkpoint snapshot plus the journal tail, and is
-    the injection point for storage faults: a burst of deterministic
-    write failures (``inject_write_failures``) and extra per-write
-    latency (``write_latency_s``, charged by the drain pump).
+    Holds one framed checkpoint snapshot plus a contiguous byte log of
+    framed journal entries.  ``_tail_offset`` marks where the entries
+    newer than the snapshot begin; everything before it is retained
+    history (unless ``retain_history`` is off, in which case a
+    checkpoint physically drops it, old-style).
+
+    This is the injection point for storage faults: deterministic
+    write failures (``inject_write_failures``), per-write latency
+    (``write_latency_s``), torn appends (``simulate_torn_append``),
+    frame bit rot (``corrupt_frame``) and snapshot bit rot
+    (``corrupt_snapshot``).
     """
 
     def __init__(self) -> None:
-        self.entries: list[JournalEntry] = []
-        self._snapshot: dict[str, Any] | None = None
+        self._log = bytearray()
+        self._tail_offset = 0
+        self._tail_frames = 0
+        self._snapshot_blob: bytes | None = None
         #: Extra seconds each durable write costs (drain pacing).
         self.write_latency_s = 0.0
+        #: Keep pre-snapshot frames at checkpoints (journal-as-history).
+        self.retain_history = True
+        #: True while the log holds every frame since seq 0 — the
+        #: precondition for full-history replay when the snapshot rots.
+        self.history_complete = True
+        #: Optional ``(counter_name, amount)`` callback the durability
+        #: controller wires to Telemetry.
+        self.observer: Callable[[str, int], None] | None = None
         self._fail_writes = 0
+        self._corrupt_next_append = False
         self.appends = 0
         self.append_failures = 0
         self.checkpoints = 0
         self.truncated_entries = 0
+        self.torn_writes = 0
+        self.frames_corrupted = 0
+        self.snapshot_corruptions = 0
+
+    def _observe(self, name: str, amount: int = 1) -> None:
+        if self.observer is not None and amount:
+            self.observer(name, amount)
 
     # -- fault injection ----------------------------------------------
 
@@ -92,31 +148,185 @@ class StorageMedium:
         if self._fail_writes > 0:
             self._fail_writes -= 1
             self.append_failures += 1
+            self._observe("journal_append_failures")
             raise StorageWriteError("journal append failed (injected)")
+
+    def simulate_torn_append(self,
+                             entry: JournalEntry | None = None) -> int:
+        """A crash mid-append: half a frame reaches the platter.
+
+        The torn frame models *new, never-acknowledged* work — the
+        write that was in flight when the power died — so recovery can
+        truncate it with zero acked loss.  Returns the number of bytes
+        that never made it.  Does not count as an append: the caller
+        (the chaos controller) crashes the server in the same breath,
+        exactly like a real torn write.
+        """
+        if entry is None:
+            entry = JournalEntry(seq=-1, op="insert_one",
+                                 collection="__torn__",
+                                 payload={"document": {"torn": True}})
+        frame_bytes = codec.encode_entry(entry)
+        cut = max(codec.FRAME_HEADER.size + 1, len(frame_bytes) // 2)
+        self._log += frame_bytes[:cut]
+        self.torn_writes += 1
+        return len(frame_bytes) - cut
+
+    def corrupt_frame(self) -> bool:
+        """Bit rot: flip a byte in the middle frame of the journal tail.
+
+        Returns True when a frame was damaged in place.  With an empty
+        tail the corruption is *armed* instead — the next append lands
+        damaged — so a plan firing this fault right after a checkpoint
+        still produces exactly one bad frame.
+        """
+        spans = self._tail_spans()
+        if not spans:
+            self._corrupt_next_append = True
+            return False
+        body_start, body_length = spans[len(spans) // 2]
+        self._log[body_start + body_length // 2] ^= 0xFF
+        self.frames_corrupted += 1
+        return True
+
+    def corrupt_snapshot(self) -> bool:
+        """Bit rot in the checkpoint snapshot frame.  Returns True when
+        there was a snapshot to damage."""
+        if self._snapshot_blob is None:
+            return False
+        blob = bytearray(self._snapshot_blob)
+        index = codec.FRAME_HEADER.size + (
+            len(blob) - codec.FRAME_HEADER.size) // 2
+        blob[index] ^= 0xFF
+        self._snapshot_blob = bytes(blob)
+        self.snapshot_corruptions += 1
+        return True
+
+    def _tail_spans(self) -> list[tuple[int, int]]:
+        """``(body_start, body_length)`` of each intact tail frame."""
+        spans: list[tuple[int, int]] = []
+        offset = self._tail_offset
+        while offset < len(self._log):
+            status, body, next_offset = read_frame(self._log, offset)
+            if status != FRAME_OK:
+                break
+            spans.append((offset + codec.FRAME_HEADER.size, len(body)))
+            offset = next_offset
+        return spans
 
     # -- durable surface ----------------------------------------------
 
     def append(self, entry: JournalEntry) -> None:
         self.raise_for_write()
-        self.entries.append(entry)
+        frame_bytes = codec.encode_entry(entry)
+        if self._corrupt_next_append:
+            self._corrupt_next_append = False
+            damaged = bytearray(frame_bytes)
+            damaged[codec.FRAME_HEADER.size + len(damaged) // 2] ^= 0xFF
+            frame_bytes = bytes(damaged)
+            self.frames_corrupted += 1
+        self._log += frame_bytes
+        self._tail_frames += 1
         self.appends += 1
 
     def store_snapshot(self, state: dict[str, Any]) -> None:
-        """Checkpoint: persist ``state`` and truncate the journal tail."""
-        self._snapshot = copy.deepcopy(state)
+        """Checkpoint: persist ``state`` and advance the tail pointer.
+
+        With ``retain_history`` (the default) the folded frames stay on
+        the log as replayable history; without it they are physically
+        dropped — the pre-history behaviour — which forfeits the
+        snapshot-corruption fallback (``history_complete`` goes False).
+        """
+        self._snapshot_blob = codec.encode_snapshot(state)
         self.checkpoints += 1
-        self.truncated_entries += len(self.entries)
-        self.entries.clear()
+        self.truncated_entries += self._tail_frames
+        self._observe("journal_truncated_entries", self._tail_frames)
+        if self.retain_history:
+            self._tail_offset = len(self._log)
+        else:
+            if self._log:
+                self.history_complete = False
+            del self._log[:]
+            self._tail_offset = 0
+        self._tail_frames = 0
 
     def load_snapshot(self) -> dict[str, Any] | None:
-        return copy.deepcopy(self._snapshot)
+        """Decode the checkpoint snapshot, or None when none was taken.
+
+        Raises :class:`SnapshotCorruptError` when the snapshot frame
+        fails its integrity check — the recovery scan catches this and
+        falls back to full-history replay when the log allows it.
+        """
+        if self._snapshot_blob is None:
+            return None
+        status, body, _ = read_frame(self._snapshot_blob, 0)
+        if status != FRAME_OK:
+            raise SnapshotCorruptError(
+                f"checkpoint snapshot frame is {status}")
+        return codec.decode_snapshot(body)
+
+    def snapshot_status(self) -> str:
+        """``"none"``, ``"ok"`` or ``"corrupt"`` without raising."""
+        if self._snapshot_blob is None:
+            return "none"
+        status, _, _ = read_frame(self._snapshot_blob, 0)
+        return "ok" if status == FRAME_OK else "corrupt"
 
     @property
     def has_snapshot(self) -> bool:
-        return self._snapshot is not None
+        return self._snapshot_blob is not None
+
+    @property
+    def entries(self) -> list[JournalEntry]:
+        """The decoded journal tail (intact frames, in order).  Damaged
+        frames are the recovery scan's business — see
+        :func:`repro.durability.recovery.run_recovery_scan`."""
+        decoded: list[JournalEntry] = []
+        offset = self._tail_offset
+        while offset < len(self._log):
+            status, body, next_offset = read_frame(self._log, offset)
+            if status == FRAME_TORN:
+                break
+            if status == FRAME_OK:
+                decoded.append(codec.decode_entry(body))
+            if next_offset <= offset:
+                break
+            offset = next_offset
+        return decoded
+
+    def mark_history_incomplete(self) -> None:
+        """The log no longer reproduces state from seq 0 (a snapshot
+        bootstrap bulk-loaded documents past the journal), so a rotten
+        snapshot cannot fall back to full-history replay."""
+        self.history_complete = False
+
+    # -- raw log access (recovery scan / history readers) -------------
+
+    def log_view(self) -> bytes:
+        """An immutable copy of the full byte log, history included."""
+        return bytes(self._log)
+
+    @property
+    def tail_offset(self) -> int:
+        return self._tail_offset
+
+    @property
+    def log_bytes(self) -> int:
+        return len(self._log)
+
+    def truncate_log(self, offset: int) -> int:
+        """Cut the log at ``offset`` (torn-tail repair).  Returns the
+        number of bytes dropped."""
+        if offset < self._tail_offset:
+            raise DurabilityError(
+                f"refusing to truncate into checkpointed history "
+                f"({offset} < tail offset {self._tail_offset})")
+        dropped = len(self._log) - offset
+        del self._log[offset:]
+        return dropped
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._tail_frames
 
 
 class WriteAheadJournal:
@@ -187,6 +397,7 @@ class WriteAheadJournal:
             if strict:
                 raise
             self.lost_appends += 1
+            self.medium._observe("journal_lost_appends")
             journaled = False
         self._depth += 1
         try:
@@ -198,8 +409,10 @@ class WriteAheadJournal:
 
     def _append(self, op: str, collection: str,
                 payload: dict[str, Any]) -> None:
+        # No defensive payload copy: the medium encodes the entry to
+        # bytes inside ``append``, which *is* the point-in-time capture.
         entry = JournalEntry(seq=self._seq, op=op, collection=collection,
-                             payload=copy.deepcopy(payload))
+                             payload=payload)
         self.medium.append(entry)  # raises StorageWriteError on fault
         self._seq += 1
         self.entries_written += 1
@@ -233,6 +446,10 @@ class ReplayResult:
     #: Entries whose original application failed; they fail identically
     #: on replay and leave the store unchanged.
     failed: int = 0
+    #: Failure taxonomy: ``{seq, op, collection, error}`` per failed
+    #: entry, in journal order — surfaced in the chaos report's
+    #: recovery section so a replay that skips work names the work.
+    failures: list[dict[str, Any]] = field(default_factory=list)
     #: Record ids from composite ``ingest`` entries, in journal order —
     #: the dedup-window state to restore on top of the snapshot's.
     dedup_ids: list[str] = field(default_factory=list)
@@ -252,8 +469,12 @@ def replay(store, entries: list[JournalEntry]) -> ReplayResult:
     for entry in entries:
         try:
             _apply(store, entry, result)
-        except DocStoreError:
+        except DocStoreError as exc:
             result.failed += 1
+            result.failures.append({
+                "seq": entry.seq, "op": entry.op,
+                "collection": entry.collection,
+                "error": f"{type(exc).__name__}: {exc}"})
         else:
             result.applied += 1
     return result

@@ -160,6 +160,20 @@ class ChaosController:
     def _do_storage_latency(self, event: FaultEvent) -> None:
         self._storage_medium().write_latency_s = event.params["seconds"]
 
+    def _do_journal_torn_write(self, event: FaultEvent) -> None:
+        """Power dies mid-append: half a frame lands on the platter and
+        the server is down.  The torn frame is new, never-acked work,
+        so recovery truncates it with zero acked loss — the sender's
+        retry path redelivers it after the restart."""
+        self._storage_medium().simulate_torn_append()
+        self.server.crash()
+
+    def _do_journal_corrupt_frame(self, event: FaultEvent) -> None:
+        self._storage_medium().corrupt_frame()
+
+    def _do_snapshot_corrupt(self, event: FaultEvent) -> None:
+        self._storage_medium().corrupt_snapshot()
+
     def _storage_medium(self):
         durability = getattr(self.server, "durability", None)
         if durability is None:

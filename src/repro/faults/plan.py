@@ -51,6 +51,9 @@ class FaultPlan:
         #: SLO alert names this plan expects to fire during the run
         #: (asserted by the chaos CLI when an SLO plane is deployed).
         self._expected_alerts: list[str] = []
+        #: Explicit recovery-counter expectations layered over the
+        #: event-derived defaults (see :meth:`expected_recovery`).
+        self._expected_recovery: dict[str, int] = {}
 
     # -- building -----------------------------------------------------
 
@@ -204,6 +207,30 @@ class FaultPlan:
         self.add("plugin_start", start + duration, platform)
         return self
 
+    def torn_write(self, at: float, downtime: float) -> "FaultPlan":
+        """Tear the journal tail mid-append and crash the server in the
+        same instant (the two are one physical event); restart after
+        ``downtime``.  Recovery must truncate the torn frame with zero
+        acknowledged loss."""
+        self.add("journal_torn_write", at, "server")
+        self.add("server_restart", at + downtime, "server")
+        return self
+
+    def corrupt_frame(self, at: float) -> "FaultPlan":
+        """Bit rot in a mid-tail journal frame.  The next recovery must
+        quarantine it, keep the longest valid prefix, and degrade
+        health (acked data may be gone) — pair with a ``server_crash``
+        so a recovery actually runs."""
+        self.add("journal_corrupt_frame", at, "server")
+        return self
+
+    def corrupt_snapshot(self, at: float) -> "FaultPlan":
+        """Bit rot in the checkpoint snapshot frame.  The next recovery
+        must fall back to full-history replay (journal-as-history) or
+        report the state unrecoverable."""
+        self.add("snapshot_corrupt", at, "server")
+        return self
+
     def expect_alert(self, name: str) -> "FaultPlan":
         """Declare that SLO alert ``name`` must fire during this plan."""
         if name not in self._expected_alerts:
@@ -214,7 +241,48 @@ class FaultPlan:
     def expected_alerts(self) -> tuple[str, ...]:
         return tuple(self._expected_alerts)
 
+    def expect_recovery(self, **counters: int) -> "FaultPlan":
+        """Override an expected recovery counter (``journal_frames_torn``,
+        ``journal_frames_quarantined``, ``journal_snapshot_fallbacks``)
+        when the defaults derived from the plan's events don't apply."""
+        self._expected_recovery.update(counters)
+        return self
+
+    def expected_recovery(self) -> dict[str, int]:
+        """Recovery counters a durable run of this plan must produce.
+
+        Derived from the injected events — one torn frame per
+        ``journal_torn_write``, one quarantined frame per
+        ``journal_corrupt_frame``, one full-history fallback per
+        ``snapshot_corrupt`` — with :meth:`expect_recovery` overrides
+        on top.  The chaos CLI asserts actuals == expected on every
+        durable run, so *undeclared* corruption (all-zero expectations)
+        fails the run loudly.
+        """
+        expected = {
+            "journal_frames_torn": sum(
+                1 for event in self._events
+                if event.kind == "journal_torn_write"),
+            "journal_frames_quarantined": sum(
+                1 for event in self._events
+                if event.kind == "journal_corrupt_frame"),
+            "journal_snapshot_fallbacks": sum(
+                1 for event in self._events
+                if event.kind == "snapshot_corrupt"),
+        }
+        expected.update(self._expected_recovery)
+        return expected
+
     # -- reading ------------------------------------------------------
+
+    @property
+    def needs_durable_journal(self) -> bool:
+        """True when the plan injects faults into the journal medium
+        itself, so a run of it must deploy a durable server."""
+        return any(event.kind in ("journal_torn_write",
+                                  "journal_corrupt_frame",
+                                  "snapshot_corrupt")
+                   for event in self._events)
 
     def events(self) -> list[FaultEvent]:
         """Events sorted by time (stable: insertion order breaks ties)."""

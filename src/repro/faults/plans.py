@@ -81,6 +81,44 @@ def slo_burn_plan(horizon: float) -> FaultPlan:
             .expect_alert("delivery-delay-p95"))
 
 
+def torn_tail_plan(horizon: float) -> FaultPlan:
+    """Power dies mid-append: the journal tail ends in half a frame.
+
+    Recovery must classify the torn frame, truncate it, and converge
+    with zero acknowledged loss — the torn write was never acked, so
+    the sender's outbox redelivers it after the restart.  The plan's
+    derived expectations pin exactly one torn frame; any *other*
+    corruption fails the run.
+    """
+    return FaultPlan("torn-tail").torn_write(
+        at=horizon / 2.0, downtime=min(60.0, horizon / 6.0))
+
+
+def bitrot_plan(horizon: float) -> FaultPlan:
+    """A hostile medium: the checkpoint snapshot rots, then a mid-tail
+    frame rots.
+
+    Phase 1 (early crash/restart) seeds a checkpoint.  Phase 2 flips a
+    bit in that snapshot and crashes: recovery must fall back to
+    full-journal replay — possible only because checkpoints retain
+    history — and the fresh post-recovery checkpoint repairs the
+    snapshot.  Phase 3 flips a bit in a *new* tail frame and crashes:
+    recovery quarantines it, keeps the longest valid prefix, and stays
+    loudly degraded (acked data may be gone).  The chaos CLI passes
+    the run only because the plan *declares* exactly this damage
+    (one fallback, one quarantined frame); the same counters from an
+    undeclared plan exit nonzero.
+    """
+    downtime = min(30.0, horizon / 12.0)
+    plan = FaultPlan("bitrot")
+    plan.server_crash(at=horizon * 0.2, downtime=downtime)
+    plan.corrupt_snapshot(at=horizon * 0.45)
+    plan.server_crash(at=horizon * 0.45, downtime=downtime)
+    plan.corrupt_frame(at=horizon * 0.7)
+    plan.server_crash(at=horizon * 0.75, downtime=downtime)
+    return plan
+
+
 def none_plan(horizon: float) -> FaultPlan:
     """An empty plan: a control run with the chaos machinery attached."""
     return FaultPlan("none")
@@ -95,6 +133,8 @@ NAMED_PLANS: dict[str, Callable[[float], FaultPlan]] = {
     "server-crash": server_crash_plan,
     "storage-stress": storage_stress_plan,
     "slo-burn": slo_burn_plan,
+    "torn-tail": torn_tail_plan,
+    "bitrot": bitrot_plan,
     "none": none_plan,
 }
 

@@ -54,6 +54,43 @@ class ChaosReport:
         return (self.records_enqueued - self.records_queued
                 - self.records_dropped - self.records_ingested)
 
+    def _recovery_lines(self, durability: dict[str, Any],
+                        counters: dict[str, Any]) -> list[str]:
+        """The recovery/corruption section: frame damage accounting and
+        the replay-failure taxonomy of the last recovery scan."""
+        damage = {name: counters.get(name, 0) for name in (
+            "journal_frames_torn", "journal_frames_quarantined",
+            "journal_frames_discarded", "journal_bytes_truncated",
+            "journal_snapshot_fallbacks", "journal_snapshot_unrecoverable")}
+        recovery = durability.get("recovery")
+        if not any(damage.values()) and recovery is None:
+            return []
+        lines = [
+            "",
+            "recovery:",
+            f"  torn frames          {damage['journal_frames_torn']} "
+            f"({damage['journal_bytes_truncated']} bytes truncated)",
+            f"  quarantined frames   {damage['journal_frames_quarantined']} "
+            f"(+{damage['journal_frames_discarded']} intact frames "
+            f"discarded after them)",
+            f"  snapshot fallbacks   "
+            f"{damage['journal_snapshot_fallbacks']} full-history, "
+            f"{damage['journal_snapshot_unrecoverable']} unrecoverable",
+        ]
+        if recovery is not None:
+            scan = recovery.get("scan", {})
+            lines.append(
+                f"  last scan            {scan.get('scanned_frames', 0)} "
+                f"frames, {recovery.get('replayed', 0)} replayed, "
+                f"{recovery.get('replay_failed', 0)} failed, "
+                f"snapshot {scan.get('snapshot_status', 'none')}")
+            for failure in recovery.get("replay_failures", []):
+                lines.append(
+                    f"  replay failure       seq={failure['seq']} "
+                    f"{failure['op']} on {failure['collection']!r}: "
+                    f"{failure['error']}")
+        return lines
+
     def format(self) -> str:
         lines = [f"chaos report — plan {self.plan_name!r}",
                  "", "injected faults:"]
@@ -109,6 +146,7 @@ class ChaosReport:
                 f"  intake max depth     "
                 f"{counters.get('intake_max_depth', 0)}",
             ]
+            lines += self._recovery_lines(durability, counters)
         lines += ["", "devices:"]
         for device in self.devices:
             state = "up" if device["connected"] else "DEGRADED"

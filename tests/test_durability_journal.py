@@ -204,3 +204,69 @@ class TestWriteFaults:
         medium.append(JournalEntry(0, "insert_one", "x", {"document": {}}))
         assert medium.pending_write_failures == 0
         assert len(medium.entries) == 1
+
+
+class TestApplyCoverage:
+    """Replay coverage for the less-travelled ``_apply`` branches."""
+
+    def test_drop_collection_replays(self):
+        medium, journal, store = make_store()
+        store["users"].insert_one({"user_id": "a"})
+        store["stale"].insert_one({"user_id": "b"})
+        store.drop_collection("stale")
+        recovered, result = recover(medium)
+        assert result.failed == 0
+        assert "stale" not in recovered.collection_names()
+        assert recovered["users"].count() == 1
+
+    def test_drop_replays_and_leaves_collection_usable(self):
+        medium, journal, store = make_store()
+        store["users"].insert_one({"user_id": "a"})
+        store["users"].drop()
+        store["users"].insert_one({"user_id": "b"})
+        recovered, result = recover(medium)
+        assert result.failed == 0
+        assert [d["user_id"] for d in recovered["users"].find()] == ["b"]
+        # The id allocator restarted with the drop on both sides.
+        assert ({d["_id"] for d in recovered["users"].find()}
+                == {d["_id"] for d in store["users"].find()})
+
+    def test_create_index_replays_with_uniqueness(self):
+        medium, journal, store = make_store()
+        store["users"].create_index("user_id", unique=True)
+        store["users"].insert_one({"user_id": "a"})
+        recovered, result = recover(medium)
+        assert result.failed == 0
+        with pytest.raises(DuplicateKeyError):
+            recovered["users"].insert_one({"user_id": "a"})
+
+    def test_unknown_op_identifies_itself(self):
+        store = DocumentStore()
+        entry = JournalEntry(seq=3, op="explode", collection="x")
+        with pytest.raises(DurabilityError, match="explode"):
+            replay(store, [entry])
+
+    def test_failed_entry_taxonomy_and_replay_idempotence(self):
+        medium, journal, store = make_store()
+        users = store["users"]
+        users.create_index("user_id", unique=True)
+        users.insert_one({"user_id": "a"})
+        with pytest.raises(DuplicateKeyError):
+            users.insert_one({"user_id": "a"})
+        users.insert_one({"user_id": "b"})  # life goes on after the fail
+        recovered, result = recover(medium)
+        # The failed entry fails identically on replay and is skipped...
+        assert result.failed == 1
+        assert sorted(d["user_id"]
+                      for d in recovered["users"].find()) == ["a", "b"]
+        # ...and the taxonomy names the op, collection and error.
+        [failure] = result.failures
+        assert failure["op"] == "insert_one"
+        assert failure["collection"] == "users"
+        assert failure["seq"] == 2  # create_index=0, insert a=1, dup=2
+        assert "DuplicateKeyError" in failure["error"]
+        # Replaying the same journal twice is deterministic: identical
+        # taxonomy, identical state.
+        recovered2, result2 = recover(medium)
+        assert result2.failures == result.failures
+        assert recovered2.snapshot() == recovered.snapshot()
