@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 
 from repro.perf import (
+    bench_batch_ingest,
     bench_broker_fanout,
     bench_docstore_query,
     bench_end_to_end_ingest,
@@ -41,6 +42,16 @@ MIN_CONJUNCTIVE_REDUCTION = 10.0
 
 #: ``$in`` unions intersect coarser buckets, so the floor is lower.
 MIN_IN_UNION_REDUCTION = 3.0
+
+#: Required durable-ingest throughput multiple at batch >= 64 (ISSUE 9
+#: acceptance gate; measured ~12-13x, so a breach is a real
+#: regression, not machine noise — both sides of the ratio run on the
+#: same machine back to back).
+MIN_BATCH_SPEEDUP = 10.0
+
+#: Per-record *work* at batch >= 64 must fall at least this much vs
+#: the singleton path — deterministic counters, immune to wall noise.
+MIN_WORK_REDUCTION = 10.0
 
 
 def test_broker_routing_sublinear(report):
@@ -103,6 +114,57 @@ def test_end_to_end_ingest_pipeline(report):
     # Routing work per publish must stay far below the subscription
     # table size a scan would have walked (users x subscriptions).
     assert metrics["broker_checks_per_publish"] is not None
+
+
+class TestBatchIngest:
+    """The ISSUE 9 tentpole gate: batched transport+ingest must beat
+    per-record by >= 10x records/wall-s at batch >= 64, with the win
+    explained by deterministic work counters (journal appends, trie
+    routings, ack envelopes and network messages per record all fall
+    as 1/batch) — and the outputs stay bit-identical either way
+    (``tests/test_batch_identity.py``)."""
+
+    def test_batch_throughput_gate(self, report):
+        metrics = bench_batch_ingest(records=2048)
+        points = {point["batch"]: point for point in metrics["points"]}
+        report("durable ingest: batched vs per-record transport",
+               ["batch", "records/wall-s", "speedup", "msgs/rec",
+                "appends/rec", "acks/rec", "routings/rec"],
+               [[p["batch"], f"{p['records_per_wall_s']:,.0f}",
+                 f"{p['speedup_vs_singleton']:.1f}x",
+                 f"{p['messages_per_record']:.3f}",
+                 f"{p['journal_appends_per_record']:.3f}",
+                 f"{p['ack_messages_per_record']:.3f}",
+                 f"{p['trie_routings_per_record']:.3f}"]
+                for p in metrics["points"]])
+        # Both paths must ingest the *entire* record set — a speedup
+        # bought by shedding or quarantining records would be a lie.
+        for point in metrics["points"]:
+            assert point["records_ingested"] == metrics["records"]
+            assert point["records_shed"] == 0
+            assert point["records_quarantined"] == 0
+            assert point["acked_records"] == metrics["records"]
+        base = points[1]
+        # Singleton shape: one data message + one ack + one journal
+        # frame + one trie routing per record.
+        assert base["messages_per_record"] >= 2.0
+        assert base["journal_appends_per_record"] >= 1.0
+        assert base["ack_messages_per_record"] == 1.0
+        assert base["trie_routings_per_record"] == 1.0
+        # Deterministic amortization evidence at every gated size.
+        for batch in (64, 256):
+            point = points[batch]
+            for counter in ("messages_per_record",
+                            "journal_appends_per_record",
+                            "ack_messages_per_record",
+                            "trie_routings_per_record"):
+                assert point[counter] * MIN_WORK_REDUCTION <= base[counter]
+            # The broker saw every record exactly once despite routing
+            # only 1/batch as many envelopes.
+            assert point["batched_records_routed"] == metrics["records"]
+        # The wall-clock gate itself: >= 10x records/wall-s at some
+        # batch >= 64 (best point; both sides measured back to back).
+        assert metrics["gate_speedup"] >= MIN_BATCH_SPEEDUP
 
 
 def test_perf_trajectory_written(tmp_path):

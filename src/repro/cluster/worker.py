@@ -95,7 +95,7 @@ class ShardWorker(ServerSenSocialManager):
         while len(admission):
             item = admission.pop()
             try:
-                self._ingest_durable(item)
+                self._apply_intake(item)
             except StorageWriteError:
                 item.attempts += 1
                 if item.attempts >= self.durability.config.max_apply_attempts:

@@ -1,0 +1,300 @@
+"""Versioned batch wire envelope: N stream records packed column-wise.
+
+Per-record Python overhead dominates the sense→publish→ingest→fan-out
+spine once the algorithmic work is flat (ROADMAP item 2).  The fix is
+the classic one for staged pipelines — move *batches* through every
+stage so the per-message costs (transport, scheduling, journal frames,
+index passes) amortize across N records.
+
+:class:`RecordBatch` is the envelope.  It packs N records as
+tuple-packed parallel arrays (struct-of-arrays): one tuple per field,
+index ``i`` across all tuples describing record ``i``.  The columnar
+shape is not cosmetic — the journal appends the *columns* as one
+``ingest_batch`` frame, which encodes roughly half the tokens of N
+per-record documents (field names are written once per batch instead
+of once per record), and replay rebuilds the per-record documents
+record-for-record identically to N singleton frames.
+
+Batching is a transport/execution optimization ONLY.  Delivery order,
+dedup semantics, trace accounting and docstore contents must stay
+bit-identical to the per-record path; the invariants that make that
+hold are:
+
+* ``store_documents()`` rebuilds dicts in exactly the key order of
+  :meth:`StreamRecord.to_dict` (``trace`` present only when the record
+  carried one), so fingerprints over the docstore cannot tell the two
+  paths apart.
+* ``iter_records()`` reconstructs :class:`StreamRecord`s exactly as
+  :meth:`StreamRecord.from_dict` would from the wire documents.
+* Flush boundaries are derived from the virtual clock (outbox sweep /
+  reconnect flush), never wall time.
+
+Wire payloads are plain dict/tuple/scalar trees, so they ride the
+in-sim network by reference and the canonical codec
+(:mod:`repro.durability.codec`) losslessly — tuples are a first-class
+codec type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.core.common.granularity import Granularity
+from repro.core.common.modality import ModalityType
+from repro.core.common.records import StreamRecord
+from repro.net.message import estimate_size
+
+#: Version stamped into every batch payload under :data:`BATCH_MARKER`.
+#: Bump when the column set or their meaning changes; decoders reject
+#: versions newer than they understand instead of misreading them.
+BATCH_WIRE_VERSION = 1
+
+#: Payload key whose presence marks a dict as a batch envelope (value =
+#: wire version).  The MQTT broker keys its batch accounting off the
+#: same marker so envelopes are recognized without importing this
+#: module.
+BATCH_MARKER = "batch_wire"
+
+#: The parallel-array fields, in wire order.
+_COLUMNS = ("record_ids", "stream_ids", "user_ids", "device_ids",
+            "modalities", "granularities", "timestamps", "values",
+            "details", "osn_actions", "wire_bytes", "traces")
+
+
+class RecordBatch:
+    """N stream records as tuple-packed parallel arrays."""
+
+    __slots__ = _COLUMNS
+
+    def __init__(self, *, record_ids=(), stream_ids=(), user_ids=(),
+                 device_ids=(), modalities=(), granularities=(),
+                 timestamps=(), values=(), details=(), osn_actions=(),
+                 wire_bytes=(), traces=()):
+        self.record_ids = tuple(record_ids)
+        self.stream_ids = tuple(stream_ids)
+        self.user_ids = tuple(user_ids)
+        self.device_ids = tuple(device_ids)
+        self.modalities = tuple(modalities)
+        self.granularities = tuple(granularities)
+        self.timestamps = tuple(timestamps)
+        self.values = tuple(values)
+        self.details = tuple(details)
+        self.osn_actions = tuple(osn_actions)
+        self.wire_bytes = tuple(wire_bytes)
+        self.traces = tuple(traces)
+        n = len(self.record_ids)
+        for column in _COLUMNS[1:]:
+            if len(getattr(self, column)) != n:
+                raise ValueError(
+                    f"ragged batch: column {column!r} has "
+                    f"{len(getattr(self, column))} entries, expected {n}")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[StreamRecord],
+                     record_ids: Iterable[str | None] | None = None,
+                     ) -> "RecordBatch":
+        """Pack records column-wise; lossless against ``iter_records``.
+
+        ``record_ids`` supplies the wire-level dedup ids (the record
+        dataclass itself does not carry one); omitted ids become
+        ``None`` — such records ride the batch but are never acked or
+        deduped, matching the per-record path for id-less payloads.
+        """
+        records = list(records)
+        if record_ids is None:
+            ids: tuple[Any, ...] = (None,) * len(records)
+        else:
+            ids = tuple(record_ids)
+            if len(ids) != len(records):
+                raise ValueError(
+                    f"{len(ids)} record ids for {len(records)} records")
+        return cls(
+            record_ids=ids,
+            stream_ids=[r.stream_id for r in records],
+            user_ids=[r.user_id for r in records],
+            device_ids=[r.device_id for r in records],
+            modalities=[r.modality.value for r in records],
+            granularities=[r.granularity.value for r in records],
+            timestamps=[r.timestamp for r in records],
+            values=[r.value for r in records],
+            details=[dict(r.details) for r in records],
+            osn_actions=[dict(r.osn_action) if r.osn_action else None
+                         for r in records],
+            wire_bytes=[r.wire_bytes for r in records],
+            traces=[r.trace.to_dict() if r.trace is not None else None
+                    for r in records],
+        )
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[dict[str, Any]],
+                       ) -> "RecordBatch":
+        """Pack wire documents (``StreamRecord.to_dict()`` shape, plus
+        an optional ``record_id`` key as the mobile outbox appends).
+        """
+        docs = list(documents)
+        return cls(
+            record_ids=[d.get("record_id") for d in docs],
+            stream_ids=[d["stream_id"] for d in docs],
+            user_ids=[d["user_id"] for d in docs],
+            device_ids=[d["device_id"] for d in docs],
+            modalities=[d["modality"] for d in docs],
+            granularities=[d["granularity"] for d in docs],
+            timestamps=[d["timestamp"] for d in docs],
+            values=[d["value"] for d in docs],
+            details=[d.get("details") or {} for d in docs],
+            osn_actions=[d.get("osn_action") for d in docs],
+            wire_bytes=[0] * len(docs),
+            traces=[d.get("trace") for d in docs],
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+    @property
+    def size(self) -> int:
+        return len(self.record_ids)
+
+    @property
+    def device_id(self) -> str | None:
+        """Routing hint: the (single) originating device of the batch."""
+        return self.device_ids[0] if self.device_ids else None
+
+    def select(self, indices: Iterable[int]) -> "RecordBatch":
+        """A sub-batch of the given record positions, in order."""
+        keep = list(indices)
+        return RecordBatch(**{
+            column: [getattr(self, column)[i] for i in keep]
+            for column in _COLUMNS})
+
+    # -- unpacking -----------------------------------------------------
+
+    def iter_records(self) -> Iterator[StreamRecord]:
+        """Rebuild records exactly as ``StreamRecord.from_dict`` would.
+
+        Enum lookups are cached per distinct wire value — batches are
+        overwhelmingly single-stream, so the cache hits N-1 times.
+        """
+        modality_of: dict[str, ModalityType] = {}
+        granularity_of: dict[str, Granularity] = {}
+        trace_cls = None
+        for i in range(len(self.record_ids)):
+            modality = self.modalities[i]
+            enum_modality = modality_of.get(modality)
+            if enum_modality is None:
+                enum_modality = modality_of[modality] = ModalityType(modality)
+            granularity = self.granularities[i]
+            enum_granularity = granularity_of.get(granularity)
+            if enum_granularity is None:
+                enum_granularity = granularity_of[granularity] = (
+                    Granularity(granularity))
+            trace = self.traces[i]
+            if trace is not None:
+                if trace_cls is None:
+                    from repro.obs.trace import TraceContext as trace_cls
+                trace = trace_cls.from_dict(trace)
+            yield StreamRecord(
+                stream_id=self.stream_ids[i],
+                user_id=self.user_ids[i],
+                device_id=self.device_ids[i],
+                modality=enum_modality,
+                granularity=enum_granularity,
+                timestamp=self.timestamps[i],
+                value=self.values[i],
+                details=dict(self.details[i]),
+                osn_action=self.osn_actions[i],
+                wire_bytes=self.wire_bytes[i],
+                trace=trace,
+            )
+
+    def records(self) -> list[StreamRecord]:
+        return list(self.iter_records())
+
+    def store_documents(self) -> list[dict[str, Any]]:
+        """Fresh per-record documents in ``StreamRecord.to_dict`` shape.
+
+        Key order matches ``to_dict`` exactly and ``trace`` appears
+        only when the record carried one, so batched docstore contents
+        fingerprint identically to per-record ingest.  The returned
+        dicts are newly built (callers may hand them to
+        ``insert_many(copy=False)``); nested ``value`` objects are
+        shared with the wire payload — safe because stored records are
+        never mutated in place.
+        """
+        documents = []
+        for i in range(len(self.record_ids)):
+            osn_action = self.osn_actions[i]
+            document = {
+                "stream_id": self.stream_ids[i],
+                "user_id": self.user_ids[i],
+                "device_id": self.device_ids[i],
+                "modality": self.modalities[i],
+                "granularity": self.granularities[i],
+                "timestamp": self.timestamps[i],
+                "value": self.values[i],
+                "details": dict(self.details[i]),
+                "osn_action": dict(osn_action) if osn_action else None,
+            }
+            trace = self.traces[i]
+            if trace is not None:
+                document["trace"] = trace
+            documents.append(document)
+        return documents
+
+    # -- wire ----------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """The versioned wire dict (rides networks and journal frames)."""
+        payload: dict[str, Any] = {
+            BATCH_MARKER: BATCH_WIRE_VERSION,
+            "n": len(self.record_ids),
+            "device_id": self.device_id,
+        }
+        for column in _COLUMNS:
+            payload[column] = getattr(self, column)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "RecordBatch":
+        version = payload.get(BATCH_MARKER)
+        if version is None:
+            raise ValueError("payload is not a batch envelope "
+                             f"(missing {BATCH_MARKER!r})")
+        if not isinstance(version, int) or version > BATCH_WIRE_VERSION:
+            raise ValueError(f"unsupported batch wire version {version!r} "
+                             f"(decoder speaks <= {BATCH_WIRE_VERSION})")
+        return cls(**{column: payload.get(column, ())
+                      for column in _COLUMNS})
+
+    def encode(self) -> bytes:
+        """Canonical bytes via the durability codec (lossless)."""
+        from repro.durability import codec
+        return codec.dumps(self.to_payload())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RecordBatch":
+        from repro.durability import codec
+        return cls.from_payload(codec.loads(data))
+
+
+def is_batch_payload(payload: Any) -> bool:
+    """True when ``payload`` is a batch envelope dict."""
+    return isinstance(payload, dict) and BATCH_MARKER in payload
+
+
+# estimate_size({"record_id": x}) - estimate_size(x): the framing a
+# singleton ack dict adds around its record id — dict wrapper, key and
+# separator.  Computed once so batch-ack accounting never walks N
+# throwaway dicts.
+_ACK_OVERHEAD = (estimate_size({"record_id": ""}) - estimate_size(""))
+
+
+def ack_size(record_ids: Iterable[str]) -> int:
+    """Wire bytes of a coalesced batch ack: the *exact* sum of the N
+    singleton ``{"record_id": id}`` ack estimates it replaces, so byte
+    counters cannot tell the two ack shapes apart."""
+    return sum(_ACK_OVERHEAD + estimate_size(record_id)
+               for record_id in record_ids)

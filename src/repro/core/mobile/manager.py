@@ -5,6 +5,16 @@ Implements the paper's client API (Figure 7): ``get_sensocial_manager``
 → ``set_filter`` / ``register_listener``, plus the machinery behind it:
 stream lifecycle, privacy re-screening, condition-gated duty cycles,
 OSN trigger handling, and periodic location reporting to the server.
+
+The uplink speaks two wire shapes.  Per-record transport (the default)
+sends one ``stream-data`` message per sensed record.  With ``batch_max``
+set, the store-and-forward outbox coalesces queued records into
+columnar ``stream-batch`` envelopes (:mod:`repro.core.common.batch`):
+a fresh record on a connected link still flushes immediately as a
+batch of one, while backlog — reconnect flushes, retry sweeps — leaves
+in chunks of up to ``batch_max``.  Either way the byte counters, link
+draws and ack bookkeeping are record-for-record identical; batching
+only amortizes the per-message overhead.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ import itertools
 from typing import Any
 
 from repro.classify import ClassifierRegistry
+from repro.core.common.batch import RecordBatch
 from repro.core.common.errors import StreamStateError
 from repro.core.common.filters import Filter
 from repro.core.common.granularity import Granularity
@@ -88,7 +99,15 @@ class MobileSenSocialManager:
     def __init__(self, world: World, phone: Smartphone, network: Network,
                  classifiers: ClassifierRegistry | None = None,
                  broker_address: str = "mqtt-broker",
-                 server_address: str = "sensocial-server"):
+                 server_address: str = "sensocial-server",
+                 batch_max: int | None = None):
+        if batch_max is not None and batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        #: Batched record transport: coalesce up to this many queued
+        #: records per wire envelope (``None`` = per-record transport).
+        #: Flush boundaries come from the virtual clock (outbox sweep /
+        #: reconnect), never wall time, so batching stays deterministic.
+        self.batch_max = batch_max
         self.world = world
         self.phone = phone
         self.network = network
@@ -113,6 +132,12 @@ class MobileSenSocialManager:
         self.triggers_handled = 0
         self.records_transmitted = 0
         self.records_acked = 0
+        #: Envelope accounting, the uplink mirror of the broker's
+        #: ``batch_publishes`` / ``batched_records_routed``: wire
+        #: envelopes sent and the records they carried.  Equal values
+        #: mean every flush was a batch of one (no backlog coalesced).
+        self.batches_sent = 0
+        self.batched_records_sent = 0
         #: Server-pushed sensing-rate backoff: continuous duty cycles
         #: are stretched by this factor.  1.0 = nominal rate, and the
         #: multiplication by exactly 1.0 keeps unbackoffed runs
@@ -126,6 +151,7 @@ class MobileSenSocialManager:
         self.outbox = Outbox()
         self.outbox.on_evict = self._on_outbox_evict
         phone.on_protocol("stream-ack", self._on_stream_ack)
+        phone.on_protocol("stream-batch-ack", self._on_stream_batch_ack)
         self.mqtt.client.on_connection_change(self._on_connectivity_change)
         #: OSN action → trigger arrival delays (Table 3's second row).
         self.trigger_latencies: list[float] = []
@@ -475,7 +501,10 @@ class MobileSenSocialManager:
                     "outbox_depth",
                     device=self.phone.device_id).set(len(self.outbox))
             if self.mqtt.client.connected:
-                self._transmit(entry)
+                if self.batch_max is not None:
+                    self._transmit_batch([entry])
+                else:
+                    self._transmit(entry)
         elif obs is not None:
             # Local-only records terminate here: the journey's scope
             # never includes the server.
@@ -494,13 +523,56 @@ class MobileSenSocialManager:
                 "records_transmitted", device=self.phone.device_id,
                 retry=entry.sends > 1).inc()
 
+    def _transmit_batch(self, entries) -> None:
+        """Send queued records as one columnar wire envelope.
+
+        The envelope's explicit size is the sum of the member sizes and
+        the link draws once per member (``coalesced``), so radios, byte
+        counters and the fault model account exactly as the per-record
+        sends would.  Each member is still individually outbox-tracked
+        and individually acked (the server acks whole batches with a
+        ``stream-batch-ack`` listing every id).
+        """
+        batch = RecordBatch.from_documents(
+            [entry.payload for entry in entries])
+        self.phone.send(self.server_address, "stream-batch",
+                        batch.to_payload(),
+                        size=sum(entry.size for entry in entries),
+                        coalesced=len(entries))
+        self.batches_sent += 1
+        self.batched_records_sent += len(entries)
+        now = self.world.now
+        obs = self.obs
+        for entry in entries:
+            self.outbox.mark_sent(entry.record_id, now)
+            if obs is not None:
+                obs.tracer.event(entry.meta.get("trace"), "transmit",
+                                 attempt=entry.sends)
+                obs.telemetry.counter(
+                    "records_transmitted", device=self.phone.device_id,
+                    retry=entry.sends > 1).inc()
+        if obs is not None:
+            obs.telemetry.histogram(
+                "batch_size", stage="publish").observe(len(entries))
+
     def _flush_outbox(self, force: bool = False) -> None:
-        """(Re)send every due unacknowledged record while connected."""
+        """(Re)send every due unacknowledged record while connected.
+
+        With batching on, due records coalesce into envelopes of up to
+        ``batch_max`` members — the flush boundary (sweep tick or
+        reconnect) is the batch boundary.
+        """
         if not self.mqtt.client.connected:
             return  # store and forward: the reconnect callback flushes
-        for entry in self.outbox.due(self.world.now, OUTBOX_RETRY_TIMEOUT_S,
-                                     force=force):
-            self._transmit(entry)
+        due = self.outbox.due(self.world.now, OUTBOX_RETRY_TIMEOUT_S,
+                              force=force)
+        if self.batch_max is None:
+            for entry in due:
+                self._transmit(entry)
+            return
+        due = list(due)
+        for start in range(0, len(due), self.batch_max):
+            self._transmit_batch(due[start:start + self.batch_max])
 
     def _outbox_sweep(self) -> None:
         self._flush_outbox(force=False)
@@ -524,6 +596,32 @@ class MobileSenSocialManager:
                 self.obs.telemetry.gauge(
                     "outbox_depth",
                     device=self.phone.device_id).set(len(self.outbox))
+
+    def _on_stream_batch_ack(self, payload, message) -> None:
+        """Amortized ack handling: one envelope settles every member."""
+        # Same bookkeeping as the N singleton stream-acks the envelope
+        # replaces — per-record outbox spans, the same acked count —
+        # with the handler dispatch, the obs lookups and the
+        # outbox-depth gauge write hoisted out of the per-id loop.
+        outbox = self.outbox
+        obs = self.obs
+        acked = 0
+        for record_id in payload["record_ids"]:
+            entry = outbox.get(record_id)
+            if not outbox.ack(record_id):
+                continue
+            acked += 1
+            if obs is not None and entry is not None:
+                # The outbox span closes on the server's ack: the full
+                # store-and-forward residence time of the record.
+                obs.tracer.span(entry.meta.get("trace"), "outbox",
+                                start=entry.enqueued_at,
+                                sends=entry.sends)
+        self.records_acked += acked
+        if obs is not None and acked:
+            obs.telemetry.gauge(
+                "outbox_depth",
+                device=self.phone.device_id).set(len(outbox))
 
     def _on_outbox_evict(self, entry) -> None:
         """The bounded outbox overflowed: the oldest record is gone."""

@@ -33,9 +33,34 @@ class RecordDeduper:
             self.duplicates += 1
             return True
         self._seen[record_id] = None
-        while len(self._seen) > self.window:
-            self._seen.popitem(last=False)
+        self._evict_overflow(self._seen)
         return False
+
+    def check_batch(self, record_ids) -> list[bool]:
+        """Per-id duplicate flags: the window run over a whole batch."""
+        # Semantically identical to calling ``seen`` per id in order
+        # (same counters, same final window contents, same flags) —
+        # the batched ingest path uses it so one call replaces N, with
+        # the dict lookups and the eviction bound hoisted out of the
+        # hot loop.  ``None`` ids (id-less payloads) are never deduped
+        # and flag fresh, matching the per-record path.
+        window = self._seen
+        flags = []
+        for record_id in record_ids:
+            duplicate = record_id is not None and record_id in window
+            if duplicate:
+                window.move_to_end(record_id)
+                self.duplicates += 1
+            elif record_id is not None:
+                window[record_id] = None
+                # Evict inline (not once at the end): a batch larger
+                # than the window's free slack must age out ids *as it
+                # inserts*, exactly as N sequential ``seen`` calls
+                # would, so a late duplicate of an id the batch itself
+                # evicted flags fresh.
+                self._evict_overflow(window)
+            flags.append(duplicate)
+        return flags
 
     def remember(self, record_id: str) -> None:
         """Insert ``record_id`` without counting a duplicate.
@@ -49,8 +74,7 @@ class RecordDeduper:
             self._seen.move_to_end(record_id)
             return
         self._seen[record_id] = None
-        while len(self._seen) > self.window:
-            self._seen.popitem(last=False)
+        self._evict_overflow(self._seen)
 
     def merge_replicated(self, record_ids) -> int:
         """Fold another shard's window into this one, bounded.
@@ -73,12 +97,20 @@ class RecordDeduper:
         for record_id in fresh:
             merged[record_id] = None
         merged.update(self._seen)
-        while len(merged) > self.window:
-            merged.popitem(last=False)
+        self._evict_overflow(merged)
         retained = sum(1 for record_id in fresh if record_id in merged)
         self._seen = merged
         self.replicated += retained
         return retained
+
+    def _evict_overflow(self, window: "OrderedDict[str, None]") -> None:
+        """The one bounded-eviction path: oldest-first to the bound."""
+        # ``seen``/``remember``/``check_batch``/``merge_replicated``
+        # all funnel through here so the bound can never drift between
+        # the singleton, batch and replication paths.
+        limit = self.window
+        while len(window) > limit:
+            window.popitem(last=False)
 
     def snapshot(self) -> list[str]:
         """Window contents oldest-first, for checkpoint persistence."""
@@ -89,3 +121,8 @@ class RecordDeduper:
 
     def __contains__(self, record_id: str) -> bool:
         return record_id in self._seen
+
+
+#: The batch-ingest spec names the window ``DedupWindow``; keep both
+#: names pointing at the one implementation.
+DedupWindow = RecordDeduper

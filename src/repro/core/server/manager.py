@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import replace
 from typing import Callable
 
+from repro.core.common.batch import RecordBatch, ack_size as batch_ack_size
 from repro.core.common.filters import Filter
 from repro.core.common.granularity import Granularity
 from repro.core.common.modality import ModalityType
@@ -46,7 +47,6 @@ _PLATFORM_MODALITY = {
     "facebook": ModalityType.FACEBOOK_ACTIVITY,
     "twitter": ModalityType.TWITTER_ACTIVITY,
 }
-
 
 class ServerSenSocialManager(Endpoint):
     """Singleton-style server middleware core."""
@@ -410,6 +410,9 @@ class ServerSenSocialManager(Endpoint):
         if protocol == "stream-data":
             self._on_stream_data(message.payload, reply_to=message.src,
                                  sent_at=message.sent_at)
+        elif protocol == "stream-batch":
+            self._on_stream_batch(message.payload, reply_to=message.src,
+                                  sent_at=message.sent_at)
         elif protocol == "location-update":
             self._on_location_update(message.payload)
 
@@ -427,6 +430,20 @@ class ServerSenSocialManager(Endpoint):
         self.acks_sent += 1
         self.network.send(self.address, reply_to, {"record_id": record_id},
                           headers={"protocol": "stream-ack"})
+
+    def _send_batch_ack(self, record_ids, reply_to: str | None) -> None:
+        """One coalesced ack envelope for a whole batch."""
+        # Counts, byte-accounts (explicit size = exact sum of the N
+        # singleton ack estimates) and RNG-draws (``coalesced=N`` link
+        # draws) as the N singleton acks it replaces, so the sender's
+        # outbox and the fault model see the same world either way.
+        ids = [record_id for record_id in record_ids if record_id is not None]
+        if not ids or reply_to is None:
+            return
+        self.acks_sent += len(ids)
+        self.network.send(self.address, reply_to, {"record_ids": ids},
+                          headers={"protocol": "stream-batch-ack"},
+                          size=batch_ack_size(ids), coalesced=len(ids))
 
     def _counter(self, name: str, **labels):
         """Resolve-once telemetry counter handles for per-record loops
@@ -495,6 +512,58 @@ class ServerSenSocialManager(Endpoint):
                           modality=record.modality.value).inc()
         self._dispatch_record(record, trace, arrived_at)
 
+    def _on_stream_batch(self, payload: dict, reply_to: str | None = None,
+                         sent_at: float | None = None) -> None:
+        """Batch twin of :meth:`_on_stream_data`: one envelope, N records."""
+        # Per-record semantics are preserved exactly — ack-before-dedup,
+        # the same duplicate accounting, the same observe→dispatch order
+        # per record — only the per-message costs (transport, journal
+        # frames, index passes, acks) amortize across the batch.
+        obs = self.obs
+        batch = RecordBatch.from_payload(payload)
+        if self.durability is not None:
+            self.durability.submit_batch(batch, reply_to=reply_to,
+                                         sent_at=sent_at)
+            return
+        record_ids = batch.record_ids
+        self._send_batch_ack(record_ids, reply_to)
+        flags = self.dedup.check_batch(record_ids)
+        fresh = [index for index, dup in enumerate(flags) if not dup]
+        if len(fresh) != len(record_ids):
+            self.records_duplicate += len(record_ids) - len(fresh)
+            if obs is not None:
+                from repro.obs.trace import TraceContext
+                for index, duplicate in enumerate(flags):
+                    if not duplicate:
+                        continue
+                    trace = batch.traces[index]
+                    # Not a loss: the first copy already terminated this
+                    # trace; the replay is only an event on the journey.
+                    obs.tracer.event(
+                        None if trace is None
+                        else TraceContext.from_dict(trace),
+                        "duplicate_ingest", record_id=record_ids[index])
+                    self._counter("records_duplicate").inc()
+            batch = batch.select(fresh)
+        self._update_dedup_metrics()
+        if not fresh:
+            return
+        arrived_at = self.world.now
+        self.database.store_batch(batch.store_documents())
+        self.records_received += len(batch)
+        self.last_record_at = arrived_at
+        self._dispatch_batch(
+            batch, arrived_at=arrived_at, ingest_start=arrived_at,
+            pre_span=("transport",
+                      arrived_at if sent_at is None else sent_at))
+
+    def _apply_intake(self, item) -> None:
+        """Route one admitted intake item to its durable apply path."""
+        if "batch" in item.extras:
+            self._ingest_durable_batch(item)
+        else:
+            self._ingest_durable(item)
+
     def _ingest_durable(self, item) -> None:
         """Apply one admitted record through the write-ahead journal.
 
@@ -527,6 +596,55 @@ class ServerSenSocialManager(Endpoint):
         self._update_dedup_metrics()
         self._send_ack(item.record_id, item.reply_to)
         self._dispatch_record(record, trace, now)
+
+    def _ingest_durable_batch(self, item) -> None:
+        """Apply one admitted batch: a single composite journal frame."""
+        # The frame carries the columnar wire envelope; its replay is
+        # record-for-record identical to N singleton ``ingest`` frames
+        # (see repro.durability.journal._apply).  All-or-nothing like
+        # the singleton path: a failed append raises before any
+        # in-memory change and the drain pump owns retry/quarantine.
+        batch = item.extras["batch"]
+        now = self.world.now
+        record_ids = batch.record_ids
+        with self.durability.journal.op(
+                "ingest_batch", "records", strict=True,
+                batch=batch.to_payload()):
+            self.database.store_batch(batch.store_documents())
+            dedup_seen = self.dedup.seen
+            for record_id in record_ids:
+                if record_id is not None:
+                    dedup_seen(record_id)
+        self.records_received += len(record_ids)
+        self.last_record_at = now
+        self._update_dedup_metrics()
+        self._send_batch_ack(record_ids, item.reply_to)
+        self._dispatch_batch(batch, arrived_at=now,
+                             ingest_start=item.enqueued_at,
+                             pre_span=("journal_append", now))
+
+    def _dispatch_batch(self, batch, *, arrived_at: float,
+                        ingest_start: float, pre_span) -> None:
+        """Per-record observe→dispatch tail of both batch ingest paths,
+        in batch order — identical to what N singleton ingests run."""
+        obs = self.obs
+        if obs is None and not self.streams and not self._record_listeners:
+            # Nothing downstream needs record objects; fold the columns
+            # straight into the filter context (mutation-identical).
+            self.filters.observe_batch(batch)
+            return
+        span_name, span_start = pre_span
+        record_ids = batch.record_ids
+        for index, record in enumerate(batch.iter_records()):
+            trace = record.trace if obs is not None else None
+            self.filters.observe_record(record)
+            if obs is not None:
+                obs.tracer.span(trace, span_name, start=span_start)
+                obs.tracer.span(trace, "ingest", start=ingest_start,
+                                record_id=record_ids[index])
+                self._counter("records_ingested",
+                              modality=record.modality.value).inc()
+            self._dispatch_record(record, trace, arrived_at)
 
     def _dispatch_record(self, record: StreamRecord, trace,
                          arrived_at: float) -> None:

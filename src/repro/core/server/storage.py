@@ -114,6 +114,13 @@ class ServerDatabase:
     def store_record(self, record: StreamRecord) -> None:
         self.records.insert_one(record.to_dict())
 
+    def store_batch(self, documents: list[dict]) -> list[int]:
+        """Insert a batch of record documents in one index pass."""
+        # Ownership transfer: ``documents`` must be freshly built (the
+        # batch ingest path builds them from the wire columns), so the
+        # collection may store them without the per-document deepcopy.
+        return self.records.insert_many(documents, copy_documents=False)
+
     def actions_of(self, user_id: str) -> list[dict]:
         return list(self.actions.find({"user_id": user_id}).sort("created_at"))
 

@@ -92,10 +92,11 @@ class Smartphone(Endpoint):
         self._handlers[key] = handler
 
     def send(self, dst: str, protocol: str, payload: Any,
-             size: int | None = None) -> Message:
+             size: int | None = None, coalesced: int = 1) -> Message:
         """Send an app-layer payload from this phone."""
         return self._network.send(self.address, dst, payload, size=size,
-                                  headers={"protocol": protocol})
+                                  headers={"protocol": protocol},
+                                  coalesced=coalesced)
 
     def deliver(self, message: Message) -> None:
         protocol = message.headers.get("protocol")

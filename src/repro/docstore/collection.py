@@ -274,8 +274,41 @@ class Collection:
         self._documents[doc_id] = stored
         return doc_id
 
-    def insert_many(self, documents: Iterable[dict]) -> list[int]:
-        return [self.insert_one(document) for document in documents]
+    def insert_many(self, documents: Iterable[dict], *,
+                    copy_documents: bool = True) -> list[int]:
+        """Insert a batch; returns the assigned ``_id``s in order.
+
+        The batch hot path: ids are assigned in one sweep and each
+        secondary index is updated in one pass over the whole batch
+        instead of once per document.  Semantics match a sequential
+        ``insert_one`` loop exactly — same ids, same key order
+        (``_id`` appended last), same partial-failure behaviour — so
+        any document carrying an explicit ``_id`` (possible conflicts,
+        counter interleaving) falls back to that loop verbatim.
+
+        ``copy_documents=False`` transfers ownership: the caller
+        promises the dicts are freshly built and never mutated after
+        the call (the batched ingest path builds them from the wire
+        columns), which skips the dominant per-record ``deepcopy``.
+        """
+        docs = list(documents)
+        for document in docs:
+            if not isinstance(document, dict) or "_id" in document:
+                return [self.insert_one(document) for document in docs]
+        stored_docs = copy.deepcopy(docs) if copy_documents else docs
+        doc_ids = []
+        storage = self._documents
+        for stored in stored_docs:
+            doc_id = self._next_id
+            self._next_id += 1
+            stored["_id"] = doc_id
+            storage[doc_id] = stored
+            doc_ids.append(doc_id)
+        for index in self._indexes.values():
+            add = index.add
+            for doc_id, stored in zip(doc_ids, stored_docs):
+                add(doc_id, stored)
+        return doc_ids
 
     def update_one(self, query: dict, update: dict, upsert: bool = False) -> int:
         """Update the first match; returns number of documents changed."""

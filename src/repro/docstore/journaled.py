@@ -29,13 +29,21 @@ class JournaledCollection(Collection):
         self._journal = journal
 
     # -- journaled writes --------------------------------------------
-    # ``insert_many`` and ``replace_one`` need no overrides: they
-    # delegate to ``insert_one`` / ``update_one`` and journal through
-    # them (one entry per underlying op).
+    # ``replace_one`` needs no override: it delegates to ``update_one``
+    # and journals through it (one entry per underlying op).
 
     def insert_one(self, document: dict) -> int:
         with self._journal.op("insert_one", self.name, document=document):
             return super().insert_one(document)
+
+    def insert_many(self, documents, *, copy_documents: bool = True) -> list[int]:
+        # One journal frame for the whole batch; replay re-runs the
+        # inserts sequentially, which assigns the same ids (the journal
+        # captures the documents before ``_id`` assignment) and fails
+        # partially at the same document a partial live apply would.
+        docs = list(documents)
+        with self._journal.op("insert_many", self.name, documents=docs):
+            return super().insert_many(docs, copy_documents=copy_documents)
 
     def update_one(self, query: dict, update: dict, upsert: bool = False) -> int:
         with self._journal.op("update_one", self.name, query=query,

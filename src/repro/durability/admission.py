@@ -40,6 +40,20 @@ class IntakeItem:
     attempts: int = 0
     extras: dict[str, Any] = field(default_factory=dict)
 
+    def record_ids(self) -> tuple[str, ...]:
+        """The dedupable ids this item carries: every member id for a
+        batch item (``extras["batch"]``), the singleton id otherwise.
+        Pending-id bookkeeping must cover *members* — a retransmitted
+        singleton of a record queued inside a batch has to hit the
+        pending short-circuit, not re-enter intake."""
+        batch = self.extras.get("batch")
+        if batch is not None:
+            return tuple(record_id for record_id in batch.record_ids
+                         if record_id is not None)
+        if self.record_id is not None:
+            return (self.record_id,)
+        return ()
+
 
 class AdmissionController:
     """Bounded FIFO intake with priority-aware load shedding."""
@@ -68,8 +82,7 @@ class AdmissionController:
         lowest-priority entry of a full queue.
         """
         self._queue.append(item)
-        if item.record_id is not None:
-            self._pending_ids.add(item.record_id)
+        self._pending_ids.update(item.record_ids())
         self.admitted += 1
         self.max_depth = max(self.max_depth, len(self._queue))
         victims: list[IntakeItem] = []
@@ -116,8 +129,7 @@ class AdmissionController:
     def requeue(self, item: IntakeItem) -> None:
         """Put a failed-apply record back at the head for a retry."""
         self._queue.appendleft(item)
-        if item.record_id is not None:
-            self._pending_ids.add(item.record_id)
+        self._pending_ids.update(item.record_ids())
 
     def pending(self, record_id: str) -> bool:
         """True when ``record_id`` is waiting in the queue — the
@@ -134,8 +146,8 @@ class AdmissionController:
         return wiped
 
     def _forget(self, item: IntakeItem) -> None:
-        if item.record_id is not None:
-            self._pending_ids.discard(item.record_id)
+        for record_id in item.record_ids():
+            self._pending_ids.discard(record_id)
 
     def __len__(self) -> int:
         return len(self._queue)

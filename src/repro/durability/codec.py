@@ -80,18 +80,39 @@ def encode_value(value: Any, out: bytearray) -> None:
     elif type(value) is list:
         out += b"l"
         out += _U32.pack(len(value))
+        # Inlined str case: container elements are overwhelmingly
+        # strings (journal batch columns, document keys), and the
+        # recursive call per element dominates their encode cost.
         for item in value:
-            encode_value(item, out)
+            if type(item) is str:
+                body = item.encode("utf-8")
+                out += b"s"
+                out += _U32.pack(len(body))
+                out += body
+            else:
+                encode_value(item, out)
     elif type(value) is tuple:
         out += b"t"
         out += _U32.pack(len(value))
         for item in value:
-            encode_value(item, out)
+            if type(item) is str:
+                body = item.encode("utf-8")
+                out += b"s"
+                out += _U32.pack(len(body))
+                out += body
+            else:
+                encode_value(item, out)
     elif type(value) is dict:
         out += b"d"
         out += _U32.pack(len(value))
         for key, item in value.items():
-            encode_value(key, out)
+            if type(key) is str:
+                body = key.encode("utf-8")
+                out += b"s"
+                out += _U32.pack(len(body))
+                out += body
+            else:
+                encode_value(key, out)
             encode_value(item, out)
     else:
         raise CodecError(

@@ -42,6 +42,21 @@ from repro.durability.recovery import (
 )
 from repro.obs.health import STATUS_DEGRADED, STATUS_OK, Healthcheck
 
+#: Lazily built wire-value sets for the batch poison screen (module
+#: import stays free of ``repro.core`` just like the singleton path).
+_WIRE_ENUM_VALUES: tuple[frozenset, frozenset] | None = None
+
+
+def _wire_enum_values() -> tuple[frozenset, frozenset]:
+    global _WIRE_ENUM_VALUES
+    if _WIRE_ENUM_VALUES is None:
+        from repro.core.common.granularity import Granularity
+        from repro.core.common.modality import ModalityType
+        _WIRE_ENUM_VALUES = (
+            frozenset(modality.value for modality in ModalityType),
+            frozenset(granularity.value for granularity in Granularity))
+    return _WIRE_ENUM_VALUES
+
 
 class ServerDurability:
     """Write-ahead journaling + overload protection for one server."""
@@ -181,6 +196,98 @@ class ServerDurability:
             self._shed(victim)
         self._ensure_pump()
 
+    def submit_batch(self, batch, *, reply_to: str | None,
+                     sent_at: float | None) -> None:
+        """Admit one arriving batch envelope to the durable path.
+
+        Members partition exactly as N :meth:`submit` calls would:
+        already-seen ids re-ack (one coalesced ack envelope), ids still
+        pending in intake stay silent, poison members quarantine
+        individually, and the fresh remainder enters the queue as ONE
+        intake item carrying the (sub-)batch — admission, journaling
+        and the eventual ack all amortize across it.  A mixed batch
+        takes the max member priority, so an OSN-triggered member
+        shields its batch from watermark shedding just as it would
+        shield itself.
+        """
+        server = self.server
+        obs = self._obs
+        now = self.world.now
+        record_ids = batch.record_ids
+        traces: list[Any] | None = None
+        if obs is not None:
+            from repro.obs.trace import TraceContext
+            traces = [TraceContext.from_dict(trace) if trace is not None
+                      else None for trace in batch.traces]
+            started = now if sent_at is None else sent_at
+            for trace in traces:
+                obs.tracer.span(trace, "transport", start=started)
+            obs.telemetry.histogram(
+                "batch_size", stage="admission").observe(len(record_ids))
+        dedup = server.dedup
+        pending = self.admission.pending
+        duplicate_ids = []
+        fresh: list[int] = []
+        for index, record_id in enumerate(record_ids):
+            if record_id is not None and record_id in dedup:
+                dedup.seen(record_id)
+                server.records_duplicate += 1
+                duplicate_ids.append(record_id)
+                if obs is not None:
+                    obs.tracer.event(traces[index], "duplicate_ingest",
+                                     record_id=record_id)
+                    obs.telemetry.counter("records_duplicate").inc()
+                continue
+            if record_id is not None and pending(record_id):
+                self.pending_duplicates += 1
+                if obs is not None:
+                    obs.tracer.event(traces[index], "duplicate_pending",
+                                     record_id=record_id)
+                continue
+            fresh.append(index)
+        if duplicate_ids:
+            server._send_batch_ack(duplicate_ids, reply_to)
+        if not fresh:
+            return
+        # Poison screen: the singleton path learns this from
+        # ``StreamRecord.from_dict`` raising; a batch carries the same
+        # fields column-wise, so validate the enum columns directly
+        # instead of building N record objects.
+        valid_modalities, valid_granularities = _wire_enum_values()
+        admitted: list[int] = []
+        for index in fresh:
+            if (batch.modalities[index] in valid_modalities
+                    and batch.granularities[index] in valid_granularities):
+                admitted.append(index)
+                continue
+            document = batch.select([index]).store_documents()[0]
+            if record_ids[index] is not None:
+                document["record_id"] = record_ids[index]
+            self._quarantine_payload(
+                record_ids[index], document, reply_to,
+                traces[index] if traces is not None else None, "invalid")
+        if not admitted:
+            return
+        sub = batch if len(admitted) == len(record_ids) \
+            else batch.select(admitted)
+        priority = 1 if any(action is not None
+                            for action in sub.osn_actions) else 0
+        item = IntakeItem(
+            record_id=sub.record_ids[0],
+            payload={"device_id": sub.device_id},
+            record=None, reply_to=reply_to, sent_at=sent_at, trace=None,
+            priority=priority, enqueued_at=now, extras={"batch": sub})
+        victims = self.admission.admit(item)
+        if obs is not None:
+            depth = len(self.admission)
+            for index in admitted:
+                obs.tracer.span(traces[index], "admission",
+                                start=now, depth=depth)
+            obs.telemetry.gauge("intake_depth").set(depth)
+        for victim in victims:
+            self._shed(victim)
+        self._ensure_pump()
+
     # -- drain pump ---------------------------------------------------
 
     def _ensure_pump(self) -> None:
@@ -202,7 +309,7 @@ class ServerDurability:
             return
         item = self.admission.pop()
         try:
-            self.server._ingest_durable(item)
+            self.server._apply_intake(item)
         except StorageWriteError:
             self.breaker.record_failure(now)
             item.attempts += 1
@@ -221,20 +328,65 @@ class ServerDurability:
         be retried), remember its id so a late retransmission is not
         re-admitted, and attribute the drop."""
         reason = "breaker_open" if self.breaker.is_open else "shed"
-        self.records_shed += 1
         server = self.server
+        obs = self._obs
+        batch = victim.extras.get("batch")
+        if batch is not None:
+            # A shed batch sheds every member: remember + ack them all
+            # (one coalesced envelope) and attribute each drop.
+            self.records_shed += len(batch)
+            for record_id in batch.record_ids:
+                if record_id is not None:
+                    server.dedup.remember(record_id)
+            server._send_batch_ack(batch.record_ids, victim.reply_to)
+            if obs is not None:
+                for trace in self._batch_traces(batch):
+                    obs.tracer.mark_dropped(trace, "admission", reason)
+                obs.telemetry.counter("records_dropped", stage="admission",
+                                      reason=reason).inc(len(batch))
+            return
+        self.records_shed += 1
         if victim.record_id is not None:
             server.dedup.remember(victim.record_id)
         server._send_ack(victim.record_id, victim.reply_to)
-        obs = self._obs
         if obs is not None:
             obs.tracer.mark_dropped(victim.trace, "admission", reason)
             obs.telemetry.counter("records_dropped", stage="admission",
                                   reason=reason).inc()
 
+    def _batch_traces(self, batch):
+        from repro.obs.trace import TraceContext
+        return [TraceContext.from_dict(trace) if trace is not None else None
+                for trace in batch.traces]
+
     def _quarantine_item(self, item: IntakeItem, reason: str) -> None:
-        self._quarantine_payload(item.record_id, item.payload, item.reply_to,
-                                 item.trace, reason)
+        batch = item.extras.get("batch")
+        if batch is None:
+            self._quarantine_payload(item.record_id, item.payload,
+                                     item.reply_to, item.trace, reason)
+            return
+        # A poison batch dead-letters per member (each quarantine entry
+        # must be individually inspectable/replayable) but acks once.
+        server = self.server
+        record_ids = batch.record_ids
+        now = self.world.now
+        for index, document in enumerate(batch.store_documents()):
+            record_id = record_ids[index]
+            if record_id is not None:
+                document["record_id"] = record_id
+                server.dedup.remember(record_id)
+            self.quarantine.put(record_id=record_id, reason=reason,
+                                at=now, payload=document)
+            self.records_quarantined += 1
+        server._send_batch_ack(record_ids, item.reply_to)
+        obs = self._obs
+        if obs is not None:
+            for trace in self._batch_traces(batch):
+                obs.tracer.mark_dropped(trace, "ingest", "quarantined")
+            obs.telemetry.counter("records_dropped", stage="ingest",
+                                  reason="quarantined",
+                                  quarantine_reason=reason).inc(
+                                      len(record_ids))
 
     def _quarantine_payload(self, record_id: str | None, payload: dict,
                             reply_to: str | None, trace, reason: str) -> None:

@@ -87,8 +87,7 @@ class FairAdmissionController:
         source = self.source_of(item)
         self._queue_for(source).append(item)
         self._size += 1
-        if item.record_id is not None:
-            self._pending_ids.add(item.record_id)
+        self._pending_ids.update(item.record_ids())
         self.admitted += 1
         self.admitted_by_source[source] = \
             self.admitted_by_source.get(source, 0) + 1
@@ -174,8 +173,7 @@ class FairAdmissionController:
         """Put a failed-apply record back at the head for a retry."""
         self._retry.appendleft(item)
         self._size += 1
-        if item.record_id is not None:
-            self._pending_ids.add(item.record_id)
+        self._pending_ids.update(item.record_ids())
 
     def pending(self, record_id: str) -> bool:
         return record_id in self._pending_ids
@@ -193,8 +191,8 @@ class FairAdmissionController:
         return wiped
 
     def _forget(self, item: IntakeItem) -> None:
-        if item.record_id is not None:
-            self._pending_ids.discard(item.record_id)
+        for record_id in item.record_ids():
+            self._pending_ids.discard(record_id)
 
     def __len__(self) -> int:
         return self._size

@@ -501,6 +501,9 @@ def _apply(store, entry: JournalEntry, result: ReplayResult) -> None:
         collection.drop()
     elif op == "create_index":
         collection.create_index(payload["path"], payload.get("unique", False))
+    elif op == "insert_many":
+        for document in payload["documents"]:
+            collection.insert_one(document)
     elif op == "ingest":
         # Composite server entry: record document + dedup id move
         # together, so recovery can never ack-then-lose or double-store.
@@ -511,5 +514,23 @@ def _apply(store, entry: JournalEntry, result: ReplayResult) -> None:
         trace = payload["document"].get("trace")
         if trace is not None:
             result.traces.append((record_id, trace))
+    elif op == "ingest_batch":
+        # One frame for N records, stored column-wise (the frame is the
+        # wire envelope).  Replay walks the columns record-for-record in
+        # order — document insert, dedup id, trace — so the journal is
+        # indistinguishable from N singleton ``ingest`` frames to every
+        # downstream consumer (fingerprints, dedup restore, replay
+        # spans).
+        from repro.core.common.batch import RecordBatch
+        batch = RecordBatch.from_payload(payload["batch"])
+        record_ids = batch.record_ids
+        for index, document in enumerate(batch.store_documents()):
+            collection.insert_one(document)
+            record_id = record_ids[index]
+            if record_id is not None:
+                result.dedup_ids.append(record_id)
+            trace = document.get("trace")
+            if trace is not None:
+                result.traces.append((record_id, trace))
     else:
         raise DurabilityError(f"unknown journal op {op!r}")

@@ -229,7 +229,25 @@ class JournalBackfill:
                  collection: str | None = None):
         self.medium = medium
         self.ops = frozenset(ops)
+        # Batched runs journal composite ``ingest_batch`` frames; a
+        # backfill asking for ingests must see those records too, each
+        # expanded to a synthetic singleton entry so ``publish``
+        # consumers keep their one-document contract.
+        if "ingest" in self.ops:
+            self.ops |= {"ingest_batch"}
         self.collection = collection
+
+    @staticmethod
+    def _expand(entry: JournalEntry) -> list[JournalEntry]:
+        if entry.op != "ingest_batch":
+            return [entry]
+        from repro.core.common.batch import RecordBatch
+        batch = RecordBatch.from_payload(entry.payload["batch"])
+        return [JournalEntry(seq=entry.seq, op="ingest",
+                             collection=entry.collection,
+                             payload={"document": document,
+                                      "record_id": batch.record_ids[index]})
+                for index, document in enumerate(batch.store_documents())]
 
     def _history(self) -> Iterable[JournalEntry]:
         data = self.medium.log_view()
@@ -278,7 +296,8 @@ class JournalBackfill:
             if limit is not None and batch >= limit:
                 return checkpoint  # bounded: resume from next_seq later
             if self._matches(entry):
-                publish(entry)
+                for expanded in self._expand(entry):
+                    publish(expanded)
                 checkpoint.published += 1
                 batch += 1
             else:

@@ -88,6 +88,12 @@ class MqttBroker(Endpoint):
         self._obs_counters: dict[tuple[str, str], Any] = {}
         self.messages_routed = 0
         self.publishes_received = 0
+        #: Batch envelopes routed (one trie walk fans out N records).
+        self.batch_publishes = 0
+        #: Logical records those envelopes carried — with
+        #: ``publishes_received`` this yields trie routings *per
+        #: record*, the batching win the perf gate asserts on.
+        self.batched_records_routed = 0
         #: Deliveries suppressed by shard partition specs (shard-aware
         #: topic routing; see ``_partition_allows``).
         self.partition_filtered = 0
@@ -309,6 +315,15 @@ class MqttBroker(Endpoint):
     def _on_publish(self, src: str, packet: packets.Publish) -> None:
         levels = validate_topic(packet.topic)
         self.publishes_received += 1
+        payload = packet.payload
+        if type(payload) is dict and "batch_wire" in payload:
+            # A columnar batch envelope (repro.core.common.batch): the
+            # single trie walk below routes every record it carries.
+            self.batch_publishes += 1
+            self.batched_records_routed += payload.get("n", 1)
+            if self._obs is not None:
+                self._obs.telemetry.histogram(
+                    "batch_size", stage="broker").observe(payload.get("n", 1))
         if self._obs is not None:
             self._counter("broker_publishes_received", packet.topic).inc()
         session = self._session_for(src)

@@ -209,12 +209,27 @@ class Network:
     # -- data path ----------------------------------------------------
 
     def send(self, src: str, dst: str, payload, *,
-             size: int | None = None, headers: dict | None = None) -> Message:
+             size: int | None = None, headers: dict | None = None,
+             coalesced: int = 1) -> Message:
         """Send ``payload`` from ``src`` to ``dst``; returns the message.
 
         Delivery is scheduled for ``now + latency``.  The sender's radio
         is charged immediately (transmission happens now); the
         receiver's radio is charged at delivery.
+
+        ``coalesced`` declares how many logical messages this one
+        physical message replaces (batch envelopes).  The link then
+        draws loss/latency/jitter once *per logical message*, in the
+        same interleaved order N singleton sends would have, and
+        delivers at the FIFO-clamped arrival of the last one — so a
+        batched run consumes the RNG streams identically to the
+        per-record run it replaces and every later draw stays aligned.
+        If any logical message draws a loss, the whole envelope is
+        dropped (one TCP segment; QoS layers retransmit the members),
+        and — matching a singleton send, which returns before its
+        latency draw — the remaining draws are not consumed: under
+        probabilistic loss batching guarantees exactly-once, not
+        bit-identity.
         """
         if dst not in self._endpoints:
             raise UnknownEndpointError(f"unknown destination {dst!r}")
@@ -239,14 +254,20 @@ class Network:
             return message  # dropped by the partition; QoS layers retry
 
         loss = self._loss_for(src, dst)
-        if loss > 0.0 and self._fault_rng.random() < loss:
-            self._account_drop(message, dst, partition=False)
-            return message  # lost in transit; QoS layers retry
-
-        latency = self._latency_for(src, dst).sample(self._rng)
+        latency_model = self._latency_for(src, dst)
         jitter = self._jitter_for(src, dst)
-        if jitter is not None:
-            latency += jitter.sample(self._fault_rng)
+        latency = 0.0
+        for _ in range(coalesced):
+            if loss > 0.0 and self._fault_rng.random() < loss:
+                self._account_drop(message, dst, partition=False)
+                return message  # lost in transit; QoS layers retry
+            sample = latency_model.sample(self._rng)
+            if jitter is not None:
+                sample += jitter.sample(self._fault_rng)
+            # FIFO within the envelope: the slowest member gates it, the
+            # same arrival the per-link clamp below would give the Nth
+            # of N singleton sends.
+            latency = max(latency, sample)
         # Per-link FIFO: messages between the same pair ride one TCP
         # connection and never overtake each other.
         delivery_at = max(self._world.now + latency,

@@ -2,6 +2,7 @@
 
 from repro.perf.harness import (
     BENCH_PERF_FILENAME,
+    bench_batch_ingest,
     bench_broker_fanout,
     bench_docstore_query,
     bench_end_to_end_ingest,
@@ -11,6 +12,7 @@ from repro.perf.harness import (
 
 __all__ = [
     "BENCH_PERF_FILENAME",
+    "bench_batch_ingest",
     "bench_broker_fanout",
     "bench_docstore_query",
     "bench_end_to_end_ingest",

@@ -30,6 +30,11 @@ BENCH_PERF_FILENAME = "BENCH_PERF.json"
 #: benchmark (they match every publish; exact subscribers don't).
 _WILDCARD_SUBSCRIBERS = 4
 
+#: Wall-clock samples per timed point (the minimum is reported): work
+#: counters are exact either way, but one noisy scheduler interruption
+#: used to make mid-size points report slower than larger ones.
+_WALL_SAMPLES = 3
+
 
 def bench_broker_fanout(subscriber_counts: tuple[int, ...] = (100, 400, 1600),
                         publishes: int = 200, seed: int = 41) -> dict:
@@ -65,15 +70,26 @@ def bench_broker_fanout(subscriber_counts: tuple[int, ...] = (100, 400, 1600),
         subscriptions = count + _WILDCARD_SUBSCRIBERS
         packet = packets.Publish(topic="sensocial/data/u0/accel",
                                  payload={"v": 1}, qos=0)
-        # Warm-up publish (first route pays dict allocations).
-        broker.route(packet)
+        # Warm-up pass: the first routes pay one-off dict allocations
+        # and cold caches, and a single publish was not enough — the
+        # mid-size point used to report *lower* publish/s than both its
+        # neighbours purely from allocator/branch-cache noise.
+        for _ in range(max(1, publishes // 4)):
+            broker.route(packet)
         checks_before = broker.routing_checks
-        started = time.perf_counter()
         delivered = 0
-        for _ in range(publishes):
-            delivered += broker.route(packet)
-        elapsed = time.perf_counter() - started
-        checks = (broker.routing_checks - checks_before) / publishes
+        elapsed = None
+        # Best-of-3 wall-clock: work counters are deterministic (summed
+        # over every sample), timing keeps the least-interrupted run.
+        for _ in range(_WALL_SAMPLES):
+            started = time.perf_counter()
+            delivered = 0
+            for _ in range(publishes):
+                delivered += broker.route(packet)
+            sample = time.perf_counter() - started
+            elapsed = sample if elapsed is None else min(elapsed, sample)
+        checks = (broker.routing_checks - checks_before) \
+            / (publishes * _WALL_SAMPLES)
         points.append({
             "subscribers": count,
             "subscriptions": subscriptions,
@@ -207,6 +223,189 @@ def bench_end_to_end_ingest(users: int = 8, sim_minutes: float = 10.0,
     }
 
 
+def bench_batch_ingest(batch_sizes: tuple[int, ...] = (1, 16, 64, 256),
+                       records: int = 2048, cadence_s: float = 0.025,
+                       seed: int = 46) -> dict:
+    """Durable ingest throughput vs transport batch size.
+
+    Drives the durable server hot path directly: a bench device emits
+    ``records`` identical-rate stream records (one every ``cadence_s``
+    virtual seconds — far below the admission watermarks in every
+    mode, so nothing is shed and both paths ingest the exact same
+    set), either as one ``stream-data`` message per record or as one
+    ``stream-batch`` envelope per ``batch`` records, flushed when its
+    last member is due.
+
+    ``records_per_wall_s`` (best-of-``_WALL_SAMPLES``) is the headline;
+    the *amortization evidence* is deterministic per-record work
+    counters — network messages, journal appends, ack envelopes and
+    broker trie routings all fall as ``1/batch`` while the ingested
+    set stays bit-identical (``tests/test_batch_identity.py`` pins
+    identity; this bench and ``benchmarks/test_hotpath_perf.py`` pin
+    the speed).  The broker leg publishes the same record stream
+    through the subscription trie singleton vs enveloped, since
+    batched *messages* also collapse MQTT routing work.
+    """
+    from repro.core.common.batch import RecordBatch
+    from repro.core.server.manager import ServerSenSocialManager
+    from repro.durability import ServerDurability
+    from repro.mqtt import packets
+    from repro.mqtt.broker import MqttBroker
+    from repro.net.network import Network
+    from repro.simkit.world import World
+
+    def documents_for_run() -> list[dict]:
+        return [
+            {"stream_id": "bench-s1", "user_id": "bench-user",
+             "device_id": "bench-device", "modality": "accelerometer",
+             "granularity": "classified", "timestamp": index * cadence_s,
+             "value": {"x": float(index)}, "details": {},
+             "osn_action": None, "record_id": f"bench-r{index}"}
+            for index in range(records)
+        ]
+
+    def ingest_run(batch: int) -> dict:
+        world = World(seed=seed)
+        network = Network(world)
+        durability = ServerDurability(world)
+        server = ServerSenSocialManager(world, network,
+                                        durability=durability)
+        acks = {"messages": 0, "records": 0}
+
+        def bench_device(message):
+            protocol = message.headers.get("protocol")
+            if protocol == "stream-ack":
+                acks["messages"] += 1
+                acks["records"] += 1
+            elif protocol == "stream-batch-ack":
+                acks["messages"] += 1
+                acks["records"] += len(message.payload["record_ids"])
+
+        network.register("bench-device", bench_device)
+        documents = documents_for_run()
+        schedule = world.scheduler.schedule_at
+        # The mobile outbox estimates each record's wire size once, at
+        # *enqueue* time, and every send carries that explicit size (an
+        # envelope charges the sum of its members).  Enqueue-side prep
+        # is identical in both modes, so it stays outside the timed
+        # window — the measurement is flush + transport + ingest.
+        from repro.net.message import estimate_size
+        sizes = [estimate_size(document) for document in documents]
+        started = time.perf_counter()
+        if batch == 1:
+            def send_one(document, size):
+                network.send("bench-device", server.address, document,
+                             size=size, headers={"protocol": "stream-data"})
+            for index, document in enumerate(documents):
+                schedule(index * cadence_s, send_one, document,
+                         sizes[index])
+        else:
+            def send_envelope(chunk, size):
+                # Packing happens at flush time, as the mobile outbox
+                # does it — the cost belongs inside the measurement.
+                payload = RecordBatch.from_documents(chunk).to_payload()
+                network.send("bench-device", server.address, payload,
+                             size=size, coalesced=len(chunk),
+                             headers={"protocol": "stream-batch"})
+            for start in range(0, records, batch):
+                chunk = documents[start:start + batch]
+                # The envelope leaves when its *last* record is due, so
+                # the record rate matches the per-record schedule.
+                schedule((start + len(chunk) - 1) * cadence_s,
+                         send_envelope, chunk,
+                         sum(sizes[start:start + batch]))
+        world.run_for(records * cadence_s + 30.0)  # tail: intake drains
+        elapsed = time.perf_counter() - started
+        return {
+            "wall_seconds": elapsed,
+            "records_ingested": server.records_received,
+            "records_shed": durability.records_shed,
+            "records_quarantined": durability.records_quarantined,
+            "network_messages": network.messages_sent,
+            "journal_appends": durability.medium.appends,
+            "checkpoints": durability.medium.checkpoints,
+            "ack_messages": acks["messages"],
+            "acked_records": acks["records"],
+        }
+
+    def broker_run(batch: int) -> dict:
+        world = World(seed=seed)
+        network = Network(world)
+        broker = MqttBroker(world, network, address="perf-broker")
+        address = network.register("perf-sub", lambda message: None)
+        broker._on_connect(address, packets.Connect(client_id="sub"))
+        broker._on_subscribe(address, packets.Subscribe(
+            packet_id=1, topic_filter="sensocial/data/u0/accel"))
+        if batch == 1:
+            for index in range(records):
+                broker._on_publish(address, packets.Publish(
+                    topic="sensocial/data/u0/accel",
+                    payload={"v": index}, qos=0))
+        else:
+            for start in range(0, records, batch):
+                size = min(batch, records - start)
+                broker._on_publish(address, packets.Publish(
+                    topic="sensocial/data/u0/accel",
+                    payload={"batch_wire": 1, "n": size,
+                             "payloads": [{"v": start + offset}
+                                          for offset in range(size)]},
+                    qos=0))
+        return {
+            "publishes": broker.publishes_received,
+            "routing_checks": broker.routing_checks,
+            "batched_records_routed": broker.batched_records_routed,
+        }
+
+    points = []
+    for batch in batch_sizes:
+        best = None
+        for _ in range(_WALL_SAMPLES):
+            run = ingest_run(batch)
+            if best is None or run["wall_seconds"] < best["wall_seconds"]:
+                best = run
+        broker_work = broker_run(batch)
+        points.append({
+            "batch": batch,
+            "records": records,
+            "records_ingested": best["records_ingested"],
+            "records_shed": best["records_shed"],
+            "records_quarantined": best["records_quarantined"],
+            "wall_seconds": best["wall_seconds"],
+            "records_per_wall_s": (records / best["wall_seconds"]
+                                   if best["wall_seconds"] > 0 else None),
+            # Per-record amortization: every per-message cost divides
+            # by the batch size; per-record outputs stay identical.
+            "messages_per_record": best["network_messages"] / records,
+            "journal_appends_per_record":
+                best["journal_appends"] / records,
+            "ack_messages_per_record": best["ack_messages"] / records,
+            "acked_records": best["acked_records"],
+            "checkpoints": best["checkpoints"],
+            "trie_routings_per_record": broker_work["publishes"] / records,
+            "broker_checks_per_record":
+                broker_work["routing_checks"] / records,
+            "batched_records_routed":
+                broker_work["batched_records_routed"],
+        })
+    baseline = next((p for p in points if p["batch"] == 1), points[0])
+    for point in points:
+        point["speedup_vs_singleton"] = (
+            point["records_per_wall_s"] / baseline["records_per_wall_s"]
+            if baseline["records_per_wall_s"] else None)
+    gate_points = [p for p in points
+                   if p["batch"] >= 64 and p["speedup_vs_singleton"]]
+    return {
+        "records": records,
+        "cadence_s": cadence_s,
+        "wall_samples": _WALL_SAMPLES,
+        "points": points,
+        #: Best speedup among batch >= 64 — the ISSUE 9 >=10x gate.
+        "gate_speedup": (max(p["speedup_vs_singleton"]
+                             for p in gate_points)
+                         if gate_points else None),
+    }
+
+
 def bench_shard_scaling(shard_counts: tuple[int, ...] = (1, 4),
                         users: int = 16, sim_minutes: float = 10.0,
                         seed: int = 44) -> dict:
@@ -319,19 +518,21 @@ def bench_elasticity(users: int = 12, sim_minutes: float = 10.0,
 
 
 def run_all(*, quick: bool = False) -> dict:
-    """Run the five benchmark groups; ``quick`` shrinks sizes for CI
+    """Run the six benchmark groups; ``quick`` shrinks sizes for CI
     smoke runs while keeping every metric meaningful."""
     if quick:
         broker = bench_broker_fanout(subscriber_counts=(50, 200, 800),
                                      publishes=50)
         docstore = bench_docstore_query(n_docs=1000, rounds=50)
         ingest = bench_end_to_end_ingest(users=4, sim_minutes=5.0)
+        batch = bench_batch_ingest(records=512)
         shard = bench_shard_scaling(users=16, sim_minutes=5.0)
         elasticity = bench_elasticity(users=8, sim_minutes=5.0)
     else:
         broker = bench_broker_fanout()
         docstore = bench_docstore_query()
         ingest = bench_end_to_end_ingest()
+        batch = bench_batch_ingest()
         shard = bench_shard_scaling()
         elasticity = bench_elasticity()
     return {
@@ -340,6 +541,7 @@ def run_all(*, quick: bool = False) -> dict:
         "broker_fanout": broker,
         "docstore_query": docstore,
         "end_to_end_ingest": ingest,
+        "batch_ingest": batch,
         "shard_scaling": shard,
         "elasticity": elasticity,
     }
@@ -396,6 +598,19 @@ def format_summary(entry: dict) -> str:
         f"{ingest['sim_seconds']:.0f} sim-s in {ingest['wall_seconds']:.2f} "
         f"wall-s ({ingest['sim_speedup']:.0f}x real time, "
         f"{ingest['records_per_wall_s']:,.0f} records/wall-s)")
+    batch = entry.get("batch_ingest")
+    if batch is not None:
+        for point in batch["points"]:
+            lines.append(
+                f"  batch    b={point['batch']:>3}: "
+                f"{point['records_per_wall_s']:,.0f} records/wall-s, "
+                f"{point['messages_per_record']:.3f} msgs + "
+                f"{point['journal_appends_per_record']:.3f} appends + "
+                f"{point['trie_routings_per_record']:.3f} routings /record")
+        gate = batch["gate_speedup"]
+        lines.append(
+            f"  batch    speedup at batch>=64: "
+            f"{f'x{gate:.1f}' if gate else 'n/a'} (gate: >=10x)")
     shard = entry.get("shard_scaling")
     if shard is not None:
         for point in shard["points"]:

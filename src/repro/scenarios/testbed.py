@@ -46,8 +46,17 @@ class SenSocialTestbed:
                  location_update_period_s: float | None = 300.0,
                  observability: bool = False,
                  durability=False, shards: int | None = None,
-                 slo=False):
+                 slo=False, batching=False):
         MobileSenSocialManager.reset_instances()
+        #: Batched record transport: ``False``/``None`` = per-record
+        #: sends; ``True`` = batches of up to 64; an int = that batch
+        #: cap.  Threaded to every deployed mobile manager.
+        if batching is True:
+            self.batch_max = 64
+        elif batching:
+            self.batch_max = int(batching)
+        else:
+            self.batch_max = None
         self.world = World(seed=seed)
         #: The SLO control plane needs the tracer's terminal stream.
         observability = observability or bool(slo)
@@ -158,7 +167,8 @@ class SenSocialTestbed:
                                 self.environments, self.cities,
                                 home_city).start()
         manager = MobileSenSocialManager.get_sensocial_manager(
-            self.world, phone, self.network, classifiers=self.classifiers)
+            self.world, phone, self.network, classifiers=self.classifiers,
+            batch_max=self.batch_max)
         manager.start(location_update_period_s=self._location_update_period_s)
         if self.slo is not None:
             # Only SLO-managed deployments listen for rate pushes, so

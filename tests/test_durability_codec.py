@@ -144,6 +144,73 @@ class TestEntryCodec:
         assert JournalEntry.from_dict(entry.to_dict()) == entry
 
 
+def _sample_batch(n: int, offset: int = 0):
+    """A RecordBatch of ``n`` wire documents (ISSUE 9 envelope)."""
+    from repro.core.common.batch import RecordBatch
+    return RecordBatch.from_documents([
+        {"stream_id": "s1", "user_id": "u1", "device_id": "d1",
+         "modality": "accelerometer", "granularity": "classified",
+         "timestamp": float(offset + i), "value": {"x": offset + i},
+         "details": {}, "osn_action": None,
+         "record_id": f"r{offset + i}"}
+        for i in range(n)])
+
+
+class TestBatchFrames:
+    """The ``ingest_batch`` journal frame: one columnar envelope whose
+    replay is record-for-record identical to N singleton frames."""
+
+    def test_batch_envelope_round_trips_canonically(self):
+        batch = _sample_batch(5)
+        decoded = type(batch).decode(batch.encode())
+        assert decoded.to_payload() == batch.to_payload()
+        assert decoded.store_documents() == batch.store_documents()
+        # Canonical: same batch, same bytes (usable as a fingerprint).
+        assert _sample_batch(5).encode() == batch.encode()
+
+    def test_ingest_batch_entry_round_trip(self):
+        batch = _sample_batch(3)
+        entry = JournalEntry(seq=9, op="ingest_batch",
+                             collection="records",
+                             payload={"batch": batch.to_payload()})
+        decoded = codec.decode_entry(
+            codec.read_frame(codec.encode_entry(entry), 0)[1])
+        assert decoded == entry
+        from repro.core.common.batch import RecordBatch
+        replayed = RecordBatch.from_payload(decoded.payload["batch"])
+        assert replayed.store_documents() == batch.store_documents()
+        assert replayed.record_ids == batch.record_ids
+
+    def test_torn_tail_truncates_on_batch_boundary(self):
+        """A crash mid-append tears the *last* frame only: the scan
+        keeps every whole batch before it and classifies the partial
+        one torn — a batch is atomic on the medium, never half-kept."""
+        entries = [
+            JournalEntry(seq=seq, op="ingest_batch", collection="records",
+                         payload={"batch": _sample_batch(
+                             4, offset=4 * seq).to_payload()})
+            for seq in range(3)
+        ]
+        frames = [codec.encode_entry(entry) for entry in entries]
+        log = b"".join(frames)
+        for cut in (len(log) - 1,                       # tail ragged
+                    len(frames[0]) + len(frames[1]) + 5):  # mid-header
+            data, offset, recovered = log[:cut], 0, []
+            statuses = []
+            while offset < len(data):
+                status, body, offset = codec.read_frame(data, offset)
+                statuses.append(status)
+                if status == codec.FRAME_OK:
+                    recovered.append(codec.decode_entry(body))
+            # Every complete frame survives; the torn one vanishes
+            # whole — recovery resumes exactly at a batch boundary.
+            assert statuses[:-1] == [codec.FRAME_OK] * (len(statuses) - 1)
+            assert statuses[-1] == codec.FRAME_TORN
+            assert recovered == entries[:len(recovered)]
+            assert all(entry.payload["batch"]["n"] == 4
+                       for entry in recovered)
+
+
 class TestFingerprint:
     def test_equal_values_equal_fingerprints(self):
         a = {"users": [{"_id": 1, "name": "a"}]}
