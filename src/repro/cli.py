@@ -101,10 +101,33 @@ def _demo_sensor_map(args) -> int:
     return 0
 
 
+def _chaos_scenario(args) -> int:
+    """Population-scale chaos: run a named scenario's partition episode
+    and judge it on the store-carry-forward accounting invariant."""
+    from repro.perf import bench_scenario, write_report
+    from repro.perf.harness import format_scenario_summary
+
+    entry = bench_scenario(
+        args.scenario, args.devices, seed=args.seed,
+        scheduler=args.scheduler, active_cap=args.active_cap, chaos=True)
+    print(format_scenario_summary(entry))
+    report = entry["scenario"]
+    problems = list(report["verify_problems"])
+    if report["flushes"] == 0:
+        problems.append("partition episode produced no reconnect flushes")
+    for problem in problems:
+        print(f"INCONSISTENT: {problem}", file=sys.stderr)
+    if args.output:
+        write_report(entry, path=args.output)
+    return 1 if problems else 0
+
+
 def _chaos(args) -> int:
     from repro import Granularity, ModalityType, SenSocialTestbed
     from repro.faults import ChaosController, build_plan
 
+    if args.scenario:
+        return _chaos_scenario(args)
     horizon = args.minutes * 60.0
     plan = build_plan(args.plan, horizon)
     # A plan that declares expected SLO alerts needs the control plane
@@ -397,16 +420,27 @@ def _cluster(args) -> int:
 
 
 def _perf(args) -> int:
-    from repro.perf import run_all, write_report
-    from repro.perf.harness import format_summary
+    from repro.perf import bench_scenario, run_all, write_report
+    from repro.perf.harness import format_scenario_summary, format_summary
 
-    entry = run_all(quick=args.quick)
-    print(format_summary(entry))
+    if args.scenario:
+        entry = bench_scenario(
+            args.scenario, args.devices, seed=args.seed,
+            substrate=args.substrate, scheduler=args.scheduler,
+            sim_seconds=args.sim_seconds,
+            events_per_device=args.events_per_device,
+            active_cap=args.active_cap)
+        print(format_scenario_summary(entry))
+        failed = bool(entry["scenario"]["verify_problems"])
+    else:
+        entry = run_all(quick=args.quick)
+        print(format_summary(entry))
+        failed = False
     if not args.no_write:
         document = write_report(entry, path=args.output)
         print(f"\nperf trajectory: {args.output} "
               f"({len(document['history'])} entries)")
-    return 0
+    return 1 if failed else 0
 
 
 def _experiments(args) -> int:
@@ -457,6 +491,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="journaled server: write-ahead log, crash "
                             "recovery, admission control (required by "
                             "server-crash / storage-stress plans)")
+    chaos.add_argument("--scenario", default=None,
+                       help="run a named population scenario's chaos "
+                            "episode (e.g. flash-crowd) instead of a "
+                            "fault plan")
+    chaos.add_argument("--devices", type=int, default=10_000,
+                       help="population size for --scenario chaos runs")
+    chaos.add_argument("--scheduler", choices=("heap", "wheel"),
+                       default="wheel",
+                       help="event queue for --scenario chaos runs")
+    chaos.add_argument("--active-cap", type=int, default=4096,
+                       help="max resident devices for --scenario runs")
+    chaos.add_argument("--output", default=None,
+                       help="append the --scenario chaos datapoint to "
+                            "this perf trajectory file")
     chaos.add_argument("--slo", action="store_true",
                        help="deploy the SLO control plane (burn-rate "
                             "alerts + adaptive sensing backoff); implied "
@@ -569,6 +617,27 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-write", action="store_true",
                       help="print the summary without touching the "
                            "trajectory file")
+    perf.add_argument("--scenario", default=None,
+                      help="run a named population scenario instead of "
+                           "the classic suite (city-day, flash-crowd, "
+                           "viral-cascade, dtn-partition)")
+    perf.add_argument("--devices", type=int, default=10_000,
+                      help="population size for --scenario runs")
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument("--substrate", choices=("streaming", "eager"),
+                      default="streaming",
+                      help="device residency model for --scenario runs")
+    perf.add_argument("--scheduler", choices=("heap", "wheel"),
+                      default="wheel",
+                      help="event-queue backing the scenario world")
+    perf.add_argument("--sim-seconds", type=float, default=None,
+                      help="override the scenario's horizon (compressed "
+                           "CI runs)")
+    perf.add_argument("--events-per-device", type=float, default=None,
+                      help="override the scenario's mean sense events "
+                           "per device")
+    perf.add_argument("--active-cap", type=int, default=4096,
+                      help="max resident devices (streaming substrate)")
     perf.set_defaults(handler=_perf)
 
     experiments = subparsers.add_parser(

@@ -27,6 +27,8 @@ class EnergyCategory(str, Enum):
 class Battery:
     """Charge store plus a drain ledger keyed by (component, category)."""
 
+    __slots__ = ("capacity_mah", "consumed_mah", "_ledger")
+
     def __init__(self, capacity_mah: float = BATTERY_CAPACITY_MAH):
         if capacity_mah <= 0:
             raise DeviceError(f"battery capacity must be > 0, got {capacity_mah}")

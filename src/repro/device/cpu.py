@@ -15,6 +15,8 @@ from repro.device.errors import DeviceError
 class CpuModel:
     """Additive steady-state loads plus transient pulses, capped at 100 %."""
 
+    __slots__ = ("base_load_pct", "_loads", "_pulse_pct")
+
     def __init__(self, base_load_pct: float = 0.0):
         if base_load_pct < 0:
             raise DeviceError(f"base load must be >= 0, got {base_load_pct}")

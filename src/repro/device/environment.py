@@ -31,7 +31,7 @@ class AudioState(str, Enum):
     NOISY = "not_silent"
 
 
-@dataclass
+@dataclass(slots=True)
 class UserEnvironment:
     """The ground truth a single user's sensors observe."""
 

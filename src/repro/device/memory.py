@@ -16,6 +16,8 @@ from repro.device.errors import DeviceError
 class HeapModel:
     """Named allocations with Dalvik-like headroom growth."""
 
+    __slots__ = ("_headroom", "_allocations", "_high_water_mb")
+
     def __init__(self, headroom_factor: float = HEAP_HEADROOM_FACTOR):
         if headroom_factor < 1.0:
             raise DeviceError(

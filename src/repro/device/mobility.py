@@ -43,6 +43,10 @@ class City:
 class CityRegistry:
     """Known cities; also the reverse geocoder for the location classifier."""
 
+    __slots__ = ("_cities",)
+
+    _shared_europe: "CityRegistry | None" = None
+
     def __init__(self):
         self._cities: dict[str, City] = {}
 
@@ -83,6 +87,18 @@ class CityRegistry:
         registry.add(City("Lyon", 4.8357, 45.7640))
         registry.add(City("Manchester", -2.2426, 53.4808))
         return registry
+
+    @classmethod
+    def shared_europe(cls) -> "CityRegistry":
+        """A process-wide shared copy of :meth:`europe`.
+
+        Population-scale scenarios hold one registry for 100k devices;
+        sharing the immutable city table keeps it out of the per-device
+        budget.  Treat the returned registry as read-only.
+        """
+        if cls._shared_europe is None:
+            cls._shared_europe = cls.europe()
+        return cls._shared_europe
 
 
 #: Per-update activity transition probabilities (rows sum to 1).
@@ -139,6 +155,9 @@ class CityMobility:
     interpolates the position towards another city over a duration —
     exactly the Figure 2 scenario.
     """
+
+    __slots__ = ("_world", "_rng", "environment", "_cities", "city",
+                 "_task", "_travel_target", "_travel_step_km")
 
     UPDATE_PERIOD_S = 30.0
 
@@ -236,6 +255,9 @@ class RandomWaypoint:
     semantics: pick a waypoint, move towards it at walking speed,
     pause, repeat.
     """
+
+    __slots__ = ("_world", "_rng", "environment", "_bbox", "_speed_kmh",
+                 "_pause_s", "_waypoint", "_pause_until", "_task")
 
     UPDATE_PERIOD_S = 30.0
 

@@ -17,6 +17,9 @@ from repro.simkit.world import World
 class Radio:
     """Per-device radio; plugged into :class:`repro.net.Network` hooks."""
 
+    __slots__ = ("_world", "_battery", "component", "_tail_until",
+                 "bytes_tx", "bytes_rx", "bursts")
+
     def __init__(self, world: World, battery: Battery, component: str = "radio"):
         self._world = world
         self._battery = battery

@@ -28,6 +28,8 @@ WINDOW_SAMPLES = 40
 
 
 class AccelerometerSensor(Sensor):
+    __slots__ = ()
+
     modality = "accelerometer"
 
     def _read(self) -> list[list[float]]:

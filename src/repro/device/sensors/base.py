@@ -26,6 +26,8 @@ class SensorReading:
 class Sensor(ABC):
     """A physical sensor: samples the user's environment for energy."""
 
+    __slots__ = ("_world", "_battery", "_environment", "_rng", "samples_taken")
+
     #: Subclasses set the modality name used across the middleware.
     modality: str = ""
 

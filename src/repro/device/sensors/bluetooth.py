@@ -15,6 +15,8 @@ from repro.simkit.world import World
 
 
 class BluetoothSensor(Sensor):
+    __slots__ = ("_registry",)
+
     modality = "bluetooth"
 
     def __init__(self, world: World, battery: Battery,

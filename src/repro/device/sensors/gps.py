@@ -9,6 +9,8 @@ _FIX_NOISE_DEG = 0.0001
 
 
 class GpsSensor(Sensor):
+    __slots__ = ()
+
     modality = "location"
 
     def _read(self) -> dict:

@@ -16,6 +16,8 @@ WINDOW_SAMPLES = 20
 
 
 class MicrophoneSensor(Sensor):
+    __slots__ = ()
+
     modality = "microphone"
 
     def _read(self) -> list[float]:

@@ -9,6 +9,8 @@ from repro.simkit.world import World
 
 
 class WifiSensor(Sensor):
+    __slots__ = ("_registry",)
+
     modality = "wifi"
 
     def __init__(self, world: World, battery: Battery,

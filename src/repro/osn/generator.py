@@ -24,7 +24,23 @@ DEFAULT_ACTION_MIX = [
 
 
 class ActionWorkloadGenerator:
-    """Poisson action arrivals for a set of users."""
+    """Poisson action arrivals for a set of users.
+
+    Two operating modes:
+
+    * Per-user (``start_user`` / ``start_all``) — one chained event per
+      user, the classic testbed shape.  O(users) pending events and
+      O(users) ``_running`` state.
+    * Streaming (``stream_arrivals``) — a *single* chained pump drawing
+      from the aggregate Poisson process (rate = users x per-user rate)
+      and assigning each arrival to a user by draw.  Statistically the
+      same workload with O(1) pending events and O(1) generator state,
+      which is what population-scale OSN runs need.
+    """
+
+    __slots__ = ("_world", "_service", "_rng", "_content",
+                 "actions_per_hour", "_mix", "_running",
+                 "stream_actions")
 
     def __init__(self, world: World, service: OsnService,
                  actions_per_hour: float = 2.0,
@@ -38,6 +54,9 @@ class ActionWorkloadGenerator:
         self.actions_per_hour = actions_per_hour
         self._mix = action_mix if action_mix is not None else DEFAULT_ACTION_MIX
         self._running: dict[str, bool] = {}
+        #: Actions performed by the streaming pump (all modes share
+        #: ``_perform_once``, so per-user counters stay in the service).
+        self.stream_actions = 0
 
     def start_user(self, user_id: str) -> None:
         """Begin generating actions for ``user_id``."""
@@ -62,6 +81,37 @@ class ActionWorkloadGenerator:
         for index in range(count):
             self._world.scheduler.schedule(
                 index * interval, self._perform_once, user_id)
+
+    def stream_arrivals(self, users: list[str] | None = None,
+                        until: float | None = None) -> None:
+        """Drive all users from one aggregate Poisson pump.
+
+        ``users`` defaults to the service graph's registered users; the
+        pump samples the aggregate process (``len(users) x
+        actions_per_hour``) and assigns each arrival uniformly, so the
+        per-user marginal is the same Poisson process ``start_all``
+        produces — without one pending event and one ``_running`` entry
+        per user.  Stops after ``until`` (absolute sim time), or runs
+        while the simulation does.
+        """
+        roster = users if users is not None \
+            else list(self._service.graph.users())
+        if not roster:
+            return
+        mean_gap = 3600.0 / (self.actions_per_hour * len(roster))
+        self._world.scheduler.schedule(
+            self._rng.expovariate(1.0 / mean_gap), self._stream_fire,
+            roster, mean_gap, until)
+
+    def _stream_fire(self, roster: list[str], mean_gap: float,
+                     until: float | None) -> None:
+        if until is not None and self._world.now > until:
+            return
+        self.stream_actions += 1
+        self._perform_once(roster[self._rng.randrange(len(roster))])
+        self._world.scheduler.schedule(
+            self._rng.expovariate(1.0 / mean_gap), self._stream_fire,
+            roster, mean_gap, until)
 
     def _schedule_next(self, user_id: str) -> None:
         mean_gap = 3600.0 / self.actions_per_hour

@@ -6,6 +6,8 @@ from repro.perf.harness import (
     bench_broker_fanout,
     bench_docstore_query,
     bench_end_to_end_ingest,
+    bench_scenario,
+    format_scenario_summary,
     run_all,
     write_report,
 )
@@ -16,6 +18,8 @@ __all__ = [
     "bench_broker_fanout",
     "bench_docstore_query",
     "bench_end_to_end_ingest",
+    "bench_scenario",
+    "format_scenario_summary",
     "run_all",
     "write_report",
 ]

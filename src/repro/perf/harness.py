@@ -538,6 +538,12 @@ def run_all(*, quick: bool = False) -> dict:
     return {
         "run_at": time.time(),
         "quick": quick,
+        # Every trajectory datapoint is labelled with what workload
+        # produced it, so mixed histories (classic suite entries next
+        # to named-scenario entries) stay self-describing.
+        "labels": {"scenario": "hotpath-suite",
+                   "population": ingest["users"]
+                   if "users" in ingest else 4},
         "broker_fanout": broker,
         "docstore_query": docstore,
         "end_to_end_ingest": ingest,
@@ -545,6 +551,69 @@ def run_all(*, quick: bool = False) -> dict:
         "shard_scaling": shard,
         "elasticity": elasticity,
     }
+
+
+def bench_scenario(name: str, devices: int, *, seed: int = 0,
+                   substrate: str = "streaming", scheduler: str = "wheel",
+                   sim_seconds: float | None = None,
+                   events_per_device: float | None = None,
+                   active_cap: int = 4096, sink: str = "stats",
+                   chaos: bool = False) -> dict:
+    """Run one named population scenario as a benchmark datapoint.
+
+    The scenario engine already measures wall time and counts events;
+    this wraps its report in a trajectory entry shaped like
+    :func:`run_all`'s — same ``labels`` contract, so ``repro perf
+    --scenario`` datapoints land in the same ``BENCH_PERF.json``
+    history as the classic suite.
+    """
+    from repro.scenarios import run_scenario
+
+    report = run_scenario(name, devices, seed=seed, substrate=substrate,
+                          scheduler=scheduler, sim_seconds=sim_seconds,
+                          events_per_device=events_per_device,
+                          active_cap=active_cap, sink=sink, chaos=chaos)
+    return {
+        "run_at": time.time(),
+        "quick": False,
+        "labels": {"scenario": name, "population": devices},
+        "scenario": report,
+    }
+
+
+def format_scenario_summary(entry: dict) -> str:
+    """Digest of a ``bench_scenario`` trajectory entry."""
+    report = entry["scenario"]
+    labels = entry["labels"]
+    lines = [f"scenario {labels['scenario']} "
+             f"({labels['population']:,} devices, "
+             f"{report['substrate']}/{report['scheduler']})"]
+    lines.append(
+        f"  events   {report['events']:,} in {report['wall_s']:.2f} wall-s "
+        f"({report['events_per_wall_s']:,.0f} events/s, horizon "
+        f"{report['horizon_s']:.0f} sim-s)")
+    lines.append(
+        f"  records  {report['emitted']:,} emitted = "
+        f"{report['delivered']:,} delivered + "
+        f"{report['buffered_residual']:,} carried + "
+        f"{report['dropped']:,} dropped "
+        f"({report['flushes']} reconnect flushes)")
+    lines.append(
+        f"  memory   peak {report['peak_active']:,} resident devices "
+        f"(cap {report['active_cap']:,}), cold store "
+        f"{report['store_bytes']:,} B "
+        f"({report['store_bytes_per_device']:.0f} B/device), "
+        f"{report['hibernations']:,} hibernations / "
+        f"{report['rehydrations']:,} rehydrations")
+    if report["cascade_actions"]:
+        lines.append(f"  cascade  {report['cascade_actions']:,} OSN actions "
+                     f"({report['cascade_skipped']} skipped)")
+    lines.append(f"  order    delivery fingerprint "
+                 f"{report['delivery_fingerprint']}")
+    problems = report.get("verify_problems", [])
+    lines.append("  verify   " + ("ok" if not problems
+                                  else "; ".join(problems)))
+    return "\n".join(lines)
 
 
 def write_report(entry: dict, path: str | Path = BENCH_PERF_FILENAME,

@@ -46,7 +46,7 @@ class SenSocialTestbed:
                  location_update_period_s: float | None = 300.0,
                  observability: bool = False,
                  durability=False, shards: int | None = None,
-                 slo=False, batching=False):
+                 slo=False, batching=False, scheduler: str = "heap"):
         MobileSenSocialManager.reset_instances()
         #: Batched record transport: ``False``/``None`` = per-record
         #: sends; ``True`` = batches of up to 64; an int = that batch
@@ -57,7 +57,11 @@ class SenSocialTestbed:
             self.batch_max = int(batching)
         else:
             self.batch_max = None
-        self.world = World(seed=seed)
+        #: ``scheduler`` selects the event-queue backing the world's
+        #: clock — ``"heap"`` or ``"wheel"`` (see
+        #: :func:`repro.simkit.world.build_event_queue`).  Firing order
+        #: is bit-identical either way.
+        self.world = World(seed=seed, scheduler=scheduler)
         #: The SLO control plane needs the tracer's terminal stream.
         observability = observability or bool(slo)
         #: ``None`` deploys the classic monolithic server; an integer

@@ -5,19 +5,35 @@ clock, a deterministic event scheduler, named seeded random streams and
 a :class:`World` container that wires components together.  The kernel
 is deliberately small and dependency-free so that every higher layer
 (network, MQTT broker, devices, middleware) shares one notion of time.
+
+The scheduler's pending-event store is pluggable: the default binary
+heap (:class:`HeapEventQueue`) or the calendar-queue event wheel
+(:class:`repro.simkit.wheel.CalendarEventQueue`) — select per world
+with ``World(scheduler="wheel")``.  Both fire the identical
+``(time, seq)`` total order (pinned by the equivalence oracle in
+:mod:`repro.simkit.wheel`).
 """
 
 from repro.simkit.errors import SimulationError, SchedulingError
-from repro.simkit.scheduler import EventHandle, PeriodicTask, Scheduler
+from repro.simkit.scheduler import (
+    EventHandle,
+    EventQueue,
+    HeapEventQueue,
+    PeriodicTask,
+    Scheduler,
+)
 from repro.simkit.randomness import RandomStreams
-from repro.simkit.world import World
+from repro.simkit.world import World, build_event_queue
 
 __all__ = [
     "EventHandle",
+    "EventQueue",
+    "HeapEventQueue",
     "PeriodicTask",
     "RandomStreams",
     "Scheduler",
     "SchedulingError",
     "SimulationError",
     "World",
+    "build_event_queue",
 ]

@@ -1,9 +1,19 @@
 """Deterministic discrete-event scheduler.
 
 The scheduler owns the virtual clock.  Events are ``(time, seq, fn)``
-triples kept in a binary heap; ``seq`` is a monotonically increasing
-counter so that two events scheduled for the same instant always fire
-in scheduling order, making every run bit-for-bit reproducible.
+triples; ``seq`` is a monotonically increasing counter so that two
+events scheduled for the same instant always fire in scheduling order,
+making every run bit-for-bit reproducible.
+
+Pending events live in a pluggable :class:`EventQueue`.  The default is
+a binary heap (:class:`HeapEventQueue`, O(log n) per event over the
+whole population); ``repro.simkit.wheel.CalendarEventQueue`` is a
+calendar-queue event wheel whose per-event cost depends on bucket
+occupancy instead of total population — selected per
+:class:`repro.simkit.world.World` via ``scheduler="wheel"`` and gated
+by the heap-equivalence oracle in :mod:`repro.simkit.wheel`.  Both
+queues pop the unique ``(time, seq)`` minimum, so firing order is
+bit-identical whichever backs the scheduler.
 """
 
 from __future__ import annotations
@@ -17,11 +27,13 @@ from repro.simkit.errors import SchedulingError
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
-    Cancellation is *lazy*: the entry stays in the heap but is skipped
-    when popped, which keeps cancellation O(1).
+    Cancellation is *lazy*: the entry stays in the queue but is skipped
+    when popped, which keeps cancellation O(1).  The owning queue is
+    notified so it can compact once cancelled entries dominate (see
+    :meth:`EventQueue.note_cancel`).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "queue")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -29,10 +41,15 @@ class EventHandle:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue.note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -42,6 +59,95 @@ class EventHandle:
         return f"<EventHandle t={self.time:.3f} seq={self.seq} {state}>"
 
 
+class EventQueue:
+    """Interface every scheduler queue implements.
+
+    Invariant shared by all implementations: :meth:`pop` returns the
+    live handle with the smallest ``(time, seq)`` — a *total* order, so
+    any two conforming queues drive identical simulations.
+    """
+
+    #: Queues smaller than this skip compaction entirely — rebuilding a
+    #: tiny queue costs more than the dead entries it would reclaim.
+    COMPACT_MIN = 64
+
+    def push(self, handle: EventHandle) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> EventHandle | None:
+        """Remove and return the minimum live handle, or ``None``."""
+        raise NotImplementedError
+
+    def peek(self) -> EventHandle | None:
+        """The minimum live handle without removing it, or ``None``."""
+        raise NotImplementedError
+
+    def live_count(self) -> int:
+        raise NotImplementedError
+
+    def note_cancel(self) -> None:
+        """Called once per handle when it is cancelled while queued."""
+        raise NotImplementedError
+
+
+class HeapEventQueue(EventQueue):
+    """The default queue: one binary heap over all pending events.
+
+    Cancelled entries are skipped lazily at the top; a compaction sweep
+    rebuilds the heap whenever cancelled entries outnumber live ones
+    (they used to accumulate without bound when long runs churned
+    periodic tasks — the ``EventHandle`` lazy-cancellation leak).
+    """
+
+    __slots__ = ("_heap", "_cancelled", "compactions")
+
+    def __init__(self):
+        self._heap: list[EventHandle] = []
+        #: Cancelled entries still physically present in the heap.
+        self._cancelled = 0
+        self.compactions = 0
+
+    def push(self, handle: EventHandle) -> None:
+        handle.queue = self
+        heapq.heappush(self._heap, handle)
+
+    def pop(self) -> EventHandle | None:
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        handle = heapq.heappop(self._heap)
+        handle.queue = None
+        return handle
+
+    def peek(self) -> EventHandle | None:
+        self._drop_cancelled()
+        return self._heap[0] if self._heap else None
+
+    def live_count(self) -> int:
+        return len(self._heap) - self._cancelled
+
+    def note_cancel(self) -> None:
+        self._cancelled += 1
+        if (self._cancelled * 2 > len(self._heap)
+                and len(self._heap) >= self.COMPACT_MIN):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify.
+
+        A heap of the same live elements pops in the same ``(time,
+        seq)`` order, so compaction is invisible to the simulation."""
+        self._heap = [handle for handle in self._heap if not handle.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap).queue = None
+            self._cancelled -= 1
+
+
 class PeriodicTask:
     """A repeating event with a fixed period.
 
@@ -49,6 +155,9 @@ class PeriodicTask:
     fired, so cancelling from inside the callback works and a slow
     callback never causes events to pile up at the same instant.
     """
+
+    __slots__ = ("_scheduler", "interval", "_fn", "_args", "_handle",
+                 "_cancelled", "fire_count")
 
     def __init__(self, scheduler: "Scheduler", interval: float,
                  fn: Callable[..., Any], args: tuple):
@@ -89,11 +198,13 @@ class PeriodicTask:
 
 
 class Scheduler:
-    """The event loop: a virtual clock plus a heap of pending events."""
+    """The event loop: a virtual clock plus a queue of pending events."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 queue: EventQueue | None = None):
         self._now = float(start_time)
-        self._queue: list[EventHandle] = []
+        self._queue: EventQueue = queue if queue is not None \
+            else HeapEventQueue()
         self._seq = 0
         self.events_processed = 0
 
@@ -101,6 +212,11 @@ class Scheduler:
     def now(self) -> float:
         """Current simulated time, in seconds."""
         return self._now
+
+    @property
+    def queue(self) -> EventQueue:
+        """The backing event queue (heap or calendar wheel)."""
+        return self._queue
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
@@ -115,7 +231,7 @@ class Scheduler:
                 f"cannot schedule at t={time:.6f}, clock already at {self._now:.6f}")
         handle = EventHandle(time, self._seq, fn, args)
         self._seq += 1
-        heapq.heappush(self._queue, handle)
+        self._queue.push(handle)
         return handle
 
     def every(self, interval: float, fn: Callable[..., Any], *args: Any,
@@ -125,15 +241,14 @@ class Scheduler:
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        self._drop_cancelled()
-        return self._queue[0].time if self._queue else None
+        handle = self._queue.peek()
+        return handle.time if handle is not None else None
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` when nothing is pending."""
-        self._drop_cancelled()
-        if not self._queue:
+        handle = self._queue.pop()
+        if handle is None:
             return False
-        handle = heapq.heappop(self._queue)
         self._now = handle.time
         self.events_processed += 1
         handle.fn(*handle.args)
@@ -170,8 +285,4 @@ class Scheduler:
 
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
-
-    def _drop_cancelled(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        return self._queue.live_count()

@@ -1,0 +1,212 @@
+"""Calendar-queue event wheel: equivalence, compaction, self-tuning.
+
+The load-bearing property: the wheel and the heap fire the *identical*
+``(time, seq)`` total order under every scheduler behaviour — nested
+schedules, exact-time ties, cancellation (including compaction sweeps)
+and periodic churn.  ``equivalence_check`` drives one randomized
+program through both queues and diffs the complete logs; the suite
+sweeps seeds, and ``oracle_gate`` is what ``World(scheduler="wheel")``
+runs before trusting the wheel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import (
+    HeapEventQueue,
+    Scheduler,
+    SimulationError,
+    World,
+    build_event_queue,
+)
+from repro.simkit.wheel import CalendarEventQueue, equivalence_check, oracle_gate
+
+
+class TestEquivalenceOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs_fire_identically(self, seed):
+        report = equivalence_check(seed=seed, ops=250)
+        assert report["match"], report["divergence"]
+        assert report["events"] > 100  # the program actually ran
+
+    def test_narrow_buckets_still_identical(self):
+        # Width far below the event spacing: every event its own bucket.
+        report = equivalence_check(seed=3, ops=200, bucket_width=0.01)
+        assert report["match"], report["divergence"]
+
+    def test_wide_buckets_still_identical(self):
+        # Width far above the horizon: the wheel degrades to one heap.
+        report = equivalence_check(seed=4, ops=200, bucket_width=1e6)
+        assert report["match"], report["divergence"]
+
+    def test_oracle_gate_passes_and_caches(self):
+        assert oracle_gate() is True
+        assert oracle_gate() is True  # cached verdict
+
+    def test_world_accepts_wheel_selector(self):
+        world = World(seed=1, scheduler="wheel")
+        assert isinstance(world.scheduler.queue, CalendarEventQueue)
+
+    def test_world_rejects_unknown_selector(self):
+        with pytest.raises(SimulationError, match="unknown scheduler"):
+            World(scheduler="fibonacci")
+
+    def test_build_event_queue_passthrough(self):
+        queue = CalendarEventQueue()
+        assert build_event_queue(queue) is queue
+        assert build_event_queue("heap") is None
+        assert build_event_queue(None) is None
+
+
+class TestCalendarQueueMechanics:
+    def test_pops_in_time_seq_order_across_buckets(self):
+        scheduler = Scheduler(queue=CalendarEventQueue(bucket_width=1.0))
+        fired = []
+        for at in (5.5, 0.25, 3.75, 0.75, 3.25, 5.0, 0.5):
+            scheduler.schedule_at(at, fired.append, at)
+        scheduler.run()
+        assert fired == sorted(fired)
+
+    def test_ties_fire_in_scheduling_order(self):
+        scheduler = Scheduler(queue=CalendarEventQueue())
+        fired = []
+        for label in range(6):
+            scheduler.schedule_at(2.0, fired.append, label)
+        scheduler.run()
+        assert fired == list(range(6))
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(SimulationError, match="bucket width"):
+            CalendarEventQueue(bucket_width=0.0)
+
+    def test_width_halves_when_one_bucket_overflows(self):
+        queue = CalendarEventQueue(bucket_width=1.0)
+        scheduler = Scheduler(queue=queue)
+        # Spread > MAX_BUCKET distinct times inside one bucket.
+        count = queue.MAX_BUCKET + 8
+        for index in range(count):
+            scheduler.schedule_at(0.4 * index / count, lambda: None)
+        assert queue.resizes >= 1
+        assert queue.bucket_width < 1.0
+        assert queue.live_count() == count
+
+    def test_same_instant_pileup_never_resizes(self):
+        queue = CalendarEventQueue(bucket_width=1.0)
+        scheduler = Scheduler(queue=queue)
+        for _ in range(queue.MAX_BUCKET + 50):
+            scheduler.schedule_at(0.5, lambda: None)
+        # Narrower buckets cannot split one instant: no rebuild.
+        assert queue.resizes == 0
+        assert queue.bucket_width == 1.0
+
+    def test_cancellation_compaction_sweep(self):
+        queue = CalendarEventQueue()
+        scheduler = Scheduler(queue=queue)
+        handles = [scheduler.schedule_at(float(index), lambda: None)
+                   for index in range(200)]
+        for handle in handles[:120]:
+            handle.cancel()
+        # More than half cancelled => at least one sweep rebuilt the
+        # calendar, and dead entries never reach a majority of the
+        # physical size afterwards.
+        assert queue.compactions >= 1
+        assert queue.live_count() == 80
+        physical = sum(len(b) for b in queue._buckets.values())
+        assert physical < 200
+        assert (physical - queue.live_count()) * 2 <= physical
+
+    def test_peek_skips_cancelled_head(self):
+        scheduler = Scheduler(queue=CalendarEventQueue())
+        first = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        first.cancel()
+        assert scheduler.peek_time() == 2.0
+
+    def test_empty_buckets_are_reclaimed(self):
+        queue = CalendarEventQueue(bucket_width=1.0)
+        scheduler = Scheduler(queue=queue)
+        for at in (0.5, 10.5, 20.5):
+            scheduler.schedule_at(at, lambda: None)
+        scheduler.run()
+        assert queue.occupied_buckets() == 0
+        assert queue.live_count() == 0
+
+
+class TestHeapCompactionSweep:
+    def test_cancelled_majority_triggers_sweep(self):
+        queue = HeapEventQueue()
+        scheduler = Scheduler(queue=queue)
+        handles = [scheduler.schedule_at(float(index), lambda: None)
+                   for index in range(128)]
+        for handle in handles[:100]:
+            handle.cancel()
+        assert queue.compactions >= 1
+        # The sweep reclaimed the bulk of the dead entries: the heap
+        # shrank well below its 128-entry physical peak.
+        assert queue.live_count() == 28
+        assert len(queue._heap) < 128
+        # Residual dead entries are bounded: below COMPACT_MIN the
+        # sweep doesn't bother, so the slack never exceeds that floor.
+        assert len(queue._heap) - queue.live_count() <= queue.COMPACT_MIN
+
+    def test_small_queues_skip_compaction(self):
+        queue = HeapEventQueue()
+        scheduler = Scheduler(queue=queue)
+        handles = [scheduler.schedule_at(float(index), lambda: None)
+                   for index in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert queue.compactions == 0  # below COMPACT_MIN
+
+    def test_periodic_churn_stays_bounded(self):
+        # The original leak: cancelling periodic tasks left their
+        # pending occurrences in the heap forever.
+        queue = HeapEventQueue()
+        scheduler = Scheduler(queue=queue)
+        for round_index in range(300):
+            task = scheduler.every(1.0, lambda: None, delay=500.0)
+            scheduler.schedule_at(float(round_index), lambda: None)
+            task.cancel()
+        assert len(queue._heap) <= 2 * queue.live_count() + queue.COMPACT_MIN
+
+    def test_firing_order_unaffected_by_sweep(self):
+        def run(with_cancels):
+            queue = HeapEventQueue()
+            scheduler = Scheduler(queue=queue)
+            fired = []
+            keep = [scheduler.schedule_at(float(i), fired.append, i)
+                    for i in range(0, 200, 4)]
+            dead = [scheduler.schedule_at(float(i), fired.append, i)
+                    for i in range(200) if i % 4]
+            if with_cancels:
+                for handle in dead:
+                    handle.cancel()
+                assert queue.compactions >= 1
+            scheduler.run()
+            return [label for label in fired if label % 4 == 0], keep
+        swept, _ = run(True)
+        clean, _ = run(False)
+        assert swept == clean == list(range(0, 200, 4))
+
+
+class TestWheelDrivesFullTestbed:
+    def test_testbed_fingerprints_identical_on_wheel(self):
+        """The strongest end-to-end witness: a full SenSocial testbed
+        (phones, MQTT, server ingest) run on heap vs wheel produces the
+        same event count and the same docstore fingerprint."""
+        from repro import Granularity, ModalityType, SenSocialTestbed
+        from repro.durability.codec import fingerprint_store
+
+        def run(scheduler):
+            testbed = SenSocialTestbed(seed=11, scheduler=scheduler)
+            for index, city in enumerate(("Paris", "Bordeaux")):
+                node = testbed.add_user(f"user{index}", home_city=city)
+                node.manager.create_stream(ModalityType.ACCELEROMETER,
+                                           Granularity.CLASSIFIED,
+                                           send_to_server=True)
+            testbed.run(600.0)
+            return (testbed.world.scheduler.events_processed,
+                    fingerprint_store(testbed.server.database.store))
+
+        assert run("heap") == run("wheel")
